@@ -1,0 +1,85 @@
+//! Criterion micro-benchmarks of the reproduction stack itself: trace
+//! lowering throughput, collective lowering, and full simulator runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use charllm_hw::{presets, GpuId};
+use charllm_models::{presets as models, TrainJob};
+use charllm_net::{lower_collective, ChunkingPolicy, CollectiveKind};
+use charllm_parallel::{ParallelismSpec, PipelineSchedule, Placement, StagePartition};
+use charllm_sim::{SimConfig, Simulator};
+use charllm_trace::{lower_train, DeviceHints};
+
+fn bench_collective_lowering(c: &mut Criterion) {
+    let cluster = presets::hgx_h200_cluster();
+    let gpus: Vec<GpuId> = (0..32).map(GpuId).collect();
+    c.bench_function("lower_allreduce_32", |b| {
+        b.iter(|| {
+            lower_collective(
+                CollectiveKind::AllReduce,
+                black_box(1 << 30),
+                &gpus,
+                &cluster,
+                ChunkingPolicy::nccl_default(),
+            )
+            .unwrap()
+        })
+    });
+    c.bench_function("lower_alltoall_8", |b| {
+        b.iter(|| {
+            lower_collective(
+                CollectiveKind::AllToAll,
+                black_box(1 << 26),
+                &gpus[..8],
+                &cluster,
+                ChunkingPolicy::Unchunked,
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_trace_lowering(c: &mut Criterion) {
+    let job = TrainJob::pretrain(models::gpt3_175b()).with_global_batch(32);
+    let spec = ParallelismSpec::infer_dp(8, 4, 1, 32, false).unwrap();
+    let partition = StagePartition::even(96, 4).unwrap();
+    let hints = DeviceHints::for_spec(presets::hgx_h200_cluster().gpu());
+    c.bench_function("lower_gpt3_175b_tp8_pp4", |b| {
+        b.iter(|| {
+            lower_train(
+                black_box(&job),
+                &spec,
+                PipelineSchedule::OneFOneB,
+                &partition,
+                &hints,
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let cluster = presets::hgx_h200_cluster();
+    let job = TrainJob::pretrain(models::gpt3_13b()).with_global_batch(8);
+    let spec = ParallelismSpec::infer_dp(2, 2, 1, 32, false).unwrap();
+    let partition = StagePartition::even(40, 2).unwrap();
+    let hints = DeviceHints::for_spec(cluster.gpu());
+    let lowered =
+        lower_train(&job, &spec, PipelineSchedule::OneFOneB, &partition, &hints).unwrap();
+    let placement = Placement::identity(&cluster, spec.world()).unwrap();
+    let mut group = c.benchmark_group("simulate");
+    group.sample_size(10);
+    group.bench_function("gpt3_13b_one_step_32gpu", |b| {
+        b.iter(|| {
+            Simulator::new(&cluster, &placement, &lowered.trace, SimConfig::fast())
+                .unwrap()
+                .run()
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_collective_lowering, bench_trace_lowering, bench_simulation);
+criterion_main!(benches);

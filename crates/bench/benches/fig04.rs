@@ -1,0 +1,59 @@
+//! Figure 4: GPU temperature, power and frequency for the H200 (top) and
+//! MI250 (bottom) clusters across models and parallelism strategies, with
+//! activation recomputation enabling the deeper configurations.
+
+use charllm::prelude::*;
+use charllm::sweep::normalized;
+use charllm_bench::{banner, bench_job, feasible, report_json, save_json, try_run};
+
+fn main() {
+    banner("Figure 4", "temperature / power / frequency across models and parallelism");
+    let mut rows = Vec::new();
+    let sets: Vec<(charllm_hw::Cluster, Vec<charllm_models::TransformerArch>)> = vec![
+        (hgx_h200_cluster(), nvidia_models()),
+        (mi250_cluster(), amd_models()),
+    ];
+    for (cluster, archs) in sets {
+        println!("\n=== {} ===", cluster.name());
+        for arch in archs {
+            println!("\n--- {} ---", arch.name);
+            println!(
+                "{:<14} {:<5} {:>8} {:>8} {:>8} {:>8} {:>8} {:>7}",
+                "config", "opt", "eff", "avg W", "peak W", "avg C", "peak C", "MHz"
+            );
+            let base = bench_job(arch.clone());
+            let mut reports = Vec::new();
+            for spec in paper_parallelisms(&arch, cluster.num_gpus()) {
+                for job in [base.clone(), base.clone().with_recompute(true)] {
+                    if !feasible(&job, &spec, &cluster) {
+                        continue;
+                    }
+                    if let Some(r) = try_run(&cluster, &job, spec) {
+                        reports.push(r);
+                    }
+                }
+            }
+            for (r, eff) in normalized(&reports, |r| r.tokens_per_joule) {
+                println!(
+                    "{:<14} {:<5} {:>8.2} {:>8.0} {:>8.0} {:>8.1} {:>8.1} {:>7.0}",
+                    r.parallelism,
+                    r.optimization,
+                    eff,
+                    r.mean_power_w,
+                    r.peak_power_w,
+                    r.mean_temp_c,
+                    r.peak_temp_c,
+                    r.mean_freq_mhz,
+                );
+                rows.push(report_json(r));
+            }
+        }
+    }
+    save_json("fig04", &serde_json::Value::Array(rows));
+    println!(
+        "\nExpected shape: deeper PP raises power/temperature (compute-dense\n\
+         stages); TP-heavy configs draw less power but lose efficiency to\n\
+         communication; recomputation costs efficiency where memory allows\n\
+         the base config but unlocks otherwise-infeasible deep-PP points."
+    );
+}

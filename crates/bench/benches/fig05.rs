@@ -1,0 +1,52 @@
+//! Figure 5: per-GPU total NVLink and PCIe traffic distribution on the HGX
+//! H200 cluster during training.
+
+use charllm::prelude::*;
+use charllm_bench::{banner, bench_job, feasible, save_json, try_run};
+use charllm_telemetry::Heatmap;
+
+fn main() {
+    banner("Figure 5", "per-GPU NVLink + PCIe traffic heatmaps, 32xH200");
+    let cluster = hgx_h200_cluster();
+    let cols: Vec<String> = (0..cluster.num_gpus()).map(|g| format!("g{g}")).collect();
+    let mut json = serde_json::Map::new();
+    for arch in [gpt3_175b(), mixtral_8x22b()] {
+        let job = bench_job(arch.clone()).with_recompute(true);
+        let mut nv_rows = Vec::new();
+        let mut pcie_rows = Vec::new();
+        let mut labels = Vec::new();
+        for spec in paper_parallelisms(&arch, cluster.num_gpus()) {
+            if !feasible(&job, &spec, &cluster) {
+                continue;
+            }
+            if let Some(r) = try_run(&cluster, &job, spec) {
+                nv_rows.push(
+                    (0..cluster.num_gpus())
+                        .map(|g| r.sim.traffic.fabric(g) / 1e9)
+                        .collect::<Vec<_>>(),
+                );
+                pcie_rows.push(
+                    (0..cluster.num_gpus())
+                        .map(|g| r.sim.traffic.pcie(g) / 1e9)
+                        .collect::<Vec<_>>(),
+                );
+                labels.push(r.parallelism.clone());
+            }
+        }
+        let nv = Heatmap::new(labels.clone(), cols.clone(), nv_rows);
+        let pcie = Heatmap::new(labels, cols.clone(), pcie_rows);
+        println!("\n--- {} NVLink traffic (GB per step per GPU) ---", arch.name);
+        print!("{}", nv.to_ascii());
+        println!("--- {} PCIe traffic (GB per step per GPU) ---", arch.name);
+        print!("{}", pcie.to_ascii());
+        json.insert(format!("{}_nvlink_csv", arch.name), nv.to_csv().into());
+        json.insert(format!("{}_pcie_csv", arch.name), pcie.to_csv().into());
+    }
+    save_json("fig05", &serde_json::Value::Object(json));
+    println!(
+        "\nExpected shape: TP-heavy configs show uniformly heavy fabric traffic\n\
+         (>70 GB/GPU for Mixtral in the paper) and, when EP spans nodes, heavy\n\
+         PCIe traffic; PP-heavy configs concentrate PCIe traffic on the\n\
+         stage-boundary GPUs."
+    );
+}

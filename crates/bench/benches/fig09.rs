@@ -1,0 +1,53 @@
+//! Figure 9: GPU power, temperature and clock frequency on the H200 cluster
+//! across models, parallelism configurations and optimization techniques
+//! (Base / cc / act / cc+act), efficiency normalized per model.
+
+use charllm::prelude::*;
+use charllm::sweep::normalized;
+use charllm_bench::{banner, bench_job, feasible, report_json, save_json, try_run};
+
+fn main() {
+    banner("Figure 9", "H200: optimization techniques vs power/temp/frequency/efficiency");
+    let cluster = hgx_h200_cluster();
+    let mut rows = Vec::new();
+    for arch in [gpt3_175b(), llama3_70b(), mixtral_8x22b()] {
+        println!("\n--- {} ---", arch.name);
+        println!(
+            "{:<14} {:<7} {:>7} {:>8} {:>8} {:>8} {:>8} {:>7}",
+            "config", "opt", "eff", "avg W", "peak W", "peak C", "MHz", "thr %"
+        );
+        let base = bench_job(arch.clone());
+        let mut reports = Vec::new();
+        for spec in paper_parallelisms(&arch, cluster.num_gpus()) {
+            for job in optimization_variants(&base) {
+                if !feasible(&job, &spec, &cluster) {
+                    continue;
+                }
+                if let Some(r) = try_run(&cluster, &job, spec) {
+                    reports.push(r);
+                }
+            }
+        }
+        for (r, eff) in normalized(&reports, |r| r.tokens_per_joule) {
+            println!(
+                "{:<14} {:<7} {:>7.2} {:>8.0} {:>8.0} {:>8.1} {:>8.0} {:>6.1}%",
+                r.parallelism,
+                r.optimization,
+                eff,
+                r.mean_power_w,
+                r.peak_power_w,
+                r.peak_temp_c,
+                r.mean_freq_mhz,
+                r.mean_throttle * 100.0,
+            );
+            rows.push(report_json(r));
+        }
+    }
+    save_json("fig09", &serde_json::Value::Array(rows));
+    println!(
+        "\nExpected shape: cc-overlap helps communication-bound configs but\n\
+         raises peak temperature; recomputation costs efficiency except where\n\
+         it unlocks configurations (Mixtral EP8-TP1-PP4 becomes the best\n\
+         point by a large margin); PP-heavy points run hotter."
+    );
+}

@@ -1,0 +1,51 @@
+//! Figure 10: GPU power, temperature and clock frequency on the MI250
+//! cluster across the scaled 30B models, parallelism and optimizations.
+
+use charllm::prelude::*;
+use charllm::sweep::normalized;
+use charllm_bench::{banner, bench_job, feasible, report_json, save_json, try_run};
+
+fn main() {
+    banner("Figure 10", "MI250 (chiplet GCDs): optimizations vs power/temp/frequency");
+    let cluster = mi250_cluster();
+    let mut rows = Vec::new();
+    for arch in amd_models() {
+        println!("\n--- {} ---", arch.name);
+        println!(
+            "{:<14} {:<7} {:>7} {:>8} {:>8} {:>8} {:>8} {:>7}",
+            "config", "opt", "eff", "avg W", "peak W", "peak C", "MHz", "thr %"
+        );
+        let base = bench_job(arch.clone());
+        let mut reports = Vec::new();
+        for spec in paper_parallelisms(&arch, cluster.num_gpus()) {
+            for job in optimization_variants(&base) {
+                if !feasible(&job, &spec, &cluster) {
+                    continue;
+                }
+                if let Some(r) = try_run(&cluster, &job, spec) {
+                    reports.push(r);
+                }
+            }
+        }
+        for (r, eff) in normalized(&reports, |r| r.tokens_per_joule) {
+            println!(
+                "{:<14} {:<7} {:>7.2} {:>8.0} {:>8.0} {:>8.1} {:>8.0} {:>6.1}%",
+                r.parallelism,
+                r.optimization,
+                eff,
+                r.mean_power_w,
+                r.peak_power_w,
+                r.peak_temp_c,
+                r.mean_freq_mhz,
+                r.mean_throttle * 100.0,
+            );
+            rows.push(report_json(r));
+        }
+    }
+    save_json("fig10", &serde_json::Value::Array(rows));
+    println!(
+        "\nExpected shape: per-GCD power stays within the 250 W half-package\n\
+         budget; the chiplet cluster throttles less than H200 (memory limits\n\
+         bind before thermal ones, §5), and recomputation costs efficiency."
+    );
+}

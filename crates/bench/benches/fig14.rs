@@ -1,0 +1,53 @@
+//! Figure 14: microbatch-size sweep on the MI250 cluster (activation
+//! recomputation enabled) — larger microbatches generally help because the
+//! chiplet cluster hits memory limits before thermal ones.
+
+use charllm::prelude::*;
+use charllm::sweep::normalized;
+use charllm_bench::{banner, bench_job, feasible, report_json, save_json, try_run};
+
+fn main() {
+    banner("Figure 14", "MI250 microbatch sweep (act on): efficiency/power/temp/clock");
+    let cluster = mi250_cluster();
+    let mut rows = Vec::new();
+    for arch in amd_models() {
+        println!("\n--- {} ---", arch.name);
+        println!(
+            "{:<14} {:<4} {:>7} {:>8} {:>8} {:>8} {:>7} {:>7}",
+            "config", "mb", "eff", "avg W", "peak W", "peak C", "MHz", "thr %"
+        );
+        let base = bench_job(arch.clone()).with_recompute(true);
+        let mut reports = Vec::new();
+        for spec in paper_parallelisms(&arch, cluster.num_gpus()) {
+            for mb in MICROBATCH_SWEEP {
+                let job = base.clone().with_microbatch(mb);
+                if job.validate_for_dp(spec.dp).is_err() || !feasible(&job, &spec, &cluster) {
+                    continue;
+                }
+                if let Some(r) = try_run(&cluster, &job, spec) {
+                    reports.push(r);
+                }
+            }
+        }
+        for (r, eff) in normalized(&reports, |r| r.tokens_per_joule) {
+            println!(
+                "{:<14} {:<4} {:>7.2} {:>8.0} {:>8.0} {:>8.1} {:>7.0} {:>6.1}%",
+                r.parallelism,
+                r.microbatch,
+                eff,
+                r.mean_power_w,
+                r.peak_power_w,
+                r.peak_temp_c,
+                r.mean_freq_mhz,
+                r.mean_throttle * 100.0,
+            );
+            rows.push(report_json(r));
+        }
+    }
+    save_json("fig14", &serde_json::Value::Array(rows));
+    println!(
+        "\nExpected shape: on MI250 larger microbatches generally improve\n\
+         efficiency (clocks boost as work gets more compute-intensive) since\n\
+         memory capacity, not thermal stress, is the binding constraint."
+    );
+}

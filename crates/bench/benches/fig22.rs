@@ -1,0 +1,73 @@
+//! Figure 22: projected per-kernel latency, strong scaling and per-GPU
+//! throughput for DP scaling to thousands of GPUs on H200 and H100
+//! clusters, at 100 Gbps and 800 Gbps inter-node bandwidth (§7.1).
+
+use charllm::prelude::*;
+use charllm_bench::{banner, bench_job, save_json, try_run};
+use charllm_hw::LinkSpec;
+use charllm_net::projection::{project_dp_scaling, MeasuredStep};
+
+fn main() {
+    banner("Figure 22", "DP-scaling projection to 8K GPUs, 100G vs 800G fabrics");
+    let job = bench_job(gpt3_175b()).with_recompute(true);
+    let dps = [1usize, 4, 16, 64, 256];
+    let mut json = serde_json::Map::new();
+    for (cluster, label) in [(hgx_h200_cluster(), "TP2-PP16"), (hgx_h100_cluster(), "TP2-PP16")]
+    {
+        let Ok(spec) = ParallelismSpec::parse(label, cluster.num_gpus()) else { continue };
+        let Some(r) = try_run(&cluster, &job, spec) else { continue };
+        let mean = r.mean_kernel_time();
+        let base = MeasuredStep {
+            compute_s: mean.compute_total(),
+            comm_s: mean.comm_total(),
+            grad_bytes_per_rank: (job.arch.total_params() / cluster.num_gpus() as u64) * 2,
+            tokens_per_step: job.tokens_per_step(),
+            base_world: cluster.num_gpus(),
+        };
+        println!(
+            "\n--- {} {} base: compute {:.2}s comm {:.2}s ---",
+            cluster.name(),
+            label,
+            base.compute_s,
+            base.comm_s
+        );
+        for (nic_name, nic) in [("100G", LinkSpec::ib_100g()), ("800G", LinkSpec::ib_gbps(800.0))]
+        {
+            println!("  {nic_name}:");
+            println!(
+                "  {:>6} {:>8} {:>9} {:>12} {:>13} {:>9}",
+                "dp", "gpus", "step s", "allreduce s", "tok/s/gpu", "scaling"
+            );
+            let projections = project_dp_scaling(&base, &dps, &nic, 1);
+            for p in &projections {
+                println!(
+                    "  {:>6} {:>8} {:>9.3} {:>12.3} {:>13.1} {:>8.1}%",
+                    p.dp,
+                    p.num_gpus,
+                    p.step_s,
+                    p.allreduce_s,
+                    p.per_gpu_throughput,
+                    p.scaling_efficiency * 100.0
+                );
+            }
+            let worst = projections.last().expect("non-empty dps");
+            json.insert(
+                format!("{}_{}", cluster.name(), nic_name),
+                serde_json::json!({
+                    "base_compute_s": base.compute_s,
+                    "base_comm_s": base.comm_s,
+                    "scaling_at_max_dp": worst.scaling_efficiency,
+                    "per_gpu_tokens_at_max_dp": worst.per_gpu_throughput,
+                }),
+            );
+        }
+    }
+    save_json("fig22", &serde_json::Value::Object(json));
+    println!(
+        "\nExpected shape: naive DP scaling is sublinear; at 100 Gbps the\n\
+         AllReduce overhead collapses strong scaling by close to an order of\n\
+         magnitude at thousands of GPUs (paper: up to 9.7x), while 800 Gbps\n\
+         recovers several-fold (paper: up to 4.2x); H100 posts higher\n\
+         absolute but lower per-GPU throughput than H200."
+    );
+}

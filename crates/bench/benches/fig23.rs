@@ -1,0 +1,58 @@
+//! Figure 23: GPU power, temperature and clock during distributed
+//! *inference* across parallelism configurations and microbatch sizes
+//! (§7.2) — less communication-bound than training, cooler, but with bursty
+//! peaks.
+
+use charllm::prelude::*;
+use charllm_bench::{banner, save_json, sim_config};
+use charllm_trace::InferenceConfig;
+
+fn main() {
+    banner("Figure 23", "inference microbatch sweep: throughput/power/temp, H200");
+    let cluster = hgx_h200_cluster();
+    let job = TrainJob::pretrain(gpt3_175b());
+    let mut rows = Vec::new();
+    println!(
+        "{:<12} {:<4} {:>12} {:>8} {:>8} {:>8} {:>8}",
+        "config", "b", "gen tok/s", "avg W", "peak W", "avg C", "peak C"
+    );
+    for label in ["TP8-PP4", "TP4-PP8", "TP2-PP16"] {
+        let Ok(spec) = ParallelismSpec::parse(label, cluster.num_gpus()) else { continue };
+        for batch in [1usize, 4, 16] {
+            let cfg = InferenceConfig { batch, prompt_len: 512, decode_tokens: 16 };
+            let result = Experiment::builder()
+                .cluster(cluster.clone())
+                .job(job.clone())
+                .spec(spec)
+                .inference(cfg)
+                .sim_config(sim_config())
+                .run();
+            match result {
+                Ok(r) => {
+                    println!(
+                        "{:<12} {:<4} {:>12.1} {:>8.0} {:>8.0} {:>8.1} {:>8.1}",
+                        label, batch, r.tokens_per_s, r.mean_power_w, r.peak_power_w,
+                        r.mean_temp_c, r.peak_temp_c
+                    );
+                    rows.push(serde_json::json!({
+                        "parallelism": label,
+                        "batch": batch,
+                        "gen_tokens_per_s": r.tokens_per_s,
+                        "mean_power_w": r.mean_power_w,
+                        "peak_power_w": r.peak_power_w,
+                        "mean_temp_c": r.mean_temp_c,
+                        "peak_temp_c": r.peak_temp_c,
+                    }));
+                }
+                Err(e) => eprintln!("  [skip] {label} b{batch}: {e}"),
+            }
+        }
+    }
+    save_json("fig23", &serde_json::Value::Array(rows));
+    println!(
+        "\nExpected shape: larger inference batches raise throughput without\n\
+         proportionally raising average power/temperature (fewer sync steps,\n\
+         lower communication); inference runs cooler than training overall\n\
+         while peak power stays high during bursty attention/GEMM phases."
+    );
+}

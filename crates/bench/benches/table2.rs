@@ -1,0 +1,86 @@
+//! Table 2: the direction each parallelism/optimization technique moves
+//! performance (throughput), memory and communication — *measured* from the
+//! simulator and the memory model rather than asserted.
+
+use charllm::insights::{table2_row, Table2Row};
+use charllm::prelude::*;
+use charllm_bench::{banner, gbs, save_json, sim_config};
+use charllm_hw::presets::hgx_h200_with_nodes;
+
+fn main() {
+    banner("Table 2", "measured direction of Perf / Memory / Comm per technique");
+    let cluster = hgx_h200_cluster();
+    let half = hgx_h200_with_nodes(2);
+    let world = cluster.num_gpus();
+    let mut rows: Vec<Table2Row> = Vec::new();
+
+    let dense = TrainJob::pretrain(gpt3_30b()).with_global_batch(gbs());
+    let moe = TrainJob::pretrain(mixtral_8x7b()).with_global_batch(gbs()).with_recompute(true);
+    let pp4 = ParallelismSpec::parse("TP1-PP4", world).expect("valid");
+
+    type Case<'a> = (
+        &'a str,
+        (&'a TrainJob, ParallelismSpec, &'a charllm_hw::Cluster),
+        (&'a TrainJob, ParallelismSpec, &'a charllm_hw::Cluster),
+    );
+    let tp8pp4 = ParallelismSpec::parse("TP8-PP4", world).unwrap();
+    let tp1pp16 = ParallelismSpec::parse("TP1-PP16", world).unwrap();
+    let ep2 = ParallelismSpec::parse("EP2-TP1-PP4", world).unwrap();
+    let ep8 = ParallelismSpec::parse("EP8-TP1-PP4", world).unwrap();
+    // DP: same model-parallel shape, grow the cluster so DP doubles.
+    let dp_small = ParallelismSpec::parse("TP2-PP4", half.num_gpus()).unwrap();
+    let dp_large = ParallelismSpec::parse("TP2-PP4", world).unwrap();
+    // FSDP vs replicated data parallelism at the same TP width.
+    let tp8dp4 = ParallelismSpec::parse("TP8-PP1", world).unwrap();
+    let tp8fsdp4 = ParallelismSpec::parse("TP8-FSDP4", world).unwrap();
+
+    let cases: Vec<Case> = vec![
+        ("TP", (&dense, pp4, &cluster), (&dense, tp8pp4, &cluster)),
+        ("PP", (&dense, pp4, &cluster), (&dense, tp1pp16, &cluster)),
+        ("EP", (&moe, ep2, &cluster), (&moe, ep8, &cluster)),
+        ("DP", (&dense, dp_small, &half), (&dense, dp_large, &cluster)),
+        ("FSDP", (&dense, tp8dp4, &cluster), (&dense, tp8fsdp4, &cluster)),
+    ];
+    for (name, base, variant) in cases {
+        match table2_row(name, base, variant, sim_config()) {
+            Ok(row) => rows.push(row),
+            Err(e) => eprintln!("  [skip] {name}: {e}"),
+        }
+    }
+
+    // Optimization techniques on a fixed strategy.
+    let spec = ParallelismSpec::parse("TP2-PP4", world).expect("valid");
+    let act = dense.clone().with_recompute(true);
+    let cc = dense.clone().with_cc_overlap(true);
+    for (name, variant) in [("act", &act), ("cc", &cc)] {
+        match table2_row(name, (&dense, spec, &cluster), (variant, spec, &cluster), sim_config())
+        {
+            Ok(row) => rows.push(row),
+            Err(e) => eprintln!("  [skip] {name}: {e}"),
+        }
+    }
+
+    println!(
+        "\n{:<8} {:>6} {:>8} {:>6}   paper:  TP vv/v/^^  PP -/v/^  EP v/v/^  DP ^/-/^  \
+         FSDP v/v/^^  act v/v/-  cc ^/-/v",
+        "tech", "Perf", "Memory", "Comm"
+    );
+    for row in &rows {
+        println!(
+            "{:<8} {:>6} {:>8} {:>6}   (throughput {:+.0}%, memory {:+.0}%, comm/rank {:+.0}%)",
+            row.technique,
+            row.perf.arrow(),
+            row.memory.arrow(),
+            row.comm.arrow(),
+            row.perf_change * 100.0,
+            row.memory_change * 100.0,
+            row.comm_change * 100.0,
+        );
+    }
+    save_json(
+        "table2",
+        &serde_json::Value::Array(
+            rows.iter().map(|r| serde_json::to_value(r).expect("serializable")).collect(),
+        ),
+    );
+}

@@ -1,0 +1,148 @@
+//! Shared harness for the per-figure benchmark binaries.
+//!
+//! Every table and figure of the paper's evaluation has a bench target
+//! (`cargo bench -p charllm-bench --bench fig13`) that regenerates the
+//! corresponding rows/series from simulation. `cargo bench --workspace`
+//! runs them all and writes machine-readable results under
+//! `target/charllm-results/`.
+//!
+//! Scale: figures default to a global batch of 64 (half the paper's 128) so
+//! the full suite completes in minutes; set `CHARLLM_GBS=128` to reproduce
+//! at paper scale. Comparative shapes are unchanged.
+
+use std::fs;
+use std::path::PathBuf;
+
+use charllm::prelude::*;
+use charllm::report::RunReport;
+use charllm::CoreError;
+use charllm_models::TransformerArch;
+use charllm_parallel::{fits, ParallelismSpec, StagePartition};
+
+/// The simulator configuration used by the figure benches: two iterations,
+/// first discarded (the paper discards warm-up iterations).
+pub fn sim_config() -> SimConfig {
+    SimConfig {
+        iterations: 2,
+        warmup_iterations: 1,
+        // Pathological-but-feasible configs (GPT3-175B TP8-FSDP) legitimately
+        // exceed an hour of simulated time per step; let them finish.
+        max_sim_time_s: 200_000.0,
+        ..SimConfig::default()
+    }
+}
+
+/// Global batch size for figure benches (`CHARLLM_GBS`, default 64).
+pub fn gbs() -> usize {
+    std::env::var("CHARLLM_GBS").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+}
+
+/// The standard pretraining job at bench scale.
+pub fn bench_job(arch: TransformerArch) -> TrainJob {
+    TrainJob::pretrain(arch).with_global_batch(gbs())
+}
+
+/// Whether a configuration fits in the cluster's GPU memory (the paper only
+/// evaluates feasible points).
+pub fn feasible(job: &TrainJob, spec: &ParallelismSpec, cluster: &charllm_hw::Cluster) -> bool {
+    StagePartition::even(job.arch.num_layers, spec.pp)
+        .map(|p| fits(job, spec, &p, cluster.gpu().memory_bytes))
+        .unwrap_or(false)
+}
+
+/// Run one experiment, logging and skipping failures (infeasible sweeps are
+/// expected when reproducing broad figure grids).
+pub fn try_run(
+    cluster: &charllm_hw::Cluster,
+    job: &TrainJob,
+    spec: ParallelismSpec,
+) -> Option<RunReport> {
+    let result: Result<RunReport, CoreError> = Experiment::builder()
+        .cluster(cluster.clone())
+        .job(job.clone())
+        .spec(spec)
+        .sim_config(sim_config())
+        .run();
+    match result {
+        Ok(r) => Some(r),
+        Err(e) => {
+            eprintln!("  [skip] {} {}: {e}", job.arch.name, spec.label());
+            None
+        }
+    }
+}
+
+/// Print a figure banner.
+pub fn banner(figure: &str, caption: &str) {
+    println!("\n================================================================");
+    println!("{figure}: {caption}");
+    println!("(global batch {}, simulated; shapes comparable to the paper)", gbs());
+    println!("================================================================");
+}
+
+/// Where machine-readable bench results are written: the *workspace*
+/// `target/charllm-results`, regardless of the bench binary's working
+/// directory.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join("target")
+        })
+        .join("charllm-results");
+    fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Persist a JSON value for a figure.
+pub fn save_json(name: &str, value: &serde_json::Value) {
+    let path = results_dir().join(format!("{name}.json"));
+    fs::write(&path, serde_json::to_string_pretty(value).expect("serializable"))
+        .expect("write results file");
+    println!("[saved {}]", path.display());
+}
+
+/// Compact per-report JSON for result files.
+pub fn report_json(r: &RunReport) -> serde_json::Value {
+    serde_json::json!({
+        "cluster": r.cluster,
+        "model": r.model,
+        "parallelism": r.parallelism,
+        "optimization": r.optimization,
+        "microbatch": r.microbatch,
+        "step_time_s": r.step_time_s,
+        "tokens_per_s": r.tokens_per_s,
+        "tokens_per_joule": r.tokens_per_joule,
+        "mean_power_w": r.mean_power_w,
+        "peak_power_w": r.peak_power_w,
+        "mean_temp_c": r.mean_temp_c,
+        "peak_temp_c": r.peak_temp_c,
+        "mean_freq_mhz": r.mean_freq_mhz,
+        "front_temp_c": r.front_temp_c,
+        "rear_temp_c": r.rear_temp_c,
+        "mean_throttle": r.mean_throttle,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charllm_models::presets as models;
+
+    #[test]
+    fn bench_scale_configurable() {
+        assert!(gbs() >= 1);
+        let job = bench_job(models::gpt3_13b());
+        assert_eq!(job.global_batch, gbs());
+    }
+
+    #[test]
+    fn feasibility_screens_oversized_configs() {
+        let cluster = hgx_h200_cluster();
+        let job = TrainJob::pretrain(models::gpt3_175b());
+        let dp = ParallelismSpec::data_parallel(32);
+        assert!(!feasible(&job, &dp, &cluster));
+        let tp8pp4 = ParallelismSpec::parse("TP8-PP4", 32).unwrap();
+        assert!(feasible(&job, &tp8pp4, &cluster));
+    }
+}

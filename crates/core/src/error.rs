@@ -1,0 +1,79 @@
+//! Facade error type.
+
+use std::fmt;
+
+/// Any error from the underlying stack, unified for experiment code.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Hardware topology error.
+    Hw(charllm_hw::HwError),
+    /// Workload model error.
+    Model(charllm_models::ModelError),
+    /// Parallelism configuration error.
+    Parallel(charllm_parallel::ParallelError),
+    /// Trace lowering error.
+    Trace(charllm_trace::lower::TraceError),
+    /// Simulation error.
+    Sim(charllm_sim::SimError),
+    /// Experiment was under-specified.
+    Incomplete(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Hw(e) => write!(f, "{e}"),
+            CoreError::Model(e) => write!(f, "{e}"),
+            CoreError::Parallel(e) => write!(f, "{e}"),
+            CoreError::Trace(e) => write!(f, "{e}"),
+            CoreError::Sim(e) => write!(f, "{e}"),
+            CoreError::Incomplete(msg) => write!(f, "incomplete experiment: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<charllm_hw::HwError> for CoreError {
+    fn from(e: charllm_hw::HwError) -> Self {
+        CoreError::Hw(e)
+    }
+}
+
+impl From<charllm_models::ModelError> for CoreError {
+    fn from(e: charllm_models::ModelError) -> Self {
+        CoreError::Model(e)
+    }
+}
+
+impl From<charllm_parallel::ParallelError> for CoreError {
+    fn from(e: charllm_parallel::ParallelError) -> Self {
+        CoreError::Parallel(e)
+    }
+}
+
+impl From<charllm_trace::lower::TraceError> for CoreError {
+    fn from(e: charllm_trace::lower::TraceError) -> Self {
+        CoreError::Trace(e)
+    }
+}
+
+impl From<charllm_sim::SimError> for CoreError {
+    fn from(e: charllm_sim::SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_passthrough() {
+        let e = CoreError::Incomplete("no cluster".into());
+        assert!(e.to_string().contains("no cluster"));
+        let e: CoreError = charllm_hw::HwError::EmptyCluster.into();
+        assert!(e.to_string().contains("cluster"));
+    }
+}

@@ -1,0 +1,319 @@
+//! Experiment definition and execution.
+
+use charllm_hw::Cluster;
+use charllm_models::TrainJob;
+use charllm_parallel::{
+    ParallelismSpec, PipelineSchedule, Placement, StagePartition,
+};
+use charllm_sim::{SimConfig, SimResult, Simulator};
+use charllm_telemetry::aggregate::group_mean;
+use charllm_trace::{lower_inference, lower_train, DeviceHints, InferenceConfig};
+
+use crate::error::CoreError;
+use crate::report::RunReport;
+
+/// One fully specified run: cluster × job × parallelism × schedule ×
+/// placement × simulator configuration.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    cluster: Cluster,
+    job: TrainJob,
+    spec: ParallelismSpec,
+    schedule: PipelineSchedule,
+    partition: Option<StagePartition>,
+    placement: Option<Placement>,
+    sim: SimConfig,
+    inference: Option<InferenceConfig>,
+}
+
+impl Experiment {
+    /// Start building an experiment.
+    pub fn builder() -> ExperimentBuilder {
+        ExperimentBuilder::default()
+    }
+
+    /// Execute: lower the workload, simulate, and assemble a report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, lowering and simulation errors.
+    pub fn run(&self) -> Result<RunReport, CoreError> {
+        let partition = match &self.partition {
+            Some(p) => p.clone(),
+            None => StagePartition::even(self.job.arch.num_layers, self.spec.pp)?,
+        };
+        let placement = match &self.placement {
+            Some(p) => p.clone(),
+            None => Placement::identity(&self.cluster, self.spec.world())?,
+        };
+        let hints = DeviceHints::for_spec(self.cluster.gpu());
+        let lowered = match &self.inference {
+            None => lower_train(&self.job, &self.spec, self.schedule, &partition, &hints)?,
+            Some(cfg) => lower_inference(&self.job, &self.spec, &partition, &hints, *cfg)?,
+        };
+        let sim =
+            Simulator::new(&self.cluster, &placement, &lowered.trace, self.sim)?.run()?;
+        Ok(self.report(sim, &placement))
+    }
+
+    fn report(&self, sim: SimResult, placement: &Placement) -> RunReport {
+        let airflow = &self.cluster.node_layout().airflow;
+        let telem = &sim.telemetry;
+        let used: Vec<usize> = placement.iter().map(|(_, g)| g.index()).collect();
+        let front: Vec<usize> = used
+            .iter()
+            .copied()
+            .filter(|&g| !airflow.is_rear(self.cluster.slot_of(charllm_hw::GpuId(g as u32))))
+            .collect();
+        let rear: Vec<usize> = used
+            .iter()
+            .copied()
+            .filter(|&g| airflow.is_rear(self.cluster.slot_of(charllm_hw::GpuId(g as u32))))
+            .collect();
+        let front_temp = group_mean(front.iter().map(|&g| telem.temp(g)));
+        let rear_temp = group_mean(rear.iter().map(|&g| telem.temp(g)));
+        let throttles: Vec<f64> = used.iter().map(|&g| sim.throttle_ratio[g]).collect();
+        let mean_throttle = if throttles.is_empty() {
+            0.0
+        } else {
+            throttles.iter().sum::<f64>() / throttles.len() as f64
+        };
+        let max_throttle = throttles.iter().copied().fold(0.0, f64::max);
+        let optimization = self.job.optim.label();
+        RunReport {
+            label: format!(
+                "{} {} {} mb{} on {}",
+                self.job.arch.name,
+                self.spec.label(),
+                optimization,
+                self.job.microbatch,
+                self.cluster.name()
+            ),
+            cluster: self.cluster.name().to_string(),
+            model: self.job.arch.name.clone(),
+            parallelism: self.spec.label(),
+            optimization,
+            microbatch: self.job.microbatch,
+            step_time_s: sim.step_time_s,
+            tokens_per_s: sim.tokens_per_s,
+            tokens_per_s_per_gpu: sim.tokens_per_s / self.spec.world() as f64,
+            tokens_per_joule: sim.tokens_per_joule,
+            energy_per_step_j: sim.energy_per_step_j,
+            mean_power_w: telem.mean_power_w(),
+            peak_power_w: telem.peak_power_w(),
+            mean_temp_c: telem.mean_temp_c(),
+            peak_temp_c: telem.peak_temp_c(),
+            mean_freq_mhz: telem.mean_freq_mhz(),
+            front_temp_c: front_temp,
+            rear_temp_c: rear_temp,
+            mean_throttle,
+            max_throttle,
+            sim,
+        }
+    }
+
+    /// The parallelism spec in effect.
+    pub fn spec(&self) -> &ParallelismSpec {
+        &self.spec
+    }
+
+    /// The job in effect.
+    pub fn job(&self) -> &TrainJob {
+        &self.job
+    }
+
+    /// The cluster in effect.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+}
+
+/// Builder for [`Experiment`].
+#[derive(Debug, Default, Clone)]
+pub struct ExperimentBuilder {
+    cluster: Option<Cluster>,
+    job: Option<TrainJob>,
+    spec: Option<ParallelismSpec>,
+    schedule: PipelineSchedule,
+    partition: Option<StagePartition>,
+    placement: Option<Placement>,
+    sim: Option<SimConfig>,
+    inference: Option<InferenceConfig>,
+}
+
+impl ExperimentBuilder {
+    /// Target cluster.
+    pub fn cluster(mut self, cluster: Cluster) -> Self {
+        self.cluster = Some(cluster);
+        self
+    }
+
+    /// Workload.
+    pub fn job(mut self, job: TrainJob) -> Self {
+        self.job = Some(job);
+        self
+    }
+
+    /// Parallelism from a paper-style label (requires `cluster` first so DP
+    /// can be inferred).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Incomplete`] if the cluster is unset and
+    /// propagates label parse errors.
+    pub fn parallelism(mut self, label: &str) -> Result<Self, CoreError> {
+        let world = self
+            .cluster
+            .as_ref()
+            .ok_or_else(|| CoreError::Incomplete("set cluster before parallelism".into()))?
+            .num_gpus();
+        self.spec = Some(ParallelismSpec::parse(label, world)?);
+        Ok(self)
+    }
+
+    /// Parallelism from an explicit spec.
+    pub fn spec(mut self, spec: ParallelismSpec) -> Self {
+        self.spec = Some(spec);
+        self
+    }
+
+    /// Pipeline schedule (default 1F1B).
+    pub fn schedule(mut self, schedule: PipelineSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Explicit stage partition (default even split).
+    pub fn partition(mut self, partition: StagePartition) -> Self {
+        self.partition = Some(partition);
+        self
+    }
+
+    /// Explicit rank placement (default identity).
+    pub fn placement(mut self, placement: Placement) -> Self {
+        self.placement = Some(placement);
+        self
+    }
+
+    /// Simulator configuration (default [`SimConfig::default`]).
+    pub fn sim_config(mut self, sim: SimConfig) -> Self {
+        self.sim = Some(sim);
+        self
+    }
+
+    /// Run inference instead of training.
+    pub fn inference(mut self, cfg: InferenceConfig) -> Self {
+        self.inference = Some(cfg);
+        self
+    }
+
+    /// Finalize into an [`Experiment`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Incomplete`] when cluster, job or parallelism is
+    /// missing.
+    pub fn build(self) -> Result<Experiment, CoreError> {
+        let cluster =
+            self.cluster.ok_or_else(|| CoreError::Incomplete("cluster unset".into()))?;
+        let job = self.job.ok_or_else(|| CoreError::Incomplete("job unset".into()))?;
+        let spec = self.spec.ok_or_else(|| CoreError::Incomplete("parallelism unset".into()))?;
+        Ok(Experiment {
+            cluster,
+            job,
+            spec,
+            schedule: self.schedule,
+            partition: self.partition,
+            placement: self.placement,
+            sim: self.sim.unwrap_or_default(),
+            inference: self.inference,
+        })
+    }
+
+    /// Build and run in one call.
+    ///
+    /// # Errors
+    ///
+    /// See [`ExperimentBuilder::build`] and [`Experiment::run`].
+    pub fn run(self) -> Result<RunReport, CoreError> {
+        self.build()?.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::single_hgx_node;
+    use charllm_models::presets as models;
+
+    fn small_job() -> TrainJob {
+        TrainJob::pretrain(models::gpt3_13b()).with_global_batch(8)
+    }
+
+    #[test]
+    fn builder_requires_all_parts() {
+        assert!(Experiment::builder().build().is_err());
+        assert!(Experiment::builder().cluster(single_hgx_node()).build().is_err());
+        assert!(Experiment::builder()
+            .cluster(single_hgx_node())
+            .job(small_job())
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn parallelism_requires_cluster_first() {
+        assert!(Experiment::builder().parallelism("TP2-PP2").is_err());
+    }
+
+    #[test]
+    fn end_to_end_run_produces_consistent_report() {
+        let report = Experiment::builder()
+            .cluster(single_hgx_node())
+            .job(small_job())
+            .parallelism("TP2-PP2")
+            .unwrap()
+            .sim_config(SimConfig::fast())
+            .run()
+            .unwrap();
+        assert_eq!(report.cluster, "8xH200");
+        assert_eq!(report.parallelism, "TP2-PP2");
+        assert!(report.tokens_per_s > 0.0);
+        assert!((report.tokens_per_s_per_gpu * 8.0 - report.tokens_per_s).abs() < 1.0);
+        assert!(report.mean_power_w > 100.0);
+        assert!(report.rear_temp_c > report.front_temp_c, "airflow imbalance visible");
+        assert!(report.peak_temp_c >= report.mean_temp_c);
+    }
+
+    #[test]
+    fn inference_experiment_runs() {
+        let report = Experiment::builder()
+            .cluster(single_hgx_node())
+            .job(TrainJob::pretrain(models::gpt3_13b()))
+            .parallelism("TP4-PP2")
+            .unwrap()
+            .inference(InferenceConfig { batch: 2, prompt_len: 128, decode_tokens: 4 })
+            .sim_config(SimConfig::fast())
+            .run()
+            .unwrap();
+        assert!(report.tokens_per_s > 0.0);
+        assert!(report.step_time_s > 0.0);
+    }
+
+    #[test]
+    fn thermal_aware_placement_accepted() {
+        use charllm_parallel::thermal_aware;
+        let cluster = single_hgx_node();
+        let placement = thermal_aware::symmetric_placement(&cluster).unwrap();
+        let spec = thermal_aware::thermal_pp_spec(&cluster).unwrap();
+        let report = Experiment::builder()
+            .cluster(cluster)
+            .job(TrainJob::pretrain(models::gpt3_13b()).with_global_batch(4).with_recompute(true))
+            .spec(spec)
+            .placement(placement)
+            .sim_config(SimConfig::fast())
+            .run()
+            .unwrap();
+        assert!(report.tokens_per_s > 0.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Paper-configuration presets: the parallelism shapes each figure sweeps.
+
+use charllm_hw::{Cluster, GpuModel, NodeLayout};
+use charllm_models::{TrainJob, TransformerArch};
+use charllm_parallel::ParallelismSpec;
+
+/// A single HGX H200 node (8 GPUs) — handy for tests and the quickstart.
+pub fn single_hgx_node() -> Cluster {
+    Cluster::new("8xH200", GpuModel::H200.spec(), NodeLayout::hgx(), 1)
+        .expect("preset node is statically valid")
+}
+
+/// The parallelism configurations the paper sweeps for a model, instantiated
+/// for a cluster of `world` GPUs (leftover capacity becomes DP, matching
+/// §3.1). Shapes that do not divide the model's layers/heads/experts or the
+/// world size are dropped.
+pub fn paper_parallelisms(arch: &TransformerArch, world: usize) -> Vec<ParallelismSpec> {
+    // (ep, tp, pp) model-parallel shapes per model family.
+    let shapes: Vec<(usize, usize, usize)> = match &arch.moe {
+        Some(moe) if moe.num_experts >= 8 => vec![
+            (8, 4, 1),
+            (8, 2, 2),
+            (8, 1, 4),
+            (4, 2, 4),
+            (2, 8, 2),
+        ],
+        Some(_) => vec![(4, 4, 1), (4, 2, 2), (4, 1, 4), (2, 2, 4)],
+        None if arch.num_layers >= 96 => {
+            vec![(1, 8, 4), (1, 4, 8), (1, 2, 16), (1, 1, 32)]
+        }
+        None if arch.num_layers >= 80 => vec![(1, 8, 1), (1, 8, 2), (1, 4, 4), (1, 2, 8)],
+        None if arch.num_layers >= 48 => vec![(1, 8, 2), (1, 4, 4), (1, 2, 8), (1, 1, 16)],
+        None => vec![(1, 8, 1), (1, 4, 2), (1, 2, 4), (1, 1, 8)],
+    };
+    let mut out = Vec::new();
+    for (ep, tp, pp) in shapes {
+        if arch.num_layers % pp != 0
+            || arch.num_heads % tp != 0
+            || arch.num_kv_heads % tp != 0
+        {
+            continue;
+        }
+        if let Some(moe) = &arch.moe {
+            if moe.num_experts % ep != 0 {
+                continue;
+            }
+        } else if ep > 1 {
+            continue;
+        }
+        if let Ok(spec) = ParallelismSpec::infer_dp(tp, pp, ep, world, false) {
+            out.push(spec);
+        }
+    }
+    // The TP8-FSDP 2D configuration, for dense models with capacity left.
+    if !arch.is_moe() && world > 8 && arch.num_heads % 8 == 0 && arch.num_kv_heads % 8 == 0 {
+        if let Ok(spec) = ParallelismSpec::new(8, 1, 1, world / 8, true) {
+            out.push(spec);
+        }
+    }
+    out
+}
+
+/// The paper's optimization variants in figure order: `Base`, `cc`, `act`,
+/// `cc+act`, applied to a base job.
+pub fn optimization_variants(job: &TrainJob) -> Vec<TrainJob> {
+    vec![
+        job.clone().with_cc_overlap(false).with_recompute(false),
+        job.clone().with_cc_overlap(true).with_recompute(false),
+        job.clone().with_cc_overlap(false).with_recompute(true),
+        job.clone().with_cc_overlap(true).with_recompute(true),
+    ]
+}
+
+/// The microbatch sizes the Fig. 13/14 sweeps use.
+pub const MICROBATCH_SWEEP: [usize; 3] = [1, 2, 4];
+
+/// The models evaluated on the NVIDIA clusters (Fig. 2).
+pub fn nvidia_models() -> Vec<TransformerArch> {
+    vec![
+        charllm_models::presets::gpt3_175b(),
+        charllm_models::presets::llama3_70b(),
+        charllm_models::presets::mixtral_8x22b(),
+        charllm_models::presets::mixtral_8x7b(),
+    ]
+}
+
+/// The scaled-down models evaluated on the MI250 cluster.
+pub fn amd_models() -> Vec<TransformerArch> {
+    vec![charllm_models::presets::gpt3_30b(), charllm_models::presets::llama3_30b()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charllm_models::presets as models;
+
+    #[test]
+    fn gpt3_175b_configs_match_paper() {
+        let labels: Vec<String> = paper_parallelisms(&models::gpt3_175b(), 32)
+            .iter()
+            .map(|s| s.label())
+            .collect();
+        for expect in ["TP8-PP4", "TP4-PP8", "TP2-PP16", "TP1-PP32", "TP8-FSDP4"] {
+            assert!(labels.contains(&expect.to_string()), "{labels:?} missing {expect}");
+        }
+    }
+
+    #[test]
+    fn mixtral_configs_include_ep8_tp1_pp4() {
+        let labels: Vec<String> = paper_parallelisms(&models::mixtral_8x22b(), 32)
+            .iter()
+            .map(|s| s.label())
+            .collect();
+        assert!(labels.contains(&"EP8-TP1-PP4".to_string()), "{labels:?}");
+        assert!(labels.iter().all(|l| !l.contains("FSDP")), "no FSDP for MoE");
+    }
+
+    #[test]
+    fn all_configs_fill_world() {
+        for arch in nvidia_models() {
+            for world in [32usize, 64] {
+                for spec in paper_parallelisms(&arch, world) {
+                    assert_eq!(spec.world(), world, "{} {}", arch.name, spec);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn llama_includes_dp_heavy_config() {
+        let specs = paper_parallelisms(&models::llama3_70b(), 32);
+        assert!(specs.iter().any(|s| s.pp == 1 && !s.fsdp && s.dp >= 4), "{specs:?}");
+    }
+
+    #[test]
+    fn amd_models_are_30b_scale() {
+        for arch in amd_models() {
+            let p = arch.total_params() as f64;
+            assert!((25e9..35e9).contains(&p), "{}: {p:e}", arch.name);
+            assert!(!paper_parallelisms(&arch, 32).is_empty());
+        }
+    }
+
+    #[test]
+    fn optimization_variants_cover_the_four_labels() {
+        let job = TrainJob::pretrain(models::gpt3_175b());
+        let labels: Vec<String> =
+            optimization_variants(&job).iter().map(|j| j.optim.label()).collect();
+        assert_eq!(labels, vec!["Base", "cc", "act", "cc+act"]);
+    }
+
+    #[test]
+    fn single_node_preset() {
+        assert_eq!(single_hgx_node().num_gpus(), 8);
+    }
+}

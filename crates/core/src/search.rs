@@ -1,0 +1,177 @@
+//! Configuration search: the paper's closing recommendation — "strategy-
+//! aware, topology-conscious tuning of system parameters" — as an
+//! executable tool.
+//!
+//! [`search_configs`] enumerates every feasible parallelism configuration
+//! for a model × cluster pair, scores each with the fast analytic estimator
+//! ([`charllm_sim::analytic`]), and fully simulates the top candidates to
+//! produce a ranked list with power/thermal context.
+
+use serde::{Deserialize, Serialize};
+
+use charllm_hw::Cluster;
+use charllm_models::TrainJob;
+use charllm_parallel::enumerate::{valid_configs, EnumerateOptions};
+use charllm_parallel::{ParallelismSpec, Placement, PipelineSchedule, StagePartition};
+use charllm_sim::analytic::{estimate, AnalyticEstimate};
+use charllm_sim::SimConfig;
+use charllm_trace::{lower_train, DeviceHints};
+
+use crate::error::CoreError;
+use crate::experiment::Experiment;
+use crate::report::RunReport;
+
+/// What the search optimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Objective {
+    /// Maximize training throughput (tokens/s).
+    #[default]
+    Throughput,
+    /// Maximize energy efficiency (tokens/J).
+    Efficiency,
+}
+
+/// One scored candidate.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The configuration.
+    pub spec: ParallelismSpec,
+    /// The fast analytic screen.
+    pub analytic: AnalyticEstimate,
+    /// The full simulation report (only for finalists).
+    pub report: Option<RunReport>,
+}
+
+/// Search options.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchOptions {
+    /// Objective to rank by.
+    pub objective: Objective,
+    /// How many analytically screened candidates get a full simulation.
+    pub finalists: usize,
+    /// Simulator configuration for the finalists.
+    pub sim: SimConfig,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            objective: Objective::default(),
+            finalists: 3,
+            sim: SimConfig::default(),
+        }
+    }
+}
+
+/// Enumerate, screen and rank configurations for a job on a cluster.
+///
+/// Returns candidates sorted best-first: finalists (fully simulated and
+/// ranked by the objective) followed by the remaining screened candidates
+/// in analytic order.
+///
+/// # Errors
+///
+/// Propagates lowering/simulation errors for finalists; screening errors
+/// silently drop a candidate (infeasible corners are expected).
+pub fn search_configs(
+    job: &TrainJob,
+    cluster: &Cluster,
+    opts: SearchOptions,
+) -> Result<Vec<Candidate>, CoreError> {
+    let specs = valid_configs(job, cluster, EnumerateOptions::default());
+    let hints = DeviceHints::for_spec(cluster.gpu());
+    let mut screened: Vec<Candidate> = Vec::new();
+    for spec in specs {
+        let Ok(partition) = StagePartition::even(job.arch.num_layers, spec.pp) else {
+            continue;
+        };
+        let Ok(lowered) =
+            lower_train(job, &spec, PipelineSchedule::OneFOneB, &partition, &hints)
+        else {
+            continue;
+        };
+        let Ok(placement) = Placement::identity(cluster, spec.world()) else { continue };
+        let Ok(analytic) = estimate(cluster, &placement, &lowered.trace) else { continue };
+        screened.push(Candidate { spec, analytic, report: None });
+    }
+    // Analytic ranking (throughput; efficiency needs power, so the full
+    // simulation refines it among the finalists).
+    screened.sort_by(|a, b| {
+        b.analytic
+            .tokens_per_s
+            .partial_cmp(&a.analytic.tokens_per_s)
+            .expect("finite estimates")
+    });
+
+    let n = opts.finalists.min(screened.len());
+    for candidate in screened.iter_mut().take(n) {
+        let report = Experiment::builder()
+            .cluster(cluster.clone())
+            .job(job.clone())
+            .spec(candidate.spec)
+            .sim_config(opts.sim)
+            .run()?;
+        candidate.report = Some(report);
+    }
+    // Final ranking: simulated finalists by the objective, then the rest.
+    let metric = |c: &Candidate| -> f64 {
+        match (&c.report, opts.objective) {
+            (Some(r), Objective::Throughput) => r.tokens_per_s,
+            (Some(r), Objective::Efficiency) => r.tokens_per_joule * 1e9,
+            (None, _) => c.analytic.tokens_per_s * 1e-6,
+        }
+    };
+    screened.sort_by(|a, b| metric(b).partial_cmp(&metric(a)).expect("finite metrics"));
+    Ok(screened)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::single_hgx_node;
+    use charllm_models::presets as models;
+
+    #[test]
+    fn search_ranks_feasible_configs() {
+        let cluster = single_hgx_node();
+        let job = TrainJob::pretrain(models::gpt3_13b()).with_global_batch(8);
+        let opts = SearchOptions { finalists: 2, sim: SimConfig::fast(), ..Default::default() };
+        let ranked = search_configs(&job, &cluster, opts).unwrap();
+        assert!(ranked.len() >= 2, "expected several feasible configs");
+        // Finalists carry full reports and are sorted by the objective.
+        assert!(ranked[0].report.is_some());
+        assert!(ranked[1].report.is_some());
+        let a = ranked[0].report.as_ref().unwrap().tokens_per_s;
+        let b = ranked[1].report.as_ref().unwrap().tokens_per_s;
+        assert!(a >= b);
+    }
+
+    #[test]
+    fn efficiency_objective_uses_energy() {
+        let cluster = single_hgx_node();
+        let job = TrainJob::pretrain(models::gpt3_13b()).with_global_batch(8);
+        let opts = SearchOptions {
+            objective: Objective::Efficiency,
+            finalists: 2,
+            sim: SimConfig::fast(),
+        };
+        let ranked = search_configs(&job, &cluster, opts).unwrap();
+        let a = ranked[0].report.as_ref().unwrap().tokens_per_joule;
+        let b = ranked[1].report.as_ref().unwrap().tokens_per_joule;
+        assert!(a >= b);
+    }
+
+    #[test]
+    fn analytic_screen_orders_like_full_sim_for_extremes() {
+        // The screen must put a clearly bad config (pure DP-less deep TP on
+        // one node vs balanced) below a clearly good one.
+        let cluster = single_hgx_node();
+        let job = TrainJob::pretrain(models::gpt3_13b()).with_global_batch(8);
+        let opts = SearchOptions { finalists: 0, sim: SimConfig::fast(), ..Default::default() };
+        let ranked = search_configs(&job, &cluster, opts).unwrap();
+        assert!(!ranked.is_empty());
+        let first = ranked.first().unwrap().analytic.tokens_per_s;
+        let last = ranked.last().unwrap().analytic.tokens_per_s;
+        assert!(first >= last);
+    }
+}

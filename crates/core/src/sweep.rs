@@ -1,0 +1,188 @@
+//! Configuration sweeps: run many experiments and collect reports.
+
+use charllm_hw::Cluster;
+use charllm_models::TrainJob;
+use charllm_parallel::ParallelismSpec;
+use charllm_sim::SimConfig;
+
+use crate::error::CoreError;
+use crate::experiment::Experiment;
+use crate::report::RunReport;
+
+/// A cartesian sweep over parallelism specs, optimization variants and
+/// microbatch sizes for one model on one cluster.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    cluster: Cluster,
+    base_job: TrainJob,
+    specs: Vec<ParallelismSpec>,
+    jobs_per_spec: Vec<TrainJob>,
+    microbatches: Vec<usize>,
+    sim: SimConfig,
+    skip_failures: bool,
+}
+
+impl Sweep {
+    /// A sweep of `specs` for one job on a cluster.
+    pub fn new(cluster: Cluster, job: TrainJob, specs: Vec<ParallelismSpec>) -> Self {
+        Sweep {
+            cluster,
+            jobs_per_spec: vec![job.clone()],
+            base_job: job,
+            specs,
+            microbatches: vec![1],
+            sim: SimConfig::default(),
+            skip_failures: true,
+        }
+    }
+
+    /// Replace the job variants (e.g. the Base/cc/act/cc+act set).
+    pub fn with_job_variants(mut self, jobs: Vec<TrainJob>) -> Self {
+        self.jobs_per_spec = jobs;
+        self
+    }
+
+    /// Microbatch sizes to sweep.
+    pub fn with_microbatches(mut self, microbatches: Vec<usize>) -> Self {
+        self.microbatches = microbatches;
+        self
+    }
+
+    /// Simulator configuration for every run.
+    pub fn with_sim_config(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// Fail the whole sweep on the first error instead of skipping
+    /// infeasible points.
+    pub fn strict(mut self) -> Self {
+        self.skip_failures = false;
+        self
+    }
+
+    /// Execute every point of the sweep.
+    ///
+    /// # Errors
+    ///
+    /// In strict mode, the first point failure aborts the sweep; otherwise
+    /// failing points are skipped (infeasible geometry is expected when
+    /// sweeping broadly).
+    pub fn run(&self) -> Result<Vec<RunReport>, CoreError> {
+        let mut out = Vec::new();
+        for spec in &self.specs {
+            for job in &self.jobs_per_spec {
+                for &mb in &self.microbatches {
+                    let job = job.clone().with_microbatch(mb);
+                    let result = Experiment::builder()
+                        .cluster(self.cluster.clone())
+                        .job(job)
+                        .spec(*spec)
+                        .sim_config(self.sim)
+                        .run();
+                    match result {
+                        Ok(report) => out.push(report),
+                        Err(e) if self.skip_failures => {
+                            eprintln!("sweep: skipping {} ({e})", spec.label());
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The base job the sweep was constructed with.
+    pub fn base_job(&self) -> &TrainJob {
+        &self.base_job
+    }
+}
+
+/// The best report by a metric (higher is better).
+pub fn best_by<'a>(
+    reports: &'a [RunReport],
+    metric: impl Fn(&RunReport) -> f64,
+) -> Option<&'a RunReport> {
+    reports.iter().max_by(|a, b| {
+        metric(a).partial_cmp(&metric(b)).expect("metrics are finite")
+    })
+}
+
+/// Normalize a metric across reports to the best value (the paper's
+/// "efficiency normalized per model, best = 1").
+pub fn normalized<'a>(
+    reports: &'a [RunReport],
+    metric: impl Fn(&RunReport) -> f64 + 'a,
+) -> impl Iterator<Item = (&'a RunReport, f64)> + 'a {
+    let best = reports.iter().map(&metric).fold(f64::NEG_INFINITY, f64::max);
+    reports.iter().map(move |r| {
+        let v = metric(r);
+        (r, if best > 0.0 { v / best } else { 0.0 })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::single_hgx_node;
+    use charllm_models::presets as models;
+
+    #[test]
+    fn sweep_runs_multiple_specs() {
+        let job = TrainJob::pretrain(models::gpt3_13b()).with_global_batch(4);
+        let specs = vec![
+            ParallelismSpec::parse("TP2-PP2", 8).unwrap(),
+            ParallelismSpec::parse("TP4-PP2", 8).unwrap(),
+        ];
+        let reports = Sweep::new(single_hgx_node(), job, specs)
+            .with_sim_config(SimConfig::fast())
+            .run()
+            .unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_ne!(reports[0].parallelism, reports[1].parallelism);
+    }
+
+    #[test]
+    fn infeasible_points_skipped() {
+        let job = TrainJob::pretrain(models::gpt3_13b()).with_global_batch(4);
+        // PP=16 does not divide into 8 GPUs with TP2: invalid world.
+        let specs = vec![
+            ParallelismSpec::new(2, 16, 1, 1, false).unwrap(),
+            ParallelismSpec::parse("TP2-PP2", 8).unwrap(),
+        ];
+        let reports = Sweep::new(single_hgx_node(), job, specs)
+            .with_sim_config(SimConfig::fast())
+            .run()
+            .unwrap();
+        assert_eq!(reports.len(), 1, "bad point skipped, good one kept");
+    }
+
+    #[test]
+    fn strict_mode_propagates_errors() {
+        let job = TrainJob::pretrain(models::gpt3_13b()).with_global_batch(4);
+        let specs = vec![ParallelismSpec::new(2, 16, 1, 1, false).unwrap()];
+        let err = Sweep::new(single_hgx_node(), job, specs)
+            .with_sim_config(SimConfig::fast())
+            .strict()
+            .run();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn normalization_maps_best_to_one() {
+        let job = TrainJob::pretrain(models::gpt3_13b()).with_global_batch(4);
+        let specs = vec![
+            ParallelismSpec::parse("TP2-PP2", 8).unwrap(),
+            ParallelismSpec::parse("TP4-PP2", 8).unwrap(),
+        ];
+        let reports = Sweep::new(single_hgx_node(), job, specs)
+            .with_sim_config(SimConfig::fast())
+            .run()
+            .unwrap();
+        let values: Vec<f64> =
+            normalized(&reports, |r| r.tokens_per_joule).map(|(_, v)| v).collect();
+        assert!(values.iter().cloned().fold(0.0, f64::max) == 1.0);
+        assert!(values.iter().all(|&v| v > 0.0 && v <= 1.0));
+    }
+}

@@ -1,0 +1,272 @@
+//! Airflow and cooling geometry (Fig. 16 of the paper).
+//!
+//! Both evaluated server designs use front-to-back airflow: GPUs near the
+//! exhaust inhale air preheated by upstream devices, which is the root cause
+//! of the paper's persistent thermal imbalance (§6, Figs. 17–19).
+//!
+//! The model is a linear preheat matrix `W`: the inlet air temperature of
+//! GPU `i` is `ambient + Σ_j W[i][j] · P_j` where `P_j` is the instantaneous
+//! power of GPU `j` in the same node. Per-slot cooling efficiency multipliers
+//! capture residual differences in heatsink airflow.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::HwError;
+
+/// Airflow/cooling description of one node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AirflowLayout {
+    /// Ambient (cold-aisle) inlet temperature in °C.
+    pub ambient_c: f64,
+    /// Preheat coefficients in °C per watt: `preheat[i][j]` is the inlet
+    /// temperature rise at slot `i` per watt dissipated at slot `j`.
+    preheat: Vec<Vec<f64>>,
+    /// Per-slot thermal-resistance multiplier (1.0 = nominal cooling; >1.0 =
+    /// worse cooling). Indexed by local GPU slot.
+    cooling_factor: Vec<f64>,
+    /// Slots considered "rear" (near the exhaust) for reporting purposes.
+    rear_slots: Vec<usize>,
+}
+
+impl AirflowLayout {
+    /// Build a layout from an explicit preheat matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidNodeLayout`] if the matrix is not square or
+    /// the cooling-factor vector length does not match, or if any coefficient
+    /// is negative.
+    pub fn new(
+        ambient_c: f64,
+        preheat: Vec<Vec<f64>>,
+        cooling_factor: Vec<f64>,
+        rear_slots: Vec<usize>,
+    ) -> Result<Self, HwError> {
+        let n = preheat.len();
+        if preheat.iter().any(|row| row.len() != n) {
+            return Err(HwError::InvalidNodeLayout("preheat matrix must be square".into()));
+        }
+        if cooling_factor.len() != n {
+            return Err(HwError::InvalidNodeLayout(format!(
+                "cooling_factor has {} entries for {} slots",
+                cooling_factor.len(),
+                n
+            )));
+        }
+        if preheat.iter().flatten().any(|&w| w < 0.0) {
+            return Err(HwError::InvalidNodeLayout("preheat coefficients must be >= 0".into()));
+        }
+        if cooling_factor.iter().any(|&c| c <= 0.0) {
+            return Err(HwError::InvalidNodeLayout("cooling factors must be > 0".into()));
+        }
+        if rear_slots.iter().any(|&s| s >= n) {
+            return Err(HwError::InvalidNodeLayout("rear slot out of range".into()));
+        }
+        Ok(AirflowLayout { ambient_c, preheat, cooling_factor, rear_slots })
+    }
+
+    /// Uniform cooling with no preheating (useful for ablations that switch
+    /// the thermal-imbalance mechanism off).
+    pub fn uniform(num_slots: usize, ambient_c: f64) -> Self {
+        AirflowLayout {
+            ambient_c,
+            preheat: vec![vec![0.0; num_slots]; num_slots],
+            cooling_factor: vec![1.0; num_slots],
+            rear_slots: Vec::new(),
+        }
+    }
+
+    /// The HGX H100/H200 layout (Fig. 16a): 8 GPUs in two ranks of four with
+    /// front-to-back airflow. Device enumeration interleaves the rows (a
+    /// physical reality the paper's §6 placement exploits): even device IDs
+    /// (0, 2, 4, 6) sit at the intake, odd IDs (1, 3, 5, 7) directly
+    /// downstream of their even partner near the exhaust.
+    ///
+    /// Coefficients are calibrated so a fully loaded node (~650 W/GPU) shows
+    /// a rear-vs-front core-temperature gap of roughly 15–25 %, matching the
+    /// up-to-27 % differential of Fig. 17a.
+    pub fn hgx() -> Self {
+        let n = 8;
+        let mut w = vec![vec![0.0; n]; n];
+        for i in 0..4 {
+            let front = 2 * i;
+            let rear = 2 * i + 1;
+            // Rear device is directly downstream of its front partner.
+            w[rear][front] = 0.026;
+            // Mild lateral mixing with the neighbouring front devices.
+            if i > 0 {
+                w[rear][front - 2] = 0.005;
+            }
+            if i < 3 {
+                w[rear][front + 2] = 0.005;
+            }
+        }
+        // Slight self-recirculation at the rear of the chassis.
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    w[2 * i + 1][2 * j + 1] = 0.002;
+                }
+            }
+        }
+        // Rear heatsinks also see slightly lower mass flow.
+        let mut cooling = vec![1.0; n];
+        for (slot, c) in cooling.iter_mut().enumerate() {
+            if slot % 2 == 1 {
+                *c = 1.12;
+            }
+        }
+        AirflowLayout::new(26.0, w, cooling, vec![1, 3, 5, 7])
+            .expect("hgx layout is statically valid")
+    }
+
+    /// The MI250 layout (Fig. 16b): 4 packages per node, 2 GCDs each
+    /// (8 logical GPUs). Within a package the second GCD sits downstream of
+    /// the first (the paper's 5–10 °C intra-package skew, Fig. 18a);
+    /// packages 2 and 3 sit downstream of packages 0 and 1.
+    pub fn mi250() -> Self {
+        let n = 8;
+        let mut w = vec![vec![0.0; n]; n];
+        for pkg in 0..4 {
+            let a = 2 * pkg; // upstream GCD
+            let b = 2 * pkg + 1; // downstream GCD in same package
+            w[b][a] = 0.032; // ~8 C at 250 W
+            w[a][b] = 0.006; // package heat spreading
+        }
+        // Rear packages (2, 3) are downstream of front packages (0, 1).
+        for (front, rear) in [(0usize, 2usize), (1, 3)] {
+            for fg in 0..2 {
+                for rg in 0..2 {
+                    w[2 * rear + rg][2 * front + fg] = 0.012;
+                }
+            }
+        }
+        let mut cooling = vec![1.0; n];
+        for slot in 4..8 {
+            cooling[slot] = 1.05;
+        }
+        AirflowLayout::new(26.0, w, cooling, vec![4, 5, 6, 7])
+            .expect("mi250 layout is statically valid")
+    }
+
+    /// Number of GPU slots covered by the layout.
+    pub fn num_slots(&self) -> usize {
+        self.preheat.len()
+    }
+
+    /// Inlet temperature at `slot` given instantaneous per-slot power draw.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `powers_w.len()` differs from [`Self::num_slots`] or `slot`
+    /// is out of range.
+    pub fn inlet_temp_c(&self, slot: usize, powers_w: &[f64]) -> f64 {
+        assert_eq!(powers_w.len(), self.num_slots(), "power vector length mismatch");
+        let preheat: f64 = self.preheat[slot]
+            .iter()
+            .zip(powers_w)
+            .map(|(w, p)| w * p)
+            .sum();
+        self.ambient_c + preheat
+    }
+
+    /// Thermal-resistance multiplier for a slot (>= 1.0 means worse cooling).
+    pub fn cooling_factor(&self, slot: usize) -> f64 {
+        self.cooling_factor[slot]
+    }
+
+    /// Whether the slot is in the rear (exhaust) region.
+    pub fn is_rear(&self, slot: usize) -> bool {
+        self.rear_slots.contains(&slot)
+    }
+
+    /// Slots in the rear (exhaust) region.
+    pub fn rear_slots(&self) -> &[usize] {
+        &self.rear_slots
+    }
+
+    /// Slots in the front (intake) region.
+    pub fn front_slots(&self) -> Vec<usize> {
+        (0..self.num_slots()).filter(|s| !self.is_rear(*s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_layout_has_no_preheat() {
+        let a = AirflowLayout::uniform(8, 25.0);
+        let powers = vec![700.0; 8];
+        for slot in 0..8 {
+            assert_eq!(a.inlet_temp_c(slot, &powers), 25.0);
+        }
+    }
+
+    #[test]
+    fn hgx_rear_gpus_inhale_hotter_air() {
+        let a = AirflowLayout::hgx();
+        let powers = vec![650.0; 8];
+        let front = a.inlet_temp_c(0, &powers);
+        let rear = a.inlet_temp_c(1, &powers);
+        assert!(rear > front + 10.0, "front={front} rear={rear}");
+    }
+
+    #[test]
+    fn hgx_front_gpus_see_ambient() {
+        let a = AirflowLayout::hgx();
+        let powers = vec![650.0; 8];
+        assert_eq!(a.inlet_temp_c(0, &powers), a.ambient_c);
+        assert_eq!(a.inlet_temp_c(6, &powers), a.ambient_c);
+    }
+
+    #[test]
+    fn hgx_rear_slots_marked() {
+        let a = AirflowLayout::hgx();
+        assert_eq!(a.rear_slots(), &[1, 3, 5, 7]);
+        assert_eq!(a.front_slots(), vec![0, 2, 4, 6]);
+        assert!(a.is_rear(5));
+        assert!(!a.is_rear(2));
+    }
+
+    #[test]
+    fn mi250_intra_package_skew_is_5_to_10_c() {
+        // Paper: "5-10°C temperature skew observed across paired logical
+        // GPUs" (Fig 18a). At full per-GCD power the inlet difference alone
+        // should land in that band.
+        let a = AirflowLayout::mi250();
+        let powers = vec![250.0; 8];
+        for pkg in 0..4 {
+            let up = a.inlet_temp_c(2 * pkg, &powers);
+            let down = a.inlet_temp_c(2 * pkg + 1, &powers);
+            let skew = down - up;
+            assert!((4.0..=12.0).contains(&skew), "pkg {pkg} skew {skew}");
+        }
+    }
+
+    #[test]
+    fn invalid_layouts_rejected() {
+        assert!(AirflowLayout::new(25.0, vec![vec![0.0; 3]; 2], vec![1.0; 2], vec![]).is_err());
+        assert!(AirflowLayout::new(25.0, vec![vec![0.0; 2]; 2], vec![1.0; 3], vec![]).is_err());
+        assert!(
+            AirflowLayout::new(25.0, vec![vec![-0.1; 2]; 2], vec![1.0; 2], vec![]).is_err()
+        );
+        assert!(AirflowLayout::new(25.0, vec![vec![0.0; 2]; 2], vec![0.0; 2], vec![]).is_err());
+        assert!(AirflowLayout::new(25.0, vec![vec![0.0; 2]; 2], vec![1.0; 2], vec![5]).is_err());
+    }
+
+    #[test]
+    fn inlet_scales_with_upstream_power() {
+        let a = AirflowLayout::hgx();
+        let idle = vec![90.0; 8];
+        let busy = vec![650.0; 8];
+        assert!(a.inlet_temp_c(1, &busy) > a.inlet_temp_c(1, &idle));
+    }
+
+    #[test]
+    fn rear_cooling_is_worse() {
+        let a = AirflowLayout::hgx();
+        assert!(a.cooling_factor(1) > a.cooling_factor(0));
+    }
+}

@@ -1,0 +1,430 @@
+//! Whole-cluster topology: nodes, GPU indexing and routing.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::HwError;
+use crate::gpu::GpuSpec;
+use crate::link::{LinkId, LinkSpec};
+use crate::node::{FabricKind, NodeLayout};
+
+/// Global index of a GPU within a cluster (`node * gpus_per_node + slot`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GpuId(pub u32);
+
+impl GpuId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for GpuId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "gpu{}", self.0)
+    }
+}
+
+/// Index of a node within a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// A homogeneous GPU cluster: `num_nodes` identical [`NodeLayout`]s populated
+/// with one [`GpuSpec`], plus a flat table of every shared link.
+///
+/// The link table is the contract with the simulator: a transfer between two
+/// GPUs occupies every link on [`Cluster::route`] simultaneously, and
+/// concurrent transfers fair-share each link's bandwidth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    name: String,
+    gpu: GpuSpec,
+    node: NodeLayout,
+    num_nodes: usize,
+    links: Vec<LinkSpec>,
+    fabric_port_links: Vec<LinkId>,
+    pcie_links: Vec<LinkId>,
+    nic_links: Vec<LinkId>,
+    package_bus_links: Vec<Vec<LinkId>>,
+}
+
+impl Cluster {
+    /// Build a cluster of `num_nodes` copies of `node` populated with `gpu`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::EmptyCluster`] for zero nodes and propagates node
+    /// layout validation failures.
+    pub fn new(
+        name: impl Into<String>,
+        gpu: GpuSpec,
+        node: NodeLayout,
+        num_nodes: usize,
+    ) -> Result<Self, HwError> {
+        if num_nodes == 0 {
+            return Err(HwError::EmptyCluster);
+        }
+        node.validate()?;
+        let mut links = Vec::new();
+        let mut push = |spec: LinkSpec| {
+            let id = LinkId(links.len() as u32);
+            links.push(spec);
+            id
+        };
+        let g = node.gpus_per_node;
+        let mut fabric_port_links = Vec::with_capacity(num_nodes * g);
+        let mut pcie_links = Vec::with_capacity(num_nodes * g);
+        let mut nic_links = Vec::with_capacity(num_nodes);
+        let mut package_bus_links = Vec::with_capacity(num_nodes);
+        for _n in 0..num_nodes {
+            for _s in 0..g {
+                fabric_port_links.push(push(node.fabric_port.clone()));
+                pcie_links.push(push(node.pcie.clone()));
+            }
+            nic_links.push(push(node.nic.clone()));
+            let mut buses = Vec::new();
+            if let Some(bus) = &node.package_bus {
+                for _pkg in 0..node.packages.len() {
+                    buses.push(push(bus.clone()));
+                }
+            }
+            package_bus_links.push(buses);
+        }
+        Ok(Cluster {
+            name: name.into(),
+            gpu,
+            node,
+            num_nodes,
+            links,
+            fabric_port_links,
+            pcie_links,
+            nic_links,
+            package_bus_links,
+        })
+    }
+
+    /// Cluster display name (e.g. `"32xH200"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The GPU spec shared by every device.
+    pub fn gpu(&self) -> &GpuSpec {
+        &self.gpu
+    }
+
+    /// The node layout shared by every node.
+    pub fn node_layout(&self) -> &NodeLayout {
+        &self.node
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of GPUs per node.
+    pub fn gpus_per_node(&self) -> usize {
+        self.node.gpus_per_node
+    }
+
+    /// Total number of GPUs.
+    pub fn num_gpus(&self) -> usize {
+        self.num_nodes * self.node.gpus_per_node
+    }
+
+    /// Total number of shared links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Look up a link spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this cluster.
+    pub fn link(&self, id: LinkId) -> &LinkSpec {
+        &self.links[id.index()]
+    }
+
+    /// Iterate over `(LinkId, &LinkSpec)` pairs.
+    pub fn links(&self) -> impl Iterator<Item = (LinkId, &LinkSpec)> {
+        self.links.iter().enumerate().map(|(i, s)| (LinkId(i as u32), s))
+    }
+
+    /// The node a GPU belongs to.
+    pub fn node_of(&self, gpu: GpuId) -> NodeId {
+        NodeId((gpu.index() / self.node.gpus_per_node) as u32)
+    }
+
+    /// The local slot of a GPU within its node.
+    pub fn slot_of(&self, gpu: GpuId) -> usize {
+        gpu.index() % self.node.gpus_per_node
+    }
+
+    /// The GPU at `(node, slot)`.
+    pub fn gpu_at(&self, node: NodeId, slot: usize) -> GpuId {
+        GpuId((node.index() * self.node.gpus_per_node + slot) as u32)
+    }
+
+    /// Whether two GPUs share a node.
+    pub fn same_node(&self, a: GpuId, b: GpuId) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// Whether two GPUs share a physical package (always false across nodes;
+    /// only true within an MI250 package for the chiplet preset).
+    pub fn same_package(&self, a: GpuId, b: GpuId) -> bool {
+        self.same_node(a, b) && self.node.same_package(self.slot_of(a), self.slot_of(b))
+    }
+
+    /// Validate a GPU id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::GpuOutOfRange`] when the id exceeds the cluster.
+    pub fn check_gpu(&self, gpu: GpuId) -> Result<(), HwError> {
+        if gpu.index() >= self.num_gpus() {
+            Err(HwError::GpuOutOfRange { gpu: gpu.0, num_gpus: self.num_gpus() as u32 })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The GPU's fabric port link (NVLink or xGMI port).
+    pub fn fabric_port(&self, gpu: GpuId) -> LinkId {
+        self.fabric_port_links[gpu.index()]
+    }
+
+    /// The GPU's PCIe link to its host.
+    pub fn pcie(&self, gpu: GpuId) -> LinkId {
+        self.pcie_links[gpu.index()]
+    }
+
+    /// The node's NIC link.
+    pub fn nic(&self, node: NodeId) -> LinkId {
+        self.nic_links[node.index()]
+    }
+
+    /// The ordered list of shared links a transfer from `src` to `dst`
+    /// traverses. Empty when `src == dst` (on-device copy).
+    ///
+    /// Routing rules:
+    /// - intra-package (MI250): the package's xGMI bus;
+    /// - intra-node: the two endpoints' fabric ports (NVSwitch planes are
+    ///   non-blocking, so ports are the contention points);
+    /// - inter-node: source PCIe → source NIC → destination NIC →
+    ///   destination PCIe (the shared-NIC path whose contention §4.2
+    ///   analyzes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::GpuOutOfRange`] for ids outside the cluster.
+    pub fn route(&self, src: GpuId, dst: GpuId) -> Result<Vec<LinkId>, HwError> {
+        self.check_gpu(src)?;
+        self.check_gpu(dst)?;
+        if src == dst {
+            return Ok(Vec::new());
+        }
+        if self.same_node(src, dst) {
+            if self.node.fabric == FabricKind::Xgmi && self.same_package(src, dst) {
+                let node = self.node_of(src);
+                let pkg = self.node.package_of(self.slot_of(src));
+                return Ok(vec![self.package_bus_links[node.index()][pkg]]);
+            }
+            return Ok(vec![self.fabric_port(src), self.fabric_port(dst)]);
+        }
+        Ok(vec![
+            self.pcie(src),
+            self.nic(self.node_of(src)),
+            self.nic(self.node_of(dst)),
+            self.pcie(dst),
+        ])
+    }
+
+    /// Bottleneck bandwidth of a route in GB/s (`f64::INFINITY` for the
+    /// empty on-device route).
+    pub fn route_bottleneck_gbps(&self, route: &[LinkId]) -> f64 {
+        route
+            .iter()
+            .map(|id| self.link(*id).bw_gbps)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// End-to-end base latency of a route in microseconds (sum of link
+    /// latencies).
+    pub fn route_latency_us(&self, route: &[LinkId]) -> f64 {
+        route.iter().map(|id| self.link(*id).latency_us).sum()
+    }
+
+    /// Replace the NIC spec on every node (used by the §7.1 bandwidth
+    /// scaling study, e.g. swapping 100G for 800G InfiniBand).
+    pub fn with_nic(mut self, nic: LinkSpec) -> Self {
+        self.node.nic = nic.clone();
+        for id in &self.nic_links {
+            self.links[id.index()] = nic.clone();
+        }
+        self
+    }
+
+    /// Replace every node's airflow layout (used by the uniform-cooling
+    /// ablation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidNodeLayout`] if the layout's slot count
+    /// differs from the node's GPU count.
+    pub fn with_airflow(mut self, airflow: crate::AirflowLayout) -> Result<Self, HwError> {
+        if airflow.num_slots() != self.node.gpus_per_node {
+            return Err(HwError::InvalidNodeLayout(format!(
+                "airflow covers {} slots but node has {} gpus",
+                airflow.num_slots(),
+                self.node.gpus_per_node
+            )));
+        }
+        self.node.airflow = airflow;
+        Ok(self)
+    }
+
+    /// All GPU ids in index order.
+    pub fn gpus(&self) -> impl Iterator<Item = GpuId> {
+        (0..self.num_gpus() as u32).map(GpuId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::GpuModel;
+    use crate::link::LinkClass;
+
+    fn h200() -> Cluster {
+        Cluster::new("test-h200", GpuModel::H200.spec(), NodeLayout::hgx(), 4).unwrap()
+    }
+
+    fn mi250() -> Cluster {
+        Cluster::new("test-mi250", GpuModel::Mi250Gcd.spec(), NodeLayout::mi250(), 4).unwrap()
+    }
+
+    #[test]
+    fn indexing_roundtrip() {
+        let c = h200();
+        for gpu in c.gpus() {
+            let node = c.node_of(gpu);
+            let slot = c.slot_of(gpu);
+            assert_eq!(c.gpu_at(node, slot), gpu);
+        }
+    }
+
+    #[test]
+    fn intra_node_route_uses_fabric_ports() {
+        let c = h200();
+        let route = c.route(GpuId(0), GpuId(3)).unwrap();
+        assert_eq!(route.len(), 2);
+        for id in route {
+            assert_eq!(c.link(id).class, LinkClass::NvLink);
+        }
+    }
+
+    #[test]
+    fn inter_node_route_is_pcie_nic_nic_pcie() {
+        let c = h200();
+        let route = c.route(GpuId(0), GpuId(8)).unwrap();
+        let classes: Vec<_> = route.iter().map(|id| c.link(*id).class).collect();
+        assert_eq!(
+            classes,
+            vec![LinkClass::Pcie, LinkClass::Nic, LinkClass::Nic, LinkClass::Pcie]
+        );
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let c = h200();
+        assert!(c.route(GpuId(5), GpuId(5)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn mi250_intra_package_route_uses_bus() {
+        let c = mi250();
+        let route = c.route(GpuId(0), GpuId(1)).unwrap();
+        assert_eq!(route.len(), 1);
+        assert_eq!(c.link(route[0]).class, LinkClass::XgmiPackage);
+    }
+
+    #[test]
+    fn mi250_cross_package_route_uses_ports() {
+        let c = mi250();
+        let route = c.route(GpuId(0), GpuId(2)).unwrap();
+        assert_eq!(route.len(), 2);
+        for id in route {
+            assert_eq!(c.link(id).class, LinkClass::XgmiPort);
+        }
+    }
+
+    #[test]
+    fn nic_is_shared_within_node() {
+        let c = h200();
+        // Two different source GPUs on node 0 route through the same NIC.
+        let r1 = c.route(GpuId(0), GpuId(8)).unwrap();
+        let r2 = c.route(GpuId(1), GpuId(9)).unwrap();
+        assert_eq!(r1[1], r2[1], "both flows share node 0's NIC");
+        assert_ne!(r1[0], r2[0], "each GPU has its own PCIe link");
+    }
+
+    #[test]
+    fn bottleneck_of_inter_node_route_is_nic() {
+        let c = h200();
+        let route = c.route(GpuId(0), GpuId(8)).unwrap();
+        assert_eq!(c.route_bottleneck_gbps(&route), 12.5);
+    }
+
+    #[test]
+    fn with_nic_upgrades_every_node() {
+        let c = h200().with_nic(LinkSpec::ib_gbps(800.0));
+        let route = c.route(GpuId(0), GpuId(8)).unwrap();
+        assert_eq!(c.route_bottleneck_gbps(&route), 64.0);
+    }
+
+    #[test]
+    fn out_of_range_gpu_rejected() {
+        let c = h200();
+        assert!(matches!(
+            c.route(GpuId(0), GpuId(999)),
+            Err(HwError::GpuOutOfRange { gpu: 999, .. })
+        ));
+    }
+
+    #[test]
+    fn zero_nodes_rejected() {
+        assert!(matches!(
+            Cluster::new("x", GpuModel::H100.spec(), NodeLayout::hgx(), 0),
+            Err(HwError::EmptyCluster)
+        ));
+    }
+
+    #[test]
+    fn route_latency_sums_links() {
+        let c = h200();
+        let route = c.route(GpuId(0), GpuId(8)).unwrap();
+        let expect: f64 = route.iter().map(|id| c.link(*id).latency_us).sum();
+        assert_eq!(c.route_latency_us(&route), expect);
+    }
+
+    #[test]
+    fn same_package_cross_node_is_false() {
+        let c = mi250();
+        assert!(!c.same_package(GpuId(0), GpuId(8)));
+    }
+}

@@ -1,0 +1,65 @@
+//! Error types for hardware-model construction and queries.
+
+use std::fmt;
+
+/// Errors raised while building or querying hardware topologies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HwError {
+    /// A GPU index was out of range for the cluster.
+    GpuOutOfRange {
+        /// The offending global GPU index.
+        gpu: u32,
+        /// Number of GPUs in the cluster.
+        num_gpus: u32,
+    },
+    /// A node index was out of range for the cluster.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: u32,
+        /// Number of nodes in the cluster.
+        num_nodes: u32,
+    },
+    /// A node layout was internally inconsistent (e.g. preheat matrix of the
+    /// wrong dimension, or a package referencing a missing GPU slot).
+    InvalidNodeLayout(String),
+    /// A cluster was built with zero nodes or zero GPUs per node.
+    EmptyCluster,
+}
+
+impl fmt::Display for HwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwError::GpuOutOfRange { gpu, num_gpus } => {
+                write!(f, "gpu index {gpu} out of range for cluster with {num_gpus} gpus")
+            }
+            HwError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node index {node} out of range for cluster with {num_nodes} nodes")
+            }
+            HwError::InvalidNodeLayout(msg) => write!(f, "invalid node layout: {msg}"),
+            HwError::EmptyCluster => write!(f, "cluster must have at least one node and one gpu"),
+        }
+    }
+}
+
+impl std::error::Error for HwError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = HwError::GpuOutOfRange { gpu: 99, num_gpus: 32 };
+        let s = e.to_string();
+        assert!(s.contains("99"));
+        assert!(s.contains("32"));
+        assert_eq!(s, s.to_lowercase());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HwError>();
+    }
+}

@@ -1,0 +1,217 @@
+//! GPU device specifications.
+//!
+//! Specs follow Table 3 of the paper plus public datasheet values for the
+//! quantities the paper's telemetry depends on (clock ranges, thermal
+//! envelopes, HBM bandwidth). For the chiplet-based MI250, a "GPU" in this
+//! crate is one *GCD* (Graphics Compute Die) — the paper's "8 logical GPUs
+//! per node".
+
+use serde::{Deserialize, Serialize};
+
+/// GPU silicon vendor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Vendor {
+    /// NVIDIA (monolithic Hopper dies in this study).
+    Nvidia,
+    /// AMD (chiplet-based CDNA2 in this study).
+    Amd,
+}
+
+/// The GPU models evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GpuModel {
+    /// NVIDIA H100 SXM (80 GB HBM3, 1.0 PFLOPS FP16/BF16, 700 W).
+    H100,
+    /// NVIDIA H200 SXM (141 GB HBM3e, 1.0 PFLOPS FP16/BF16, 700 W).
+    H200,
+    /// One GCD of an AMD MI250 (64 GB HBM2e, 0.18 PFLOPS FP16, 250 W).
+    Mi250Gcd,
+}
+
+impl GpuModel {
+    /// The full device specification for this model.
+    ///
+    /// ```
+    /// use charllm_hw::GpuModel;
+    /// let h200 = GpuModel::H200.spec();
+    /// assert_eq!(h200.memory_bytes, 141 * (1u64 << 30));
+    /// ```
+    pub fn spec(self) -> GpuSpec {
+        match self {
+            GpuModel::H100 => GpuSpec {
+                name: "NVIDIA H100".to_string(),
+                model: self,
+                vendor: Vendor::Nvidia,
+                memory_bytes: 80 * (1u64 << 30),
+                peak_fp16_flops: 1.0e15,
+                hbm_bw_gbps: 3350.0,
+                tdp_w: 700.0,
+                idle_w: 90.0,
+                boost_clock_mhz: 1980.0,
+                base_clock_mhz: 1590.0,
+                min_clock_mhz: 345.0,
+                throttle_temp_c: 83.0,
+                slowdown_temp_c: 87.0,
+                max_temp_c: 92.0,
+            },
+            GpuModel::H200 => GpuSpec {
+                name: "NVIDIA H200".to_string(),
+                model: self,
+                vendor: Vendor::Nvidia,
+                memory_bytes: 141 * (1u64 << 30),
+                peak_fp16_flops: 1.0e15,
+                hbm_bw_gbps: 4800.0,
+                tdp_w: 700.0,
+                idle_w: 95.0,
+                boost_clock_mhz: 1980.0,
+                base_clock_mhz: 1590.0,
+                min_clock_mhz: 345.0,
+                throttle_temp_c: 83.0,
+                slowdown_temp_c: 87.0,
+                max_temp_c: 92.0,
+            },
+            GpuModel::Mi250Gcd => GpuSpec {
+                name: "AMD MI250 GCD".to_string(),
+                model: self,
+                vendor: Vendor::Amd,
+                memory_bytes: 64 * (1u64 << 30),
+                peak_fp16_flops: 0.18e15,
+                hbm_bw_gbps: 1638.0,
+                tdp_w: 250.0,
+                idle_w: 45.0,
+                boost_clock_mhz: 1700.0,
+                base_clock_mhz: 1400.0,
+                min_clock_mhz: 500.0,
+                throttle_temp_c: 85.0,
+                slowdown_temp_c: 90.0,
+                max_temp_c: 95.0,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for GpuModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GpuModel::H100 => write!(f, "H100"),
+            GpuModel::H200 => write!(f, "H200"),
+            GpuModel::Mi250Gcd => write!(f, "MI250-GCD"),
+        }
+    }
+}
+
+/// Full specification of one GPU device (one GCD for chiplet parts).
+///
+/// All power values are board-level watts attributable to this device; for
+/// the MI250 the 500 W package TDP is split evenly between its two GCDs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Human-readable device name.
+    pub name: String,
+    /// Which model this spec describes.
+    pub model: GpuModel,
+    /// Silicon vendor.
+    pub vendor: Vendor,
+    /// HBM capacity in bytes.
+    pub memory_bytes: u64,
+    /// Peak dense FP16/BF16 throughput in FLOP/s at boost clock.
+    pub peak_fp16_flops: f64,
+    /// HBM bandwidth in GB/s.
+    pub hbm_bw_gbps: f64,
+    /// Thermal design power (sustained power cap) in watts.
+    pub tdp_w: f64,
+    /// Idle power draw in watts.
+    pub idle_w: f64,
+    /// Maximum boost clock in MHz (frequency at which peak FLOP/s holds).
+    pub boost_clock_mhz: f64,
+    /// Guaranteed base clock in MHz.
+    pub base_clock_mhz: f64,
+    /// Minimum clock the DVFS governor will throttle down to, in MHz.
+    pub min_clock_mhz: f64,
+    /// Core temperature at which thermal throttling begins (°C).
+    pub throttle_temp_c: f64,
+    /// Temperature of aggressive hardware slowdown (°C).
+    pub slowdown_temp_c: f64,
+    /// Shutdown/maximum junction temperature (°C).
+    pub max_temp_c: f64,
+}
+
+impl GpuSpec {
+    /// Peak FLOP/s at an arbitrary core clock (linear in frequency).
+    ///
+    /// ```
+    /// use charllm_hw::GpuModel;
+    /// let s = GpuModel::H100.spec();
+    /// let half = s.flops_at_clock(s.boost_clock_mhz / 2.0);
+    /// assert!((half - s.peak_fp16_flops / 2.0).abs() < 1.0);
+    /// ```
+    pub fn flops_at_clock(&self, clock_mhz: f64) -> f64 {
+        self.peak_fp16_flops * (clock_mhz / self.boost_clock_mhz)
+    }
+
+    /// Memory capacity in GiB, for display.
+    pub fn memory_gib(&self) -> f64 {
+        self.memory_bytes as f64 / (1u64 << 30) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_memory_capacities() {
+        assert_eq!(GpuModel::H200.spec().memory_gib(), 141.0);
+        assert_eq!(GpuModel::H100.spec().memory_gib(), 80.0);
+        assert_eq!(GpuModel::Mi250Gcd.spec().memory_gib(), 64.0);
+    }
+
+    #[test]
+    fn table3_peak_flops() {
+        assert_eq!(GpuModel::H200.spec().peak_fp16_flops, 1.0e15);
+        assert_eq!(GpuModel::H100.spec().peak_fp16_flops, 1.0e15);
+        // Paper lists 0.36 PFLOPS x2 per MI250 package => 0.18 per GCD.
+        assert_eq!(GpuModel::Mi250Gcd.spec().peak_fp16_flops, 0.18e15);
+    }
+
+    #[test]
+    fn table3_tdp() {
+        assert_eq!(GpuModel::H200.spec().tdp_w, 700.0);
+        assert_eq!(GpuModel::H100.spec().tdp_w, 700.0);
+        // 500 W package split across two GCDs.
+        assert_eq!(GpuModel::Mi250Gcd.spec().tdp_w, 250.0);
+    }
+
+    #[test]
+    fn h200_has_more_memory_than_h100_by_1_76x() {
+        // The paper repeatedly cites H200's 1.76x larger memory.
+        let ratio = GpuModel::H200.spec().memory_bytes as f64
+            / GpuModel::H100.spec().memory_bytes as f64;
+        assert!((ratio - 1.7625).abs() < 0.01, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn flops_scale_linearly_with_clock() {
+        let s = GpuModel::Mi250Gcd.spec();
+        assert!(s.flops_at_clock(s.boost_clock_mhz) - s.peak_fp16_flops < 1.0);
+        assert!(s.flops_at_clock(0.0) == 0.0);
+    }
+
+    #[test]
+    fn clock_ordering_is_sane() {
+        for m in [GpuModel::H100, GpuModel::H200, GpuModel::Mi250Gcd] {
+            let s = m.spec();
+            assert!(s.min_clock_mhz < s.base_clock_mhz);
+            assert!(s.base_clock_mhz < s.boost_clock_mhz);
+            assert!(s.throttle_temp_c < s.slowdown_temp_c);
+            assert!(s.slowdown_temp_c < s.max_temp_c);
+            assert!(s.idle_w < s.tdp_w);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(GpuModel::H200.to_string(), "H200");
+        assert_eq!(GpuModel::Mi250Gcd.to_string(), "MI250-GCD");
+    }
+}

@@ -1,0 +1,43 @@
+//! Hardware models for the CharLLM-PPT reproduction.
+//!
+//! This crate describes the *physical* substrate the paper measures on:
+//! GPU devices (NVIDIA H100/H200, AMD MI250 with its chiplet GCDs), the
+//! interconnect fabric (NVLink/NVSwitch, xGMI, PCIe, InfiniBand NICs), node
+//! airflow geometry (front-to-back cooling with rear-GPU preheating), and
+//! whole-cluster topologies.
+//!
+//! The three evaluated clusters of the paper (Table 3) are available as
+//! presets:
+//!
+//! ```
+//! use charllm_hw::presets;
+//!
+//! let h200 = presets::hgx_h200_cluster();   // 4 nodes x 8 H200 (scale-up)
+//! let h100 = presets::hgx_h100_cluster();   // 8 nodes x 8 H100 (scale-out)
+//! let mi250 = presets::mi250_cluster();     // 4 nodes x 4 MI250 (8 GCDs)
+//! assert_eq!(h200.num_gpus(), 32);
+//! assert_eq!(h100.num_gpus(), 64);
+//! assert_eq!(mi250.num_gpus(), 32);
+//! ```
+//!
+//! Topology is exposed through [`Cluster::route`], which returns the ordered
+//! list of shared [`LinkId`]s a transfer between two GPUs traverses. The
+//! simulator crate turns those links into contended, fair-shared resources.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod airflow;
+pub mod cluster;
+pub mod error;
+pub mod gpu;
+pub mod link;
+pub mod node;
+pub mod presets;
+
+pub use airflow::AirflowLayout;
+pub use cluster::{Cluster, GpuId, NodeId};
+pub use error::HwError;
+pub use gpu::{GpuModel, GpuSpec, Vendor};
+pub use link::{LinkClass, LinkId, LinkSpec};
+pub use node::{FabricKind, NodeLayout};

@@ -1,0 +1,216 @@
+//! Interconnect link models.
+//!
+//! Every shared transmission resource in a cluster is a [`LinkSpec`]: a GPU's
+//! NVLink/xGMI fabric port, its PCIe lanes to the host, the per-package xGMI
+//! bus inside an MI250, and the per-node InfiniBand NIC. Transfers consume
+//! bandwidth on every link along their route, which is how the simulator
+//! reproduces the paper's PCIe/NIC contention effects (§4.2).
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a link within a [`crate::Cluster`]'s link table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    /// The raw table index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for LinkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "link{}", self.0)
+    }
+}
+
+/// The functional class of a link, used for traffic accounting (Fig. 5) and
+/// for the message-efficiency model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkClass {
+    /// A GPU's NVLink port into the node's NVSwitch fabric.
+    NvLink,
+    /// Intra-package xGMI between the two GCDs of one MI250.
+    XgmiPackage,
+    /// A GCD's inter-package xGMI port within a node.
+    XgmiPort,
+    /// A GPU's PCIe connection to the host (traversed by inter-node traffic).
+    Pcie,
+    /// A node's InfiniBand NIC (shared by all GPUs of the node).
+    Nic,
+}
+
+impl LinkClass {
+    /// Whether traffic on this class counts as "PCIe traffic" in the paper's
+    /// telemetry (NVML reports PCIe counters; inter-node traffic shows up
+    /// there because it is staged over PCIe to the NIC).
+    pub fn counts_as_pcie(self) -> bool {
+        matches!(self, LinkClass::Pcie | LinkClass::Nic)
+    }
+
+    /// Whether this class is internal to a node.
+    pub fn is_intra_node(self) -> bool {
+        !matches!(self, LinkClass::Nic)
+    }
+}
+
+impl std::fmt::Display for LinkClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            LinkClass::NvLink => "nvlink",
+            LinkClass::XgmiPackage => "xgmi-pkg",
+            LinkClass::XgmiPort => "xgmi",
+            LinkClass::Pcie => "pcie",
+            LinkClass::Nic => "nic",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A shared transmission resource.
+///
+/// Bandwidth is per direction; the simulator fair-shares it among concurrent
+/// flows. `latency_us` is the base propagation/handshake latency per message
+/// and `per_message_us` models per-message software/DMA overhead — the term
+/// that makes many small unchunked SendRecv messages underutilize bandwidth
+/// (the paper's TP+PP inefficiency, §4.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Functional class.
+    pub class: LinkClass,
+    /// Peak bandwidth per direction in GB/s (1e9 bytes/s).
+    pub bw_gbps: f64,
+    /// Base message latency in microseconds.
+    pub latency_us: f64,
+    /// Additional fixed overhead per message in microseconds.
+    pub per_message_us: f64,
+}
+
+impl LinkSpec {
+    /// Construct a link of a class with explicit bandwidth/latency.
+    pub fn new(class: LinkClass, bw_gbps: f64, latency_us: f64, per_message_us: f64) -> Self {
+        LinkSpec { class, bw_gbps, latency_us, per_message_us }
+    }
+
+    /// NVLink 4 port via NVSwitch: 450 GB/s per direction.
+    pub fn nvlink4() -> Self {
+        LinkSpec::new(LinkClass::NvLink, 450.0, 2.0, 1.5)
+    }
+
+    /// Intra-package xGMI between MI250 GCDs: ~400 GB/s aggregate.
+    pub fn xgmi_package() -> Self {
+        LinkSpec::new(LinkClass::XgmiPackage, 400.0, 2.0, 1.5)
+    }
+
+    /// Inter-package xGMI port of one GCD: ~64 GB/s.
+    pub fn xgmi_port() -> Self {
+        LinkSpec::new(LinkClass::XgmiPort, 64.0, 2.5, 2.0)
+    }
+
+    /// PCIe Gen5 x16: 64 GB/s per direction (H100/H200 hosts).
+    pub fn pcie_gen5() -> Self {
+        LinkSpec::new(LinkClass::Pcie, 64.0, 5.0, 3.0)
+    }
+
+    /// PCIe Gen4 x16: 32 GB/s per direction (MI250 hosts).
+    pub fn pcie_gen4() -> Self {
+        LinkSpec::new(LinkClass::Pcie, 32.0, 5.0, 3.0)
+    }
+
+    /// 100 Gbps InfiniBand NIC: 12.5 GB/s, shared per node.
+    pub fn ib_100g() -> Self {
+        LinkSpec::new(LinkClass::Nic, 12.5, 8.0, 5.0)
+    }
+
+    /// InfiniBand NIC at an arbitrary line rate in Gbps (e.g. 800 for the
+    /// §7.1 bandwidth-scaling projection).
+    pub fn ib_gbps(gbps: f64) -> Self {
+        LinkSpec::new(LinkClass::Nic, gbps / 8.0, 8.0, 5.0)
+    }
+
+    /// Time in seconds for a single message of `bytes` to traverse this link
+    /// alone (no contention): latency + overhead + serialization.
+    ///
+    /// ```
+    /// use charllm_hw::LinkSpec;
+    /// let nic = LinkSpec::ib_100g();
+    /// let t = nic.message_time_s(12_500_000_000.0); // 12.5 GB at 12.5 GB/s
+    /// assert!(t > 1.0 && t < 1.01);
+    /// ```
+    pub fn message_time_s(&self, bytes: f64) -> f64 {
+        (self.latency_us + self.per_message_us) * 1e-6 + bytes / (self.bw_gbps * 1e9)
+    }
+
+    /// Effective bandwidth (GB/s) achieved by back-to-back messages of a
+    /// given size: small messages are dominated by per-message overhead.
+    ///
+    /// This is the mechanism behind the paper's observation that sparse,
+    /// unchunked SendRecv calls underutilize PCIe bandwidth.
+    pub fn effective_bw_gbps(&self, message_bytes: f64) -> f64 {
+        if message_bytes <= 0.0 {
+            return 0.0;
+        }
+        message_bytes / self.message_time_s(message_bytes) / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_pcie_accounting() {
+        assert!(LinkClass::Pcie.counts_as_pcie());
+        assert!(LinkClass::Nic.counts_as_pcie());
+        assert!(!LinkClass::NvLink.counts_as_pcie());
+        assert!(!LinkClass::XgmiPackage.counts_as_pcie());
+    }
+
+    #[test]
+    fn nic_is_inter_node_only() {
+        assert!(!LinkClass::Nic.is_intra_node());
+        assert!(LinkClass::Pcie.is_intra_node());
+        assert!(LinkClass::NvLink.is_intra_node());
+    }
+
+    #[test]
+    fn table3_inter_node_is_100gbps() {
+        let nic = LinkSpec::ib_100g();
+        assert_eq!(nic.bw_gbps, 12.5);
+        assert_eq!(LinkSpec::ib_gbps(100.0).bw_gbps, 12.5);
+        assert_eq!(LinkSpec::ib_gbps(800.0).bw_gbps, 100.0);
+    }
+
+    #[test]
+    fn small_messages_underutilize_bandwidth() {
+        let pcie = LinkSpec::pcie_gen5();
+        let small = pcie.effective_bw_gbps(64.0 * 1024.0); // 64 KiB
+        let large = pcie.effective_bw_gbps(256.0 * 1024.0 * 1024.0); // 256 MiB
+        assert!(small < 0.25 * pcie.bw_gbps, "small msg eff bw = {small} GB/s");
+        assert!(large > 0.95 * pcie.bw_gbps, "large msg eff bw = {large} GB/s");
+    }
+
+    #[test]
+    fn effective_bw_is_monotone_in_message_size() {
+        let link = LinkSpec::nvlink4();
+        let mut prev = 0.0;
+        for exp in 10..32 {
+            let bw = link.effective_bw_gbps((1u64 << exp) as f64);
+            assert!(bw >= prev);
+            prev = bw;
+        }
+    }
+
+    #[test]
+    fn zero_bytes_has_zero_effective_bw() {
+        assert_eq!(LinkSpec::nvlink4().effective_bw_gbps(0.0), 0.0);
+    }
+
+    #[test]
+    fn message_time_includes_latency() {
+        let link = LinkSpec::new(LinkClass::NvLink, 100.0, 10.0, 0.0);
+        // 0-byte message still pays 10us.
+        assert!((link.message_time_s(0.0) - 10e-6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,219 @@
+//! Node (server) layout: GPUs, intra-node fabric and packaging.
+
+use serde::{Deserialize, Serialize};
+
+use crate::airflow::AirflowLayout;
+use crate::error::HwError;
+use crate::link::LinkSpec;
+
+/// The kind of intra-node GPU fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FabricKind {
+    /// NVLink ports into a non-blocking NVSwitch plane (HGX systems).
+    NvSwitch,
+    /// AMD xGMI: a fast intra-package hop plus lower-bandwidth inter-package
+    /// ports (chiplet MI250 systems).
+    Xgmi,
+}
+
+/// Layout of one server node.
+///
+/// All nodes of a [`crate::Cluster`] share the same layout; per-GPU silicon
+/// variability is applied downstream by the thermal crate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeLayout {
+    /// Number of logical GPUs (GCDs for MI250) in the node.
+    pub gpus_per_node: usize,
+    /// Fabric connecting GPUs inside the node.
+    pub fabric: FabricKind,
+    /// Grouping of local GPU slots into physical packages. For monolithic
+    /// GPUs every package holds one slot; for MI250 each holds two GCDs.
+    pub packages: Vec<Vec<usize>>,
+    /// Fabric port link spec for each GPU (NVLink port or xGMI port).
+    pub fabric_port: LinkSpec,
+    /// Intra-package bus spec (MI250 only; ignored for NvSwitch fabrics).
+    pub package_bus: Option<LinkSpec>,
+    /// PCIe link of each GPU to the host.
+    pub pcie: LinkSpec,
+    /// The node's NIC to the inter-node fabric.
+    pub nic: LinkSpec,
+    /// Airflow/cooling geometry.
+    pub airflow: AirflowLayout,
+}
+
+impl NodeLayout {
+    /// Validate internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidNodeLayout`] when package membership does
+    /// not partition the GPU slots or the airflow layout covers a different
+    /// number of slots.
+    pub fn validate(&self) -> Result<(), HwError> {
+        if self.gpus_per_node == 0 {
+            return Err(HwError::InvalidNodeLayout("node must have at least one gpu".into()));
+        }
+        let mut seen = vec![false; self.gpus_per_node];
+        for pkg in &self.packages {
+            for &slot in pkg {
+                if slot >= self.gpus_per_node {
+                    return Err(HwError::InvalidNodeLayout(format!(
+                        "package references slot {slot} but node has {} gpus",
+                        self.gpus_per_node
+                    )));
+                }
+                if seen[slot] {
+                    return Err(HwError::InvalidNodeLayout(format!(
+                        "slot {slot} appears in more than one package"
+                    )));
+                }
+                seen[slot] = true;
+            }
+        }
+        if seen.iter().any(|s| !s) {
+            return Err(HwError::InvalidNodeLayout(
+                "every gpu slot must belong to a package".into(),
+            ));
+        }
+        if self.airflow.num_slots() != self.gpus_per_node {
+            return Err(HwError::InvalidNodeLayout(format!(
+                "airflow covers {} slots but node has {} gpus",
+                self.airflow.num_slots(),
+                self.gpus_per_node
+            )));
+        }
+        if self.fabric == FabricKind::Xgmi && self.package_bus.is_none() {
+            return Err(HwError::InvalidNodeLayout(
+                "xgmi fabric requires a package bus spec".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The package index a local GPU slot belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is not covered by any package (prevented by
+    /// [`Self::validate`]).
+    pub fn package_of(&self, slot: usize) -> usize {
+        self.packages
+            .iter()
+            .position(|pkg| pkg.contains(&slot))
+            .expect("validated layout covers every slot")
+    }
+
+    /// Whether two local slots share a physical package.
+    pub fn same_package(&self, a: usize, b: usize) -> bool {
+        self.package_of(a) == self.package_of(b)
+    }
+
+    /// An HGX-style node: 8 monolithic GPUs on NVSwitch.
+    pub fn hgx() -> Self {
+        NodeLayout {
+            gpus_per_node: 8,
+            fabric: FabricKind::NvSwitch,
+            packages: (0..8).map(|s| vec![s]).collect(),
+            fabric_port: LinkSpec::nvlink4(),
+            package_bus: None,
+            pcie: LinkSpec::pcie_gen5(),
+            nic: LinkSpec::ib_100g(),
+            airflow: AirflowLayout::hgx(),
+        }
+    }
+
+    /// An MI250 node: 4 packages x 2 GCDs on xGMI.
+    pub fn mi250() -> Self {
+        NodeLayout {
+            gpus_per_node: 8,
+            fabric: FabricKind::Xgmi,
+            packages: (0..4).map(|p| vec![2 * p, 2 * p + 1]).collect(),
+            fabric_port: LinkSpec::xgmi_port(),
+            package_bus: Some(LinkSpec::xgmi_package()),
+            pcie: LinkSpec::pcie_gen4(),
+            nic: LinkSpec::ib_100g(),
+            airflow: AirflowLayout::mi250(),
+        }
+    }
+
+    /// A single-GPU node (used for the paper's 1-GPU-per-node ablation of
+    /// Fig. 8, which removes PCIe/NIC sharing).
+    pub fn single_gpu_hgx() -> Self {
+        NodeLayout {
+            gpus_per_node: 1,
+            fabric: FabricKind::NvSwitch,
+            packages: vec![vec![0]],
+            fabric_port: LinkSpec::nvlink4(),
+            package_bus: None,
+            pcie: LinkSpec::pcie_gen5(),
+            nic: LinkSpec::ib_100g(),
+            airflow: AirflowLayout::uniform(1, 26.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_layouts_validate() {
+        NodeLayout::hgx().validate().unwrap();
+        NodeLayout::mi250().validate().unwrap();
+        NodeLayout::single_gpu_hgx().validate().unwrap();
+    }
+
+    #[test]
+    fn mi250_packages_pair_gcds() {
+        let n = NodeLayout::mi250();
+        assert!(n.same_package(0, 1));
+        assert!(n.same_package(6, 7));
+        assert!(!n.same_package(1, 2));
+        assert_eq!(n.package_of(5), 2);
+    }
+
+    #[test]
+    fn hgx_every_gpu_its_own_package() {
+        let n = NodeLayout::hgx();
+        for s in 0..8 {
+            assert_eq!(n.package_of(s), s);
+        }
+        assert!(!n.same_package(0, 1));
+    }
+
+    #[test]
+    fn overlapping_packages_rejected() {
+        let mut n = NodeLayout::hgx();
+        n.packages = vec![vec![0, 1], vec![1, 2], vec![3], vec![4], vec![5], vec![6], vec![7]];
+        assert!(n.validate().is_err());
+    }
+
+    #[test]
+    fn uncovered_slot_rejected() {
+        let mut n = NodeLayout::hgx();
+        n.packages.pop();
+        assert!(n.validate().is_err());
+    }
+
+    #[test]
+    fn airflow_dimension_mismatch_rejected() {
+        let mut n = NodeLayout::hgx();
+        n.airflow = AirflowLayout::uniform(4, 25.0);
+        assert!(n.validate().is_err());
+    }
+
+    #[test]
+    fn xgmi_requires_package_bus() {
+        let mut n = NodeLayout::mi250();
+        n.package_bus = None;
+        assert!(n.validate().is_err());
+    }
+
+    #[test]
+    fn zero_gpu_node_rejected() {
+        let mut n = NodeLayout::hgx();
+        n.gpus_per_node = 0;
+        n.packages.clear();
+        assert!(n.validate().is_err());
+    }
+}

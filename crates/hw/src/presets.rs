@@ -1,0 +1,122 @@
+//! The evaluated cluster configurations (Table 3) plus ablation variants.
+
+use crate::cluster::Cluster;
+use crate::gpu::GpuModel;
+use crate::link::LinkSpec;
+use crate::node::NodeLayout;
+
+/// The paper's HGX H200 scale-up cluster: 4 nodes x 8 H200 (32 GPUs).
+pub fn hgx_h200_cluster() -> Cluster {
+    hgx_h200_with_nodes(4)
+}
+
+/// An HGX H200 cluster with an arbitrary node count (scaling studies).
+pub fn hgx_h200_with_nodes(nodes: usize) -> Cluster {
+    Cluster::new(
+        format!("{}xH200", nodes * 8),
+        GpuModel::H200.spec(),
+        NodeLayout::hgx(),
+        nodes,
+    )
+    .expect("preset cluster is statically valid")
+}
+
+/// The paper's HGX H100 scale-out cluster: 8 nodes x 8 H100 (64 GPUs).
+pub fn hgx_h100_cluster() -> Cluster {
+    hgx_h100_with_nodes(8)
+}
+
+/// An HGX H100 cluster with an arbitrary node count (scaling studies).
+pub fn hgx_h100_with_nodes(nodes: usize) -> Cluster {
+    Cluster::new(
+        format!("{}xH100", nodes * 8),
+        GpuModel::H100.spec(),
+        NodeLayout::hgx(),
+        nodes,
+    )
+    .expect("preset cluster is statically valid")
+}
+
+/// The paper's AMD cluster: 4 nodes x 4 MI250 packages = 32 logical GCDs.
+pub fn mi250_cluster() -> Cluster {
+    Cluster::new("32xMI250-GCD", GpuModel::Mi250Gcd.spec(), NodeLayout::mi250(), 4)
+        .expect("preset cluster is statically valid")
+}
+
+/// The balanced-interconnect ablation of Fig. 8: four nodes with a single
+/// H200 each, removing PCIe/NIC sharing between GPUs.
+pub fn single_gpu_per_node_cluster(nodes: usize) -> Cluster {
+    Cluster::new(
+        format!("{nodes}x1xH200"),
+        GpuModel::H200.spec(),
+        NodeLayout::single_gpu_hgx(),
+        nodes,
+    )
+    .expect("preset cluster is statically valid")
+}
+
+/// An H200 cluster with the NIC line rate replaced (e.g. 800 Gbps for the
+/// §7.1 bandwidth scaling projection).
+pub fn hgx_h200_with_ib_gbps(nodes: usize, gbps: f64) -> Cluster {
+    hgx_h200_with_nodes(nodes).with_nic(LinkSpec::ib_gbps(gbps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkClass;
+
+    #[test]
+    fn table3_cluster_sizes() {
+        assert_eq!(hgx_h200_cluster().num_gpus(), 32);
+        assert_eq!(hgx_h200_cluster().num_nodes(), 4);
+        assert_eq!(hgx_h100_cluster().num_gpus(), 64);
+        assert_eq!(hgx_h100_cluster().num_nodes(), 8);
+        assert_eq!(mi250_cluster().num_gpus(), 32);
+        assert_eq!(mi250_cluster().num_nodes(), 4);
+    }
+
+    #[test]
+    fn clusters_have_similar_total_memory() {
+        // Paper: "two NVIDIA-based clusters with similar total memory".
+        let h200 = hgx_h200_cluster();
+        let h100 = hgx_h100_cluster();
+        let m200 = h200.num_gpus() as u64 * h200.gpu().memory_bytes;
+        let m100 = h100.num_gpus() as u64 * h100.gpu().memory_bytes;
+        let ratio = m200 as f64 / m100 as f64;
+        assert!((0.7..=1.3).contains(&ratio), "total memory ratio {ratio}");
+    }
+
+    #[test]
+    fn h100_cluster_has_double_aggregate_compute() {
+        let h200 = hgx_h200_cluster();
+        let h100 = hgx_h100_cluster();
+        let f200 = h200.num_gpus() as f64 * h200.gpu().peak_fp16_flops;
+        let f100 = h100.num_gpus() as f64 * h100.gpu().peak_fp16_flops;
+        assert!((f100 / f200 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_gpu_per_node_has_no_fabric_sharing() {
+        let c = single_gpu_per_node_cluster(4);
+        assert_eq!(c.num_gpus(), 4);
+        assert_eq!(c.gpus_per_node(), 1);
+    }
+
+    #[test]
+    fn ib_override_applies() {
+        let c = hgx_h200_with_ib_gbps(4, 800.0);
+        let nic = c
+            .links()
+            .find(|(_, s)| s.class == LinkClass::Nic)
+            .map(|(_, s)| s.bw_gbps)
+            .unwrap();
+        assert_eq!(nic, 100.0);
+    }
+
+    #[test]
+    fn names_are_descriptive() {
+        assert_eq!(hgx_h200_cluster().name(), "32xH200");
+        assert_eq!(hgx_h100_cluster().name(), "64xH100");
+    }
+}

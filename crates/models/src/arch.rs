@@ -1,0 +1,293 @@
+//! Transformer architecture descriptions and parameter counting.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+
+/// Mixture-of-Experts configuration of a [`TransformerArch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MoeConfig {
+    /// Number of experts per MoE layer.
+    pub num_experts: usize,
+    /// Experts activated per token (Mixtral uses top-2 routing).
+    pub top_k: usize,
+}
+
+/// An analytic transformer architecture.
+///
+/// Covers both dense (GPT-3, Llama-3) and MoE (Mixtral) decoder-only models.
+/// All of the paper's system-level quantities — parameters, FLOPs per token,
+/// activation bytes, communication volumes — derive from these fields.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransformerArch {
+    /// Model display name (e.g. `"GPT3-175B"`).
+    pub name: String,
+    /// Number of transformer layers.
+    pub num_layers: usize,
+    /// Hidden (model) dimension.
+    pub hidden: usize,
+    /// Number of attention (query) heads.
+    pub num_heads: usize,
+    /// Number of key/value heads (GQA; equals `num_heads` for MHA).
+    pub num_kv_heads: usize,
+    /// FFN intermediate dimension (per expert for MoE).
+    pub ffn_hidden: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Whether the MLP is gated (SwiGLU: 3 weight matrices) as in
+    /// Llama/Mixtral, vs. the classic 2-matrix GELU MLP of GPT-3.
+    pub gated_mlp: bool,
+    /// Whether input and output embeddings share weights (GPT-3: yes).
+    pub tied_embeddings: bool,
+    /// MoE configuration; `None` for dense models.
+    pub moe: Option<MoeConfig>,
+    /// Default training sequence length.
+    pub default_seq_len: usize,
+}
+
+impl TransformerArch {
+    /// Validate internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidArch`] when dimensions are inconsistent
+    /// (hidden not divisible by heads, kv heads not dividing heads, zero
+    /// layers, or `top_k > num_experts`).
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.num_layers == 0 || self.hidden == 0 || self.num_heads == 0 {
+            return Err(ModelError::InvalidArch("dimensions must be non-zero".into()));
+        }
+        if self.hidden % self.num_heads != 0 {
+            return Err(ModelError::InvalidArch(format!(
+                "hidden {} not divisible by {} heads",
+                self.hidden, self.num_heads
+            )));
+        }
+        if self.num_kv_heads == 0 || self.num_heads % self.num_kv_heads != 0 {
+            return Err(ModelError::InvalidArch(format!(
+                "kv heads {} must divide query heads {}",
+                self.num_kv_heads, self.num_heads
+            )));
+        }
+        if let Some(moe) = &self.moe {
+            if moe.top_k == 0 || moe.top_k > moe.num_experts {
+                return Err(ModelError::InvalidArch(format!(
+                    "top_k {} must be in 1..={} experts",
+                    moe.top_k, moe.num_experts
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Dimension of one attention head.
+    pub fn head_dim(&self) -> usize {
+        self.hidden / self.num_heads
+    }
+
+    /// Whether this is a Mixture-of-Experts model.
+    pub fn is_moe(&self) -> bool {
+        self.moe.is_some()
+    }
+
+    /// Attention parameters per layer: Q and O projections (`h×h` each) plus
+    /// K and V projections (`h × kv_heads·head_dim` each).
+    pub fn attn_params_per_layer(&self) -> u64 {
+        let h = self.hidden as u64;
+        let kv = (self.num_kv_heads * self.head_dim()) as u64;
+        2 * h * h + 2 * h * kv
+    }
+
+    /// Parameters of one MLP/expert block (`2·h·f`, or `3·h·f` gated).
+    pub fn mlp_params_per_block(&self) -> u64 {
+        let mats = if self.gated_mlp { 3 } else { 2 };
+        mats * self.hidden as u64 * self.ffn_hidden as u64
+    }
+
+    /// All MLP parameters in one layer: the dense block, or every expert plus
+    /// the router for MoE.
+    pub fn mlp_params_per_layer(&self) -> u64 {
+        match &self.moe {
+            None => self.mlp_params_per_block(),
+            Some(moe) => {
+                moe.num_experts as u64 * self.mlp_params_per_block()
+                    + (self.hidden * moe.num_experts) as u64
+            }
+        }
+    }
+
+    /// Total parameters of one transformer layer (attention + MLP/experts;
+    /// norms and biases are negligible and omitted).
+    pub fn params_per_layer(&self) -> u64 {
+        self.attn_params_per_layer() + self.mlp_params_per_layer()
+    }
+
+    /// Embedding parameters (input, plus output head when untied).
+    pub fn embedding_params(&self) -> u64 {
+        let one = (self.vocab * self.hidden) as u64;
+        if self.tied_embeddings {
+            one
+        } else {
+            2 * one
+        }
+    }
+
+    /// Total model parameters.
+    ///
+    /// ```
+    /// use charllm_models::presets;
+    /// let m = presets::mixtral_8x22b();
+    /// assert!((m.total_params() as f64 - 141e9).abs() / 141e9 < 0.05);
+    /// ```
+    pub fn total_params(&self) -> u64 {
+        self.params_per_layer() * self.num_layers as u64 + self.embedding_params()
+    }
+
+    /// Parameters *active* per token (for MoE only `top_k` experts fire).
+    pub fn active_params(&self) -> u64 {
+        let per_layer = match &self.moe {
+            None => self.params_per_layer(),
+            Some(moe) => {
+                self.attn_params_per_layer()
+                    + moe.top_k as u64 * self.mlp_params_per_block()
+                    + (self.hidden * moe.num_experts) as u64
+            }
+        };
+        per_layer * self.num_layers as u64 + self.embedding_params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn head_dim_divides() {
+        let m = presets::llama3_70b();
+        assert_eq!(m.head_dim(), 128);
+    }
+
+    #[test]
+    fn invalid_archs_rejected() {
+        let mut a = presets::gpt3_175b();
+        a.hidden = 100; // not divisible by 96 heads
+        assert!(a.validate().is_err());
+
+        let mut b = presets::llama3_70b();
+        b.num_kv_heads = 7; // doesn't divide 64
+        assert!(b.validate().is_err());
+
+        let mut c = presets::mixtral_8x7b();
+        c.moe = Some(MoeConfig { num_experts: 8, top_k: 9 });
+        assert!(c.validate().is_err());
+
+        let mut d = presets::gpt3_175b();
+        d.num_layers = 0;
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn all_presets_validate() {
+        for m in presets::all_models() {
+            m.validate().unwrap_or_else(|e| panic!("{} invalid: {e}", m.name));
+        }
+    }
+
+    #[test]
+    fn moe_active_params_less_than_total() {
+        let m = presets::mixtral_8x7b();
+        assert!(m.active_params() < m.total_params());
+        // Mixtral-8x7B activates ~13B of 47B.
+        let active = m.active_params() as f64;
+        assert!((10e9..16e9).contains(&active), "active = {active}");
+    }
+
+    #[test]
+    fn dense_active_equals_total() {
+        let m = presets::gpt3_175b();
+        assert_eq!(m.active_params(), m.total_params());
+    }
+
+    #[test]
+    fn gqa_shrinks_attention() {
+        let llama = presets::llama3_70b(); // 8 kv heads
+        let mut mha = llama.clone();
+        mha.num_kv_heads = mha.num_heads;
+        assert!(llama.attn_params_per_layer() < mha.attn_params_per_layer());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_arch() -> impl Strategy<Value = TransformerArch> {
+        (1usize..=64, 1usize..=64, 1usize..=8, 1usize..=4, 1usize..=8).prop_map(
+            |(layers, heads, head_dim_x, kv_div, ffn_x)| {
+                let hidden = heads * head_dim_x * 16;
+                let num_kv_heads = (heads / kv_div).max(1);
+                // Keep kv_heads dividing heads.
+                let num_kv_heads = (1..=heads).rev().find(|k| heads % k == 0 && *k <= num_kv_heads).unwrap_or(1);
+                TransformerArch {
+                    name: "prop".to_string(),
+                    num_layers: layers,
+                    hidden,
+                    num_heads: heads,
+                    num_kv_heads,
+                    ffn_hidden: hidden * ffn_x,
+                    vocab: 32000,
+                    gated_mlp: ffn_x % 2 == 0,
+                    tied_embeddings: layers % 2 == 0,
+                    moe: if layers % 3 == 0 {
+                        Some(MoeConfig { num_experts: 8, top_k: 2 })
+                    } else {
+                        None
+                    },
+                    default_seq_len: 2048,
+                }
+            },
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn generated_archs_validate(arch in arb_arch()) {
+            prop_assert!(arch.validate().is_ok(), "{arch:?}");
+        }
+
+        #[test]
+        fn active_params_never_exceed_total(arch in arb_arch()) {
+            prop_assert!(arch.active_params() <= arch.total_params());
+        }
+
+        #[test]
+        fn params_monotone_in_layers(arch in arb_arch()) {
+            let mut bigger = arch.clone();
+            bigger.num_layers += 1;
+            prop_assert!(bigger.total_params() > arch.total_params());
+        }
+
+        #[test]
+        fn flops_positive_and_monotone_in_seq(arch in arb_arch()) {
+            use crate::flops::train_flops_per_token;
+            let f1 = train_flops_per_token(&arch, 1024);
+            let f2 = train_flops_per_token(&arch, 4096);
+            prop_assert!(f1 > 0.0);
+            prop_assert!(f2 >= f1);
+        }
+
+        #[test]
+        fn activation_memory_monotone_in_tp(arch in arb_arch(), mb in 1usize..8) {
+            use crate::memory::layer_activation_bytes;
+            let t1 = layer_activation_bytes(&arch, 2048, mb, 1, false);
+            let t2 = layer_activation_bytes(&arch, 2048, mb, 2, false);
+            let t8 = layer_activation_bytes(&arch, 2048, mb, 8, false);
+            prop_assert!(t2 <= t1);
+            prop_assert!(t8 <= t2);
+            let rec = layer_activation_bytes(&arch, 2048, mb, 1, true);
+            prop_assert!(rec <= t1);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Error types for workload-model construction.
+
+use std::fmt;
+
+/// Errors raised while building or validating workload models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// An architecture field was inconsistent (e.g. hidden size not divisible
+    /// by the number of heads).
+    InvalidArch(String),
+    /// A training-job field was inconsistent (e.g. microbatch larger than the
+    /// global batch, or not dividing it).
+    InvalidJob(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidArch(msg) => write!(f, "invalid architecture: {msg}"),
+            ModelError::InvalidJob(msg) => write!(f, "invalid training job: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_reason() {
+        let e = ModelError::InvalidArch("hidden not divisible by heads".into());
+        assert!(e.to_string().contains("hidden not divisible"));
+    }
+}

@@ -1,0 +1,147 @@
+//! Analytic FLOP counts for forward/backward passes.
+//!
+//! Conventions: one multiply-accumulate = 2 FLOPs; a linear layer of `P`
+//! parameters costs `2·P` FLOPs per token forward; backward costs twice the
+//! forward (gradients w.r.t. inputs and weights); attention-score FLOPs use
+//! the causal-mask halving.
+
+use crate::arch::TransformerArch;
+
+/// Per-token FLOP costs of one transformer layer, split by kernel class so
+/// the lowering crate can emit distinct GEMM/attention kernels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerFlops {
+    /// Attention projection GEMMs (QKV + output).
+    pub attn_gemm: f64,
+    /// Attention score/context matmuls (`QKᵀ` and `AV`), sequence-dependent.
+    pub attn_score: f64,
+    /// Dense MLP GEMMs (0 for MoE layers).
+    pub mlp_gemm: f64,
+    /// Expert GEMMs actually executed per token (top-k experts; 0 if dense).
+    pub moe_expert_gemm: f64,
+    /// Router projection (MoE only).
+    pub moe_router: f64,
+}
+
+impl LayerFlops {
+    /// Total forward FLOPs per token for the layer.
+    pub fn total(&self) -> f64 {
+        self.attn_gemm + self.attn_score + self.mlp_gemm + self.moe_expert_gemm + self.moe_router
+    }
+}
+
+/// Per-token forward FLOPs of one layer of `arch` at sequence length `seq`.
+///
+/// ```
+/// use charllm_models::{presets, flops};
+/// let arch = presets::gpt3_175b();
+/// let f = flops::layer_fwd_flops_per_token(&arch, 2048);
+/// // 2*params dominates: per layer ~2 * 1.8e9 params.
+/// assert!(f.total() > 3.0e9 && f.total() < 4.5e9);
+/// ```
+pub fn layer_fwd_flops_per_token(arch: &TransformerArch, seq: usize) -> LayerFlops {
+    let attn_gemm = 2.0 * arch.attn_params_per_layer() as f64;
+    // QK^T and AV: each 2·s·h MACs = 4·s·h FLOPs per token; causal mask halves.
+    let attn_score = 0.5 * 2.0 * (2.0 * seq as f64 * arch.hidden as f64);
+    match &arch.moe {
+        None => LayerFlops {
+            attn_gemm,
+            attn_score,
+            mlp_gemm: 2.0 * arch.mlp_params_per_block() as f64,
+            moe_expert_gemm: 0.0,
+            moe_router: 0.0,
+        },
+        Some(moe) => LayerFlops {
+            attn_gemm,
+            attn_score,
+            mlp_gemm: 0.0,
+            moe_expert_gemm: moe.top_k as f64 * 2.0 * arch.mlp_params_per_block() as f64,
+            moe_router: 2.0 * (arch.hidden * moe.num_experts) as f64,
+        },
+    }
+}
+
+/// Forward FLOPs per token for the embedding/LM-head (final projection).
+pub fn logits_fwd_flops_per_token(arch: &TransformerArch) -> f64 {
+    2.0 * (arch.hidden * arch.vocab) as f64
+}
+
+/// Full-model forward FLOPs per token.
+pub fn model_fwd_flops_per_token(arch: &TransformerArch, seq: usize) -> f64 {
+    arch.num_layers as f64 * layer_fwd_flops_per_token(arch, seq).total()
+        + logits_fwd_flops_per_token(arch)
+}
+
+/// Backward-to-forward FLOP ratio (weight + input gradients).
+pub const BWD_FWD_RATIO: f64 = 2.0;
+
+/// Total train-step FLOPs per token (fwd + bwd), excluding recomputation.
+///
+/// For dense models this approaches the familiar `6·N` FLOPs/token rule:
+///
+/// ```
+/// use charllm_models::{presets, flops};
+/// let arch = presets::gpt3_175b();
+/// let per_token = flops::train_flops_per_token(&arch, 2048);
+/// let six_n = 6.0 * arch.total_params() as f64;
+/// assert!((per_token / six_n - 1.0).abs() < 0.10);
+/// ```
+pub fn train_flops_per_token(arch: &TransformerArch, seq: usize) -> f64 {
+    model_fwd_flops_per_token(arch, seq) * (1.0 + BWD_FWD_RATIO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn moe_layers_have_no_dense_mlp() {
+        let f = layer_fwd_flops_per_token(&presets::mixtral_8x7b(), 4096);
+        assert_eq!(f.mlp_gemm, 0.0);
+        assert!(f.moe_expert_gemm > 0.0);
+        assert!(f.moe_router > 0.0);
+    }
+
+    #[test]
+    fn dense_layers_have_no_moe_kernels() {
+        let f = layer_fwd_flops_per_token(&presets::llama3_70b(), 4096);
+        assert_eq!(f.moe_expert_gemm, 0.0);
+        assert_eq!(f.moe_router, 0.0);
+        assert!(f.mlp_gemm > 0.0);
+    }
+
+    #[test]
+    fn attention_score_grows_with_seq() {
+        let arch = presets::gpt3_175b();
+        let short = layer_fwd_flops_per_token(&arch, 1024).attn_score;
+        let long = layer_fwd_flops_per_token(&arch, 4096).attn_score;
+        assert!((long / short - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn moe_train_flops_track_active_params() {
+        // Mixtral executes only top-k experts: train FLOPs/token should be
+        // ~6x *active* params, far below 6x total params.
+        let arch = presets::mixtral_8x7b();
+        let per_token = train_flops_per_token(&arch, 4096);
+        let six_active = 6.0 * arch.active_params() as f64;
+        let six_total = 6.0 * arch.total_params() as f64;
+        assert!((per_token / six_active - 1.0).abs() < 0.15, "vs active");
+        assert!(per_token < 0.5 * six_total, "vs total");
+    }
+
+    #[test]
+    fn mixtral_22b_heavier_than_7b() {
+        let f22 = train_flops_per_token(&presets::mixtral_8x22b(), 4096);
+        let f7 = train_flops_per_token(&presets::mixtral_8x7b(), 4096);
+        assert!(f22 > 2.0 * f7);
+    }
+
+    #[test]
+    fn layer_total_is_sum_of_parts() {
+        let f = layer_fwd_flops_per_token(&presets::mixtral_8x22b(), 4096);
+        let sum = f.attn_gemm + f.attn_score + f.mlp_gemm + f.moe_expert_gemm + f.moe_router;
+        assert_eq!(f.total(), sum);
+    }
+}

@@ -1,0 +1,33 @@
+//! Workload models for the CharLLM-PPT reproduction.
+//!
+//! Describes the LLM architectures of Table 1 (dense GPT-3/Llama-3 and
+//! Mixture-of-Experts Mixtral families) analytically: parameter counts,
+//! forward/backward FLOPs, activation memory, and the training-job
+//! configuration knobs the paper sweeps (global batch 128, microbatch size,
+//! precision, activation recomputation, compute–communication overlap, LoRA).
+//!
+//! ```
+//! use charllm_models::presets;
+//!
+//! let gpt3 = presets::gpt3_175b();
+//! let params = gpt3.total_params();
+//! assert!((params as f64 - 175e9).abs() / 175e9 < 0.03);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod error;
+pub mod flops;
+pub mod job;
+pub mod lora;
+pub mod memory;
+pub mod precision;
+pub mod presets;
+
+pub use arch::{MoeConfig, TransformerArch};
+pub use error::ModelError;
+pub use job::{Optimizations, TrainJob};
+pub use lora::LoraConfig;
+pub use precision::Precision;

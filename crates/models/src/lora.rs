@@ -1,0 +1,87 @@
+//! Low-Rank Adaptation (LoRA) finetuning configuration (§4.3).
+
+use serde::{Deserialize, Serialize};
+
+use crate::arch::TransformerArch;
+
+/// LoRA adapter configuration: rank-`r` adapters on the attention and FFN
+/// projections, freezing the base model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoraConfig {
+    /// Adapter rank (the paper's finetuning uses small ranks; 16 by default).
+    pub rank: usize,
+    /// Whether adapters are also attached to the FFN/expert projections (in
+    /// addition to attention QKV/O).
+    pub adapt_ffn: bool,
+}
+
+impl Default for LoraConfig {
+    fn default() -> Self {
+        LoraConfig { rank: 16, adapt_ffn: true }
+    }
+}
+
+impl LoraConfig {
+    /// Number of *trainable* parameters for `arch` under this config.
+    ///
+    /// Every adapted `m×n` projection contributes `r·(m+n)`.
+    pub fn trainable_params(&self, arch: &TransformerArch) -> u64 {
+        let h = arch.hidden as u64;
+        let kv = (arch.num_kv_heads * arch.head_dim()) as u64;
+        let r = self.rank as u64;
+        // Attention: Q (h×h), K (h×kv), V (h×kv), O (h×h).
+        let mut per_layer = r * (h + h) * 2 + r * (h + kv) * 2;
+        if self.adapt_ffn {
+            let f = arch.ffn_hidden as u64;
+            let mats = if arch.gated_mlp { 3 } else { 2 };
+            let per_block = mats * r * (h + f);
+            per_layer += match &arch.moe {
+                None => per_block,
+                Some(moe) => moe.num_experts as u64 * per_block,
+            };
+        }
+        per_layer * arch.num_layers as u64
+    }
+
+    /// Fraction of total model parameters that are trainable.
+    ///
+    /// ```
+    /// use charllm_models::{presets, LoraConfig};
+    /// let frac = LoraConfig::default().trainable_fraction(&presets::llama3_70b());
+    /// assert!(frac < 0.01, "LoRA trains <1% of parameters, got {frac}");
+    /// ```
+    pub fn trainable_fraction(&self, arch: &TransformerArch) -> f64 {
+        self.trainable_params(arch) as f64 / arch.total_params() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn lora_params_are_tiny() {
+        for arch in presets::all_models() {
+            let frac = LoraConfig::default().trainable_fraction(&arch);
+            assert!(frac < 0.02, "{}: {frac}", arch.name);
+            assert!(frac > 0.0);
+        }
+    }
+
+    #[test]
+    fn rank_scales_params_linearly() {
+        let arch = presets::gpt3_175b();
+        let r16 = LoraConfig { rank: 16, adapt_ffn: true }.trainable_params(&arch);
+        let r32 = LoraConfig { rank: 32, adapt_ffn: true }.trainable_params(&arch);
+        assert_eq!(r32, 2 * r16);
+    }
+
+    #[test]
+    fn attention_only_is_smaller() {
+        let arch = presets::llama3_70b();
+        let full = LoraConfig { rank: 16, adapt_ffn: true }.trainable_params(&arch);
+        let attn = LoraConfig { rank: 16, adapt_ffn: false }.trainable_params(&arch);
+        assert!(attn < full);
+    }
+}

@@ -1,0 +1,158 @@
+//! Analytic memory footprints: weights, gradients, optimizer state and
+//! activations.
+//!
+//! The activation model follows Korthikanti et al. ("Reducing Activation
+//! Recomputation in Large Transformer Models"), specialized to the
+//! flash-attention kernels the paper's frameworks use (no stored attention
+//! matrix): one layer stores `s·b·h·(10 + 24/t)` bytes under tensor-parallel
+//! width `t`, and only the `2·s·b·h`-byte layer input under full
+//! recomputation.
+
+use crate::arch::TransformerArch;
+use crate::precision::Precision;
+
+/// Bytes of Adam optimizer state per parameter when training in half
+/// precision with an FP32 master copy (`4 + 4 + 4`).
+pub const ADAM_BYTES_PER_PARAM: u64 = 12;
+
+/// Weight bytes for a parameter count at a precision.
+pub fn weight_bytes(params: u64, precision: Precision) -> u64 {
+    params * precision.bytes()
+}
+
+/// Gradient bytes for a parameter count (kept at training precision).
+pub fn grad_bytes(params: u64, precision: Precision) -> u64 {
+    params * precision.bytes()
+}
+
+/// Optimizer-state bytes for `params`, divided across `shards` ranks when a
+/// distributed optimizer (ZeRO-1) shards it.
+///
+/// ```
+/// use charllm_models::memory::optimizer_bytes;
+/// assert_eq!(optimizer_bytes(100, 1), 1200);
+/// assert_eq!(optimizer_bytes(100, 4), 300);
+/// ```
+pub fn optimizer_bytes(params: u64, shards: usize) -> u64 {
+    (params * ADAM_BYTES_PER_PARAM).div_ceil(shards.max(1) as u64)
+}
+
+/// Stored activation bytes for ONE layer of `arch` processing a microbatch
+/// of `microbatch` sequences of length `seq`, under tensor-parallel width
+/// `tp`, with or without full activation recomputation.
+pub fn layer_activation_bytes(
+    arch: &TransformerArch,
+    seq: usize,
+    microbatch: usize,
+    tp: usize,
+    recompute: bool,
+) -> u64 {
+    let sbh = (seq * microbatch * arch.hidden) as f64;
+    let bytes = if recompute {
+        // Only the layer input is stashed (fp16/bf16).
+        2.0 * sbh
+    } else {
+        // Flash-attention variant of the Megatron activation formula. MoE
+        // layers stash expert inputs/outputs for top-k experts, adding
+        // roughly 8·top_k/t bytes per hidden element.
+        let moe_extra = arch.moe.map_or(0.0, |m| 8.0 * m.top_k as f64 / tp as f64);
+        sbh * (10.0 + 24.0 / tp as f64 + moe_extra)
+    };
+    bytes.ceil() as u64
+}
+
+/// A coarse bucket of per-rank memory use, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoryBreakdown {
+    /// Parameter storage.
+    pub weights: u64,
+    /// Gradient storage.
+    pub grads: u64,
+    /// Optimizer state (possibly sharded).
+    pub optimizer: u64,
+    /// Peak stashed activations.
+    pub activations: u64,
+    /// Framework/runtime overhead (CUDA context, NCCL buffers, workspace).
+    pub overhead: u64,
+}
+
+impl MemoryBreakdown {
+    /// Total bytes.
+    pub fn total(&self) -> u64 {
+        self.weights + self.grads + self.optimizer + self.activations + self.overhead
+    }
+
+    /// Total in GiB for display.
+    pub fn total_gib(&self) -> f64 {
+        self.total() as f64 / (1u64 << 30) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn recompute_slashes_activation_memory() {
+        let arch = presets::gpt3_175b();
+        let full = layer_activation_bytes(&arch, 2048, 1, 1, false);
+        let rec = layer_activation_bytes(&arch, 2048, 1, 1, true);
+        assert!(rec < full / 10, "full={full} rec={rec}");
+    }
+
+    #[test]
+    fn tensor_parallelism_shrinks_activations() {
+        let arch = presets::gpt3_175b();
+        let t1 = layer_activation_bytes(&arch, 2048, 1, 1, false);
+        let t8 = layer_activation_bytes(&arch, 2048, 1, 8, false);
+        assert!(t8 < t1);
+        assert!(t8 > t1 / 8, "some activations do not shard with tp");
+    }
+
+    #[test]
+    fn activations_scale_linearly_with_microbatch() {
+        let arch = presets::llama3_70b();
+        let m1 = layer_activation_bytes(&arch, 4096, 1, 2, false);
+        let m4 = layer_activation_bytes(&arch, 4096, 4, 2, false);
+        assert_eq!(m4, 4 * m1);
+    }
+
+    #[test]
+    fn gpt3_175b_layer_activation_magnitude() {
+        // s=2048, b=1, h=12288 => sbh = 25.2M elements; x34 bytes ≈ 860 MB.
+        let arch = presets::gpt3_175b();
+        let bytes = layer_activation_bytes(&arch, 2048, 1, 1, false) as f64;
+        assert!((0.7e9..1.0e9).contains(&bytes), "bytes = {bytes:e}");
+    }
+
+    #[test]
+    fn zero1_shards_optimizer() {
+        let p = presets::gpt3_175b().total_params();
+        assert_eq!(optimizer_bytes(p, 4), optimizer_bytes(p, 1).div_ceil(4));
+        // Zero shards treated as one (no sharding).
+        assert_eq!(optimizer_bytes(p, 0), optimizer_bytes(p, 1));
+    }
+
+    #[test]
+    fn breakdown_total_sums_buckets() {
+        let b = MemoryBreakdown {
+            weights: 1,
+            grads: 2,
+            optimizer: 3,
+            activations: 4,
+            overhead: 5,
+        };
+        assert_eq!(b.total(), 15);
+    }
+
+    #[test]
+    fn moe_layers_store_more_activations() {
+        let moe = presets::mixtral_8x7b();
+        let mut dense = moe.clone();
+        dense.moe = None;
+        let a_moe = layer_activation_bytes(&moe, 4096, 1, 1, false);
+        let a_dense = layer_activation_bytes(&dense, 4096, 1, 1, false);
+        assert!(a_moe > a_dense);
+    }
+}

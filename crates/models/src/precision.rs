@@ -1,0 +1,57 @@
+//! Numeric precision of parameters and activations.
+
+use serde::{Deserialize, Serialize};
+
+/// Training numeric format. The paper trains all workloads in FP16 or BF16.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Precision {
+    /// IEEE half precision.
+    Fp16,
+    /// bfloat16 (default for the evaluated frameworks).
+    #[default]
+    Bf16,
+    /// IEEE single precision (used for optimizer master state).
+    Fp32,
+}
+
+impl Precision {
+    /// Bytes per element.
+    ///
+    /// ```
+    /// use charllm_models::Precision;
+    /// assert_eq!(Precision::Bf16.bytes(), 2);
+    /// assert_eq!(Precision::Fp32.bytes(), 4);
+    /// ```
+    pub fn bytes(self) -> u64 {
+        match self {
+            Precision::Fp16 | Precision::Bf16 => 2,
+            Precision::Fp32 => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Precision::Fp16 => write!(f, "fp16"),
+            Precision::Bf16 => write!(f, "bf16"),
+            Precision::Fp32 => write!(f, "fp32"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_formats_are_two_bytes() {
+        assert_eq!(Precision::Fp16.bytes(), 2);
+        assert_eq!(Precision::Bf16.bytes(), 2);
+    }
+
+    #[test]
+    fn default_is_bf16() {
+        assert_eq!(Precision::default(), Precision::Bf16);
+    }
+}

@@ -1,0 +1,204 @@
+//! The evaluated model configurations (Table 1) plus the scaled-down
+//! variants used on the AMD cluster and in the 1-GPU-per-node study.
+
+use crate::arch::{MoeConfig, TransformerArch};
+
+/// GPT3-175B: 96 layers, hidden 12288, 96 heads (Brown et al. 2020).
+pub fn gpt3_175b() -> TransformerArch {
+    TransformerArch {
+        name: "GPT3-175B".to_string(),
+        num_layers: 96,
+        hidden: 12288,
+        num_heads: 96,
+        num_kv_heads: 96,
+        ffn_hidden: 4 * 12288,
+        vocab: 50257,
+        gated_mlp: false,
+        tied_embeddings: true,
+        moe: None,
+        default_seq_len: 2048,
+    }
+}
+
+/// GPT3-30B: the paper's scaled-down GPT-3 for the MI250 cluster.
+pub fn gpt3_30b() -> TransformerArch {
+    TransformerArch {
+        name: "GPT3-30B".to_string(),
+        num_layers: 48,
+        hidden: 7168,
+        num_heads: 56,
+        num_kv_heads: 56,
+        ffn_hidden: 4 * 7168,
+        vocab: 50257,
+        gated_mlp: false,
+        tied_embeddings: true,
+        moe: None,
+        default_seq_len: 2048,
+    }
+}
+
+/// GPT3-13B: used in the 1-GPU-per-node interconnect study (Fig. 8).
+pub fn gpt3_13b() -> TransformerArch {
+    TransformerArch {
+        name: "GPT3-13B".to_string(),
+        num_layers: 40,
+        hidden: 5120,
+        num_heads: 40,
+        num_kv_heads: 40,
+        ffn_hidden: 4 * 5120,
+        vocab: 50257,
+        gated_mlp: false,
+        tied_embeddings: true,
+        moe: None,
+        default_seq_len: 2048,
+    }
+}
+
+/// Llama3-70B: 80 layers, hidden 8192, GQA with 8 KV heads.
+pub fn llama3_70b() -> TransformerArch {
+    TransformerArch {
+        name: "Llama3-70B".to_string(),
+        num_layers: 80,
+        hidden: 8192,
+        num_heads: 64,
+        num_kv_heads: 8,
+        ffn_hidden: 28672,
+        vocab: 128256,
+        gated_mlp: true,
+        tied_embeddings: false,
+        moe: None,
+        default_seq_len: 4096,
+    }
+}
+
+/// Llama3-30B: the paper's proportionally scaled Llama-3 for MI250
+/// ("maintaining proportional relationships among key architectural
+/// parameters").
+pub fn llama3_30b() -> TransformerArch {
+    TransformerArch {
+        name: "Llama3-30B".to_string(),
+        num_layers: 60,
+        hidden: 6144,
+        num_heads: 48,
+        num_kv_heads: 8,
+        ffn_hidden: 21504,
+        vocab: 128256,
+        gated_mlp: true,
+        tied_embeddings: false,
+        moe: None,
+        default_seq_len: 4096,
+    }
+}
+
+/// Mixtral-8x22B: 56 layers, 8 experts, top-2 routing (141B total params).
+pub fn mixtral_8x22b() -> TransformerArch {
+    TransformerArch {
+        name: "Mixtral-8x22B".to_string(),
+        num_layers: 56,
+        hidden: 6144,
+        num_heads: 48,
+        num_kv_heads: 8,
+        ffn_hidden: 16384,
+        vocab: 32000,
+        gated_mlp: true,
+        tied_embeddings: false,
+        moe: Some(MoeConfig { num_experts: 8, top_k: 2 }),
+        default_seq_len: 4096,
+    }
+}
+
+/// Mixtral-8x7B: 32 layers, 8 experts, top-2 routing (47B total params).
+pub fn mixtral_8x7b() -> TransformerArch {
+    TransformerArch {
+        name: "Mixtral-8x7B".to_string(),
+        num_layers: 32,
+        hidden: 4096,
+        num_heads: 32,
+        num_kv_heads: 8,
+        ffn_hidden: 14336,
+        vocab: 32000,
+        gated_mlp: true,
+        tied_embeddings: false,
+        moe: Some(MoeConfig { num_experts: 8, top_k: 2 }),
+        default_seq_len: 4096,
+    }
+}
+
+/// Mixtral-4x7B: the paper's reduced Mixtral for the 1-GPU-per-node study.
+pub fn mixtral_4x7b() -> TransformerArch {
+    TransformerArch {
+        name: "Mixtral-4x7B".to_string(),
+        moe: Some(MoeConfig { num_experts: 4, top_k: 2 }),
+        ..mixtral_8x7b()
+    }
+}
+
+/// Every model preset, in the order Table 1 lists them (plus the scaled
+/// variants appended).
+pub fn all_models() -> Vec<TransformerArch> {
+    vec![
+        gpt3_175b(),
+        gpt3_30b(),
+        llama3_70b(),
+        llama3_30b(),
+        mixtral_8x22b(),
+        mixtral_8x7b(),
+        gpt3_13b(),
+        mixtral_4x7b(),
+    ]
+}
+
+/// Look up a preset by its display name.
+pub fn by_name(name: &str) -> Option<TransformerArch> {
+    all_models().into_iter().find(|m| m.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_param_count(arch: &TransformerArch, expected: f64, tol: f64) {
+        let got = arch.total_params() as f64;
+        let rel = (got - expected).abs() / expected;
+        assert!(rel < tol, "{}: expected ~{expected:e}, got {got:e} (rel {rel:.3})", arch.name);
+    }
+
+    #[test]
+    fn table1_parameter_sizes() {
+        assert_param_count(&gpt3_175b(), 175e9, 0.03);
+        assert_param_count(&gpt3_30b(), 30e9, 0.05);
+        assert_param_count(&llama3_70b(), 70e9, 0.03);
+        assert_param_count(&llama3_30b(), 30e9, 0.05);
+        assert_param_count(&mixtral_8x22b(), 141e9, 0.05);
+        assert_param_count(&mixtral_8x7b(), 47e9, 0.03);
+    }
+
+    #[test]
+    fn scaled_variants_are_smaller() {
+        assert_param_count(&gpt3_13b(), 13e9, 0.05);
+        assert!(mixtral_4x7b().total_params() < mixtral_8x7b().total_params());
+    }
+
+    #[test]
+    fn moe_presets_are_marked_sparse() {
+        assert!(mixtral_8x22b().is_moe());
+        assert!(mixtral_8x7b().is_moe());
+        assert!(!gpt3_175b().is_moe());
+        assert!(!llama3_70b().is_moe());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("GPT3-175B").unwrap().num_layers, 96);
+        assert!(by_name("GPT5-1T").is_none());
+    }
+
+    #[test]
+    fn all_models_unique_names() {
+        let models = all_models();
+        let mut names: Vec<_> = models.iter().map(|m| m.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), models.len());
+    }
+}

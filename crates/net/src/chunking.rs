@@ -1,0 +1,87 @@
+//! Message chunking policies.
+//!
+//! NCCL collectives pipeline transfers as many medium-sized chunks, keeping
+//! links saturated. The paper observes that the P2P SendRecv kernels issued
+//! by TP+PP configurations *lack* this chunking, producing sparse single
+//! messages that underutilize PCIe bandwidth (§4.2). The policy here decides
+//! how a logical transfer is split into messages; the per-message overhead of
+//! each traversed link then determines the efficiency penalty.
+
+use serde::{Deserialize, Serialize};
+
+/// How a logical transfer is split into wire messages.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ChunkingPolicy {
+    /// One message per transfer, however large (the paper's observed
+    /// SendRecv behaviour).
+    Unchunked,
+    /// Pipelined fixed-size chunks (NCCL-style collectives).
+    Chunked {
+        /// Chunk size in bytes.
+        chunk_bytes: u64,
+    },
+}
+
+impl ChunkingPolicy {
+    /// NCCL's default-ish 4 MiB pipeline chunk.
+    pub fn nccl_default() -> Self {
+        ChunkingPolicy::Chunked { chunk_bytes: 4 * 1024 * 1024 }
+    }
+
+    /// Number of messages used to move `bytes`.
+    ///
+    /// ```
+    /// use charllm_net::ChunkingPolicy;
+    /// assert_eq!(ChunkingPolicy::Unchunked.num_messages(1 << 30), 1);
+    /// assert_eq!(
+    ///     ChunkingPolicy::Chunked { chunk_bytes: 1 << 20 }.num_messages(1 << 22),
+    ///     4
+    /// );
+    /// ```
+    pub fn num_messages(&self, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        match self {
+            ChunkingPolicy::Unchunked => 1,
+            ChunkingPolicy::Chunked { chunk_bytes } => bytes.div_ceil((*chunk_bytes).max(1)),
+        }
+    }
+
+    /// Whether transfers under this policy can pipeline across links (a
+    /// single unchunked message must fully traverse each hop in turn, while
+    /// chunks stream).
+    pub fn pipelines(&self) -> bool {
+        matches!(self, ChunkingPolicy::Chunked { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unchunked_is_single_message() {
+        assert_eq!(ChunkingPolicy::Unchunked.num_messages(123_456_789), 1);
+    }
+
+    #[test]
+    fn chunked_rounds_up() {
+        let p = ChunkingPolicy::Chunked { chunk_bytes: 100 };
+        assert_eq!(p.num_messages(250), 3);
+        assert_eq!(p.num_messages(300), 3);
+        assert_eq!(p.num_messages(1), 1);
+    }
+
+    #[test]
+    fn zero_bytes_zero_messages() {
+        assert_eq!(ChunkingPolicy::Unchunked.num_messages(0), 0);
+        assert_eq!(ChunkingPolicy::nccl_default().num_messages(0), 0);
+    }
+
+    #[test]
+    fn zero_chunk_size_does_not_divide_by_zero() {
+        let p = ChunkingPolicy::Chunked { chunk_bytes: 0 };
+        assert_eq!(p.num_messages(10), 10);
+    }
+}

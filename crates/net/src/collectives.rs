@@ -1,0 +1,419 @@
+//! Lowering logical collectives into concurrent flows on the topology.
+//!
+//! Ring algorithms follow NCCL: AllReduce moves `2·(n−1)/n` of the buffer
+//! across every ring hop in `2(n−1)` pipelined phases; AllGather and
+//! ReduceScatter move `(n−1)/n` in `n−1` phases. All-to-All is pairwise —
+//! `n−1` *small* messages per rank (`bytes/n` each), which is exactly the
+//! fine-grained pattern the paper blames for expert-parallel inefficiency.
+//! SendRecv is a single point-to-point flow whose chunking policy decides
+//! whether it saturates the path.
+
+use serde::{Deserialize, Serialize};
+
+use charllm_hw::{Cluster, GpuId, HwError};
+
+use crate::chunking::ChunkingPolicy;
+use crate::flow::Flow;
+
+/// The collective operations emitted by the trace lowering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CollectiveKind {
+    /// Ring AllReduce (gradient sync, TP layer reductions).
+    AllReduce,
+    /// Ring AllGather (ZeRO-1 parameter gather, FSDP unshard).
+    AllGather,
+    /// Ring ReduceScatter (ZeRO-1 / FSDP gradient reduction).
+    ReduceScatter,
+    /// Pairwise All-to-All (MoE token dispatch/combine).
+    AllToAll,
+    /// Root-to-group Broadcast.
+    Broadcast,
+    /// Point-to-point send/receive (pipeline activations).
+    SendRecv,
+}
+
+impl std::fmt::Display for CollectiveKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CollectiveKind::AllReduce => "AllReduce",
+            CollectiveKind::AllGather => "AllGather",
+            CollectiveKind::ReduceScatter => "ReduceScatter",
+            CollectiveKind::AllToAll => "AllToAll",
+            CollectiveKind::Broadcast => "Broadcast",
+            CollectiveKind::SendRecv => "SendRecv",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A lowered collective: the set of flows that must all complete.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollectivePlan {
+    /// The logical operation.
+    pub kind: CollectiveKind,
+    /// Concurrent flows implementing it.
+    pub flows: Vec<Flow>,
+    /// Per-rank buffer size the caller requested.
+    pub bytes_per_rank: u64,
+}
+
+impl CollectivePlan {
+    /// Total payload bytes moved across the fabric.
+    pub fn total_bytes(&self) -> u64 {
+        self.flows.iter().map(|f| f.bytes).sum()
+    }
+
+    /// Total wire messages.
+    pub fn total_messages(&self) -> u64 {
+        self.flows.iter().map(|f| f.num_messages).sum()
+    }
+}
+
+/// Lower a collective over `gpus` (rank order) moving `bytes` per rank.
+///
+/// Single-member groups and zero-byte buffers lower to an empty plan.
+///
+/// # Errors
+///
+/// Propagates [`HwError::GpuOutOfRange`] when a GPU lies outside the
+/// cluster.
+pub fn lower_collective(
+    kind: CollectiveKind,
+    bytes: u64,
+    gpus: &[GpuId],
+    cluster: &Cluster,
+    chunking: ChunkingPolicy,
+) -> Result<CollectivePlan, HwError> {
+    for &g in gpus {
+        cluster.check_gpu(g)?;
+    }
+    let n = gpus.len();
+    if n <= 1 || bytes == 0 {
+        return Ok(CollectivePlan { kind, flows: Vec::new(), bytes_per_rank: bytes });
+    }
+    let flows = match kind {
+        CollectiveKind::AllReduce => ring_flows(gpus, cluster, bytes, 2 * (n - 1), n, chunking),
+        CollectiveKind::AllGather | CollectiveKind::ReduceScatter => {
+            ring_flows(gpus, cluster, bytes, n - 1, n, chunking)
+        }
+        CollectiveKind::AllToAll => {
+            let per_pair = (bytes / n as u64).max(1);
+            let msgs = chunking.num_messages(per_pair).max(1);
+            let mut flows = Vec::with_capacity(n * (n - 1));
+            for (i, &src) in gpus.iter().enumerate() {
+                for (j, &dst) in gpus.iter().enumerate() {
+                    if i != j {
+                        flows.push(Flow::new(src, dst, per_pair, msgs));
+                    }
+                }
+            }
+            flows
+        }
+        CollectiveKind::Broadcast => {
+            let root = gpus[0];
+            let msgs = chunking.num_messages(bytes).max(1);
+            gpus[1..].iter().map(|&dst| Flow::new(root, dst, bytes, msgs)).collect()
+        }
+        CollectiveKind::SendRecv => {
+            let msgs = chunking.num_messages(bytes).max(1);
+            vec![Flow::new(gpus[0], *gpus.last().expect("n > 1"), bytes, msgs)]
+        }
+    };
+    Ok(CollectivePlan { kind, flows, bytes_per_rank: bytes })
+}
+
+/// Build the per-hop flows of a ring algorithm with `phases` pipelined
+/// phases moving `bytes/n` each.
+fn ring_flows(
+    gpus: &[GpuId],
+    cluster: &Cluster,
+    bytes: u64,
+    phases: usize,
+    n: usize,
+    chunking: ChunkingPolicy,
+) -> Vec<Flow> {
+    let per_phase = (bytes / n as u64).max(1);
+    let payload = per_phase * phases as u64;
+    let msgs_per_phase = chunking.num_messages(per_phase).max(1);
+    let mut flows = Vec::with_capacity(n);
+    for i in 0..n {
+        let src = gpus[i];
+        let dst = gpus[(i + 1) % n];
+        let mut flow = Flow::new(src, dst, payload, msgs_per_phase * phases as u64);
+        // Pipelined phases serialize on ring latency once per phase beyond
+        // the first (already charged via the route latency).
+        if let Ok(route) = cluster.route(src, dst) {
+            flow.startup_s =
+                (phases.saturating_sub(1)) as f64 * cluster.route_latency_us(&route) * 1e-6;
+        }
+        flows.push(flow);
+    }
+    flows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charllm_hw::{presets, LinkClass};
+
+    fn group(ids: &[u32]) -> Vec<GpuId> {
+        ids.iter().map(|&i| GpuId(i)).collect()
+    }
+
+    #[test]
+    fn singleton_group_is_free() {
+        let c = presets::hgx_h200_cluster();
+        let p = lower_collective(
+            CollectiveKind::AllReduce,
+            1 << 30,
+            &group(&[3]),
+            &c,
+            ChunkingPolicy::nccl_default(),
+        )
+        .unwrap();
+        assert!(p.flows.is_empty());
+    }
+
+    #[test]
+    fn allreduce_moves_2n_minus_1_over_n() {
+        let c = presets::hgx_h200_cluster();
+        let bytes = 800 << 20;
+        let n = 8;
+        let p = lower_collective(
+            CollectiveKind::AllReduce,
+            bytes,
+            &group(&[0, 1, 2, 3, 4, 5, 6, 7]),
+            &c,
+            ChunkingPolicy::nccl_default(),
+        )
+        .unwrap();
+        assert_eq!(p.flows.len(), n);
+        let per_hop = p.flows[0].bytes as f64;
+        let expect = bytes as f64 * 2.0 * (n as f64 - 1.0) / n as f64;
+        let rel = (per_hop - expect).abs() / expect;
+        assert!(rel < 0.01, "per ring hop carries 2(n-1)/n of the buffer: {per_hop} vs {expect}");
+    }
+
+    #[test]
+    fn allgather_is_half_of_allreduce() {
+        let c = presets::hgx_h200_cluster();
+        let gpus = group(&[0, 1, 2, 3]);
+        let bytes = 400 << 20;
+        let ar = lower_collective(CollectiveKind::AllReduce, bytes, &gpus, &c, ChunkingPolicy::nccl_default()).unwrap();
+        let ag = lower_collective(CollectiveKind::AllGather, bytes, &gpus, &c, ChunkingPolicy::nccl_default()).unwrap();
+        assert!((ar.total_bytes() as f64 / ag.total_bytes() as f64 - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn all_to_all_is_fine_grained() {
+        // n(n-1) pairwise flows of bytes/n each: many small messages, the
+        // paper's EP pathology.
+        let c = presets::hgx_h200_cluster();
+        let gpus = group(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let p = lower_collective(
+            CollectiveKind::AllToAll,
+            64 << 20,
+            &gpus,
+            &c,
+            ChunkingPolicy::Unchunked,
+        )
+        .unwrap();
+        assert_eq!(p.flows.len(), 8 * 7);
+        assert_eq!(p.flows[0].bytes, (64 << 20) / 8);
+        assert_eq!(p.flows[0].num_messages, 1);
+    }
+
+    #[test]
+    fn sendrecv_is_one_flow() {
+        let c = presets::hgx_h200_cluster();
+        let p = lower_collective(
+            CollectiveKind::SendRecv,
+            32 << 20,
+            &group(&[7, 8]),
+            &c,
+            ChunkingPolicy::Unchunked,
+        )
+        .unwrap();
+        assert_eq!(p.flows.len(), 1);
+        assert_eq!(p.flows[0].src, GpuId(7));
+        assert_eq!(p.flows[0].dst, GpuId(8));
+        assert_eq!(p.flows[0].num_messages, 1);
+    }
+
+    #[test]
+    fn chunked_sendrecv_has_more_messages() {
+        let c = presets::hgx_h200_cluster();
+        let unchunked = lower_collective(
+            CollectiveKind::SendRecv,
+            32 << 20,
+            &group(&[0, 8]),
+            &c,
+            ChunkingPolicy::Unchunked,
+        )
+        .unwrap();
+        let chunked = lower_collective(
+            CollectiveKind::SendRecv,
+            32 << 20,
+            &group(&[0, 8]),
+            &c,
+            ChunkingPolicy::nccl_default(),
+        )
+        .unwrap();
+        assert_eq!(unchunked.total_messages(), 1);
+        assert_eq!(chunked.total_messages(), 8);
+    }
+
+    #[test]
+    fn intra_node_ring_stays_on_nvlink() {
+        let c = presets::hgx_h200_cluster();
+        let gpus = group(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let p = lower_collective(CollectiveKind::AllReduce, 1 << 28, &gpus, &c, ChunkingPolicy::nccl_default()).unwrap();
+        for f in &p.flows {
+            for id in f.route(&c).unwrap() {
+                assert_eq!(c.link(id).class, LinkClass::NvLink);
+            }
+        }
+    }
+
+    #[test]
+    fn cross_node_ring_crosses_nic() {
+        let c = presets::hgx_h200_cluster();
+        // A DP group striding across nodes (e.g. ranks 0, 8, 16, 24).
+        let gpus = group(&[0, 8, 16, 24]);
+        let p = lower_collective(CollectiveKind::AllReduce, 1 << 28, &gpus, &c, ChunkingPolicy::nccl_default()).unwrap();
+        let crosses = p.flows.iter().any(|f| {
+            f.route(&c)
+                .unwrap()
+                .iter()
+                .any(|id| c.link(*id).class == LinkClass::Nic)
+        });
+        assert!(crosses);
+    }
+
+    #[test]
+    fn broadcast_fans_out_from_root() {
+        let c = presets::hgx_h200_cluster();
+        let p = lower_collective(
+            CollectiveKind::Broadcast,
+            1 << 20,
+            &group(&[2, 3, 4]),
+            &c,
+            ChunkingPolicy::nccl_default(),
+        )
+        .unwrap();
+        assert_eq!(p.flows.len(), 2);
+        assert!(p.flows.iter().all(|f| f.src == GpuId(2)));
+    }
+
+    #[test]
+    fn zero_bytes_lowers_empty() {
+        let c = presets::hgx_h200_cluster();
+        let p = lower_collective(
+            CollectiveKind::AllReduce,
+            0,
+            &group(&[0, 1]),
+            &c,
+            ChunkingPolicy::nccl_default(),
+        )
+        .unwrap();
+        assert!(p.flows.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_gpu_rejected() {
+        let c = presets::hgx_h200_cluster();
+        assert!(lower_collective(
+            CollectiveKind::AllReduce,
+            1,
+            &group(&[0, 99]),
+            &c,
+            ChunkingPolicy::Unchunked,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn ring_startup_scales_with_phases() {
+        let c = presets::hgx_h200_cluster();
+        let gpus = group(&[0, 1, 2, 3]);
+        let ar = lower_collective(CollectiveKind::AllReduce, 1 << 28, &gpus, &c, ChunkingPolicy::nccl_default()).unwrap();
+        let ag = lower_collective(CollectiveKind::AllGather, 1 << 28, &gpus, &c, ChunkingPolicy::nccl_default()).unwrap();
+        assert!(ar.flows[0].startup_s > ag.flows[0].startup_s);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use charllm_hw::presets;
+    use proptest::prelude::*;
+
+    fn arb_group() -> impl Strategy<Value = Vec<GpuId>> {
+        (2usize..=16, 0u32..16).prop_map(|(n, base)| {
+            (0..n as u32).map(|i| GpuId((base + i * 2) % 32)).collect::<Vec<_>>()
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn ring_collectives_move_expected_volume(
+            group in arb_group(),
+            bytes in 1u64..(1 << 32),
+        ) {
+            let c = presets::hgx_h200_cluster();
+            let n = group.len() as f64;
+            for (kind, factor) in [
+                (CollectiveKind::AllReduce, 2.0 * (n - 1.0) / n),
+                (CollectiveKind::AllGather, (n - 1.0) / n),
+                (CollectiveKind::ReduceScatter, (n - 1.0) / n),
+            ] {
+                let p = lower_collective(kind, bytes, &group, &c, ChunkingPolicy::nccl_default())
+                    .unwrap();
+                let expect = bytes as f64 * factor * n;
+                let got = p.total_bytes() as f64;
+                // Integer chunking slack only.
+                prop_assert!(
+                    (got - expect).abs() <= 2.0 * n * n,
+                    "{kind}: got {got}, expected {expect}"
+                );
+            }
+        }
+
+        #[test]
+        fn alltoall_has_n_squared_fan_out(group in arb_group(), bytes in 1024u64..(1 << 28)) {
+            let c = presets::hgx_h200_cluster();
+            let n = group.len();
+            let p = lower_collective(
+                CollectiveKind::AllToAll,
+                bytes,
+                &group,
+                &c,
+                ChunkingPolicy::Unchunked,
+            )
+            .unwrap();
+            prop_assert_eq!(p.flows.len(), n * (n - 1));
+        }
+
+        #[test]
+        fn plans_never_have_self_flows(group in arb_group(), bytes in 1u64..(1 << 30)) {
+            let c = presets::hgx_h200_cluster();
+            for kind in [
+                CollectiveKind::AllReduce,
+                CollectiveKind::AllToAll,
+                CollectiveKind::Broadcast,
+            ] {
+                let p = lower_collective(kind, bytes, &group, &c, ChunkingPolicy::Unchunked)
+                    .unwrap();
+                for f in &p.flows {
+                    // Ring wrap may produce src == dst only when the same GPU
+                    // appears twice in the group, which arb_group avoids for
+                    // distinct ids; a degenerate duplicate-id group is the
+                    // caller's contract violation.
+                    if group.iter().filter(|&&g| g == f.src).count() == 1 {
+                        prop_assert!(f.bytes > 0);
+                    }
+                }
+            }
+        }
+    }
+}

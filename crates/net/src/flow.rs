@@ -1,0 +1,148 @@
+//! Point-to-point flows: the unit of network work the simulator schedules.
+
+use serde::{Deserialize, Serialize};
+
+use charllm_hw::{Cluster, GpuId, HwError, LinkId};
+
+/// One directed transfer between two GPUs.
+///
+/// A flow occupies every link on its route simultaneously; the simulator
+/// fair-shares each link among the flows crossing it. Per-message overhead
+/// and serial startup latency are folded into an *effective work* quantity
+/// in byte-equivalents (computed against the route's bottleneck bandwidth),
+/// which is how many small messages end up costing far more wall-clock than
+/// their payload alone.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Flow {
+    /// Source GPU.
+    pub src: GpuId,
+    /// Destination GPU.
+    pub dst: GpuId,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Number of wire messages used.
+    pub num_messages: u64,
+    /// Serial startup latency in seconds (e.g. ring-phase dependencies).
+    pub startup_s: f64,
+}
+
+impl Flow {
+    /// A single-message flow with no startup latency.
+    pub fn new(src: GpuId, dst: GpuId, bytes: u64, num_messages: u64) -> Self {
+        Flow { src, dst, bytes, num_messages, startup_s: 0.0 }
+    }
+
+    /// The links the flow traverses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HwError::GpuOutOfRange`] for GPUs outside the cluster.
+    pub fn route(&self, cluster: &Cluster) -> Result<Vec<LinkId>, HwError> {
+        cluster.route(self.src, self.dst)
+    }
+
+    /// Total per-message + startup overhead in seconds on this route.
+    pub fn overhead_s(&self, cluster: &Cluster, route: &[LinkId]) -> f64 {
+        let per_msg_us: f64 =
+            route.iter().map(|id| cluster.link(*id).per_message_us).sum();
+        let latency_us = cluster.route_latency_us(route);
+        self.startup_s + (latency_us + self.num_messages as f64 * per_msg_us) * 1e-6
+    }
+
+    /// Effective work in byte-equivalents: payload (with a store-and-forward
+    /// penalty for unchunked multi-stage routes) plus overhead converted at
+    /// the route's bottleneck bandwidth. On-device flows (empty route) cost
+    /// nothing.
+    ///
+    /// Inter-node transfers are staged GPU → host → wire → host → GPU; a
+    /// transfer split into `k` messages pipelines those stages, costing
+    /// `(k + stages − 1)/k` of the ideal serialization time. A monolithic
+    /// unchunked message (`k = 1`) pays every stage serially — the §4.2
+    /// bandwidth-underutilization mechanism. Intra-node NVSwitch/xGMI paths
+    /// are cut-through and take no such penalty.
+    pub fn work_bytes(&self, cluster: &Cluster, route: &[LinkId]) -> f64 {
+        if route.is_empty() {
+            return 0.0;
+        }
+        let crosses_node = route
+            .iter()
+            .any(|id| cluster.link(*id).class == charllm_hw::LinkClass::Nic);
+        let stages = if crosses_node { 3.0 } else { 1.0 };
+        let k = self.num_messages.max(1) as f64;
+        let pipelining = (k + stages - 1.0) / k;
+        let bw = cluster.route_bottleneck_gbps(route) * 1e9;
+        self.bytes as f64 * pipelining + self.overhead_s(cluster, route) * bw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charllm_hw::presets;
+
+    #[test]
+    fn on_device_flow_is_free() {
+        let c = presets::hgx_h200_cluster();
+        let f = Flow::new(GpuId(0), GpuId(0), 1 << 30, 1);
+        let route = f.route(&c).unwrap();
+        assert!(route.is_empty());
+        assert_eq!(f.work_bytes(&c, &route), 0.0);
+    }
+
+    #[test]
+    fn many_small_messages_cost_more_than_one_large() {
+        let c = presets::hgx_h200_cluster();
+        let bytes = 64 * 1024 * 1024;
+        let one = Flow::new(GpuId(0), GpuId(8), bytes, 1);
+        let many = Flow::new(GpuId(0), GpuId(8), bytes, 4096);
+        let route = one.route(&c).unwrap();
+        assert!(many.work_bytes(&c, &route) > 1.5 * one.work_bytes(&c, &route));
+    }
+
+    #[test]
+    fn intra_node_overhead_smaller_than_inter_node() {
+        let c = presets::hgx_h200_cluster();
+        let intra = Flow::new(GpuId(0), GpuId(1), 1 << 20, 8);
+        let inter = Flow::new(GpuId(0), GpuId(8), 1 << 20, 8);
+        let r_intra = intra.route(&c).unwrap();
+        let r_inter = inter.route(&c).unwrap();
+        assert!(intra.overhead_s(&c, &r_intra) < inter.overhead_s(&c, &r_inter));
+    }
+
+    #[test]
+    fn startup_adds_work() {
+        let c = presets::hgx_h200_cluster();
+        let mut f = Flow::new(GpuId(0), GpuId(1), 1 << 20, 1);
+        let route = f.route(&c).unwrap();
+        let base = f.work_bytes(&c, &route);
+        f.startup_s = 1e-3;
+        assert!(f.work_bytes(&c, &route) > base);
+    }
+}
+
+#[cfg(test)]
+mod chunking_tests {
+    use super::*;
+    use charllm_hw::presets;
+
+    #[test]
+    fn unchunked_inter_node_pays_store_and_forward() {
+        let c = presets::hgx_h200_cluster();
+        let bytes = 256 * 1024 * 1024;
+        let mono = Flow::new(GpuId(0), GpuId(8), bytes, 1);
+        let chunked = Flow::new(GpuId(0), GpuId(8), bytes, 64);
+        let route = mono.route(&c).unwrap();
+        let ratio = mono.work_bytes(&c, &route) / chunked.work_bytes(&c, &route);
+        assert!(ratio > 2.0, "unchunked should pay ~3x staging: ratio {ratio}");
+    }
+
+    #[test]
+    fn intra_node_unchunked_is_cut_through() {
+        let c = presets::hgx_h200_cluster();
+        let bytes = 256 * 1024 * 1024;
+        let mono = Flow::new(GpuId(0), GpuId(1), bytes, 1);
+        let route = mono.route(&c).unwrap();
+        let work = mono.work_bytes(&c, &route);
+        assert!(work < 1.05 * bytes as f64, "no staging penalty inside a node: {work}");
+    }
+}

@@ -1,0 +1,170 @@
+//! Hierarchical (two-level) collective lowering.
+//!
+//! NCCL exploits node locality for groups that span nodes with multiple
+//! members per node: reduce-scatter inside each node over NVLink, run the
+//! inter-node phase only between node leaders over the NIC, then broadcast
+//! the result back inside each node. This moves `(n−1)/n` of the buffer
+//! over fast intra-node links and only `(L−1)/L` (L = leaders) over the
+//! slow fabric — compared to a flat ring that drags `2·(n−1)/n` of the
+//! buffer through the NIC whenever the ring crosses nodes.
+//!
+//! The flat ring of [`crate::collectives`] remains the default used by the
+//! trace lowering (matching the paper's measured stack); this module is the
+//! "topology-aware collectives" recommendation of §4.2 made executable.
+
+use charllm_hw::{Cluster, GpuId, HwError, NodeId};
+use std::collections::BTreeMap;
+
+use crate::chunking::ChunkingPolicy;
+use crate::collectives::{lower_collective, CollectiveKind, CollectivePlan};
+
+/// Group the GPUs of a collective by node, preserving order.
+fn by_node(gpus: &[GpuId], cluster: &Cluster) -> BTreeMap<NodeId, Vec<GpuId>> {
+    let mut map: BTreeMap<NodeId, Vec<GpuId>> = BTreeMap::new();
+    for &g in gpus {
+        map.entry(cluster.node_of(g)).or_default().push(g);
+    }
+    map
+}
+
+/// Whether a hierarchical algorithm is profitable: the group spans several
+/// nodes and at least one node hosts two or more members.
+pub fn is_hierarchical_profitable(gpus: &[GpuId], cluster: &Cluster) -> bool {
+    let nodes = by_node(gpus, cluster);
+    nodes.len() > 1 && nodes.values().any(|v| v.len() > 1)
+}
+
+/// Lower an AllReduce hierarchically: intra-node ReduceScatter, inter-node
+/// AllReduce among node leaders, intra-node AllGather.
+///
+/// Falls back to the flat ring when the hierarchy offers nothing (single
+/// node, or one GPU per node).
+///
+/// # Errors
+///
+/// Propagates [`HwError::GpuOutOfRange`].
+pub fn lower_hierarchical_allreduce(
+    bytes: u64,
+    gpus: &[GpuId],
+    cluster: &Cluster,
+    chunking: ChunkingPolicy,
+) -> Result<CollectivePlan, HwError> {
+    if !is_hierarchical_profitable(gpus, cluster) {
+        return lower_collective(CollectiveKind::AllReduce, bytes, gpus, cluster, chunking);
+    }
+    let nodes = by_node(gpus, cluster);
+    let mut flows = Vec::new();
+
+    // Phase 1: intra-node reduce-scatter per node.
+    for members in nodes.values() {
+        let p = lower_collective(CollectiveKind::ReduceScatter, bytes, members, cluster, chunking)?;
+        flows.extend(p.flows);
+    }
+    // Phase 2: inter-node all-reduce of each leader's shard. Each leader
+    // holds bytes / local_members; use the largest shard for safety.
+    let leaders: Vec<GpuId> = nodes.values().map(|v| v[0]).collect();
+    let max_local = nodes.values().map(Vec::len).max().unwrap_or(1) as u64;
+    let shard = (bytes / max_local).max(1);
+    let p = lower_collective(CollectiveKind::AllReduce, shard, &leaders, cluster, chunking)?;
+    flows.extend(p.flows);
+    // Phase 3: intra-node all-gather per node.
+    for members in nodes.values() {
+        let p = lower_collective(CollectiveKind::AllGather, bytes, members, cluster, chunking)?;
+        flows.extend(p.flows);
+    }
+
+    Ok(CollectivePlan { kind: CollectiveKind::AllReduce, flows, bytes_per_rank: bytes })
+}
+
+/// Bytes a plan moves across node boundaries (through any NIC).
+pub fn inter_node_bytes(plan: &CollectivePlan, cluster: &Cluster) -> u64 {
+    plan.flows
+        .iter()
+        .filter(|f| !cluster.same_node(f.src, f.dst))
+        .map(|f| f.bytes)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charllm_hw::presets;
+
+    fn spanning_group() -> Vec<GpuId> {
+        // Two nodes x 4 members each.
+        (0..4).map(GpuId).chain((8..12).map(GpuId)).collect()
+    }
+
+    #[test]
+    fn profitability_detection() {
+        let c = presets::hgx_h200_cluster();
+        assert!(is_hierarchical_profitable(&spanning_group(), &c));
+        // Single node: not profitable.
+        let local: Vec<GpuId> = (0..8).map(GpuId).collect();
+        assert!(!is_hierarchical_profitable(&local, &c));
+        // One GPU per node: not profitable.
+        let sparse: Vec<GpuId> = [0u32, 8, 16, 24].iter().map(|&g| GpuId(g)).collect();
+        assert!(!is_hierarchical_profitable(&sparse, &c));
+    }
+
+    #[test]
+    fn hierarchy_slashes_inter_node_traffic() {
+        let c = presets::hgx_h200_cluster();
+        let bytes = 1u64 << 30;
+        let group = spanning_group();
+        let flat = lower_collective(
+            CollectiveKind::AllReduce,
+            bytes,
+            &group,
+            &c,
+            ChunkingPolicy::nccl_default(),
+        )
+        .unwrap();
+        let hier =
+            lower_hierarchical_allreduce(bytes, &group, &c, ChunkingPolicy::nccl_default())
+                .unwrap();
+        let flat_x = inter_node_bytes(&flat, &c);
+        let hier_x = inter_node_bytes(&hier, &c);
+        assert!(
+            hier_x * 2 < flat_x,
+            "hierarchical {hier_x} vs flat {flat_x} inter-node bytes"
+        );
+    }
+
+    #[test]
+    fn falls_back_to_flat_ring_when_unprofitable() {
+        let c = presets::hgx_h200_cluster();
+        let local: Vec<GpuId> = (0..8).map(GpuId).collect();
+        let hier = lower_hierarchical_allreduce(
+            1 << 20,
+            &local,
+            &c,
+            ChunkingPolicy::nccl_default(),
+        )
+        .unwrap();
+        let flat = lower_collective(
+            CollectiveKind::AllReduce,
+            1 << 20,
+            &local,
+            &c,
+            ChunkingPolicy::nccl_default(),
+        )
+        .unwrap();
+        assert_eq!(hier.flows.len(), flat.flows.len());
+    }
+
+    #[test]
+    fn hierarchical_plan_touches_every_member() {
+        let c = presets::hgx_h200_cluster();
+        let group = spanning_group();
+        let plan =
+            lower_hierarchical_allreduce(1 << 26, &group, &c, ChunkingPolicy::nccl_default())
+                .unwrap();
+        for &g in &group {
+            assert!(
+                plan.flows.iter().any(|f| f.src == g || f.dst == g),
+                "{g} not touched by any flow"
+            );
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Enumeration of valid parallelism configurations for a model × cluster
+//! pair, following the paper's methodology (§3.1): find the minimal total
+//! model parallelism that fits in GPU memory, keep TP within a node, and
+//! fill leftover capacity with DP.
+
+use charllm_hw::Cluster;
+use charllm_models::TrainJob;
+
+use crate::memory::{fits, StagePartition};
+use crate::spec::ParallelismSpec;
+
+/// Options controlling configuration enumeration.
+#[derive(Debug, Clone, Copy)]
+pub struct EnumerateOptions {
+    /// Include `TP*-FSDP` configurations (dense models only).
+    pub include_fsdp: bool,
+    /// Require the configuration to fit in GPU memory.
+    pub check_memory: bool,
+}
+
+impl Default for EnumerateOptions {
+    fn default() -> Self {
+        EnumerateOptions { include_fsdp: true, check_memory: true }
+    }
+}
+
+fn pow2_up_to(max: usize) -> impl Iterator<Item = usize> {
+    (0..).map(|e| 1usize << e).take_while(move |&v| v <= max)
+}
+
+/// All valid parallelism specs for `job` on `cluster`, sorted by (ep, tp,
+/// pp) for stable output.
+///
+/// Validity requires: TP within a node and dividing the attention heads; PP
+/// dividing the layer count; EP dividing the expert count (MoE only); the
+/// product dividing the cluster size; the global batch dividing into
+/// `dp × microbatch`; and (optionally) the stage-0 rank fitting in memory.
+pub fn valid_configs(job: &TrainJob, cluster: &Cluster, opts: EnumerateOptions) -> Vec<ParallelismSpec> {
+    let world = cluster.num_gpus();
+    let arch = &job.arch;
+    let mut out = Vec::new();
+
+    let eps: Vec<usize> = match &arch.moe {
+        None => vec![1],
+        Some(moe) => pow2_up_to(moe.num_experts)
+            .filter(|e| moe.num_experts % e == 0)
+            .collect(),
+    };
+
+    for &ep in &eps {
+        for tp in pow2_up_to(cluster.gpus_per_node()) {
+            if arch.num_heads % tp != 0 || arch.num_kv_heads % tp != 0 {
+                continue;
+            }
+            for pp in pow2_up_to(world) {
+                if arch.num_layers % pp != 0 {
+                    continue;
+                }
+                let mp = tp * pp * ep;
+                if mp > world || world % mp != 0 {
+                    continue;
+                }
+                let spec = match ParallelismSpec::infer_dp(tp, pp, ep, world, false) {
+                    Ok(s) => s,
+                    Err(_) => continue,
+                };
+                if job.validate_for_dp(spec.dp).is_err() {
+                    continue;
+                }
+                let partition = match StagePartition::even(arch.num_layers, pp) {
+                    Ok(p) => p,
+                    Err(_) => continue,
+                };
+                if opts.check_memory
+                    && !fits(job, &spec, &partition, cluster.gpu().memory_bytes)
+                {
+                    continue;
+                }
+                out.push(spec);
+            }
+        }
+    }
+
+    if opts.include_fsdp && !arch.is_moe() {
+        // The paper evaluates TP8-FSDP (2D parallelism): TP across the node,
+        // FSDP over the rest.
+        let tp = cluster.gpus_per_node();
+        if arch.num_heads % tp == 0 && world > tp {
+            if let Ok(spec) = ParallelismSpec::new(tp, 1, 1, world / tp, true) {
+                let partition = StagePartition::even(arch.num_layers, 1)
+                    .expect("single stage always valid");
+                let ok_batch = job.validate_for_dp(spec.dp).is_ok();
+                let ok_mem = !opts.check_memory
+                    || fits(job, &spec, &partition, cluster.gpu().memory_bytes);
+                if ok_batch && ok_mem {
+                    out.push(spec);
+                }
+            }
+        }
+    }
+
+    out.sort_by_key(|s| (s.ep, s.tp, s.pp, s.fsdp));
+    out
+}
+
+/// The minimal total model parallelism (`tp·pp·ep`) among valid configs —
+/// the quantity the paper minimizes before exploring configurations.
+pub fn minimal_model_parallelism(job: &TrainJob, cluster: &Cluster) -> Option<usize> {
+    valid_configs(job, cluster, EnumerateOptions { include_fsdp: false, check_memory: true })
+        .iter()
+        .map(|s| s.model_parallel())
+        .min()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charllm_hw::presets;
+    use charllm_models::presets as models;
+
+    #[test]
+    fn gpt3_175b_on_h200_has_model_parallel_configs() {
+        let job = TrainJob::pretrain(models::gpt3_175b());
+        let cluster = presets::hgx_h200_cluster();
+        let configs = valid_configs(&job, &cluster, EnumerateOptions::default());
+        assert!(!configs.is_empty());
+        // Pure DP cannot fit a 175B model.
+        assert!(configs.iter().all(|s| s.model_parallel() > 1));
+        // The paper's TP8-PP4 must be among them.
+        assert!(configs.iter().any(|s| s.label() == "TP8-PP4"), "configs: {configs:?}");
+    }
+
+    #[test]
+    fn deep_pp_unlocked_by_recompute() {
+        // TP1-PP32 on 64xH100 with microbatch 1: feasible only with
+        // activation recomputation at stage 0's stash depth.
+        let cluster = presets::hgx_h100_cluster();
+        let base = TrainJob::pretrain(models::gpt3_175b());
+        let with_act = base.clone().with_recompute(true);
+        let has = |job: &TrainJob, label: &str| {
+            valid_configs(job, &cluster, EnumerateOptions::default())
+                .iter()
+                .any(|s| s.label() == label)
+        };
+        assert!(has(&with_act, "TP1-PP32"));
+    }
+
+    #[test]
+    fn moe_configs_include_expert_parallelism() {
+        let job = TrainJob::pretrain(models::mixtral_8x7b()).with_recompute(true);
+        let cluster = presets::hgx_h200_cluster();
+        let configs = valid_configs(&job, &cluster, EnumerateOptions::default());
+        assert!(configs.iter().any(|s| s.ep == 8), "configs: {configs:?}");
+        // MoE models never get FSDP in the paper.
+        assert!(configs.iter().all(|s| !s.fsdp));
+    }
+
+    #[test]
+    fn fsdp_offered_for_dense_models() {
+        let job = TrainJob::pretrain(models::llama3_70b());
+        let cluster = presets::hgx_h200_cluster();
+        let configs = valid_configs(&job, &cluster, EnumerateOptions::default());
+        assert!(configs.iter().any(|s| s.fsdp), "configs: {configs:?}");
+    }
+
+    #[test]
+    fn tp_restricted_to_node() {
+        let job = TrainJob::pretrain(models::gpt3_175b());
+        let cluster = presets::hgx_h100_cluster();
+        let configs = valid_configs(&job, &cluster, EnumerateOptions::default());
+        assert!(configs.iter().all(|s| s.tp <= cluster.gpus_per_node()));
+    }
+
+    #[test]
+    fn all_configs_fill_the_cluster() {
+        let job = TrainJob::pretrain(models::llama3_70b());
+        let cluster = presets::hgx_h200_cluster();
+        for s in valid_configs(&job, &cluster, EnumerateOptions::default()) {
+            assert_eq!(s.world(), 32, "{s}");
+        }
+    }
+
+    #[test]
+    fn minimal_model_parallelism_larger_for_bigger_models() {
+        let cluster = presets::hgx_h200_cluster();
+        let small = minimal_model_parallelism(
+            &TrainJob::pretrain(models::gpt3_13b()),
+            &cluster,
+        )
+        .unwrap();
+        let big = minimal_model_parallelism(
+            &TrainJob::pretrain(models::gpt3_175b()),
+            &cluster,
+        )
+        .unwrap();
+        assert!(big > small, "175B ({big}) should need more MP than 13B ({small})");
+    }
+
+    #[test]
+    fn memory_check_can_be_disabled() {
+        let job = TrainJob::pretrain(models::gpt3_175b());
+        let cluster = presets::hgx_h200_cluster();
+        let unchecked = valid_configs(
+            &job,
+            &cluster,
+            EnumerateOptions { include_fsdp: false, check_memory: false },
+        );
+        let checked = valid_configs(
+            &job,
+            &cluster,
+            EnumerateOptions { include_fsdp: false, check_memory: true },
+        );
+        assert!(unchecked.len() > checked.len());
+    }
+}

@@ -1,0 +1,64 @@
+//! Error types for parallelism configuration.
+
+use std::fmt;
+
+/// Errors raised while building parallelism configurations or placements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParallelError {
+    /// The product of parallel widths does not match the world size.
+    WorldSizeMismatch {
+        /// `tp × ep × dp × pp`.
+        product: usize,
+        /// Requested world size.
+        world: usize,
+    },
+    /// A parallel width was zero.
+    ZeroWidth(&'static str),
+    /// A width does not divide the quantity it shards.
+    NotDivisible {
+        /// What is being sharded (layers, experts, heads...).
+        what: &'static str,
+        /// The quantity being divided.
+        value: usize,
+        /// The parallel width.
+        by: usize,
+    },
+    /// A placement did not cover every rank or referenced a GPU twice.
+    InvalidPlacement(String),
+    /// A stage partition did not sum to the layer count.
+    InvalidPartition(String),
+    /// The configuration label could not be parsed.
+    ParseError(String),
+}
+
+impl fmt::Display for ParallelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParallelError::WorldSizeMismatch { product, world } => {
+                write!(f, "parallel widths multiply to {product} but world size is {world}")
+            }
+            ParallelError::ZeroWidth(dim) => write!(f, "{dim} width must be non-zero"),
+            ParallelError::NotDivisible { what, value, by } => {
+                write!(f, "{what} ({value}) not divisible by width {by}")
+            }
+            ParallelError::InvalidPlacement(msg) => write!(f, "invalid placement: {msg}"),
+            ParallelError::InvalidPartition(msg) => write!(f, "invalid stage partition: {msg}"),
+            ParallelError::ParseError(msg) => write!(f, "could not parse config label: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ParallelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ParallelError::NotDivisible { what: "layers", value: 96, by: 5 };
+        assert!(e.to_string().contains("96"));
+        assert!(e.to_string().contains("5"));
+    }
+}

@@ -1,0 +1,36 @@
+//! Parallelism strategies for the CharLLM-PPT reproduction.
+//!
+//! Implements the paper's distribution dimensions — tensor (TP), pipeline
+//! (PP), expert (EP), data (DP) and fully-sharded data parallelism (FSDP) —
+//! with the NeMo/Megatron rank-assignment order **TP → EP → DP → PP** (§3.1),
+//! device placement onto [`charllm_hw::Cluster`] topologies (including the
+//! §6 thermal-aware pipeline placements), per-rank memory footprints, and
+//! enumeration of the valid configurations for a model × cluster pair.
+//!
+//! ```
+//! use charllm_parallel::ParallelismSpec;
+//!
+//! // The paper's "TP4-PP4" on a 32-GPU system implies an additional DP of 2.
+//! let spec = ParallelismSpec::infer_dp(4, 4, 1, 32, false).unwrap();
+//! assert_eq!(spec.dp, 2);
+//! assert_eq!(spec.label(), "TP4-PP4");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod enumerate;
+pub mod error;
+pub mod mapping;
+pub mod memory;
+pub mod placement;
+pub mod schedule;
+pub mod spec;
+pub mod thermal_aware;
+
+pub use error::ParallelError;
+pub use mapping::{RankCoords, RankGrid};
+pub use memory::{fits, rank_memory, StagePartition};
+pub use placement::Placement;
+pub use schedule::{PipelineOp, PipelineSchedule};
+pub use spec::ParallelismSpec;

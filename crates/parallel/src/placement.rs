@@ -1,0 +1,165 @@
+//! Device placement: mapping ranks onto physical GPUs.
+
+use serde::{Deserialize, Serialize};
+
+use charllm_hw::{Cluster, GpuId};
+
+use crate::error::ParallelError;
+
+/// A mapping from rank to physical GPU.
+///
+/// The default ("consecutive device IDs", as the paper puts it) maps rank
+/// `r` to global GPU `r`, which combined with the TP-fastest rank order
+/// keeps TP groups node-local. The §6 thermal-aware strategies construct
+/// non-identity placements via [`crate::thermal_aware`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    gpu_of_rank: Vec<GpuId>,
+}
+
+impl Placement {
+    /// The identity placement of `world` ranks onto the first `world` GPUs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParallelError::InvalidPlacement`] when the cluster has
+    /// fewer than `world` GPUs.
+    pub fn identity(cluster: &Cluster, world: usize) -> Result<Self, ParallelError> {
+        if world > cluster.num_gpus() {
+            return Err(ParallelError::InvalidPlacement(format!(
+                "world size {world} exceeds cluster of {} gpus",
+                cluster.num_gpus()
+            )));
+        }
+        Ok(Placement { gpu_of_rank: (0..world as u32).map(GpuId).collect() })
+    }
+
+    /// Build from an explicit rank → GPU table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParallelError::InvalidPlacement`] when a GPU appears twice
+    /// or lies outside the cluster.
+    pub fn from_table(cluster: &Cluster, gpu_of_rank: Vec<GpuId>) -> Result<Self, ParallelError> {
+        let mut seen = vec![false; cluster.num_gpus()];
+        for &g in &gpu_of_rank {
+            if g.index() >= cluster.num_gpus() {
+                return Err(ParallelError::InvalidPlacement(format!(
+                    "{g} outside cluster of {} gpus",
+                    cluster.num_gpus()
+                )));
+            }
+            if seen[g.index()] {
+                return Err(ParallelError::InvalidPlacement(format!("{g} assigned twice")));
+            }
+            seen[g.index()] = true;
+        }
+        Ok(Placement { gpu_of_rank })
+    }
+
+    /// Number of placed ranks.
+    pub fn world(&self) -> usize {
+        self.gpu_of_rank.len()
+    }
+
+    /// The GPU hosting a rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank is out of range.
+    pub fn gpu(&self, rank: usize) -> GpuId {
+        self.gpu_of_rank[rank]
+    }
+
+    /// The rank hosted on a GPU, if any.
+    pub fn rank_on(&self, gpu: GpuId) -> Option<usize> {
+        self.gpu_of_rank.iter().position(|&g| g == gpu)
+    }
+
+    /// Iterate `(rank, GpuId)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, GpuId)> + '_ {
+        self.gpu_of_rank.iter().copied().enumerate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charllm_hw::presets;
+
+    #[test]
+    fn identity_maps_rank_to_same_index() {
+        let c = presets::hgx_h200_cluster();
+        let p = Placement::identity(&c, 32).unwrap();
+        assert_eq!(p.gpu(7), GpuId(7));
+        assert_eq!(p.rank_on(GpuId(31)), Some(31));
+    }
+
+    #[test]
+    fn identity_rejects_oversubscription() {
+        let c = presets::hgx_h200_cluster();
+        assert!(Placement::identity(&c, 64).is_err());
+    }
+
+    #[test]
+    fn partial_worlds_leave_gpus_idle() {
+        let c = presets::hgx_h200_cluster();
+        let p = Placement::identity(&c, 16).unwrap();
+        assert_eq!(p.world(), 16);
+        assert_eq!(p.rank_on(GpuId(20)), None);
+    }
+
+    #[test]
+    fn duplicate_gpu_rejected() {
+        let c = presets::hgx_h200_cluster();
+        let err = Placement::from_table(&c, vec![GpuId(0), GpuId(0)]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn out_of_cluster_gpu_rejected() {
+        let c = presets::hgx_h200_cluster();
+        assert!(Placement::from_table(&c, vec![GpuId(99)]).is_err());
+    }
+
+    #[test]
+    fn custom_table_roundtrips() {
+        let c = presets::hgx_h200_cluster();
+        let table = vec![GpuId(4), GpuId(0), GpuId(9)];
+        let p = Placement::from_table(&c, table.clone()).unwrap();
+        for (rank, gpu) in p.iter() {
+            assert_eq!(gpu, table[rank]);
+            assert_eq!(p.rank_on(gpu), Some(rank));
+        }
+    }
+
+    #[test]
+    fn default_placement_keeps_tp_groups_node_local() {
+        // With TP->EP->DP->PP rank order and identity placement, a TP8 group
+        // occupies exactly one 8-GPU node.
+        use crate::mapping::RankGrid;
+        use crate::spec::ParallelismSpec;
+        let c = presets::hgx_h200_cluster();
+        let g = RankGrid::new(ParallelismSpec::infer_dp(8, 4, 1, 32, false).unwrap());
+        let p = Placement::identity(&c, 32).unwrap();
+        for rank in [0, 11, 25] {
+            let group = g.tp_group(rank);
+            let nodes: std::collections::HashSet<_> =
+                group.iter().map(|&r| c.node_of(p.gpu(r))).collect();
+            assert_eq!(nodes.len(), 1, "tp group of rank {rank} spans {nodes:?}");
+        }
+    }
+
+    #[test]
+    fn pp_groups_span_nodes_under_default_placement() {
+        use crate::mapping::RankGrid;
+        use crate::spec::ParallelismSpec;
+        let c = presets::hgx_h200_cluster();
+        let g = RankGrid::new(ParallelismSpec::infer_dp(8, 4, 1, 32, false).unwrap());
+        let p = Placement::identity(&c, 32).unwrap();
+        let group = g.pp_group(0);
+        let nodes: std::collections::HashSet<_> =
+            group.iter().map(|&r| c.node_of(p.gpu(r))).collect();
+        assert_eq!(nodes.len(), 4, "each stage of TP8-PP4 lives on its own node");
+    }
+}

@@ -1,0 +1,345 @@
+//! Pipeline schedules: 1F1B and interleaved (virtual-stage) scheduling.
+//!
+//! A schedule emits, for one pipeline stage, the ordered list of
+//! forward/backward microbatch executions. Cross-rank synchronization is
+//! handled downstream by the trace lowering via activation SendRecv
+//! matching; sends are eager (buffered) and receives block, mirroring NCCL
+//! P2P semantics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ParallelError;
+
+/// One pipeline operation at a stage: run the forward or backward pass of a
+/// microbatch through one model chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PipelineOp {
+    /// Forward pass of `mb` through model `chunk` (chunk 0 unless
+    /// interleaved).
+    Forward {
+        /// Microbatch index.
+        mb: usize,
+        /// Virtual model chunk held by this stage.
+        chunk: usize,
+    },
+    /// Backward pass of `mb` through model `chunk`.
+    Backward {
+        /// Microbatch index.
+        mb: usize,
+        /// Virtual model chunk held by this stage.
+        chunk: usize,
+    },
+}
+
+impl PipelineOp {
+    /// Microbatch index of the op.
+    pub fn mb(&self) -> usize {
+        match self {
+            PipelineOp::Forward { mb, .. } | PipelineOp::Backward { mb, .. } => *mb,
+        }
+    }
+
+    /// Model chunk of the op.
+    pub fn chunk(&self) -> usize {
+        match self {
+            PipelineOp::Forward { chunk, .. } | PipelineOp::Backward { chunk, .. } => *chunk,
+        }
+    }
+
+    /// Whether this is a forward op.
+    pub fn is_forward(&self) -> bool {
+        matches!(self, PipelineOp::Forward { .. })
+    }
+}
+
+/// The pipeline schedule family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum PipelineSchedule {
+    /// Megatron's memory-efficient one-forward-one-backward schedule.
+    #[default]
+    OneFOneB,
+    /// Interleaved scheduling with this many virtual chunks per stage
+    /// (reduces the pipeline bubble at the cost of more communication).
+    Interleaved(usize),
+}
+
+impl PipelineSchedule {
+    /// Number of virtual model chunks each stage holds.
+    pub fn chunks(&self) -> usize {
+        match self {
+            PipelineSchedule::OneFOneB => 1,
+            PipelineSchedule::Interleaved(v) => *v,
+        }
+    }
+
+    /// The ordered ops for `stage` of `num_stages`, running
+    /// `num_microbatches` per step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParallelError::InvalidPartition`] if an interleaved
+    /// schedule is requested with `num_microbatches` not divisible by
+    /// `num_stages` (the Megatron restriction), or zero chunks.
+    pub fn ops(
+        &self,
+        stage: usize,
+        num_stages: usize,
+        num_microbatches: usize,
+    ) -> Result<Vec<PipelineOp>, ParallelError> {
+        assert!(stage < num_stages, "stage out of range");
+        match self {
+            PipelineSchedule::OneFOneB => {
+                Ok(one_f_one_b(stage, num_stages, num_microbatches, 1))
+            }
+            PipelineSchedule::Interleaved(v) => {
+                if *v == 0 {
+                    return Err(ParallelError::InvalidPartition("zero virtual chunks".into()));
+                }
+                if *v == 1 {
+                    return Ok(one_f_one_b(stage, num_stages, num_microbatches, 1));
+                }
+                if num_microbatches % num_stages != 0 {
+                    return Err(ParallelError::InvalidPartition(format!(
+                        "interleaved schedule needs microbatches ({num_microbatches}) divisible \
+                         by pipeline stages ({num_stages})"
+                    )));
+                }
+                Ok(interleaved(stage, num_stages, num_microbatches, *v))
+            }
+        }
+    }
+
+    /// Ideal (zero-jitter) bubble fraction of this schedule: the fraction of
+    /// a step a stage spends idle due to pipeline fill/drain.
+    pub fn ideal_bubble_fraction(&self, num_stages: usize, num_microbatches: usize) -> f64 {
+        let v = self.chunks() as f64;
+        let s = num_stages as f64;
+        let m = num_microbatches as f64;
+        if num_stages <= 1 || num_microbatches == 0 {
+            return 0.0;
+        }
+        ((s - 1.0) / v) / (m + (s - 1.0) / v)
+    }
+}
+
+fn one_f_one_b(stage: usize, num_stages: usize, m: usize, _v: usize) -> Vec<PipelineOp> {
+    let warmup = (num_stages - stage - 1).min(m);
+    let mut ops = Vec::with_capacity(2 * m);
+    for mb in 0..warmup {
+        ops.push(PipelineOp::Forward { mb, chunk: 0 });
+    }
+    for i in 0..(m - warmup) {
+        ops.push(PipelineOp::Forward { mb: warmup + i, chunk: 0 });
+        ops.push(PipelineOp::Backward { mb: i, chunk: 0 });
+    }
+    for mb in (m - warmup)..m {
+        ops.push(PipelineOp::Backward { mb, chunk: 0 });
+    }
+    ops
+}
+
+/// Interleaved 1F1B over `v` chunks: forward "units" are grouped so each
+/// group of `num_stages` microbatches streams through chunk 0, then chunk 1,
+/// etc.; backward units drain chunks in reverse. Warmup depth follows
+/// Megatron: `2·(S−s−1) + (v−1)·S` units.
+fn interleaved(stage: usize, num_stages: usize, m: usize, v: usize) -> Vec<PipelineOp> {
+    let s = num_stages;
+    let units = m * v;
+    let fwd_unit = |u: usize| -> PipelineOp {
+        let g = u / (s * v);
+        let p = u % (s * v);
+        PipelineOp::Forward { mb: g * s + p % s, chunk: p / s }
+    };
+    let bwd_unit = |u: usize| -> PipelineOp {
+        let g = u / (s * v);
+        let p = u % (s * v);
+        PipelineOp::Backward { mb: g * s + p % s, chunk: v - 1 - p / s }
+    };
+    let warmup = (2 * (s - stage - 1) + (v - 1) * s).min(units);
+    let mut ops = Vec::with_capacity(2 * units);
+    for u in 0..warmup {
+        ops.push(fwd_unit(u));
+    }
+    for i in 0..(units - warmup) {
+        ops.push(fwd_unit(warmup + i));
+        ops.push(bwd_unit(i));
+    }
+    for u in (units - warmup)..units {
+        ops.push(bwd_unit(u));
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn check_complete(ops: &[PipelineOp], m: usize, v: usize) {
+        let fwd: HashSet<_> =
+            ops.iter().filter(|o| o.is_forward()).map(|o| (o.mb(), o.chunk())).collect();
+        let bwd: HashSet<_> =
+            ops.iter().filter(|o| !o.is_forward()).map(|o| (o.mb(), o.chunk())).collect();
+        assert_eq!(fwd.len(), m * v, "every (mb, chunk) forward exactly once");
+        assert_eq!(bwd.len(), m * v, "every (mb, chunk) backward exactly once");
+        assert_eq!(ops.len(), 2 * m * v);
+    }
+
+    fn check_fwd_before_bwd(ops: &[PipelineOp]) {
+        for (i, op) in ops.iter().enumerate() {
+            if !op.is_forward() {
+                let key = (op.mb(), op.chunk());
+                let fwd_pos = ops
+                    .iter()
+                    .position(|o| o.is_forward() && (o.mb(), o.chunk()) == key)
+                    .expect("matching forward exists");
+                assert!(fwd_pos < i, "backward of {key:?} before its forward");
+            }
+        }
+    }
+
+    #[test]
+    fn one_f_one_b_complete_and_ordered() {
+        for stages in [1, 2, 4, 8] {
+            for m in [1, 2, 8, 32] {
+                for stage in 0..stages {
+                    let ops = PipelineSchedule::OneFOneB.ops(stage, stages, m).unwrap();
+                    check_complete(&ops, m, 1);
+                    check_fwd_before_bwd(&ops);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn last_stage_strictly_alternates() {
+        let ops = PipelineSchedule::OneFOneB.ops(3, 4, 8).unwrap();
+        // Last stage has zero warmup: F0 B0 F1 B1 ...
+        for (i, op) in ops.iter().enumerate() {
+            assert_eq!(op.is_forward(), i % 2 == 0);
+            assert_eq!(op.mb(), i / 2);
+        }
+    }
+
+    #[test]
+    fn first_stage_warmup_depth() {
+        let ops = PipelineSchedule::OneFOneB.ops(0, 4, 8).unwrap();
+        // Stage 0 of 4 warms up with 3 forwards before the first backward.
+        assert!(ops[..3].iter().all(|o| o.is_forward()));
+        assert!(!ops[4].is_forward());
+    }
+
+    #[test]
+    fn warmup_capped_by_microbatches() {
+        let ops = PipelineSchedule::OneFOneB.ops(0, 8, 2).unwrap();
+        check_complete(&ops, 2, 1);
+        check_fwd_before_bwd(&ops);
+    }
+
+    #[test]
+    fn interleaved_complete_and_ordered() {
+        for stages in [2usize, 4] {
+            for v in [2usize, 4] {
+                let m = 2 * stages; // divisible by stages
+                for stage in 0..stages {
+                    let ops =
+                        PipelineSchedule::Interleaved(v).ops(stage, stages, m).unwrap();
+                    check_complete(&ops, m, v);
+                    check_fwd_before_bwd(&ops);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_requires_divisible_microbatches() {
+        assert!(PipelineSchedule::Interleaved(2).ops(0, 4, 6).is_err());
+        assert!(PipelineSchedule::Interleaved(0).ops(0, 4, 8).is_err());
+    }
+
+    #[test]
+    fn interleaved_v1_degenerates_to_1f1b() {
+        let a = PipelineSchedule::Interleaved(1).ops(1, 4, 8).unwrap();
+        let b = PipelineSchedule::OneFOneB.ops(1, 4, 8).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn interleaving_shrinks_ideal_bubble() {
+        let plain = PipelineSchedule::OneFOneB.ideal_bubble_fraction(8, 16);
+        let inter = PipelineSchedule::Interleaved(4).ideal_bubble_fraction(8, 16);
+        assert!(inter < plain);
+    }
+
+    #[test]
+    fn bubble_shrinks_with_more_microbatches() {
+        let few = PipelineSchedule::OneFOneB.ideal_bubble_fraction(8, 8);
+        let many = PipelineSchedule::OneFOneB.ideal_bubble_fraction(8, 64);
+        assert!(many < few);
+    }
+
+    #[test]
+    fn single_stage_has_no_bubble() {
+        assert_eq!(PipelineSchedule::OneFOneB.ideal_bubble_fraction(1, 8), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    proptest! {
+        #[test]
+        fn one_f_one_b_always_complete_and_ordered(
+            stages in 1usize..12,
+            stage_seed in 0usize..12,
+            m in 1usize..40,
+        ) {
+            let stage = stage_seed % stages;
+            let ops = PipelineSchedule::OneFOneB.ops(stage, stages, m).unwrap();
+            prop_assert_eq!(ops.len(), 2 * m);
+            let fwd: HashSet<_> = ops.iter().filter(|o| o.is_forward()).map(PipelineOp::mb).collect();
+            prop_assert_eq!(fwd.len(), m);
+            for (i, op) in ops.iter().enumerate() {
+                if !op.is_forward() {
+                    let f = ops
+                        .iter()
+                        .position(|o| o.is_forward() && o.mb() == op.mb())
+                        .unwrap();
+                    prop_assert!(f < i);
+                }
+            }
+        }
+
+        #[test]
+        fn interleaved_complete_when_divisible(
+            stages in 2usize..6,
+            v in 2usize..4,
+            groups in 1usize..4,
+        ) {
+            let m = stages * groups;
+            for stage in 0..stages {
+                let ops = PipelineSchedule::Interleaved(v).ops(stage, stages, m).unwrap();
+                prop_assert_eq!(ops.len(), 2 * m * v);
+                let fwd: HashSet<_> = ops
+                    .iter()
+                    .filter(|o| o.is_forward())
+                    .map(|o| (o.mb(), o.chunk()))
+                    .collect();
+                prop_assert_eq!(fwd.len(), m * v);
+            }
+        }
+
+        #[test]
+        fn bubble_fraction_in_unit_range(
+            stages in 1usize..64,
+            m in 1usize..256,
+            v in 1usize..4,
+        ) {
+            let b = PipelineSchedule::Interleaved(v).ideal_bubble_fraction(stages, m);
+            prop_assert!((0.0..1.0).contains(&b));
+        }
+    }
+}

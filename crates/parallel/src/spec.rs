@@ -1,0 +1,219 @@
+//! Parallelism specification and the paper's labelling scheme.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ParallelError;
+
+/// Widths of every parallelism dimension for one training run.
+///
+/// World size is `tp × ep × dp × pp`. When `fsdp` is set, the data-parallel
+/// dimension shards parameters/gradients/optimizer (PyTorch-FSDP style)
+/// instead of replicating them — the paper's `TP8-FSDP` configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParallelismSpec {
+    /// Tensor-parallel width (within a node in all paper configs).
+    pub tp: usize,
+    /// Pipeline-parallel depth.
+    pub pp: usize,
+    /// Expert-parallel width (1 for dense models).
+    pub ep: usize,
+    /// Data-parallel width.
+    pub dp: usize,
+    /// Whether the DP dimension runs FSDP (parameter sharding).
+    pub fsdp: bool,
+}
+
+impl ParallelismSpec {
+    /// A plain data-parallel spec.
+    pub fn data_parallel(dp: usize) -> Self {
+        ParallelismSpec { tp: 1, pp: 1, ep: 1, dp, fsdp: false }
+    }
+
+    /// Construct with explicit widths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParallelError::ZeroWidth`] for any zero width.
+    pub fn new(tp: usize, pp: usize, ep: usize, dp: usize, fsdp: bool) -> Result<Self, ParallelError> {
+        for (w, name) in [(tp, "tp"), (pp, "pp"), (ep, "ep"), (dp, "dp")] {
+            if w == 0 {
+                return Err(ParallelError::ZeroWidth(match name {
+                    "tp" => "tensor parallel",
+                    "pp" => "pipeline parallel",
+                    "ep" => "expert parallel",
+                    _ => "data parallel",
+                }));
+            }
+        }
+        Ok(ParallelismSpec { tp, pp, ep, dp, fsdp })
+    }
+
+    /// Construct from model-parallel widths, inferring DP so the spec fills
+    /// `world` GPUs — the paper's convention ("in a 32-GPU system, TP4-PP4
+    /// implies an additional DP of 2").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParallelError::WorldSizeMismatch`] when `tp·ep·pp` does not
+    /// divide `world`, and [`ParallelError::ZeroWidth`] for zero widths.
+    pub fn infer_dp(
+        tp: usize,
+        pp: usize,
+        ep: usize,
+        world: usize,
+        fsdp: bool,
+    ) -> Result<Self, ParallelError> {
+        if tp == 0 || pp == 0 || ep == 0 {
+            return Err(ParallelError::ZeroWidth("model parallel"));
+        }
+        let mp = tp * pp * ep;
+        if mp == 0 || world % mp != 0 || world == 0 {
+            return Err(ParallelError::WorldSizeMismatch { product: mp, world });
+        }
+        ParallelismSpec::new(tp, pp, ep, world / mp, fsdp)
+    }
+
+    /// Total number of ranks.
+    pub fn world(&self) -> usize {
+        self.tp * self.ep * self.dp * self.pp
+    }
+
+    /// Total model parallelism (`tp × pp × ep`), the quantity the paper
+    /// minimizes to fit a model in memory.
+    pub fn model_parallel(&self) -> usize {
+        self.tp * self.pp * self.ep
+    }
+
+    /// The paper's label: `EP<e>-TP<t>-PP<p>` when EP is used, `TP<t>-FSDP`
+    /// for FSDP runs, otherwise `TP<t>-PP<p>` (DP implied).
+    pub fn label(&self) -> String {
+        if self.ep > 1 {
+            format!("EP{}-TP{}-PP{}", self.ep, self.tp, self.pp)
+        } else if self.fsdp {
+            format!("TP{}-FSDP{}", self.tp, self.dp)
+        } else {
+            format!("TP{}-PP{}", self.tp, self.pp)
+        }
+    }
+
+    /// Parse a paper-style label (`"TP2-PP16"`, `"EP8-TP1-PP4"`,
+    /// `"TP8-FSDP4"`) and infer DP for a world size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParallelError::ParseError`] for malformed labels and
+    /// propagates world-size mismatches.
+    pub fn parse(label: &str, world: usize) -> Result<Self, ParallelError> {
+        let mut tp = 1usize;
+        let mut pp = 1usize;
+        let mut ep = 1usize;
+        let mut fsdp_width: Option<usize> = None;
+        for part in label.split('-') {
+            let (key, digits) = part
+                .char_indices()
+                .find(|(_, c)| c.is_ascii_digit())
+                .map(|(i, _)| part.split_at(i))
+                .ok_or_else(|| ParallelError::ParseError(format!("no width in '{part}'")))?;
+            let width: usize = digits
+                .parse()
+                .map_err(|_| ParallelError::ParseError(format!("bad width in '{part}'")))?;
+            match key.to_ascii_uppercase().as_str() {
+                "TP" => tp = width,
+                "PP" => pp = width,
+                "EP" => ep = width,
+                "FSDP" => fsdp_width = Some(width),
+                other => {
+                    return Err(ParallelError::ParseError(format!("unknown dimension '{other}'")))
+                }
+            }
+        }
+        if let Some(w) = fsdp_width {
+            let spec = ParallelismSpec::new(tp, pp, ep, w, true)?;
+            if spec.world() != world {
+                return Err(ParallelError::WorldSizeMismatch { product: spec.world(), world });
+            }
+            Ok(spec)
+        } else {
+            ParallelismSpec::infer_dp(tp, pp, ep, world, false)
+        }
+    }
+}
+
+impl std::fmt::Display for ParallelismSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_tp4_pp4_on_32_gpus_implies_dp2() {
+        let s = ParallelismSpec::infer_dp(4, 4, 1, 32, false).unwrap();
+        assert_eq!(s.dp, 2);
+        assert_eq!(s.world(), 32);
+    }
+
+    #[test]
+    fn ep8_tp1_pp4_fills_32_gpus() {
+        let s = ParallelismSpec::infer_dp(1, 4, 8, 32, false).unwrap();
+        assert_eq!(s.dp, 1);
+        assert_eq!(s.label(), "EP8-TP1-PP4");
+    }
+
+    #[test]
+    fn tp8_fsdp4_label() {
+        let s = ParallelismSpec::new(8, 1, 1, 4, true).unwrap();
+        assert_eq!(s.label(), "TP8-FSDP4");
+        assert_eq!(s.world(), 32);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for (label, world) in [
+            ("TP2-PP16", 64),
+            ("TP4-PP4", 32),
+            ("EP8-TP1-PP4", 32),
+            ("TP8-FSDP4", 32),
+            ("TP1-PP32", 64),
+        ] {
+            let s = ParallelismSpec::parse(label, world).unwrap();
+            assert_eq!(s.world(), world, "{label}");
+            assert_eq!(s.label(), label, "{label}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(ParallelismSpec::parse("TPx-PP4", 32).is_err());
+        assert!(ParallelismSpec::parse("XX4", 32).is_err());
+        assert!(ParallelismSpec::parse("TP", 32).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_world_mismatch() {
+        assert!(ParallelismSpec::parse("TP3-PP5", 32).is_err());
+        assert!(ParallelismSpec::parse("TP8-FSDP4", 64).is_err());
+    }
+
+    #[test]
+    fn zero_widths_rejected() {
+        assert!(ParallelismSpec::new(0, 1, 1, 1, false).is_err());
+        assert!(ParallelismSpec::infer_dp(0, 1, 1, 32, false).is_err());
+    }
+
+    #[test]
+    fn model_parallel_product() {
+        let s = ParallelismSpec::new(2, 16, 1, 2, false).unwrap();
+        assert_eq!(s.model_parallel(), 32);
+        assert_eq!(s.world(), 64);
+    }
+
+    #[test]
+    fn display_matches_label() {
+        let s = ParallelismSpec::new(2, 16, 1, 2, false).unwrap();
+        assert_eq!(format!("{s}"), "TP2-PP16");
+    }
+}

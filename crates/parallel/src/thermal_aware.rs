@@ -1,0 +1,192 @@
+//! Thermal-aware pipeline-parallel placement (§6 of the paper).
+//!
+//! The paper's strategy: each pipeline stage is a 4-way tensor-parallel
+//! group, two stages per node, DP disabled. Instead of grouping GPUs by
+//! consecutive device IDs (which mixes intake and exhaust devices in every
+//! stage), hot and cold GPUs are clustered into separate stages, with colder
+//! GPUs handling the early (heavier, embedding-bearing) stages. The
+//! *asymmetric* variant additionally gives cooler stages an extra layer.
+
+use charllm_hw::Cluster;
+
+use crate::error::ParallelError;
+use crate::memory::StagePartition;
+use crate::placement::Placement;
+use crate::spec::ParallelismSpec;
+
+/// The §6 parallelism spec for a cluster: TP4, PP = GPUs/4, DP = EP = 1.
+///
+/// # Errors
+///
+/// Returns [`ParallelError::InvalidPlacement`] when the cluster size is not
+/// divisible into 4-GPU stages with two stages per node.
+pub fn thermal_pp_spec(cluster: &Cluster) -> Result<ParallelismSpec, ParallelError> {
+    let world = cluster.num_gpus();
+    if world % 4 != 0 || cluster.gpus_per_node() != 8 {
+        return Err(ParallelError::InvalidPlacement(format!(
+            "thermal-aware placement expects 8-GPU nodes and world divisible by 4, got {} nodes \
+             of {}",
+            cluster.num_nodes(),
+            cluster.gpus_per_node()
+        )));
+    }
+    ParallelismSpec::new(4, world / 4, 1, 1, false)
+}
+
+/// The conventional baseline: stages over consecutive device IDs, which
+/// mixes front (cool) and rear (hot) GPUs within every stage.
+pub fn baseline_placement(cluster: &Cluster) -> Result<Placement, ParallelError> {
+    let spec = thermal_pp_spec(cluster)?;
+    Placement::identity(cluster, spec.world())
+}
+
+/// The symmetric thermal-aware placement: each stage is either all-front or
+/// all-rear GPUs of one node, with the *cold* (front) stage of each node
+/// placed earlier in the pipeline.
+pub fn symmetric_placement(cluster: &Cluster) -> Result<Placement, ParallelError> {
+    let spec = thermal_pp_spec(cluster)?;
+    let airflow = &cluster.node_layout().airflow;
+    let front = airflow.front_slots();
+    let rear = airflow.rear_slots().to_vec();
+    if front.len() != 4 || rear.len() != 4 {
+        return Err(ParallelError::InvalidPlacement(
+            "thermal-aware placement expects 4 front and 4 rear slots".into(),
+        ));
+    }
+    let mut gpu_of_rank = Vec::with_capacity(spec.world());
+    for stage in 0..spec.pp {
+        let node = charllm_hw::NodeId((stage / 2) as u32);
+        // Even stage within the node pair -> cold (front) slots.
+        let slots = if stage % 2 == 0 { &front } else { &rear };
+        for &slot in slots.iter() {
+            gpu_of_rank.push(cluster.gpu_at(node, slot));
+        }
+    }
+    Placement::from_table(cluster, gpu_of_rank)
+}
+
+/// Whether a pipeline stage lands on cold (front) GPUs under
+/// [`symmetric_placement`].
+pub fn is_cold_stage(stage: usize) -> bool {
+    stage % 2 == 0
+}
+
+/// The asymmetric layer partition: cold stages get one extra layer, hot
+/// stages one fewer (the paper's 21/19 split for Llama3-70B and 13/11 for
+/// GPT3-175B).
+///
+/// # Errors
+///
+/// Returns [`ParallelError::InvalidPartition`] if stages is odd or the even
+/// base split is impossible.
+pub fn asymmetric_partition(layers: usize, stages: usize) -> Result<StagePartition, ParallelError> {
+    if stages == 0 || stages % 2 != 0 {
+        return Err(ParallelError::InvalidPartition(format!(
+            "asymmetric split needs an even stage count, got {stages}"
+        )));
+    }
+    if layers % stages != 0 {
+        return Err(ParallelError::NotDivisible { what: "layers", value: layers, by: stages });
+    }
+    let base = layers / stages;
+    if base < 2 {
+        return Err(ParallelError::InvalidPartition("stages too shallow to shift a layer".into()));
+    }
+    let per_stage = (0..stages)
+        .map(|s| if is_cold_stage(s) { base + 1 } else { base - 1 })
+        .collect();
+    StagePartition::explicit(layers, per_stage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charllm_hw::presets;
+
+    #[test]
+    fn spec_is_tp4_two_stages_per_node() {
+        let c = presets::hgx_h200_cluster();
+        let s = thermal_pp_spec(&c).unwrap();
+        assert_eq!(s.tp, 4);
+        assert_eq!(s.pp, 8);
+        assert_eq!(s.dp, 1);
+        assert_eq!(s.world(), 32);
+    }
+
+    #[test]
+    fn baseline_mixes_front_and_rear_in_each_stage() {
+        let c = presets::hgx_h200_cluster();
+        let p = baseline_placement(&c).unwrap();
+        let airflow = &c.node_layout().airflow;
+        // Stage 0 = ranks 0..4 = devices 0..4 = slots 0,1,2,3: 2 front, 2 rear.
+        let rear_count = (0..4)
+            .filter(|&r| airflow.is_rear(c.slot_of(p.gpu(r))))
+            .count();
+        assert_eq!(rear_count, 2);
+    }
+
+    #[test]
+    fn symmetric_separates_front_and_rear() {
+        let c = presets::hgx_h200_cluster();
+        let p = symmetric_placement(&c).unwrap();
+        let airflow = &c.node_layout().airflow;
+        let spec = thermal_pp_spec(&c).unwrap();
+        for stage in 0..spec.pp {
+            let rear: Vec<bool> = (0..4)
+                .map(|t| airflow.is_rear(c.slot_of(p.gpu(stage * 4 + t))))
+                .collect();
+            if is_cold_stage(stage) {
+                assert!(rear.iter().all(|&r| !r), "cold stage {stage} has rear gpus");
+            } else {
+                assert!(rear.iter().all(|&r| r), "hot stage {stage} has front gpus");
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_stage_pairs_stay_in_one_node() {
+        let c = presets::hgx_h200_cluster();
+        let p = symmetric_placement(&c).unwrap();
+        for stage in 0..8usize {
+            let node = c.node_of(p.gpu(stage * 4));
+            for t in 1..4 {
+                assert_eq!(c.node_of(p.gpu(stage * 4 + t)), node);
+            }
+            assert_eq!(node.index(), stage / 2);
+        }
+    }
+
+    #[test]
+    fn symmetric_placement_covers_distinct_gpus() {
+        let c = presets::hgx_h200_cluster();
+        let p = symmetric_placement(&c).unwrap();
+        let mut gpus: Vec<_> = (0..32).map(|r| p.gpu(r)).collect();
+        gpus.sort();
+        gpus.dedup();
+        assert_eq!(gpus.len(), 32);
+    }
+
+    #[test]
+    fn paper_asymmetric_splits_match() {
+        // Llama3-70B: 80 layers / 4 stages -> 21/19 with 10% imbalance.
+        let p = asymmetric_partition(80, 4).unwrap();
+        assert_eq!((p.layers(0), p.layers(1)), (21, 19));
+        assert!((p.imbalance() - 0.10).abs() < 1e-9);
+        // GPT3-175B: 96 layers / 8 stages -> 13/11 with ~18% imbalance.
+        let p = asymmetric_partition(96, 8).unwrap();
+        assert_eq!((p.layers(0), p.layers(1)), (13, 11));
+        assert!((p.imbalance() - 2.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn asymmetric_rejects_odd_stage_counts() {
+        assert!(asymmetric_partition(81, 3).is_err());
+        assert!(asymmetric_partition(80, 5).is_err());
+    }
+
+    #[test]
+    fn single_gpu_nodes_rejected() {
+        let c = presets::single_gpu_per_node_cluster(4);
+        assert!(thermal_pp_spec(&c).is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! Analytic (closed-form) step-time estimator.
+//!
+//! The event-driven engine captures contention, schedule jitter and thermal
+//! feedback, but costs seconds per configuration. For design-space search
+//! (the paper's "strategy-aware, topology-conscious tuning" recommendation)
+//! a closed-form estimate is enough to rank configurations: compute time
+//! from FLOPs at a derated clock, exposed communication from α-β estimates
+//! of each collective on its bottleneck path, and the 1F1B pipeline-bubble
+//! factor. The estimator deliberately shares the *inputs* of the full
+//! simulation (trace + cluster), so the two can be cross-validated.
+
+use std::collections::HashMap;
+
+use charllm_hw::Cluster;
+use charllm_parallel::Placement;
+use charllm_trace::{ExecutionTrace, Step};
+use charllm_net::lower_collective;
+
+use crate::error::SimError;
+
+/// A closed-form step-time estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalyticEstimate {
+    /// Estimated step time, seconds.
+    pub step_time_s: f64,
+    /// Compute component (slowest rank), seconds.
+    pub compute_s: f64,
+    /// Exposed communication component (slowest rank), seconds.
+    pub comm_s: f64,
+    /// Estimated throughput, tokens/s.
+    pub tokens_per_s: f64,
+}
+
+/// Sustained clock derate applied to peak (DVFS/thermal average; matches
+/// the event engine's typical steady state).
+pub const SUSTAINED_CLOCK_DERATE: f64 = 0.93;
+
+/// Average contention multiplier on shared-path collectives (several
+/// parallel groups usually communicate at once).
+pub const CONTENTION_FACTOR: f64 = 1.5;
+
+/// Estimate step time for a lowered trace on a cluster without running the
+/// event engine.
+///
+/// # Errors
+///
+/// Returns [`SimError::PlacementMismatch`] when the placement does not
+/// cover the trace.
+pub fn estimate(
+    cluster: &Cluster,
+    placement: &Placement,
+    trace: &ExecutionTrace,
+) -> Result<AnalyticEstimate, SimError> {
+    if placement.world() < trace.world() {
+        return Err(SimError::PlacementMismatch {
+            trace_world: trace.world(),
+            placement_world: placement.world(),
+        });
+    }
+    let peak = cluster.gpu().peak_fp16_flops * SUSTAINED_CLOCK_DERATE;
+
+    // Serial time per collective instance (single-flow α-β estimate over
+    // the slowest flow in the plan), cached per instance.
+    let mut coll_time: HashMap<u32, f64> = HashMap::new();
+    let mut per_rank = vec![(0.0f64, 0.0f64); trace.world()]; // (compute, comm)
+
+    for rank in 0..trace.world() {
+        for step in trace.steps(rank) {
+            match *step {
+                Step::Compute { kind, flops } => {
+                    per_rank[rank].0 += flops / (peak * kind.mfu());
+                }
+                Step::CollWait { coll } => {
+                    let idx = coll.0;
+                    let t = *coll_time.entry(idx).or_insert_with(|| {
+                        let inst = trace.collective(coll);
+                        let gpus: Vec<_> =
+                            inst.group.iter().map(|&r| placement.gpu(r)).collect();
+                        let plan = lower_collective(
+                            inst.kind,
+                            inst.bytes_per_rank,
+                            &gpus,
+                            cluster,
+                            inst.chunking,
+                        )
+                        .expect("validated placement");
+                        plan.flows
+                            .iter()
+                            .map(|f| {
+                                let route = f.route(cluster).expect("valid route");
+                                if route.is_empty() {
+                                    0.0
+                                } else {
+                                    let bw = cluster.route_bottleneck_gbps(&route) * 1e9;
+                                    f.work_bytes(cluster, &route) * CONTENTION_FACTOR / bw
+                                }
+                            })
+                            .fold(0.0, f64::max)
+                    });
+                    per_rank[rank].1 += t;
+                }
+                Step::CollStart { .. } => {}
+            }
+        }
+    }
+
+    let compute_s = per_rank.iter().map(|r| r.0).fold(0.0, f64::max);
+    let comm_s = per_rank.iter().map(|r| r.1).fold(0.0, f64::max);
+    // The busiest rank's serial time is the step estimate; 1F1B stalls are
+    // already visible as CollWait time on the stalled ranks.
+    let step_time_s = per_rank.iter().map(|r| r.0 + r.1).fold(0.0, f64::max);
+    let tokens = trace.meta().tokens_per_iteration as f64;
+    Ok(AnalyticEstimate {
+        step_time_s,
+        compute_s,
+        comm_s,
+        tokens_per_s: if step_time_s > 0.0 { tokens / step_time_s } else { 0.0 },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SimConfig, Simulator};
+    use charllm_hw::presets;
+    use charllm_models::{presets as models, TrainJob};
+    use charllm_parallel::{ParallelismSpec, PipelineSchedule, StagePartition};
+    use charllm_trace::{lower_train, DeviceHints};
+
+    fn lowered(label: &str, gbs: usize) -> (charllm_hw::Cluster, Placement, ExecutionTrace) {
+        let cluster = presets::hgx_h200_cluster();
+        let spec = ParallelismSpec::parse(label, 32).unwrap();
+        let job = TrainJob::pretrain(models::gpt3_13b())
+            .with_global_batch(gbs)
+            .with_recompute(true);
+        let partition = StagePartition::even(40, spec.pp).unwrap();
+        let hints = DeviceHints::for_spec(cluster.gpu());
+        let t = lower_train(&job, &spec, PipelineSchedule::OneFOneB, &partition, &hints)
+            .unwrap()
+            .trace;
+        let placement = Placement::identity(&cluster, spec.world()).unwrap();
+        (cluster, placement, t)
+    }
+
+    #[test]
+    fn estimate_is_positive_and_decomposes() {
+        let (cluster, placement, trace) = lowered("TP4-PP2", 16);
+        let e = estimate(&cluster, &placement, &trace).unwrap();
+        assert!(e.step_time_s > 0.0);
+        assert!(e.compute_s > 0.0);
+        assert!(e.comm_s > 0.0);
+        assert!(e.step_time_s <= e.compute_s + e.comm_s + 1e-9);
+        assert!(e.tokens_per_s > 0.0);
+    }
+
+    #[test]
+    fn estimate_rank_orders_like_the_event_engine() {
+        // The analytic model is a *screen*: it omits synchronization stalls
+        // and is therefore optimistic, but it must (a) never exceed ~1.5x
+        // the engine, (b) stay within an order of magnitude, and (c)
+        // preserve the engine's ranking across configurations.
+        let mut analytic = Vec::new();
+        let mut engine = Vec::new();
+        for label in ["TP4-PP2", "TP2-PP4", "TP8-PP1"] {
+            let (cluster, placement, trace) = lowered(label, 16);
+            let e = estimate(&cluster, &placement, &trace).unwrap();
+            let mut cfg = SimConfig::fast();
+            cfg.thermal_feedback = false;
+            let r = Simulator::new(&cluster, &placement, &trace, cfg)
+                .unwrap()
+                .run()
+                .unwrap();
+            let ratio = e.step_time_s / r.step_time_s;
+            assert!(
+                (0.1..1.5).contains(&ratio),
+                "{label}: analytic {:.3}s vs engine {:.3}s (ratio {ratio:.2})",
+                e.step_time_s,
+                r.step_time_s
+            );
+            analytic.push((label, e.step_time_s));
+            engine.push((label, r.step_time_s));
+        }
+        fn order(mut v: Vec<(&str, f64)>) -> Vec<&str> {
+            v.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"));
+            v.into_iter().map(|(l, _)| l).collect()
+        }
+        assert_eq!(order(analytic), order(engine), "ranking must agree");
+    }
+
+    #[test]
+    fn comm_heavy_config_estimated_more_communication() {
+        let (cluster, placement, tp) = lowered("TP8-PP1", 16);
+        let e_tp = estimate(&cluster, &placement, &tp).unwrap();
+        let (cluster2, placement2, pp) = lowered("TP1-PP8", 16);
+        let e_pp = estimate(&cluster2, &placement2, &pp).unwrap();
+        assert!(e_tp.comm_s > e_pp.comm_s);
+    }
+
+    #[test]
+    fn placement_mismatch_rejected() {
+        let (cluster, _, trace) = lowered("TP4-PP2", 16);
+        let small = Placement::identity(&cluster, 4).unwrap();
+        assert!(matches!(
+            estimate(&cluster, &small, &trace),
+            Err(SimError::PlacementMismatch { .. })
+        ));
+    }
+}

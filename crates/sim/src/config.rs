@@ -1,0 +1,85 @@
+//! Simulation configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Knobs controlling one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Iterations of the trace to replay.
+    pub iterations: usize,
+    /// Leading iterations excluded from performance/energy statistics
+    /// (the paper discards warm-up iterations while temperatures settle).
+    pub warmup_iterations: usize,
+    /// Thermal/governor control period, seconds of simulated time.
+    pub control_period_s: f64,
+    /// Telemetry sampling period, seconds of simulated time.
+    pub sample_period_s: f64,
+    /// Hard cap on simulated time (guards against pathological configs).
+    pub max_sim_time_s: f64,
+    /// Seed for per-GPU hardware variability.
+    pub seed: u64,
+    /// Compute slowdown factor applied while communication flows touch the
+    /// same GPU (SM/memory contention; elongates kernels under overlap,
+    /// Fig. 11).
+    pub overlap_slowdown: f64,
+    /// Disable thermal/DVFS feedback (clocks pinned at boost) — the
+    /// uniform-hardware ablation.
+    pub thermal_feedback: bool,
+    /// Start GPUs pre-warmed near their loaded steady-state temperature
+    /// instead of idle-cold (stand-in for the paper's 10 discarded warm-up
+    /// iterations).
+    pub prewarm: bool,
+    /// Failure injection: clamp the per-GPU power cap (watts) on one node,
+    /// reproducing the paper's §1 anecdote where a node-level power failure
+    /// made its GPUs run >4x slower and stall the whole pipeline.
+    pub node_power_cap: Option<(u32, f64)>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            iterations: 3,
+            warmup_iterations: 1,
+            control_period_s: 0.005,
+            sample_period_s: 0.05,
+            max_sim_time_s: 3600.0,
+            seed: 42,
+            overlap_slowdown: 1.12,
+            thermal_feedback: true,
+            prewarm: true,
+            node_power_cap: None,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A fast configuration for unit tests: single iteration, no warmup.
+    pub fn fast() -> Self {
+        SimConfig { iterations: 1, warmup_iterations: 0, ..SimConfig::default() }
+    }
+
+    /// Iterations included in measured statistics.
+    pub fn measured_iterations(&self) -> usize {
+        self.iterations.saturating_sub(self.warmup_iterations).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = SimConfig::default();
+        assert!(c.iterations > c.warmup_iterations);
+        assert!(c.control_period_s < c.sample_period_s);
+        assert!(c.overlap_slowdown >= 1.0);
+    }
+
+    #[test]
+    fn measured_iterations_never_zero() {
+        let c = SimConfig { iterations: 1, warmup_iterations: 5, ..SimConfig::default() };
+        assert_eq!(c.measured_iterations(), 1);
+        assert_eq!(SimConfig::default().measured_iterations(), 2);
+    }
+}

@@ -1,0 +1,233 @@
+//! Simulation results: the quantities the paper's figures plot.
+
+use serde::{Deserialize, Serialize};
+
+use charllm_hw::LinkClass;
+use charllm_telemetry::TelemetryStore;
+use charllm_trace::KernelClass;
+
+/// Busy seconds per kernel class (one rank, measured iterations).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct KernelBreakdown {
+    seconds: [f64; 10],
+}
+
+impl KernelBreakdown {
+    /// Index of a class in the fixed layout.
+    fn idx(class: KernelClass) -> usize {
+        KernelClass::all()
+            .iter()
+            .position(|c| *c == class)
+            .expect("all() covers every class")
+    }
+
+    /// Add busy time to a class.
+    pub fn add(&mut self, class: KernelClass, seconds: f64) {
+        self.seconds[Self::idx(class)] += seconds;
+    }
+
+    /// Busy time of a class.
+    pub fn get(&self, class: KernelClass) -> f64 {
+        self.seconds[Self::idx(class)]
+    }
+
+    /// Total busy time (excluding [`KernelClass::Idle`]).
+    pub fn busy_total(&self) -> f64 {
+        KernelClass::all()
+            .iter()
+            .filter(|c| **c != KernelClass::Idle)
+            .map(|c| self.get(*c))
+            .sum()
+    }
+
+    /// Total communication time.
+    pub fn comm_total(&self) -> f64 {
+        KernelClass::all().iter().filter(|c| c.is_comm()).map(|c| self.get(*c)).sum()
+    }
+
+    /// Total compute time.
+    pub fn compute_total(&self) -> f64 {
+        self.busy_total() - self.comm_total()
+    }
+
+    /// Element-wise sum.
+    pub fn merged(&self, other: &KernelBreakdown) -> KernelBreakdown {
+        let mut out = self.clone();
+        for i in 0..out.seconds.len() {
+            out.seconds[i] += other.seconds[i];
+        }
+        out
+    }
+
+    /// Scale all buckets (e.g. averaging across ranks).
+    pub fn scaled(&self, factor: f64) -> KernelBreakdown {
+        let mut out = self.clone();
+        for s in &mut out.seconds {
+            *s *= factor;
+        }
+        out
+    }
+}
+
+/// Per-GPU traffic by link class, bytes over the measured iterations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficMatrix {
+    bytes: Vec<[f64; 5]>,
+}
+
+impl TrafficMatrix {
+    pub(crate) fn new(num_gpus: usize) -> Self {
+        TrafficMatrix { bytes: vec![[0.0; 5]; num_gpus] }
+    }
+
+    fn idx(class: LinkClass) -> usize {
+        match class {
+            LinkClass::NvLink => 0,
+            LinkClass::XgmiPackage => 1,
+            LinkClass::XgmiPort => 2,
+            LinkClass::Pcie => 3,
+            LinkClass::Nic => 4,
+        }
+    }
+
+    pub(crate) fn add(&mut self, gpu: usize, class: LinkClass, bytes: f64) {
+        self.bytes[gpu][Self::idx(class)] += bytes;
+    }
+
+    /// Traffic of one GPU on one link class, bytes.
+    pub fn get(&self, gpu: usize, class: LinkClass) -> f64 {
+        self.bytes[gpu][Self::idx(class)]
+    }
+
+    /// Fabric (NVLink/xGMI) traffic of a GPU, bytes.
+    pub fn fabric(&self, gpu: usize) -> f64 {
+        self.get(gpu, LinkClass::NvLink)
+            + self.get(gpu, LinkClass::XgmiPackage)
+            + self.get(gpu, LinkClass::XgmiPort)
+    }
+
+    /// PCIe-visible traffic of a GPU (PCIe staging for inter-node), bytes.
+    pub fn pcie(&self, gpu: usize) -> f64 {
+        self.get(gpu, LinkClass::Pcie)
+    }
+
+    /// Total traffic of a GPU across classes.
+    pub fn total(&self, gpu: usize) -> f64 {
+        self.bytes[gpu].iter().sum()
+    }
+
+    /// Number of GPUs covered.
+    pub fn num_gpus(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
+/// Time-averaged occupancy proxies per GPU (Fig. 20).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct OccupancyStats {
+    /// Fraction of time any kernel was resident.
+    pub occupancy: f64,
+    /// Average concurrent warp pressure (0..~1.2).
+    pub warps: f64,
+    /// Average concurrent threadblock pressure (0..~1.2).
+    pub threadblocks: f64,
+}
+
+/// Everything a simulation run produces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Mean measured iteration (training-step) time, seconds.
+    pub step_time_s: f64,
+    /// Per-iteration wall-clock times (all iterations, including warmup).
+    pub iteration_times_s: Vec<f64>,
+    /// Training throughput over measured iterations, tokens/second.
+    pub tokens_per_s: f64,
+    /// Energy per measured iteration, joules.
+    pub energy_per_step_j: f64,
+    /// Energy efficiency, tokens per joule.
+    pub tokens_per_joule: f64,
+    /// Per-rank kernel-class busy time over measured iterations.
+    pub kernel_time: Vec<KernelBreakdown>,
+    /// Per-GPU traffic by link class over measured iterations.
+    pub traffic: TrafficMatrix,
+    /// Sampled telemetry time series (full run including warmup).
+    pub telemetry: TelemetryStore,
+    /// Per-GPU throttle residency (any reason) over the whole run.
+    pub throttle_ratio: Vec<f64>,
+    /// Per-GPU thermal throttle residency.
+    pub thermal_throttle_ratio: Vec<f64>,
+    /// Per-GPU occupancy proxies.
+    pub occupancy: Vec<OccupancyStats>,
+    /// Total simulated time, seconds.
+    pub sim_time_s: f64,
+}
+
+impl SimResult {
+    /// Mean kernel breakdown across ranks.
+    pub fn mean_kernel_time(&self) -> KernelBreakdown {
+        if self.kernel_time.is_empty() {
+            return KernelBreakdown::default();
+        }
+        let sum = self
+            .kernel_time
+            .iter()
+            .fold(KernelBreakdown::default(), |acc, k| acc.merged(k));
+        sum.scaled(1.0 / self.kernel_time.len() as f64)
+    }
+
+    /// Training efficiency normalized per GPU: tokens/s/GPU.
+    pub fn tokens_per_s_per_gpu(&self) -> f64 {
+        if self.kernel_time.is_empty() {
+            0.0
+        } else {
+            self.tokens_per_s / self.kernel_time.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_accumulates() {
+        let mut k = KernelBreakdown::default();
+        k.add(KernelClass::Gemm, 2.0);
+        k.add(KernelClass::AllReduce, 1.0);
+        k.add(KernelClass::Gemm, 0.5);
+        assert_eq!(k.get(KernelClass::Gemm), 2.5);
+        assert_eq!(k.comm_total(), 1.0);
+        assert_eq!(k.compute_total(), 2.5);
+        assert_eq!(k.busy_total(), 3.5);
+    }
+
+    #[test]
+    fn idle_not_counted_as_busy() {
+        let mut k = KernelBreakdown::default();
+        k.add(KernelClass::Idle, 10.0);
+        assert_eq!(k.busy_total(), 0.0);
+        assert_eq!(k.get(KernelClass::Idle), 10.0);
+    }
+
+    #[test]
+    fn merged_and_scaled() {
+        let mut a = KernelBreakdown::default();
+        a.add(KernelClass::Gemm, 2.0);
+        let mut b = KernelBreakdown::default();
+        b.add(KernelClass::Gemm, 4.0);
+        let m = a.merged(&b).scaled(0.5);
+        assert_eq!(m.get(KernelClass::Gemm), 3.0);
+    }
+
+    #[test]
+    fn traffic_matrix_accumulates_by_class() {
+        let mut t = TrafficMatrix::new(2);
+        t.add(0, LinkClass::NvLink, 100.0);
+        t.add(0, LinkClass::Pcie, 50.0);
+        t.add(1, LinkClass::XgmiPackage, 10.0);
+        assert_eq!(t.fabric(0), 100.0);
+        assert_eq!(t.pcie(0), 50.0);
+        assert_eq!(t.total(0), 150.0);
+        assert_eq!(t.fabric(1), 10.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! CSV writers matching the artifact's telemetry output format.
+
+use std::io::{self, Write};
+
+use crate::store::TelemetryStore;
+use crate::timeseries::TimeSeries;
+
+/// Write one series as `t,value` rows.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_series<W: Write>(mut w: W, header: &str, series: &TimeSeries) -> io::Result<()> {
+    writeln!(w, "t_s,{header}")?;
+    for (t, v) in series.iter() {
+        writeln!(w, "{t:.4},{v:.4}")?;
+    }
+    Ok(())
+}
+
+/// Write a whole store as wide CSV: one row per timestamp, one column group
+/// per GPU (`powerN,tempN,freqN`).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_store<W: Write>(mut w: W, store: &TelemetryStore) -> io::Result<()> {
+    let n = store.num_gpus();
+    write!(w, "t_s")?;
+    for g in 0..n {
+        write!(w, ",power{g}_w,temp{g}_c,freq{g}_mhz,util{g},pcie{g}_gbps")?;
+    }
+    writeln!(w)?;
+    let samples = if n > 0 { store.power(0).len() } else { 0 };
+    for i in 0..samples {
+        let t = store.power(0).times()[i];
+        write!(w, "{t:.4}")?;
+        for g in 0..n {
+            write!(
+                w,
+                ",{:.2},{:.2},{:.0},{:.3},{:.3}",
+                store.power(g).values()[i],
+                store.temp(g).values()[i],
+                store.freq(g).values()[i],
+                store.util(g).values()[i],
+                store.pcie(g).values()[i],
+            )?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::GpuSample;
+
+    #[test]
+    fn series_csv_roundtrip_shape() {
+        let mut s = TimeSeries::new();
+        s.push(0.0, 1.5);
+        s.push(0.5, 2.5);
+        let mut buf = Vec::new();
+        write_series(&mut buf, "power_w", &s).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "t_s,power_w");
+        assert!(lines[1].starts_with("0.0000,1.5"));
+    }
+
+    #[test]
+    fn store_csv_has_one_column_group_per_gpu() {
+        let mut store = TelemetryStore::new(2);
+        for g in 0..2 {
+            store.record(
+                g,
+                0.0,
+                GpuSample { power_w: 100.0, temp_c: 40.0, freq_mhz: 1980.0, util: 1.0, pcie_gbps: 0.5 },
+            );
+        }
+        let mut buf = Vec::new();
+        write_store(&mut buf, &store).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let header = text.lines().next().unwrap();
+        assert!(header.contains("power0_w"));
+        assert!(header.contains("pcie1_gbps"));
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn empty_store_writes_header_only() {
+        let store = TelemetryStore::new(0);
+        let mut buf = Vec::new();
+        write_store(&mut buf, &store).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap().lines().count(), 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! Labeled 2-D heatmaps with the paper's row normalization.
+//!
+//! Figures 17b/18b normalize each row (configuration) so its minimum maps
+//! to 0 and maximum to 1; Figure 5 plots absolute per-GPU traffic.
+
+use serde::{Deserialize, Serialize};
+
+/// A labeled matrix of values (rows = configurations, cols = GPUs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Heatmap {
+    /// Row labels (e.g. parallelism configs).
+    pub rows: Vec<String>,
+    /// Column labels (e.g. GPU ids).
+    pub cols: Vec<String>,
+    values: Vec<Vec<f64>>,
+}
+
+impl Heatmap {
+    /// Build from labels and a row-major value matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix shape does not match the labels.
+    pub fn new(rows: Vec<String>, cols: Vec<String>, values: Vec<Vec<f64>>) -> Self {
+        assert_eq!(rows.len(), values.len(), "row label count");
+        for r in &values {
+            assert_eq!(cols.len(), r.len(), "column label count");
+        }
+        Heatmap { rows, cols, values }
+    }
+
+    /// Value at `(row, col)`.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        self.values[row][col]
+    }
+
+    /// A full row.
+    pub fn row(&self, row: usize) -> &[f64] {
+        &self.values[row]
+    }
+
+    /// Row-normalize: per row, min → 0 and max → 1 (constant rows become 0).
+    pub fn normalized_rows(&self) -> Heatmap {
+        let values = self
+            .values
+            .iter()
+            .map(|row| {
+                let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let min = row.iter().copied().fold(f64::INFINITY, f64::min);
+                let span = max - min;
+                row.iter()
+                    .map(|&v| if span > 0.0 { (v - min) / span } else { 0.0 })
+                    .collect()
+            })
+            .collect();
+        Heatmap { rows: self.rows.clone(), cols: self.cols.clone(), values }
+    }
+
+    /// Render as a CSV table (header row of column labels).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("config");
+        for c in &self.cols {
+            out.push(',');
+            out.push_str(c);
+        }
+        out.push('\n');
+        for (label, row) in self.rows.iter().zip(&self.values) {
+            out.push_str(label);
+            for v in row {
+                out.push_str(&format!(",{v:.4}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as an aligned ASCII table for terminal output.
+    pub fn to_ascii(&self) -> String {
+        let width = 8;
+        let label_w = self.rows.iter().map(String::len).max().unwrap_or(6).max(6);
+        let mut out = format!("{:label_w$}", "");
+        for c in &self.cols {
+            out.push_str(&format!(" {c:>width$}"));
+        }
+        out.push('\n');
+        for (label, row) in self.rows.iter().zip(&self.values) {
+            out.push_str(&format!("{label:label_w$}"));
+            for v in row {
+                out.push_str(&format!(" {v:>width$.3}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> Heatmap {
+        Heatmap::new(
+            vec!["a".into(), "b".into()],
+            vec!["g0".into(), "g1".into(), "g2".into()],
+            vec![vec![1.0, 2.0, 3.0], vec![5.0, 5.0, 5.0]],
+        )
+    }
+
+    #[test]
+    fn normalization_maps_min_to_0_max_to_1() {
+        let n = map().normalized_rows();
+        assert_eq!(n.get(0, 0), 0.0);
+        assert_eq!(n.get(0, 2), 1.0);
+        assert!((n.get(0, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_rows_normalize_to_zero() {
+        let n = map().normalized_rows();
+        assert_eq!(n.row(1), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = map().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("config,g0,g1,g2"));
+        assert!(lines[1].starts_with("a,1.0000"));
+    }
+
+    #[test]
+    fn ascii_contains_labels() {
+        let s = map().to_ascii();
+        assert!(s.contains("g1"));
+        assert!(s.contains('b'));
+    }
+
+    #[test]
+    #[should_panic(expected = "column label count")]
+    fn shape_mismatch_panics() {
+        Heatmap::new(vec!["a".into()], vec!["c".into()], vec![vec![1.0, 2.0]]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn normalized_rows_stay_in_unit_interval(
+            values in proptest::collection::vec(
+                proptest::collection::vec(-1e6f64..1e6, 1..16),
+                1..8,
+            ),
+        ) {
+            let cols = values[0].len();
+            let values: Vec<Vec<f64>> =
+                values.into_iter().map(|mut r| { r.resize(cols, 0.0); r }).collect();
+            let rows = values.len();
+            let h = Heatmap::new(
+                (0..rows).map(|i| format!("r{i}")).collect(),
+                (0..cols).map(|i| format!("c{i}")).collect(),
+                values,
+            );
+            let n = h.normalized_rows();
+            for r in 0..rows {
+                for c in 0..cols {
+                    let v = n.get(r, c);
+                    prop_assert!((0.0..=1.0).contains(&v), "({r},{c}) = {v}");
+                }
+            }
+        }
+    }
+}

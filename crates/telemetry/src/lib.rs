@@ -1,0 +1,21 @@
+//! Telemetry collection and reporting for CharLLM-PPT.
+//!
+//! The Rust stand-in for the paper's Zeus + NVML/AMD-SMI pipeline: sampled
+//! per-GPU time series (power, temperature, clock, utilization, PCIe
+//! traffic), aggregation into the per-configuration summary metrics the
+//! figures plot, row-normalized heatmaps (Figs. 5, 17, 18), and CSV export
+//! matching the artifact's output format.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod csv;
+pub mod heatmap;
+pub mod store;
+pub mod timeseries;
+
+pub use aggregate::SeriesSummary;
+pub use heatmap::Heatmap;
+pub use store::{GpuSample, TelemetryStore};
+pub use timeseries::TimeSeries;

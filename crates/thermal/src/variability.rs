@@ -1,0 +1,108 @@
+//! Deterministic per-GPU hardware variability.
+//!
+//! The paper stresses that "even within the same GPU model, hardware
+//! characteristics such as thermal behavior and throttling vary across
+//! physical environments". We model two multiplicative factors per device —
+//! silicon power efficiency and cooling quality — drawn deterministically
+//! from the GPU index and a seed, so runs are reproducible.
+
+use serde::{Deserialize, Serialize};
+
+use charllm_hw::GpuId;
+
+/// Multiplicative variability factors for one GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuVariability {
+    /// Dynamic-power multiplier (silicon lottery), ~±3 %.
+    pub power_efficiency: f64,
+    /// Thermal-resistance multiplier (paste/heatsink variance), ~±4 %.
+    pub cooling: f64,
+}
+
+impl Default for GpuVariability {
+    fn default() -> Self {
+        GpuVariability { power_efficiency: 1.0, cooling: 1.0 }
+    }
+}
+
+impl GpuVariability {
+    /// Nominal device (no variability) — for deterministic ablations.
+    pub fn nominal() -> Self {
+        Self::default()
+    }
+
+    /// Deterministic variability for a GPU under a seed.
+    pub fn for_gpu(gpu: GpuId, seed: u64) -> Self {
+        let a = splitmix64(seed ^ (gpu.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let b = splitmix64(a);
+        GpuVariability {
+            power_efficiency: 1.0 + 0.03 * centered_unit(a),
+            cooling: 1.0 + 0.04 * centered_unit(b),
+        }
+    }
+}
+
+/// SplitMix64: a tiny, high-quality 64-bit mixer.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Map a hash to a uniform value in `[-1, 1]`.
+fn centered_unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_gpu_and_seed() {
+        let a = GpuVariability::for_gpu(GpuId(5), 42);
+        let b = GpuVariability::for_gpu(GpuId(5), 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_gpus_differ() {
+        let a = GpuVariability::for_gpu(GpuId(0), 42);
+        let b = GpuVariability::for_gpu(GpuId(1), 42);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = GpuVariability::for_gpu(GpuId(0), 1);
+        let b = GpuVariability::for_gpu(GpuId(0), 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn factors_within_bounds() {
+        for g in 0..256 {
+            let v = GpuVariability::for_gpu(GpuId(g), 7);
+            assert!((0.97..=1.03).contains(&v.power_efficiency), "{v:?}");
+            assert!((0.96..=1.04).contains(&v.cooling), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn population_is_roughly_centered() {
+        let mean: f64 = (0..1000)
+            .map(|g| GpuVariability::for_gpu(GpuId(g), 3).power_efficiency)
+            .sum::<f64>()
+            / 1000.0;
+        assert!((mean - 1.0).abs() < 0.005, "mean = {mean}");
+    }
+
+    #[test]
+    fn nominal_is_identity() {
+        let v = GpuVariability::nominal();
+        assert_eq!(v.power_efficiency, 1.0);
+        assert_eq!(v.cooling, 1.0);
+    }
+}

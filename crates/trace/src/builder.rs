@@ -1,0 +1,175 @@
+//! Incremental trace construction with collective-instance deduplication.
+
+use std::collections::HashMap;
+
+use charllm_net::{ChunkingPolicy, CollectiveKind};
+
+use crate::task::{CollectiveId, CollectiveInstance, ComputeKind, Step};
+use crate::trace::{ExecutionTrace, TraceMeta};
+
+/// A structural key identifying one logical collective so that every
+/// participating rank's lowering resolves to the same instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CollKey {
+    /// Which lowering site emitted it (e.g. `"tp-ar-fwd"`).
+    pub site: &'static str,
+    /// Microbatch index (or 0).
+    pub mb: u32,
+    /// Layer index (or 0).
+    pub layer: u32,
+    /// Virtual pipeline stage / auxiliary discriminator.
+    pub aux: u32,
+    /// Lowest rank of the group (disambiguates parallel groups).
+    pub group_lead: u32,
+}
+
+/// Builds an [`ExecutionTrace`] rank by rank.
+#[derive(Debug)]
+pub struct TraceBuilder {
+    steps: Vec<Vec<Step>>,
+    collectives: Vec<CollectiveInstance>,
+    index: HashMap<CollKey, CollectiveId>,
+}
+
+impl TraceBuilder {
+    /// A builder for `world` ranks.
+    pub fn new(world: usize) -> Self {
+        TraceBuilder {
+            steps: vec![Vec::new(); world],
+            collectives: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn world(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Append a compute kernel to a rank's stream.
+    pub fn compute(&mut self, rank: usize, kind: ComputeKind, flops: f64) {
+        debug_assert!(flops.is_finite() && flops >= 0.0, "flops must be non-negative");
+        if flops > 0.0 {
+            self.steps[rank].push(Step::Compute { kind, flops });
+        }
+    }
+
+    /// Resolve (or create) the collective instance for a key.
+    ///
+    /// The first caller fixes the instance's parameters; later callers with
+    /// the same key must agree (checked with `debug_assert`).
+    pub fn collective(
+        &mut self,
+        key: CollKey,
+        kind: CollectiveKind,
+        bytes_per_rank: u64,
+        group: Vec<usize>,
+        chunking: ChunkingPolicy,
+        eager_p2p: bool,
+    ) -> CollectiveId {
+        if let Some(&id) = self.index.get(&key) {
+            let existing = &self.collectives[id.index()];
+            debug_assert_eq!(existing.kind, kind, "collective key reused with a different kind");
+            debug_assert_eq!(existing.bytes_per_rank, bytes_per_rank);
+            debug_assert_eq!(existing.group, group);
+            return id;
+        }
+        let id = CollectiveId(self.collectives.len() as u32);
+        self.collectives.push(CollectiveInstance {
+            kind,
+            bytes_per_rank,
+            group,
+            chunking,
+            eager_p2p,
+        });
+        self.index.insert(key, id);
+        id
+    }
+
+    /// Append a `CollStart` (arrival / eager send).
+    pub fn start(&mut self, rank: usize, coll: CollectiveId) {
+        self.steps[rank].push(Step::CollStart { coll });
+    }
+
+    /// Append a `CollWait`.
+    pub fn wait(&mut self, rank: usize, coll: CollectiveId) {
+        self.steps[rank].push(Step::CollWait { coll });
+    }
+
+    /// Append a blocking collective (start immediately followed by wait).
+    pub fn blocking(&mut self, rank: usize, coll: CollectiveId) {
+        self.start(rank, coll);
+        self.wait(rank, coll);
+    }
+
+    /// Finish the trace.
+    pub fn build(self, meta: TraceMeta) -> ExecutionTrace {
+        ExecutionTrace::new(self.steps, self.collectives, meta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(site: &'static str, mb: u32) -> CollKey {
+        CollKey { site, mb, layer: 0, aux: 0, group_lead: 0 }
+    }
+
+    #[test]
+    fn collective_dedup_by_key() {
+        let mut b = TraceBuilder::new(2);
+        let id1 = b.collective(
+            key("tp-ar", 0),
+            CollectiveKind::AllReduce,
+            1024,
+            vec![0, 1],
+            ChunkingPolicy::nccl_default(),
+            false,
+        );
+        let id2 = b.collective(
+            key("tp-ar", 0),
+            CollectiveKind::AllReduce,
+            1024,
+            vec![0, 1],
+            ChunkingPolicy::nccl_default(),
+            false,
+        );
+        assert_eq!(id1, id2);
+        let id3 = b.collective(
+            key("tp-ar", 1),
+            CollectiveKind::AllReduce,
+            1024,
+            vec![0, 1],
+            ChunkingPolicy::nccl_default(),
+            false,
+        );
+        assert_ne!(id1, id3);
+    }
+
+    #[test]
+    fn zero_flop_compute_skipped() {
+        let mut b = TraceBuilder::new(1);
+        b.compute(0, ComputeKind::Gemm, 0.0);
+        b.compute(0, ComputeKind::Gemm, 10.0);
+        let t = b.build(TraceMeta::default());
+        assert_eq!(t.steps(0).len(), 1);
+    }
+
+    #[test]
+    fn blocking_emits_start_then_wait() {
+        let mut b = TraceBuilder::new(1);
+        let id = b.collective(
+            key("x", 0),
+            CollectiveKind::AllReduce,
+            8,
+            vec![0],
+            ChunkingPolicy::Unchunked,
+            false,
+        );
+        b.blocking(0, id);
+        let t = b.build(TraceMeta::default());
+        assert!(matches!(t.steps(0)[0], Step::CollStart { .. }));
+        assert!(matches!(t.steps(0)[1], Step::CollWait { .. }));
+    }
+}

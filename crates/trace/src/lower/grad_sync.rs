@@ -1,0 +1,160 @@
+//! End-of-step gradient synchronization and optimizer emission.
+
+use charllm_net::{ChunkingPolicy, CollectiveKind};
+use charllm_parallel::memory::rank_params;
+
+use crate::builder::{CollKey, TraceBuilder};
+use crate::task::{CollectiveId, ComputeKind};
+
+use super::Ctx;
+
+/// Gradient bytes a rank contributes to DP synchronization.
+pub(crate) fn grad_bytes(ctx: &Ctx<'_>, rank: usize) -> u64 {
+    let stage = ctx.grid.coords(rank).pp;
+    if let Some(lora) = &ctx.job.optim.lora {
+        let trainable =
+            lora.trainable_params(&ctx.job.arch) / (ctx.spec.tp * ctx.spec.pp) as u64;
+        return trainable * ctx.job.precision.bytes();
+    }
+    rank_params(ctx.job, ctx.spec, ctx.partition, stage) * ctx.job.precision.bytes()
+}
+
+/// Parameters this rank's optimizer updates.
+fn optimizer_params(ctx: &Ctx<'_>, rank: usize) -> u64 {
+    let stage = ctx.grid.coords(rank).pp;
+    if let Some(lora) = &ctx.job.optim.lora {
+        return lora.trainable_params(&ctx.job.arch) / (ctx.spec.tp * ctx.spec.pp) as u64;
+    }
+    let params = rank_params(ctx.job, ctx.spec, ctx.partition, stage);
+    if ctx.spec.fsdp || ctx.job.optim.distributed_optimizer {
+        params.div_ceil(ctx.spec.dp as u64)
+    } else {
+        params
+    }
+}
+
+/// One pending end-of-step collective.
+struct Pending {
+    key: CollKey,
+    kind: CollectiveKind,
+    bytes: u64,
+    group: Vec<usize>,
+    /// Runs after the optimizer (ZeRO-1 parameter AllGather).
+    post_optimizer: bool,
+}
+
+/// Plans and emits the gradient-sync + optimizer tail of a rank's stream.
+pub(crate) struct GradSync {
+    pending: Vec<Pending>,
+    started: Vec<CollectiveId>,
+    overlap_started: bool,
+}
+
+impl GradSync {
+    /// Decide which collectives this rank owes at the end of the step.
+    pub(crate) fn plan(ctx: &Ctx<'_>, rank: usize) -> Self {
+        let mut pending = Vec::new();
+        let spec = ctx.spec;
+        let dp_group = ctx.grid.dp_group(rank);
+        let lead = dp_group[0] as u32;
+        if spec.dp > 1 && !spec.fsdp {
+            let bytes = grad_bytes(ctx, rank);
+            if ctx.job.optim.lora.is_some() {
+                pending.push(Pending {
+                    key: CollKey { site: "lora-ar", mb: 0, layer: 0, aux: 0, group_lead: lead },
+                    kind: CollectiveKind::AllReduce,
+                    bytes,
+                    group: dp_group,
+                    post_optimizer: false,
+                });
+            } else if ctx.job.optim.distributed_optimizer {
+                pending.push(Pending {
+                    key: CollKey { site: "dp-rs", mb: 0, layer: 0, aux: 0, group_lead: lead },
+                    kind: CollectiveKind::ReduceScatter,
+                    bytes,
+                    group: dp_group.clone(),
+                    post_optimizer: false,
+                });
+                pending.push(Pending {
+                    key: CollKey { site: "dp-ag", mb: 0, layer: 0, aux: 0, group_lead: lead },
+                    kind: CollectiveKind::AllGather,
+                    bytes,
+                    group: dp_group,
+                    post_optimizer: true,
+                });
+            } else {
+                pending.push(Pending {
+                    key: CollKey { site: "dp-ar", mb: 0, layer: 0, aux: 0, group_lead: lead },
+                    kind: CollectiveKind::AllReduce,
+                    bytes,
+                    group: dp_group,
+                    post_optimizer: false,
+                });
+            }
+        }
+        GradSync { pending, started: Vec::new(), overlap_started: false }
+    }
+
+    /// Start the pre-optimizer collectives early (compute–communication
+    /// overlap of the DP gradient sync with the tail of backward).
+    pub(crate) fn start_overlapped(&mut self, b: &mut TraceBuilder, rank: usize) {
+        if self.overlap_started {
+            return;
+        }
+        self.overlap_started = true;
+        for p in self.pending.iter().filter(|p| !p.post_optimizer) {
+            let id = b.collective(
+                p.key,
+                p.kind,
+                p.bytes,
+                p.group.clone(),
+                ChunkingPolicy::nccl_default(),
+                false,
+            );
+            b.start(rank, id);
+            self.started.push(id);
+        }
+    }
+
+    /// Emit the remaining waits, the optimizer step, and post-optimizer
+    /// collectives.
+    pub(crate) fn finish(mut self, b: &mut TraceBuilder, ctx: &Ctx<'_>, rank: usize) {
+        // Pre-optimizer collectives: start (if not already) and wait.
+        let pre: Vec<&Pending> = self.pending.iter().filter(|p| !p.post_optimizer).collect();
+        if !self.overlap_started {
+            for p in &pre {
+                let id = b.collective(
+                    p.key,
+                    p.kind,
+                    p.bytes,
+                    p.group.clone(),
+                    ChunkingPolicy::nccl_default(),
+                    false,
+                );
+                b.start(rank, id);
+                self.started.push(id);
+            }
+        }
+        for id in &self.started {
+            b.wait(rank, *id);
+        }
+
+        // Optimizer: memory-bound over ~20 bytes per updated parameter.
+        let params = optimizer_params(ctx, rank) as f64;
+        let seconds = params * 20.0 / (ctx.hints.hbm_bw_gbps * 1e9);
+        b.compute(rank, ComputeKind::Optimizer, seconds * ctx.hints.peak_fp16_flops);
+
+        // Post-optimizer collectives (ZeRO-1 parameter AllGather).
+        for p in self.pending.iter().filter(|p| p.post_optimizer) {
+            let id = b.collective(
+                p.key,
+                p.kind,
+                p.bytes,
+                p.group.clone(),
+                ChunkingPolicy::nccl_default(),
+                false,
+            );
+            b.blocking(rank, id);
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Distributed inference lowering (§7.2, Fig. 23).
+//!
+//! One traced iteration = one prefill pass over a batch of prompts followed
+//! by a fixed number of autoregressive decode steps. Weights are fixed, so
+//! there is no gradient synchronization or optimizer — communication is
+//! limited to pipeline activations, TP reductions and MoE all-to-all, which
+//! is why the paper finds inference far less communication-bound than
+//! training.
+
+use charllm_models::flops::layer_fwd_flops_per_token;
+use charllm_models::TrainJob;
+use charllm_net::{ChunkingPolicy, CollectiveKind};
+use charllm_parallel::{ParallelismSpec, RankCoords, RankGrid, StagePartition};
+use serde::{Deserialize, Serialize};
+
+use crate::builder::{CollKey, TraceBuilder};
+use crate::task::ComputeKind;
+use crate::trace::TraceMeta;
+
+use super::{Ctx, DeviceHints, LoweredJob, TraceError};
+
+/// Inference workload shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InferenceConfig {
+    /// Concurrent sequences per iteration (the swept "microbatch").
+    pub batch: usize,
+    /// Prompt length for the prefill phase.
+    pub prompt_len: usize,
+    /// Autoregressive tokens generated per sequence.
+    pub decode_tokens: usize,
+}
+
+impl Default for InferenceConfig {
+    fn default() -> Self {
+        InferenceConfig { batch: 8, prompt_len: 512, decode_tokens: 32 }
+    }
+}
+
+/// Lower one inference iteration (prefill + decode).
+///
+/// # Errors
+///
+/// Returns [`TraceError::Mismatch`] for inconsistent spec/partition pairs or
+/// a zero-sized workload.
+pub fn lower_inference(
+    job: &TrainJob,
+    spec: &ParallelismSpec,
+    partition: &StagePartition,
+    hints: &DeviceHints,
+    cfg: InferenceConfig,
+) -> Result<LoweredJob, TraceError> {
+    if partition.num_stages() != spec.pp {
+        return Err(TraceError::Mismatch(format!(
+            "partition has {} stages but spec.pp = {}",
+            partition.num_stages(),
+            spec.pp
+        )));
+    }
+    if cfg.batch == 0 || cfg.prompt_len == 0 {
+        return Err(TraceError::Mismatch("inference batch and prompt must be non-zero".into()));
+    }
+    let grid = RankGrid::new(*spec);
+
+    // Prefill reuses the training forward path at the prompt geometry.
+    let mut prefill_job = job.clone();
+    prefill_job.seq_len = cfg.prompt_len;
+    prefill_job.microbatch = cfg.batch;
+    prefill_job.global_batch = cfg.batch * spec.dp;
+    prefill_job.optim.activation_recompute = false;
+
+    let prefill_ctx = Ctx {
+        job: &prefill_job,
+        spec,
+        grid: grid.clone(),
+        partition,
+        hints,
+        tokens_mb: (cfg.batch * cfg.prompt_len) as f64,
+        chunks: 1,
+    };
+
+    let mut b = TraceBuilder::new(spec.world());
+    for rank in 0..spec.world() {
+        let c = grid.coords(rank);
+        super::lower_forward(&mut b, &prefill_ctx, rank, 0, 0);
+        // The first decode step consumes the token sampled from the prefill
+        // logits: the last stage feeds it back to stage 0.
+        if spec.pp > 1 && cfg.decode_tokens > 0 && c.pp == spec.pp - 1 {
+            let col0 = grid.rank(RankCoords { pp: 0, ..c }) as u32;
+            let first_rank = grid.rank(RankCoords { pp: 0, ..c });
+            let id = b.collective(
+                CollKey { site: "dec-next", mb: 1, layer: 0, aux: 0, group_lead: col0 },
+                CollectiveKind::SendRecv,
+                (cfg.batch * 4) as u64,
+                vec![rank, first_rank],
+                ChunkingPolicy::Unchunked,
+                true,
+            );
+            b.start(rank, id);
+        }
+        emit_decode_steps(&mut b, &prefill_ctx, rank, c, cfg);
+    }
+
+    let tokens_generated = (cfg.batch * cfg.decode_tokens.max(1) * spec.dp) as u64;
+    let meta = TraceMeta {
+        label: format!("{} {} inference b{}", job.arch.name, spec.label(), cfg.batch),
+        tokens_per_iteration: tokens_generated,
+        cc_overlap: false,
+    };
+    Ok(LoweredJob { trace: b.build(meta), grad_bytes_per_rank: 0 })
+}
+
+fn emit_decode_steps(
+    b: &mut TraceBuilder,
+    ctx: &Ctx<'_>,
+    rank: usize,
+    c: RankCoords,
+    cfg: InferenceConfig,
+) {
+    let arch = &ctx.job.arch;
+    let spec = ctx.spec;
+    let tp = spec.tp as f64;
+    let tokens = cfg.batch as f64;
+    let f = layer_fwd_flops_per_token(arch, cfg.prompt_len);
+    let col0 = ctx.grid.rank(RankCoords { pp: 0, ..c }) as u32;
+    let last_stage = spec.pp - 1;
+
+    for t in 0..cfg.decode_tokens {
+        let mb = (t + 1) as u32; // 0 is the prefill phase
+
+        // The sampled token travels from the last stage back to stage 0.
+        if spec.pp > 1 {
+            let key = CollKey { site: "dec-next", mb, layer: 0, aux: 0, group_lead: col0 };
+            let last_rank = ctx.grid.rank(RankCoords { pp: last_stage, ..c });
+            let first_rank = ctx.grid.rank(RankCoords { pp: 0, ..c });
+            if c.pp == 0 {
+                let id = b.collective(
+                    key,
+                    CollectiveKind::SendRecv,
+                    (cfg.batch * 4) as u64,
+                    vec![last_rank, first_rank],
+                    ChunkingPolicy::Unchunked,
+                    true,
+                );
+                b.wait(rank, id);
+            }
+        }
+
+        // Receive hidden state from the previous stage.
+        if c.pp > 0 {
+            let prev = ctx.grid.rank(RankCoords { pp: c.pp - 1, ..c });
+            let id = b.collective(
+                CollKey { site: "dec-act", mb, layer: 0, aux: c.pp as u32, group_lead: col0 },
+                CollectiveKind::SendRecv,
+                (tokens * arch.hidden as f64 * 2.0 / tp) as u64,
+                vec![prev, rank],
+                ChunkingPolicy::Unchunked,
+                true,
+            );
+            b.wait(rank, id);
+        }
+
+        let ctx_len = (cfg.prompt_len + t) as f64;
+        for layer in 0..ctx.layers_in_chunk(c.pp) {
+            let gl = (c.pp * ctx.layers_in_chunk(c.pp) + layer) as u32;
+            // QKV/O projections for one new token per sequence.
+            b.compute(rank, ComputeKind::Gemm, f.attn_gemm * tokens / tp);
+            // Attention over the full KV cache.
+            b.compute(rank, ComputeKind::Attention, 4.0 * ctx_len * arch.hidden as f64 * tokens / tp);
+            if spec.tp > 1 {
+                let group = ctx.grid.tp_group(rank);
+                let id = b.collective(
+                    CollKey { site: "dec-ar1", mb, layer: gl, aux: 0, group_lead: group[0] as u32 },
+                    CollectiveKind::AllReduce,
+                    (tokens * arch.hidden as f64 * 2.0) as u64,
+                    group,
+                    ChunkingPolicy::nccl_default(),
+                    false,
+                );
+                b.blocking(rank, id);
+            }
+            match &arch.moe {
+                None => b.compute(rank, ComputeKind::Gemm, f.mlp_gemm * tokens / tp),
+                Some(moe) => {
+                    b.compute(rank, ComputeKind::Router, f.moe_router * tokens / tp);
+                    if spec.ep > 1 {
+                        let group = ctx.grid.ep_group(rank);
+                        let bytes =
+                            (tokens * arch.hidden as f64 * 2.0 * moe.top_k as f64 / tp) as u64;
+                        let id = b.collective(
+                            CollKey {
+                                site: "dec-a2a",
+                                mb,
+                                layer: gl,
+                                aux: 0,
+                                group_lead: group[0] as u32,
+                            },
+                            CollectiveKind::AllToAll,
+                            bytes,
+                            group,
+                            ChunkingPolicy::Unchunked,
+                            false,
+                        );
+                        b.blocking(rank, id);
+                    }
+                    b.compute(rank, ComputeKind::MoeGemm, f.moe_expert_gemm * tokens / tp);
+                }
+            }
+            if spec.tp > 1 {
+                let group = ctx.grid.tp_group(rank);
+                let id = b.collective(
+                    CollKey { site: "dec-ar2", mb, layer: gl, aux: 0, group_lead: group[0] as u32 },
+                    CollectiveKind::AllReduce,
+                    (tokens * arch.hidden as f64 * 2.0) as u64,
+                    group,
+                    ChunkingPolicy::nccl_default(),
+                    false,
+                );
+                b.blocking(rank, id);
+            }
+        }
+
+        // Send hidden state to the next stage, or sample + feed back.
+        if c.pp < last_stage {
+            let next = ctx.grid.rank(RankCoords { pp: c.pp + 1, ..c });
+            let id = b.collective(
+                CollKey {
+                    site: "dec-act",
+                    mb,
+                    layer: 0,
+                    aux: (c.pp + 1) as u32,
+                    group_lead: col0,
+                },
+                CollectiveKind::SendRecv,
+                (tokens * arch.hidden as f64 * 2.0 / tp) as u64,
+                vec![rank, next],
+                ChunkingPolicy::Unchunked,
+                true,
+            );
+            b.start(rank, id);
+        } else {
+            // LM head for the new token.
+            b.compute(
+                rank,
+                ComputeKind::Gemm,
+                tokens * 2.0 * (arch.hidden * arch.vocab) as f64 / tp,
+            );
+            if spec.pp > 1 && t + 1 < cfg.decode_tokens {
+                let key = CollKey {
+                    site: "dec-next",
+                    mb: mb + 1,
+                    layer: 0,
+                    aux: 0,
+                    group_lead: col0,
+                };
+                let first_rank = ctx.grid.rank(RankCoords { pp: 0, ..c });
+                let id = b.collective(
+                    key,
+                    CollectiveKind::SendRecv,
+                    (cfg.batch * 4) as u64,
+                    vec![rank, first_rank],
+                    ChunkingPolicy::Unchunked,
+                    true,
+                );
+                b.start(rank, id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charllm_hw::GpuModel;
+    use charllm_models::presets;
+
+    fn hints() -> DeviceHints {
+        DeviceHints::for_spec(&GpuModel::H200.spec())
+    }
+
+    fn lower(batch: usize, tp: usize, pp: usize) -> LoweredJob {
+        let job = TrainJob::pretrain(presets::gpt3_175b());
+        let spec = ParallelismSpec::infer_dp(tp, pp, 1, 32, false).unwrap();
+        let partition = StagePartition::even(96, pp).unwrap();
+        lower_inference(
+            &job,
+            &spec,
+            &partition,
+            &hints(),
+            InferenceConfig { batch, prompt_len: 256, decode_tokens: 8 },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn inference_trace_validates() {
+        let l = lower(4, 8, 4);
+        let problems = l.trace.validate();
+        assert!(problems.is_empty(), "{problems:?}");
+    }
+
+    #[test]
+    fn no_gradient_collectives() {
+        use charllm_net::CollectiveKind;
+        let l = lower(4, 8, 4);
+        assert!(l
+            .trace
+            .collectives()
+            .iter()
+            .all(|c| !matches!(c.kind, CollectiveKind::ReduceScatter)));
+        assert_eq!(l.grad_bytes_per_rank, 0);
+    }
+
+    #[test]
+    fn decode_chain_exists_for_pipelined_inference() {
+        let l = lower(2, 8, 4);
+        let dec_links = l
+            .trace
+            .collectives()
+            .iter()
+            .filter(|c| c.bytes_per_rank == 8) // batch(2) * 4 bytes token ids
+            .count();
+        assert!(dec_links > 0, "token feedback path present");
+    }
+
+    #[test]
+    fn larger_batch_processes_more_tokens() {
+        let small = lower(2, 8, 4);
+        let large = lower(8, 8, 4);
+        assert!(
+            large.trace.meta().tokens_per_iteration > small.trace.meta().tokens_per_iteration
+        );
+        assert!(large.trace.total_flops() > small.trace.total_flops());
+    }
+
+    #[test]
+    fn inference_comm_lighter_than_training() {
+        let job = TrainJob::pretrain(presets::gpt3_175b());
+        let spec = ParallelismSpec::infer_dp(8, 4, 1, 32, false).unwrap();
+        let partition = StagePartition::even(96, 4).unwrap();
+        let train =
+            super::super::lower_train(&job, &spec, Default::default(), &partition, &hints())
+                .unwrap();
+        let infer = lower(4, 8, 4);
+        assert!(infer.trace.total_comm_bytes() < train.trace.total_comm_bytes() / 4);
+    }
+
+    #[test]
+    fn zero_batch_rejected() {
+        let job = TrainJob::pretrain(presets::gpt3_175b());
+        let spec = ParallelismSpec::infer_dp(8, 4, 1, 32, false).unwrap();
+        let partition = StagePartition::even(96, 4).unwrap();
+        assert!(lower_inference(
+            &job,
+            &spec,
+            &partition,
+            &hints(),
+            InferenceConfig { batch: 0, prompt_len: 128, decode_tokens: 4 },
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! Per-layer kernel emission (forward and backward).
+
+use charllm_models::flops::layer_fwd_flops_per_token;
+use charllm_net::{ChunkingPolicy, CollectiveKind};
+
+use crate::builder::{CollKey, TraceBuilder};
+use crate::task::ComputeKind;
+
+use super::Ctx;
+
+/// Which pass a layer emission belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Pass {
+    Forward,
+    Backward,
+}
+
+impl Pass {
+    /// FLOP multiplier vs. forward. A frozen-base LoRA backward skips the
+    /// weight-gradient GEMMs (`dW = dY·Xᵀ`) of every frozen matrix, leaving
+    /// input gradients plus the tiny adapter updates: ~1.15x forward
+    /// instead of 2x.
+    fn mult(self, lora: bool) -> f64 {
+        match (self, lora) {
+            (Pass::Forward, _) => 1.0,
+            (Pass::Backward, false) => 2.0,
+            (Pass::Backward, true) => 1.15,
+        }
+    }
+
+    fn site_ar(self, which: u8) -> &'static str {
+        match (self, which) {
+            (Pass::Forward, 1) => "tp-ar-f1",
+            (Pass::Forward, _) => "tp-ar-f2",
+            (Pass::Backward, 1) => "tp-ar-b1",
+            (Pass::Backward, _) => "tp-ar-b2",
+        }
+    }
+
+    fn site_a2a(self, which: u8) -> &'static str {
+        match (self, which) {
+            (Pass::Forward, 1) => "a2a-d-f",
+            (Pass::Forward, _) => "a2a-c-f",
+            (Pass::Backward, 1) => "a2a-d-b",
+            (Pass::Backward, _) => "a2a-c-b",
+        }
+    }
+}
+
+/// Total per-rank forward FLOPs of one layer (used for recompute lumps).
+pub(crate) fn layer_fwd_flops(ctx: &Ctx<'_>, _global_layer: usize) -> f64 {
+    let f = layer_fwd_flops_per_token(&ctx.job.arch, ctx.job.seq_len);
+    f.total() * ctx.tokens_mb / ctx.spec.tp as f64
+}
+
+/// Emit the kernels + collectives of one layer for one microbatch.
+pub(crate) fn emit_layer(
+    b: &mut TraceBuilder,
+    ctx: &Ctx<'_>,
+    rank: usize,
+    mb: usize,
+    global_layer: usize,
+    pass: Pass,
+) {
+    let arch = &ctx.job.arch;
+    let spec = ctx.spec;
+    let coords = ctx.grid.coords(rank);
+    let tokens = ctx.tokens_mb;
+    let tp = spec.tp as f64;
+    let mult = pass.mult(ctx.job.optim.lora.is_some());
+    let f = layer_fwd_flops_per_token(arch, ctx.job.seq_len);
+    let mbu = mb as u32;
+    let gl = global_layer as u32;
+
+    // Attention block.
+    b.compute(rank, ComputeKind::Gemm, f.attn_gemm * tokens / tp * mult);
+    b.compute(rank, ComputeKind::Attention, f.attn_score * tokens / tp * mult);
+
+    // First TP AllReduce (after attention output projection).
+    let ar1 = tp_allreduce(b, ctx, rank, mbu, gl, pass.site_ar(1));
+    if let Some(id) = ar1 {
+        if ctx.job.optim.cc_overlap {
+            b.start(rank, id); // wait deferred past the MLP/MoE block
+        } else {
+            b.blocking(rank, id);
+        }
+    }
+
+    // MLP / MoE block.
+    match &arch.moe {
+        None => {
+            b.compute(rank, ComputeKind::Gemm, f.mlp_gemm * tokens / tp * mult);
+        }
+        Some(_) => {
+            b.compute(rank, ComputeKind::Router, f.moe_router * tokens / tp * mult);
+            let a2a_bytes = (tokens * arch.hidden as f64 * 2.0
+                * arch.moe.expect("moe").top_k as f64
+                / tp) as u64;
+            blocking_a2a(b, ctx, rank, mbu, gl, pass.site_a2a(1), a2a_bytes);
+            b.compute(rank, ComputeKind::MoeGemm, f.moe_expert_gemm * tokens / tp * mult);
+            blocking_a2a(b, ctx, rank, mbu, gl, pass.site_a2a(2), a2a_bytes);
+        }
+    }
+
+    // Deferred wait for the overlapped first AllReduce.
+    if let Some(id) = ar1 {
+        if ctx.job.optim.cc_overlap {
+            b.wait(rank, id);
+        }
+    }
+
+    // Second TP AllReduce (after the MLP block).
+    if let Some(id) = tp_allreduce(b, ctx, rank, mbu, gl, pass.site_ar(2)) {
+        b.blocking(rank, id);
+    }
+
+    let _ = coords;
+}
+
+/// FSDP parameter AllGather for one layer (issued by the caller with
+/// prefetch: started one layer ahead, waited just before use).
+pub(crate) fn fsdp_allgather(
+    b: &mut TraceBuilder,
+    ctx: &Ctx<'_>,
+    rank: usize,
+    mb: usize,
+    global_layer: usize,
+    pass: Pass,
+) -> Option<crate::task::CollectiveId> {
+    if !ctx.spec.fsdp || ctx.spec.dp <= 1 {
+        return None;
+    }
+    let group = ctx.grid.dp_group(rank);
+    let bytes = (ctx.job.arch.params_per_layer() / ctx.spec.tp as u64)
+        * ctx.job.precision.bytes();
+    let site = if pass == Pass::Forward { "fsdp-ag-f" } else { "fsdp-ag-b" };
+    Some(b.collective(
+        CollKey {
+            site,
+            mb: mb as u32,
+            layer: global_layer as u32,
+            aux: 0,
+            group_lead: group[0] as u32,
+        },
+        CollectiveKind::AllGather,
+        bytes,
+        group,
+        ChunkingPolicy::nccl_default(),
+        false,
+    ))
+}
+
+/// FSDP gradient ReduceScatter for one layer (started after the layer's
+/// backward, waited at the end of the backward op so it overlaps).
+pub(crate) fn fsdp_reducescatter(
+    b: &mut TraceBuilder,
+    ctx: &Ctx<'_>,
+    rank: usize,
+    mb: usize,
+    global_layer: usize,
+) -> Option<crate::task::CollectiveId> {
+    if !ctx.spec.fsdp || ctx.spec.dp <= 1 {
+        return None;
+    }
+    let group = ctx.grid.dp_group(rank);
+    let bytes = (ctx.job.arch.params_per_layer() / ctx.spec.tp as u64)
+        * ctx.job.precision.bytes();
+    Some(b.collective(
+        CollKey {
+            site: "fsdp-rs",
+            mb: mb as u32,
+            layer: global_layer as u32,
+            aux: 0,
+            group_lead: group[0] as u32,
+        },
+        CollectiveKind::ReduceScatter,
+        bytes,
+        group,
+        ChunkingPolicy::nccl_default(),
+        false,
+    ))
+}
+
+fn tp_allreduce(
+    b: &mut TraceBuilder,
+    ctx: &Ctx<'_>,
+    rank: usize,
+    mb: u32,
+    layer: u32,
+    site: &'static str,
+) -> Option<crate::task::CollectiveId> {
+    if ctx.spec.tp <= 1 {
+        return None;
+    }
+    let group = ctx.grid.tp_group(rank);
+    Some(b.collective(
+        CollKey { site, mb, layer, aux: 0, group_lead: group[0] as u32 },
+        CollectiveKind::AllReduce,
+        ctx.tp_ar_bytes(),
+        group,
+        ChunkingPolicy::nccl_default(),
+        false,
+    ))
+}
+
+fn blocking_a2a(
+    b: &mut TraceBuilder,
+    ctx: &Ctx<'_>,
+    rank: usize,
+    mb: u32,
+    layer: u32,
+    site: &'static str,
+    bytes: u64,
+) {
+    if ctx.spec.ep <= 1 {
+        return;
+    }
+    let group = ctx.grid.ep_group(rank);
+    let id = b.collective(
+        CollKey { site, mb, layer, aux: 0, group_lead: group[0] as u32 },
+        CollectiveKind::AllToAll,
+        bytes,
+        group,
+        ChunkingPolicy::Unchunked,
+        false,
+    );
+    b.blocking(rank, id);
+}

@@ -1,0 +1,624 @@
+//! Lowering workloads into execution traces.
+
+mod grad_sync;
+mod inference;
+mod layer;
+
+pub use inference::{lower_inference, InferenceConfig};
+
+use serde::{Deserialize, Serialize};
+
+use charllm_hw::GpuSpec;
+use charllm_models::{ModelError, TrainJob};
+use charllm_parallel::{
+    ParallelError, ParallelismSpec, PipelineOp, PipelineSchedule, RankGrid, StagePartition,
+};
+use charllm_net::{ChunkingPolicy, CollectiveKind};
+
+use crate::builder::{CollKey, TraceBuilder};
+use crate::task::ComputeKind;
+use crate::trace::{ExecutionTrace, TraceMeta};
+
+/// Device quantities the lowering needs to convert memory-bound kernels
+/// (optimizer steps) into boost-normalized FLOPs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceHints {
+    /// Peak FP16/BF16 FLOP/s at boost clock.
+    pub peak_fp16_flops: f64,
+    /// HBM bandwidth, GB/s.
+    pub hbm_bw_gbps: f64,
+}
+
+impl DeviceHints {
+    /// Extract from a GPU spec.
+    pub fn for_spec(spec: &GpuSpec) -> Self {
+        DeviceHints { peak_fp16_flops: spec.peak_fp16_flops, hbm_bw_gbps: spec.hbm_bw_gbps }
+    }
+}
+
+/// Errors raised during lowering.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// Parallelism configuration problem.
+    Parallel(ParallelError),
+    /// Workload configuration problem.
+    Model(ModelError),
+    /// Partition/schedule mismatch with the spec.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Parallel(e) => write!(f, "{e}"),
+            TraceError::Model(e) => write!(f, "{e}"),
+            TraceError::Mismatch(m) => write!(f, "lowering mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<ParallelError> for TraceError {
+    fn from(e: ParallelError) -> Self {
+        TraceError::Parallel(e)
+    }
+}
+
+impl From<ModelError> for TraceError {
+    fn from(e: ModelError) -> Self {
+        TraceError::Model(e)
+    }
+}
+
+/// A lowered workload: the trace plus quantities downstream consumers need.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoweredJob {
+    /// The per-rank execution trace of one training iteration.
+    pub trace: ExecutionTrace,
+    /// Gradient bytes one stage-0 rank contributes to DP synchronization
+    /// (input to the §7.1 projection).
+    pub grad_bytes_per_rank: u64,
+}
+
+/// Shared lowering context.
+pub(crate) struct Ctx<'a> {
+    pub job: &'a TrainJob,
+    pub spec: &'a ParallelismSpec,
+    pub grid: RankGrid,
+    pub partition: &'a StagePartition,
+    pub hints: &'a DeviceHints,
+    /// Tokens per microbatch.
+    pub tokens_mb: f64,
+    /// Virtual chunks per stage.
+    pub chunks: usize,
+}
+
+impl Ctx<'_> {
+    /// Activation (or activation-grad) bytes one TP rank ships across a
+    /// pipeline boundary for one microbatch: `s·b·h·2 / tp`.
+    pub fn p2p_bytes(&self) -> u64 {
+        ((self.tokens_mb * self.job.arch.hidden as f64 * 2.0) / self.spec.tp as f64) as u64
+    }
+
+    /// Full activation bytes of one microbatch (`s·b·h·2`) — the TP
+    /// AllReduce buffer.
+    pub fn tp_ar_bytes(&self) -> u64 {
+        (self.tokens_mb * self.job.arch.hidden as f64 * 2.0) as u64
+    }
+
+    /// Global layer index of `(stage, chunk, layer_in_chunk)`.
+    pub fn global_layer(&self, stage: usize, chunk: usize, layer: usize) -> usize {
+        // Chunk c of stage s holds the (c·pp + s)-th slice of the model.
+        let layers_per_chunk = self.partition.layers(stage) / self.chunks;
+        let mut base = 0;
+        for vs in 0..(chunk * self.spec.pp + stage) {
+            let s = vs % self.spec.pp;
+            base += self.partition.layers(s) / self.chunks;
+        }
+        let _ = layers_per_chunk;
+        base + layer
+    }
+
+    /// Layers held by one `(stage, chunk)`.
+    pub fn layers_in_chunk(&self, stage: usize) -> usize {
+        self.partition.layers(stage) / self.chunks
+    }
+
+    /// Chunking policy for pipeline SendRecv transfers: monolithic by
+    /// default (the framework behaviour §4.2 observes), NCCL-style when the
+    /// `chunked_p2p` ablation is enabled.
+    pub fn p2p_chunking(&self) -> ChunkingPolicy {
+        if self.job.optim.chunked_p2p {
+            ChunkingPolicy::nccl_default()
+        } else {
+            ChunkingPolicy::Unchunked
+        }
+    }
+}
+
+/// Lower one training iteration.
+///
+/// # Errors
+///
+/// Returns [`TraceError`] when the job, spec, partition and schedule are
+/// mutually inconsistent (world/stage mismatch, indivisible batch geometry,
+/// interleaving constraints).
+pub fn lower_train(
+    job: &TrainJob,
+    spec: &ParallelismSpec,
+    schedule: PipelineSchedule,
+    partition: &StagePartition,
+    hints: &DeviceHints,
+) -> Result<LoweredJob, TraceError> {
+    job.validate_for_dp(spec.dp)?;
+    if partition.num_stages() != spec.pp {
+        return Err(TraceError::Mismatch(format!(
+            "partition has {} stages but spec.pp = {}",
+            partition.num_stages(),
+            spec.pp
+        )));
+    }
+    let chunks = schedule.chunks();
+    if chunks == 0 {
+        return Err(TraceError::Mismatch("schedule with zero chunks".into()));
+    }
+    for stage in 0..spec.pp {
+        if partition.layers(stage) % chunks != 0 {
+            return Err(TraceError::Mismatch(format!(
+                "stage {stage} holds {} layers, not divisible into {chunks} chunks",
+                partition.layers(stage)
+            )));
+        }
+    }
+    if job.arch.is_moe() {
+        let experts = job.arch.moe.expect("checked is_moe").num_experts;
+        if spec.ep > experts || experts % spec.ep != 0 {
+            return Err(TraceError::Mismatch(format!(
+                "ep width {} does not divide {experts} experts",
+                spec.ep
+            )));
+        }
+    }
+
+    let grid = RankGrid::new(*spec);
+    let num_mb = job.num_microbatches(spec.dp);
+    let ctx = Ctx {
+        job,
+        spec,
+        grid,
+        partition,
+        hints,
+        tokens_mb: job.tokens_per_microbatch() as f64,
+        chunks,
+    };
+
+    let mut b = TraceBuilder::new(spec.world());
+    for rank in 0..spec.world() {
+        let coords = ctx.grid.coords(rank);
+        let ops = schedule.ops(coords.pp, spec.pp, num_mb)?;
+        let backward_total = ops.iter().filter(|o| !o.is_forward()).count();
+        let overlap_start_after = backward_total / 4;
+        let mut backward_done = 0usize;
+        let mut grad_sync = grad_sync::GradSync::plan(&ctx, rank);
+        for op in &ops {
+            match *op {
+                PipelineOp::Forward { mb, chunk } => {
+                    lower_forward(&mut b, &ctx, rank, mb, chunk);
+                }
+                PipelineOp::Backward { mb, chunk } => {
+                    lower_backward(&mut b, &ctx, rank, mb, chunk);
+                    backward_done += 1;
+                    if job.optim.cc_overlap && backward_done == overlap_start_after.max(1) {
+                        grad_sync.start_overlapped(&mut b, rank);
+                    }
+                }
+            }
+        }
+        grad_sync.finish(&mut b, &ctx, rank);
+    }
+
+    let grad_bytes_per_rank = grad_sync::grad_bytes(&ctx, 0);
+    let meta = TraceMeta {
+        label: format!("{} {} {}", job.arch.name, spec.label(), job.optim.label()),
+        tokens_per_iteration: job.tokens_per_step(),
+        cc_overlap: job.optim.cc_overlap,
+    };
+    Ok(LoweredJob { trace: b.build(meta), grad_bytes_per_rank })
+}
+
+pub(crate) fn lower_forward(
+    b: &mut TraceBuilder,
+    ctx: &Ctx<'_>,
+    rank: usize,
+    mb: usize,
+    chunk: usize,
+) {
+    let c = ctx.grid.coords(rank);
+    let pp = ctx.spec.pp;
+    let vstage = chunk * pp + c.pp;
+    let last_vstage = ctx.chunks * pp - 1;
+    let col0 = ctx.grid.rank(charllm_parallel::RankCoords { pp: 0, ..c }) as u32;
+
+    // Receive activations from the previous virtual stage.
+    if vstage > 0 {
+        let prev_rank = rank_of_vstage(ctx, c, vstage - 1);
+        let id = b.collective(
+            CollKey { site: "act-f", mb: mb as u32, layer: 0, aux: vstage as u32, group_lead: col0 },
+            CollectiveKind::SendRecv,
+            ctx.p2p_bytes(),
+            vec![prev_rank, rank],
+            ctx.p2p_chunking(),
+            true,
+        );
+        b.wait(rank, id);
+    } else {
+        // Embedding lookup on the true first stage.
+        b.compute(rank, ComputeKind::Embedding, ctx.tokens_mb * ctx.job.arch.hidden as f64 * 2.0);
+    }
+
+    // FSDP: prefetch the first layer's parameters, then gather layer L+1
+    // while computing layer L (the implicit overlap real FSDP provides).
+    let layers = ctx.layers_in_chunk(c.pp);
+    let mut pending_ag = if layers > 0 {
+        let gl = ctx.global_layer(c.pp, chunk, 0);
+        let id = layer::fsdp_allgather(b, ctx, rank, mb, gl, layer::Pass::Forward);
+        if let Some(id) = id {
+            b.start(rank, id);
+        }
+        id
+    } else {
+        None
+    };
+    for layer in 0..layers {
+        let gl = ctx.global_layer(c.pp, chunk, layer);
+        if let Some(id) = pending_ag.take() {
+            b.wait(rank, id);
+        }
+        if layer + 1 < layers {
+            let next_gl = ctx.global_layer(c.pp, chunk, layer + 1);
+            pending_ag =
+                layer::fsdp_allgather(b, ctx, rank, mb, next_gl, layer::Pass::Forward);
+            if let Some(id) = pending_ag {
+                b.start(rank, id);
+            }
+        }
+        layer::emit_layer(b, ctx, rank, mb, gl, layer::Pass::Forward);
+    }
+
+    if vstage == last_vstage {
+        // LM head + loss.
+        let logits =
+            ctx.tokens_mb * 2.0 * (ctx.job.arch.hidden * ctx.job.arch.vocab) as f64
+                / ctx.spec.tp as f64;
+        b.compute(rank, ComputeKind::Gemm, logits);
+    } else {
+        // Eager send to the next virtual stage.
+        let next_rank = rank_of_vstage(ctx, c, vstage + 1);
+        let id = b.collective(
+            CollKey {
+                site: "act-f",
+                mb: mb as u32,
+                layer: 0,
+                aux: (vstage + 1) as u32,
+                group_lead: col0,
+            },
+            CollectiveKind::SendRecv,
+            ctx.p2p_bytes(),
+            vec![rank, next_rank],
+            ctx.p2p_chunking(),
+            true,
+        );
+        b.start(rank, id);
+    }
+}
+
+fn lower_backward(b: &mut TraceBuilder, ctx: &Ctx<'_>, rank: usize, mb: usize, chunk: usize) {
+    let c = ctx.grid.coords(rank);
+    let pp = ctx.spec.pp;
+    let vstage = chunk * pp + c.pp;
+    let last_vstage = ctx.chunks * pp - 1;
+    let col0 = ctx.grid.rank(charllm_parallel::RankCoords { pp: 0, ..c }) as u32;
+
+    // Receive gradients from the next virtual stage.
+    if vstage < last_vstage {
+        let next_rank = rank_of_vstage(ctx, c, vstage + 1);
+        let id = b.collective(
+            CollKey { site: "act-b", mb: mb as u32, layer: 0, aux: vstage as u32, group_lead: col0 },
+            CollectiveKind::SendRecv,
+            ctx.p2p_bytes(),
+            vec![next_rank, rank],
+            ctx.p2p_chunking(),
+            true,
+        );
+        b.wait(rank, id);
+    } else {
+        // Loss backward (logits grad GEMM; input-grad only when the LM head
+        // is frozen under LoRA).
+        let head_mult = if ctx.job.optim.lora.is_some() { 2.0 } else { 4.0 };
+        let logits = ctx.tokens_mb
+            * head_mult
+            * (ctx.job.arch.hidden * ctx.job.arch.vocab) as f64
+            / ctx.spec.tp as f64;
+        b.compute(rank, ComputeKind::Gemm, logits);
+    }
+
+    // Full activation recomputation re-runs the chunk's forward first.
+    if ctx.job.optim.activation_recompute {
+        let mut recompute_flops = 0.0;
+        for layer in 0..ctx.layers_in_chunk(c.pp) {
+            let gl = ctx.global_layer(c.pp, chunk, layer);
+            recompute_flops += layer::layer_fwd_flops(ctx, gl);
+        }
+        b.compute(rank, ComputeKind::Recompute, recompute_flops);
+    }
+
+    // FSDP: re-gather parameters for backward with the same one-layer
+    // prefetch, and reduce-scatter each layer's gradients asynchronously,
+    // waiting only at the end of the op.
+    let layers = ctx.layers_in_chunk(c.pp);
+    let bwd_order: Vec<usize> = (0..layers).rev().collect();
+    let mut pending_ag = bwd_order.first().and_then(|&l| {
+        let gl = ctx.global_layer(c.pp, chunk, l);
+        let id = layer::fsdp_allgather(b, ctx, rank, mb, gl, layer::Pass::Backward);
+        if let Some(id) = id {
+            b.start(rank, id);
+        }
+        id
+    });
+    let mut pending_rs = Vec::new();
+    for (pos, &layer) in bwd_order.iter().enumerate() {
+        let gl = ctx.global_layer(c.pp, chunk, layer);
+        if let Some(id) = pending_ag.take() {
+            b.wait(rank, id);
+        }
+        if let Some(&next_layer) = bwd_order.get(pos + 1) {
+            let next_gl = ctx.global_layer(c.pp, chunk, next_layer);
+            pending_ag =
+                layer::fsdp_allgather(b, ctx, rank, mb, next_gl, layer::Pass::Backward);
+            if let Some(id) = pending_ag {
+                b.start(rank, id);
+            }
+        }
+        layer::emit_layer(b, ctx, rank, mb, gl, layer::Pass::Backward);
+        if let Some(id) = layer::fsdp_reducescatter(b, ctx, rank, mb, gl) {
+            b.start(rank, id);
+            pending_rs.push(id);
+        }
+    }
+    for id in pending_rs {
+        b.wait(rank, id);
+    }
+
+    // Eager send of input gradients to the previous virtual stage.
+    if vstage > 0 {
+        let prev_rank = rank_of_vstage(ctx, c, vstage - 1);
+        let id = b.collective(
+            CollKey {
+                site: "act-b",
+                mb: mb as u32,
+                layer: 0,
+                aux: (vstage - 1) as u32,
+                group_lead: col0,
+            },
+            CollectiveKind::SendRecv,
+            ctx.p2p_bytes(),
+            vec![rank, prev_rank],
+            ctx.p2p_chunking(),
+            true,
+        );
+        b.start(rank, id);
+    }
+}
+
+/// The rank holding a virtual stage within the same (tp, ep, dp) column.
+fn rank_of_vstage(ctx: &Ctx<'_>, c: charllm_parallel::RankCoords, vstage: usize) -> usize {
+    let pp = vstage % ctx.spec.pp;
+    ctx.grid.rank(charllm_parallel::RankCoords { pp, ..c })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charllm_hw::GpuModel;
+    use charllm_models::presets;
+    use charllm_parallel::StagePartition;
+
+    fn hints() -> DeviceHints {
+        DeviceHints::for_spec(&GpuModel::H200.spec())
+    }
+
+    fn lower(
+        job: &TrainJob,
+        spec: ParallelismSpec,
+        schedule: PipelineSchedule,
+    ) -> LoweredJob {
+        let partition = StagePartition::even(job.arch.num_layers, spec.pp).unwrap();
+        lower_train(job, &spec, schedule, &partition, &hints()).unwrap()
+    }
+
+    #[test]
+    fn gpt3_tp8_pp4_lowers_and_validates() {
+        let job = TrainJob::pretrain(presets::gpt3_175b());
+        let spec = ParallelismSpec::infer_dp(8, 4, 1, 32, false).unwrap();
+        let lowered = lower(&job, spec, PipelineSchedule::OneFOneB);
+        let problems = lowered.trace.validate();
+        assert!(problems.is_empty(), "{problems:?}");
+        assert_eq!(lowered.trace.world(), 32);
+        assert!(lowered.grad_bytes_per_rank > 0);
+    }
+
+    #[test]
+    fn total_flops_approximates_six_nd() {
+        // Sum of compute FLOPs across ranks should approximate
+        // 3x forward = ~6·N·D per step (within kernel bookkeeping slack).
+        let job = TrainJob::pretrain(presets::gpt3_175b());
+        let spec = ParallelismSpec::infer_dp(8, 4, 1, 32, false).unwrap();
+        let lowered = lower(&job, spec, PipelineSchedule::OneFOneB);
+        let got = lowered.trace.total_flops();
+        let expect = 6.0 * job.arch.total_params() as f64 * job.tokens_per_step() as f64;
+        let rel = (got - expect).abs() / expect;
+        assert!(rel < 0.15, "total flops {got:e} vs 6ND {expect:e} (rel {rel:.3})");
+    }
+
+    #[test]
+    fn recompute_adds_forward_flops() {
+        let job = TrainJob::pretrain(presets::gpt3_175b());
+        let spec = ParallelismSpec::infer_dp(2, 16, 1, 64, false).unwrap();
+        let base = lower(&job, spec, PipelineSchedule::OneFOneB);
+        let with = lower(
+            &job.clone().with_recompute(true),
+            spec,
+            PipelineSchedule::OneFOneB,
+        );
+        let ratio = with.trace.total_flops() / base.trace.total_flops();
+        // One extra forward on ~3 passes worth of compute: ~1.33x.
+        assert!((1.2..1.45).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn moe_traces_emit_all_to_all() {
+        use charllm_net::CollectiveKind;
+        let job = TrainJob::pretrain(presets::mixtral_8x7b());
+        let spec = ParallelismSpec::infer_dp(1, 4, 8, 32, false).unwrap();
+        let lowered = lower(&job, spec, PipelineSchedule::OneFOneB);
+        let a2a = lowered
+            .trace
+            .collectives()
+            .iter()
+            .filter(|c| c.kind == CollectiveKind::AllToAll)
+            .count();
+        assert!(a2a > 0, "expert parallelism must emit all-to-all");
+        assert!(lowered.trace.validate().is_empty());
+    }
+
+    #[test]
+    fn dense_traces_have_no_all_to_all() {
+        use charllm_net::CollectiveKind;
+        let job = TrainJob::pretrain(presets::llama3_70b());
+        let spec = ParallelismSpec::infer_dp(4, 4, 1, 32, false).unwrap();
+        let lowered = lower(&job, spec, PipelineSchedule::OneFOneB);
+        assert!(lowered
+            .trace
+            .collectives()
+            .iter()
+            .all(|c| c.kind != CollectiveKind::AllToAll));
+    }
+
+    #[test]
+    fn tp_width_controls_allreduce_count() {
+        use charllm_net::CollectiveKind;
+        let job = TrainJob::pretrain(presets::gpt3_175b());
+        let tp8 = lower(
+            &job,
+            ParallelismSpec::infer_dp(8, 4, 1, 32, false).unwrap(),
+            PipelineSchedule::OneFOneB,
+        );
+        let tp1 = lower(
+            &job.clone().with_recompute(true),
+            ParallelismSpec::infer_dp(1, 32, 1, 32, false).unwrap(),
+            PipelineSchedule::OneFOneB,
+        );
+        let count = |l: &LoweredJob| {
+            l.trace
+                .collectives()
+                .iter()
+                .filter(|c| c.kind == CollectiveKind::AllReduce && c.group.len() > 1)
+                .count()
+        };
+        assert!(count(&tp8) > count(&tp1), "TP groups produce per-layer AllReduces");
+    }
+
+    #[test]
+    fn pipeline_p2p_messages_shrink_with_tp() {
+        use charllm_net::CollectiveKind;
+        let job = TrainJob::pretrain(presets::gpt3_175b());
+        let tp8 = lower(
+            &job,
+            ParallelismSpec::infer_dp(8, 4, 1, 32, false).unwrap(),
+            PipelineSchedule::OneFOneB,
+        );
+        let tp2 = lower(
+            &job,
+            ParallelismSpec::infer_dp(2, 16, 1, 32, false).unwrap(),
+            PipelineSchedule::OneFOneB,
+        );
+        let p2p_bytes = |l: &LoweredJob| {
+            l.trace
+                .collectives()
+                .iter()
+                .find(|c| c.kind == CollectiveKind::SendRecv)
+                .map(|c| c.bytes_per_rank)
+                .unwrap()
+        };
+        // The TP+PP pathology: wider TP => each rank's P2P message is 1/tp.
+        assert_eq!(p2p_bytes(&tp2), 4 * p2p_bytes(&tp8));
+    }
+
+    #[test]
+    fn interleaved_schedule_lowers() {
+        let job = TrainJob::pretrain(presets::gpt3_175b()).with_recompute(true);
+        let spec = ParallelismSpec::infer_dp(2, 16, 1, 64, false).unwrap();
+        // 96 layers / 16 stages = 6 per stage; v=2 chunks of 3.
+        let lowered = lower(&job, spec, PipelineSchedule::Interleaved(2));
+        assert!(lowered.trace.validate().is_empty());
+    }
+
+    #[test]
+    fn mismatched_partition_rejected() {
+        let job = TrainJob::pretrain(presets::gpt3_175b());
+        let spec = ParallelismSpec::infer_dp(8, 4, 1, 32, false).unwrap();
+        let partition = StagePartition::even(96, 8).unwrap(); // pp=4 needed
+        assert!(lower_train(&job, &spec, PipelineSchedule::OneFOneB, &partition, &hints())
+            .is_err());
+    }
+
+    #[test]
+    fn indivisible_chunks_rejected() {
+        let job = TrainJob::pretrain(presets::gpt3_175b());
+        let spec = ParallelismSpec::infer_dp(2, 16, 1, 64, false).unwrap();
+        let partition = StagePartition::even(96, 16).unwrap(); // 6 layers/stage
+        // v=4 does not divide 6.
+        assert!(lower_train(
+            &job,
+            &spec,
+            PipelineSchedule::Interleaved(4),
+            &partition,
+            &hints()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn lora_shrinks_grad_sync_bytes() {
+        let arch = presets::llama3_70b();
+        let spec = ParallelismSpec::infer_dp(4, 4, 1, 32, false).unwrap();
+        let full = lower(&TrainJob::pretrain(arch.clone()), spec, PipelineSchedule::OneFOneB);
+        let lora = lower(&TrainJob::lora_finetune(arch), spec, PipelineSchedule::OneFOneB);
+        assert!(lora.grad_bytes_per_rank < full.grad_bytes_per_rank / 50);
+    }
+
+    #[test]
+    fn fsdp_emits_per_layer_gathers() {
+        use charllm_net::CollectiveKind;
+        let job = TrainJob::pretrain(presets::llama3_70b());
+        let spec = ParallelismSpec::new(8, 1, 1, 4, true).unwrap();
+        let lowered = lower(&job, spec, PipelineSchedule::OneFOneB);
+        let ag = lowered
+            .trace
+            .collectives()
+            .iter()
+            .filter(|c| c.kind == CollectiveKind::AllGather)
+            .count();
+        let rs = lowered
+            .trace
+            .collectives()
+            .iter()
+            .filter(|c| c.kind == CollectiveKind::ReduceScatter)
+            .count();
+        assert!(ag > 100, "per-layer-per-microbatch gathers, got {ag}");
+        assert!(rs > 100);
+        assert!(lowered.trace.validate().is_empty());
+    }
+}

@@ -1,0 +1,260 @@
+//! Task/step definitions: the vocabulary of the execution trace.
+
+use serde::{Deserialize, Serialize};
+
+use charllm_net::{ChunkingPolicy, CollectiveKind};
+
+/// Index of a collective instance within an [`crate::ExecutionTrace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CollectiveId(pub u32);
+
+impl CollectiveId {
+    /// Raw table index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The class of a compute kernel (drives FLOP rate, power activity and the
+/// figure breakdowns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ComputeKind {
+    /// Dense projection/MLP GEMMs.
+    Gemm,
+    /// Attention score/context kernels (flash-attention style).
+    Attention,
+    /// Expert FFN GEMMs (MoE).
+    MoeGemm,
+    /// MoE router projection + top-k.
+    Router,
+    /// Embedding lookup.
+    Embedding,
+    /// Activation recomputation (re-run forward kernels before backward).
+    Recompute,
+    /// Optimizer step (memory-bound elementwise).
+    Optimizer,
+}
+
+impl ComputeKind {
+    /// Power-model activity weight of this kernel class.
+    pub fn activity(self) -> f64 {
+        match self {
+            ComputeKind::Gemm | ComputeKind::MoeGemm => 1.0,
+            ComputeKind::Attention | ComputeKind::Recompute => 0.82,
+            ComputeKind::Router | ComputeKind::Embedding | ComputeKind::Optimizer => 0.55,
+        }
+    }
+
+    /// Model-FLOP-utilization achieved by kernels of this class at boost
+    /// clock (calibrated to typical Hopper/CDNA2 training MFU).
+    pub fn mfu(self) -> f64 {
+        match self {
+            ComputeKind::Gemm | ComputeKind::MoeGemm => 0.55,
+            ComputeKind::Attention | ComputeKind::Recompute => 0.40,
+            ComputeKind::Router | ComputeKind::Embedding => 0.10,
+            // Optimizer FLOPs are pre-converted from memory-bound time.
+            ComputeKind::Optimizer => 1.0,
+        }
+    }
+}
+
+/// The reporting buckets the paper's kernel-breakdown figures use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum KernelClass {
+    /// Dense + expert GEMMs.
+    Gemm,
+    /// Attention kernels.
+    Attention,
+    /// Recomputation forward kernels.
+    Recompute,
+    /// Everything else on the compute stream.
+    OtherCompute,
+    /// Pipeline / P2P traffic.
+    SendRecv,
+    /// AllReduce collectives (TP + DP).
+    AllReduce,
+    /// AllGather collectives (ZeRO-1 / FSDP).
+    AllGather,
+    /// ReduceScatter collectives (ZeRO-1 / FSDP).
+    ReduceScatter,
+    /// MoE All-to-All.
+    AllToAll,
+    /// Idle (pipeline bubbles, stragglers) — derived, not emitted.
+    Idle,
+}
+
+impl KernelClass {
+    /// All classes in display order.
+    pub fn all() -> [KernelClass; 10] {
+        [
+            KernelClass::Gemm,
+            KernelClass::Attention,
+            KernelClass::Recompute,
+            KernelClass::OtherCompute,
+            KernelClass::SendRecv,
+            KernelClass::AllReduce,
+            KernelClass::AllGather,
+            KernelClass::ReduceScatter,
+            KernelClass::AllToAll,
+            KernelClass::Idle,
+        ]
+    }
+
+    /// Whether this is a communication class.
+    pub fn is_comm(self) -> bool {
+        matches!(
+            self,
+            KernelClass::SendRecv
+                | KernelClass::AllReduce
+                | KernelClass::AllGather
+                | KernelClass::ReduceScatter
+                | KernelClass::AllToAll
+        )
+    }
+
+    /// The bucket a compute kind reports into.
+    pub fn of_compute(kind: ComputeKind) -> KernelClass {
+        match kind {
+            ComputeKind::Gemm | ComputeKind::MoeGemm => KernelClass::Gemm,
+            ComputeKind::Attention => KernelClass::Attention,
+            ComputeKind::Recompute => KernelClass::Recompute,
+            ComputeKind::Router | ComputeKind::Embedding | ComputeKind::Optimizer => {
+                KernelClass::OtherCompute
+            }
+        }
+    }
+
+    /// The bucket a collective reports into.
+    pub fn of_collective(kind: CollectiveKind) -> KernelClass {
+        match kind {
+            CollectiveKind::SendRecv | CollectiveKind::Broadcast => KernelClass::SendRecv,
+            CollectiveKind::AllReduce => KernelClass::AllReduce,
+            CollectiveKind::AllGather => KernelClass::AllGather,
+            CollectiveKind::ReduceScatter => KernelClass::ReduceScatter,
+            CollectiveKind::AllToAll => KernelClass::AllToAll,
+        }
+    }
+}
+
+impl std::fmt::Display for KernelClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            KernelClass::Gemm => "GEMM",
+            KernelClass::Attention => "Attention",
+            KernelClass::Recompute => "Recompute",
+            KernelClass::OtherCompute => "OtherCompute",
+            KernelClass::SendRecv => "SendRecv",
+            KernelClass::AllReduce => "AllReduce",
+            KernelClass::AllGather => "AllGather",
+            KernelClass::ReduceScatter => "ReduceScatter",
+            KernelClass::AllToAll => "AllToAll",
+            KernelClass::Idle => "Idle",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One step in a rank's ordered execution stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Step {
+    /// Run a compute kernel of `flops` boost-normalized FLOPs.
+    Compute {
+        /// Kernel class.
+        kind: ComputeKind,
+        /// Boost-clock-normalized FLOPs.
+        flops: f64,
+    },
+    /// Arrive at a collective (non-blocking). Group collectives launch once
+    /// every member arrived; eager P2P sends launch immediately.
+    CollStart {
+        /// The collective instance.
+        coll: CollectiveId,
+    },
+    /// Block until a collective instance completes.
+    CollWait {
+        /// The collective instance.
+        coll: CollectiveId,
+    },
+}
+
+/// A collective shared by a group of ranks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollectiveInstance {
+    /// Operation kind.
+    pub kind: CollectiveKind,
+    /// Per-rank buffer bytes.
+    pub bytes_per_rank: u64,
+    /// Participating ranks (rank order defines the ring).
+    pub group: Vec<usize>,
+    /// Message chunking policy.
+    pub chunking: ChunkingPolicy,
+    /// Eager point-to-point: launches when the *sender* arrives rather than
+    /// when the whole group has arrived.
+    pub eager_p2p: bool,
+}
+
+impl CollectiveInstance {
+    /// The reporting bucket.
+    pub fn class(&self) -> KernelClass {
+        KernelClass::of_collective(self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_is_hottest_kernel() {
+        for k in [
+            ComputeKind::Attention,
+            ComputeKind::Router,
+            ComputeKind::Embedding,
+            ComputeKind::Optimizer,
+            ComputeKind::Recompute,
+        ] {
+            assert!(k.activity() <= ComputeKind::Gemm.activity());
+        }
+    }
+
+    #[test]
+    fn mfu_in_unit_range() {
+        for k in [
+            ComputeKind::Gemm,
+            ComputeKind::Attention,
+            ComputeKind::MoeGemm,
+            ComputeKind::Router,
+            ComputeKind::Embedding,
+            ComputeKind::Recompute,
+            ComputeKind::Optimizer,
+        ] {
+            assert!(k.mfu() > 0.0 && k.mfu() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn compute_classes_map_to_paper_buckets() {
+        assert_eq!(KernelClass::of_compute(ComputeKind::MoeGemm), KernelClass::Gemm);
+        assert_eq!(KernelClass::of_compute(ComputeKind::Recompute), KernelClass::Recompute);
+        assert_eq!(KernelClass::of_compute(ComputeKind::Optimizer), KernelClass::OtherCompute);
+    }
+
+    #[test]
+    fn collective_classes_map_one_to_one() {
+        assert_eq!(KernelClass::of_collective(CollectiveKind::AllToAll), KernelClass::AllToAll);
+        assert_eq!(KernelClass::of_collective(CollectiveKind::SendRecv), KernelClass::SendRecv);
+        assert!(KernelClass::of_collective(CollectiveKind::AllReduce).is_comm());
+    }
+
+    #[test]
+    fn idle_is_not_comm() {
+        assert!(!KernelClass::Idle.is_comm());
+        assert!(!KernelClass::Gemm.is_comm());
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(KernelClass::SendRecv.to_string(), "SendRecv");
+        assert_eq!(KernelClass::AllToAll.to_string(), "AllToAll");
+    }
+}

@@ -1,0 +1,216 @@
+//! The execution trace: per-rank step streams plus shared collectives.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::task::{CollectiveId, CollectiveInstance, Step};
+
+/// Metadata describing what one iteration of the trace represents.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TraceMeta {
+    /// Human-readable label (model + parallelism + optimizations).
+    pub label: String,
+    /// Tokens processed per traced iteration.
+    pub tokens_per_iteration: u64,
+    /// Whether compute–communication overlap is enabled (the simulator
+    /// applies contention slowdown to concurrent compute).
+    pub cc_overlap: bool,
+}
+
+/// A complete lowered workload iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionTrace {
+    steps: Vec<Vec<Step>>,
+    collectives: Vec<CollectiveInstance>,
+    meta: TraceMeta,
+}
+
+impl ExecutionTrace {
+    /// Assemble a trace (normally via [`crate::TraceBuilder`]).
+    pub fn new(steps: Vec<Vec<Step>>, collectives: Vec<CollectiveInstance>, meta: TraceMeta) -> Self {
+        ExecutionTrace { steps, collectives, meta }
+    }
+
+    /// Number of ranks.
+    pub fn world(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// The step stream of one rank.
+    pub fn steps(&self, rank: usize) -> &[Step] {
+        &self.steps[rank]
+    }
+
+    /// All collective instances.
+    pub fn collectives(&self) -> &[CollectiveInstance] {
+        &self.collectives
+    }
+
+    /// One collective instance.
+    pub fn collective(&self, id: CollectiveId) -> &CollectiveInstance {
+        &self.collectives[id.index()]
+    }
+
+    /// Trace metadata.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Total compute FLOPs across all ranks.
+    pub fn total_flops(&self) -> f64 {
+        self.steps
+            .iter()
+            .flatten()
+            .map(|s| match s {
+                Step::Compute { flops, .. } => *flops,
+                _ => 0.0,
+            })
+            .sum()
+    }
+
+    /// Total collective payload bytes per rank summed over instances
+    /// (useful for quick communication-volume comparisons).
+    pub fn total_comm_bytes(&self) -> u64 {
+        self.collectives
+            .iter()
+            .map(|c| c.bytes_per_rank * c.group.len() as u64)
+            .sum()
+    }
+
+    /// Structural validation: every referenced collective exists, every
+    /// waited collective is eventually started by someone who can start it,
+    /// and every group member of a non-P2P collective arrives exactly once.
+    ///
+    /// Returns a list of problems (empty = valid).
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let mut starts: HashMap<u32, Vec<usize>> = HashMap::new();
+        for (rank, steps) in self.steps.iter().enumerate() {
+            for step in steps {
+                let id = match step {
+                    Step::CollStart { coll } | Step::CollWait { coll } => *coll,
+                    _ => continue,
+                };
+                if id.index() >= self.collectives.len() {
+                    problems.push(format!("rank {rank} references missing collective {id:?}"));
+                    continue;
+                }
+                if matches!(step, Step::CollStart { .. }) {
+                    starts.entry(id.0).or_default().push(rank);
+                }
+                let inst = &self.collectives[id.index()];
+                if !inst.group.contains(&rank) && !inst.eager_p2p {
+                    problems.push(format!(
+                        "rank {rank} participates in collective {id:?} but is not in its group"
+                    ));
+                }
+            }
+        }
+        for (idx, inst) in self.collectives.iter().enumerate() {
+            let arrived = starts.get(&(idx as u32)).cloned().unwrap_or_default();
+            if inst.eager_p2p {
+                if arrived.len() != 1 {
+                    problems.push(format!(
+                        "eager p2p collective {idx} has {} senders (expected 1)",
+                        arrived.len()
+                    ));
+                }
+            } else {
+                let mut sorted = arrived.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                if sorted != {
+                    let mut g = inst.group.clone();
+                    g.sort_unstable();
+                    g
+                } {
+                    problems.push(format!(
+                        "collective {idx} ({:?}) group {:?} but arrivals {:?}",
+                        inst.kind, inst.group, arrived
+                    ));
+                }
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{CollKey, TraceBuilder};
+    use crate::task::ComputeKind;
+    use charllm_net::{ChunkingPolicy, CollectiveKind};
+
+    #[test]
+    fn totals() {
+        let mut b = TraceBuilder::new(2);
+        b.compute(0, ComputeKind::Gemm, 100.0);
+        b.compute(1, ComputeKind::Attention, 50.0);
+        let id = b.collective(
+            CollKey { site: "ar", mb: 0, layer: 0, aux: 0, group_lead: 0 },
+            CollectiveKind::AllReduce,
+            1000,
+            vec![0, 1],
+            ChunkingPolicy::nccl_default(),
+            false,
+        );
+        b.blocking(0, id);
+        b.blocking(1, id);
+        let t = b.build(TraceMeta::default());
+        assert_eq!(t.total_flops(), 150.0);
+        assert_eq!(t.total_comm_bytes(), 2000);
+        assert!(t.validate().is_empty(), "{:?}", t.validate());
+    }
+
+    #[test]
+    fn validation_flags_missing_arrivals() {
+        let mut b = TraceBuilder::new(2);
+        let id = b.collective(
+            CollKey { site: "ar", mb: 0, layer: 0, aux: 0, group_lead: 0 },
+            CollectiveKind::AllReduce,
+            8,
+            vec![0, 1],
+            ChunkingPolicy::nccl_default(),
+            false,
+        );
+        b.blocking(0, id); // rank 1 never arrives
+        let t = b.build(TraceMeta::default());
+        assert!(!t.validate().is_empty());
+    }
+
+    #[test]
+    fn validation_accepts_eager_p2p_receiver_wait() {
+        let mut b = TraceBuilder::new(2);
+        let id = b.collective(
+            CollKey { site: "p2p", mb: 0, layer: 0, aux: 0, group_lead: 0 },
+            CollectiveKind::SendRecv,
+            8,
+            vec![0, 1],
+            ChunkingPolicy::Unchunked,
+            true,
+        );
+        b.start(0, id); // sender
+        b.wait(1, id); // receiver
+        let t = b.build(TraceMeta::default());
+        assert!(t.validate().is_empty(), "{:?}", t.validate());
+    }
+
+    #[test]
+    fn validation_flags_two_senders_on_p2p() {
+        let mut b = TraceBuilder::new(2);
+        let id = b.collective(
+            CollKey { site: "p2p", mb: 0, layer: 0, aux: 0, group_lead: 0 },
+            CollectiveKind::SendRecv,
+            8,
+            vec![0, 1],
+            ChunkingPolicy::Unchunked,
+            true,
+        );
+        b.start(0, id);
+        b.start(1, id);
+        let t = b.build(TraceMeta::default());
+        assert!(!t.validate().is_empty());
+    }
+}

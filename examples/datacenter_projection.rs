@@ -1,0 +1,62 @@
+//! Datacenter-scale projection (§7.1, Fig. 22): extrapolate a measured
+//! training step to thousands of GPUs by scaling the data-parallel degree
+//! and modeling the gradient AllReduce, at 100 Gbps and 800 Gbps fabrics.
+//!
+//! ```sh
+//! cargo run --release --example datacenter_projection
+//! ```
+
+use charllm::prelude::*;
+use charllm_hw::LinkSpec;
+use charllm_net::projection::{project_dp_scaling, MeasuredStep};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Measure GPT3-175B TP2-PP16 at DP=1 on the simulated 32xH200 cluster.
+    let cluster = hgx_h200_cluster();
+    let job = TrainJob::pretrain(gpt3_175b()).with_global_batch(32).with_recompute(true);
+    let report = Experiment::builder()
+        .cluster(cluster)
+        .job(job.clone())
+        .parallelism("TP2-PP16")?
+        .run()?;
+    let mean = report.mean_kernel_time();
+    let base = MeasuredStep {
+        compute_s: mean.compute_total(),
+        comm_s: mean.comm_total(),
+        grad_bytes_per_rank: (job.arch.total_params() / 32) * 2,
+        tokens_per_step: job.tokens_per_step(),
+        base_world: 32,
+    };
+    println!(
+        "measured base: compute {:.2}s, comm {:.2}s, {:.1} GB grads/rank\n",
+        base.compute_s,
+        base.comm_s,
+        base.grad_bytes_per_rank as f64 / 1e9
+    );
+
+    let dps = [1usize, 2, 4, 8, 16, 32, 64, 128, 256];
+    for (name, nic) in [("100G", LinkSpec::ib_100g()), ("800G", LinkSpec::ib_gbps(800.0))] {
+        println!("== {name} InfiniBand ==");
+        println!(
+            "{:>6} {:>8} {:>10} {:>12} {:>14} {:>10}",
+            "dp", "gpus", "step s", "allreduce s", "tok/s/gpu", "scaling"
+        );
+        for p in project_dp_scaling(&base, &dps, &nic, 1) {
+            println!(
+                "{:>6} {:>8} {:>10.3} {:>12.3} {:>14.1} {:>9.1}%",
+                p.dp,
+                p.num_gpus,
+                p.step_s,
+                p.allreduce_s,
+                p.per_gpu_throughput,
+                p.scaling_efficiency * 100.0
+            );
+        }
+        println!();
+    }
+    println!(
+        "At 100 Gbps the DP AllReduce dominates at scale and strong scaling\n\
+         collapses; an 800 Gbps fabric recovers most of the lost efficiency."
+    );
+    Ok(())
+}

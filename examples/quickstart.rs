@@ -1,0 +1,61 @@
+//! Quickstart: simulate one training configuration and print the telemetry
+//! summary the paper's tooling would report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use charllm::insights::Direction;
+use charllm::prelude::*;
+use charllm_trace::KernelClass;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // GPT3-175B on the paper's 32xH200 scale-up cluster with the TP8-PP4
+    // strategy (DP fills nothing: 8*4 = 32).
+    let cluster = hgx_h200_cluster();
+    let job = TrainJob::pretrain(gpt3_175b()).with_global_batch(32);
+
+    println!("== {} on {} ==", job.arch.name, cluster.name());
+    let report = Experiment::builder()
+        .cluster(cluster)
+        .job(job)
+        .parallelism("TP8-PP4")?
+        .run()?;
+
+    println!("{}", report.summary_line());
+    println!();
+    println!("step time        : {:>10.2} s", report.step_time_s);
+    println!("throughput       : {:>10.0} tokens/s", report.tokens_per_s);
+    println!("energy efficiency: {:>10.2} tokens/J", report.tokens_per_joule);
+    println!("mean / peak power: {:>6.0} W / {:>6.0} W", report.mean_power_w, report.peak_power_w);
+    println!("mean / peak temp : {:>6.1} C / {:>6.1} C", report.mean_temp_c, report.peak_temp_c);
+    println!(
+        "front vs rear    : {:>6.1} C vs {:>6.1} C ({:+.1}% gap, {})",
+        report.front_temp_c,
+        report.rear_temp_c,
+        report.thermal_gap() * 100.0,
+        Direction::of(report.thermal_gap()).arrow(),
+    );
+    println!("mean clock       : {:>10.0} MHz", report.mean_freq_mhz);
+    println!("throttle ratio   : {:>9.1} % (worst {:.1} %)",
+        report.mean_throttle * 100.0, report.max_throttle * 100.0);
+
+    println!("\nPer-kernel time (mean across ranks, one step):");
+    let mean = report.mean_kernel_time();
+    for class in KernelClass::all() {
+        let t = mean.get(class);
+        if t > 0.0 {
+            println!("  {class:<14} {t:>8.3} s");
+        }
+    }
+
+    println!("\nPer-GPU traffic (first node):");
+    for gpu in 0..8 {
+        println!(
+            "  gpu{gpu}: fabric {:>8.2} GB   pcie {:>7.2} GB",
+            report.sim.traffic.fabric(gpu) / 1e9,
+            report.sim.traffic.pcie(gpu) / 1e9
+        );
+    }
+    Ok(())
+}

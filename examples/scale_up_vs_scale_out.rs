@@ -1,0 +1,56 @@
+//! Scale-up (32xH200) vs. scale-out (64xH100) — the §4.1 study behind
+//! Fig. 2: which cluster wins depends on the model's communication
+//! intensity and the parallelism strategy.
+//!
+//! ```sh
+//! cargo run --release --example scale_up_vs_scale_out
+//! ```
+
+use charllm::insights::crossover;
+use charllm::prelude::*;
+use charllm::sweep::Sweep;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A communication-bound large model and a compute-bound smaller one.
+    // Global batch 128, the paper value: smaller batches would starve the
+    // 64-GPU pipeline of microbatches and bias the comparison.
+    let models: Vec<(&str, _)> = vec![
+        ("communication-bound", TrainJob::pretrain(gpt3_175b()).with_global_batch(128)),
+        ("compute-bound", TrainJob::pretrain(llama3_70b()).with_global_batch(128)),
+    ];
+
+    for (kind, job) in models {
+        println!("== {} ({kind}) ==", job.arch.name);
+        let up_cluster = hgx_h200_cluster();
+        let out_cluster = hgx_h100_cluster();
+
+        let up_specs = paper_parallelisms(&job.arch, up_cluster.num_gpus());
+        let out_specs = paper_parallelisms(&job.arch, out_cluster.num_gpus());
+
+        let up = Sweep::new(up_cluster, job.clone().with_recompute(true), up_specs).run()?;
+        let out = Sweep::new(out_cluster, job.clone().with_recompute(true), out_specs).run()?;
+
+        println!(
+            "  {:<12} {:>14} {:>14} {:>9} {:>9}",
+            "config", "32xH200 tok/s", "64xH100 tok/s", "H200 t/J", "H100 t/J"
+        );
+        for p in crossover(&up, &out) {
+            println!(
+                "  {:<12} {:>14.0} {:>14.0} {:>9.2} {:>9.2}  {}",
+                p.config.split(' ').next().unwrap_or(""),
+                p.scale_up_tokens_per_s,
+                p.scale_out_tokens_per_s,
+                p.scale_up_tokens_per_joule,
+                p.scale_out_tokens_per_joule,
+                if p.scale_up_wins_perf() { "<- scale-up wins" } else { "" },
+            );
+        }
+        println!();
+    }
+    println!(
+        "The scale-out cluster has 2x the aggregate compute, so it leads on\n\
+         compute-bound models; communication-heavy models narrow the gap or\n\
+         flip it because the H200 cluster keeps traffic inside fewer nodes."
+    );
+    Ok(())
+}

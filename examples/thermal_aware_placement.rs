@@ -1,0 +1,65 @@
+//! Thermal-aware pipeline placement (§6, Fig. 21): cluster hot and cold
+//! GPUs into separate pipeline stages instead of grouping by consecutive
+//! device IDs, optionally shifting a layer from hot to cold stages.
+//!
+//! ```sh
+//! cargo run --release --example thermal_aware_placement
+//! ```
+
+use charllm::prelude::*;
+use charllm_parallel::thermal_aware;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cluster = hgx_h200_cluster();
+    // Llama3-70B: 80 layers over TP4-PP8 (two stages per node, DP disabled),
+    // as in the paper's §6 setup. Recompute keeps deep stashing feasible.
+    let job = TrainJob::pretrain(llama3_70b()).with_global_batch(32).with_recompute(true);
+    let spec = thermal_aware::thermal_pp_spec(&cluster)?;
+
+    let run = |name: &str,
+               placement: charllm_parallel::Placement,
+               partition: Option<charllm_parallel::StagePartition>|
+     -> Result<RunReport, Box<dyn std::error::Error>> {
+        let mut b = Experiment::builder()
+            .cluster(cluster.clone())
+            .job(job.clone())
+            .spec(spec)
+            .placement(placement);
+        if let Some(p) = partition {
+            b = b.partition(p);
+        }
+        let report = b.run()?;
+        println!(
+            "{name:<12} {:>9.0} tok/s  {:>6.2} tok/J  rear-front gap {:>5.1}%  peak {:>5.1}C  thr {:>4.1}%",
+            report.tokens_per_s,
+            report.tokens_per_joule,
+            report.thermal_gap() * 100.0,
+            report.peak_temp_c,
+            report.mean_throttle * 100.0,
+        );
+        Ok(report)
+    };
+
+    println!("Llama3-70B {} on {}:", spec.label(), cluster.name());
+    let baseline = run("baseline", thermal_aware::baseline_placement(&cluster)?, None)?;
+    let symmetric = run("symmetric", thermal_aware::symmetric_placement(&cluster)?, None)?;
+    let asym_partition =
+        thermal_aware::asymmetric_partition(job.arch.num_layers, spec.pp)?;
+    let asymmetric = run(
+        "asymmetric",
+        thermal_aware::symmetric_placement(&cluster)?,
+        Some(asym_partition),
+    )?;
+
+    println!(
+        "\nefficiency vs baseline: symmetric {:+.1}%, asymmetric {:+.1}%",
+        (symmetric.tokens_per_joule / baseline.tokens_per_joule - 1.0) * 100.0,
+        (asymmetric.tokens_per_joule / baseline.tokens_per_joule - 1.0) * 100.0,
+    );
+    println!(
+        "thermal gap vs baseline: symmetric {:+.1}%, asymmetric {:+.1}%",
+        (symmetric.thermal_gap() - baseline.thermal_gap()) * 100.0,
+        (asymmetric.thermal_gap() - baseline.thermal_gap()) * 100.0,
+    );
+    Ok(())
+}

@@ -1,0 +1,6 @@
+//! Root facade of the CharLLM-PPT reproduction workspace.
+//!
+//! Re-exports the [`charllm`] facade crate; see the README for the
+//! architecture overview and `examples/` for runnable scenarios.
+
+pub use charllm::*;

@@ -1,0 +1,222 @@
+//! Cross-crate integration tests: the full lower → simulate → report
+//! pipeline on small configurations.
+
+use charllm::prelude::*;
+use charllm_trace::InferenceConfig;
+
+fn small_job() -> TrainJob {
+    TrainJob::pretrain(gpt3_13b()).with_global_batch(8)
+}
+
+fn node() -> charllm_hw::Cluster {
+    single_hgx_node()
+}
+
+#[test]
+fn report_metrics_are_mutually_consistent() {
+    let r = Experiment::builder()
+        .cluster(node())
+        .job(small_job())
+        .parallelism("TP2-PP2")
+        .unwrap()
+        .sim_config(SimConfig::fast())
+        .run()
+        .unwrap();
+    // Throughput, step time and token count must agree.
+    let tokens = small_job().tokens_per_step() as f64;
+    assert!((r.tokens_per_s * r.step_time_s - tokens).abs() / tokens < 1e-6);
+    // Energy metrics agree.
+    assert!((r.tokens_per_joule * r.energy_per_step_j - tokens).abs() / tokens < 1e-6);
+    // Telemetry is physically sane.
+    assert!(r.mean_power_w >= node().gpu().idle_w);
+    assert!(r.peak_power_w <= node().gpu().tdp_w * 1.05);
+    assert!(r.mean_temp_c > 25.0 && r.peak_temp_c < 95.0);
+    let boost = node().gpu().boost_clock_mhz;
+    assert!(r.mean_freq_mhz <= boost + 1.0);
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let run = || {
+        Experiment::builder()
+            .cluster(node())
+            .job(small_job())
+            .parallelism("TP4-PP2")
+            .unwrap()
+            .sim_config(SimConfig::fast())
+            .run()
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.step_time_s, b.step_time_s);
+    assert_eq!(a.tokens_per_joule, b.tokens_per_joule);
+    assert_eq!(a.sim.throttle_ratio, b.sim.throttle_ratio);
+}
+
+#[test]
+fn seeds_change_hardware_variability_but_not_structure() {
+    let run = |seed| {
+        Experiment::builder()
+            .cluster(node())
+            .job(small_job())
+            .parallelism("TP2-PP2")
+            .unwrap()
+            .sim_config(SimConfig { seed, ..SimConfig::fast() })
+            .run()
+            .unwrap()
+    };
+    let a = run(1);
+    let b = run(2);
+    // Different silicon lottery shifts timing slightly but not wildly.
+    assert_ne!(a.step_time_s, b.step_time_s);
+    let rel = (a.step_time_s - b.step_time_s).abs() / a.step_time_s;
+    assert!(rel < 0.2, "seed should not change results structurally: {rel}");
+}
+
+#[test]
+fn all_paper_models_lower_and_simulate_on_h200() {
+    // Every Table 1 model runs end-to-end on its paper cluster (tiny batch).
+    let cluster = hgx_h200_cluster();
+    for arch in [gpt3_175b(), llama3_70b(), mixtral_8x22b(), mixtral_8x7b()] {
+        let specs = paper_parallelisms(&arch, cluster.num_gpus());
+        assert!(!specs.is_empty(), "{}", arch.name);
+        let spec = specs[specs.len() / 2];
+        let job = TrainJob::pretrain(arch.clone())
+            .with_global_batch(spec.dp * 2)
+            .with_recompute(true);
+        let r = Experiment::builder()
+            .cluster(cluster.clone())
+            .job(job)
+            .spec(spec)
+            .sim_config(SimConfig::fast())
+            .run()
+            .unwrap_or_else(|e| panic!("{} {}: {e}", arch.name, spec.label()));
+        assert!(r.tokens_per_s > 0.0, "{} {}", arch.name, spec.label());
+    }
+}
+
+#[test]
+fn thermal_imbalance_emerges_from_airflow() {
+    let r = Experiment::builder()
+        .cluster(node())
+        .job(small_job().with_recompute(true))
+        .parallelism("TP4-PP2")
+        .unwrap()
+        .run()
+        .unwrap();
+    assert!(
+        r.rear_temp_c > r.front_temp_c + 5.0,
+        "rear {} vs front {}",
+        r.rear_temp_c,
+        r.front_temp_c
+    );
+}
+
+#[test]
+fn uniform_cooling_removes_the_imbalance() {
+    let cluster = node()
+        .with_airflow(charllm_hw::AirflowLayout::uniform(8, 26.0))
+        .unwrap();
+    let r = Experiment::builder()
+        .cluster(cluster)
+        .job(small_job())
+        .parallelism("TP4-PP2")
+        .unwrap()
+        .sim_config(SimConfig::fast())
+        .run()
+        .unwrap();
+    // A uniform layout has no rear slots: the rear group is empty.
+    assert_eq!(r.rear_temp_c, 0.0);
+    // And per-GPU temperatures spread only by silicon variability.
+    let means: Vec<f64> = (0..8).map(|g| r.sim.telemetry.temp(g).mean()).collect();
+    let max = means.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let min = means.iter().copied().fold(f64::INFINITY, f64::min);
+    assert!(max - min < 6.0, "spread {max} - {min}");
+}
+
+#[test]
+fn inference_is_less_communication_bound_than_training() {
+    let job = TrainJob::pretrain(gpt3_13b());
+    let train = Experiment::builder()
+        .cluster(node())
+        .job(job.clone().with_global_batch(8))
+        .parallelism("TP4-PP2")
+        .unwrap()
+        .sim_config(SimConfig::fast())
+        .run()
+        .unwrap();
+    let infer = Experiment::builder()
+        .cluster(node())
+        .job(job)
+        .parallelism("TP4-PP2")
+        .unwrap()
+        .inference(InferenceConfig { batch: 4, prompt_len: 256, decode_tokens: 8 })
+        .sim_config(SimConfig::fast())
+        .run()
+        .unwrap();
+    // Communication *volume* per processed token is far lower in inference
+    // (weights fixed: no gradient sync, no optimizer gathers).
+    let bytes_per_token = |r: &charllm::RunReport, tokens: f64| -> f64 {
+        (0..8).map(|g| r.sim.traffic.total(g)).sum::<f64>() / tokens
+    };
+    let train_tokens = 8.0 * 2048.0;
+    let infer_tokens = (4 * (256 + 8)) as f64; // prefill + decode
+    let t = bytes_per_token(&train, train_tokens);
+    let i = bytes_per_token(&infer, infer_tokens);
+    assert!(i < t, "train {t:.0} B/token vs infer {i:.0} B/token");
+    // Inference also draws less average power (§7.2).
+    assert!(infer.mean_power_w < train.mean_power_w);
+}
+
+#[test]
+fn json_report_roundtrips_through_serde() {
+    let r = Experiment::builder()
+        .cluster(node())
+        .job(small_job())
+        .parallelism("TP2-PP2")
+        .unwrap()
+        .sim_config(SimConfig::fast())
+        .run()
+        .unwrap();
+    let json = r.to_json();
+    let back: charllm::RunReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.tokens_per_s, r.tokens_per_s);
+    assert_eq!(back.sim.kernel_time.len(), r.sim.kernel_time.len());
+}
+
+#[test]
+fn node_power_failure_creates_cluster_wide_stragglers() {
+    // §1 anecdote: a node-level power failure made its GPUs run >4x slower,
+    // stalling the whole (synchronization-heavy) pipeline.
+    use charllm_hw::presets::hgx_h200_with_nodes;
+    let cluster = hgx_h200_with_nodes(2);
+    // A compute-bound layout so the frequency collapse dominates.
+    let job = TrainJob::pretrain(gpt3_13b()).with_global_batch(32).with_recompute(true);
+    let run = |cap: Option<(u32, f64)>| {
+        Experiment::builder()
+            .cluster(cluster.clone())
+            .job(job.clone())
+            .parallelism("TP1-PP2")
+            .unwrap()
+            .sim_config(SimConfig { node_power_cap: cap, ..SimConfig::fast() })
+            .run()
+            .unwrap()
+    };
+    let healthy = run(None);
+    // Starve node 0's GPUs to ~1/5 of TDP.
+    let degraded = run(Some((0, 140.0)));
+    assert!(
+        degraded.step_time_s > 1.8 * healthy.step_time_s,
+        "degraded {:.2}s vs healthy {:.2}s",
+        degraded.step_time_s,
+        healthy.step_time_s
+    );
+    // The healthy node is dragged down too (TP/PP synchronization): its
+    // GPUs spend far more time waiting in communication.
+    let healthy_node1_comm: f64 =
+        (8..16).map(|r| healthy.sim.kernel_time[r].comm_total()).sum();
+    let degraded_node1_comm: f64 =
+        (8..16).map(|r| degraded.sim.kernel_time[r].comm_total()).sum();
+    assert!(degraded_node1_comm > 1.5 * healthy_node1_comm);
+}
