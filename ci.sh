@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Local CI gate: build, test, format, lint — everything must pass clean.
+# Usage: ./ci.sh
+set -eu
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> CI green"

@@ -9,7 +9,10 @@ use charllm_bench::{banner, bench_job, save_json, sim_config};
 use charllm_trace::KernelClass;
 
 fn main() {
-    banner("Ablation", "unchunked (framework default) vs chunked pipeline SendRecv");
+    banner(
+        "Ablation",
+        "unchunked (framework default) vs chunked pipeline SendRecv",
+    );
     let cluster = hgx_h200_cluster();
     let base = bench_job(gpt3_175b()).with_recompute(true);
     let mut rows = Vec::new();
@@ -18,7 +21,9 @@ fn main() {
         "config", "p2p", "tok/s", "SendRecv s", "step s"
     );
     for label in ["TP8-PP4", "TP4-PP8", "TP2-PP16"] {
-        let Ok(spec) = ParallelismSpec::parse(label, cluster.num_gpus()) else { continue };
+        let Ok(spec) = ParallelismSpec::parse(label, cluster.num_gpus()) else {
+            continue;
+        };
         for (mode, chunked) in [("unchunked", false), ("chunked", true)] {
             let mut job = base.clone();
             job.optim.chunked_p2p = chunked;

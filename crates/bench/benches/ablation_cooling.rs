@@ -7,7 +7,10 @@ use charllm_bench::{banner, bench_job, save_json, sim_config};
 use charllm_hw::AirflowLayout;
 
 fn main() {
-    banner("Ablation", "front-to-back airflow vs uniform cooling (imbalance off)");
+    banner(
+        "Ablation",
+        "front-to-back airflow vs uniform cooling (imbalance off)",
+    );
     let real = hgx_h200_cluster();
     let uniform = hgx_h200_cluster()
         .with_airflow(AirflowLayout::uniform(8, 26.0))
@@ -19,7 +22,9 @@ fn main() {
         "config", "cooling", "tok/s", "tok/J", "gap %", "peak C", "thr %"
     );
     for label in ["TP8-PP4", "TP2-PP16"] {
-        let Ok(spec) = ParallelismSpec::parse(label, real.num_gpus()) else { continue };
+        let Ok(spec) = ParallelismSpec::parse(label, real.num_gpus()) else {
+            continue;
+        };
         for (mode, cluster) in [("airflow", &real), ("uniform", &uniform)] {
             let Ok(r) = Experiment::builder()
                 .cluster(cluster.clone())

@@ -6,7 +6,10 @@ use charllm::prelude::*;
 use charllm_bench::{banner, bench_job, save_json, sim_config};
 
 fn main() {
-    banner("Ablation", "1F1B vs interleaved (virtual pipeline chunks) scheduling");
+    banner(
+        "Ablation",
+        "1F1B vs interleaved (virtual pipeline chunks) scheduling",
+    );
     let cluster = hgx_h200_cluster();
     let job = bench_job(gpt3_175b()).with_recompute(true);
     let mut rows = Vec::new();
@@ -15,12 +18,20 @@ fn main() {
         "config", "schedule", "tok/s", "step s", "ideal bubble"
     );
     for label in ["TP4-PP8", "TP2-PP16"] {
-        let Ok(spec) = ParallelismSpec::parse(label, cluster.num_gpus()) else { continue };
+        let Ok(spec) = ParallelismSpec::parse(label, cluster.num_gpus()) else {
+            continue;
+        };
         let num_mb = job.num_microbatches(spec.dp);
         let schedules: Vec<(String, PipelineSchedule)> = vec![
             ("1F1B".to_string(), PipelineSchedule::OneFOneB),
-            ("interleaved-2".to_string(), PipelineSchedule::Interleaved(2)),
-            ("interleaved-3".to_string(), PipelineSchedule::Interleaved(3)),
+            (
+                "interleaved-2".to_string(),
+                PipelineSchedule::Interleaved(2),
+            ),
+            (
+                "interleaved-3".to_string(),
+                PipelineSchedule::Interleaved(3),
+            ),
         ];
         for (name, schedule) in schedules {
             let result = Experiment::builder()
@@ -35,7 +46,11 @@ fn main() {
                     let bubble = schedule.ideal_bubble_fraction(spec.pp, num_mb);
                     println!(
                         "{:<12} {:<14} {:>11.0} {:>10.2} {:>11.1}%",
-                        label, name, r.tokens_per_s, r.step_time_s, bubble * 100.0
+                        label,
+                        name,
+                        r.tokens_per_s,
+                        r.step_time_s,
+                        bubble * 100.0
                     );
                     rows.push(serde_json::json!({
                         "parallelism": label,

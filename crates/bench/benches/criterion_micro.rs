@@ -65,8 +65,7 @@ fn bench_simulation(c: &mut Criterion) {
     let spec = ParallelismSpec::infer_dp(2, 2, 1, 32, false).unwrap();
     let partition = StagePartition::even(40, 2).unwrap();
     let hints = DeviceHints::for_spec(cluster.gpu());
-    let lowered =
-        lower_train(&job, &spec, PipelineSchedule::OneFOneB, &partition, &hints).unwrap();
+    let lowered = lower_train(&job, &spec, PipelineSchedule::OneFOneB, &partition, &hints).unwrap();
     let placement = Placement::identity(&cluster, spec.world()).unwrap();
     let mut group = c.benchmark_group("simulate");
     group.sample_size(10);
@@ -81,5 +80,10 @@ fn bench_simulation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_collective_lowering, bench_trace_lowering, bench_simulation);
+criterion_group!(
+    benches,
+    bench_collective_lowering,
+    bench_trace_lowering,
+    bench_simulation
+);
 criterion_main!(benches);

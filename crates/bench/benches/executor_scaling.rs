@@ -1,0 +1,54 @@
+//! Executor scaling: one ≥8-point sweep executed with `workers(1)` and
+//! with the full worker pool, reporting wall-clock for both and checking
+//! that the parallel run returns byte-identical reports in the same
+//! order. On a multi-core runner the pooled run should show a clear
+//! speedup; on a single core it degenerates to the serial path.
+
+use std::time::Instant;
+
+use charllm::prelude::*;
+use charllm_bench::{banner, save_json, sim_config};
+use charllm_models::presets as models;
+
+fn main() {
+    banner(
+        "Executor scaling",
+        "parallel sweep vs serial sweep, identical results",
+    );
+    let specs: Vec<ParallelismSpec> = ["TP2-PP2", "TP4-PP2", "TP8", "TP2-PP4"]
+        .iter()
+        .map(|label| ParallelismSpec::parse(label, 8).expect("valid label"))
+        .collect();
+    let job = TrainJob::pretrain(models::gpt3_13b()).with_global_batch(8);
+    let sweep = Sweep::new(single_hgx_node(), job, specs)
+        .with_microbatches(vec![1, 2])
+        .with_sim_config(sim_config());
+    let total = sweep.points().len();
+    println!("sweep points: {total}");
+    assert!(total >= 8, "scaling bench needs a non-trivial grid");
+
+    let start = Instant::now();
+    let serial = sweep.clone().workers(1).run().expect("serial sweep");
+    let serial_s = start.elapsed().as_secs_f64();
+
+    let pool = Executor::auto().workers();
+    let start = Instant::now();
+    let parallel = sweep.workers(0).run().expect("parallel sweep");
+    let parallel_s = start.elapsed().as_secs_f64();
+
+    assert_eq!(serial, parallel, "worker pool must not change results");
+    let speedup = serial_s / parallel_s.max(1e-9);
+    println!("workers(1):      {serial_s:>8.3} s");
+    println!("workers({pool}) auto: {parallel_s:>8.3} s  ({speedup:.2}x)");
+
+    save_json(
+        "executor_scaling",
+        &serde_json::json!({
+            "points": total,
+            "workers": pool,
+            "serial_s": serial_s,
+            "parallel_s": parallel_s,
+            "speedup": speedup,
+        }),
+    );
+}

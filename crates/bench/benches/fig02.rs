@@ -29,7 +29,10 @@ fn main() {
                     if let Some(r) = try_run(cluster, &job, spec) {
                         println!(
                             "{:<10} {:<14} {:<6} {:>12.0} {:>10.3}",
-                            r.cluster, r.parallelism, r.optimization, r.tokens_per_s,
+                            r.cluster,
+                            r.parallelism,
+                            r.optimization,
+                            r.tokens_per_s,
                             r.tokens_per_joule
                         );
                         rows.push(report_json(&r));

@@ -2,13 +2,18 @@
 //! optimizations enabled, on 32×H200 and 64×H100.
 
 use charllm::prelude::*;
-use charllm_bench::{banner, bench_job, feasible, save_json, try_run};
+use charllm_bench::{banner, bench_job, feasible, run_points, save_json};
 use charllm_trace::KernelClass;
 
 fn main() {
-    banner("Figure 3", "kernel time breakdown, GPT3-175B, all optimizations, both clusters");
+    banner(
+        "Figure 3",
+        "kernel time breakdown, GPT3-175B, all optimizations, both clusters",
+    );
     let arch = gpt3_175b();
-    let job = bench_job(arch.clone()).with_recompute(true).with_cc_overlap(true);
+    let job = bench_job(arch.clone())
+        .with_recompute(true)
+        .with_cc_overlap(true);
     let mut rows = Vec::new();
     for cluster in [hgx_h200_cluster(), hgx_h100_cluster()] {
         println!("\n--- {} ---", cluster.name());
@@ -16,37 +21,37 @@ fn main() {
             "{:<12} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
             "config", "GEMM", "Attn", "Recomp", "SendRecv", "AllRed", "other-comm"
         );
-        for spec in paper_parallelisms(&arch, cluster.num_gpus()) {
-            if !feasible(&job, &spec, &cluster) {
-                continue;
-            }
-            if let Some(r) = try_run(&cluster, &job, spec) {
-                let k = r.mean_kernel_time();
-                let other_comm = k.comm_total()
-                    - k.get(KernelClass::SendRecv)
-                    - k.get(KernelClass::AllReduce);
-                println!(
-                    "{:<12} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
-                    r.parallelism,
-                    k.get(KernelClass::Gemm),
-                    k.get(KernelClass::Attention),
-                    k.get(KernelClass::Recompute),
-                    k.get(KernelClass::SendRecv),
-                    k.get(KernelClass::AllReduce),
-                    other_comm,
-                );
-                rows.push(serde_json::json!({
-                    "cluster": r.cluster,
-                    "parallelism": r.parallelism,
-                    "gemm_s": k.get(KernelClass::Gemm),
-                    "attention_s": k.get(KernelClass::Attention),
-                    "recompute_s": k.get(KernelClass::Recompute),
-                    "sendrecv_s": k.get(KernelClass::SendRecv),
-                    "allreduce_s": k.get(KernelClass::AllReduce),
-                    "comm_total_s": k.comm_total(),
-                    "compute_total_s": k.compute_total(),
-                }));
-            }
+        let points: Vec<(TrainJob, ParallelismSpec)> =
+            paper_parallelisms(&arch, cluster.num_gpus())
+                .into_iter()
+                .filter(|spec| feasible(&job, spec, &cluster))
+                .map(|spec| (job.clone(), spec))
+                .collect();
+        for r in run_points(&cluster, &points) {
+            let k = r.mean_kernel_time();
+            let other_comm =
+                k.comm_total() - k.get(KernelClass::SendRecv) - k.get(KernelClass::AllReduce);
+            println!(
+                "{:<12} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+                r.parallelism,
+                k.get(KernelClass::Gemm),
+                k.get(KernelClass::Attention),
+                k.get(KernelClass::Recompute),
+                k.get(KernelClass::SendRecv),
+                k.get(KernelClass::AllReduce),
+                other_comm,
+            );
+            rows.push(serde_json::json!({
+                "cluster": r.cluster,
+                "parallelism": r.parallelism,
+                "gemm_s": k.get(KernelClass::Gemm),
+                "attention_s": k.get(KernelClass::Attention),
+                "recompute_s": k.get(KernelClass::Recompute),
+                "sendrecv_s": k.get(KernelClass::SendRecv),
+                "allreduce_s": k.get(KernelClass::AllReduce),
+                "comm_total_s": k.comm_total(),
+                "compute_total_s": k.compute_total(),
+            }));
         }
     }
     save_json("fig03", &serde_json::Value::Array(rows));

@@ -4,10 +4,13 @@
 
 use charllm::prelude::*;
 use charllm::sweep::normalized;
-use charllm_bench::{banner, bench_job, feasible, report_json, save_json, try_run};
+use charllm_bench::{banner, bench_job, feasible, report_json, run_points, save_json};
 
 fn main() {
-    banner("Figure 4", "temperature / power / frequency across models and parallelism");
+    banner(
+        "Figure 4",
+        "temperature / power / frequency across models and parallelism",
+    );
     let mut rows = Vec::new();
     let sets: Vec<(charllm_hw::Cluster, Vec<charllm_models::TransformerArch>)> = vec![
         (hgx_h200_cluster(), nvidia_models()),
@@ -22,17 +25,15 @@ fn main() {
                 "config", "opt", "eff", "avg W", "peak W", "avg C", "peak C", "MHz"
             );
             let base = bench_job(arch.clone());
-            let mut reports = Vec::new();
+            let mut points: Vec<(TrainJob, ParallelismSpec)> = Vec::new();
             for spec in paper_parallelisms(&arch, cluster.num_gpus()) {
                 for job in [base.clone(), base.clone().with_recompute(true)] {
-                    if !feasible(&job, &spec, &cluster) {
-                        continue;
-                    }
-                    if let Some(r) = try_run(&cluster, &job, spec) {
-                        reports.push(r);
+                    if feasible(&job, &spec, &cluster) {
+                        points.push((job, spec));
                     }
                 }
             }
+            let reports = run_points(&cluster, &points);
             for (r, eff) in normalized(&reports, |r| r.tokens_per_joule) {
                 println!(
                     "{:<14} {:<5} {:>8.2} {:>8.0} {:>8.0} {:>8.1} {:>8.1} {:>7.0}",

@@ -6,7 +6,10 @@ use charllm_bench::{banner, bench_job, feasible, save_json, try_run};
 use charllm_telemetry::Heatmap;
 
 fn main() {
-    banner("Figure 5", "per-GPU NVLink + PCIe traffic heatmaps, 32xH200");
+    banner(
+        "Figure 5",
+        "per-GPU NVLink + PCIe traffic heatmaps, 32xH200",
+    );
     let cluster = hgx_h200_cluster();
     let cols: Vec<String> = (0..cluster.num_gpus()).map(|g| format!("g{g}")).collect();
     let mut json = serde_json::Map::new();
@@ -35,7 +38,10 @@ fn main() {
         }
         let nv = Heatmap::new(labels.clone(), cols.clone(), nv_rows);
         let pcie = Heatmap::new(labels, cols.clone(), pcie_rows);
-        println!("\n--- {} NVLink traffic (GB per step per GPU) ---", arch.name);
+        println!(
+            "\n--- {} NVLink traffic (GB per step per GPU) ---",
+            arch.name
+        );
         print!("{}", nv.to_ascii());
         println!("--- {} PCIe traffic (GB per step per GPU) ---", arch.name);
         print!("{}", pcie.to_ascii());

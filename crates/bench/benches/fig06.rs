@@ -6,13 +6,18 @@ use charllm_bench::{banner, bench_job, save_json, try_run};
 use charllm_telemetry::TimeSeries;
 
 fn main() {
-    banner("Figure 6", "aggregate node PCIe throughput over time, TP8-PP4 vs TP2-PP16");
+    banner(
+        "Figure 6",
+        "aggregate node PCIe throughput over time, TP8-PP4 vs TP2-PP16",
+    );
     let cluster = hgx_h200_cluster();
     let job = bench_job(gpt3_175b()).with_recompute(true);
     let mut json = serde_json::Map::new();
     for label in ["TP8-PP4", "TP2-PP16"] {
         let spec = ParallelismSpec::parse(label, cluster.num_gpus()).expect("paper config");
-        let Some(r) = try_run(&cluster, &job, spec) else { continue };
+        let Some(r) = try_run(&cluster, &job, spec) else {
+            continue;
+        };
         // Sum PCIe throughput over node 0's GPUs at each sample.
         let mut agg = TimeSeries::new();
         let n = r.sim.telemetry.pcie(0).len();
@@ -22,8 +27,13 @@ fn main() {
             agg.push(t, total);
         }
         println!("\n--- {label}: node-0 aggregate PCIe GB/s (sampled) ---");
-        println!("samples {:>5}  mean {:>7.3}  peak {:>7.3}  p95 {:>7.3}",
-            agg.len(), agg.mean(), agg.peak(), agg.percentile(95.0));
+        println!(
+            "samples {:>5}  mean {:>7.3}  peak {:>7.3}  p95 {:>7.3}",
+            agg.len(),
+            agg.mean(),
+            agg.peak(),
+            agg.percentile(95.0)
+        );
         // Print a coarse sparkline-style series (every ~20th sample).
         let stride = (agg.len() / 24).max(1);
         let series: Vec<String> = agg

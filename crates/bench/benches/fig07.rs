@@ -6,7 +6,10 @@ use charllm_bench::{banner, bench_job, feasible, save_json, try_run};
 use charllm_trace::KernelClass;
 
 fn main() {
-    banner("Figure 7", "kernel latency breakdown without (left) / with (right) recompute");
+    banner(
+        "Figure 7",
+        "kernel latency breakdown without (left) / with (right) recompute",
+    );
     let cluster = hgx_h200_cluster();
     let mut rows = Vec::new();
     for arch in [gpt3_175b(), mixtral_8x22b()] {
@@ -17,7 +20,10 @@ fn main() {
         );
         let base = bench_job(arch.clone());
         for spec in paper_parallelisms(&arch, cluster.num_gpus()) {
-            for (tag, job) in [("off", base.clone()), ("on", base.clone().with_recompute(true))] {
+            for (tag, job) in [
+                ("off", base.clone()),
+                ("on", base.clone().with_recompute(true)),
+            ] {
                 if !feasible(&job, &spec, &cluster) {
                     eprintln!("  [infeasible] {} act={tag}", spec.label());
                     continue;

@@ -6,12 +6,18 @@ use charllm::prelude::*;
 use charllm_bench::{banner, bench_job, save_json, try_run};
 
 fn main() {
-    banner("Figure 8", "1-GPU-per-node: balanced interconnect, GPT3-13B + Mixtral-4x7B");
+    banner(
+        "Figure 8",
+        "1-GPU-per-node: balanced interconnect, GPT3-13B + Mixtral-4x7B",
+    );
     let cluster = single_gpu_per_node_cluster(4);
     let mut rows = Vec::new();
     let configs: Vec<(charllm_models::TransformerArch, Vec<&str>)> = vec![
         (gpt3_13b(), vec!["TP4-PP1", "TP2-PP2", "TP1-PP4"]),
-        (mixtral_4x7b(), vec!["EP4-TP1-PP1", "EP2-TP2-PP1", "EP2-TP1-PP2", "TP1-PP4"]),
+        (
+            mixtral_4x7b(),
+            vec!["EP4-TP1-PP1", "EP2-TP2-PP1", "EP2-TP1-PP2", "TP1-PP4"],
+        ),
     ];
     for (arch, labels) in configs {
         println!("\n--- {} ---", arch.name);
@@ -21,7 +27,9 @@ fn main() {
         );
         let job = bench_job(arch.clone());
         for label in labels {
-            let Ok(spec) = ParallelismSpec::parse(label, 4) else { continue };
+            let Ok(spec) = ParallelismSpec::parse(label, 4) else {
+                continue;
+            };
             if let Some(r) = try_run(&cluster, &job, spec) {
                 let k = r.mean_kernel_time();
                 let share = k.comm_total() / k.busy_total().max(1e-9) * 100.0;

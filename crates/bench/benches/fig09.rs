@@ -7,7 +7,10 @@ use charllm::sweep::normalized;
 use charllm_bench::{banner, bench_job, feasible, report_json, save_json, try_run};
 
 fn main() {
-    banner("Figure 9", "H200: optimization techniques vs power/temp/frequency/efficiency");
+    banner(
+        "Figure 9",
+        "H200: optimization techniques vs power/temp/frequency/efficiency",
+    );
     let cluster = hgx_h200_cluster();
     let mut rows = Vec::new();
     for arch in [gpt3_175b(), llama3_70b(), mixtral_8x22b()] {

@@ -6,7 +6,10 @@ use charllm::sweep::normalized;
 use charllm_bench::{banner, bench_job, feasible, report_json, save_json, try_run};
 
 fn main() {
-    banner("Figure 10", "MI250 (chiplet GCDs): optimizations vs power/temp/frequency");
+    banner(
+        "Figure 10",
+        "MI250 (chiplet GCDs): optimizations vs power/temp/frequency",
+    );
     let cluster = mi250_cluster();
     let mut rows = Vec::new();
     for arch in amd_models() {

@@ -8,13 +8,21 @@ use charllm_bench::{banner, bench_job, save_json, try_run};
 use charllm_trace::KernelClass;
 
 fn main() {
-    banner("Figure 11", "per-pipeline-rank kernel breakdown, Llama3-70B, ± cc-overlap");
+    banner(
+        "Figure 11",
+        "per-pipeline-rank kernel breakdown, Llama3-70B, ± cc-overlap",
+    );
     let cluster = hgx_h200_cluster();
     let spec = ParallelismSpec::parse("TP4-PP4", cluster.num_gpus()).expect("paper config");
     let base = bench_job(llama3_70b()).with_recompute(true);
     let mut json = serde_json::Map::new();
-    for (tag, job) in [("no-overlap", base.clone()), ("cc-overlap", base.with_cc_overlap(true))] {
-        let Some(r) = try_run(&cluster, &job, spec) else { continue };
+    for (tag, job) in [
+        ("no-overlap", base.clone()),
+        ("cc-overlap", base.with_cc_overlap(true)),
+    ] {
+        let Some(r) = try_run(&cluster, &job, spec) else {
+            continue;
+        };
         println!("\n--- {tag} (step {:.2}s) ---", r.step_time_s);
         println!(
             "{:<6} {:>9} {:>9} {:>9} {:>9} {:>9}",

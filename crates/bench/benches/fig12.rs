@@ -6,7 +6,10 @@ use charllm::prelude::*;
 use charllm_bench::{banner, feasible, gbs, report_json, save_json, sim_config};
 
 fn main() {
-    banner("Figure 12", "LoRA fine-tuning: power/temp/frequency/efficiency, H200");
+    banner(
+        "Figure 12",
+        "LoRA fine-tuning: power/temp/frequency/efficiency, H200",
+    );
     let cluster = hgx_h200_cluster();
     let arch = llama3_70b();
     let mut rows = Vec::new();
@@ -16,7 +19,9 @@ fn main() {
     );
     let mut ratio: Option<(f64, f64)> = None;
     for spec in paper_parallelisms(&arch, cluster.num_gpus()) {
-        let full = TrainJob::pretrain(arch.clone()).with_global_batch(gbs()).with_recompute(true);
+        let full = TrainJob::pretrain(arch.clone())
+            .with_global_batch(gbs())
+            .with_recompute(true);
         let lora = TrainJob::lora_finetune(arch.clone()).with_global_batch(gbs());
         for (mode, job) in [("full", full), ("lora", lora)] {
             if !feasible(&job, &spec, &cluster) {
@@ -33,8 +38,13 @@ fn main() {
             };
             println!(
                 "{:<14} {:<6} {:>12.0} {:>10.2} {:>8.0} {:>8.1} {:>8.0}",
-                r.parallelism, mode, r.tokens_per_s, r.tokens_per_joule, r.mean_power_w,
-                r.peak_temp_c, r.mean_freq_mhz
+                r.parallelism,
+                mode,
+                r.tokens_per_s,
+                r.tokens_per_joule,
+                r.mean_power_w,
+                r.peak_temp_c,
+                r.mean_freq_mhz
             );
             if spec.label() == "TP4-PP4" {
                 match mode {

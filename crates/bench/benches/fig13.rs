@@ -6,7 +6,10 @@ use charllm::sweep::normalized;
 use charllm_bench::{banner, bench_job, feasible, report_json, save_json, try_run};
 
 fn main() {
-    banner("Figure 13", "H200 microbatch sweep (act on): efficiency/power/temp/clock");
+    banner(
+        "Figure 13",
+        "H200 microbatch sweep (act on): efficiency/power/temp/clock",
+    );
     let cluster = hgx_h200_cluster();
     let mut rows = Vec::new();
     for arch in [gpt3_175b(), llama3_70b()] {

@@ -7,7 +7,10 @@ use charllm::sweep::normalized;
 use charllm_bench::{banner, bench_job, feasible, report_json, save_json, try_run};
 
 fn main() {
-    banner("Figure 14", "MI250 microbatch sweep (act on): efficiency/power/temp/clock");
+    banner(
+        "Figure 14",
+        "MI250 microbatch sweep (act on): efficiency/power/temp/clock",
+    );
     let cluster = mi250_cluster();
     let mut rows = Vec::new();
     for arch in amd_models() {

@@ -18,12 +18,17 @@ fn rank_skew(values: &[f64]) -> f64 {
 }
 
 fn main() {
-    banner("Figure 15", "per-rank kernel latency, GPT3-175B, microbatch 1 vs 4");
+    banner(
+        "Figure 15",
+        "per-rank kernel latency, GPT3-175B, microbatch 1 vs 4",
+    );
     let cluster = hgx_h200_cluster();
     let base = bench_job(gpt3_175b()).with_recompute(true);
     let mut rows = Vec::new();
     for label in ["TP8-PP4", "TP2-PP16", "TP8-FSDP4"] {
-        let Ok(spec) = ParallelismSpec::parse(label, cluster.num_gpus()) else { continue };
+        let Ok(spec) = ParallelismSpec::parse(label, cluster.num_gpus()) else {
+            continue;
+        };
         println!("\n--- {label} ---");
         println!(
             "{:<4} {:>10} {:>10} {:>12} {:>11} {:>10}",
@@ -35,7 +40,9 @@ fn main() {
             if job.validate_for_dp(spec.dp).is_err() {
                 continue;
             }
-            let Some(r) = try_run(&cluster, &job, spec) else { continue };
+            let Some(r) = try_run(&cluster, &job, spec) else {
+                continue;
+            };
             let comm: Vec<f64> = r.sim.kernel_time.iter().map(|k| k.comm_total()).collect();
             let k = r.mean_kernel_time();
             println!(

@@ -6,7 +6,10 @@ use charllm_bench::{banner, bench_job, feasible, save_json, try_run};
 use charllm_telemetry::Heatmap;
 
 fn main() {
-    banner("Figure 17", "H200 per-GPU temperature and normalized throttling heatmaps");
+    banner(
+        "Figure 17",
+        "H200 per-GPU temperature and normalized throttling heatmaps",
+    );
     let cluster = hgx_h200_cluster();
     let arch = gpt3_175b();
     let job = bench_job(arch.clone()).with_recompute(true);
@@ -53,7 +56,10 @@ fn main() {
         let gap = (rear / nr as f64 - front / nf as f64) / (front / nf as f64);
         worst_gap = worst_gap.max(gap);
     }
-    println!("\nworst rear-vs-front temperature differential: {:.1}%", worst_gap * 100.0);
+    println!(
+        "\nworst rear-vs-front temperature differential: {:.1}%",
+        worst_gap * 100.0
+    );
     save_json(
         "fig17",
         &serde_json::json!({

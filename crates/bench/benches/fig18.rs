@@ -6,7 +6,10 @@ use charllm_bench::{banner, bench_job, feasible, save_json, try_run};
 use charllm_telemetry::Heatmap;
 
 fn main() {
-    banner("Figure 18", "MI250 per-GCD temperature / throttling heatmaps (chiplet skew)");
+    banner(
+        "Figure 18",
+        "MI250 per-GCD temperature / throttling heatmaps (chiplet skew)",
+    );
     let cluster = mi250_cluster();
     let arch = gpt3_30b();
     let job = bench_job(arch.clone()).with_recompute(true);

@@ -5,36 +5,60 @@ use charllm::prelude::*;
 use charllm_bench::{banner, bench_job, save_json, sim_config, try_run};
 
 fn main() {
-    banner("Figure 19", "power/temperature time series, front vs rear GPUs");
+    banner(
+        "Figure 19",
+        "power/temperature time series, front vs rear GPUs",
+    );
     let cluster = hgx_h200_cluster();
     let airflow = cluster.node_layout().airflow.clone();
     let mut json = serde_json::Map::new();
     let runs: Vec<(&str, TrainJob, &str)> = vec![
-        ("GPT3-175B", bench_job(gpt3_175b()).with_recompute(true), "TP2-PP16"),
-        ("Mixtral-8x22B", bench_job(mixtral_8x22b()).with_recompute(true), "EP8-TP1-PP4"),
+        (
+            "GPT3-175B",
+            bench_job(gpt3_175b()).with_recompute(true),
+            "TP2-PP16",
+        ),
+        (
+            "Mixtral-8x22B",
+            bench_job(mixtral_8x22b()).with_recompute(true),
+            "EP8-TP1-PP4",
+        ),
     ];
     let _ = sim_config();
     for (name, job, label) in runs {
-        let Ok(spec) = ParallelismSpec::parse(label, cluster.num_gpus()) else { continue };
-        let Some(r) = try_run(&cluster, &job, spec) else { continue };
+        let Ok(spec) = ParallelismSpec::parse(label, cluster.num_gpus()) else {
+            continue;
+        };
+        let Some(r) = try_run(&cluster, &job, spec) else {
+            continue;
+        };
         // Average the front group and the rear group at each sample.
-        let front: Vec<usize> =
-            (0..cluster.num_gpus()).filter(|&g| !airflow.is_rear(g % 8)).collect();
-        let rear: Vec<usize> =
-            (0..cluster.num_gpus()).filter(|&g| airflow.is_rear(g % 8)).collect();
+        let front: Vec<usize> = (0..cluster.num_gpus())
+            .filter(|&g| !airflow.is_rear(g % 8))
+            .collect();
+        let rear: Vec<usize> = (0..cluster.num_gpus())
+            .filter(|&g| airflow.is_rear(g % 8))
+            .collect();
         let n = r.sim.telemetry.temp(0).len();
         let avg_at = |group: &[usize], i: usize, temp: bool| -> f64 {
             group
                 .iter()
                 .map(|&g| {
-                    let s = if temp { r.sim.telemetry.temp(g) } else { r.sim.telemetry.power(g) };
+                    let s = if temp {
+                        r.sim.telemetry.temp(g)
+                    } else {
+                        r.sim.telemetry.power(g)
+                    };
                     s.values()[i]
                 })
                 .sum::<f64>()
                 / group.len() as f64
         };
         println!("\n--- {name} {label} (sampled every ~10% of the run) ---");
-        println!("{:>8} {:>10} {:>10} {:>10} {:>10}", "t (s)", "front C", "rear C", "front W", "rear W");
+        println!(
+            "{:>8} {:>10} {:>10} {:>10} {:>10}",
+            "t (s)", "front C", "rear C", "front W", "rear W"
+        );
         let stride = (n / 10).max(1);
         let mut series = Vec::new();
         for i in (0..n).step_by(stride) {

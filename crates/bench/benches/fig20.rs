@@ -5,7 +5,10 @@ use charllm::prelude::*;
 use charllm_bench::{banner, bench_job, feasible, save_json, try_run};
 
 fn main() {
-    banner("Figure 20", "throttle ratio vs occupancy / warps / threadblocks, H200");
+    banner(
+        "Figure 20",
+        "throttle ratio vs occupancy / warps / threadblocks, H200",
+    );
     let cluster = hgx_h200_cluster();
     let mut rows = Vec::new();
     for arch in [gpt3_175b(), llama3_70b()] {

@@ -8,26 +8,57 @@ use charllm_hw::presets::hgx_h200_with_nodes;
 use charllm_parallel::thermal_aware;
 
 fn main() {
-    banner("Figure 21", "thermal-aware PP placement: baseline vs symmetric vs asymmetric");
+    banner(
+        "Figure 21",
+        "thermal-aware PP placement: baseline vs symmetric vs asymmetric",
+    );
     let mut json = serde_json::Map::new();
     // Llama3-70B: 80 layers over 4 stages (2 nodes); GPT3-175B: 96 layers
     // over 8 stages (4 nodes) — the paper's two granularities.
     let cases: Vec<(TrainJob, usize)> = vec![
-        (TrainJob::pretrain(llama3_70b()).with_global_batch(gbs()).with_recompute(true), 2),
-        (TrainJob::pretrain(gpt3_175b()).with_global_batch(gbs()).with_recompute(true), 4),
+        (
+            TrainJob::pretrain(llama3_70b())
+                .with_global_batch(gbs())
+                .with_recompute(true),
+            2,
+        ),
+        (
+            TrainJob::pretrain(gpt3_175b())
+                .with_global_batch(gbs())
+                .with_recompute(true),
+            4,
+        ),
     ];
     for (job, nodes) in cases {
         let cluster = hgx_h200_with_nodes(nodes);
-        let Ok(spec) = thermal_aware::thermal_pp_spec(&cluster) else { continue };
-        println!("\n--- {} {} on {} ---", job.arch.name, spec.label(), cluster.name());
+        let Ok(spec) = thermal_aware::thermal_pp_spec(&cluster) else {
+            continue;
+        };
+        println!(
+            "\n--- {} {} on {} ---",
+            job.arch.name,
+            spec.label(),
+            cluster.name()
+        );
         let mut results = Vec::new();
         let variants: Vec<(&str, _, Option<_>)> = vec![
-            ("baseline", thermal_aware::baseline_placement(&cluster), None),
-            ("symmetric", thermal_aware::symmetric_placement(&cluster), None),
+            (
+                "baseline",
+                thermal_aware::baseline_placement(&cluster),
+                None,
+            ),
+            (
+                "symmetric",
+                thermal_aware::symmetric_placement(&cluster),
+                None,
+            ),
             (
                 "asymmetric",
                 thermal_aware::symmetric_placement(&cluster),
-                Some(thermal_aware::asymmetric_partition(job.arch.num_layers, spec.pp)),
+                Some(thermal_aware::asymmetric_partition(
+                    job.arch.num_layers,
+                    spec.pp,
+                )),
             ),
         ];
         for (name, placement, partition) in variants {

@@ -8,14 +8,23 @@ use charllm_hw::LinkSpec;
 use charllm_net::projection::{project_dp_scaling, MeasuredStep};
 
 fn main() {
-    banner("Figure 22", "DP-scaling projection to 8K GPUs, 100G vs 800G fabrics");
+    banner(
+        "Figure 22",
+        "DP-scaling projection to 8K GPUs, 100G vs 800G fabrics",
+    );
     let job = bench_job(gpt3_175b()).with_recompute(true);
     let dps = [1usize, 4, 16, 64, 256];
     let mut json = serde_json::Map::new();
-    for (cluster, label) in [(hgx_h200_cluster(), "TP2-PP16"), (hgx_h100_cluster(), "TP2-PP16")]
-    {
-        let Ok(spec) = ParallelismSpec::parse(label, cluster.num_gpus()) else { continue };
-        let Some(r) = try_run(&cluster, &job, spec) else { continue };
+    for (cluster, label) in [
+        (hgx_h200_cluster(), "TP2-PP16"),
+        (hgx_h100_cluster(), "TP2-PP16"),
+    ] {
+        let Ok(spec) = ParallelismSpec::parse(label, cluster.num_gpus()) else {
+            continue;
+        };
+        let Some(r) = try_run(&cluster, &job, spec) else {
+            continue;
+        };
         let mean = r.mean_kernel_time();
         let base = MeasuredStep {
             compute_s: mean.compute_total(),
@@ -31,8 +40,10 @@ fn main() {
             base.compute_s,
             base.comm_s
         );
-        for (nic_name, nic) in [("100G", LinkSpec::ib_100g()), ("800G", LinkSpec::ib_gbps(800.0))]
-        {
+        for (nic_name, nic) in [
+            ("100G", LinkSpec::ib_100g()),
+            ("800G", LinkSpec::ib_gbps(800.0)),
+        ] {
             println!("  {nic_name}:");
             println!(
                 "  {:>6} {:>8} {:>9} {:>12} {:>13} {:>9}",

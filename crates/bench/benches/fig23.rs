@@ -8,7 +8,10 @@ use charllm_bench::{banner, save_json, sim_config};
 use charllm_trace::InferenceConfig;
 
 fn main() {
-    banner("Figure 23", "inference microbatch sweep: throughput/power/temp, H200");
+    banner(
+        "Figure 23",
+        "inference microbatch sweep: throughput/power/temp, H200",
+    );
     let cluster = hgx_h200_cluster();
     let job = TrainJob::pretrain(gpt3_175b());
     let mut rows = Vec::new();
@@ -17,9 +20,15 @@ fn main() {
         "config", "b", "gen tok/s", "avg W", "peak W", "avg C", "peak C"
     );
     for label in ["TP8-PP4", "TP4-PP8", "TP2-PP16"] {
-        let Ok(spec) = ParallelismSpec::parse(label, cluster.num_gpus()) else { continue };
+        let Ok(spec) = ParallelismSpec::parse(label, cluster.num_gpus()) else {
+            continue;
+        };
         for batch in [1usize, 4, 16] {
-            let cfg = InferenceConfig { batch, prompt_len: 512, decode_tokens: 16 };
+            let cfg = InferenceConfig {
+                batch,
+                prompt_len: 512,
+                decode_tokens: 16,
+            };
             let result = Experiment::builder()
                 .cluster(cluster.clone())
                 .job(job.clone())
@@ -31,8 +40,13 @@ fn main() {
                 Ok(r) => {
                     println!(
                         "{:<12} {:<4} {:>12.1} {:>8.0} {:>8.0} {:>8.1} {:>8.1}",
-                        label, batch, r.tokens_per_s, r.mean_power_w, r.peak_power_w,
-                        r.mean_temp_c, r.peak_temp_c
+                        label,
+                        batch,
+                        r.tokens_per_s,
+                        r.mean_power_w,
+                        r.peak_power_w,
+                        r.mean_temp_c,
+                        r.peak_temp_c
                     );
                     rows.push(serde_json::json!({
                         "parallelism": label,

@@ -8,14 +8,19 @@ use charllm_bench::{banner, gbs, save_json, sim_config};
 use charllm_hw::presets::hgx_h200_with_nodes;
 
 fn main() {
-    banner("Table 2", "measured direction of Perf / Memory / Comm per technique");
+    banner(
+        "Table 2",
+        "measured direction of Perf / Memory / Comm per technique",
+    );
     let cluster = hgx_h200_cluster();
     let half = hgx_h200_with_nodes(2);
     let world = cluster.num_gpus();
     let mut rows: Vec<Table2Row> = Vec::new();
 
     let dense = TrainJob::pretrain(gpt3_30b()).with_global_batch(gbs());
-    let moe = TrainJob::pretrain(mixtral_8x7b()).with_global_batch(gbs()).with_recompute(true);
+    let moe = TrainJob::pretrain(mixtral_8x7b())
+        .with_global_batch(gbs())
+        .with_recompute(true);
     let pp4 = ParallelismSpec::parse("TP1-PP4", world).expect("valid");
 
     type Case<'a> = (
@@ -38,8 +43,16 @@ fn main() {
         ("TP", (&dense, pp4, &cluster), (&dense, tp8pp4, &cluster)),
         ("PP", (&dense, pp4, &cluster), (&dense, tp1pp16, &cluster)),
         ("EP", (&moe, ep2, &cluster), (&moe, ep8, &cluster)),
-        ("DP", (&dense, dp_small, &half), (&dense, dp_large, &cluster)),
-        ("FSDP", (&dense, tp8dp4, &cluster), (&dense, tp8fsdp4, &cluster)),
+        (
+            "DP",
+            (&dense, dp_small, &half),
+            (&dense, dp_large, &cluster),
+        ),
+        (
+            "FSDP",
+            (&dense, tp8dp4, &cluster),
+            (&dense, tp8fsdp4, &cluster),
+        ),
     ];
     for (name, base, variant) in cases {
         match table2_row(name, base, variant, sim_config()) {
@@ -53,8 +66,12 @@ fn main() {
     let act = dense.clone().with_recompute(true);
     let cc = dense.clone().with_cc_overlap(true);
     for (name, variant) in [("act", &act), ("cc", &cc)] {
-        match table2_row(name, (&dense, spec, &cluster), (variant, spec, &cluster), sim_config())
-        {
+        match table2_row(
+            name,
+            (&dense, spec, &cluster),
+            (variant, spec, &cluster),
+            sim_config(),
+        ) {
             Ok(row) => rows.push(row),
             Err(e) => eprintln!("  [skip] {name}: {e}"),
         }
@@ -80,7 +97,9 @@ fn main() {
     save_json(
         "table2",
         &serde_json::Value::Array(
-            rows.iter().map(|r| serde_json::to_value(r).expect("serializable")).collect(),
+            rows.iter()
+                .map(|r| serde_json::to_value(r).expect("serializable"))
+                .collect(),
         ),
     );
 }

@@ -12,6 +12,7 @@
 
 use std::fs;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use charllm::prelude::*;
 use charllm::report::RunReport;
@@ -34,7 +35,10 @@ pub fn sim_config() -> SimConfig {
 
 /// Global batch size for figure benches (`CHARLLM_GBS`, default 64).
 pub fn gbs() -> usize {
-    std::env::var("CHARLLM_GBS").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+    std::env::var("CHARLLM_GBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
 }
 
 /// The standard pretraining job at bench scale.
@@ -66,17 +70,51 @@ pub fn try_run(
     match result {
         Ok(r) => Some(r),
         Err(e) => {
-            eprintln!("  [skip] {} {}: {e}", job.arch.name, spec.label());
+            println!("  [skip] {} {}: {e}", job.arch.name, spec.label());
             None
         }
     }
+}
+
+/// Run a grid of (job, spec) points through the core [`Executor`] — one
+/// worker per core, cluster shared via [`Arc`] — and return the completed
+/// reports in point order. Failing points print a `[skip]` line (after
+/// the parallel phase, so output never interleaves) and drop out, like
+/// [`try_run`].
+pub fn run_points(
+    cluster: &charllm_hw::Cluster,
+    points: &[(TrainJob, ParallelismSpec)],
+) -> Vec<RunReport> {
+    let cluster = Arc::new(cluster.clone());
+    let results = Executor::auto().run(points, |_, (job, spec)| {
+        Experiment::builder()
+            .cluster(Arc::clone(&cluster))
+            .job(job.clone())
+            .spec(*spec)
+            .sim_config(sim_config())
+            .run()
+    });
+    results
+        .into_iter()
+        .zip(points)
+        .filter_map(|(result, (job, spec))| match result {
+            Ok(r) => Some(r),
+            Err(e) => {
+                println!("  [skip] {} {}: {e}", job.arch.name, spec.label());
+                None
+            }
+        })
+        .collect()
 }
 
 /// Print a figure banner.
 pub fn banner(figure: &str, caption: &str) {
     println!("\n================================================================");
     println!("{figure}: {caption}");
-    println!("(global batch {}, simulated; shapes comparable to the paper)", gbs());
+    println!(
+        "(global batch {}, simulated; shapes comparable to the paper)",
+        gbs()
+    );
     println!("================================================================");
 }
 
@@ -87,7 +125,9 @@ pub fn results_dir() -> PathBuf {
     let dir = std::env::var("CARGO_TARGET_DIR")
         .map(PathBuf::from)
         .unwrap_or_else(|_| {
-            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join("target")
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("target")
         })
         .join("charllm-results");
     fs::create_dir_all(&dir).expect("create results dir");
@@ -97,8 +137,11 @@ pub fn results_dir() -> PathBuf {
 /// Persist a JSON value for a figure.
 pub fn save_json(name: &str, value: &serde_json::Value) {
     let path = results_dir().join(format!("{name}.json"));
-    fs::write(&path, serde_json::to_string_pretty(value).expect("serializable"))
-        .expect("write results file");
+    fs::write(
+        &path,
+        serde_json::to_string_pretty(value).expect("serializable"),
+    )
+    .expect("write results file");
     println!("[saved {}]", path.display());
 }
 

@@ -1,0 +1,169 @@
+//! Bounded worker-pool execution of independent experiment points.
+//!
+//! Sweeps ([`crate::sweep::Sweep`]) and config searches
+//! ([`crate::search::search_configs`]) both reduce to the same shape: a
+//! list of independent simulation points whose results must come back in
+//! the order the points were enumerated, regardless of which worker
+//! finished first. [`Executor`] implements that shape once, on
+//! [`std::thread::scope`]:
+//!
+//! - `workers` threads pull point indices from a shared atomic counter
+//!   (work stealing by index, so an expensive point never blocks the
+//!   queue behind it);
+//! - each result is written into the slot matching its point index, so
+//!   the output order is deterministic and identical to serial execution;
+//! - `workers == 1` (or a single point) short-circuits to a plain loop on
+//!   the calling thread — no threads are spawned, which keeps the serial
+//!   path exactly serial for debugging and profiling.
+//!
+//! A panic on any worker propagates to the caller when the scope joins.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// A bounded pool of workers that maps a function over a slice and returns
+/// results in input order.
+///
+/// The worker count is fixed at construction; `0` means "one per available
+/// core" (resolved at run time via [`std::thread::available_parallelism`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executor {
+    workers: usize,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::auto()
+    }
+}
+
+impl Executor {
+    /// One worker per available core.
+    pub fn auto() -> Self {
+        Executor { workers: 0 }
+    }
+
+    /// Run everything on the calling thread.
+    pub fn serial() -> Self {
+        Executor { workers: 1 }
+    }
+
+    /// A fixed worker count (`0` = one per available core).
+    pub fn with_workers(workers: usize) -> Self {
+        Executor { workers }
+    }
+
+    /// The resolved worker count (auto resolves to the core count, with a
+    /// floor of one).
+    pub fn workers(&self) -> usize {
+        if self.workers == 0 {
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.workers
+        }
+    }
+
+    /// Workers actually worth spawning for `points` items.
+    fn effective_workers(&self, points: usize) -> usize {
+        self.workers().min(points).max(1)
+    }
+
+    /// Apply `f` to every item, returning results in item order.
+    ///
+    /// `f` receives the item's index and a reference to the item. With more
+    /// than one effective worker, `f` runs concurrently on scoped threads;
+    /// results are slotted by index so the output `Vec` is identical (order
+    /// and content, for a deterministic `f`) to the serial path.
+    pub fn run<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let workers = self.effective_workers(items.len());
+        if workers <= 1 {
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| f(i, item))
+                .collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    let result = f(i, item);
+                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every point index was claimed by exactly one worker")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<usize> = (0..64).collect();
+        let out = Executor::with_workers(4).run(&items, |i, &x| {
+            assert_eq!(i, x);
+            x * x
+        });
+        let expected: Vec<usize> = items.iter().map(|&x| x * x).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let items: Vec<u64> = (0..33).collect();
+        let f = |_: usize, &x: &u64| -> u64 { x.wrapping_mul(2654435761).rotate_left(13) };
+        let serial = Executor::serial().run(&items, f);
+        for workers in [2, 3, 8, 64] {
+            let parallel = Executor::with_workers(workers).run(&items, f);
+            assert_eq!(parallel, serial, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn auto_resolves_to_at_least_one_worker() {
+        assert!(Executor::auto().workers() >= 1);
+        assert_eq!(Executor::serial().workers(), 1);
+        assert_eq!(Executor::with_workers(7).workers(), 7);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let none: Vec<i32> = Vec::new();
+        assert!(Executor::auto().run(&none, |_, &x| x).is_empty());
+        assert_eq!(Executor::with_workers(8).run(&[5], |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn every_item_visited_exactly_once() {
+        let items: Vec<usize> = (0..100).collect();
+        let visits = AtomicUsize::new(0);
+        let out = Executor::with_workers(5).run(&items, |i, _| {
+            visits.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(visits.load(Ordering::Relaxed), 100);
+        assert_eq!(out, items);
+    }
+}

@@ -1,10 +1,10 @@
 //! Experiment definition and execution.
 
+use std::sync::Arc;
+
 use charllm_hw::Cluster;
 use charllm_models::TrainJob;
-use charllm_parallel::{
-    ParallelismSpec, PipelineSchedule, Placement, StagePartition,
-};
+use charllm_parallel::{ParallelismSpec, PipelineSchedule, Placement, StagePartition};
 use charllm_sim::{SimConfig, SimResult, Simulator};
 use charllm_telemetry::aggregate::group_mean;
 use charllm_trace::{lower_inference, lower_train, DeviceHints, InferenceConfig};
@@ -14,9 +14,13 @@ use crate::report::RunReport;
 
 /// One fully specified run: cluster × job × parallelism × schedule ×
 /// placement × simulator configuration.
+///
+/// The cluster is held behind an [`Arc`] so sweep/search executors can fan
+/// hundreds of points across worker threads without deep-cloning the
+/// topology per point.
 #[derive(Debug, Clone)]
 pub struct Experiment {
-    cluster: Cluster,
+    cluster: Arc<Cluster>,
     job: TrainJob,
     spec: ParallelismSpec,
     schedule: PipelineSchedule,
@@ -51,8 +55,7 @@ impl Experiment {
             None => lower_train(&self.job, &self.spec, self.schedule, &partition, &hints)?,
             Some(cfg) => lower_inference(&self.job, &self.spec, &partition, &hints, *cfg)?,
         };
-        let sim =
-            Simulator::new(&self.cluster, &placement, &lowered.trace, self.sim)?.run()?;
+        let sim = Simulator::new(&self.cluster, &placement, &lowered.trace, self.sim)?.run()?;
         Ok(self.report(sim, &placement))
     }
 
@@ -131,7 +134,7 @@ impl Experiment {
 /// Builder for [`Experiment`].
 #[derive(Debug, Default, Clone)]
 pub struct ExperimentBuilder {
-    cluster: Option<Cluster>,
+    cluster: Option<Arc<Cluster>>,
     job: Option<TrainJob>,
     spec: Option<ParallelismSpec>,
     schedule: PipelineSchedule,
@@ -143,8 +146,11 @@ pub struct ExperimentBuilder {
 
 impl ExperimentBuilder {
     /// Target cluster.
-    pub fn cluster(mut self, cluster: Cluster) -> Self {
-        self.cluster = Some(cluster);
+    ///
+    /// Accepts an owned [`Cluster`] or an [`Arc<Cluster>`]; executors pass
+    /// a shared `Arc` so that per-point builds never clone the topology.
+    pub fn cluster(mut self, cluster: impl Into<Arc<Cluster>>) -> Self {
+        self.cluster = Some(cluster.into());
         self
     }
 
@@ -214,10 +220,15 @@ impl ExperimentBuilder {
     /// Returns [`CoreError::Incomplete`] when cluster, job or parallelism is
     /// missing.
     pub fn build(self) -> Result<Experiment, CoreError> {
-        let cluster =
-            self.cluster.ok_or_else(|| CoreError::Incomplete("cluster unset".into()))?;
-        let job = self.job.ok_or_else(|| CoreError::Incomplete("job unset".into()))?;
-        let spec = self.spec.ok_or_else(|| CoreError::Incomplete("parallelism unset".into()))?;
+        let cluster = self
+            .cluster
+            .ok_or_else(|| CoreError::Incomplete("cluster unset".into()))?;
+        let job = self
+            .job
+            .ok_or_else(|| CoreError::Incomplete("job unset".into()))?;
+        let spec = self
+            .spec
+            .ok_or_else(|| CoreError::Incomplete("parallelism unset".into()))?;
         Ok(Experiment {
             cluster,
             job,
@@ -253,7 +264,10 @@ mod tests {
     #[test]
     fn builder_requires_all_parts() {
         assert!(Experiment::builder().build().is_err());
-        assert!(Experiment::builder().cluster(single_hgx_node()).build().is_err());
+        assert!(Experiment::builder()
+            .cluster(single_hgx_node())
+            .build()
+            .is_err());
         assert!(Experiment::builder()
             .cluster(single_hgx_node())
             .job(small_job())
@@ -281,7 +295,10 @@ mod tests {
         assert!(report.tokens_per_s > 0.0);
         assert!((report.tokens_per_s_per_gpu * 8.0 - report.tokens_per_s).abs() < 1.0);
         assert!(report.mean_power_w > 100.0);
-        assert!(report.rear_temp_c > report.front_temp_c, "airflow imbalance visible");
+        assert!(
+            report.rear_temp_c > report.front_temp_c,
+            "airflow imbalance visible"
+        );
         assert!(report.peak_temp_c >= report.mean_temp_c);
     }
 
@@ -292,7 +309,11 @@ mod tests {
             .job(TrainJob::pretrain(models::gpt3_13b()))
             .parallelism("TP4-PP2")
             .unwrap()
-            .inference(InferenceConfig { batch: 2, prompt_len: 128, decode_tokens: 4 })
+            .inference(InferenceConfig {
+                batch: 2,
+                prompt_len: 128,
+                decode_tokens: 4,
+            })
             .sim_config(SimConfig::fast())
             .run()
             .unwrap();
@@ -308,7 +329,11 @@ mod tests {
         let spec = thermal_aware::thermal_pp_spec(&cluster).unwrap();
         let report = Experiment::builder()
             .cluster(cluster)
-            .job(TrainJob::pretrain(models::gpt3_13b()).with_global_batch(4).with_recompute(true))
+            .job(
+                TrainJob::pretrain(models::gpt3_13b())
+                    .with_global_batch(4)
+                    .with_recompute(true),
+            )
             .spec(spec)
             .placement(placement)
             .sim_config(SimConfig::fast())

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod executor;
 pub mod experiment;
 pub mod insights;
 pub mod presets;
@@ -43,15 +44,17 @@ pub mod search;
 pub mod sweep;
 
 pub use error::CoreError;
+pub use executor::Executor;
 pub use experiment::{Experiment, ExperimentBuilder};
 pub use report::RunReport;
 
 /// Convenient imports for experiment-driving code.
 pub mod prelude {
+    pub use crate::executor::Executor;
     pub use crate::experiment::{Experiment, ExperimentBuilder};
     pub use crate::presets::*;
     pub use crate::report::RunReport;
-    pub use crate::sweep::Sweep;
+    pub use crate::sweep::{Sweep, SweepOutcome, SweepProgress};
     pub use charllm_hw::presets::{
         hgx_h100_cluster, hgx_h200_cluster, mi250_cluster, single_gpu_per_node_cluster,
     };

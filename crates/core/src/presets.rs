@@ -17,13 +17,9 @@ pub fn single_hgx_node() -> Cluster {
 pub fn paper_parallelisms(arch: &TransformerArch, world: usize) -> Vec<ParallelismSpec> {
     // (ep, tp, pp) model-parallel shapes per model family.
     let shapes: Vec<(usize, usize, usize)> = match &arch.moe {
-        Some(moe) if moe.num_experts >= 8 => vec![
-            (8, 4, 1),
-            (8, 2, 2),
-            (8, 1, 4),
-            (4, 2, 4),
-            (2, 8, 2),
-        ],
+        Some(moe) if moe.num_experts >= 8 => {
+            vec![(8, 4, 1), (8, 2, 2), (8, 1, 4), (4, 2, 4), (2, 8, 2)]
+        }
         Some(_) => vec![(4, 4, 1), (4, 2, 2), (4, 1, 4), (2, 2, 4)],
         None if arch.num_layers >= 96 => {
             vec![(1, 8, 4), (1, 4, 8), (1, 2, 16), (1, 1, 32)]
@@ -34,9 +30,9 @@ pub fn paper_parallelisms(arch: &TransformerArch, world: usize) -> Vec<Paralleli
     };
     let mut out = Vec::new();
     for (ep, tp, pp) in shapes {
-        if arch.num_layers % pp != 0
-            || arch.num_heads % tp != 0
-            || arch.num_kv_heads % tp != 0
+        if !arch.num_layers.is_multiple_of(pp)
+            || !arch.num_heads.is_multiple_of(tp)
+            || !arch.num_kv_heads.is_multiple_of(tp)
         {
             continue;
         }
@@ -52,7 +48,11 @@ pub fn paper_parallelisms(arch: &TransformerArch, world: usize) -> Vec<Paralleli
         }
     }
     // The TP8-FSDP 2D configuration, for dense models with capacity left.
-    if !arch.is_moe() && world > 8 && arch.num_heads % 8 == 0 && arch.num_kv_heads % 8 == 0 {
+    if !arch.is_moe()
+        && world > 8
+        && arch.num_heads.is_multiple_of(8)
+        && arch.num_kv_heads.is_multiple_of(8)
+    {
         if let Ok(spec) = ParallelismSpec::new(8, 1, 1, world / 8, true) {
             out.push(spec);
         }
@@ -86,7 +86,10 @@ pub fn nvidia_models() -> Vec<TransformerArch> {
 
 /// The scaled-down models evaluated on the MI250 cluster.
 pub fn amd_models() -> Vec<TransformerArch> {
-    vec![charllm_models::presets::gpt3_30b(), charllm_models::presets::llama3_30b()]
+    vec![
+        charllm_models::presets::gpt3_30b(),
+        charllm_models::presets::llama3_30b(),
+    ]
 }
 
 #[cfg(test)]
@@ -101,7 +104,10 @@ mod tests {
             .map(|s| s.label())
             .collect();
         for expect in ["TP8-PP4", "TP4-PP8", "TP2-PP16", "TP1-PP32", "TP8-FSDP4"] {
-            assert!(labels.contains(&expect.to_string()), "{labels:?} missing {expect}");
+            assert!(
+                labels.contains(&expect.to_string()),
+                "{labels:?} missing {expect}"
+            );
         }
     }
 
@@ -112,7 +118,10 @@ mod tests {
             .map(|s| s.label())
             .collect();
         assert!(labels.contains(&"EP8-TP1-PP4".to_string()), "{labels:?}");
-        assert!(labels.iter().all(|l| !l.contains("FSDP")), "no FSDP for MoE");
+        assert!(
+            labels.iter().all(|l| !l.contains("FSDP")),
+            "no FSDP for MoE"
+        );
     }
 
     #[test]
@@ -129,7 +138,10 @@ mod tests {
     #[test]
     fn llama_includes_dp_heavy_config() {
         let specs = paper_parallelisms(&models::llama3_70b(), 32);
-        assert!(specs.iter().any(|s| s.pp == 1 && !s.fsdp && s.dp >= 4), "{specs:?}");
+        assert!(
+            specs.iter().any(|s| s.pp == 1 && !s.fsdp && s.dp >= 4),
+            "{specs:?}"
+        );
     }
 
     #[test]
@@ -144,8 +156,10 @@ mod tests {
     #[test]
     fn optimization_variants_cover_the_four_labels() {
         let job = TrainJob::pretrain(models::gpt3_175b());
-        let labels: Vec<String> =
-            optimization_variants(&job).iter().map(|j| j.optim.label()).collect();
+        let labels: Vec<String> = optimization_variants(&job)
+            .iter()
+            .map(|j| j.optim.label())
+            .collect();
         assert_eq!(labels, vec!["Base", "cc", "act", "cc+act"]);
     }
 

@@ -7,19 +7,24 @@
 //! ([`charllm_sim::analytic`]), and fully simulates the top candidates to
 //! produce a ranked list with power/thermal context.
 
+use std::cmp::Ordering;
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use charllm_hw::Cluster;
 use charllm_models::TrainJob;
 use charllm_parallel::enumerate::{valid_configs, EnumerateOptions};
-use charllm_parallel::{ParallelismSpec, Placement, PipelineSchedule, StagePartition};
+use charllm_parallel::{ParallelismSpec, PipelineSchedule, Placement, StagePartition};
 use charllm_sim::analytic::{estimate, AnalyticEstimate};
 use charllm_sim::SimConfig;
 use charllm_trace::{lower_train, DeviceHints};
 
 use crate::error::CoreError;
+use crate::executor::Executor;
 use crate::experiment::Experiment;
 use crate::report::RunReport;
+use crate::sweep::rank_desc;
 
 /// What the search optimizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -51,6 +56,9 @@ pub struct SearchOptions {
     pub finalists: usize,
     /// Simulator configuration for the finalists.
     pub sim: SimConfig,
+    /// Worker threads for the finalist simulations: `0` (the default)
+    /// means one per available core, `1` simulates serially.
+    pub workers: usize,
 }
 
 impl Default for SearchOptions {
@@ -59,20 +67,31 @@ impl Default for SearchOptions {
             objective: Objective::default(),
             finalists: 3,
             sim: SimConfig::default(),
+            workers: 0,
         }
     }
 }
 
 /// Enumerate, screen and rank configurations for a job on a cluster.
 ///
-/// Returns candidates sorted best-first: finalists (fully simulated and
-/// ranked by the objective) followed by the remaining screened candidates
-/// in analytic order.
+/// Returns candidates sorted best-first in two explicit tiers: the
+/// simulated finalists ranked by the objective's measured metric, then
+/// every remaining screened candidate ranked by its analytic throughput
+/// estimate. A finalist always precedes a non-finalist — the two tiers'
+/// metrics live on different scales (measured tokens/J vs estimated
+/// tokens/s) and are never compared against each other.
+///
+/// Finalist simulations are independent, so they fan out across an
+/// [`Executor`] worker pool (`opts.workers`; `1` is exactly serial) and
+/// are reassembled in screening order before ranking, keeping the result
+/// deterministic.
 ///
 /// # Errors
 ///
-/// Propagates lowering/simulation errors for finalists; screening errors
-/// silently drop a candidate (infeasible corners are expected).
+/// Propagates lowering/simulation errors for finalists (the error of the
+/// earliest failing finalist, independent of worker scheduling);
+/// screening errors silently drop a candidate (infeasible corners are
+/// expected).
 pub fn search_configs(
     job: &TrainJob,
     cluster: &Cluster,
@@ -85,43 +104,57 @@ pub fn search_configs(
         let Ok(partition) = StagePartition::even(job.arch.num_layers, spec.pp) else {
             continue;
         };
-        let Ok(lowered) =
-            lower_train(job, &spec, PipelineSchedule::OneFOneB, &partition, &hints)
+        let Ok(lowered) = lower_train(job, &spec, PipelineSchedule::OneFOneB, &partition, &hints)
         else {
             continue;
         };
-        let Ok(placement) = Placement::identity(cluster, spec.world()) else { continue };
-        let Ok(analytic) = estimate(cluster, &placement, &lowered.trace) else { continue };
-        screened.push(Candidate { spec, analytic, report: None });
+        let Ok(placement) = Placement::identity(cluster, spec.world()) else {
+            continue;
+        };
+        let Ok(analytic) = estimate(cluster, &placement, &lowered.trace) else {
+            continue;
+        };
+        screened.push(Candidate {
+            spec,
+            analytic,
+            report: None,
+        });
     }
     // Analytic ranking (throughput; efficiency needs power, so the full
-    // simulation refines it among the finalists).
-    screened.sort_by(|a, b| {
-        b.analytic
-            .tokens_per_s
-            .partial_cmp(&a.analytic.tokens_per_s)
-            .expect("finite estimates")
-    });
+    // simulation refines it among the finalists). A degenerate estimate
+    // (NaN) ranks last instead of panicking the comparator.
+    screened.sort_by(|a, b| rank_desc(a.analytic.tokens_per_s, b.analytic.tokens_per_s));
 
     let n = opts.finalists.min(screened.len());
-    for candidate in screened.iter_mut().take(n) {
-        let report = Experiment::builder()
-            .cluster(cluster.clone())
+    let cluster = Arc::new(cluster.clone());
+    let finalists: Vec<ParallelismSpec> = screened[..n].iter().map(|c| c.spec).collect();
+    let reports = Executor::with_workers(opts.workers).run(&finalists, |_, spec| {
+        Experiment::builder()
+            .cluster(Arc::clone(&cluster))
             .job(job.clone())
-            .spec(candidate.spec)
+            .spec(*spec)
             .sim_config(opts.sim)
-            .run()?;
-        candidate.report = Some(report);
+            .run()
+    });
+    for (candidate, report) in screened.iter_mut().zip(reports) {
+        candidate.report = Some(report?);
     }
-    // Final ranking: simulated finalists by the objective, then the rest.
-    let metric = |c: &Candidate| -> f64 {
-        match (&c.report, opts.objective) {
-            (Some(r), Objective::Throughput) => r.tokens_per_s,
-            (Some(r), Objective::Efficiency) => r.tokens_per_joule * 1e9,
-            (None, _) => c.analytic.tokens_per_s * 1e-6,
-        }
+
+    // Final ranking, in two explicit tiers: simulated finalists by the
+    // objective's measured metric, then screened-only candidates by their
+    // analytic throughput estimate. The tiers are ordered structurally
+    // (report presence), never by comparing measured against estimated
+    // values.
+    let objective_metric = |r: &RunReport| match opts.objective {
+        Objective::Throughput => r.tokens_per_s,
+        Objective::Efficiency => r.tokens_per_joule,
     };
-    screened.sort_by(|a, b| metric(b).partial_cmp(&metric(a)).expect("finite metrics"));
+    screened.sort_by(|a, b| match (&a.report, &b.report) {
+        (Some(ra), Some(rb)) => rank_desc(objective_metric(ra), objective_metric(rb)),
+        (Some(_), None) => Ordering::Less,
+        (None, Some(_)) => Ordering::Greater,
+        (None, None) => rank_desc(a.analytic.tokens_per_s, b.analytic.tokens_per_s),
+    });
     Ok(screened)
 }
 
@@ -135,7 +168,11 @@ mod tests {
     fn search_ranks_feasible_configs() {
         let cluster = single_hgx_node();
         let job = TrainJob::pretrain(models::gpt3_13b()).with_global_batch(8);
-        let opts = SearchOptions { finalists: 2, sim: SimConfig::fast(), ..Default::default() };
+        let opts = SearchOptions {
+            finalists: 2,
+            sim: SimConfig::fast(),
+            ..Default::default()
+        };
         let ranked = search_configs(&job, &cluster, opts).unwrap();
         assert!(ranked.len() >= 2, "expected several feasible configs");
         // Finalists carry full reports and are sorted by the objective.
@@ -154,6 +191,7 @@ mod tests {
             objective: Objective::Efficiency,
             finalists: 2,
             sim: SimConfig::fast(),
+            ..Default::default()
         };
         let ranked = search_configs(&job, &cluster, opts).unwrap();
         let a = ranked[0].report.as_ref().unwrap().tokens_per_joule;
@@ -167,11 +205,66 @@ mod tests {
         // one node vs balanced) below a clearly good one.
         let cluster = single_hgx_node();
         let job = TrainJob::pretrain(models::gpt3_13b()).with_global_batch(8);
-        let opts = SearchOptions { finalists: 0, sim: SimConfig::fast(), ..Default::default() };
+        let opts = SearchOptions {
+            finalists: 0,
+            sim: SimConfig::fast(),
+            ..Default::default()
+        };
         let ranked = search_configs(&job, &cluster, opts).unwrap();
         assert!(!ranked.is_empty());
         let first = ranked.first().unwrap().analytic.tokens_per_s;
         let last = ranked.last().unwrap().analytic.tokens_per_s;
         assert!(first >= last);
+    }
+
+    #[test]
+    fn finalist_tier_strictly_precedes_screened_tier() {
+        let cluster = single_hgx_node();
+        let job = TrainJob::pretrain(models::gpt3_13b()).with_global_batch(8);
+        let opts = SearchOptions {
+            finalists: 1,
+            sim: SimConfig::fast(),
+            ..Default::default()
+        };
+        let ranked = search_configs(&job, &cluster, opts).unwrap();
+        assert!(ranked.len() > 1, "need both tiers populated");
+        let boundary = ranked.iter().position(|c| c.report.is_none()).unwrap();
+        assert_eq!(boundary, 1, "exactly the one finalist leads");
+        assert!(
+            ranked[boundary..].iter().all(|c| c.report.is_none()),
+            "no simulated candidate may rank below a screened-only one"
+        );
+        // The screened tier keeps its analytic order.
+        let analytic: Vec<f64> = ranked[boundary..]
+            .iter()
+            .map(|c| c.analytic.tokens_per_s)
+            .collect();
+        assert!(analytic.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn parallel_search_matches_serial() {
+        let cluster = single_hgx_node();
+        let job = TrainJob::pretrain(models::gpt3_13b()).with_global_batch(8);
+        let serial = SearchOptions {
+            finalists: 3,
+            sim: SimConfig::fast(),
+            workers: 1,
+            ..Default::default()
+        };
+        let parallel = SearchOptions {
+            workers: 4,
+            ..serial
+        };
+        let a = search_configs(&job, &cluster, serial).unwrap();
+        let b = search_configs(&job, &cluster, parallel).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.spec, y.spec);
+            assert_eq!(
+                x.report, y.report,
+                "finalist reports identical across worker counts"
+            );
+        }
     }
 }

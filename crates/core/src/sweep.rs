@@ -1,4 +1,21 @@
 //! Configuration sweeps: run many experiments and collect reports.
+//!
+//! A [`Sweep`] enumerates the cartesian product of parallelism specs ×
+//! job variants × microbatch sizes and simulates every point. Points are
+//! independent, so [`Sweep::run`] fans them across an [`Executor`] worker
+//! pool ([`Sweep::workers`] controls the width; `workers(1)` is exactly
+//! the serial path) and returns results in enumeration order regardless
+//! of which worker finished first.
+//!
+//! Infeasible points are expected when sweeping broadly; they surface as
+//! structured [`SweepOutcome::Skipped`] values from
+//! [`Sweep::run_outcomes`] (and through the [`Sweep::on_progress`]
+//! callback) rather than as stderr noise.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::Arc;
 
 use charllm_hw::Cluster;
 use charllm_models::TrainJob;
@@ -6,33 +23,151 @@ use charllm_parallel::ParallelismSpec;
 use charllm_sim::SimConfig;
 
 use crate::error::CoreError;
+use crate::executor::Executor;
 use crate::experiment::Experiment;
 use crate::report::RunReport;
 
+/// Progress callback: called once per completed point, from whichever
+/// worker thread finished it.
+type ProgressFn = dyn Fn(&SweepProgress<'_>) + Send + Sync;
+
+/// One point of a sweep's cartesian grid, in enumeration order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepPoint {
+    /// Position in the sweep's enumeration order (0-based).
+    pub index: usize,
+    /// The parallelism configuration at this point.
+    pub spec: ParallelismSpec,
+    /// The optimization label of the job variant (`Base`, `cc`, ...).
+    pub optimization: String,
+    /// The microbatch size at this point.
+    pub microbatch: usize,
+}
+
+impl fmt::Display for SweepPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} mb{}",
+            self.spec.label(),
+            self.optimization,
+            self.microbatch
+        )
+    }
+}
+
+/// The structured result of one sweep point.
+#[derive(Debug)]
+pub enum SweepOutcome {
+    /// The point simulated successfully.
+    Completed {
+        /// Which point this is.
+        point: SweepPoint,
+        /// The full run report.
+        report: Box<RunReport>,
+    },
+    /// The point failed and the sweep is in skip mode (the default):
+    /// infeasible geometry is expected when sweeping broadly.
+    Skipped {
+        /// Which point this is.
+        point: SweepPoint,
+        /// Why the point was skipped (the rendered error).
+        reason: String,
+    },
+    /// The point failed and the sweep is strict: [`Sweep::run`] turns the
+    /// first `Failed` outcome (in point order) into its error.
+    Failed {
+        /// Which point this is.
+        point: SweepPoint,
+        /// The underlying error.
+        error: CoreError,
+    },
+}
+
+impl SweepOutcome {
+    /// The sweep point this outcome belongs to.
+    pub fn point(&self) -> &SweepPoint {
+        match self {
+            SweepOutcome::Completed { point, .. }
+            | SweepOutcome::Skipped { point, .. }
+            | SweepOutcome::Failed { point, .. } => point,
+        }
+    }
+
+    /// The report, if the point completed.
+    pub fn report(&self) -> Option<&RunReport> {
+        match self {
+            SweepOutcome::Completed { report, .. } => Some(report),
+            _ => None,
+        }
+    }
+
+    /// Whether the point was skipped.
+    pub fn is_skipped(&self) -> bool {
+        matches!(self, SweepOutcome::Skipped { .. })
+    }
+}
+
+/// A progress notification: one point finished.
+#[derive(Debug)]
+pub struct SweepProgress<'a> {
+    /// Points finished so far, including this one. Counts completion
+    /// order, which under a parallel executor differs from point order.
+    pub completed: usize,
+    /// Total points in the sweep.
+    pub total: usize,
+    /// The finished point's outcome.
+    pub outcome: &'a SweepOutcome,
+}
+
 /// A cartesian sweep over parallelism specs, optimization variants and
 /// microbatch sizes for one model on one cluster.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Sweep {
-    cluster: Cluster,
+    cluster: Arc<Cluster>,
     base_job: TrainJob,
     specs: Vec<ParallelismSpec>,
     jobs_per_spec: Vec<TrainJob>,
     microbatches: Vec<usize>,
     sim: SimConfig,
     skip_failures: bool,
+    workers: usize,
+    progress: Option<Arc<ProgressFn>>,
+}
+
+impl fmt::Debug for Sweep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sweep")
+            .field("cluster", &self.cluster.name())
+            .field("base_job", &self.base_job)
+            .field("specs", &self.specs)
+            .field("jobs_per_spec", &self.jobs_per_spec.len())
+            .field("microbatches", &self.microbatches)
+            .field("sim", &self.sim)
+            .field("skip_failures", &self.skip_failures)
+            .field("workers", &self.workers)
+            .field("progress", &self.progress.is_some())
+            .finish()
+    }
 }
 
 impl Sweep {
     /// A sweep of `specs` for one job on a cluster.
-    pub fn new(cluster: Cluster, job: TrainJob, specs: Vec<ParallelismSpec>) -> Self {
+    pub fn new(
+        cluster: impl Into<Arc<Cluster>>,
+        job: TrainJob,
+        specs: Vec<ParallelismSpec>,
+    ) -> Self {
         Sweep {
-            cluster,
+            cluster: cluster.into(),
             jobs_per_spec: vec![job.clone()],
             base_job: job,
             specs,
             microbatches: vec![1],
             sim: SimConfig::default(),
             skip_failures: true,
+            workers: 0,
+            progress: None,
         }
     }
 
@@ -61,36 +196,115 @@ impl Sweep {
         self
     }
 
-    /// Execute every point of the sweep.
+    /// Worker threads for the sweep: `0` (the default) means one per
+    /// available core, `1` runs every point serially on the calling
+    /// thread, `n > 1` bounds the pool at `n`.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Observe each point as it finishes.
     ///
-    /// # Errors
-    ///
-    /// In strict mode, the first point failure aborts the sweep; otherwise
-    /// failing points are skipped (infeasible geometry is expected when
-    /// sweeping broadly).
-    pub fn run(&self) -> Result<Vec<RunReport>, CoreError> {
-        let mut out = Vec::new();
+    /// The callback runs on whichever worker thread completed the point
+    /// (hence `Send + Sync`), in completion order; `completed`/`total`
+    /// make it directly usable as a progress meter.
+    pub fn on_progress(
+        mut self,
+        callback: impl Fn(&SweepProgress<'_>) + Send + Sync + 'static,
+    ) -> Self {
+        self.progress = Some(Arc::new(callback));
+        self
+    }
+
+    /// The cartesian grid in enumeration order, with the concrete job for
+    /// each point.
+    fn grid(&self) -> Vec<(SweepPoint, TrainJob)> {
+        let mut points = Vec::new();
         for spec in &self.specs {
             for job in &self.jobs_per_spec {
                 for &mb in &self.microbatches {
                     let job = job.clone().with_microbatch(mb);
-                    let result = Experiment::builder()
-                        .cluster(self.cluster.clone())
-                        .job(job)
-                        .spec(*spec)
-                        .sim_config(self.sim)
-                        .run();
-                    match result {
-                        Ok(report) => out.push(report),
-                        Err(e) if self.skip_failures => {
-                            eprintln!("sweep: skipping {} ({e})", spec.label());
-                        }
-                        Err(e) => return Err(e),
-                    }
+                    let point = SweepPoint {
+                        index: points.len(),
+                        spec: *spec,
+                        optimization: job.optim.label(),
+                        microbatch: mb,
+                    };
+                    points.push((point, job));
                 }
             }
         }
-        Ok(out)
+        points
+    }
+
+    /// The points this sweep will execute, in order.
+    pub fn points(&self) -> Vec<SweepPoint> {
+        self.grid().into_iter().map(|(point, _)| point).collect()
+    }
+
+    /// Execute every point and return one structured [`SweepOutcome`] per
+    /// point, in enumeration order.
+    ///
+    /// This is the observable form of the sweep: completed points carry
+    /// their report, failing points carry a skip reason (default mode) or
+    /// the error itself (strict mode). Nothing is printed.
+    pub fn run_outcomes(&self) -> Vec<SweepOutcome> {
+        let grid = self.grid();
+        let total = grid.len();
+        let completed = AtomicUsize::new(0);
+        Executor::with_workers(self.workers).run(&grid, |_, (point, job)| {
+            let result = Experiment::builder()
+                .cluster(Arc::clone(&self.cluster))
+                .job(job.clone())
+                .spec(point.spec)
+                .sim_config(self.sim)
+                .run();
+            let outcome = match result {
+                Ok(report) => SweepOutcome::Completed {
+                    point: point.clone(),
+                    report: Box::new(report),
+                },
+                Err(e) if self.skip_failures => SweepOutcome::Skipped {
+                    point: point.clone(),
+                    reason: e.to_string(),
+                },
+                Err(error) => SweepOutcome::Failed {
+                    point: point.clone(),
+                    error,
+                },
+            };
+            if let Some(callback) = &self.progress {
+                let completed = completed.fetch_add(1, AtomicOrdering::Relaxed) + 1;
+                callback(&SweepProgress {
+                    completed,
+                    total,
+                    outcome: &outcome,
+                });
+            }
+            outcome
+        })
+    }
+
+    /// Execute every point of the sweep and collect the completed reports
+    /// in enumeration order.
+    ///
+    /// # Errors
+    ///
+    /// In strict mode, the failure at the earliest point (in enumeration
+    /// order, independent of worker scheduling) aborts the sweep;
+    /// otherwise failing points are skipped (observe them via
+    /// [`Sweep::run_outcomes`] or [`Sweep::on_progress`]).
+    pub fn run(&self) -> Result<Vec<RunReport>, CoreError> {
+        let mut reports = Vec::new();
+        for outcome in self.run_outcomes() {
+            match outcome {
+                SweepOutcome::Completed { report, .. } => reports.push(*report),
+                SweepOutcome::Skipped { .. } => {}
+                SweepOutcome::Failed { error, .. } => return Err(error),
+            }
+        }
+        Ok(reports)
     }
 
     /// The base job the sweep was constructed with.
@@ -99,26 +313,52 @@ impl Sweep {
     }
 }
 
-/// The best report by a metric (higher is better).
-pub fn best_by<'a>(
-    reports: &'a [RunReport],
-    metric: impl Fn(&RunReport) -> f64,
-) -> Option<&'a RunReport> {
-    reports.iter().max_by(|a, b| {
-        metric(a).partial_cmp(&metric(b)).expect("metrics are finite")
-    })
+/// Total descending order on metric values: higher finite values first,
+/// non-finite values (NaN, ±∞) last.
+///
+/// Replaces `partial_cmp(..).expect(..)` comparators, which panic the
+/// moment a degenerate configuration produces a NaN metric.
+pub fn rank_desc(a: f64, b: f64) -> Ordering {
+    match (a.is_finite(), b.is_finite()) {
+        (true, true) => b.total_cmp(&a),
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        (false, false) => a.total_cmp(&b),
+    }
+}
+
+/// The best report by a metric (higher is better). Reports with
+/// non-finite metric values are ignored; returns `None` if no report has
+/// a finite metric. Ties keep the earliest report.
+pub fn best_by(reports: &[RunReport], metric: impl Fn(&RunReport) -> f64) -> Option<&RunReport> {
+    reports
+        .iter()
+        .filter(|r| metric(r).is_finite())
+        .min_by(|a, b| rank_desc(metric(a), metric(b)))
 }
 
 /// Normalize a metric across reports to the best value (the paper's
-/// "efficiency normalized per model, best = 1").
+/// "efficiency normalized per model, best = 1"). Non-finite metric values
+/// normalize to 0 and do not influence the best.
 pub fn normalized<'a>(
     reports: &'a [RunReport],
     metric: impl Fn(&RunReport) -> f64 + 'a,
 ) -> impl Iterator<Item = (&'a RunReport, f64)> + 'a {
-    let best = reports.iter().map(&metric).fold(f64::NEG_INFINITY, f64::max);
+    let best = reports
+        .iter()
+        .map(&metric)
+        .filter(|v| v.is_finite())
+        .fold(f64::NEG_INFINITY, f64::max);
     reports.iter().map(move |r| {
         let v = metric(r);
-        (r, if best > 0.0 { v / best } else { 0.0 })
+        (
+            r,
+            if best > 0.0 && v.is_finite() {
+                v / best
+            } else {
+                0.0
+            },
+        )
     })
 }
 
@@ -128,61 +368,189 @@ mod tests {
     use crate::presets::single_hgx_node;
     use charllm_models::presets as models;
 
+    fn small_sweep(specs: Vec<ParallelismSpec>) -> Sweep {
+        let job = TrainJob::pretrain(models::gpt3_13b()).with_global_batch(4);
+        Sweep::new(single_hgx_node(), job, specs).with_sim_config(SimConfig::fast())
+    }
+
+    fn mixed_specs() -> Vec<ParallelismSpec> {
+        vec![
+            // PP=16 does not divide into 8 GPUs with TP2: invalid world.
+            ParallelismSpec::new(2, 16, 1, 1, false).unwrap(),
+            ParallelismSpec::parse("TP2-PP2", 8).unwrap(),
+        ]
+    }
+
     #[test]
     fn sweep_runs_multiple_specs() {
-        let job = TrainJob::pretrain(models::gpt3_13b()).with_global_batch(4);
         let specs = vec![
             ParallelismSpec::parse("TP2-PP2", 8).unwrap(),
             ParallelismSpec::parse("TP4-PP2", 8).unwrap(),
         ];
-        let reports = Sweep::new(single_hgx_node(), job, specs)
-            .with_sim_config(SimConfig::fast())
-            .run()
-            .unwrap();
+        let reports = small_sweep(specs).run().unwrap();
         assert_eq!(reports.len(), 2);
         assert_ne!(reports[0].parallelism, reports[1].parallelism);
     }
 
     #[test]
     fn infeasible_points_skipped() {
-        let job = TrainJob::pretrain(models::gpt3_13b()).with_global_batch(4);
-        // PP=16 does not divide into 8 GPUs with TP2: invalid world.
-        let specs = vec![
-            ParallelismSpec::new(2, 16, 1, 1, false).unwrap(),
-            ParallelismSpec::parse("TP2-PP2", 8).unwrap(),
-        ];
-        let reports = Sweep::new(single_hgx_node(), job, specs)
-            .with_sim_config(SimConfig::fast())
-            .run()
-            .unwrap();
+        let reports = small_sweep(mixed_specs()).run().unwrap();
         assert_eq!(reports.len(), 1, "bad point skipped, good one kept");
     }
 
     #[test]
+    fn skipped_points_surface_as_structured_outcomes() {
+        let outcomes = small_sweep(mixed_specs()).run_outcomes();
+        assert_eq!(outcomes.len(), 2, "one outcome per point, skipped included");
+        let SweepOutcome::Skipped { point, reason } = &outcomes[0] else {
+            panic!("infeasible point should be Skipped, got {:?}", outcomes[0]);
+        };
+        assert_eq!(point.index, 0);
+        assert_eq!(point.spec.label(), "TP2-PP16");
+        assert!(!reason.is_empty(), "skip carries the rendered error");
+        assert!(outcomes[1].report().is_some());
+        assert!(!outcomes[1].is_skipped());
+    }
+
+    #[test]
     fn strict_mode_propagates_errors() {
-        let job = TrainJob::pretrain(models::gpt3_13b()).with_global_batch(4);
         let specs = vec![ParallelismSpec::new(2, 16, 1, 1, false).unwrap()];
-        let err = Sweep::new(single_hgx_node(), job, specs)
-            .with_sim_config(SimConfig::fast())
-            .strict()
-            .run();
+        let err = small_sweep(specs).strict().run();
         assert!(err.is_err());
     }
 
     #[test]
+    fn strict_failures_are_failed_outcomes() {
+        let outcomes = small_sweep(mixed_specs()).strict().run_outcomes();
+        assert!(matches!(&outcomes[0], SweepOutcome::Failed { .. }));
+        assert!(outcomes[1].report().is_some());
+    }
+
+    #[test]
+    fn parallel_sweep_is_deterministic() {
+        let specs = vec![
+            ParallelismSpec::parse("TP2-PP2", 8).unwrap(),
+            ParallelismSpec::parse("TP4-PP2", 8).unwrap(),
+            ParallelismSpec::parse("TP8", 8).unwrap(),
+        ];
+        let serial = small_sweep(specs.clone())
+            .with_microbatches(vec![1, 2])
+            .workers(1)
+            .run()
+            .unwrap();
+        let parallel = small_sweep(specs)
+            .with_microbatches(vec![1, 2])
+            .workers(4)
+            .run()
+            .unwrap();
+        assert_eq!(
+            serial, parallel,
+            "multi-worker run must match workers(1) exactly"
+        );
+    }
+
+    #[test]
+    fn progress_callback_sees_every_point() {
+        use std::sync::Mutex;
+        let seen: Arc<Mutex<Vec<(usize, usize, bool)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let outcomes = small_sweep(mixed_specs())
+            .workers(2)
+            .on_progress(move |p| {
+                sink.lock()
+                    .unwrap()
+                    .push((p.completed, p.total, p.outcome.is_skipped()));
+            })
+            .run_outcomes();
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), outcomes.len());
+        assert!(seen.iter().all(|&(_, total, _)| total == 2));
+        let mut counts: Vec<usize> = seen.iter().map(|&(c, _, _)| c).collect();
+        counts.sort_unstable();
+        assert_eq!(counts, vec![1, 2], "completed counts each point once");
+        assert_eq!(seen.iter().filter(|&&(_, _, skipped)| skipped).count(), 1);
+    }
+
+    #[test]
+    fn points_enumerates_grid_in_order() {
+        let sweep = small_sweep(mixed_specs()).with_microbatches(vec![1, 2]);
+        let points = sweep.points();
+        assert_eq!(points.len(), 4);
+        assert!(points.iter().enumerate().all(|(i, p)| p.index == i));
+        assert_eq!(points[0].spec.label(), "TP2-PP16");
+        assert_eq!(points[0].microbatch, 1);
+        assert_eq!(points[1].microbatch, 2);
+        assert_eq!(points[2].spec.label(), "TP2-PP2");
+    }
+
+    #[test]
     fn normalization_maps_best_to_one() {
-        let job = TrainJob::pretrain(models::gpt3_13b()).with_global_batch(4);
         let specs = vec![
             ParallelismSpec::parse("TP2-PP2", 8).unwrap(),
             ParallelismSpec::parse("TP4-PP2", 8).unwrap(),
         ];
-        let reports = Sweep::new(single_hgx_node(), job, specs)
-            .with_sim_config(SimConfig::fast())
-            .run()
-            .unwrap();
-        let values: Vec<f64> =
-            normalized(&reports, |r| r.tokens_per_joule).map(|(_, v)| v).collect();
+        let reports = small_sweep(specs).run().unwrap();
+        let values: Vec<f64> = normalized(&reports, |r| r.tokens_per_joule)
+            .map(|(_, v)| v)
+            .collect();
         assert!(values.iter().cloned().fold(0.0, f64::max) == 1.0);
         assert!(values.iter().all(|&v| v > 0.0 && v <= 1.0));
+    }
+
+    #[test]
+    fn rank_desc_is_total_and_puts_non_finite_last() {
+        let mut values = [f64::NAN, 1.0, f64::INFINITY, 3.0, f64::NEG_INFINITY, 2.0];
+        values.sort_by(|a, b| rank_desc(*a, *b));
+        assert_eq!(values[0], 3.0);
+        assert_eq!(values[1], 2.0);
+        assert_eq!(values[2], 1.0);
+        assert!(values[3..].iter().all(|v| !v.is_finite()));
+        // Total: sorting a NaN-bearing slice must not panic (it just did
+        // not) and must be deterministic.
+        let mut again = [f64::NAN, 1.0, f64::INFINITY, 3.0, f64::NEG_INFINITY, 2.0];
+        again.sort_by(|a, b| rank_desc(*a, *b));
+        assert_eq!(values[..3], again[..3]);
+    }
+
+    #[test]
+    fn best_by_ignores_non_finite_metrics() {
+        let specs = vec![ParallelismSpec::parse("TP2-PP2", 8).unwrap()];
+        let reports = small_sweep(specs).run().unwrap();
+        // A NaN metric must not panic and must not win.
+        let best = best_by(&reports, |r| {
+            if r.parallelism == "TP2-PP2" {
+                f64::NAN
+            } else {
+                r.tokens_per_s
+            }
+        });
+        assert!(best.is_none(), "all metrics NaN -> no best");
+        let best = best_by(&reports, |r| r.tokens_per_s);
+        assert!(best.is_some());
+    }
+
+    #[test]
+    fn normalized_handles_nan_metrics_without_panicking() {
+        let specs = vec![
+            ParallelismSpec::parse("TP2-PP2", 8).unwrap(),
+            ParallelismSpec::parse("TP4-PP2", 8).unwrap(),
+        ];
+        let reports = small_sweep(specs).run().unwrap();
+        let values: Vec<f64> = normalized(&reports, |r| {
+            if r.parallelism == "TP2-PP2" {
+                f64::NAN
+            } else {
+                r.tokens_per_s
+            }
+        })
+        .map(|(_, v)| v)
+        .collect();
+        assert_eq!(values.len(), 2);
+        let nan_idx = reports
+            .iter()
+            .position(|r| r.parallelism == "TP2-PP2")
+            .unwrap();
+        assert_eq!(values[nan_idx], 0.0, "NaN metric normalizes to 0");
+        assert_eq!(values[1 - nan_idx], 1.0, "finite best still maps to 1");
     }
 }

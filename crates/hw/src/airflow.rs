@@ -44,7 +44,9 @@ impl AirflowLayout {
     ) -> Result<Self, HwError> {
         let n = preheat.len();
         if preheat.iter().any(|row| row.len() != n) {
-            return Err(HwError::InvalidNodeLayout("preheat matrix must be square".into()));
+            return Err(HwError::InvalidNodeLayout(
+                "preheat matrix must be square".into(),
+            ));
         }
         if cooling_factor.len() != n {
             return Err(HwError::InvalidNodeLayout(format!(
@@ -54,15 +56,24 @@ impl AirflowLayout {
             )));
         }
         if preheat.iter().flatten().any(|&w| w < 0.0) {
-            return Err(HwError::InvalidNodeLayout("preheat coefficients must be >= 0".into()));
+            return Err(HwError::InvalidNodeLayout(
+                "preheat coefficients must be >= 0".into(),
+            ));
         }
         if cooling_factor.iter().any(|&c| c <= 0.0) {
-            return Err(HwError::InvalidNodeLayout("cooling factors must be > 0".into()));
+            return Err(HwError::InvalidNodeLayout(
+                "cooling factors must be > 0".into(),
+            ));
         }
         if rear_slots.iter().any(|&s| s >= n) {
             return Err(HwError::InvalidNodeLayout("rear slot out of range".into()));
         }
-        Ok(AirflowLayout { ambient_c, preheat, cooling_factor, rear_slots })
+        Ok(AirflowLayout {
+            ambient_c,
+            preheat,
+            cooling_factor,
+            rear_slots,
+        })
     }
 
     /// Uniform cooling with no preheating (useful for ablations that switch
@@ -142,8 +153,8 @@ impl AirflowLayout {
             }
         }
         let mut cooling = vec![1.0; n];
-        for slot in 4..8 {
-            cooling[slot] = 1.05;
+        for c in cooling.iter_mut().take(8).skip(4) {
+            *c = 1.05;
         }
         AirflowLayout::new(26.0, w, cooling, vec![4, 5, 6, 7])
             .expect("mi250 layout is statically valid")
@@ -161,7 +172,11 @@ impl AirflowLayout {
     /// Panics if `powers_w.len()` differs from [`Self::num_slots`] or `slot`
     /// is out of range.
     pub fn inlet_temp_c(&self, slot: usize, powers_w: &[f64]) -> f64 {
-        assert_eq!(powers_w.len(), self.num_slots(), "power vector length mismatch");
+        assert_eq!(
+            powers_w.len(),
+            self.num_slots(),
+            "power vector length mismatch"
+        );
         let preheat: f64 = self.preheat[slot]
             .iter()
             .zip(powers_w)
@@ -187,7 +202,9 @@ impl AirflowLayout {
 
     /// Slots in the front (intake) region.
     pub fn front_slots(&self) -> Vec<usize> {
-        (0..self.num_slots()).filter(|s| !self.is_rear(*s)).collect()
+        (0..self.num_slots())
+            .filter(|s| !self.is_rear(*s))
+            .collect()
     }
 }
 
@@ -249,9 +266,7 @@ mod tests {
     fn invalid_layouts_rejected() {
         assert!(AirflowLayout::new(25.0, vec![vec![0.0; 3]; 2], vec![1.0; 2], vec![]).is_err());
         assert!(AirflowLayout::new(25.0, vec![vec![0.0; 2]; 2], vec![1.0; 3], vec![]).is_err());
-        assert!(
-            AirflowLayout::new(25.0, vec![vec![-0.1; 2]; 2], vec![1.0; 2], vec![]).is_err()
-        );
+        assert!(AirflowLayout::new(25.0, vec![vec![-0.1; 2]; 2], vec![1.0; 2], vec![]).is_err());
         assert!(AirflowLayout::new(25.0, vec![vec![0.0; 2]; 2], vec![0.0; 2], vec![]).is_err());
         assert!(AirflowLayout::new(25.0, vec![vec![0.0; 2]; 2], vec![1.0; 2], vec![5]).is_err());
     }

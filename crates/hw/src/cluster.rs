@@ -161,7 +161,10 @@ impl Cluster {
 
     /// Iterate over `(LinkId, &LinkSpec)` pairs.
     pub fn links(&self) -> impl Iterator<Item = (LinkId, &LinkSpec)> {
-        self.links.iter().enumerate().map(|(i, s)| (LinkId(i as u32), s))
+        self.links
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (LinkId(i as u32), s))
     }
 
     /// The node a GPU belongs to.
@@ -197,7 +200,10 @@ impl Cluster {
     /// Returns [`HwError::GpuOutOfRange`] when the id exceeds the cluster.
     pub fn check_gpu(&self, gpu: GpuId) -> Result<(), HwError> {
         if gpu.index() >= self.num_gpus() {
-            Err(HwError::GpuOutOfRange { gpu: gpu.0, num_gpus: self.num_gpus() as u32 })
+            Err(HwError::GpuOutOfRange {
+                gpu: gpu.0,
+                num_gpus: self.num_gpus() as u32,
+            })
         } else {
             Ok(())
         }
@@ -315,7 +321,13 @@ mod tests {
     }
 
     fn mi250() -> Cluster {
-        Cluster::new("test-mi250", GpuModel::Mi250Gcd.spec(), NodeLayout::mi250(), 4).unwrap()
+        Cluster::new(
+            "test-mi250",
+            GpuModel::Mi250Gcd.spec(),
+            NodeLayout::mi250(),
+            4,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -345,7 +357,12 @@ mod tests {
         let classes: Vec<_> = route.iter().map(|id| c.link(*id).class).collect();
         assert_eq!(
             classes,
-            vec![LinkClass::Pcie, LinkClass::Nic, LinkClass::Nic, LinkClass::Pcie]
+            vec![
+                LinkClass::Pcie,
+                LinkClass::Nic,
+                LinkClass::Nic,
+                LinkClass::Pcie
+            ]
         );
     }
 

@@ -31,10 +31,16 @@ impl fmt::Display for HwError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HwError::GpuOutOfRange { gpu, num_gpus } => {
-                write!(f, "gpu index {gpu} out of range for cluster with {num_gpus} gpus")
+                write!(
+                    f,
+                    "gpu index {gpu} out of range for cluster with {num_gpus} gpus"
+                )
             }
             HwError::NodeOutOfRange { node, num_nodes } => {
-                write!(f, "node index {node} out of range for cluster with {num_nodes} nodes")
+                write!(
+                    f,
+                    "node index {node} out of range for cluster with {num_nodes} nodes"
+                )
             }
             HwError::InvalidNodeLayout(msg) => write!(f, "invalid node layout: {msg}"),
             HwError::EmptyCluster => write!(f, "cluster must have at least one node and one gpu"),
@@ -50,7 +56,10 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_informative() {
-        let e = HwError::GpuOutOfRange { gpu: 99, num_gpus: 32 };
+        let e = HwError::GpuOutOfRange {
+            gpu: 99,
+            num_gpus: 32,
+        };
         let s = e.to_string();
         assert!(s.contains("99"));
         assert!(s.contains("32"));

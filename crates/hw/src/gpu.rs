@@ -185,8 +185,8 @@ mod tests {
     #[test]
     fn h200_has_more_memory_than_h100_by_1_76x() {
         // The paper repeatedly cites H200's 1.76x larger memory.
-        let ratio = GpuModel::H200.spec().memory_bytes as f64
-            / GpuModel::H100.spec().memory_bytes as f64;
+        let ratio =
+            GpuModel::H200.spec().memory_bytes as f64 / GpuModel::H100.spec().memory_bytes as f64;
         assert!((ratio - 1.7625).abs() < 0.01, "ratio = {ratio}");
     }
 

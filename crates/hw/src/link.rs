@@ -90,7 +90,12 @@ pub struct LinkSpec {
 impl LinkSpec {
     /// Construct a link of a class with explicit bandwidth/latency.
     pub fn new(class: LinkClass, bw_gbps: f64, latency_us: f64, per_message_us: f64) -> Self {
-        LinkSpec { class, bw_gbps, latency_us, per_message_us }
+        LinkSpec {
+            class,
+            bw_gbps,
+            latency_us,
+            per_message_us,
+        }
     }
 
     /// NVLink 4 port via NVSwitch: 450 GB/s per direction.
@@ -187,8 +192,14 @@ mod tests {
         let pcie = LinkSpec::pcie_gen5();
         let small = pcie.effective_bw_gbps(64.0 * 1024.0); // 64 KiB
         let large = pcie.effective_bw_gbps(256.0 * 1024.0 * 1024.0); // 256 MiB
-        assert!(small < 0.25 * pcie.bw_gbps, "small msg eff bw = {small} GB/s");
-        assert!(large > 0.95 * pcie.bw_gbps, "large msg eff bw = {large} GB/s");
+        assert!(
+            small < 0.25 * pcie.bw_gbps,
+            "small msg eff bw = {small} GB/s"
+        );
+        assert!(
+            large > 0.95 * pcie.bw_gbps,
+            "large msg eff bw = {large} GB/s"
+        );
     }
 
     #[test]

@@ -51,7 +51,9 @@ impl NodeLayout {
     /// number of slots.
     pub fn validate(&self) -> Result<(), HwError> {
         if self.gpus_per_node == 0 {
-            return Err(HwError::InvalidNodeLayout("node must have at least one gpu".into()));
+            return Err(HwError::InvalidNodeLayout(
+                "node must have at least one gpu".into(),
+            ));
         }
         let mut seen = vec![false; self.gpus_per_node];
         for pkg in &self.packages {
@@ -184,7 +186,15 @@ mod tests {
     #[test]
     fn overlapping_packages_rejected() {
         let mut n = NodeLayout::hgx();
-        n.packages = vec![vec![0, 1], vec![1, 2], vec![3], vec![4], vec![5], vec![6], vec![7]];
+        n.packages = vec![
+            vec![0, 1],
+            vec![1, 2],
+            vec![3],
+            vec![4],
+            vec![5],
+            vec![6],
+            vec![7],
+        ];
         assert!(n.validate().is_err());
     }
 

@@ -39,8 +39,13 @@ pub fn hgx_h100_with_nodes(nodes: usize) -> Cluster {
 
 /// The paper's AMD cluster: 4 nodes x 4 MI250 packages = 32 logical GCDs.
 pub fn mi250_cluster() -> Cluster {
-    Cluster::new("32xMI250-GCD", GpuModel::Mi250Gcd.spec(), NodeLayout::mi250(), 4)
-        .expect("preset cluster is statically valid")
+    Cluster::new(
+        "32xMI250-GCD",
+        GpuModel::Mi250Gcd.spec(),
+        NodeLayout::mi250(),
+        4,
+    )
+    .expect("preset cluster is statically valid")
 }
 
 /// The balanced-interconnect ablation of Fig. 8: four nodes with a single

@@ -55,15 +55,17 @@ impl TransformerArch {
     /// layers, or `top_k > num_experts`).
     pub fn validate(&self) -> Result<(), ModelError> {
         if self.num_layers == 0 || self.hidden == 0 || self.num_heads == 0 {
-            return Err(ModelError::InvalidArch("dimensions must be non-zero".into()));
+            return Err(ModelError::InvalidArch(
+                "dimensions must be non-zero".into(),
+            ));
         }
-        if self.hidden % self.num_heads != 0 {
+        if !self.hidden.is_multiple_of(self.num_heads) {
             return Err(ModelError::InvalidArch(format!(
                 "hidden {} not divisible by {} heads",
                 self.hidden, self.num_heads
             )));
         }
-        if self.num_kv_heads == 0 || self.num_heads % self.num_kv_heads != 0 {
+        if self.num_kv_heads == 0 || !self.num_heads.is_multiple_of(self.num_kv_heads) {
             return Err(ModelError::InvalidArch(format!(
                 "kv heads {} must divide query heads {}",
                 self.num_kv_heads, self.num_heads
@@ -179,7 +181,10 @@ mod tests {
         assert!(b.validate().is_err());
 
         let mut c = presets::mixtral_8x7b();
-        c.moe = Some(MoeConfig { num_experts: 8, top_k: 9 });
+        c.moe = Some(MoeConfig {
+            num_experts: 8,
+            top_k: 9,
+        });
         assert!(c.validate().is_err());
 
         let mut d = presets::gpt3_175b();
@@ -190,7 +195,8 @@ mod tests {
     #[test]
     fn all_presets_validate() {
         for m in presets::all_models() {
-            m.validate().unwrap_or_else(|e| panic!("{} invalid: {e}", m.name));
+            m.validate()
+                .unwrap_or_else(|e| panic!("{} invalid: {e}", m.name));
         }
     }
 
@@ -229,7 +235,10 @@ mod proptests {
                 let hidden = heads * head_dim_x * 16;
                 let num_kv_heads = (heads / kv_div).max(1);
                 // Keep kv_heads dividing heads.
-                let num_kv_heads = (1..=heads).rev().find(|k| heads % k == 0 && *k <= num_kv_heads).unwrap_or(1);
+                let num_kv_heads = (1..=heads)
+                    .rev()
+                    .find(|k| heads % k == 0 && *k <= num_kv_heads)
+                    .unwrap_or(1);
                 TransformerArch {
                     name: "prop".to_string(),
                     num_layers: layers,
@@ -241,7 +250,10 @@ mod proptests {
                     gated_mlp: ffn_x % 2 == 0,
                     tied_embeddings: layers % 2 == 0,
                     moe: if layers % 3 == 0 {
-                        Some(MoeConfig { num_experts: 8, top_k: 2 })
+                        Some(MoeConfig {
+                            num_experts: 8,
+                            top_k: 2,
+                        })
                     } else {
                         None
                     },

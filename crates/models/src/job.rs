@@ -73,7 +73,10 @@ impl TrainJob {
             global_batch: 128,
             microbatch: 1,
             precision: Precision::Bf16,
-            optim: Optimizations { distributed_optimizer, ..Optimizations::default() },
+            optim: Optimizations {
+                distributed_optimizer,
+                ..Optimizations::default()
+            },
             arch,
         }
     }
@@ -127,12 +130,14 @@ impl TrainJob {
     pub fn validate_for_dp(&self, dp: usize) -> Result<(), ModelError> {
         self.arch.validate()?;
         if self.microbatch == 0 || self.global_batch == 0 {
-            return Err(ModelError::InvalidJob("batch sizes must be non-zero".into()));
+            return Err(ModelError::InvalidJob(
+                "batch sizes must be non-zero".into(),
+            ));
         }
         if dp == 0 {
             return Err(ModelError::InvalidJob("dp width must be non-zero".into()));
         }
-        if self.global_batch % (dp * self.microbatch) != 0 {
+        if !self.global_batch.is_multiple_of(dp * self.microbatch) {
             return Err(ModelError::InvalidJob(format!(
                 "global batch {} not divisible by dp {} x microbatch {}",
                 self.global_batch, dp, self.microbatch
@@ -184,7 +189,10 @@ mod tests {
         assert_eq!(base.clone().with_cc_overlap(true).optim.label(), "cc");
         assert_eq!(base.clone().with_recompute(true).optim.label(), "act");
         assert_eq!(
-            base.with_cc_overlap(true).with_recompute(true).optim.label(),
+            base.with_cc_overlap(true)
+                .with_recompute(true)
+                .optim
+                .label(),
             "cc+act"
         );
         let lora = TrainJob::lora_finetune(presets::llama3_70b());

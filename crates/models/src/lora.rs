@@ -17,7 +17,10 @@ pub struct LoraConfig {
 
 impl Default for LoraConfig {
     fn default() -> Self {
-        LoraConfig { rank: 16, adapt_ffn: true }
+        LoraConfig {
+            rank: 16,
+            adapt_ffn: true,
+        }
     }
 }
 
@@ -72,16 +75,32 @@ mod tests {
     #[test]
     fn rank_scales_params_linearly() {
         let arch = presets::gpt3_175b();
-        let r16 = LoraConfig { rank: 16, adapt_ffn: true }.trainable_params(&arch);
-        let r32 = LoraConfig { rank: 32, adapt_ffn: true }.trainable_params(&arch);
+        let r16 = LoraConfig {
+            rank: 16,
+            adapt_ffn: true,
+        }
+        .trainable_params(&arch);
+        let r32 = LoraConfig {
+            rank: 32,
+            adapt_ffn: true,
+        }
+        .trainable_params(&arch);
         assert_eq!(r32, 2 * r16);
     }
 
     #[test]
     fn attention_only_is_smaller() {
         let arch = presets::llama3_70b();
-        let full = LoraConfig { rank: 16, adapt_ffn: true }.trainable_params(&arch);
-        let attn = LoraConfig { rank: 16, adapt_ffn: false }.trainable_params(&arch);
+        let full = LoraConfig {
+            rank: 16,
+            adapt_ffn: true,
+        }
+        .trainable_params(&arch);
+        let attn = LoraConfig {
+            rank: 16,
+            adapt_ffn: false,
+        }
+        .trainable_params(&arch);
         assert!(attn < full);
     }
 }

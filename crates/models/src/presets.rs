@@ -102,7 +102,10 @@ pub fn mixtral_8x22b() -> TransformerArch {
         vocab: 32000,
         gated_mlp: true,
         tied_embeddings: false,
-        moe: Some(MoeConfig { num_experts: 8, top_k: 2 }),
+        moe: Some(MoeConfig {
+            num_experts: 8,
+            top_k: 2,
+        }),
         default_seq_len: 4096,
     }
 }
@@ -119,7 +122,10 @@ pub fn mixtral_8x7b() -> TransformerArch {
         vocab: 32000,
         gated_mlp: true,
         tied_embeddings: false,
-        moe: Some(MoeConfig { num_experts: 8, top_k: 2 }),
+        moe: Some(MoeConfig {
+            num_experts: 8,
+            top_k: 2,
+        }),
         default_seq_len: 4096,
     }
 }
@@ -128,7 +134,10 @@ pub fn mixtral_8x7b() -> TransformerArch {
 pub fn mixtral_4x7b() -> TransformerArch {
     TransformerArch {
         name: "Mixtral-4x7B".to_string(),
-        moe: Some(MoeConfig { num_experts: 4, top_k: 2 }),
+        moe: Some(MoeConfig {
+            num_experts: 4,
+            top_k: 2,
+        }),
         ..mixtral_8x7b()
     }
 }
@@ -160,7 +169,11 @@ mod tests {
     fn assert_param_count(arch: &TransformerArch, expected: f64, tol: f64) {
         let got = arch.total_params() as f64;
         let rel = (got - expected).abs() / expected;
-        assert!(rel < tol, "{}: expected ~{expected:e}, got {got:e} (rel {rel:.3})", arch.name);
+        assert!(
+            rel < tol,
+            "{}: expected ~{expected:e}, got {got:e} (rel {rel:.3})",
+            arch.name
+        );
     }
 
     #[test]

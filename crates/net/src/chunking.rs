@@ -25,7 +25,9 @@ pub enum ChunkingPolicy {
 impl ChunkingPolicy {
     /// NCCL's default-ish 4 MiB pipeline chunk.
     pub fn nccl_default() -> Self {
-        ChunkingPolicy::Chunked { chunk_bytes: 4 * 1024 * 1024 }
+        ChunkingPolicy::Chunked {
+            chunk_bytes: 4 * 1024 * 1024,
+        }
     }
 
     /// Number of messages used to move `bytes`.

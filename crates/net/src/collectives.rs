@@ -89,7 +89,11 @@ pub fn lower_collective(
     }
     let n = gpus.len();
     if n <= 1 || bytes == 0 {
-        return Ok(CollectivePlan { kind, flows: Vec::new(), bytes_per_rank: bytes });
+        return Ok(CollectivePlan {
+            kind,
+            flows: Vec::new(),
+            bytes_per_rank: bytes,
+        });
     }
     let flows = match kind {
         CollectiveKind::AllReduce => ring_flows(gpus, cluster, bytes, 2 * (n - 1), n, chunking),
@@ -112,14 +116,26 @@ pub fn lower_collective(
         CollectiveKind::Broadcast => {
             let root = gpus[0];
             let msgs = chunking.num_messages(bytes).max(1);
-            gpus[1..].iter().map(|&dst| Flow::new(root, dst, bytes, msgs)).collect()
+            gpus[1..]
+                .iter()
+                .map(|&dst| Flow::new(root, dst, bytes, msgs))
+                .collect()
         }
         CollectiveKind::SendRecv => {
             let msgs = chunking.num_messages(bytes).max(1);
-            vec![Flow::new(gpus[0], *gpus.last().expect("n > 1"), bytes, msgs)]
+            vec![Flow::new(
+                gpus[0],
+                *gpus.last().expect("n > 1"),
+                bytes,
+                msgs,
+            )]
         }
     };
-    Ok(CollectivePlan { kind, flows, bytes_per_rank: bytes })
+    Ok(CollectivePlan {
+        kind,
+        flows,
+        bytes_per_rank: bytes,
+    })
 }
 
 /// Build the per-hop flows of a ring algorithm with `phases` pipelined
@@ -191,7 +207,10 @@ mod tests {
         let per_hop = p.flows[0].bytes as f64;
         let expect = bytes as f64 * 2.0 * (n as f64 - 1.0) / n as f64;
         let rel = (per_hop - expect).abs() / expect;
-        assert!(rel < 0.01, "per ring hop carries 2(n-1)/n of the buffer: {per_hop} vs {expect}");
+        assert!(
+            rel < 0.01,
+            "per ring hop carries 2(n-1)/n of the buffer: {per_hop} vs {expect}"
+        );
     }
 
     #[test]
@@ -199,8 +218,22 @@ mod tests {
         let c = presets::hgx_h200_cluster();
         let gpus = group(&[0, 1, 2, 3]);
         let bytes = 400 << 20;
-        let ar = lower_collective(CollectiveKind::AllReduce, bytes, &gpus, &c, ChunkingPolicy::nccl_default()).unwrap();
-        let ag = lower_collective(CollectiveKind::AllGather, bytes, &gpus, &c, ChunkingPolicy::nccl_default()).unwrap();
+        let ar = lower_collective(
+            CollectiveKind::AllReduce,
+            bytes,
+            &gpus,
+            &c,
+            ChunkingPolicy::nccl_default(),
+        )
+        .unwrap();
+        let ag = lower_collective(
+            CollectiveKind::AllGather,
+            bytes,
+            &gpus,
+            &c,
+            ChunkingPolicy::nccl_default(),
+        )
+        .unwrap();
         assert!((ar.total_bytes() as f64 / ag.total_bytes() as f64 - 2.0).abs() < 0.01);
     }
 
@@ -267,7 +300,14 @@ mod tests {
     fn intra_node_ring_stays_on_nvlink() {
         let c = presets::hgx_h200_cluster();
         let gpus = group(&[0, 1, 2, 3, 4, 5, 6, 7]);
-        let p = lower_collective(CollectiveKind::AllReduce, 1 << 28, &gpus, &c, ChunkingPolicy::nccl_default()).unwrap();
+        let p = lower_collective(
+            CollectiveKind::AllReduce,
+            1 << 28,
+            &gpus,
+            &c,
+            ChunkingPolicy::nccl_default(),
+        )
+        .unwrap();
         for f in &p.flows {
             for id in f.route(&c).unwrap() {
                 assert_eq!(c.link(id).class, LinkClass::NvLink);
@@ -280,7 +320,14 @@ mod tests {
         let c = presets::hgx_h200_cluster();
         // A DP group striding across nodes (e.g. ranks 0, 8, 16, 24).
         let gpus = group(&[0, 8, 16, 24]);
-        let p = lower_collective(CollectiveKind::AllReduce, 1 << 28, &gpus, &c, ChunkingPolicy::nccl_default()).unwrap();
+        let p = lower_collective(
+            CollectiveKind::AllReduce,
+            1 << 28,
+            &gpus,
+            &c,
+            ChunkingPolicy::nccl_default(),
+        )
+        .unwrap();
         let crosses = p.flows.iter().any(|f| {
             f.route(&c)
                 .unwrap()
@@ -336,8 +383,22 @@ mod tests {
     fn ring_startup_scales_with_phases() {
         let c = presets::hgx_h200_cluster();
         let gpus = group(&[0, 1, 2, 3]);
-        let ar = lower_collective(CollectiveKind::AllReduce, 1 << 28, &gpus, &c, ChunkingPolicy::nccl_default()).unwrap();
-        let ag = lower_collective(CollectiveKind::AllGather, 1 << 28, &gpus, &c, ChunkingPolicy::nccl_default()).unwrap();
+        let ar = lower_collective(
+            CollectiveKind::AllReduce,
+            1 << 28,
+            &gpus,
+            &c,
+            ChunkingPolicy::nccl_default(),
+        )
+        .unwrap();
+        let ag = lower_collective(
+            CollectiveKind::AllGather,
+            1 << 28,
+            &gpus,
+            &c,
+            ChunkingPolicy::nccl_default(),
+        )
+        .unwrap();
         assert!(ar.flows[0].startup_s > ag.flows[0].startup_s);
     }
 }
@@ -350,7 +411,9 @@ mod proptests {
 
     fn arb_group() -> impl Strategy<Value = Vec<GpuId>> {
         (2usize..=16, 0u32..16).prop_map(|(n, base)| {
-            (0..n as u32).map(|i| GpuId((base + i * 2) % 32)).collect::<Vec<_>>()
+            (0..n as u32)
+                .map(|i| GpuId((base + i * 2) % 32))
+                .collect::<Vec<_>>()
         })
     }
 

@@ -29,7 +29,13 @@ pub struct Flow {
 impl Flow {
     /// A single-message flow with no startup latency.
     pub fn new(src: GpuId, dst: GpuId, bytes: u64, num_messages: u64) -> Self {
-        Flow { src, dst, bytes, num_messages, startup_s: 0.0 }
+        Flow {
+            src,
+            dst,
+            bytes,
+            num_messages,
+            startup_s: 0.0,
+        }
     }
 
     /// The links the flow traverses.
@@ -43,8 +49,10 @@ impl Flow {
 
     /// Total per-message + startup overhead in seconds on this route.
     pub fn overhead_s(&self, cluster: &Cluster, route: &[LinkId]) -> f64 {
-        let per_msg_us: f64 =
-            route.iter().map(|id| cluster.link(*id).per_message_us).sum();
+        let per_msg_us: f64 = route
+            .iter()
+            .map(|id| cluster.link(*id).per_message_us)
+            .sum();
         let latency_us = cluster.route_latency_us(route);
         self.startup_s + (latency_us + self.num_messages as f64 * per_msg_us) * 1e-6
     }
@@ -133,7 +141,10 @@ mod chunking_tests {
         let chunked = Flow::new(GpuId(0), GpuId(8), bytes, 64);
         let route = mono.route(&c).unwrap();
         let ratio = mono.work_bytes(&c, &route) / chunked.work_bytes(&c, &route);
-        assert!(ratio > 2.0, "unchunked should pay ~3x staging: ratio {ratio}");
+        assert!(
+            ratio > 2.0,
+            "unchunked should pay ~3x staging: ratio {ratio}"
+        );
     }
 
     #[test]
@@ -143,6 +154,9 @@ mod chunking_tests {
         let mono = Flow::new(GpuId(0), GpuId(1), bytes, 1);
         let route = mono.route(&c).unwrap();
         let work = mono.work_bytes(&c, &route);
-        assert!(work < 1.05 * bytes as f64, "no staging penalty inside a node: {work}");
+        assert!(
+            work < 1.05 * bytes as f64,
+            "no staging penalty inside a node: {work}"
+        );
     }
 }

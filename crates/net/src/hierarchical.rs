@@ -57,7 +57,13 @@ pub fn lower_hierarchical_allreduce(
 
     // Phase 1: intra-node reduce-scatter per node.
     for members in nodes.values() {
-        let p = lower_collective(CollectiveKind::ReduceScatter, bytes, members, cluster, chunking)?;
+        let p = lower_collective(
+            CollectiveKind::ReduceScatter,
+            bytes,
+            members,
+            cluster,
+            chunking,
+        )?;
         flows.extend(p.flows);
     }
     // Phase 2: inter-node all-reduce of each leader's shard. Each leader
@@ -65,7 +71,13 @@ pub fn lower_hierarchical_allreduce(
     let leaders: Vec<GpuId> = nodes.values().map(|v| v[0]).collect();
     let max_local = nodes.values().map(Vec::len).max().unwrap_or(1) as u64;
     let shard = (bytes / max_local).max(1);
-    let p = lower_collective(CollectiveKind::AllReduce, shard, &leaders, cluster, chunking)?;
+    let p = lower_collective(
+        CollectiveKind::AllReduce,
+        shard,
+        &leaders,
+        cluster,
+        chunking,
+    )?;
     flows.extend(p.flows);
     // Phase 3: intra-node all-gather per node.
     for members in nodes.values() {
@@ -73,7 +85,11 @@ pub fn lower_hierarchical_allreduce(
         flows.extend(p.flows);
     }
 
-    Ok(CollectivePlan { kind: CollectiveKind::AllReduce, flows, bytes_per_rank: bytes })
+    Ok(CollectivePlan {
+        kind: CollectiveKind::AllReduce,
+        flows,
+        bytes_per_rank: bytes,
+    })
 }
 
 /// Bytes a plan moves across node boundaries (through any NIC).
@@ -120,9 +136,8 @@ mod tests {
             ChunkingPolicy::nccl_default(),
         )
         .unwrap();
-        let hier =
-            lower_hierarchical_allreduce(bytes, &group, &c, ChunkingPolicy::nccl_default())
-                .unwrap();
+        let hier = lower_hierarchical_allreduce(bytes, &group, &c, ChunkingPolicy::nccl_default())
+            .unwrap();
         let flat_x = inter_node_bytes(&flat, &c);
         let hier_x = inter_node_bytes(&hier, &c);
         assert!(
@@ -135,13 +150,9 @@ mod tests {
     fn falls_back_to_flat_ring_when_unprofitable() {
         let c = presets::hgx_h200_cluster();
         let local: Vec<GpuId> = (0..8).map(GpuId).collect();
-        let hier = lower_hierarchical_allreduce(
-            1 << 20,
-            &local,
-            &c,
-            ChunkingPolicy::nccl_default(),
-        )
-        .unwrap();
+        let hier =
+            lower_hierarchical_allreduce(1 << 20, &local, &c, ChunkingPolicy::nccl_default())
+                .unwrap();
         let flat = lower_collective(
             CollectiveKind::AllReduce,
             1 << 20,

@@ -110,10 +110,14 @@ mod tests {
 
     #[test]
     fn scaling_is_sublinear_at_100g() {
-        let projections =
-            project_dp_scaling(&base(), &[1, 2, 8, 32, 256], &LinkSpec::ib_100g(), 8);
+        let projections = project_dp_scaling(&base(), &[1, 2, 8, 32, 256], &LinkSpec::ib_100g(), 8);
         for p in &projections {
-            assert!(p.scaling_efficiency <= 1.0 + 1e-9, "dp={} eff={}", p.dp, p.scaling_efficiency);
+            assert!(
+                p.scaling_efficiency <= 1.0 + 1e-9,
+                "dp={} eff={}",
+                p.dp,
+                p.scaling_efficiency
+            );
         }
         // Efficiency decays monotonically with DP.
         for w in projections.windows(2) {

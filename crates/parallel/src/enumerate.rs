@@ -20,7 +20,10 @@ pub struct EnumerateOptions {
 
 impl Default for EnumerateOptions {
     fn default() -> Self {
-        EnumerateOptions { include_fsdp: true, check_memory: true }
+        EnumerateOptions {
+            include_fsdp: true,
+            check_memory: true,
+        }
     }
 }
 
@@ -35,7 +38,11 @@ fn pow2_up_to(max: usize) -> impl Iterator<Item = usize> {
 /// dividing the layer count; EP dividing the expert count (MoE only); the
 /// product dividing the cluster size; the global batch dividing into
 /// `dp × microbatch`; and (optionally) the stage-0 rank fitting in memory.
-pub fn valid_configs(job: &TrainJob, cluster: &Cluster, opts: EnumerateOptions) -> Vec<ParallelismSpec> {
+pub fn valid_configs(
+    job: &TrainJob,
+    cluster: &Cluster,
+    opts: EnumerateOptions,
+) -> Vec<ParallelismSpec> {
     let world = cluster.num_gpus();
     let arch = &job.arch;
     let mut out = Vec::new();
@@ -49,15 +56,15 @@ pub fn valid_configs(job: &TrainJob, cluster: &Cluster, opts: EnumerateOptions) 
 
     for &ep in &eps {
         for tp in pow2_up_to(cluster.gpus_per_node()) {
-            if arch.num_heads % tp != 0 || arch.num_kv_heads % tp != 0 {
+            if !arch.num_heads.is_multiple_of(tp) || !arch.num_kv_heads.is_multiple_of(tp) {
                 continue;
             }
             for pp in pow2_up_to(world) {
-                if arch.num_layers % pp != 0 {
+                if !arch.num_layers.is_multiple_of(pp) {
                     continue;
                 }
                 let mp = tp * pp * ep;
-                if mp > world || world % mp != 0 {
+                if mp > world || !world.is_multiple_of(mp) {
                     continue;
                 }
                 let spec = match ParallelismSpec::infer_dp(tp, pp, ep, world, false) {
@@ -71,9 +78,7 @@ pub fn valid_configs(job: &TrainJob, cluster: &Cluster, opts: EnumerateOptions) 
                     Ok(p) => p,
                     Err(_) => continue,
                 };
-                if opts.check_memory
-                    && !fits(job, &spec, &partition, cluster.gpu().memory_bytes)
-                {
+                if opts.check_memory && !fits(job, &spec, &partition, cluster.gpu().memory_bytes) {
                     continue;
                 }
                 out.push(spec);
@@ -85,13 +90,13 @@ pub fn valid_configs(job: &TrainJob, cluster: &Cluster, opts: EnumerateOptions) 
         // The paper evaluates TP8-FSDP (2D parallelism): TP across the node,
         // FSDP over the rest.
         let tp = cluster.gpus_per_node();
-        if arch.num_heads % tp == 0 && world > tp {
+        if arch.num_heads.is_multiple_of(tp) && world > tp {
             if let Ok(spec) = ParallelismSpec::new(tp, 1, 1, world / tp, true) {
-                let partition = StagePartition::even(arch.num_layers, 1)
-                    .expect("single stage always valid");
+                let partition =
+                    StagePartition::even(arch.num_layers, 1).expect("single stage always valid");
                 let ok_batch = job.validate_for_dp(spec.dp).is_ok();
-                let ok_mem = !opts.check_memory
-                    || fits(job, &spec, &partition, cluster.gpu().memory_bytes);
+                let ok_mem =
+                    !opts.check_memory || fits(job, &spec, &partition, cluster.gpu().memory_bytes);
                 if ok_batch && ok_mem {
                     out.push(spec);
                 }
@@ -106,10 +111,17 @@ pub fn valid_configs(job: &TrainJob, cluster: &Cluster, opts: EnumerateOptions) 
 /// The minimal total model parallelism (`tp·pp·ep`) among valid configs —
 /// the quantity the paper minimizes before exploring configurations.
 pub fn minimal_model_parallelism(job: &TrainJob, cluster: &Cluster) -> Option<usize> {
-    valid_configs(job, cluster, EnumerateOptions { include_fsdp: false, check_memory: true })
-        .iter()
-        .map(|s| s.model_parallel())
-        .min()
+    valid_configs(
+        job,
+        cluster,
+        EnumerateOptions {
+            include_fsdp: false,
+            check_memory: true,
+        },
+    )
+    .iter()
+    .map(|s| s.model_parallel())
+    .min()
 }
 
 #[cfg(test)]
@@ -127,7 +139,10 @@ mod tests {
         // Pure DP cannot fit a 175B model.
         assert!(configs.iter().all(|s| s.model_parallel() > 1));
         // The paper's TP8-PP4 must be among them.
-        assert!(configs.iter().any(|s| s.label() == "TP8-PP4"), "configs: {configs:?}");
+        assert!(
+            configs.iter().any(|s| s.label() == "TP8-PP4"),
+            "configs: {configs:?}"
+        );
     }
 
     #[test]
@@ -183,17 +198,14 @@ mod tests {
     #[test]
     fn minimal_model_parallelism_larger_for_bigger_models() {
         let cluster = presets::hgx_h200_cluster();
-        let small = minimal_model_parallelism(
-            &TrainJob::pretrain(models::gpt3_13b()),
-            &cluster,
-        )
-        .unwrap();
-        let big = minimal_model_parallelism(
-            &TrainJob::pretrain(models::gpt3_175b()),
-            &cluster,
-        )
-        .unwrap();
-        assert!(big > small, "175B ({big}) should need more MP than 13B ({small})");
+        let small =
+            minimal_model_parallelism(&TrainJob::pretrain(models::gpt3_13b()), &cluster).unwrap();
+        let big =
+            minimal_model_parallelism(&TrainJob::pretrain(models::gpt3_175b()), &cluster).unwrap();
+        assert!(
+            big > small,
+            "175B ({big}) should need more MP than 13B ({small})"
+        );
     }
 
     #[test]
@@ -203,12 +215,18 @@ mod tests {
         let unchecked = valid_configs(
             &job,
             &cluster,
-            EnumerateOptions { include_fsdp: false, check_memory: false },
+            EnumerateOptions {
+                include_fsdp: false,
+                check_memory: false,
+            },
         );
         let checked = valid_configs(
             &job,
             &cluster,
-            EnumerateOptions { include_fsdp: false, check_memory: true },
+            EnumerateOptions {
+                include_fsdp: false,
+                check_memory: true,
+            },
         );
         assert!(unchecked.len() > checked.len());
     }

@@ -36,7 +36,10 @@ impl fmt::Display for ParallelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParallelError::WorldSizeMismatch { product, world } => {
-                write!(f, "parallel widths multiply to {product} but world size is {world}")
+                write!(
+                    f,
+                    "parallel widths multiply to {product} but world size is {world}"
+                )
             }
             ParallelError::ZeroWidth(dim) => write!(f, "{dim} width must be non-zero"),
             ParallelError::NotDivisible { what, value, by } => {
@@ -57,7 +60,11 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = ParallelError::NotDivisible { what: "layers", value: 96, by: 5 };
+        let e = ParallelError::NotDivisible {
+            what: "layers",
+            value: 96,
+            by: 5,
+        };
         assert!(e.to_string().contains("96"));
         assert!(e.to_string().contains("5"));
     }

@@ -68,32 +68,43 @@ impl RankGrid {
     /// Panics if any coordinate exceeds its width.
     pub fn rank(&self, c: RankCoords) -> usize {
         let s = &self.spec;
-        assert!(c.tp < s.tp && c.ep < s.ep && c.dp < s.dp && c.pp < s.pp, "coords out of range");
+        assert!(
+            c.tp < s.tp && c.ep < s.ep && c.dp < s.dp && c.pp < s.pp,
+            "coords out of range"
+        );
         c.tp + s.tp * (c.ep + s.ep * (c.dp + s.dp * c.pp))
     }
 
     /// The tensor-parallel group of a rank (all ranks differing only in tp).
     pub fn tp_group(&self, rank: usize) -> Vec<usize> {
         let c = self.coords(rank);
-        (0..self.spec.tp).map(|tp| self.rank(RankCoords { tp, ..c })).collect()
+        (0..self.spec.tp)
+            .map(|tp| self.rank(RankCoords { tp, ..c }))
+            .collect()
     }
 
     /// The expert-parallel group of a rank.
     pub fn ep_group(&self, rank: usize) -> Vec<usize> {
         let c = self.coords(rank);
-        (0..self.spec.ep).map(|ep| self.rank(RankCoords { ep, ..c })).collect()
+        (0..self.spec.ep)
+            .map(|ep| self.rank(RankCoords { ep, ..c }))
+            .collect()
     }
 
     /// The data-parallel group of a rank (gradient AllReduce / FSDP group).
     pub fn dp_group(&self, rank: usize) -> Vec<usize> {
         let c = self.coords(rank);
-        (0..self.spec.dp).map(|dp| self.rank(RankCoords { dp, ..c })).collect()
+        (0..self.spec.dp)
+            .map(|dp| self.rank(RankCoords { dp, ..c }))
+            .collect()
     }
 
     /// The pipeline group of a rank, ordered by stage.
     pub fn pp_group(&self, rank: usize) -> Vec<usize> {
         let c = self.coords(rank);
-        (0..self.spec.pp).map(|pp| self.rank(RankCoords { pp, ..c })).collect()
+        (0..self.spec.pp)
+            .map(|pp| self.rank(RankCoords { pp, ..c }))
+            .collect()
     }
 
     /// The rank holding the next pipeline stage for this rank's (tp, ep, dp)
@@ -111,7 +122,9 @@ impl RankGrid {
 
     /// All ranks at a given pipeline stage.
     pub fn ranks_at_stage(&self, stage: usize) -> Vec<usize> {
-        (0..self.world()).filter(|&r| self.coords(r).pp == stage).collect()
+        (0..self.world())
+            .filter(|&r| self.coords(r).pp == stage)
+            .collect()
     }
 
     /// Whether this rank executes the first pipeline stage (embedding).

@@ -40,10 +40,16 @@ impl StagePartition {
         if stages == 0 {
             return Err(ParallelError::ZeroWidth("pipeline parallel"));
         }
-        if layers % stages != 0 {
-            return Err(ParallelError::NotDivisible { what: "layers", value: layers, by: stages });
+        if !layers.is_multiple_of(stages) {
+            return Err(ParallelError::NotDivisible {
+                what: "layers",
+                value: layers,
+                by: stages,
+            });
         }
-        Ok(StagePartition { layers_per_stage: vec![layers / stages; stages] })
+        Ok(StagePartition {
+            layers_per_stage: vec![layers / stages; stages],
+        })
     }
 
     /// Explicit per-stage layer counts.
@@ -59,8 +65,10 @@ impl StagePartition {
                 layers_per_stage.iter().sum::<usize>()
             )));
         }
-        if layers_per_stage.iter().any(|&l| l == 0) {
-            return Err(ParallelError::InvalidPartition("empty pipeline stage".into()));
+        if layers_per_stage.contains(&0) {
+            return Err(ParallelError::InvalidPartition(
+                "empty pipeline stage".into(),
+            ));
         }
         Ok(StagePartition { layers_per_stage })
     }
@@ -85,14 +93,19 @@ impl StagePartition {
     pub fn imbalance(&self) -> f64 {
         let max = *self.layers_per_stage.iter().max().unwrap() as f64;
         let min = *self.layers_per_stage.iter().min().unwrap() as f64;
-        let mean = self.layers_per_stage.iter().sum::<usize>() as f64
-            / self.layers_per_stage.len() as f64;
+        let mean =
+            self.layers_per_stage.iter().sum::<usize>() as f64 / self.layers_per_stage.len() as f64;
         (max - min) / mean
     }
 }
 
 /// Per-rank model parameters (weights held by one rank) at a given stage.
-pub fn rank_params(job: &TrainJob, spec: &ParallelismSpec, partition: &StagePartition, stage: usize) -> u64 {
+pub fn rank_params(
+    job: &TrainJob,
+    spec: &ParallelismSpec,
+    partition: &StagePartition,
+    stage: usize,
+) -> u64 {
     let arch = &job.arch;
     let layers = partition.layers(stage) as u64;
     let attn = arch.attn_params_per_layer() / spec.tp as u64;
@@ -120,7 +133,11 @@ pub fn rank_params(job: &TrainJob, spec: &ParallelismSpec, partition: &StagePart
 
 /// Memory footprint of the *worst* rank (pipeline stage 0, which stashes the
 /// most in-flight activations under 1F1B).
-pub fn rank_memory(job: &TrainJob, spec: &ParallelismSpec, partition: &StagePartition) -> MemoryBreakdown {
+pub fn rank_memory(
+    job: &TrainJob,
+    spec: &ParallelismSpec,
+    partition: &StagePartition,
+) -> MemoryBreakdown {
     let stage = 0;
     let params = rank_params(job, spec, partition, stage);
     let (weights, grads, optimizer) = if let Some(lora) = &job.optim.lora {
@@ -141,7 +158,11 @@ pub fn rank_memory(job: &TrainJob, spec: &ParallelismSpec, partition: &StagePart
             optimizer_bytes(params, spec.dp),
         )
     } else {
-        let shards = if job.optim.distributed_optimizer { spec.dp } else { 1 };
+        let shards = if job.optim.distributed_optimizer {
+            spec.dp
+        } else {
+            1
+        };
         (
             weight_bytes(params, job.precision),
             grad_bytes(params, job.precision),
@@ -172,7 +193,12 @@ pub fn rank_memory(job: &TrainJob, spec: &ParallelismSpec, partition: &StagePart
 }
 
 /// Whether a configuration fits in a GPU's memory.
-pub fn fits(job: &TrainJob, spec: &ParallelismSpec, partition: &StagePartition, gpu_memory_bytes: u64) -> bool {
+pub fn fits(
+    job: &TrainJob,
+    spec: &ParallelismSpec,
+    partition: &StagePartition,
+    gpu_memory_bytes: u64,
+) -> bool {
     rank_memory(job, spec, partition).total() <= gpu_memory_bytes
 }
 
@@ -248,7 +274,11 @@ mod tests {
         let without = rank_memory(&base, &spec, &part);
         let with = rank_memory(&base.clone().with_recompute(true), &spec, &part);
         assert!(with.activations < without.activations / 5);
-        assert!(with.total() <= h100, "recompute config needs {:.1} GiB", with.total_gib());
+        assert!(
+            with.total() <= h100,
+            "recompute config needs {:.1} GiB",
+            with.total_gib()
+        );
     }
 
     #[test]

@@ -31,7 +31,9 @@ impl Placement {
                 cluster.num_gpus()
             )));
         }
-        Ok(Placement { gpu_of_rank: (0..world as u32).map(GpuId).collect() })
+        Ok(Placement {
+            gpu_of_rank: (0..world as u32).map(GpuId).collect(),
+        })
     }
 
     /// Build from an explicit rank → GPU table.
@@ -50,7 +52,9 @@ impl Placement {
                 )));
             }
             if seen[g.index()] {
-                return Err(ParallelError::InvalidPlacement(format!("{g} assigned twice")));
+                return Err(ParallelError::InvalidPlacement(format!(
+                    "{g} assigned twice"
+                )));
             }
             seen[g.index()] = true;
         }
@@ -160,6 +164,10 @@ mod tests {
         let group = g.pp_group(0);
         let nodes: std::collections::HashSet<_> =
             group.iter().map(|&r| c.node_of(p.gpu(r))).collect();
-        assert_eq!(nodes.len(), 4, "each stage of TP8-PP4 lives on its own node");
+        assert_eq!(
+            nodes.len(),
+            4,
+            "each stage of TP8-PP4 lives on its own node"
+        );
     }
 }

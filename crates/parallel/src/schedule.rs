@@ -88,17 +88,17 @@ impl PipelineSchedule {
     ) -> Result<Vec<PipelineOp>, ParallelError> {
         assert!(stage < num_stages, "stage out of range");
         match self {
-            PipelineSchedule::OneFOneB => {
-                Ok(one_f_one_b(stage, num_stages, num_microbatches, 1))
-            }
+            PipelineSchedule::OneFOneB => Ok(one_f_one_b(stage, num_stages, num_microbatches, 1)),
             PipelineSchedule::Interleaved(v) => {
                 if *v == 0 {
-                    return Err(ParallelError::InvalidPartition("zero virtual chunks".into()));
+                    return Err(ParallelError::InvalidPartition(
+                        "zero virtual chunks".into(),
+                    ));
                 }
                 if *v == 1 {
                     return Ok(one_f_one_b(stage, num_stages, num_microbatches, 1));
                 }
-                if num_microbatches % num_stages != 0 {
+                if !num_microbatches.is_multiple_of(num_stages) {
                     return Err(ParallelError::InvalidPartition(format!(
                         "interleaved schedule needs microbatches ({num_microbatches}) divisible \
                          by pipeline stages ({num_stages})"
@@ -129,7 +129,10 @@ fn one_f_one_b(stage: usize, num_stages: usize, m: usize, _v: usize) -> Vec<Pipe
         ops.push(PipelineOp::Forward { mb, chunk: 0 });
     }
     for i in 0..(m - warmup) {
-        ops.push(PipelineOp::Forward { mb: warmup + i, chunk: 0 });
+        ops.push(PipelineOp::Forward {
+            mb: warmup + i,
+            chunk: 0,
+        });
         ops.push(PipelineOp::Backward { mb: i, chunk: 0 });
     }
     for mb in (m - warmup)..m {
@@ -148,12 +151,18 @@ fn interleaved(stage: usize, num_stages: usize, m: usize, v: usize) -> Vec<Pipel
     let fwd_unit = |u: usize| -> PipelineOp {
         let g = u / (s * v);
         let p = u % (s * v);
-        PipelineOp::Forward { mb: g * s + p % s, chunk: p / s }
+        PipelineOp::Forward {
+            mb: g * s + p % s,
+            chunk: p / s,
+        }
     };
     let bwd_unit = |u: usize| -> PipelineOp {
         let g = u / (s * v);
         let p = u % (s * v);
-        PipelineOp::Backward { mb: g * s + p % s, chunk: v - 1 - p / s }
+        PipelineOp::Backward {
+            mb: g * s + p % s,
+            chunk: v - 1 - p / s,
+        }
     };
     let warmup = (2 * (s - stage - 1) + (v - 1) * s).min(units);
     let mut ops = Vec::with_capacity(2 * units);
@@ -176,10 +185,16 @@ mod tests {
     use std::collections::HashSet;
 
     fn check_complete(ops: &[PipelineOp], m: usize, v: usize) {
-        let fwd: HashSet<_> =
-            ops.iter().filter(|o| o.is_forward()).map(|o| (o.mb(), o.chunk())).collect();
-        let bwd: HashSet<_> =
-            ops.iter().filter(|o| !o.is_forward()).map(|o| (o.mb(), o.chunk())).collect();
+        let fwd: HashSet<_> = ops
+            .iter()
+            .filter(|o| o.is_forward())
+            .map(|o| (o.mb(), o.chunk()))
+            .collect();
+        let bwd: HashSet<_> = ops
+            .iter()
+            .filter(|o| !o.is_forward())
+            .map(|o| (o.mb(), o.chunk()))
+            .collect();
         assert_eq!(fwd.len(), m * v, "every (mb, chunk) forward exactly once");
         assert_eq!(bwd.len(), m * v, "every (mb, chunk) backward exactly once");
         assert_eq!(ops.len(), 2 * m * v);
@@ -242,8 +257,9 @@ mod tests {
             for v in [2usize, 4] {
                 let m = 2 * stages; // divisible by stages
                 for stage in 0..stages {
-                    let ops =
-                        PipelineSchedule::Interleaved(v).ops(stage, stages, m).unwrap();
+                    let ops = PipelineSchedule::Interleaved(v)
+                        .ops(stage, stages, m)
+                        .unwrap();
                     check_complete(&ops, m, v);
                     check_fwd_before_bwd(&ops);
                 }

@@ -26,7 +26,13 @@ pub struct ParallelismSpec {
 impl ParallelismSpec {
     /// A plain data-parallel spec.
     pub fn data_parallel(dp: usize) -> Self {
-        ParallelismSpec { tp: 1, pp: 1, ep: 1, dp, fsdp: false }
+        ParallelismSpec {
+            tp: 1,
+            pp: 1,
+            ep: 1,
+            dp,
+            fsdp: false,
+        }
     }
 
     /// Construct with explicit widths.
@@ -34,7 +40,13 @@ impl ParallelismSpec {
     /// # Errors
     ///
     /// Returns [`ParallelError::ZeroWidth`] for any zero width.
-    pub fn new(tp: usize, pp: usize, ep: usize, dp: usize, fsdp: bool) -> Result<Self, ParallelError> {
+    pub fn new(
+        tp: usize,
+        pp: usize,
+        ep: usize,
+        dp: usize,
+        fsdp: bool,
+    ) -> Result<Self, ParallelError> {
         for (w, name) in [(tp, "tp"), (pp, "pp"), (ep, "ep"), (dp, "dp")] {
             if w == 0 {
                 return Err(ParallelError::ZeroWidth(match name {
@@ -45,7 +57,13 @@ impl ParallelismSpec {
                 }));
             }
         }
-        Ok(ParallelismSpec { tp, pp, ep, dp, fsdp })
+        Ok(ParallelismSpec {
+            tp,
+            pp,
+            ep,
+            dp,
+            fsdp,
+        })
     }
 
     /// Construct from model-parallel widths, inferring DP so the spec fills
@@ -67,7 +85,7 @@ impl ParallelismSpec {
             return Err(ParallelError::ZeroWidth("model parallel"));
         }
         let mp = tp * pp * ep;
-        if mp == 0 || world % mp != 0 || world == 0 {
+        if mp == 0 || !world.is_multiple_of(mp) || world == 0 {
             return Err(ParallelError::WorldSizeMismatch { product: mp, world });
         }
         ParallelismSpec::new(tp, pp, ep, world / mp, fsdp)
@@ -123,14 +141,19 @@ impl ParallelismSpec {
                 "EP" => ep = width,
                 "FSDP" => fsdp_width = Some(width),
                 other => {
-                    return Err(ParallelError::ParseError(format!("unknown dimension '{other}'")))
+                    return Err(ParallelError::ParseError(format!(
+                        "unknown dimension '{other}'"
+                    )))
                 }
             }
         }
         if let Some(w) = fsdp_width {
             let spec = ParallelismSpec::new(tp, pp, ep, w, true)?;
             if spec.world() != world {
-                return Err(ParallelError::WorldSizeMismatch { product: spec.world(), world });
+                return Err(ParallelError::WorldSizeMismatch {
+                    product: spec.world(),
+                    world,
+                });
             }
             Ok(spec)
         } else {

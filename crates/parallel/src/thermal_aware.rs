@@ -22,7 +22,7 @@ use crate::spec::ParallelismSpec;
 /// divisible into 4-GPU stages with two stages per node.
 pub fn thermal_pp_spec(cluster: &Cluster) -> Result<ParallelismSpec, ParallelError> {
     let world = cluster.num_gpus();
-    if world % 4 != 0 || cluster.gpus_per_node() != 8 {
+    if !world.is_multiple_of(4) || cluster.gpus_per_node() != 8 {
         return Err(ParallelError::InvalidPlacement(format!(
             "thermal-aware placement expects 8-GPU nodes and world divisible by 4, got {} nodes \
              of {}",
@@ -68,7 +68,7 @@ pub fn symmetric_placement(cluster: &Cluster) -> Result<Placement, ParallelError
 /// Whether a pipeline stage lands on cold (front) GPUs under
 /// [`symmetric_placement`].
 pub fn is_cold_stage(stage: usize) -> bool {
-    stage % 2 == 0
+    stage.is_multiple_of(2)
 }
 
 /// The asymmetric layer partition: cold stages get one extra layer, hot
@@ -80,17 +80,23 @@ pub fn is_cold_stage(stage: usize) -> bool {
 /// Returns [`ParallelError::InvalidPartition`] if stages is odd or the even
 /// base split is impossible.
 pub fn asymmetric_partition(layers: usize, stages: usize) -> Result<StagePartition, ParallelError> {
-    if stages == 0 || stages % 2 != 0 {
+    if stages == 0 || !stages.is_multiple_of(2) {
         return Err(ParallelError::InvalidPartition(format!(
             "asymmetric split needs an even stage count, got {stages}"
         )));
     }
-    if layers % stages != 0 {
-        return Err(ParallelError::NotDivisible { what: "layers", value: layers, by: stages });
+    if !layers.is_multiple_of(stages) {
+        return Err(ParallelError::NotDivisible {
+            what: "layers",
+            value: layers,
+            by: stages,
+        });
     }
     let base = layers / stages;
     if base < 2 {
-        return Err(ParallelError::InvalidPartition("stages too shallow to shift a layer".into()));
+        return Err(ParallelError::InvalidPartition(
+            "stages too shallow to shift a layer".into(),
+        ));
     }
     let per_stage = (0..stages)
         .map(|s| if is_cold_stage(s) { base + 1 } else { base - 1 })

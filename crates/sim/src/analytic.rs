@@ -12,9 +12,9 @@
 use std::collections::HashMap;
 
 use charllm_hw::Cluster;
+use charllm_net::lower_collective;
 use charllm_parallel::Placement;
 use charllm_trace::{ExecutionTrace, Step};
-use charllm_net::lower_collective;
 
 use crate::error::SimError;
 
@@ -64,18 +64,17 @@ pub fn estimate(
     let mut coll_time: HashMap<u32, f64> = HashMap::new();
     let mut per_rank = vec![(0.0f64, 0.0f64); trace.world()]; // (compute, comm)
 
-    for rank in 0..trace.world() {
+    for (rank, totals) in per_rank.iter_mut().enumerate() {
         for step in trace.steps(rank) {
             match *step {
                 Step::Compute { kind, flops } => {
-                    per_rank[rank].0 += flops / (peak * kind.mfu());
+                    totals.0 += flops / (peak * kind.mfu());
                 }
                 Step::CollWait { coll } => {
                     let idx = coll.0;
                     let t = *coll_time.entry(idx).or_insert_with(|| {
                         let inst = trace.collective(coll);
-                        let gpus: Vec<_> =
-                            inst.group.iter().map(|&r| placement.gpu(r)).collect();
+                        let gpus: Vec<_> = inst.group.iter().map(|&r| placement.gpu(r)).collect();
                         let plan = lower_collective(
                             inst.kind,
                             inst.bytes_per_rank,
@@ -97,7 +96,7 @@ pub fn estimate(
                             })
                             .fold(0.0, f64::max)
                     });
-                    per_rank[rank].1 += t;
+                    totals.1 += t;
                 }
                 Step::CollStart { .. } => {}
             }
@@ -114,7 +113,11 @@ pub fn estimate(
         step_time_s,
         compute_s,
         comm_s,
-        tokens_per_s: if step_time_s > 0.0 { tokens / step_time_s } else { 0.0 },
+        tokens_per_s: if step_time_s > 0.0 {
+            tokens / step_time_s
+        } else {
+            0.0
+        },
     })
 }
 

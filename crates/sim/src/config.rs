@@ -55,12 +55,18 @@ impl Default for SimConfig {
 impl SimConfig {
     /// A fast configuration for unit tests: single iteration, no warmup.
     pub fn fast() -> Self {
-        SimConfig { iterations: 1, warmup_iterations: 0, ..SimConfig::default() }
+        SimConfig {
+            iterations: 1,
+            warmup_iterations: 0,
+            ..SimConfig::default()
+        }
     }
 
     /// Iterations included in measured statistics.
     pub fn measured_iterations(&self) -> usize {
-        self.iterations.saturating_sub(self.warmup_iterations).max(1)
+        self.iterations
+            .saturating_sub(self.warmup_iterations)
+            .max(1)
     }
 }
 
@@ -78,7 +84,11 @@ mod tests {
 
     #[test]
     fn measured_iterations_never_zero() {
-        let c = SimConfig { iterations: 1, warmup_iterations: 5, ..SimConfig::default() };
+        let c = SimConfig {
+            iterations: 1,
+            warmup_iterations: 5,
+            ..SimConfig::default()
+        };
         assert_eq!(c.measured_iterations(), 1);
         assert_eq!(SimConfig::default().measured_iterations(), 2);
     }

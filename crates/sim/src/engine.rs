@@ -3,11 +3,11 @@
 use std::collections::HashMap;
 
 use charllm_hw::{Cluster, GpuId, LinkId};
+use charllm_net::lower_collective;
 use charllm_parallel::Placement;
 use charllm_telemetry::{GpuSample, TelemetryStore};
 use charllm_thermal::{GovernorConfig, GpuThermal, GpuVariability, ThermalSpec};
 use charllm_trace::{ExecutionTrace, KernelClass, Step};
-use charllm_net::lower_collective;
 
 use crate::config::SimConfig;
 use crate::error::SimError;
@@ -19,7 +19,10 @@ enum RankMode {
     /// Ready to process its next step.
     Ready,
     /// Running a compute kernel.
-    Computing { kind: charllm_trace::ComputeKind, remaining_flops: f64 },
+    Computing {
+        kind: charllm_trace::ComputeKind,
+        remaining_flops: f64,
+    },
     /// Blocked on a collective.
     Waiting { coll: u32 },
     /// All iterations done.
@@ -189,7 +192,11 @@ impl<'a> Simulator<'a> {
             next_sample: cfg.sample_period_s,
             busy_time_denominator: 0.0,
             iteration_complete_at: vec![0.0; cfg.iterations],
-            measure_start: if cfg.warmup_iterations == 0 { Some(0.0) } else { None },
+            measure_start: if cfg.warmup_iterations == 0 {
+                Some(0.0)
+            } else {
+                None
+            },
             energy_measured_j: 0.0,
             cfg,
         })
@@ -215,7 +222,10 @@ impl<'a> Simulator<'a> {
                     if progressed {
                         continue;
                     }
-                    return Err(SimError::Deadlock { at_s: self.t, detail: self.blocked_summary() });
+                    return Err(SimError::Deadlock {
+                        at_s: self.t,
+                        detail: self.blocked_summary(),
+                    });
                 }
             };
 
@@ -226,7 +236,9 @@ impl<'a> Simulator<'a> {
                 self.next_control += self.cfg.control_period_s;
             }
             if self.t > self.cfg.max_sim_time_s {
-                return Err(SimError::Timeout { cap_s: self.cfg.max_sim_time_s });
+                return Err(SimError::Timeout {
+                    cap_s: self.cfg.max_sim_time_s,
+                });
             }
         }
         Ok(self.finish())
@@ -284,8 +296,10 @@ impl<'a> Simulator<'a> {
                     progressed = true;
                     match step {
                         Step::Compute { kind, flops } => {
-                            self.ranks[rank].mode =
-                                RankMode::Computing { kind, remaining_flops: flops };
+                            self.ranks[rank].mode = RankMode::Computing {
+                                kind,
+                                remaining_flops: flops,
+                            };
                             return progressed;
                         }
                         Step::CollStart { coll } => {
@@ -309,17 +323,29 @@ impl<'a> Simulator<'a> {
     fn arrive(&mut self, rank: usize, coll: u32) {
         let iter = self.ranks[rank].iteration as u32;
         let key = (iter, coll);
-        let inst = self.trace.collective(charllm_trace::task::CollectiveId(coll));
+        let inst = self
+            .trace
+            .collective(charllm_trace::task::CollectiveId(coll));
         let state = self.colls.entry(key).or_default();
         state.arrived += 1;
-        let ready = if inst.eager_p2p { true } else { state.arrived as usize == inst.group.len() };
+        let ready = if inst.eager_p2p {
+            true
+        } else {
+            state.arrived as usize == inst.group.len()
+        };
         if !ready || state.launched {
             return;
         }
         state.launched = true;
         let gpus: Vec<GpuId> = inst.group.iter().map(|&r| self.ranks[r].gpu).collect();
-        let plan = lower_collective(inst.kind, inst.bytes_per_rank, &gpus, self.cluster, inst.chunking)
-            .expect("placement-validated gpus");
+        let plan = lower_collective(
+            inst.kind,
+            inst.bytes_per_rank,
+            &gpus,
+            self.cluster,
+            inst.chunking,
+        )
+        .expect("placement-validated gpus");
         let measured = self.ranks[rank].iteration >= self.cfg.warmup_iterations;
         let mut active = 0u32;
         for flow in plan.flows {
@@ -364,8 +390,7 @@ impl<'a> Simulator<'a> {
 
     fn compute_rate(&self, rank: usize, kind: charllm_trace::ComputeKind) -> f64 {
         let gpu = self.ranks[rank].gpu.index();
-        let mut rate =
-            self.cluster.gpu().peak_fp16_flops * kind.mfu() * self.freq_ratio[gpu];
+        let mut rate = self.cluster.gpu().peak_fp16_flops * kind.mfu() * self.freq_ratio[gpu];
         if self.gpu_flow_count[gpu] > 0 {
             rate /= self.cfg.overlap_slowdown;
         }
@@ -387,7 +412,11 @@ impl<'a> Simulator<'a> {
         let mut dt = self.next_control - self.t;
         let mut any = false;
         for (rank, state) in self.ranks.iter().enumerate() {
-            if let RankMode::Computing { kind, remaining_flops } = state.mode {
+            if let RankMode::Computing {
+                kind,
+                remaining_flops,
+            } = state.mode
+            {
                 any = true;
                 let rate = self.compute_rate(rank, kind);
                 dt = dt.min(remaining_flops / rate);
@@ -410,18 +439,29 @@ impl<'a> Simulator<'a> {
             let gpu = self.ranks[rank].gpu.index();
             let measured = self.ranks[rank].iteration >= self.cfg.warmup_iterations;
             match self.ranks[rank].mode {
-                RankMode::Computing { kind, remaining_flops } => {
+                RankMode::Computing {
+                    kind,
+                    remaining_flops,
+                } => {
                     let rate = self.compute_rate(rank, kind);
                     let left = remaining_flops - rate * dt;
                     if measured {
                         self.kernel_time[rank].add(KernelClass::of_compute(kind), dt);
                     }
                     let act = kind.activity()
-                        + if self.gpu_flow_count[gpu] > 0 { 0.25 } else { 0.0 };
+                        + if self.gpu_flow_count[gpu] > 0 {
+                            0.25
+                        } else {
+                            0.0
+                        };
                     self.activity_acc[gpu] += act.min(1.0) * dt;
                     self.util_acc[gpu] += dt;
                     let (w, tb) = kernel_pressure(kind);
-                    let comm = if self.gpu_flow_count[gpu] > 0 { 1.0 } else { 0.0 };
+                    let comm = if self.gpu_flow_count[gpu] > 0 {
+                        1.0
+                    } else {
+                        0.0
+                    };
                     let occ = &mut self.occ_acc[gpu];
                     occ.0 += dt;
                     occ.1 += (w + 0.2 * comm) * dt;
@@ -429,13 +469,16 @@ impl<'a> Simulator<'a> {
                     if left <= 1.0 {
                         self.ranks[rank].mode = RankMode::Ready;
                     } else {
-                        self.ranks[rank].mode =
-                            RankMode::Computing { kind, remaining_flops: left };
+                        self.ranks[rank].mode = RankMode::Computing {
+                            kind,
+                            remaining_flops: left,
+                        };
                     }
                 }
                 RankMode::Waiting { coll } => {
-                    let inst =
-                        self.trace.collective(charllm_trace::task::CollectiveId(coll));
+                    let inst = self
+                        .trace
+                        .collective(charllm_trace::task::CollectiveId(coll));
                     if measured {
                         self.kernel_time[rank].add(inst.class(), dt);
                     }
@@ -478,14 +521,12 @@ impl<'a> Simulator<'a> {
                 for &gpu in &[src, dst] {
                     let owns = match class {
                         charllm_hw::LinkClass::Pcie => self.cluster.pcie(gpu) == id,
-                        charllm_hw::LinkClass::NvLink
-                        | charllm_hw::LinkClass::XgmiPort => {
+                        charllm_hw::LinkClass::NvLink | charllm_hw::LinkClass::XgmiPort => {
                             self.cluster.fabric_port(gpu) == id
                         }
                         charllm_hw::LinkClass::XgmiPackage => {
                             // Package bus: charge both endpoints.
-                            self.cluster.same_package(src, dst)
-                                && (gpu == src || gpu == dst)
+                            self.cluster.same_package(src, dst) && (gpu == src || gpu == dst)
                         }
                         charllm_hw::LinkClass::Nic => false,
                     };
@@ -527,8 +568,10 @@ impl<'a> Simulator<'a> {
         for node in 0..self.cluster.num_nodes() {
             let node_powers: Vec<f64> = (0..slots)
                 .map(|s| {
-                    let gpu =
-                        self.cluster.gpu_at(charllm_hw::NodeId(node as u32), s).index();
+                    let gpu = self
+                        .cluster
+                        .gpu_at(charllm_hw::NodeId(node as u32), s)
+                        .index();
                     self.last_power_w[gpu]
                 })
                 .collect();
@@ -604,10 +647,17 @@ impl<'a> Simulator<'a> {
             iteration_times.iter().sum::<f64>() / iteration_times.len().max(1) as f64
         };
         let tokens_per_iter = self.trace.meta().tokens_per_iteration as f64;
-        let tokens_per_s = if step_time > 0.0 { tokens_per_iter / step_time } else { 0.0 };
+        let tokens_per_s = if step_time > 0.0 {
+            tokens_per_iter / step_time
+        } else {
+            0.0
+        };
         let energy_per_step = self.energy_measured_j / measured_iters;
-        let tokens_per_joule =
-            if energy_per_step > 0.0 { tokens_per_iter / energy_per_step } else { 0.0 };
+        let tokens_per_joule = if energy_per_step > 0.0 {
+            tokens_per_iter / energy_per_step
+        } else {
+            0.0
+        };
 
         let occupancy = self
             .occ_acc
@@ -635,7 +685,11 @@ impl<'a> Simulator<'a> {
                 .collect(),
             traffic: self.traffic,
             telemetry: self.telemetry,
-            throttle_ratio: self.thermals.iter().map(GpuThermal::throttle_ratio).collect(),
+            throttle_ratio: self
+                .thermals
+                .iter()
+                .map(GpuThermal::throttle_ratio)
+                .collect(),
             thermal_throttle_ratio: self
                 .thermals
                 .iter()
@@ -663,13 +717,13 @@ mod tests {
     use super::*;
     use charllm_hw::{presets, GpuModel, NodeLayout};
     use charllm_models::{presets as models, TrainJob};
+    use charllm_net::ChunkingPolicy;
+    use charllm_net::CollectiveKind;
     use charllm_parallel::{ParallelismSpec, PipelineSchedule, StagePartition};
     use charllm_trace::builder::{CollKey, TraceBuilder};
     use charllm_trace::lower::{lower_train, DeviceHints};
     use charllm_trace::trace::TraceMeta;
     use charllm_trace::ComputeKind;
-    use charllm_net::CollectiveKind;
-    use charllm_net::ChunkingPolicy;
 
     fn one_node_cluster() -> Cluster {
         Cluster::new("8xH200", GpuModel::H200.spec(), NodeLayout::hgx(), 1).unwrap()
@@ -677,7 +731,10 @@ mod tests {
 
     fn run_trace(cluster: &Cluster, trace: &ExecutionTrace, cfg: SimConfig) -> SimResult {
         let placement = Placement::identity(cluster, trace.world()).unwrap();
-        Simulator::new(cluster, &placement, trace, cfg).unwrap().run().unwrap()
+        Simulator::new(cluster, &placement, trace, cfg)
+            .unwrap()
+            .run()
+            .unwrap()
     }
 
     #[test]
@@ -686,7 +743,10 @@ mod tests {
         let mut b = TraceBuilder::new(1);
         // 1e14 FLOPs of GEMM at 1 PFLOP/s * 0.55 MFU = ~0.1818 s.
         b.compute(0, ComputeKind::Gemm, 1e14);
-        let trace = b.build(TraceMeta { tokens_per_iteration: 1000, ..Default::default() });
+        let trace = b.build(TraceMeta {
+            tokens_per_iteration: 1000,
+            ..Default::default()
+        });
         let mut cfg = SimConfig::fast();
         cfg.thermal_feedback = false; // pinned clocks for the analytic check
         let r = run_trace(&cluster, &trace, cfg);
@@ -706,7 +766,13 @@ mod tests {
         b.compute(0, ComputeKind::Gemm, 1e12); // fast rank
         b.compute(1, ComputeKind::Gemm, 5e13); // slow rank
         let id = b.collective(
-            CollKey { site: "ar", mb: 0, layer: 0, aux: 0, group_lead: 0 },
+            CollKey {
+                site: "ar",
+                mb: 0,
+                layer: 0,
+                aux: 0,
+                group_lead: 0,
+            },
             CollectiveKind::AllReduce,
             1 << 20,
             vec![0, 1],
@@ -715,14 +781,20 @@ mod tests {
         );
         b.blocking(0, id);
         b.blocking(1, id);
-        let trace = b.build(TraceMeta { tokens_per_iteration: 1, ..Default::default() });
+        let trace = b.build(TraceMeta {
+            tokens_per_iteration: 1,
+            ..Default::default()
+        });
         let mut cfg = SimConfig::fast();
         cfg.thermal_feedback = false;
         let r = run_trace(&cluster, &trace, cfg);
         // The fast rank spends most of the step waiting in AllReduce.
         let fast_wait = r.kernel_time[0].get(KernelClass::AllReduce);
         let slow_wait = r.kernel_time[1].get(KernelClass::AllReduce);
-        assert!(fast_wait > 10.0 * slow_wait.max(1e-6), "fast {fast_wait} slow {slow_wait}");
+        assert!(
+            fast_wait > 10.0 * slow_wait.max(1e-6),
+            "fast {fast_wait} slow {slow_wait}"
+        );
     }
 
     #[test]
@@ -730,7 +802,13 @@ mod tests {
         let cluster = one_node_cluster();
         let mut b = TraceBuilder::new(2);
         let id = b.collective(
-            CollKey { site: "p2p", mb: 0, layer: 0, aux: 0, group_lead: 0 },
+            CollKey {
+                site: "p2p",
+                mb: 0,
+                layer: 0,
+                aux: 0,
+                group_lead: 0,
+            },
             CollectiveKind::SendRecv,
             1 << 20,
             vec![0, 1],
@@ -743,7 +821,13 @@ mod tests {
         // LATER iteration than rank 1 expects... simplest: sender starts
         // after an impossible wait on a second collective.
         let id2 = b.collective(
-            CollKey { site: "p2p2", mb: 0, layer: 0, aux: 0, group_lead: 0 },
+            CollKey {
+                site: "p2p2",
+                mb: 0,
+                layer: 0,
+                aux: 0,
+                group_lead: 0,
+            },
             CollectiveKind::SendRecv,
             1 << 20,
             vec![1, 0],
@@ -753,7 +837,7 @@ mod tests {
         b.wait(0, id2); // rank 0 waits for rank 1...
         b.start(0, id);
         b.start(1, id2); // ...but rank 1 only sends after its own wait
-        // Reorder rank 1: wait(id) then start(id2) => classic cycle.
+                         // Reorder rank 1: wait(id) then start(id2) => classic cycle.
         let trace = b.build(TraceMeta::default());
         let placement = Placement::identity(&cluster, 2).unwrap();
         let res = Simulator::new(&cluster, &placement, &trace, SimConfig::fast())
@@ -781,7 +865,10 @@ mod tests {
         assert!(nv > 0.0, "expected NVLink traffic");
         // All ranks spent time in GEMMs.
         for rank in 0..8 {
-            assert!(r.kernel_time[rank].get(KernelClass::Gemm) > 0.0, "rank {rank}");
+            assert!(
+                r.kernel_time[rank].get(KernelClass::Gemm) > 0.0,
+                "rank {rank}"
+            );
         }
         // Telemetry got sampled.
         assert!(r.telemetry.power(0).len() > 2);
@@ -848,7 +935,13 @@ mod tests {
         let cluster = one_node_cluster();
         let mut b = TraceBuilder::new(2);
         let id = b.collective(
-            CollKey { site: "ar", mb: 0, layer: 0, aux: 0, group_lead: 0 },
+            CollKey {
+                site: "ar",
+                mb: 0,
+                layer: 0,
+                aux: 0,
+                group_lead: 0,
+            },
             CollectiveKind::AllReduce,
             8,
             vec![0, 1],

@@ -35,10 +35,17 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::InvalidTrace(problems) => {
-                write!(f, "trace failed validation with {} problems: {:?}", problems.len(),
-                    problems.iter().take(3).collect::<Vec<_>>())
+                write!(
+                    f,
+                    "trace failed validation with {} problems: {:?}",
+                    problems.len(),
+                    problems.iter().take(3).collect::<Vec<_>>()
+                )
             }
-            SimError::PlacementMismatch { trace_world, placement_world } => write!(
+            SimError::PlacementMismatch {
+                trace_world,
+                placement_world,
+            } => write!(
                 f,
                 "trace has {trace_world} ranks but placement covers {placement_world}"
             ),
@@ -65,9 +72,15 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = SimError::Deadlock { at_s: 1.5, detail: "rank 0 waiting".into() };
+        let e = SimError::Deadlock {
+            at_s: 1.5,
+            detail: "rank 0 waiting".into(),
+        };
         assert!(e.to_string().contains("1.5"));
-        let e = SimError::PlacementMismatch { trace_world: 8, placement_world: 4 };
+        let e = SimError::PlacementMismatch {
+            trace_world: 8,
+            placement_world: 4,
+        };
         assert!(e.to_string().contains('8'));
     }
 }

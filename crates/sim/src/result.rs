@@ -42,7 +42,11 @@ impl KernelBreakdown {
 
     /// Total communication time.
     pub fn comm_total(&self) -> f64 {
-        KernelClass::all().iter().filter(|c| c.is_comm()).map(|c| self.get(*c)).sum()
+        KernelClass::all()
+            .iter()
+            .filter(|c| c.is_comm())
+            .map(|c| self.get(*c))
+            .sum()
     }
 
     /// Total compute time.
@@ -77,7 +81,9 @@ pub struct TrafficMatrix {
 
 impl TrafficMatrix {
     pub(crate) fn new(num_gpus: usize) -> Self {
-        TrafficMatrix { bytes: vec![[0.0; 5]; num_gpus] }
+        TrafficMatrix {
+            bytes: vec![[0.0; 5]; num_gpus],
+        }
     }
 
     fn idx(class: LinkClass) -> usize {

@@ -18,7 +18,11 @@ pub struct SeriesSummary {
 impl SeriesSummary {
     /// Summarize a series.
     pub fn of(series: &TimeSeries) -> Self {
-        SeriesSummary { mean: series.mean(), peak: series.peak(), min: series.min() }
+        SeriesSummary {
+            mean: series.mean(),
+            peak: series.peak(),
+            min: series.min(),
+        }
     }
 }
 

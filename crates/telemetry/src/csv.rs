@@ -77,7 +77,13 @@ mod tests {
             store.record(
                 g,
                 0.0,
-                GpuSample { power_w: 100.0, temp_c: 40.0, freq_mhz: 1980.0, util: 1.0, pcie_gbps: 0.5 },
+                GpuSample {
+                    power_w: 100.0,
+                    temp_c: 40.0,
+                    freq_mhz: 1980.0,
+                    util: 1.0,
+                    pcie_gbps: 0.5,
+                },
             );
         }
         let mut buf = Vec::new();

@@ -53,7 +53,11 @@ impl Heatmap {
                     .collect()
             })
             .collect();
-        Heatmap { rows: self.rows.clone(), cols: self.cols.clone(), values }
+        Heatmap {
+            rows: self.rows.clone(),
+            cols: self.cols.clone(),
+            values,
+        }
     }
 
     /// Render as a CSV table (header row of column labels).

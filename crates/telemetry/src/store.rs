@@ -97,7 +97,10 @@ impl TelemetryStore {
 
     /// Peak instantaneous power of any GPU, watts.
     pub fn peak_power_w(&self) -> f64 {
-        self.power_w.iter().map(TimeSeries::peak).fold(0.0, f64::max)
+        self.power_w
+            .iter()
+            .map(TimeSeries::peak)
+            .fold(0.0, f64::max)
     }
 
     /// Cluster-mean of per-GPU average temperature, °C.
@@ -151,7 +154,13 @@ mod tests {
     use super::*;
 
     fn sample(p: f64) -> GpuSample {
-        GpuSample { power_w: p, temp_c: 50.0, freq_mhz: 1980.0, util: 0.9, pcie_gbps: 2.0 }
+        GpuSample {
+            power_w: p,
+            temp_c: 50.0,
+            freq_mhz: 1980.0,
+            util: 0.9,
+            pcie_gbps: 2.0,
+        }
     }
 
     #[test]

@@ -64,9 +64,16 @@ impl TimeSeries {
 
     /// Maximum value (0.0 when empty).
     pub fn peak(&self) -> f64 {
-        self.v.iter().copied().fold(f64::NEG_INFINITY, f64::max).max(0.0).min(
-            if self.v.is_empty() { 0.0 } else { f64::INFINITY },
-        )
+        self.v
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max(0.0)
+            .min(if self.v.is_empty() {
+                0.0
+            } else {
+                f64::INFINITY
+            })
     }
 
     /// Minimum value (0.0 when empty).
@@ -91,7 +98,10 @@ impl TimeSeries {
     /// as the paper discards its first 10).
     pub fn since(&self, from: f64) -> TimeSeries {
         let start = self.t.partition_point(|&t| t < from);
-        TimeSeries { t: self.t[start..].to_vec(), v: self.v[start..].to_vec() }
+        TimeSeries {
+            t: self.t[start..].to_vec(),
+            v: self.v[start..].to_vec(),
+        }
     }
 
     /// A percentile of the values (linear interpolation; `p` in `[0, 100]`).

@@ -139,7 +139,9 @@ impl DvfsGovernor {
         if self.freq_mhz > cap_mhz {
             self.freq_mhz = cap_mhz;
         }
-        self.freq_mhz = self.freq_mhz.clamp(spec.min_clock_mhz, spec.boost_clock_mhz);
+        self.freq_mhz = self
+            .freq_mhz
+            .clamp(spec.min_clock_mhz, spec.boost_clock_mhz);
 
         // Throttle residency: what NVML reports is "clock held below boost
         // while busy", not the instants the governor stepped down.

@@ -105,7 +105,9 @@ impl GpuThermal {
     /// `activity` (0..1) and effective inlet temperature.
     pub fn step(&mut self, activity: f64, inlet_c: f64, dt_s: f64) -> ThermalSample {
         let eff = self.variability.power_efficiency;
-        let reason = self.governor.update(&self.spec, &self.power_model, self.temp_c, activity, eff);
+        let reason =
+            self.governor
+                .update(&self.spec, &self.power_model, self.temp_c, activity, eff);
         let freq_ratio = self.freq_ratio();
         self.power_w = self.power_model.power_w(activity, freq_ratio, eff);
         self.temp_c = self.thermal.step(
@@ -134,7 +136,13 @@ mod tests {
     fn gpu(inlet: f64, variability: GpuVariability) -> GpuThermal {
         let spec = GpuModel::H200.spec();
         let cfg = GovernorConfig::for_spec(&spec);
-        GpuThermal::new(spec, ThermalSpec::for_model(GpuModel::H200), cfg, variability, inlet)
+        GpuThermal::new(
+            spec,
+            ThermalSpec::for_model(GpuModel::H200),
+            cfg,
+            variability,
+            inlet,
+        )
     }
 
     #[test]
@@ -167,8 +175,16 @@ mod tests {
             rear.step(1.0, 42.0, 0.1);
         }
         assert!(rear.temp_c() > front.temp_c() + 8.0);
-        assert!(rear.thermal_throttle_ratio() > 0.05, "rear ratio = {}", rear.thermal_throttle_ratio());
-        assert!(front.thermal_throttle_ratio() < 0.02, "front ratio = {}", front.thermal_throttle_ratio());
+        assert!(
+            rear.thermal_throttle_ratio() > 0.05,
+            "rear ratio = {}",
+            rear.thermal_throttle_ratio()
+        );
+        assert!(
+            front.thermal_throttle_ratio() < 0.02,
+            "front ratio = {}",
+            front.thermal_throttle_ratio()
+        );
         assert!(rear.freq_mhz() < front.freq_mhz());
     }
 
@@ -195,7 +211,10 @@ mod tests {
 
     #[test]
     fn variability_shifts_thermal_outcome() {
-        let hot_silicon = GpuVariability { power_efficiency: 1.03, cooling: 1.04 };
+        let hot_silicon = GpuVariability {
+            power_efficiency: 1.03,
+            cooling: 1.04,
+        };
         let mut bad = gpu(26.0, hot_silicon);
         let mut good = gpu(26.0, GpuVariability::nominal());
         for _ in 0..1200 {

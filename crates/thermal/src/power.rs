@@ -102,7 +102,10 @@ mod tests {
         let m = model();
         let full = m.power_w(1.0, 1.0, 1.0) - m.idle_w;
         let half = m.power_w(1.0, 0.5, 1.0) - m.idle_w;
-        assert!(half < 0.25 * full, "2.4 exponent: half-clock < quarter dynamic power");
+        assert!(
+            half < 0.25 * full,
+            "2.4 exponent: half-clock < quarter dynamic power"
+        );
     }
 
     #[test]

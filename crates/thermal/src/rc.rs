@@ -27,9 +27,15 @@ impl ThermalSpec {
     pub fn for_model(model: GpuModel) -> Self {
         match model {
             // 650 W sustained -> ~40 °C rise over inlet.
-            GpuModel::H100 | GpuModel::H200 => ThermalSpec { r_c_per_w: 0.062, c_j_per_c: 520.0 },
+            GpuModel::H100 | GpuModel::H200 => ThermalSpec {
+                r_c_per_w: 0.062,
+                c_j_per_c: 520.0,
+            },
             // 240 W sustained per GCD -> ~43 °C rise over inlet.
-            GpuModel::Mi250Gcd => ThermalSpec { r_c_per_w: 0.18, c_j_per_c: 180.0 },
+            GpuModel::Mi250Gcd => ThermalSpec {
+                r_c_per_w: 0.18,
+                c_j_per_c: 180.0,
+            },
         }
     }
 

@@ -21,7 +21,10 @@ pub struct GpuVariability {
 
 impl Default for GpuVariability {
     fn default() -> Self {
-        GpuVariability { power_efficiency: 1.0, cooling: 1.0 }
+        GpuVariability {
+            power_efficiency: 1.0,
+            cooling: 1.0,
+        }
     }
 }
 

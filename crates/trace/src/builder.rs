@@ -48,7 +48,10 @@ impl TraceBuilder {
 
     /// Append a compute kernel to a rank's stream.
     pub fn compute(&mut self, rank: usize, kind: ComputeKind, flops: f64) {
-        debug_assert!(flops.is_finite() && flops >= 0.0, "flops must be non-negative");
+        debug_assert!(
+            flops.is_finite() && flops >= 0.0,
+            "flops must be non-negative"
+        );
         if flops > 0.0 {
             self.steps[rank].push(Step::Compute { kind, flops });
         }
@@ -69,7 +72,10 @@ impl TraceBuilder {
     ) -> CollectiveId {
         if let Some(&id) = self.index.get(&key) {
             let existing = &self.collectives[id.index()];
-            debug_assert_eq!(existing.kind, kind, "collective key reused with a different kind");
+            debug_assert_eq!(
+                existing.kind, kind,
+                "collective key reused with a different kind"
+            );
             debug_assert_eq!(existing.bytes_per_rank, bytes_per_rank);
             debug_assert_eq!(existing.group, group);
             return id;
@@ -113,7 +119,13 @@ mod tests {
     use super::*;
 
     fn key(site: &'static str, mb: u32) -> CollKey {
-        CollKey { site, mb, layer: 0, aux: 0, group_lead: 0 }
+        CollKey {
+            site,
+            mb,
+            layer: 0,
+            aux: 0,
+            group_lead: 0,
+        }
     }
 
     #[test]

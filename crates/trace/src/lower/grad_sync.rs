@@ -12,8 +12,7 @@ use super::Ctx;
 pub(crate) fn grad_bytes(ctx: &Ctx<'_>, rank: usize) -> u64 {
     let stage = ctx.grid.coords(rank).pp;
     if let Some(lora) = &ctx.job.optim.lora {
-        let trainable =
-            lora.trainable_params(&ctx.job.arch) / (ctx.spec.tp * ctx.spec.pp) as u64;
+        let trainable = lora.trainable_params(&ctx.job.arch) / (ctx.spec.tp * ctx.spec.pp) as u64;
         return trainable * ctx.job.precision.bytes();
     }
     rank_params(ctx.job, ctx.spec, ctx.partition, stage) * ctx.job.precision.bytes()
@@ -61,7 +60,13 @@ impl GradSync {
             let bytes = grad_bytes(ctx, rank);
             if ctx.job.optim.lora.is_some() {
                 pending.push(Pending {
-                    key: CollKey { site: "lora-ar", mb: 0, layer: 0, aux: 0, group_lead: lead },
+                    key: CollKey {
+                        site: "lora-ar",
+                        mb: 0,
+                        layer: 0,
+                        aux: 0,
+                        group_lead: lead,
+                    },
                     kind: CollectiveKind::AllReduce,
                     bytes,
                     group: dp_group,
@@ -69,14 +74,26 @@ impl GradSync {
                 });
             } else if ctx.job.optim.distributed_optimizer {
                 pending.push(Pending {
-                    key: CollKey { site: "dp-rs", mb: 0, layer: 0, aux: 0, group_lead: lead },
+                    key: CollKey {
+                        site: "dp-rs",
+                        mb: 0,
+                        layer: 0,
+                        aux: 0,
+                        group_lead: lead,
+                    },
                     kind: CollectiveKind::ReduceScatter,
                     bytes,
                     group: dp_group.clone(),
                     post_optimizer: false,
                 });
                 pending.push(Pending {
-                    key: CollKey { site: "dp-ag", mb: 0, layer: 0, aux: 0, group_lead: lead },
+                    key: CollKey {
+                        site: "dp-ag",
+                        mb: 0,
+                        layer: 0,
+                        aux: 0,
+                        group_lead: lead,
+                    },
                     kind: CollectiveKind::AllGather,
                     bytes,
                     group: dp_group,
@@ -84,7 +101,13 @@ impl GradSync {
                 });
             } else {
                 pending.push(Pending {
-                    key: CollKey { site: "dp-ar", mb: 0, layer: 0, aux: 0, group_lead: lead },
+                    key: CollKey {
+                        site: "dp-ar",
+                        mb: 0,
+                        layer: 0,
+                        aux: 0,
+                        group_lead: lead,
+                    },
                     kind: CollectiveKind::AllReduce,
                     bytes,
                     group: dp_group,
@@ -92,7 +115,11 @@ impl GradSync {
                 });
             }
         }
-        GradSync { pending, started: Vec::new(), overlap_started: false }
+        GradSync {
+            pending,
+            started: Vec::new(),
+            overlap_started: false,
+        }
     }
 
     /// Start the pre-optimizer collectives early (compute–communication
@@ -142,7 +169,11 @@ impl GradSync {
         // Optimizer: memory-bound over ~20 bytes per updated parameter.
         let params = optimizer_params(ctx, rank) as f64;
         let seconds = params * 20.0 / (ctx.hints.hbm_bw_gbps * 1e9);
-        b.compute(rank, ComputeKind::Optimizer, seconds * ctx.hints.peak_fp16_flops);
+        b.compute(
+            rank,
+            ComputeKind::Optimizer,
+            seconds * ctx.hints.peak_fp16_flops,
+        );
 
         // Post-optimizer collectives (ZeRO-1 parameter AllGather).
         for p in self.pending.iter().filter(|p| p.post_optimizer) {

@@ -32,7 +32,11 @@ pub struct InferenceConfig {
 
 impl Default for InferenceConfig {
     fn default() -> Self {
-        InferenceConfig { batch: 8, prompt_len: 512, decode_tokens: 32 }
+        InferenceConfig {
+            batch: 8,
+            prompt_len: 512,
+            decode_tokens: 32,
+        }
     }
 }
 
@@ -57,7 +61,9 @@ pub fn lower_inference(
         )));
     }
     if cfg.batch == 0 || cfg.prompt_len == 0 {
-        return Err(TraceError::Mismatch("inference batch and prompt must be non-zero".into()));
+        return Err(TraceError::Mismatch(
+            "inference batch and prompt must be non-zero".into(),
+        ));
     }
     let grid = RankGrid::new(*spec);
 
@@ -88,7 +94,13 @@ pub fn lower_inference(
             let col0 = grid.rank(RankCoords { pp: 0, ..c }) as u32;
             let first_rank = grid.rank(RankCoords { pp: 0, ..c });
             let id = b.collective(
-                CollKey { site: "dec-next", mb: 1, layer: 0, aux: 0, group_lead: col0 },
+                CollKey {
+                    site: "dec-next",
+                    mb: 1,
+                    layer: 0,
+                    aux: 0,
+                    group_lead: col0,
+                },
                 CollectiveKind::SendRecv,
                 (cfg.batch * 4) as u64,
                 vec![rank, first_rank],
@@ -102,11 +114,19 @@ pub fn lower_inference(
 
     let tokens_generated = (cfg.batch * cfg.decode_tokens.max(1) * spec.dp) as u64;
     let meta = TraceMeta {
-        label: format!("{} {} inference b{}", job.arch.name, spec.label(), cfg.batch),
+        label: format!(
+            "{} {} inference b{}",
+            job.arch.name,
+            spec.label(),
+            cfg.batch
+        ),
         tokens_per_iteration: tokens_generated,
         cc_overlap: false,
     };
-    Ok(LoweredJob { trace: b.build(meta), grad_bytes_per_rank: 0 })
+    Ok(LoweredJob {
+        trace: b.build(meta),
+        grad_bytes_per_rank: 0,
+    })
 }
 
 fn emit_decode_steps(
@@ -129,8 +149,17 @@ fn emit_decode_steps(
 
         // The sampled token travels from the last stage back to stage 0.
         if spec.pp > 1 {
-            let key = CollKey { site: "dec-next", mb, layer: 0, aux: 0, group_lead: col0 };
-            let last_rank = ctx.grid.rank(RankCoords { pp: last_stage, ..c });
+            let key = CollKey {
+                site: "dec-next",
+                mb,
+                layer: 0,
+                aux: 0,
+                group_lead: col0,
+            };
+            let last_rank = ctx.grid.rank(RankCoords {
+                pp: last_stage,
+                ..c
+            });
             let first_rank = ctx.grid.rank(RankCoords { pp: 0, ..c });
             if c.pp == 0 {
                 let id = b.collective(
@@ -149,7 +178,13 @@ fn emit_decode_steps(
         if c.pp > 0 {
             let prev = ctx.grid.rank(RankCoords { pp: c.pp - 1, ..c });
             let id = b.collective(
-                CollKey { site: "dec-act", mb, layer: 0, aux: c.pp as u32, group_lead: col0 },
+                CollKey {
+                    site: "dec-act",
+                    mb,
+                    layer: 0,
+                    aux: c.pp as u32,
+                    group_lead: col0,
+                },
                 CollectiveKind::SendRecv,
                 (tokens * arch.hidden as f64 * 2.0 / tp) as u64,
                 vec![prev, rank],
@@ -165,11 +200,21 @@ fn emit_decode_steps(
             // QKV/O projections for one new token per sequence.
             b.compute(rank, ComputeKind::Gemm, f.attn_gemm * tokens / tp);
             // Attention over the full KV cache.
-            b.compute(rank, ComputeKind::Attention, 4.0 * ctx_len * arch.hidden as f64 * tokens / tp);
+            b.compute(
+                rank,
+                ComputeKind::Attention,
+                4.0 * ctx_len * arch.hidden as f64 * tokens / tp,
+            );
             if spec.tp > 1 {
                 let group = ctx.grid.tp_group(rank);
                 let id = b.collective(
-                    CollKey { site: "dec-ar1", mb, layer: gl, aux: 0, group_lead: group[0] as u32 },
+                    CollKey {
+                        site: "dec-ar1",
+                        mb,
+                        layer: gl,
+                        aux: 0,
+                        group_lead: group[0] as u32,
+                    },
                     CollectiveKind::AllReduce,
                     (tokens * arch.hidden as f64 * 2.0) as u64,
                     group,
@@ -208,7 +253,13 @@ fn emit_decode_steps(
             if spec.tp > 1 {
                 let group = ctx.grid.tp_group(rank);
                 let id = b.collective(
-                    CollKey { site: "dec-ar2", mb, layer: gl, aux: 0, group_lead: group[0] as u32 },
+                    CollKey {
+                        site: "dec-ar2",
+                        mb,
+                        layer: gl,
+                        aux: 0,
+                        group_lead: group[0] as u32,
+                    },
                     CollectiveKind::AllReduce,
                     (tokens * arch.hidden as f64 * 2.0) as u64,
                     group,
@@ -286,7 +337,11 @@ mod tests {
             &spec,
             &partition,
             &hints(),
-            InferenceConfig { batch, prompt_len: 256, decode_tokens: 8 },
+            InferenceConfig {
+                batch,
+                prompt_len: 256,
+                decode_tokens: 8,
+            },
         )
         .unwrap()
     }
@@ -326,9 +381,7 @@ mod tests {
     fn larger_batch_processes_more_tokens() {
         let small = lower(2, 8, 4);
         let large = lower(8, 8, 4);
-        assert!(
-            large.trace.meta().tokens_per_iteration > small.trace.meta().tokens_per_iteration
-        );
+        assert!(large.trace.meta().tokens_per_iteration > small.trace.meta().tokens_per_iteration);
         assert!(large.trace.total_flops() > small.trace.total_flops());
     }
 
@@ -354,7 +407,11 @@ mod tests {
             &spec,
             &partition,
             &hints(),
-            InferenceConfig { batch: 0, prompt_len: 128, decode_tokens: 4 },
+            InferenceConfig {
+                batch: 0,
+                prompt_len: 128,
+                decode_tokens: 4
+            },
         )
         .is_err());
     }

@@ -74,7 +74,11 @@ pub(crate) fn emit_layer(
 
     // Attention block.
     b.compute(rank, ComputeKind::Gemm, f.attn_gemm * tokens / tp * mult);
-    b.compute(rank, ComputeKind::Attention, f.attn_score * tokens / tp * mult);
+    b.compute(
+        rank,
+        ComputeKind::Attention,
+        f.attn_score * tokens / tp * mult,
+    );
 
     // First TP AllReduce (after attention output projection).
     let ar1 = tp_allreduce(b, ctx, rank, mbu, gl, pass.site_ar(1));
@@ -93,11 +97,15 @@ pub(crate) fn emit_layer(
         }
         Some(_) => {
             b.compute(rank, ComputeKind::Router, f.moe_router * tokens / tp * mult);
-            let a2a_bytes = (tokens * arch.hidden as f64 * 2.0
-                * arch.moe.expect("moe").top_k as f64
-                / tp) as u64;
+            let a2a_bytes =
+                (tokens * arch.hidden as f64 * 2.0 * arch.moe.expect("moe").top_k as f64 / tp)
+                    as u64;
             blocking_a2a(b, ctx, rank, mbu, gl, pass.site_a2a(1), a2a_bytes);
-            b.compute(rank, ComputeKind::MoeGemm, f.moe_expert_gemm * tokens / tp * mult);
+            b.compute(
+                rank,
+                ComputeKind::MoeGemm,
+                f.moe_expert_gemm * tokens / tp * mult,
+            );
             blocking_a2a(b, ctx, rank, mbu, gl, pass.site_a2a(2), a2a_bytes);
         }
     }
@@ -131,9 +139,12 @@ pub(crate) fn fsdp_allgather(
         return None;
     }
     let group = ctx.grid.dp_group(rank);
-    let bytes = (ctx.job.arch.params_per_layer() / ctx.spec.tp as u64)
-        * ctx.job.precision.bytes();
-    let site = if pass == Pass::Forward { "fsdp-ag-f" } else { "fsdp-ag-b" };
+    let bytes = (ctx.job.arch.params_per_layer() / ctx.spec.tp as u64) * ctx.job.precision.bytes();
+    let site = if pass == Pass::Forward {
+        "fsdp-ag-f"
+    } else {
+        "fsdp-ag-b"
+    };
     Some(b.collective(
         CollKey {
             site,
@@ -163,8 +174,7 @@ pub(crate) fn fsdp_reducescatter(
         return None;
     }
     let group = ctx.grid.dp_group(rank);
-    let bytes = (ctx.job.arch.params_per_layer() / ctx.spec.tp as u64)
-        * ctx.job.precision.bytes();
+    let bytes = (ctx.job.arch.params_per_layer() / ctx.spec.tp as u64) * ctx.job.precision.bytes();
     Some(b.collective(
         CollKey {
             site: "fsdp-rs",
@@ -194,7 +204,13 @@ fn tp_allreduce(
     }
     let group = ctx.grid.tp_group(rank);
     Some(b.collective(
-        CollKey { site, mb, layer, aux: 0, group_lead: group[0] as u32 },
+        CollKey {
+            site,
+            mb,
+            layer,
+            aux: 0,
+            group_lead: group[0] as u32,
+        },
         CollectiveKind::AllReduce,
         ctx.tp_ar_bytes(),
         group,
@@ -217,7 +233,13 @@ fn blocking_a2a(
     }
     let group = ctx.grid.ep_group(rank);
     let id = b.collective(
-        CollKey { site, mb, layer, aux: 0, group_lead: group[0] as u32 },
+        CollKey {
+            site,
+            mb,
+            layer,
+            aux: 0,
+            group_lead: group[0] as u32,
+        },
         CollectiveKind::AllToAll,
         bytes,
         group,

@@ -10,10 +10,10 @@ use serde::{Deserialize, Serialize};
 
 use charllm_hw::GpuSpec;
 use charllm_models::{ModelError, TrainJob};
+use charllm_net::{ChunkingPolicy, CollectiveKind};
 use charllm_parallel::{
     ParallelError, ParallelismSpec, PipelineOp, PipelineSchedule, RankGrid, StagePartition,
 };
-use charllm_net::{ChunkingPolicy, CollectiveKind};
 
 use crate::builder::{CollKey, TraceBuilder};
 use crate::task::ComputeKind;
@@ -32,7 +32,10 @@ pub struct DeviceHints {
 impl DeviceHints {
     /// Extract from a GPU spec.
     pub fn for_spec(spec: &GpuSpec) -> Self {
-        DeviceHints { peak_fp16_flops: spec.peak_fp16_flops, hbm_bw_gbps: spec.hbm_bw_gbps }
+        DeviceHints {
+            peak_fp16_flops: spec.peak_fp16_flops,
+            hbm_bw_gbps: spec.hbm_bw_gbps,
+        }
     }
 }
 
@@ -165,7 +168,7 @@ pub fn lower_train(
         return Err(TraceError::Mismatch("schedule with zero chunks".into()));
     }
     for stage in 0..spec.pp {
-        if partition.layers(stage) % chunks != 0 {
+        if !partition.layers(stage).is_multiple_of(chunks) {
             return Err(TraceError::Mismatch(format!(
                 "stage {stage} holds {} layers, not divisible into {chunks} chunks",
                 partition.layers(stage)
@@ -174,7 +177,7 @@ pub fn lower_train(
     }
     if job.arch.is_moe() {
         let experts = job.arch.moe.expect("checked is_moe").num_experts;
-        if spec.ep > experts || experts % spec.ep != 0 {
+        if spec.ep > experts || !experts.is_multiple_of(spec.ep) {
             return Err(TraceError::Mismatch(format!(
                 "ep width {} does not divide {experts} experts",
                 spec.ep
@@ -225,7 +228,10 @@ pub fn lower_train(
         tokens_per_iteration: job.tokens_per_step(),
         cc_overlap: job.optim.cc_overlap,
     };
-    Ok(LoweredJob { trace: b.build(meta), grad_bytes_per_rank })
+    Ok(LoweredJob {
+        trace: b.build(meta),
+        grad_bytes_per_rank,
+    })
 }
 
 pub(crate) fn lower_forward(
@@ -245,7 +251,13 @@ pub(crate) fn lower_forward(
     if vstage > 0 {
         let prev_rank = rank_of_vstage(ctx, c, vstage - 1);
         let id = b.collective(
-            CollKey { site: "act-f", mb: mb as u32, layer: 0, aux: vstage as u32, group_lead: col0 },
+            CollKey {
+                site: "act-f",
+                mb: mb as u32,
+                layer: 0,
+                aux: vstage as u32,
+                group_lead: col0,
+            },
             CollectiveKind::SendRecv,
             ctx.p2p_bytes(),
             vec![prev_rank, rank],
@@ -255,7 +267,11 @@ pub(crate) fn lower_forward(
         b.wait(rank, id);
     } else {
         // Embedding lookup on the true first stage.
-        b.compute(rank, ComputeKind::Embedding, ctx.tokens_mb * ctx.job.arch.hidden as f64 * 2.0);
+        b.compute(
+            rank,
+            ComputeKind::Embedding,
+            ctx.tokens_mb * ctx.job.arch.hidden as f64 * 2.0,
+        );
     }
 
     // FSDP: prefetch the first layer's parameters, then gather layer L+1
@@ -278,8 +294,7 @@ pub(crate) fn lower_forward(
         }
         if layer + 1 < layers {
             let next_gl = ctx.global_layer(c.pp, chunk, layer + 1);
-            pending_ag =
-                layer::fsdp_allgather(b, ctx, rank, mb, next_gl, layer::Pass::Forward);
+            pending_ag = layer::fsdp_allgather(b, ctx, rank, mb, next_gl, layer::Pass::Forward);
             if let Some(id) = pending_ag {
                 b.start(rank, id);
             }
@@ -289,9 +304,8 @@ pub(crate) fn lower_forward(
 
     if vstage == last_vstage {
         // LM head + loss.
-        let logits =
-            ctx.tokens_mb * 2.0 * (ctx.job.arch.hidden * ctx.job.arch.vocab) as f64
-                / ctx.spec.tp as f64;
+        let logits = ctx.tokens_mb * 2.0 * (ctx.job.arch.hidden * ctx.job.arch.vocab) as f64
+            / ctx.spec.tp as f64;
         b.compute(rank, ComputeKind::Gemm, logits);
     } else {
         // Eager send to the next virtual stage.
@@ -325,7 +339,13 @@ fn lower_backward(b: &mut TraceBuilder, ctx: &Ctx<'_>, rank: usize, mb: usize, c
     if vstage < last_vstage {
         let next_rank = rank_of_vstage(ctx, c, vstage + 1);
         let id = b.collective(
-            CollKey { site: "act-b", mb: mb as u32, layer: 0, aux: vstage as u32, group_lead: col0 },
+            CollKey {
+                site: "act-b",
+                mb: mb as u32,
+                layer: 0,
+                aux: vstage as u32,
+                group_lead: col0,
+            },
             CollectiveKind::SendRecv,
             ctx.p2p_bytes(),
             vec![next_rank, rank],
@@ -336,10 +356,12 @@ fn lower_backward(b: &mut TraceBuilder, ctx: &Ctx<'_>, rank: usize, mb: usize, c
     } else {
         // Loss backward (logits grad GEMM; input-grad only when the LM head
         // is frozen under LoRA).
-        let head_mult = if ctx.job.optim.lora.is_some() { 2.0 } else { 4.0 };
-        let logits = ctx.tokens_mb
-            * head_mult
-            * (ctx.job.arch.hidden * ctx.job.arch.vocab) as f64
+        let head_mult = if ctx.job.optim.lora.is_some() {
+            2.0
+        } else {
+            4.0
+        };
+        let logits = ctx.tokens_mb * head_mult * (ctx.job.arch.hidden * ctx.job.arch.vocab) as f64
             / ctx.spec.tp as f64;
         b.compute(rank, ComputeKind::Gemm, logits);
     }
@@ -375,8 +397,7 @@ fn lower_backward(b: &mut TraceBuilder, ctx: &Ctx<'_>, rank: usize, mb: usize, c
         }
         if let Some(&next_layer) = bwd_order.get(pos + 1) {
             let next_gl = ctx.global_layer(c.pp, chunk, next_layer);
-            pending_ag =
-                layer::fsdp_allgather(b, ctx, rank, mb, next_gl, layer::Pass::Backward);
+            pending_ag = layer::fsdp_allgather(b, ctx, rank, mb, next_gl, layer::Pass::Backward);
             if let Some(id) = pending_ag {
                 b.start(rank, id);
             }
@@ -429,11 +450,7 @@ mod tests {
         DeviceHints::for_spec(&GpuModel::H200.spec())
     }
 
-    fn lower(
-        job: &TrainJob,
-        spec: ParallelismSpec,
-        schedule: PipelineSchedule,
-    ) -> LoweredJob {
+    fn lower(job: &TrainJob, spec: ParallelismSpec, schedule: PipelineSchedule) -> LoweredJob {
         let partition = StagePartition::even(job.arch.num_layers, spec.pp).unwrap();
         lower_train(job, &spec, schedule, &partition, &hints()).unwrap()
     }
@@ -459,7 +476,10 @@ mod tests {
         let got = lowered.trace.total_flops();
         let expect = 6.0 * job.arch.total_params() as f64 * job.tokens_per_step() as f64;
         let rel = (got - expect).abs() / expect;
-        assert!(rel < 0.15, "total flops {got:e} vs 6ND {expect:e} (rel {rel:.3})");
+        assert!(
+            rel < 0.15,
+            "total flops {got:e} vs 6ND {expect:e} (rel {rel:.3})"
+        );
     }
 
     #[test]
@@ -527,7 +547,10 @@ mod tests {
                 .filter(|c| c.kind == CollectiveKind::AllReduce && c.group.len() > 1)
                 .count()
         };
-        assert!(count(&tp8) > count(&tp1), "TP groups produce per-layer AllReduces");
+        assert!(
+            count(&tp8) > count(&tp1),
+            "TP groups produce per-layer AllReduces"
+        );
     }
 
     #[test]
@@ -570,8 +593,14 @@ mod tests {
         let job = TrainJob::pretrain(presets::gpt3_175b());
         let spec = ParallelismSpec::infer_dp(8, 4, 1, 32, false).unwrap();
         let partition = StagePartition::even(96, 8).unwrap(); // pp=4 needed
-        assert!(lower_train(&job, &spec, PipelineSchedule::OneFOneB, &partition, &hints())
-            .is_err());
+        assert!(lower_train(
+            &job,
+            &spec,
+            PipelineSchedule::OneFOneB,
+            &partition,
+            &hints()
+        )
+        .is_err());
     }
 
     #[test]
@@ -579,7 +608,7 @@ mod tests {
         let job = TrainJob::pretrain(presets::gpt3_175b());
         let spec = ParallelismSpec::infer_dp(2, 16, 1, 64, false).unwrap();
         let partition = StagePartition::even(96, 16).unwrap(); // 6 layers/stage
-        // v=4 does not divide 6.
+                                                               // v=4 does not divide 6.
         assert!(lower_train(
             &job,
             &spec,
@@ -594,8 +623,16 @@ mod tests {
     fn lora_shrinks_grad_sync_bytes() {
         let arch = presets::llama3_70b();
         let spec = ParallelismSpec::infer_dp(4, 4, 1, 32, false).unwrap();
-        let full = lower(&TrainJob::pretrain(arch.clone()), spec, PipelineSchedule::OneFOneB);
-        let lora = lower(&TrainJob::lora_finetune(arch), spec, PipelineSchedule::OneFOneB);
+        let full = lower(
+            &TrainJob::pretrain(arch.clone()),
+            spec,
+            PipelineSchedule::OneFOneB,
+        );
+        let lora = lower(
+            &TrainJob::lora_finetune(arch),
+            spec,
+            PipelineSchedule::OneFOneB,
+        );
         assert!(lora.grad_bytes_per_rank < full.grad_bytes_per_rank / 50);
     }
 

@@ -234,15 +234,30 @@ mod tests {
 
     #[test]
     fn compute_classes_map_to_paper_buckets() {
-        assert_eq!(KernelClass::of_compute(ComputeKind::MoeGemm), KernelClass::Gemm);
-        assert_eq!(KernelClass::of_compute(ComputeKind::Recompute), KernelClass::Recompute);
-        assert_eq!(KernelClass::of_compute(ComputeKind::Optimizer), KernelClass::OtherCompute);
+        assert_eq!(
+            KernelClass::of_compute(ComputeKind::MoeGemm),
+            KernelClass::Gemm
+        );
+        assert_eq!(
+            KernelClass::of_compute(ComputeKind::Recompute),
+            KernelClass::Recompute
+        );
+        assert_eq!(
+            KernelClass::of_compute(ComputeKind::Optimizer),
+            KernelClass::OtherCompute
+        );
     }
 
     #[test]
     fn collective_classes_map_one_to_one() {
-        assert_eq!(KernelClass::of_collective(CollectiveKind::AllToAll), KernelClass::AllToAll);
-        assert_eq!(KernelClass::of_collective(CollectiveKind::SendRecv), KernelClass::SendRecv);
+        assert_eq!(
+            KernelClass::of_collective(CollectiveKind::AllToAll),
+            KernelClass::AllToAll
+        );
+        assert_eq!(
+            KernelClass::of_collective(CollectiveKind::SendRecv),
+            KernelClass::SendRecv
+        );
         assert!(KernelClass::of_collective(CollectiveKind::AllReduce).is_comm());
     }
 

@@ -28,8 +28,16 @@ pub struct ExecutionTrace {
 
 impl ExecutionTrace {
     /// Assemble a trace (normally via [`crate::TraceBuilder`]).
-    pub fn new(steps: Vec<Vec<Step>>, collectives: Vec<CollectiveInstance>, meta: TraceMeta) -> Self {
-        ExecutionTrace { steps, collectives, meta }
+    pub fn new(
+        steps: Vec<Vec<Step>>,
+        collectives: Vec<CollectiveInstance>,
+        meta: TraceMeta,
+    ) -> Self {
+        ExecutionTrace {
+            steps,
+            collectives,
+            meta,
+        }
     }
 
     /// Number of ranks.
@@ -149,7 +157,13 @@ mod tests {
         b.compute(0, ComputeKind::Gemm, 100.0);
         b.compute(1, ComputeKind::Attention, 50.0);
         let id = b.collective(
-            CollKey { site: "ar", mb: 0, layer: 0, aux: 0, group_lead: 0 },
+            CollKey {
+                site: "ar",
+                mb: 0,
+                layer: 0,
+                aux: 0,
+                group_lead: 0,
+            },
             CollectiveKind::AllReduce,
             1000,
             vec![0, 1],
@@ -168,7 +182,13 @@ mod tests {
     fn validation_flags_missing_arrivals() {
         let mut b = TraceBuilder::new(2);
         let id = b.collective(
-            CollKey { site: "ar", mb: 0, layer: 0, aux: 0, group_lead: 0 },
+            CollKey {
+                site: "ar",
+                mb: 0,
+                layer: 0,
+                aux: 0,
+                group_lead: 0,
+            },
             CollectiveKind::AllReduce,
             8,
             vec![0, 1],
@@ -184,7 +204,13 @@ mod tests {
     fn validation_accepts_eager_p2p_receiver_wait() {
         let mut b = TraceBuilder::new(2);
         let id = b.collective(
-            CollKey { site: "p2p", mb: 0, layer: 0, aux: 0, group_lead: 0 },
+            CollKey {
+                site: "p2p",
+                mb: 0,
+                layer: 0,
+                aux: 0,
+                group_lead: 0,
+            },
             CollectiveKind::SendRecv,
             8,
             vec![0, 1],
@@ -201,7 +227,13 @@ mod tests {
     fn validation_flags_two_senders_on_p2p() {
         let mut b = TraceBuilder::new(2);
         let id = b.collective(
-            CollKey { site: "p2p", mb: 0, layer: 0, aux: 0, group_lead: 0 },
+            CollKey {
+                site: "p2p",
+                mb: 0,
+                layer: 0,
+                aux: 0,
+                group_lead: 0,
+            },
             CollectiveKind::SendRecv,
             8,
             vec![0, 1],

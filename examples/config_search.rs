@@ -12,17 +12,26 @@ use charllm::search::{search_configs, Objective, SearchOptions};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cluster = hgx_h200_cluster();
-    let job = TrainJob::pretrain(mixtral_8x22b()).with_global_batch(32).with_recompute(true);
+    let job = TrainJob::pretrain(mixtral_8x22b())
+        .with_global_batch(32)
+        .with_recompute(true);
     println!(
         "Searching parallelism configurations for {} on {}...\n",
         job.arch.name,
         cluster.name()
     );
 
-    for (name, objective) in
-        [("throughput", Objective::Throughput), ("energy efficiency", Objective::Efficiency)]
-    {
-        let opts = SearchOptions { objective, finalists: 3, ..Default::default() };
+    for (name, objective) in [
+        ("throughput", Objective::Throughput),
+        ("energy efficiency", Objective::Efficiency),
+    ] {
+        // workers: 0 = fan the finalist simulations across all cores.
+        let opts = SearchOptions {
+            objective,
+            finalists: 3,
+            workers: 0,
+            ..Default::default()
+        };
         let ranked = search_configs(&job, &cluster, opts)?;
         println!("== ranked by {name} ==");
         for (i, c) in ranked.iter().take(5).enumerate() {

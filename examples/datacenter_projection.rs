@@ -13,7 +13,9 @@ use charllm_net::projection::{project_dp_scaling, MeasuredStep};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Measure GPT3-175B TP2-PP16 at DP=1 on the simulated 32xH200 cluster.
     let cluster = hgx_h200_cluster();
-    let job = TrainJob::pretrain(gpt3_175b()).with_global_batch(32).with_recompute(true);
+    let job = TrainJob::pretrain(gpt3_175b())
+        .with_global_batch(32)
+        .with_recompute(true);
     let report = Experiment::builder()
         .cluster(cluster)
         .job(job.clone())
@@ -35,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let dps = [1usize, 2, 4, 8, 16, 32, 64, 128, 256];
-    for (name, nic) in [("100G", LinkSpec::ib_100g()), ("800G", LinkSpec::ib_gbps(800.0))] {
+    for (name, nic) in [
+        ("100G", LinkSpec::ib_100g()),
+        ("800G", LinkSpec::ib_gbps(800.0)),
+    ] {
         println!("== {name} InfiniBand ==");
         println!(
             "{:>6} {:>8} {:>10} {:>12} {:>14} {:>10}",

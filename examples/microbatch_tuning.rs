@@ -6,17 +6,29 @@
 //! cargo run --release --example microbatch_tuning
 //! ```
 
+use std::sync::Arc;
+
 use charllm::prelude::*;
 use charllm::sweep::Sweep;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cluster = hgx_h200_cluster();
-    let job = TrainJob::pretrain(gpt3_175b()).with_global_batch(32).with_recompute(true);
+    // One shared Arc: every sweep below reuses the same topology, and each
+    // sweep fans its microbatch points across all cores (`workers(0)`).
+    let cluster = Arc::new(hgx_h200_cluster());
+    let job = TrainJob::pretrain(gpt3_175b())
+        .with_global_batch(32)
+        .with_recompute(true);
 
     for label in ["TP8-FSDP4", "TP8-PP4", "TP2-PP16"] {
         let spec = ParallelismSpec::parse(label, cluster.num_gpus())?;
-        let reports = Sweep::new(cluster.clone(), job.clone(), vec![spec])
+        let reports = Sweep::new(Arc::clone(&cluster), job.clone(), vec![spec])
             .with_microbatches(MICROBATCH_SWEEP.to_vec())
+            .workers(0)
+            .on_progress(|p| {
+                if let SweepOutcome::Skipped { point, reason } = p.outcome {
+                    println!("  [{}/{}] skipping {point}: {reason}", p.completed, p.total);
+                }
+            })
             .run()?;
         println!("== {label} ==");
         println!(
@@ -36,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         if let (Some(first), Some(last)) = (reports.first(), reports.last()) {
             let speedup = last.tokens_per_s / first.tokens_per_s;
-            println!("  mb{} vs mb{}: {speedup:.2}x throughput\n", last.microbatch, first.microbatch);
+            println!(
+                "  mb{} vs mb{}: {speedup:.2}x throughput\n",
+                last.microbatch, first.microbatch
+            );
         }
     }
     println!(

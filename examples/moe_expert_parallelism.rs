@@ -11,7 +11,9 @@ use charllm_trace::KernelClass;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cluster = hgx_h200_cluster();
-    let job = TrainJob::pretrain(mixtral_8x22b()).with_global_batch(32).with_recompute(true);
+    let job = TrainJob::pretrain(mixtral_8x22b())
+        .with_global_batch(32)
+        .with_recompute(true);
 
     println!("Mixtral-8x22B on {} (recompute on):\n", cluster.name());
     println!(

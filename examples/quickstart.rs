@@ -26,9 +26,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     println!("step time        : {:>10.2} s", report.step_time_s);
     println!("throughput       : {:>10.0} tokens/s", report.tokens_per_s);
-    println!("energy efficiency: {:>10.2} tokens/J", report.tokens_per_joule);
-    println!("mean / peak power: {:>6.0} W / {:>6.0} W", report.mean_power_w, report.peak_power_w);
-    println!("mean / peak temp : {:>6.1} C / {:>6.1} C", report.mean_temp_c, report.peak_temp_c);
+    println!(
+        "energy efficiency: {:>10.2} tokens/J",
+        report.tokens_per_joule
+    );
+    println!(
+        "mean / peak power: {:>6.0} W / {:>6.0} W",
+        report.mean_power_w, report.peak_power_w
+    );
+    println!(
+        "mean / peak temp : {:>6.1} C / {:>6.1} C",
+        report.mean_temp_c, report.peak_temp_c
+    );
     println!(
         "front vs rear    : {:>6.1} C vs {:>6.1} C ({:+.1}% gap, {})",
         report.front_temp_c,
@@ -37,8 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Direction::of(report.thermal_gap()).arrow(),
     );
     println!("mean clock       : {:>10.0} MHz", report.mean_freq_mhz);
-    println!("throttle ratio   : {:>9.1} % (worst {:.1} %)",
-        report.mean_throttle * 100.0, report.max_throttle * 100.0);
+    println!(
+        "throttle ratio   : {:>9.1} % (worst {:.1} %)",
+        report.mean_throttle * 100.0,
+        report.max_throttle * 100.0
+    );
 
     println!("\nPer-kernel time (mean across ranks, one step):");
     let mean = report.mean_kernel_time();

@@ -15,8 +15,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Global batch 128, the paper value: smaller batches would starve the
     // 64-GPU pipeline of microbatches and bias the comparison.
     let models: Vec<(&str, _)> = vec![
-        ("communication-bound", TrainJob::pretrain(gpt3_175b()).with_global_batch(128)),
-        ("compute-bound", TrainJob::pretrain(llama3_70b()).with_global_batch(128)),
+        (
+            "communication-bound",
+            TrainJob::pretrain(gpt3_175b()).with_global_batch(128),
+        ),
+        (
+            "compute-bound",
+            TrainJob::pretrain(llama3_70b()).with_global_batch(128),
+        ),
     ];
 
     for (kind, job) in models {
@@ -42,7 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 p.scale_out_tokens_per_s,
                 p.scale_up_tokens_per_joule,
                 p.scale_out_tokens_per_joule,
-                if p.scale_up_wins_perf() { "<- scale-up wins" } else { "" },
+                if p.scale_up_wins_perf() {
+                    "<- scale-up wins"
+                } else {
+                    ""
+                },
             );
         }
         println!();

@@ -13,7 +13,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cluster = hgx_h200_cluster();
     // Llama3-70B: 80 layers over TP4-PP8 (two stages per node, DP disabled),
     // as in the paper's §6 setup. Recompute keeps deep stashing feasible.
-    let job = TrainJob::pretrain(llama3_70b()).with_global_batch(32).with_recompute(true);
+    let job = TrainJob::pretrain(llama3_70b())
+        .with_global_batch(32)
+        .with_recompute(true);
     let spec = thermal_aware::thermal_pp_spec(&cluster)?;
 
     let run = |name: &str,
@@ -41,10 +43,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     println!("Llama3-70B {} on {}:", spec.label(), cluster.name());
-    let baseline = run("baseline", thermal_aware::baseline_placement(&cluster)?, None)?;
-    let symmetric = run("symmetric", thermal_aware::symmetric_placement(&cluster)?, None)?;
-    let asym_partition =
-        thermal_aware::asymmetric_partition(job.arch.num_layers, spec.pp)?;
+    let baseline = run(
+        "baseline",
+        thermal_aware::baseline_placement(&cluster)?,
+        None,
+    )?;
+    let symmetric = run(
+        "symmetric",
+        thermal_aware::symmetric_placement(&cluster)?,
+        None,
+    )?;
+    let asym_partition = thermal_aware::asymmetric_partition(job.arch.num_layers, spec.pp)?;
     let asymmetric = run(
         "asymmetric",
         thermal_aware::symmetric_placement(&cluster)?,

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_chunking-5b1193a4d47abc1a.d: crates/bench/benches/ablation_chunking.rs
+
+/root/repo/target/debug/deps/ablation_chunking-5b1193a4d47abc1a: crates/bench/benches/ablation_chunking.rs
+
+crates/bench/benches/ablation_chunking.rs:

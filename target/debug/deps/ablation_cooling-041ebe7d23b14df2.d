@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_cooling-041ebe7d23b14df2.d: crates/bench/benches/ablation_cooling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_cooling-041ebe7d23b14df2.rmeta: crates/bench/benches/ablation_cooling.rs Cargo.toml
+
+crates/bench/benches/ablation_cooling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_cooling-b70a9c2673255480.d: crates/bench/benches/ablation_cooling.rs
+
+/root/repo/target/debug/deps/ablation_cooling-b70a9c2673255480: crates/bench/benches/ablation_cooling.rs
+
+crates/bench/benches/ablation_cooling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_schedule-54480448e999f2bf.d: crates/bench/benches/ablation_schedule.rs
+
+/root/repo/target/debug/deps/ablation_schedule-54480448e999f2bf: crates/bench/benches/ablation_schedule.rs
+
+crates/bench/benches/ablation_schedule.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_schedule-702690704595e1dc.d: crates/bench/benches/ablation_schedule.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_schedule-702690704595e1dc.rmeta: crates/bench/benches/ablation_schedule.rs Cargo.toml
+
+crates/bench/benches/ablation_schedule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

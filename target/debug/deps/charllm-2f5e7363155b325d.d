@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/charllm-2f5e7363155b325d.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/executor.rs crates/core/src/experiment.rs crates/core/src/insights.rs crates/core/src/presets.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcharllm-2f5e7363155b325d.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/executor.rs crates/core/src/experiment.rs crates/core/src/insights.rs crates/core/src/presets.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/sweep.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/executor.rs:
+crates/core/src/experiment.rs:
+crates/core/src/insights.rs:
+crates/core/src/presets.rs:
+crates/core/src/report.rs:
+crates/core/src/search.rs:
+crates/core/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/charllm-abab9638c76d7d0c.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/executor.rs crates/core/src/experiment.rs crates/core/src/insights.rs crates/core/src/presets.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/sweep.rs
+
+/root/repo/target/debug/deps/charllm-abab9638c76d7d0c: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/executor.rs crates/core/src/experiment.rs crates/core/src/insights.rs crates/core/src/presets.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/sweep.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/executor.rs:
+crates/core/src/experiment.rs:
+crates/core/src/insights.rs:
+crates/core/src/presets.rs:
+crates/core/src/report.rs:
+crates/core/src/search.rs:
+crates/core/src/sweep.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/charllm-c9481d0839e74e02.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/executor.rs crates/core/src/experiment.rs crates/core/src/insights.rs crates/core/src/presets.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/sweep.rs
+
+/root/repo/target/debug/deps/libcharllm-c9481d0839e74e02.rlib: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/executor.rs crates/core/src/experiment.rs crates/core/src/insights.rs crates/core/src/presets.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/sweep.rs
+
+/root/repo/target/debug/deps/libcharllm-c9481d0839e74e02.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/executor.rs crates/core/src/experiment.rs crates/core/src/insights.rs crates/core/src/presets.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/sweep.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/executor.rs:
+crates/core/src/experiment.rs:
+crates/core/src/insights.rs:
+crates/core/src/presets.rs:
+crates/core/src/report.rs:
+crates/core/src/search.rs:
+crates/core/src/sweep.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/charllm-d7f1c03bb31b2e05.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/executor.rs crates/core/src/experiment.rs crates/core/src/insights.rs crates/core/src/presets.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/sweep.rs
+
+/root/repo/target/debug/deps/charllm-d7f1c03bb31b2e05: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/executor.rs crates/core/src/experiment.rs crates/core/src/insights.rs crates/core/src/presets.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/sweep.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/executor.rs:
+crates/core/src/experiment.rs:
+crates/core/src/insights.rs:
+crates/core/src/presets.rs:
+crates/core/src/report.rs:
+crates/core/src/search.rs:
+crates/core/src/sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/charllm_bench-301482798d8fabb3.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcharllm_bench-301482798d8fabb3.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcharllm_bench-301482798d8fabb3.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

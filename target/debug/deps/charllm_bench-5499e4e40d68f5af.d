@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/charllm_bench-5499e4e40d68f5af.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcharllm_bench-5499e4e40d68f5af.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

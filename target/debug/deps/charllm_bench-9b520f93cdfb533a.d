@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/charllm_bench-9b520f93cdfb533a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/charllm_bench-9b520f93cdfb533a: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/charllm_bench-c97f16c116c8eb11.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/charllm_bench-c97f16c116c8eb11: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/charllm_bench-d93c0e3c48f96386.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcharllm_bench-d93c0e3c48f96386.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcharllm_bench-d93c0e3c48f96386.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

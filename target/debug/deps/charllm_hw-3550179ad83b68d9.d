@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/charllm_hw-3550179ad83b68d9.d: crates/hw/src/lib.rs crates/hw/src/airflow.rs crates/hw/src/cluster.rs crates/hw/src/error.rs crates/hw/src/gpu.rs crates/hw/src/link.rs crates/hw/src/node.rs crates/hw/src/presets.rs
+
+/root/repo/target/debug/deps/libcharllm_hw-3550179ad83b68d9.rlib: crates/hw/src/lib.rs crates/hw/src/airflow.rs crates/hw/src/cluster.rs crates/hw/src/error.rs crates/hw/src/gpu.rs crates/hw/src/link.rs crates/hw/src/node.rs crates/hw/src/presets.rs
+
+/root/repo/target/debug/deps/libcharllm_hw-3550179ad83b68d9.rmeta: crates/hw/src/lib.rs crates/hw/src/airflow.rs crates/hw/src/cluster.rs crates/hw/src/error.rs crates/hw/src/gpu.rs crates/hw/src/link.rs crates/hw/src/node.rs crates/hw/src/presets.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/airflow.rs:
+crates/hw/src/cluster.rs:
+crates/hw/src/error.rs:
+crates/hw/src/gpu.rs:
+crates/hw/src/link.rs:
+crates/hw/src/node.rs:
+crates/hw/src/presets.rs:

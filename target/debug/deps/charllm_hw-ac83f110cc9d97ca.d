@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/charllm_hw-ac83f110cc9d97ca.d: crates/hw/src/lib.rs crates/hw/src/airflow.rs crates/hw/src/cluster.rs crates/hw/src/error.rs crates/hw/src/gpu.rs crates/hw/src/link.rs crates/hw/src/node.rs crates/hw/src/presets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcharllm_hw-ac83f110cc9d97ca.rmeta: crates/hw/src/lib.rs crates/hw/src/airflow.rs crates/hw/src/cluster.rs crates/hw/src/error.rs crates/hw/src/gpu.rs crates/hw/src/link.rs crates/hw/src/node.rs crates/hw/src/presets.rs Cargo.toml
+
+crates/hw/src/lib.rs:
+crates/hw/src/airflow.rs:
+crates/hw/src/cluster.rs:
+crates/hw/src/error.rs:
+crates/hw/src/gpu.rs:
+crates/hw/src/link.rs:
+crates/hw/src/node.rs:
+crates/hw/src/presets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/charllm_hw-c16560142c325dc5.d: crates/hw/src/lib.rs crates/hw/src/airflow.rs crates/hw/src/cluster.rs crates/hw/src/error.rs crates/hw/src/gpu.rs crates/hw/src/link.rs crates/hw/src/node.rs crates/hw/src/presets.rs
+
+/root/repo/target/debug/deps/charllm_hw-c16560142c325dc5: crates/hw/src/lib.rs crates/hw/src/airflow.rs crates/hw/src/cluster.rs crates/hw/src/error.rs crates/hw/src/gpu.rs crates/hw/src/link.rs crates/hw/src/node.rs crates/hw/src/presets.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/airflow.rs:
+crates/hw/src/cluster.rs:
+crates/hw/src/error.rs:
+crates/hw/src/gpu.rs:
+crates/hw/src/link.rs:
+crates/hw/src/node.rs:
+crates/hw/src/presets.rs:

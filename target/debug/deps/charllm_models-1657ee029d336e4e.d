@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/charllm_models-1657ee029d336e4e.d: crates/models/src/lib.rs crates/models/src/arch.rs crates/models/src/error.rs crates/models/src/flops.rs crates/models/src/job.rs crates/models/src/lora.rs crates/models/src/memory.rs crates/models/src/precision.rs crates/models/src/presets.rs
+
+/root/repo/target/debug/deps/libcharllm_models-1657ee029d336e4e.rlib: crates/models/src/lib.rs crates/models/src/arch.rs crates/models/src/error.rs crates/models/src/flops.rs crates/models/src/job.rs crates/models/src/lora.rs crates/models/src/memory.rs crates/models/src/precision.rs crates/models/src/presets.rs
+
+/root/repo/target/debug/deps/libcharllm_models-1657ee029d336e4e.rmeta: crates/models/src/lib.rs crates/models/src/arch.rs crates/models/src/error.rs crates/models/src/flops.rs crates/models/src/job.rs crates/models/src/lora.rs crates/models/src/memory.rs crates/models/src/precision.rs crates/models/src/presets.rs
+
+crates/models/src/lib.rs:
+crates/models/src/arch.rs:
+crates/models/src/error.rs:
+crates/models/src/flops.rs:
+crates/models/src/job.rs:
+crates/models/src/lora.rs:
+crates/models/src/memory.rs:
+crates/models/src/precision.rs:
+crates/models/src/presets.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/charllm_models-5df299c722589cb5.d: crates/models/src/lib.rs crates/models/src/arch.rs crates/models/src/error.rs crates/models/src/flops.rs crates/models/src/job.rs crates/models/src/lora.rs crates/models/src/memory.rs crates/models/src/precision.rs crates/models/src/presets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcharllm_models-5df299c722589cb5.rmeta: crates/models/src/lib.rs crates/models/src/arch.rs crates/models/src/error.rs crates/models/src/flops.rs crates/models/src/job.rs crates/models/src/lora.rs crates/models/src/memory.rs crates/models/src/precision.rs crates/models/src/presets.rs Cargo.toml
+
+crates/models/src/lib.rs:
+crates/models/src/arch.rs:
+crates/models/src/error.rs:
+crates/models/src/flops.rs:
+crates/models/src/job.rs:
+crates/models/src/lora.rs:
+crates/models/src/memory.rs:
+crates/models/src/precision.rs:
+crates/models/src/presets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/charllm_models-7d8311a1e7fc52d4.d: crates/models/src/lib.rs crates/models/src/arch.rs crates/models/src/error.rs crates/models/src/flops.rs crates/models/src/job.rs crates/models/src/lora.rs crates/models/src/memory.rs crates/models/src/precision.rs crates/models/src/presets.rs
+
+/root/repo/target/debug/deps/charllm_models-7d8311a1e7fc52d4: crates/models/src/lib.rs crates/models/src/arch.rs crates/models/src/error.rs crates/models/src/flops.rs crates/models/src/job.rs crates/models/src/lora.rs crates/models/src/memory.rs crates/models/src/precision.rs crates/models/src/presets.rs
+
+crates/models/src/lib.rs:
+crates/models/src/arch.rs:
+crates/models/src/error.rs:
+crates/models/src/flops.rs:
+crates/models/src/job.rs:
+crates/models/src/lora.rs:
+crates/models/src/memory.rs:
+crates/models/src/precision.rs:
+crates/models/src/presets.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/charllm_models-9b8c41d54ac1d408.d: crates/models/src/lib.rs crates/models/src/arch.rs crates/models/src/error.rs crates/models/src/flops.rs crates/models/src/job.rs crates/models/src/lora.rs crates/models/src/memory.rs crates/models/src/precision.rs crates/models/src/presets.rs
+
+/root/repo/target/debug/deps/libcharllm_models-9b8c41d54ac1d408.rlib: crates/models/src/lib.rs crates/models/src/arch.rs crates/models/src/error.rs crates/models/src/flops.rs crates/models/src/job.rs crates/models/src/lora.rs crates/models/src/memory.rs crates/models/src/precision.rs crates/models/src/presets.rs
+
+/root/repo/target/debug/deps/libcharllm_models-9b8c41d54ac1d408.rmeta: crates/models/src/lib.rs crates/models/src/arch.rs crates/models/src/error.rs crates/models/src/flops.rs crates/models/src/job.rs crates/models/src/lora.rs crates/models/src/memory.rs crates/models/src/precision.rs crates/models/src/presets.rs
+
+crates/models/src/lib.rs:
+crates/models/src/arch.rs:
+crates/models/src/error.rs:
+crates/models/src/flops.rs:
+crates/models/src/job.rs:
+crates/models/src/lora.rs:
+crates/models/src/memory.rs:
+crates/models/src/precision.rs:
+crates/models/src/presets.rs:

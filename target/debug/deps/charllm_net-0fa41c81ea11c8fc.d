@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/charllm_net-0fa41c81ea11c8fc.d: crates/net/src/lib.rs crates/net/src/chunking.rs crates/net/src/collectives.rs crates/net/src/flow.rs crates/net/src/hierarchical.rs crates/net/src/projection.rs
+
+/root/repo/target/debug/deps/charllm_net-0fa41c81ea11c8fc: crates/net/src/lib.rs crates/net/src/chunking.rs crates/net/src/collectives.rs crates/net/src/flow.rs crates/net/src/hierarchical.rs crates/net/src/projection.rs
+
+crates/net/src/lib.rs:
+crates/net/src/chunking.rs:
+crates/net/src/collectives.rs:
+crates/net/src/flow.rs:
+crates/net/src/hierarchical.rs:
+crates/net/src/projection.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/charllm_net-653fa57823dc2442.d: crates/net/src/lib.rs crates/net/src/chunking.rs crates/net/src/collectives.rs crates/net/src/flow.rs crates/net/src/hierarchical.rs crates/net/src/projection.rs
+
+/root/repo/target/debug/deps/libcharllm_net-653fa57823dc2442.rlib: crates/net/src/lib.rs crates/net/src/chunking.rs crates/net/src/collectives.rs crates/net/src/flow.rs crates/net/src/hierarchical.rs crates/net/src/projection.rs
+
+/root/repo/target/debug/deps/libcharllm_net-653fa57823dc2442.rmeta: crates/net/src/lib.rs crates/net/src/chunking.rs crates/net/src/collectives.rs crates/net/src/flow.rs crates/net/src/hierarchical.rs crates/net/src/projection.rs
+
+crates/net/src/lib.rs:
+crates/net/src/chunking.rs:
+crates/net/src/collectives.rs:
+crates/net/src/flow.rs:
+crates/net/src/hierarchical.rs:
+crates/net/src/projection.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/charllm_net-9e98ffc328a5a24d.d: crates/net/src/lib.rs crates/net/src/chunking.rs crates/net/src/collectives.rs crates/net/src/flow.rs crates/net/src/hierarchical.rs crates/net/src/projection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcharllm_net-9e98ffc328a5a24d.rmeta: crates/net/src/lib.rs crates/net/src/chunking.rs crates/net/src/collectives.rs crates/net/src/flow.rs crates/net/src/hierarchical.rs crates/net/src/projection.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/chunking.rs:
+crates/net/src/collectives.rs:
+crates/net/src/flow.rs:
+crates/net/src/hierarchical.rs:
+crates/net/src/projection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/charllm_net-a2c3f8fd4e7bfd48.d: crates/net/src/lib.rs crates/net/src/chunking.rs crates/net/src/collectives.rs crates/net/src/flow.rs crates/net/src/hierarchical.rs crates/net/src/projection.rs
+
+/root/repo/target/debug/deps/libcharllm_net-a2c3f8fd4e7bfd48.rlib: crates/net/src/lib.rs crates/net/src/chunking.rs crates/net/src/collectives.rs crates/net/src/flow.rs crates/net/src/hierarchical.rs crates/net/src/projection.rs
+
+/root/repo/target/debug/deps/libcharllm_net-a2c3f8fd4e7bfd48.rmeta: crates/net/src/lib.rs crates/net/src/chunking.rs crates/net/src/collectives.rs crates/net/src/flow.rs crates/net/src/hierarchical.rs crates/net/src/projection.rs
+
+crates/net/src/lib.rs:
+crates/net/src/chunking.rs:
+crates/net/src/collectives.rs:
+crates/net/src/flow.rs:
+crates/net/src/hierarchical.rs:
+crates/net/src/projection.rs:

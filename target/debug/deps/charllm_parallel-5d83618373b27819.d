@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/charllm_parallel-5d83618373b27819.d: crates/parallel/src/lib.rs crates/parallel/src/enumerate.rs crates/parallel/src/error.rs crates/parallel/src/mapping.rs crates/parallel/src/memory.rs crates/parallel/src/placement.rs crates/parallel/src/schedule.rs crates/parallel/src/spec.rs crates/parallel/src/thermal_aware.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcharllm_parallel-5d83618373b27819.rmeta: crates/parallel/src/lib.rs crates/parallel/src/enumerate.rs crates/parallel/src/error.rs crates/parallel/src/mapping.rs crates/parallel/src/memory.rs crates/parallel/src/placement.rs crates/parallel/src/schedule.rs crates/parallel/src/spec.rs crates/parallel/src/thermal_aware.rs Cargo.toml
+
+crates/parallel/src/lib.rs:
+crates/parallel/src/enumerate.rs:
+crates/parallel/src/error.rs:
+crates/parallel/src/mapping.rs:
+crates/parallel/src/memory.rs:
+crates/parallel/src/placement.rs:
+crates/parallel/src/schedule.rs:
+crates/parallel/src/spec.rs:
+crates/parallel/src/thermal_aware.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

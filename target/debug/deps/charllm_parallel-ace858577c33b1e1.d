@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/charllm_parallel-ace858577c33b1e1.d: crates/parallel/src/lib.rs crates/parallel/src/enumerate.rs crates/parallel/src/error.rs crates/parallel/src/mapping.rs crates/parallel/src/memory.rs crates/parallel/src/placement.rs crates/parallel/src/schedule.rs crates/parallel/src/spec.rs crates/parallel/src/thermal_aware.rs
+
+/root/repo/target/debug/deps/charllm_parallel-ace858577c33b1e1: crates/parallel/src/lib.rs crates/parallel/src/enumerate.rs crates/parallel/src/error.rs crates/parallel/src/mapping.rs crates/parallel/src/memory.rs crates/parallel/src/placement.rs crates/parallel/src/schedule.rs crates/parallel/src/spec.rs crates/parallel/src/thermal_aware.rs
+
+crates/parallel/src/lib.rs:
+crates/parallel/src/enumerate.rs:
+crates/parallel/src/error.rs:
+crates/parallel/src/mapping.rs:
+crates/parallel/src/memory.rs:
+crates/parallel/src/placement.rs:
+crates/parallel/src/schedule.rs:
+crates/parallel/src/spec.rs:
+crates/parallel/src/thermal_aware.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/charllm_ppt-0facf5626287f651.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcharllm_ppt-0facf5626287f651.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/charllm_ppt-1307b23fb0fcffc4.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcharllm_ppt-1307b23fb0fcffc4.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

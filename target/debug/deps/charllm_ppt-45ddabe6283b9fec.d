@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/charllm_ppt-45ddabe6283b9fec.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcharllm_ppt-45ddabe6283b9fec.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcharllm_ppt-45ddabe6283b9fec.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/charllm_ppt-69a7c56ffc6bace2.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcharllm_ppt-69a7c56ffc6bace2.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcharllm_ppt-69a7c56ffc6bace2.rmeta: src/lib.rs
+
+src/lib.rs:

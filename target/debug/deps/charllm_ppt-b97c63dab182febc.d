@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/charllm_ppt-b97c63dab182febc.d: src/lib.rs
+
+/root/repo/target/debug/deps/charllm_ppt-b97c63dab182febc: src/lib.rs
+
+src/lib.rs:

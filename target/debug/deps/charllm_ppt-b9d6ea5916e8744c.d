@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/charllm_ppt-b9d6ea5916e8744c.d: src/lib.rs
+
+/root/repo/target/debug/deps/charllm_ppt-b9d6ea5916e8744c: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/charllm_sim-72b27362b9266518.d: crates/sim/src/lib.rs crates/sim/src/analytic.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/result.rs
+
+/root/repo/target/debug/deps/libcharllm_sim-72b27362b9266518.rlib: crates/sim/src/lib.rs crates/sim/src/analytic.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/result.rs
+
+/root/repo/target/debug/deps/libcharllm_sim-72b27362b9266518.rmeta: crates/sim/src/lib.rs crates/sim/src/analytic.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/result.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/analytic.rs:
+crates/sim/src/config.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/result.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/charllm_telemetry-094bb786b8c68fcd.d: crates/telemetry/src/lib.rs crates/telemetry/src/aggregate.rs crates/telemetry/src/csv.rs crates/telemetry/src/heatmap.rs crates/telemetry/src/store.rs crates/telemetry/src/timeseries.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcharllm_telemetry-094bb786b8c68fcd.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/aggregate.rs crates/telemetry/src/csv.rs crates/telemetry/src/heatmap.rs crates/telemetry/src/store.rs crates/telemetry/src/timeseries.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/aggregate.rs:
+crates/telemetry/src/csv.rs:
+crates/telemetry/src/heatmap.rs:
+crates/telemetry/src/store.rs:
+crates/telemetry/src/timeseries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/charllm_telemetry-41c889b279c9e31e.d: crates/telemetry/src/lib.rs crates/telemetry/src/aggregate.rs crates/telemetry/src/csv.rs crates/telemetry/src/heatmap.rs crates/telemetry/src/store.rs crates/telemetry/src/timeseries.rs
+
+/root/repo/target/debug/deps/libcharllm_telemetry-41c889b279c9e31e.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/aggregate.rs crates/telemetry/src/csv.rs crates/telemetry/src/heatmap.rs crates/telemetry/src/store.rs crates/telemetry/src/timeseries.rs
+
+/root/repo/target/debug/deps/libcharllm_telemetry-41c889b279c9e31e.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/aggregate.rs crates/telemetry/src/csv.rs crates/telemetry/src/heatmap.rs crates/telemetry/src/store.rs crates/telemetry/src/timeseries.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/aggregate.rs:
+crates/telemetry/src/csv.rs:
+crates/telemetry/src/heatmap.rs:
+crates/telemetry/src/store.rs:
+crates/telemetry/src/timeseries.rs:

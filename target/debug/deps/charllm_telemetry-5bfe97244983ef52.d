@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/charllm_telemetry-5bfe97244983ef52.d: crates/telemetry/src/lib.rs crates/telemetry/src/aggregate.rs crates/telemetry/src/csv.rs crates/telemetry/src/heatmap.rs crates/telemetry/src/store.rs crates/telemetry/src/timeseries.rs
+
+/root/repo/target/debug/deps/libcharllm_telemetry-5bfe97244983ef52.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/aggregate.rs crates/telemetry/src/csv.rs crates/telemetry/src/heatmap.rs crates/telemetry/src/store.rs crates/telemetry/src/timeseries.rs
+
+/root/repo/target/debug/deps/libcharllm_telemetry-5bfe97244983ef52.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/aggregate.rs crates/telemetry/src/csv.rs crates/telemetry/src/heatmap.rs crates/telemetry/src/store.rs crates/telemetry/src/timeseries.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/aggregate.rs:
+crates/telemetry/src/csv.rs:
+crates/telemetry/src/heatmap.rs:
+crates/telemetry/src/store.rs:
+crates/telemetry/src/timeseries.rs:

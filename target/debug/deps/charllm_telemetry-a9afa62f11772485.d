@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/charllm_telemetry-a9afa62f11772485.d: crates/telemetry/src/lib.rs crates/telemetry/src/aggregate.rs crates/telemetry/src/csv.rs crates/telemetry/src/heatmap.rs crates/telemetry/src/store.rs crates/telemetry/src/timeseries.rs
+
+/root/repo/target/debug/deps/charllm_telemetry-a9afa62f11772485: crates/telemetry/src/lib.rs crates/telemetry/src/aggregate.rs crates/telemetry/src/csv.rs crates/telemetry/src/heatmap.rs crates/telemetry/src/store.rs crates/telemetry/src/timeseries.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/aggregate.rs:
+crates/telemetry/src/csv.rs:
+crates/telemetry/src/heatmap.rs:
+crates/telemetry/src/store.rs:
+crates/telemetry/src/timeseries.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/charllm_thermal-796e479aa06dd3b5.d: crates/thermal/src/lib.rs crates/thermal/src/governor.rs crates/thermal/src/gpu_state.rs crates/thermal/src/power.rs crates/thermal/src/rc.rs crates/thermal/src/variability.rs
+
+/root/repo/target/debug/deps/charllm_thermal-796e479aa06dd3b5: crates/thermal/src/lib.rs crates/thermal/src/governor.rs crates/thermal/src/gpu_state.rs crates/thermal/src/power.rs crates/thermal/src/rc.rs crates/thermal/src/variability.rs
+
+crates/thermal/src/lib.rs:
+crates/thermal/src/governor.rs:
+crates/thermal/src/gpu_state.rs:
+crates/thermal/src/power.rs:
+crates/thermal/src/rc.rs:
+crates/thermal/src/variability.rs:

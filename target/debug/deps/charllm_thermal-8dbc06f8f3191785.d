@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/charllm_thermal-8dbc06f8f3191785.d: crates/thermal/src/lib.rs crates/thermal/src/governor.rs crates/thermal/src/gpu_state.rs crates/thermal/src/power.rs crates/thermal/src/rc.rs crates/thermal/src/variability.rs
+
+/root/repo/target/debug/deps/libcharllm_thermal-8dbc06f8f3191785.rlib: crates/thermal/src/lib.rs crates/thermal/src/governor.rs crates/thermal/src/gpu_state.rs crates/thermal/src/power.rs crates/thermal/src/rc.rs crates/thermal/src/variability.rs
+
+/root/repo/target/debug/deps/libcharllm_thermal-8dbc06f8f3191785.rmeta: crates/thermal/src/lib.rs crates/thermal/src/governor.rs crates/thermal/src/gpu_state.rs crates/thermal/src/power.rs crates/thermal/src/rc.rs crates/thermal/src/variability.rs
+
+crates/thermal/src/lib.rs:
+crates/thermal/src/governor.rs:
+crates/thermal/src/gpu_state.rs:
+crates/thermal/src/power.rs:
+crates/thermal/src/rc.rs:
+crates/thermal/src/variability.rs:

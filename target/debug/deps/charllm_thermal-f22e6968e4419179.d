@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/charllm_thermal-f22e6968e4419179.d: crates/thermal/src/lib.rs crates/thermal/src/governor.rs crates/thermal/src/gpu_state.rs crates/thermal/src/power.rs crates/thermal/src/rc.rs crates/thermal/src/variability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcharllm_thermal-f22e6968e4419179.rmeta: crates/thermal/src/lib.rs crates/thermal/src/governor.rs crates/thermal/src/gpu_state.rs crates/thermal/src/power.rs crates/thermal/src/rc.rs crates/thermal/src/variability.rs Cargo.toml
+
+crates/thermal/src/lib.rs:
+crates/thermal/src/governor.rs:
+crates/thermal/src/gpu_state.rs:
+crates/thermal/src/power.rs:
+crates/thermal/src/rc.rs:
+crates/thermal/src/variability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

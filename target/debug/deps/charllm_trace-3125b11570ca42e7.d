@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/charllm_trace-3125b11570ca42e7.d: crates/trace/src/lib.rs crates/trace/src/builder.rs crates/trace/src/lower/mod.rs crates/trace/src/lower/grad_sync.rs crates/trace/src/lower/inference.rs crates/trace/src/lower/layer.rs crates/trace/src/task.rs crates/trace/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcharllm_trace-3125b11570ca42e7.rmeta: crates/trace/src/lib.rs crates/trace/src/builder.rs crates/trace/src/lower/mod.rs crates/trace/src/lower/grad_sync.rs crates/trace/src/lower/inference.rs crates/trace/src/lower/layer.rs crates/trace/src/task.rs crates/trace/src/trace.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/builder.rs:
+crates/trace/src/lower/mod.rs:
+crates/trace/src/lower/grad_sync.rs:
+crates/trace/src/lower/inference.rs:
+crates/trace/src/lower/layer.rs:
+crates/trace/src/task.rs:
+crates/trace/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

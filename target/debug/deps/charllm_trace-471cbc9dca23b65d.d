@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/charllm_trace-471cbc9dca23b65d.d: crates/trace/src/lib.rs crates/trace/src/builder.rs crates/trace/src/lower/mod.rs crates/trace/src/lower/grad_sync.rs crates/trace/src/lower/inference.rs crates/trace/src/lower/layer.rs crates/trace/src/task.rs crates/trace/src/trace.rs
+
+/root/repo/target/debug/deps/charllm_trace-471cbc9dca23b65d: crates/trace/src/lib.rs crates/trace/src/builder.rs crates/trace/src/lower/mod.rs crates/trace/src/lower/grad_sync.rs crates/trace/src/lower/inference.rs crates/trace/src/lower/layer.rs crates/trace/src/task.rs crates/trace/src/trace.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/builder.rs:
+crates/trace/src/lower/mod.rs:
+crates/trace/src/lower/grad_sync.rs:
+crates/trace/src/lower/inference.rs:
+crates/trace/src/lower/layer.rs:
+crates/trace/src/task.rs:
+crates/trace/src/trace.rs:

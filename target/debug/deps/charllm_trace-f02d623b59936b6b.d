@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/charllm_trace-f02d623b59936b6b.d: crates/trace/src/lib.rs crates/trace/src/builder.rs crates/trace/src/lower/mod.rs crates/trace/src/lower/grad_sync.rs crates/trace/src/lower/inference.rs crates/trace/src/lower/layer.rs crates/trace/src/task.rs crates/trace/src/trace.rs
+
+/root/repo/target/debug/deps/libcharllm_trace-f02d623b59936b6b.rlib: crates/trace/src/lib.rs crates/trace/src/builder.rs crates/trace/src/lower/mod.rs crates/trace/src/lower/grad_sync.rs crates/trace/src/lower/inference.rs crates/trace/src/lower/layer.rs crates/trace/src/task.rs crates/trace/src/trace.rs
+
+/root/repo/target/debug/deps/libcharllm_trace-f02d623b59936b6b.rmeta: crates/trace/src/lib.rs crates/trace/src/builder.rs crates/trace/src/lower/mod.rs crates/trace/src/lower/grad_sync.rs crates/trace/src/lower/inference.rs crates/trace/src/lower/layer.rs crates/trace/src/task.rs crates/trace/src/trace.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/builder.rs:
+crates/trace/src/lower/mod.rs:
+crates/trace/src/lower/grad_sync.rs:
+crates/trace/src/lower/inference.rs:
+crates/trace/src/lower/layer.rs:
+crates/trace/src/task.rs:
+crates/trace/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion_micro-21f3374f478f5a4f.d: crates/bench/benches/criterion_micro.rs
+
+/root/repo/target/debug/deps/criterion_micro-21f3374f478f5a4f: crates/bench/benches/criterion_micro.rs
+
+crates/bench/benches/criterion_micro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion_micro-b0a5503d99de99c9.d: crates/bench/benches/criterion_micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion_micro-b0a5503d99de99c9.rmeta: crates/bench/benches/criterion_micro.rs Cargo.toml
+
+crates/bench/benches/criterion_micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

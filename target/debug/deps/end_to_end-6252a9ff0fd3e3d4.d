@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-6252a9ff0fd3e3d4.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-6252a9ff0fd3e3d4: tests/end_to_end.rs
+
+tests/end_to_end.rs:

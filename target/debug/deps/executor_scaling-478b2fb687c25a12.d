@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/executor_scaling-478b2fb687c25a12.d: crates/bench/benches/executor_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexecutor_scaling-478b2fb687c25a12.rmeta: crates/bench/benches/executor_scaling.rs Cargo.toml
+
+crates/bench/benches/executor_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/executor_scaling-e67f8d7d3edcfbe5.d: crates/bench/benches/executor_scaling.rs
+
+/root/repo/target/debug/deps/executor_scaling-e67f8d7d3edcfbe5: crates/bench/benches/executor_scaling.rs
+
+crates/bench/benches/executor_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02-438a8f2238441073.d: crates/bench/benches/fig02.rs
+
+/root/repo/target/debug/deps/fig02-438a8f2238441073: crates/bench/benches/fig02.rs
+
+crates/bench/benches/fig02.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig02-7cfea765b33a81b2.d: crates/bench/benches/fig02.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig02-7cfea765b33a81b2.rmeta: crates/bench/benches/fig02.rs Cargo.toml
+
+crates/bench/benches/fig02.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03-01747dccfdd121c2.d: crates/bench/benches/fig03.rs
+
+/root/repo/target/debug/deps/fig03-01747dccfdd121c2: crates/bench/benches/fig03.rs
+
+crates/bench/benches/fig03.rs:

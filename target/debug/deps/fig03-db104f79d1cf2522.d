@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig03-db104f79d1cf2522.d: crates/bench/benches/fig03.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig03-db104f79d1cf2522.rmeta: crates/bench/benches/fig03.rs Cargo.toml
+
+crates/bench/benches/fig03.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

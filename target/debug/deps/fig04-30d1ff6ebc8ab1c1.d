@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04-30d1ff6ebc8ab1c1.d: crates/bench/benches/fig04.rs
+
+/root/repo/target/debug/deps/fig04-30d1ff6ebc8ab1c1: crates/bench/benches/fig04.rs
+
+crates/bench/benches/fig04.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig04-62cdf822d7040c7b.d: crates/bench/benches/fig04.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig04-62cdf822d7040c7b.rmeta: crates/bench/benches/fig04.rs Cargo.toml
+
+crates/bench/benches/fig04.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig05-43eaa709c7f937ad.d: crates/bench/benches/fig05.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig05-43eaa709c7f937ad.rmeta: crates/bench/benches/fig05.rs Cargo.toml
+
+crates/bench/benches/fig05.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05-c15d98a2244324f8.d: crates/bench/benches/fig05.rs
+
+/root/repo/target/debug/deps/fig05-c15d98a2244324f8: crates/bench/benches/fig05.rs
+
+crates/bench/benches/fig05.rs:

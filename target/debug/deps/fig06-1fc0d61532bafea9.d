@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06-1fc0d61532bafea9.d: crates/bench/benches/fig06.rs
+
+/root/repo/target/debug/deps/fig06-1fc0d61532bafea9: crates/bench/benches/fig06.rs
+
+crates/bench/benches/fig06.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06-38685fe93cf44bb6.d: crates/bench/benches/fig06.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06-38685fe93cf44bb6.rmeta: crates/bench/benches/fig06.rs Cargo.toml
+
+crates/bench/benches/fig06.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

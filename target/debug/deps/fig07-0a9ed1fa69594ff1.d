@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07-0a9ed1fa69594ff1.d: crates/bench/benches/fig07.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07-0a9ed1fa69594ff1.rmeta: crates/bench/benches/fig07.rs Cargo.toml
+
+crates/bench/benches/fig07.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

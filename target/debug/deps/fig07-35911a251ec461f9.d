@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07-35911a251ec461f9.d: crates/bench/benches/fig07.rs
+
+/root/repo/target/debug/deps/fig07-35911a251ec461f9: crates/bench/benches/fig07.rs
+
+crates/bench/benches/fig07.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08-295f0ddf449ce001.d: crates/bench/benches/fig08.rs
+
+/root/repo/target/debug/deps/fig08-295f0ddf449ce001: crates/bench/benches/fig08.rs
+
+crates/bench/benches/fig08.rs:

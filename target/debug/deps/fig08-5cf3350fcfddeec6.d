@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08-5cf3350fcfddeec6.d: crates/bench/benches/fig08.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08-5cf3350fcfddeec6.rmeta: crates/bench/benches/fig08.rs Cargo.toml
+
+crates/bench/benches/fig08.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

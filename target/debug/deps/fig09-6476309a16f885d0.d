@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09-6476309a16f885d0.d: crates/bench/benches/fig09.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09-6476309a16f885d0.rmeta: crates/bench/benches/fig09.rs Cargo.toml
+
+crates/bench/benches/fig09.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09-853e94f4904f831b.d: crates/bench/benches/fig09.rs
+
+/root/repo/target/debug/deps/fig09-853e94f4904f831b: crates/bench/benches/fig09.rs
+
+crates/bench/benches/fig09.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10-8bef3ec0ff980f53.d: crates/bench/benches/fig10.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10-8bef3ec0ff980f53.rmeta: crates/bench/benches/fig10.rs Cargo.toml
+
+crates/bench/benches/fig10.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

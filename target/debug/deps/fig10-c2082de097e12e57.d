@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-c2082de097e12e57.d: crates/bench/benches/fig10.rs
+
+/root/repo/target/debug/deps/fig10-c2082de097e12e57: crates/bench/benches/fig10.rs
+
+crates/bench/benches/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-5a4d6942816fc6c4.d: crates/bench/benches/fig11.rs
+
+/root/repo/target/debug/deps/fig11-5a4d6942816fc6c4: crates/bench/benches/fig11.rs
+
+crates/bench/benches/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-a53b2298d617ce07.d: crates/bench/benches/fig12.rs
+
+/root/repo/target/debug/deps/fig12-a53b2298d617ce07: crates/bench/benches/fig12.rs
+
+crates/bench/benches/fig12.rs:

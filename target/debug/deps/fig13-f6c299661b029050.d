@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-f6c299661b029050.d: crates/bench/benches/fig13.rs
+
+/root/repo/target/debug/deps/fig13-f6c299661b029050: crates/bench/benches/fig13.rs
+
+crates/bench/benches/fig13.rs:

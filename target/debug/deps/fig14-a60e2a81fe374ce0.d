@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-a60e2a81fe374ce0.d: crates/bench/benches/fig14.rs
+
+/root/repo/target/debug/deps/fig14-a60e2a81fe374ce0: crates/bench/benches/fig14.rs
+
+crates/bench/benches/fig14.rs:

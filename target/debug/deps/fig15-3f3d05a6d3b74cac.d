@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15-3f3d05a6d3b74cac.d: crates/bench/benches/fig15.rs
+
+/root/repo/target/debug/deps/fig15-3f3d05a6d3b74cac: crates/bench/benches/fig15.rs
+
+crates/bench/benches/fig15.rs:

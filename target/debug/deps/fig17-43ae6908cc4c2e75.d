@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17-43ae6908cc4c2e75.d: crates/bench/benches/fig17.rs
+
+/root/repo/target/debug/deps/fig17-43ae6908cc4c2e75: crates/bench/benches/fig17.rs
+
+crates/bench/benches/fig17.rs:

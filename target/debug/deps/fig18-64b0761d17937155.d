@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18-64b0761d17937155.d: crates/bench/benches/fig18.rs
+
+/root/repo/target/debug/deps/fig18-64b0761d17937155: crates/bench/benches/fig18.rs
+
+crates/bench/benches/fig18.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig18-7884f037dbbcce13.d: crates/bench/benches/fig18.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig18-7884f037dbbcce13.rmeta: crates/bench/benches/fig18.rs Cargo.toml
+
+crates/bench/benches/fig18.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

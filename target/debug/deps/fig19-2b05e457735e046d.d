@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig19-2b05e457735e046d.d: crates/bench/benches/fig19.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig19-2b05e457735e046d.rmeta: crates/bench/benches/fig19.rs Cargo.toml
+
+crates/bench/benches/fig19.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

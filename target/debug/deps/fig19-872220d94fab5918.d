@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19-872220d94fab5918.d: crates/bench/benches/fig19.rs
+
+/root/repo/target/debug/deps/fig19-872220d94fab5918: crates/bench/benches/fig19.rs
+
+crates/bench/benches/fig19.rs:

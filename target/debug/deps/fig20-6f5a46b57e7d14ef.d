@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig20-6f5a46b57e7d14ef.d: crates/bench/benches/fig20.rs
+
+/root/repo/target/debug/deps/fig20-6f5a46b57e7d14ef: crates/bench/benches/fig20.rs
+
+crates/bench/benches/fig20.rs:

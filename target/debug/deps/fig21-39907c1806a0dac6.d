@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig21-39907c1806a0dac6.d: crates/bench/benches/fig21.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig21-39907c1806a0dac6.rmeta: crates/bench/benches/fig21.rs Cargo.toml
+
+crates/bench/benches/fig21.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig21-5546eb0ea07c38fe.d: crates/bench/benches/fig21.rs
+
+/root/repo/target/debug/deps/fig21-5546eb0ea07c38fe: crates/bench/benches/fig21.rs
+
+crates/bench/benches/fig21.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig22-5e4216472999dfbe.d: crates/bench/benches/fig22.rs
+
+/root/repo/target/debug/deps/fig22-5e4216472999dfbe: crates/bench/benches/fig22.rs
+
+crates/bench/benches/fig22.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig22-6bcfb77eb28055b1.d: crates/bench/benches/fig22.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig22-6bcfb77eb28055b1.rmeta: crates/bench/benches/fig22.rs Cargo.toml
+
+crates/bench/benches/fig22.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

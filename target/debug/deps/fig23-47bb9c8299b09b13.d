@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig23-47bb9c8299b09b13.d: crates/bench/benches/fig23.rs
+
+/root/repo/target/debug/deps/fig23-47bb9c8299b09b13: crates/bench/benches/fig23.rs
+
+crates/bench/benches/fig23.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig23-6e9973879e71d2f8.d: crates/bench/benches/fig23.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig23-6e9973879e71d2f8.rmeta: crates/bench/benches/fig23.rs Cargo.toml
+
+crates/bench/benches/fig23.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

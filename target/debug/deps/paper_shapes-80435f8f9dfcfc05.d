@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-80435f8f9dfcfc05.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-80435f8f9dfcfc05: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-a636e99e7b799074.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-a636e99e7b799074: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_executor-2cc5b94fbc28d3bb.d: tests/parallel_executor.rs
+
+/root/repo/target/debug/deps/parallel_executor-2cc5b94fbc28d3bb: tests/parallel_executor.rs
+
+tests/parallel_executor.rs:

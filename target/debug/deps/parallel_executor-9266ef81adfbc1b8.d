@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_executor-9266ef81adfbc1b8.d: tests/parallel_executor.rs
+
+/root/repo/target/debug/deps/parallel_executor-9266ef81adfbc1b8: tests/parallel_executor.rs
+
+tests/parallel_executor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_executor-afca799acd6ed4df.d: tests/parallel_executor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_executor-afca799acd6ed4df.rmeta: tests/parallel_executor.rs Cargo.toml
+
+tests/parallel_executor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

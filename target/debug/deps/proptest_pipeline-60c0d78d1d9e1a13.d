@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_pipeline-60c0d78d1d9e1a13.d: tests/proptest_pipeline.rs
+
+/root/repo/target/debug/deps/proptest_pipeline-60c0d78d1d9e1a13: tests/proptest_pipeline.rs
+
+tests/proptest_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_pipeline-c1fcd44a5f075bf1.d: tests/proptest_pipeline.rs
+
+/root/repo/target/debug/deps/proptest_pipeline-c1fcd44a5f075bf1: tests/proptest_pipeline.rs
+
+tests/proptest_pipeline.rs:

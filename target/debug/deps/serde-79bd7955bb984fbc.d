@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/serde-79bd7955bb984fbc.d: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+/root/repo/target/debug/deps/serde-79bd7955bb984fbc: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/value.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_json-3426ffb44976e422.d: vendor/serde_json/src/lib.rs vendor/serde_json/src/parse.rs vendor/serde_json/src/print.rs
+
+/root/repo/target/debug/deps/libserde_json-3426ffb44976e422.rlib: vendor/serde_json/src/lib.rs vendor/serde_json/src/parse.rs vendor/serde_json/src/print.rs
+
+/root/repo/target/debug/deps/libserde_json-3426ffb44976e422.rmeta: vendor/serde_json/src/lib.rs vendor/serde_json/src/parse.rs vendor/serde_json/src/print.rs
+
+vendor/serde_json/src/lib.rs:
+vendor/serde_json/src/parse.rs:
+vendor/serde_json/src/print.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-c9ed8587cd6479a3.d: vendor/serde_json/src/lib.rs vendor/serde_json/src/parse.rs vendor/serde_json/src/print.rs
+
+/root/repo/target/debug/deps/serde_json-c9ed8587cd6479a3: vendor/serde_json/src/lib.rs vendor/serde_json/src/parse.rs vendor/serde_json/src/print.rs
+
+vendor/serde_json/src/lib.rs:
+vendor/serde_json/src/parse.rs:
+vendor/serde_json/src/print.rs:

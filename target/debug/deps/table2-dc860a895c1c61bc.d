@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-dc860a895c1c61bc.d: crates/bench/benches/table2.rs
+
+/root/repo/target/debug/deps/table2-dc860a895c1c61bc: crates/bench/benches/table2.rs
+
+crates/bench/benches/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/config_search-965dfdb39707409a.d: examples/config_search.rs
+
+/root/repo/target/debug/examples/config_search-965dfdb39707409a: examples/config_search.rs
+
+examples/config_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/config_search-b44fc191433e7a0e.d: examples/config_search.rs
+
+/root/repo/target/debug/examples/config_search-b44fc191433e7a0e: examples/config_search.rs
+
+examples/config_search.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/datacenter_projection-44261a0c710507c7.d: examples/datacenter_projection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdatacenter_projection-44261a0c710507c7.rmeta: examples/datacenter_projection.rs Cargo.toml
+
+examples/datacenter_projection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/datacenter_projection-5986e53a0e0996f9.d: examples/datacenter_projection.rs
+
+/root/repo/target/debug/examples/datacenter_projection-5986e53a0e0996f9: examples/datacenter_projection.rs
+
+examples/datacenter_projection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/datacenter_projection-d96551001cb56081.d: examples/datacenter_projection.rs
+
+/root/repo/target/debug/examples/datacenter_projection-d96551001cb56081: examples/datacenter_projection.rs
+
+examples/datacenter_projection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/microbatch_tuning-1b4674fbf1bf03dd.d: examples/microbatch_tuning.rs
+
+/root/repo/target/debug/examples/microbatch_tuning-1b4674fbf1bf03dd: examples/microbatch_tuning.rs
+
+examples/microbatch_tuning.rs:

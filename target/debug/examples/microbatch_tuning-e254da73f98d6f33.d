@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/microbatch_tuning-e254da73f98d6f33.d: examples/microbatch_tuning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmicrobatch_tuning-e254da73f98d6f33.rmeta: examples/microbatch_tuning.rs Cargo.toml
+
+examples/microbatch_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

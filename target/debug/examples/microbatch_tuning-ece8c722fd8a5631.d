@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/microbatch_tuning-ece8c722fd8a5631.d: examples/microbatch_tuning.rs
+
+/root/repo/target/debug/examples/microbatch_tuning-ece8c722fd8a5631: examples/microbatch_tuning.rs
+
+examples/microbatch_tuning.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/moe_expert_parallelism-6d11fb493bbe7bb0.d: examples/moe_expert_parallelism.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmoe_expert_parallelism-6d11fb493bbe7bb0.rmeta: examples/moe_expert_parallelism.rs Cargo.toml
+
+examples/moe_expert_parallelism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

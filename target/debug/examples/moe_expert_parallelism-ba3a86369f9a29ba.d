@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/moe_expert_parallelism-ba3a86369f9a29ba.d: examples/moe_expert_parallelism.rs
+
+/root/repo/target/debug/examples/moe_expert_parallelism-ba3a86369f9a29ba: examples/moe_expert_parallelism.rs
+
+examples/moe_expert_parallelism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/moe_expert_parallelism-d43b7efe450fe119.d: examples/moe_expert_parallelism.rs
+
+/root/repo/target/debug/examples/moe_expert_parallelism-d43b7efe450fe119: examples/moe_expert_parallelism.rs
+
+examples/moe_expert_parallelism.rs:

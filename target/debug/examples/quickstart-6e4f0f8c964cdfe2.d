@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6e4f0f8c964cdfe2.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6e4f0f8c964cdfe2: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7757953ea703397a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-7757953ea703397a: examples/quickstart.rs
+
+examples/quickstart.rs:

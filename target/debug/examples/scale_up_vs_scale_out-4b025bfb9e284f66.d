@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scale_up_vs_scale_out-4b025bfb9e284f66.d: examples/scale_up_vs_scale_out.rs
+
+/root/repo/target/debug/examples/scale_up_vs_scale_out-4b025bfb9e284f66: examples/scale_up_vs_scale_out.rs
+
+examples/scale_up_vs_scale_out.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scale_up_vs_scale_out-7952afbdf52c76d6.d: examples/scale_up_vs_scale_out.rs
+
+/root/repo/target/debug/examples/scale_up_vs_scale_out-7952afbdf52c76d6: examples/scale_up_vs_scale_out.rs
+
+examples/scale_up_vs_scale_out.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scale_up_vs_scale_out-9f351863905850c8.d: examples/scale_up_vs_scale_out.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscale_up_vs_scale_out-9f351863905850c8.rmeta: examples/scale_up_vs_scale_out.rs Cargo.toml
+
+examples/scale_up_vs_scale_out.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/thermal_aware_placement-4b04bb4c8fce0ff9.d: examples/thermal_aware_placement.rs
+
+/root/repo/target/debug/examples/thermal_aware_placement-4b04bb4c8fce0ff9: examples/thermal_aware_placement.rs
+
+examples/thermal_aware_placement.rs:

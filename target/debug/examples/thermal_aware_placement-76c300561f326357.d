@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/thermal_aware_placement-76c300561f326357.d: examples/thermal_aware_placement.rs Cargo.toml
+
+/root/repo/target/debug/examples/libthermal_aware_placement-76c300561f326357.rmeta: examples/thermal_aware_placement.rs Cargo.toml
+
+examples/thermal_aware_placement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

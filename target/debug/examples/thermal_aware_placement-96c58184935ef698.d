@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/thermal_aware_placement-96c58184935ef698.d: examples/thermal_aware_placement.rs
+
+/root/repo/target/debug/examples/thermal_aware_placement-96c58184935ef698: examples/thermal_aware_placement.rs
+
+examples/thermal_aware_placement.rs:

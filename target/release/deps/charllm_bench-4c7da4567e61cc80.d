@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/charllm_bench-4c7da4567e61cc80.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcharllm_bench-4c7da4567e61cc80.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcharllm_bench-4c7da4567e61cc80.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

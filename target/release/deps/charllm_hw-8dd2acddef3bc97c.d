@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/charllm_hw-8dd2acddef3bc97c.d: crates/hw/src/lib.rs crates/hw/src/airflow.rs crates/hw/src/cluster.rs crates/hw/src/error.rs crates/hw/src/gpu.rs crates/hw/src/link.rs crates/hw/src/node.rs crates/hw/src/presets.rs
+
+/root/repo/target/release/deps/libcharllm_hw-8dd2acddef3bc97c.rlib: crates/hw/src/lib.rs crates/hw/src/airflow.rs crates/hw/src/cluster.rs crates/hw/src/error.rs crates/hw/src/gpu.rs crates/hw/src/link.rs crates/hw/src/node.rs crates/hw/src/presets.rs
+
+/root/repo/target/release/deps/libcharllm_hw-8dd2acddef3bc97c.rmeta: crates/hw/src/lib.rs crates/hw/src/airflow.rs crates/hw/src/cluster.rs crates/hw/src/error.rs crates/hw/src/gpu.rs crates/hw/src/link.rs crates/hw/src/node.rs crates/hw/src/presets.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/airflow.rs:
+crates/hw/src/cluster.rs:
+crates/hw/src/error.rs:
+crates/hw/src/gpu.rs:
+crates/hw/src/link.rs:
+crates/hw/src/node.rs:
+crates/hw/src/presets.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/charllm_models-e6eb3b4a33808f53.d: crates/models/src/lib.rs crates/models/src/arch.rs crates/models/src/error.rs crates/models/src/flops.rs crates/models/src/job.rs crates/models/src/lora.rs crates/models/src/memory.rs crates/models/src/precision.rs crates/models/src/presets.rs
+
+/root/repo/target/release/deps/libcharllm_models-e6eb3b4a33808f53.rlib: crates/models/src/lib.rs crates/models/src/arch.rs crates/models/src/error.rs crates/models/src/flops.rs crates/models/src/job.rs crates/models/src/lora.rs crates/models/src/memory.rs crates/models/src/precision.rs crates/models/src/presets.rs
+
+/root/repo/target/release/deps/libcharllm_models-e6eb3b4a33808f53.rmeta: crates/models/src/lib.rs crates/models/src/arch.rs crates/models/src/error.rs crates/models/src/flops.rs crates/models/src/job.rs crates/models/src/lora.rs crates/models/src/memory.rs crates/models/src/precision.rs crates/models/src/presets.rs
+
+crates/models/src/lib.rs:
+crates/models/src/arch.rs:
+crates/models/src/error.rs:
+crates/models/src/flops.rs:
+crates/models/src/job.rs:
+crates/models/src/lora.rs:
+crates/models/src/memory.rs:
+crates/models/src/precision.rs:
+crates/models/src/presets.rs:

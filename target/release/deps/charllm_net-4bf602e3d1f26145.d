@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/charllm_net-4bf602e3d1f26145.d: crates/net/src/lib.rs crates/net/src/chunking.rs crates/net/src/collectives.rs crates/net/src/flow.rs crates/net/src/hierarchical.rs crates/net/src/projection.rs
+
+/root/repo/target/release/deps/libcharllm_net-4bf602e3d1f26145.rlib: crates/net/src/lib.rs crates/net/src/chunking.rs crates/net/src/collectives.rs crates/net/src/flow.rs crates/net/src/hierarchical.rs crates/net/src/projection.rs
+
+/root/repo/target/release/deps/libcharllm_net-4bf602e3d1f26145.rmeta: crates/net/src/lib.rs crates/net/src/chunking.rs crates/net/src/collectives.rs crates/net/src/flow.rs crates/net/src/hierarchical.rs crates/net/src/projection.rs
+
+crates/net/src/lib.rs:
+crates/net/src/chunking.rs:
+crates/net/src/collectives.rs:
+crates/net/src/flow.rs:
+crates/net/src/hierarchical.rs:
+crates/net/src/projection.rs:

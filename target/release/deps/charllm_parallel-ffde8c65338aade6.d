@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/charllm_parallel-ffde8c65338aade6.d: crates/parallel/src/lib.rs crates/parallel/src/enumerate.rs crates/parallel/src/error.rs crates/parallel/src/mapping.rs crates/parallel/src/memory.rs crates/parallel/src/placement.rs crates/parallel/src/schedule.rs crates/parallel/src/spec.rs crates/parallel/src/thermal_aware.rs
+
+/root/repo/target/release/deps/libcharllm_parallel-ffde8c65338aade6.rlib: crates/parallel/src/lib.rs crates/parallel/src/enumerate.rs crates/parallel/src/error.rs crates/parallel/src/mapping.rs crates/parallel/src/memory.rs crates/parallel/src/placement.rs crates/parallel/src/schedule.rs crates/parallel/src/spec.rs crates/parallel/src/thermal_aware.rs
+
+/root/repo/target/release/deps/libcharllm_parallel-ffde8c65338aade6.rmeta: crates/parallel/src/lib.rs crates/parallel/src/enumerate.rs crates/parallel/src/error.rs crates/parallel/src/mapping.rs crates/parallel/src/memory.rs crates/parallel/src/placement.rs crates/parallel/src/schedule.rs crates/parallel/src/spec.rs crates/parallel/src/thermal_aware.rs
+
+crates/parallel/src/lib.rs:
+crates/parallel/src/enumerate.rs:
+crates/parallel/src/error.rs:
+crates/parallel/src/mapping.rs:
+crates/parallel/src/memory.rs:
+crates/parallel/src/placement.rs:
+crates/parallel/src/schedule.rs:
+crates/parallel/src/spec.rs:
+crates/parallel/src/thermal_aware.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/charllm_ppt-af42c3ac20e364cd.d: src/lib.rs
+
+/root/repo/target/release/deps/libcharllm_ppt-af42c3ac20e364cd.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcharllm_ppt-af42c3ac20e364cd.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/charllm_sim-ae5f4803e3105699.d: crates/sim/src/lib.rs crates/sim/src/analytic.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/result.rs
+
+/root/repo/target/release/deps/libcharllm_sim-ae5f4803e3105699.rlib: crates/sim/src/lib.rs crates/sim/src/analytic.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/result.rs
+
+/root/repo/target/release/deps/libcharllm_sim-ae5f4803e3105699.rmeta: crates/sim/src/lib.rs crates/sim/src/analytic.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/result.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/analytic.rs:
+crates/sim/src/config.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/result.rs:

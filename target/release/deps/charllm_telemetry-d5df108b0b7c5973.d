@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/charllm_telemetry-d5df108b0b7c5973.d: crates/telemetry/src/lib.rs crates/telemetry/src/aggregate.rs crates/telemetry/src/csv.rs crates/telemetry/src/heatmap.rs crates/telemetry/src/store.rs crates/telemetry/src/timeseries.rs
+
+/root/repo/target/release/deps/libcharllm_telemetry-d5df108b0b7c5973.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/aggregate.rs crates/telemetry/src/csv.rs crates/telemetry/src/heatmap.rs crates/telemetry/src/store.rs crates/telemetry/src/timeseries.rs
+
+/root/repo/target/release/deps/libcharllm_telemetry-d5df108b0b7c5973.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/aggregate.rs crates/telemetry/src/csv.rs crates/telemetry/src/heatmap.rs crates/telemetry/src/store.rs crates/telemetry/src/timeseries.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/aggregate.rs:
+crates/telemetry/src/csv.rs:
+crates/telemetry/src/heatmap.rs:
+crates/telemetry/src/store.rs:
+crates/telemetry/src/timeseries.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/charllm_thermal-86f91d5d570f5d0c.d: crates/thermal/src/lib.rs crates/thermal/src/governor.rs crates/thermal/src/gpu_state.rs crates/thermal/src/power.rs crates/thermal/src/rc.rs crates/thermal/src/variability.rs
+
+/root/repo/target/release/deps/libcharllm_thermal-86f91d5d570f5d0c.rlib: crates/thermal/src/lib.rs crates/thermal/src/governor.rs crates/thermal/src/gpu_state.rs crates/thermal/src/power.rs crates/thermal/src/rc.rs crates/thermal/src/variability.rs
+
+/root/repo/target/release/deps/libcharllm_thermal-86f91d5d570f5d0c.rmeta: crates/thermal/src/lib.rs crates/thermal/src/governor.rs crates/thermal/src/gpu_state.rs crates/thermal/src/power.rs crates/thermal/src/rc.rs crates/thermal/src/variability.rs
+
+crates/thermal/src/lib.rs:
+crates/thermal/src/governor.rs:
+crates/thermal/src/gpu_state.rs:
+crates/thermal/src/power.rs:
+crates/thermal/src/rc.rs:
+crates/thermal/src/variability.rs:

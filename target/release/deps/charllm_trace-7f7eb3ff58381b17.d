@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/charllm_trace-7f7eb3ff58381b17.d: crates/trace/src/lib.rs crates/trace/src/builder.rs crates/trace/src/lower/mod.rs crates/trace/src/lower/grad_sync.rs crates/trace/src/lower/inference.rs crates/trace/src/lower/layer.rs crates/trace/src/task.rs crates/trace/src/trace.rs
+
+/root/repo/target/release/deps/libcharllm_trace-7f7eb3ff58381b17.rlib: crates/trace/src/lib.rs crates/trace/src/builder.rs crates/trace/src/lower/mod.rs crates/trace/src/lower/grad_sync.rs crates/trace/src/lower/inference.rs crates/trace/src/lower/layer.rs crates/trace/src/task.rs crates/trace/src/trace.rs
+
+/root/repo/target/release/deps/libcharllm_trace-7f7eb3ff58381b17.rmeta: crates/trace/src/lib.rs crates/trace/src/builder.rs crates/trace/src/lower/mod.rs crates/trace/src/lower/grad_sync.rs crates/trace/src/lower/inference.rs crates/trace/src/lower/layer.rs crates/trace/src/task.rs crates/trace/src/trace.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/builder.rs:
+crates/trace/src/lower/mod.rs:
+crates/trace/src/lower/grad_sync.rs:
+crates/trace/src/lower/inference.rs:
+crates/trace/src/lower/layer.rs:
+crates/trace/src/task.rs:
+crates/trace/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/executor_scaling-cf8087ba7d4200b7.d: crates/bench/benches/executor_scaling.rs
+
+/root/repo/target/release/deps/executor_scaling-cf8087ba7d4200b7: crates/bench/benches/executor_scaling.rs
+
+crates/bench/benches/executor_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03-ba21a996db8cc57f.d: crates/bench/benches/fig03.rs
+
+/root/repo/target/release/deps/fig03-ba21a996db8cc57f: crates/bench/benches/fig03.rs
+
+crates/bench/benches/fig03.rs:

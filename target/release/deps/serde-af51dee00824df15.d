@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/serde-af51dee00824df15.d: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+/root/repo/target/release/deps/libserde-af51dee00824df15.rlib: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+/root/repo/target/release/deps/libserde-af51dee00824df15.rmeta: vendor/serde/src/lib.rs vendor/serde/src/value.rs
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/value.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/config_search-ea201f3fb8ec5cca.d: examples/config_search.rs
+
+/root/repo/target/release/examples/config_search-ea201f3fb8ec5cca: examples/config_search.rs
+
+examples/config_search.rs:

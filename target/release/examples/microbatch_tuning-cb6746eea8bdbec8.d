@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/microbatch_tuning-cb6746eea8bdbec8.d: examples/microbatch_tuning.rs
+
+/root/repo/target/release/examples/microbatch_tuning-cb6746eea8bdbec8: examples/microbatch_tuning.rs
+
+examples/microbatch_tuning.rs:

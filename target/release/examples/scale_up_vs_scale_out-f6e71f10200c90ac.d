@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scale_up_vs_scale_out-f6e71f10200c90ac.d: examples/scale_up_vs_scale_out.rs
+
+/root/repo/target/release/examples/scale_up_vs_scale_out-f6e71f10200c90ac: examples/scale_up_vs_scale_out.rs
+
+examples/scale_up_vs_scale_out.rs:

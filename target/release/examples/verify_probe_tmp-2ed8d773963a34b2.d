@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/verify_probe_tmp-2ed8d773963a34b2.d: examples/verify_probe_tmp.rs
+
+/root/repo/target/release/examples/verify_probe_tmp-2ed8d773963a34b2: examples/verify_probe_tmp.rs
+
+examples/verify_probe_tmp.rs:

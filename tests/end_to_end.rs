@@ -62,7 +62,10 @@ fn seeds_change_hardware_variability_but_not_structure() {
             .job(small_job())
             .parallelism("TP2-PP2")
             .unwrap()
-            .sim_config(SimConfig { seed, ..SimConfig::fast() })
+            .sim_config(SimConfig {
+                seed,
+                ..SimConfig::fast()
+            })
             .run()
             .unwrap()
     };
@@ -71,7 +74,10 @@ fn seeds_change_hardware_variability_but_not_structure() {
     // Different silicon lottery shifts timing slightly but not wildly.
     assert_ne!(a.step_time_s, b.step_time_s);
     let rel = (a.step_time_s - b.step_time_s).abs() / a.step_time_s;
-    assert!(rel < 0.2, "seed should not change results structurally: {rel}");
+    assert!(
+        rel < 0.2,
+        "seed should not change results structurally: {rel}"
+    );
 }
 
 #[test]
@@ -151,7 +157,11 @@ fn inference_is_less_communication_bound_than_training() {
         .job(job)
         .parallelism("TP4-PP2")
         .unwrap()
-        .inference(InferenceConfig { batch: 4, prompt_len: 256, decode_tokens: 8 })
+        .inference(InferenceConfig {
+            batch: 4,
+            prompt_len: 256,
+            decode_tokens: 8,
+        })
         .sim_config(SimConfig::fast())
         .run()
         .unwrap();
@@ -192,14 +202,19 @@ fn node_power_failure_creates_cluster_wide_stragglers() {
     use charllm_hw::presets::hgx_h200_with_nodes;
     let cluster = hgx_h200_with_nodes(2);
     // A compute-bound layout so the frequency collapse dominates.
-    let job = TrainJob::pretrain(gpt3_13b()).with_global_batch(32).with_recompute(true);
+    let job = TrainJob::pretrain(gpt3_13b())
+        .with_global_batch(32)
+        .with_recompute(true);
     let run = |cap: Option<(u32, f64)>| {
         Experiment::builder()
             .cluster(cluster.clone())
             .job(job.clone())
             .parallelism("TP1-PP2")
             .unwrap()
-            .sim_config(SimConfig { node_power_cap: cap, ..SimConfig::fast() })
+            .sim_config(SimConfig {
+                node_power_cap: cap,
+                ..SimConfig::fast()
+            })
             .run()
             .unwrap()
     };
@@ -214,9 +229,11 @@ fn node_power_failure_creates_cluster_wide_stragglers() {
     );
     // The healthy node is dragged down too (TP/PP synchronization): its
     // GPUs spend far more time waiting in communication.
-    let healthy_node1_comm: f64 =
-        (8..16).map(|r| healthy.sim.kernel_time[r].comm_total()).sum();
-    let degraded_node1_comm: f64 =
-        (8..16).map(|r| degraded.sim.kernel_time[r].comm_total()).sum();
+    let healthy_node1_comm: f64 = (8..16)
+        .map(|r| healthy.sim.kernel_time[r].comm_total())
+        .sum();
+    let degraded_node1_comm: f64 = (8..16)
+        .map(|r| degraded.sim.kernel_time[r].comm_total())
+        .sum();
     assert!(degraded_node1_comm > 1.5 * healthy_node1_comm);
 }

@@ -5,11 +5,7 @@ use charllm::prelude::*;
 use charllm_hw::presets::hgx_h200_with_nodes;
 use charllm_trace::KernelClass;
 
-fn run(
-    cluster: &charllm_hw::Cluster,
-    job: &TrainJob,
-    label: &str,
-) -> charllm::RunReport {
+fn run(cluster: &charllm_hw::Cluster, job: &TrainJob, label: &str) -> charllm::RunReport {
     Experiment::builder()
         .cluster(cluster.clone())
         .job(job.clone())
@@ -44,25 +40,31 @@ fn recompute_trades_time_for_memory() {
     let with = base.clone().with_recompute(true);
     let r_base = run(&cluster, &base, "TP2-PP4");
     let r_with = run(&cluster, &with, "TP2-PP4");
-    assert!(r_with.step_time_s > r_base.step_time_s, "recompute must cost time");
+    assert!(
+        r_with.step_time_s > r_base.step_time_s,
+        "recompute must cost time"
+    );
 
     let spec = ParallelismSpec::parse("TP2-PP4", 8).unwrap();
     let part = StagePartition::even(40, 4).unwrap();
     let m_base = rank_memory(&base, &spec, &part);
     let m_with = rank_memory(&with, &spec, &part);
-    assert!(m_with.activations < m_base.activations / 2, "recompute must save memory");
+    assert!(
+        m_with.activations < m_base.activations / 2,
+        "recompute must save memory"
+    );
 }
 
 #[test]
 fn node_local_expert_parallelism_avoids_pcie() {
     // §4.2: when TP crowds EP out of the node, all-to-all crosses the NIC.
     let cluster = hgx_h200_with_nodes(2);
-    let job = TrainJob::pretrain(mixtral_8x7b()).with_global_batch(8).with_recompute(true);
+    let job = TrainJob::pretrain(mixtral_8x7b())
+        .with_global_batch(8)
+        .with_recompute(true);
     let local = run(&cluster, &job, "EP8-TP1-PP2"); // EP inside one node
     let spanning = run(&cluster, &job, "EP8-TP2-PP1"); // EP spans both nodes
-    let pcie = |r: &charllm::RunReport| -> f64 {
-        (0..16).map(|g| r.sim.traffic.pcie(g)).sum()
-    };
+    let pcie = |r: &charllm::RunReport| -> f64 { (0..16).map(|g| r.sim.traffic.pcie(g)).sum() };
     assert!(
         pcie(&spanning) > 10.0 * pcie(&local).max(1.0),
         "spanning EP pcie {:.2e} vs local {:.2e}",
@@ -100,7 +102,9 @@ fn microbatch_scaling_helps_fsdp_and_hurts_deep_pp() {
 fn chunked_p2p_recovers_pipeline_bandwidth() {
     // The §4.2 recommendation: chunking cross-node SendRecv helps TP+PP.
     let cluster = hgx_h200_with_nodes(2);
-    let base = TrainJob::pretrain(gpt3_13b()).with_global_batch(8).with_recompute(true);
+    let base = TrainJob::pretrain(gpt3_13b())
+        .with_global_batch(8)
+        .with_recompute(true);
     let mut chunked = base.clone();
     chunked.optim.chunked_p2p = true;
     let mono = run(&cluster, &base, "TP8-PP2");
@@ -153,7 +157,9 @@ fn deeper_pipelines_draw_more_power_than_tp_heavy() {
     // draw less power (communication-dominated).
     let cluster = hgx_h200_with_nodes(2);
     // Enough microbatches (32) that the deep pipeline actually fills.
-    let job = TrainJob::pretrain(gpt3_13b()).with_global_batch(64).with_recompute(true);
+    let job = TrainJob::pretrain(gpt3_13b())
+        .with_global_batch(64)
+        .with_recompute(true);
     let pp = run(&cluster, &job, "TP1-PP8");
     let tp = run(&cluster, &job, "TP8-PP2");
     assert!(

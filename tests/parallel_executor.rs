@@ -1,0 +1,90 @@
+//! Integration coverage for the parallel experiment executor: a
+//! multi-worker sweep must be indistinguishable from `workers(1)` —
+//! identical point order, identical report bytes — and failures must be
+//! observable as structured outcomes rather than stderr noise.
+
+use charllm::prelude::*;
+
+fn sweep() -> Sweep {
+    let job = TrainJob::pretrain(gpt3_13b()).with_global_batch(8);
+    let specs = vec![
+        ParallelismSpec::parse("TP2-PP2", 8).unwrap(),
+        ParallelismSpec::parse("TP4-PP2", 8).unwrap(),
+        ParallelismSpec::parse("TP8", 8).unwrap(),
+        ParallelismSpec::parse("TP2-PP4", 8).unwrap(),
+    ];
+    Sweep::new(single_hgx_node(), job, specs)
+        .with_microbatches(vec![1, 2])
+        .with_sim_config(SimConfig::fast())
+}
+
+#[test]
+fn multi_worker_sweep_is_byte_identical_to_serial() {
+    let serial = sweep().workers(1).run().expect("serial sweep");
+    assert_eq!(serial.len(), 8, "all eight points feasible");
+    for workers in [0, 2, 3, 8] {
+        let parallel = sweep().workers(workers).run().expect("parallel sweep");
+        assert_eq!(
+            parallel, serial,
+            "workers({workers}) reports differ from serial"
+        );
+        // Byte-level: the serialized reports must match too, so downstream
+        // figure JSON is reproducible regardless of worker count.
+        let a: Vec<String> = serial.iter().map(|r| r.to_json()).collect();
+        let b: Vec<String> = parallel.iter().map(|r| r.to_json()).collect();
+        assert_eq!(a, b, "workers({workers}) serialization differs from serial");
+    }
+}
+
+#[test]
+fn executor_reaches_search_and_stays_deterministic() {
+    use charllm::search::{search_configs, SearchOptions};
+    let cluster = single_hgx_node();
+    let job = TrainJob::pretrain(gpt3_13b()).with_global_batch(8);
+    let serial = SearchOptions {
+        finalists: 2,
+        sim: SimConfig::fast(),
+        workers: 1,
+        ..Default::default()
+    };
+    let parallel = SearchOptions {
+        workers: 4,
+        ..serial
+    };
+    let a = search_configs(&job, &cluster, serial).expect("serial search");
+    let b = search_configs(&job, &cluster, parallel).expect("parallel search");
+    let specs_a: Vec<String> = a.iter().map(|c| c.spec.label()).collect();
+    let specs_b: Vec<String> = b.iter().map(|c| c.spec.label()).collect();
+    assert_eq!(
+        specs_a, specs_b,
+        "ranking order must not depend on worker count"
+    );
+    assert!(a[0].report.is_some() && a[1].report.is_some());
+    assert!(
+        a[2..].iter().all(|c| c.report.is_none()),
+        "exactly two finalists simulated"
+    );
+}
+
+#[test]
+fn infeasible_points_are_structured_outcomes_not_noise() {
+    let job = TrainJob::pretrain(gpt3_13b()).with_global_batch(8);
+    let specs = vec![
+        // Invalid world: TP2 x PP16 cannot map onto 8 GPUs.
+        ParallelismSpec::new(2, 16, 1, 1, false).unwrap(),
+        ParallelismSpec::parse("TP2-PP2", 8).unwrap(),
+    ];
+    let outcomes = Sweep::new(single_hgx_node(), job, specs)
+        .with_sim_config(SimConfig::fast())
+        .workers(2)
+        .run_outcomes();
+    assert_eq!(outcomes.len(), 2, "every point yields an outcome");
+    match &outcomes[0] {
+        SweepOutcome::Skipped { point, reason } => {
+            assert_eq!(point.index, 0);
+            assert!(!reason.is_empty());
+        }
+        other => panic!("expected structured skip, got {other:?}"),
+    }
+    assert!(outcomes[1].report().is_some());
+}

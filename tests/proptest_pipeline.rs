@@ -21,7 +21,10 @@ fn tiny_arch(moe: bool) -> TransformerArch {
         vocab: 1024,
         gated_mlp: false,
         tied_embeddings: true,
-        moe: moe.then_some(MoeConfig { num_experts: 4, top_k: 2 }),
+        moe: moe.then_some(MoeConfig {
+            num_experts: 4,
+            top_k: 2,
+        }),
         default_seq_len: 128,
     }
 }
@@ -51,8 +54,8 @@ proptest! {
         let ep = if moe { [1usize, 2, 4][ep_idx] } else { 1 };
         let world = 16usize;
         let mp = tp * pp * ep;
-        prop_assume!(world % mp == 0);
-        prop_assume!(arch.num_layers % pp == 0);
+        prop_assume!(world.is_multiple_of(mp));
+        prop_assume!(arch.num_layers.is_multiple_of(pp));
         let spec = ParallelismSpec::infer_dp(tp, pp, ep, world, false).unwrap();
 
         let mut job = TrainJob::pretrain(arch)
@@ -101,7 +104,7 @@ proptest! {
         prop_assume!(2 % v == 0 || v == 2);
         let job = TrainJob::pretrain(arch).with_global_batch(spec.dp * pp * 2);
         prop_assume!(job.validate_for_dp(spec.dp).is_ok());
-        prop_assume!(job.num_microbatches(spec.dp) % pp == 0);
+        prop_assume!(job.num_microbatches(spec.dp).is_multiple_of(pp));
 
         let cluster = Cluster::new("2xHGX", GpuModel::H200.spec(), NodeLayout::hgx(), 2).unwrap();
         let partition = StagePartition::even(8, pp).unwrap();

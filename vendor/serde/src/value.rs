@@ -1,0 +1,269 @@
+//! The in-memory JSON value tree shared by `serde` and `serde_json`.
+
+/// A JSON number: integer-preserving where possible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A signed integer (negative values).
+    I64(i64),
+    /// An unsigned integer (non-negative integers).
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+}
+
+impl Number {
+    /// From a signed integer, normalizing non-negative values to `U64`.
+    pub fn from_i64(i: i64) -> Self {
+        if let Ok(u) = u64::try_from(i) {
+            Number::U64(u)
+        } else {
+            Number::I64(i)
+        }
+    }
+
+    /// From an unsigned integer.
+    pub fn from_u64(u: u64) -> Self {
+        Number::U64(u)
+    }
+
+    /// From a float.
+    pub fn from_f64(f: f64) -> Self {
+        Number::F64(f)
+    }
+
+    /// As `i64` if representable.
+    pub fn to_i64(self) -> Option<i64> {
+        match self {
+            Number::I64(i) => Some(i),
+            Number::U64(u) => i64::try_from(u).ok(),
+            Number::F64(f) if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 => {
+                Some(f as i64)
+            }
+            Number::F64(_) => None,
+        }
+    }
+
+    /// As `u64` if representable.
+    pub fn to_u64(self) -> Option<u64> {
+        match self {
+            Number::I64(i) => u64::try_from(i).ok(),
+            Number::U64(u) => Some(u),
+            Number::F64(f) if f.fract() == 0.0 && f >= 0.0 && f <= u64::MAX as f64 => {
+                Some(f as u64)
+            }
+            Number::F64(_) => None,
+        }
+    }
+
+    /// As `f64` (lossy above 2^53).
+    pub fn to_f64(self) -> f64 {
+        match self {
+            Number::I64(i) => i as f64,
+            Number::U64(u) => u as f64,
+            Number::F64(f) => f,
+        }
+    }
+}
+
+/// An order-preserving string-keyed object.
+///
+/// Objects in this workspace are small (struct fields, figure rows), so the
+/// backing store is a vector with linear lookup.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// An empty object.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Insert or replace a key, returning the previous value if any.
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) -> Option<Value> {
+        let key = key.into();
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the object has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl<'a> IntoIterator for &'a Map {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = Box<dyn Iterator<Item = (&'a String, &'a Value)> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut map = Map::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+impl Value {
+    /// A short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// The object map, if this is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_number(&self) -> Option<Number> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        self.as_number().map(Number::to_f64)
+    }
+
+    /// The bool, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Number(Number::F64(f))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(f: f32) -> Self {
+        Value::Number(Number::F64(f64::from(f)))
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(items: Vec<Value>) -> Self {
+        Value::Array(items)
+    }
+}
+
+impl From<Map> for Value {
+    fn from(map: Map) -> Self {
+        Value::Object(map)
+    }
+}
+
+macro_rules! impl_value_from_int {
+    (signed: $($s:ty),*; unsigned: $($u:ty),*) => {
+        $(impl From<$s> for Value {
+            fn from(i: $s) -> Self {
+                Value::Number(Number::from_i64(i64::from(i)))
+            }
+        })*
+        $(impl From<$u> for Value {
+            fn from(u: $u) -> Self {
+                Value::Number(Number::from_u64(u as u64))
+            }
+        })*
+    };
+}
+
+impl_value_from_int!(signed: i8, i16, i32, i64; unsigned: u8, u16, u32, u64, usize);

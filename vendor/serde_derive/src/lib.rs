@@ -1,0 +1,426 @@
+//! Syn-free `#[derive(Serialize, Deserialize)]` for the vendored serde.
+//!
+//! The offline build environment has neither `syn` nor `quote`, so this
+//! crate walks the raw [`proc_macro::TokenStream`] of the deriving item and
+//! emits impls as source text. Supported shapes — everything the workspace
+//! derives on:
+//!
+//! - structs with named fields (any visibility, no generics)
+//! - tuple structs (newtype ids like `GpuId(pub u32)`)
+//! - unit structs
+//! - enums with unit, single-field tuple, and named-field variants
+//!   (externally tagged, matching serde's default representation)
+//!
+//! `#[serde(...)]` attributes and generic parameters are intentionally
+//! unsupported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+enum Variant {
+    Unit(String),
+    Newtype(String),
+    Named(String, Vec<String>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let code = match mode {
+                Mode::Serialize => gen_serialize(&item),
+                Mode::Deserialize => gen_deserialize(&item),
+            };
+            code.parse().expect("generated impl parses")
+        }
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error token parses"),
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("derive does not support generics on `{name}`"));
+    }
+    match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g.stream())?,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::TupleStruct {
+                    name,
+                    arity: count_top_level_fields(g.stream()),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            other => Err(format!("unsupported struct body for `{name}`: {other:?}")),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            other => Err(format!("expected enum body for `{name}`, got {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Skip leading `#[...]` attributes and a `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                tokens.next();
+                if matches!(
+                    tokens.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    tokens.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Names of the fields in `{ vis name: Type, ... }`, skipping types by
+/// tracking top-level angle-bracket depth.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            None => return Ok(fields),
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after `{name}`, got {other:?}")),
+        }
+        fields.push(name);
+        // Skip the type: everything until a comma at angle depth zero.
+        let mut depth = 0i32;
+        for tok in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// Number of fields in a tuple-struct body (top-level commas + trailing).
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    let mut last_was_comma = false;
+    for tok in stream {
+        saw_tokens = true;
+        last_was_comma = false;
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    count += 1;
+                    last_was_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    match (saw_tokens, last_was_comma) {
+        (false, _) => 0,
+        (true, true) => count,
+        (true, false) => count + 1,
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            None => return Ok(variants),
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_fields(g.stream());
+                if arity != 1 {
+                    return Err(format!(
+                        "variant `{name}`: only single-field tuple variants are supported"
+                    ));
+                }
+                tokens.next();
+                variants.push(Variant::Newtype(name));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                tokens.next();
+                variants.push(Variant::Named(name, fields));
+            }
+            _ => variants.push(Variant::Unit(name)),
+        }
+        // Optional discriminant is unsupported; expect `,` or end.
+        match tokens.next() {
+            None => return Ok(variants),
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            other => return Err(format!("expected `,` after variant, got {other:?}")),
+        }
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut body = String::from("let mut obj = ::serde::Map::new();\n");
+            for f in fields {
+                body.push_str(&format!(
+                    "obj.insert(::std::string::String::from({f:?}), \
+                     ::serde::Serialize::serialize_value(&self.{f}));\n"
+                ));
+            }
+            body.push_str("::serde::Value::Object(obj)");
+            impl_block(name, "Serialize", &ser_fn(&body))
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::serialize_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            };
+            impl_block(name, "Serialize", &ser_fn(&body))
+        }
+        Item::UnitStruct { name } => impl_block(name, "Serialize", &ser_fn("::serde::Value::Null")),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => arms.push_str(&format!(
+                        "{name}::{vn} => \
+                         ::serde::Value::String(::std::string::String::from({vn:?})),\n"
+                    )),
+                    Variant::Newtype(vn) => arms.push_str(&format!(
+                        "{name}::{vn}(x0) => {{\n\
+                         let mut obj = ::serde::Map::new();\n\
+                         obj.insert(::std::string::String::from({vn:?}), \
+                         ::serde::Serialize::serialize_value(x0));\n\
+                         ::serde::Value::Object(obj)\n}}\n"
+                    )),
+                    Variant::Named(vn, fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner = String::from("let mut inner = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "inner.insert(::std::string::String::from({f:?}), \
+                                 ::serde::Serialize::serialize_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n{inner}\
+                             let mut obj = ::serde::Map::new();\n\
+                             obj.insert(::std::string::String::from({vn:?}), \
+                             ::serde::Value::Object(inner));\n\
+                             ::serde::Value::Object(obj)\n}}\n"
+                        ));
+                    }
+                }
+            }
+            impl_block(
+                name,
+                "Serialize",
+                &ser_fn(&format!("match self {{\n{arms}}}")),
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut body = format!(
+                "let obj = v.as_object().ok_or_else(|| ::serde::Error::custom(\
+                 format!(\"expected object for {name}, got {{}}\", v.kind())))?;\n\
+                 ::core::result::Result::Ok({name} {{\n"
+            );
+            for f in fields {
+                body.push_str(&format!(
+                    "{f}: ::serde::Deserialize::deserialize_value(\
+                     obj.get({f:?}).unwrap_or(&::serde::Value::Null))\
+                     .map_err(|e| e.in_field({f:?}))?,\n"
+                ));
+            }
+            body.push_str("})");
+            impl_block(name, "Deserialize", &de_fn(&body))
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!(
+                    "::core::result::Result::Ok({name}(\
+                     ::serde::Deserialize::deserialize_value(v)?))"
+                )
+            } else {
+                let mut b = format!(
+                    "let items = v.as_array().ok_or_else(|| ::serde::Error::custom(\
+                     format!(\"expected array for {name}, got {{}}\", v.kind())))?;\n\
+                     if items.len() != {arity} {{\n\
+                     return ::core::result::Result::Err(::serde::Error::custom(\
+                     format!(\"expected {arity} elements for {name}, got {{}}\", items.len())));\n\
+                     }}\n\
+                     ::core::result::Result::Ok({name}("
+                );
+                for i in 0..*arity {
+                    b.push_str(&format!(
+                        "::serde::Deserialize::deserialize_value(&items[{i}])?,"
+                    ));
+                }
+                b.push_str("))");
+                b
+            };
+            impl_block(name, "Deserialize", &de_fn(&body))
+        }
+        Item::UnitStruct { name } => impl_block(
+            name,
+            "Deserialize",
+            &de_fn(&format!("::core::result::Result::Ok({name})")),
+        ),
+        Item::Enum { name, variants } => {
+            let mut str_arms = String::new();
+            let mut obj_arms = String::new();
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => str_arms.push_str(&format!(
+                        "{vn:?} => ::core::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Variant::Newtype(vn) => obj_arms.push_str(&format!(
+                        "if let ::core::option::Option::Some(inner) = obj.get({vn:?}) {{\n\
+                         return ::core::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::deserialize_value(inner)?));\n}}\n"
+                    )),
+                    Variant::Named(vn, fields) => {
+                        let mut build = format!(
+                            "let fields = inner.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(format!(\
+                             \"expected object for {name}::{vn}, got {{}}\", inner.kind())))?;\n\
+                             return ::core::result::Result::Ok({name}::{vn} {{\n"
+                        );
+                        for f in fields {
+                            build.push_str(&format!(
+                                "{f}: ::serde::Deserialize::deserialize_value(\
+                                 fields.get({f:?}).unwrap_or(&::serde::Value::Null))\
+                                 .map_err(|e| e.in_field({f:?}))?,\n"
+                            ));
+                        }
+                        build.push_str("});");
+                        obj_arms.push_str(&format!(
+                            "if let ::core::option::Option::Some(inner) = obj.get({vn:?}) {{\n\
+                             {build}\n}}\n"
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "match v {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n\
+                 {str_arms}\
+                 other => ::core::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown {name} variant {{other:?}}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(obj) => {{\n\
+                 {obj_arms}\
+                 ::core::result::Result::Err(::serde::Error::custom(\
+                 \"unknown {name} variant object\"))\n\
+                 }},\n\
+                 other => ::core::result::Result::Err(::serde::Error::custom(\
+                 format!(\"expected {name} variant, got {{}}\", other.kind()))),\n\
+                 }}"
+            );
+            impl_block(name, "Deserialize", &de_fn(&body))
+        }
+    }
+}
+
+fn ser_fn(body: &str) -> String {
+    format!("fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}")
+}
+
+fn de_fn(body: &str) -> String {
+    format!(
+        "fn deserialize_value(v: &::serde::Value) -> \
+         ::core::result::Result<Self, ::serde::Error> {{\n{body}\n}}"
+    )
+}
+
+fn impl_block(name: &str, trait_name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::{trait_name} for {name} {{\n{body}\n}}\n"
+    )
+}

@@ -1,0 +1,166 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Provides the JSON text layer (parse + print + `json!`) on top of the
+//! vendored [`serde`] value tree. Only the API surface this workspace uses
+//! is implemented: [`to_string`], [`to_string_pretty`], [`from_str`],
+//! [`to_value`], [`json!`], [`Value`], [`Map`] and [`Number`].
+
+mod parse;
+mod print;
+
+pub use serde::{Error, Map, Number, Value};
+
+pub mod value {
+    //! Value helpers (mirrors `serde_json::value`).
+    pub use serde::{Map, Number, Value};
+}
+
+/// Serialize any [`serde::Serialize`] type to a [`Value`] tree.
+///
+/// # Errors
+///
+/// Never fails for the value-tree backend; the `Result` mirrors the real
+/// serde_json signature.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.serialize_value())
+}
+
+/// Serialize to compact JSON text.
+///
+/// # Errors
+///
+/// Never fails for the value-tree backend.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::compact(&value.serialize_value()))
+}
+
+/// Serialize to human-readable, indented JSON text.
+///
+/// # Errors
+///
+/// Never fails for the value-tree backend.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::pretty(&value.serialize_value()))
+}
+
+/// Parse JSON text into any [`serde::Deserialize`] type.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse::parse(text)?;
+    T::deserialize_value(&value)
+}
+
+/// Build a [`Value`] from JSON-like syntax.
+///
+/// Supports `null`, literals, arbitrary serializable expressions, and nested
+/// `[...]` / `{"key": value}` composites, like the real `serde_json::json!`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => { $crate::json_internal!(@array [] $($tt)*) };
+    ({ $($tt:tt)* }) => { $crate::json_internal!(@object {} $($tt)*) };
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! value is serializable")
+    };
+}
+
+/// Implementation detail of [`json!`]: TT munchers for arrays and objects.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // Arrays: accumulate element expressions, re-dispatching each through
+    // json! so nested composites keep their JSON syntax.
+    (@array [$($elems:expr),*]) => {
+        $crate::Value::Array(vec![$($elems),*])
+    };
+    (@array [$($elems:expr),*] null $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json!(null)] $($($rest)*)?)
+    };
+    (@array [$($elems:expr),*] [$($inner:tt)*] $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json!([$($inner)*])] $($($rest)*)?)
+    };
+    (@array [$($elems:expr),*] {$($inner:tt)*} $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json!({$($inner)*})] $($($rest)*)?)
+    };
+    (@array [$($elems:expr),*] $next:expr $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json!($next)] $($($rest)*)?)
+    };
+    // Objects: string-literal keys, values re-dispatched through json!.
+    (@object {$($key:literal => $val:expr),*}) => {{
+        #[allow(unused_mut)]
+        let mut obj = $crate::Map::new();
+        $(obj.insert($key.to_string(), $val);)*
+        $crate::Value::Object(obj)
+    }};
+    (@object {$($done:literal => $dv:expr),*} $key:literal : null $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(
+            @object {$($done => $dv,)* $key => $crate::json!(null)} $($($rest)*)?
+        )
+    };
+    (@object {$($done:literal => $dv:expr),*} $key:literal : [$($inner:tt)*] $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(
+            @object {$($done => $dv,)* $key => $crate::json!([$($inner)*])} $($($rest)*)?
+        )
+    };
+    (@object {$($done:literal => $dv:expr),*} $key:literal : {$($inner:tt)*} $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(
+            @object {$($done => $dv,)* $key => $crate::json!({$($inner)*})} $($($rest)*)?
+        )
+    };
+    (@object {$($done:literal => $dv:expr),*} $key:literal : $val:expr $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(
+            @object {$($done => $dv,)* $key => $crate::json!($val)} $($($rest)*)?
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_values() {
+        let v = json!({
+            "name": "x",
+            "n": 3,
+            "nested": { "flag": true, "list": [1, 2.5, null] },
+        });
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.get("name").unwrap().as_str(), Some("x"));
+        let nested = obj.get("nested").unwrap().as_object().unwrap();
+        assert_eq!(nested.get("flag").unwrap().as_bool(), Some(true));
+        assert_eq!(nested.get("list").unwrap().as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_numbers() {
+        let v = json!({ "i": 42, "f": 1.5, "neg": -7, "big": 9_007_199_254_740_993u64 });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = json!([{ "a": [1, 2] }, "s", false]);
+        let back: Value = from_str(&to_string_pretty(&v).unwrap()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let v = json!({ "s": "line\nquote\"backslash\\tab\tunicode\u{1F600}" });
+        let back: Value = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn malformed_input_errors() {
+        assert!(from_str::<Value>("{unquoted: 1}").is_err());
+        assert!(from_str::<Value>("[1, 2,]").is_err());
+        assert!(from_str::<Value>("").is_err());
+    }
+}
