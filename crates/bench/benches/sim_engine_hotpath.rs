@@ -1,0 +1,122 @@
+//! Engine hot-path benchmark: event-driven `Simulator` vs the scan-based
+//! `ReferenceSimulator` on an 8-node, 10-iteration GPT-3 13B workload.
+//!
+//! The two engines produce byte-identical `SimResult`s (enforced by
+//! `tests/engine_golden.rs`), so this measures pure scheduler overhead:
+//! plan caching, incremental link loads, and waiter wake-lists versus
+//! per-event global recomputation. Emits a `BENCH_sim_engine.json` record
+//! (wall-clock per run, events/s, speedup) for perf trajectory tracking.
+
+use std::time::Instant;
+
+use criterion::{black_box, Criterion};
+
+use charllm_bench::save_json;
+use charllm_hw::{presets, Cluster};
+use charllm_models::{presets as models, TrainJob};
+use charllm_parallel::{ParallelismSpec, PipelineSchedule, Placement, StagePartition};
+use charllm_sim::reference::ReferenceSimulator;
+use charllm_sim::{EngineStats, SimConfig, SimResult, Simulator};
+use charllm_trace::lower::{lower_train, DeviceHints};
+use charllm_trace::ExecutionTrace;
+
+const ITERATIONS: usize = 10;
+
+fn workload(cluster: &Cluster) -> ExecutionTrace {
+    let job = TrainJob::pretrain(models::gpt3_13b()).with_global_batch(64);
+    let spec = ParallelismSpec::infer_dp(4, 8, 1, cluster.num_gpus(), false).unwrap();
+    let partition = StagePartition::even(40, 8).unwrap();
+    let hints = DeviceHints::for_spec(cluster.gpu());
+    lower_train(&job, &spec, PipelineSchedule::OneFOneB, &partition, &hints)
+        .unwrap()
+        .trace
+}
+
+fn config() -> SimConfig {
+    let mut cfg = SimConfig::fast();
+    cfg.iterations = ITERATIONS;
+    cfg.warmup_iterations = 1;
+    cfg
+}
+
+fn run_new(
+    cluster: &Cluster,
+    placement: &Placement,
+    trace: &ExecutionTrace,
+) -> (SimResult, EngineStats) {
+    Simulator::new(cluster, placement, trace, config())
+        .unwrap()
+        .run_stats()
+        .unwrap()
+}
+
+fn run_reference(cluster: &Cluster, placement: &Placement, trace: &ExecutionTrace) -> SimResult {
+    ReferenceSimulator::new(cluster, placement, trace, config())
+        .unwrap()
+        .run()
+        .unwrap()
+}
+
+fn main() {
+    let cluster = presets::hgx_h200_with_nodes(8);
+    let trace = workload(&cluster);
+    let placement = Placement::identity(&cluster, trace.world()).unwrap();
+    println!(
+        "workload: gpt3_13b tp4 pp8 on {} GPUs / 8 nodes, {ITERATIONS} iterations",
+        cluster.num_gpus()
+    );
+
+    let mut criterion = Criterion::default();
+    let mut group = criterion.benchmark_group("sim_engine_hotpath");
+    group.sample_size(3);
+    group.bench_function("event_driven", |b| {
+        b.iter(|| run_new(&cluster, &placement, black_box(&trace)))
+    });
+    group.bench_function("reference_scan", |b| {
+        b.iter(|| run_reference(&cluster, &placement, black_box(&trace)))
+    });
+    group.finish();
+
+    // Single timed head-to-head for the recorded baseline. Both engines
+    // walk the identical event sequence, so the event count from the
+    // event-driven engine's stats applies to both.
+    let t0 = Instant::now();
+    let (result_new, stats) = run_new(&cluster, &placement, &trace);
+    let new_wall_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let result_ref = run_reference(&cluster, &placement, &trace);
+    let ref_wall_s = t1.elapsed().as_secs_f64();
+    assert_eq!(
+        serde_json::to_string(&result_new).unwrap(),
+        serde_json::to_string(&result_ref).unwrap(),
+        "engines diverged on the benchmark workload"
+    );
+
+    let speedup = ref_wall_s / new_wall_s;
+    let record = serde_json::json!({
+        "workload": "gpt3_13b_tp4_pp8_dp2_8node",
+        "gpus": cluster.num_gpus(),
+        "iterations": ITERATIONS,
+        "events": stats.events,
+        "event_driven": {
+            "wall_s": new_wall_s,
+            "events_per_s": stats.events as f64 / new_wall_s,
+        },
+        "reference_scan": {
+            "wall_s": ref_wall_s,
+            "events_per_s": stats.events as f64 / ref_wall_s,
+        },
+        "speedup": speedup,
+        "engine_stats": stats,
+    });
+    println!(
+        "events {} | event-driven {:.3}s ({:.0} events/s) | reference {:.3}s ({:.0} events/s) | speedup {:.2}x",
+        stats.events,
+        new_wall_s,
+        stats.events as f64 / new_wall_s,
+        ref_wall_s,
+        stats.events as f64 / ref_wall_s,
+        speedup
+    );
+    save_json("BENCH_sim_engine", &record);
+}

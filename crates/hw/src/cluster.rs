@@ -239,25 +239,43 @@ impl Cluster {
     ///
     /// Returns [`HwError::GpuOutOfRange`] for ids outside the cluster.
     pub fn route(&self, src: GpuId, dst: GpuId) -> Result<Vec<LinkId>, HwError> {
+        let mut out = Vec::with_capacity(4);
+        self.route_into(src, dst, &mut out)?;
+        Ok(out)
+    }
+
+    /// Write the route from `src` to `dst` into `out` (cleared first),
+    /// avoiding a fresh allocation per call. Routes are at most four links
+    /// long, so a reused buffer never reallocates after the first call.
+    /// Produces exactly the links [`Cluster::route`] would return.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::GpuOutOfRange`] for ids outside the cluster
+    /// (leaving `out` empty).
+    pub fn route_into(&self, src: GpuId, dst: GpuId, out: &mut Vec<LinkId>) -> Result<(), HwError> {
+        out.clear();
         self.check_gpu(src)?;
         self.check_gpu(dst)?;
         if src == dst {
-            return Ok(Vec::new());
+            return Ok(());
         }
         if self.same_node(src, dst) {
             if self.node.fabric == FabricKind::Xgmi && self.same_package(src, dst) {
                 let node = self.node_of(src);
                 let pkg = self.node.package_of(self.slot_of(src));
-                return Ok(vec![self.package_bus_links[node.index()][pkg]]);
+                out.push(self.package_bus_links[node.index()][pkg]);
+                return Ok(());
             }
-            return Ok(vec![self.fabric_port(src), self.fabric_port(dst)]);
+            out.push(self.fabric_port(src));
+            out.push(self.fabric_port(dst));
+            return Ok(());
         }
-        Ok(vec![
-            self.pcie(src),
-            self.nic(self.node_of(src)),
-            self.nic(self.node_of(dst)),
-            self.pcie(dst),
-        ])
+        out.push(self.pcie(src));
+        out.push(self.nic(self.node_of(src)));
+        out.push(self.nic(self.node_of(dst)));
+        out.push(self.pcie(dst));
+        Ok(())
     }
 
     /// Bottleneck bandwidth of a route in GB/s (`f64::INFINITY` for the
@@ -370,6 +388,27 @@ mod tests {
     fn self_route_is_empty() {
         let c = h200();
         assert!(c.route(GpuId(5), GpuId(5)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn route_into_matches_route_for_every_pair() {
+        for c in [h200(), mi250()] {
+            let mut buf = Vec::new();
+            for src in c.gpus() {
+                for dst in c.gpus() {
+                    c.route_into(src, dst, &mut buf).unwrap();
+                    assert_eq!(buf, c.route(src, dst).unwrap(), "{src}->{dst}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_into_clears_stale_contents_on_error() {
+        let c = h200();
+        let mut buf = c.route(GpuId(0), GpuId(8)).unwrap();
+        assert!(c.route_into(GpuId(0), GpuId(999), &mut buf).is_err());
+        assert!(buf.is_empty());
     }
 
     #[test]

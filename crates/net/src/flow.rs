@@ -47,6 +47,17 @@ impl Flow {
         cluster.route(self.src, self.dst)
     }
 
+    /// Write the flow's route into a reusable buffer (cleared first),
+    /// avoiding a fresh `Vec` per lookup — the simulator resolves every
+    /// flow of a collective plan through one scratch buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HwError::GpuOutOfRange`] for GPUs outside the cluster.
+    pub fn route_into(&self, cluster: &Cluster, out: &mut Vec<LinkId>) -> Result<(), HwError> {
+        cluster.route_into(self.src, self.dst, out)
+    }
+
     /// Total per-message + startup overhead in seconds on this route.
     pub fn overhead_s(&self, cluster: &Cluster, route: &[LinkId]) -> f64 {
         let per_msg_us: f64 = route
@@ -115,6 +126,18 @@ mod tests {
         let r_intra = intra.route(&c).unwrap();
         let r_inter = inter.route(&c).unwrap();
         assert!(intra.overhead_s(&c, &r_intra) < inter.overhead_s(&c, &r_inter));
+    }
+
+    #[test]
+    fn route_into_reuses_buffer() {
+        let c = presets::hgx_h200_cluster();
+        let inter = Flow::new(GpuId(0), GpuId(8), 1 << 20, 1);
+        let intra = Flow::new(GpuId(0), GpuId(1), 1 << 20, 1);
+        let mut buf = Vec::new();
+        inter.route_into(&c, &mut buf).unwrap();
+        assert_eq!(buf, inter.route(&c).unwrap());
+        intra.route_into(&c, &mut buf).unwrap();
+        assert_eq!(buf, intra.route(&c).unwrap());
     }
 
     #[test]

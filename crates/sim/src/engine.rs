@@ -1,8 +1,36 @@
-//! The work-progress simulation engine.
+//! The event-driven work-progress simulation engine.
+//!
+//! Semantically this engine is the scan-based [`crate::ReferenceSimulator`]
+//! (the seed engine, kept as the executable spec); structurally it replaces
+//! every per-event global recomputation with incremental state:
+//!
+//! - **Collective plan cache** — `lower_collective` + route resolution are
+//!   pure functions of `(CollectiveId, placement, cluster)`, so each
+//!   collective is lowered once into a [`CollPlan`] of flows with
+//!   precomputed routes, work, payload ratios, and per-flow *charge lists*
+//!   of `(gpu, LinkClass)` telemetry owners (replacing the per-event
+//!   per-route ownership `match`).
+//! - **Incremental link loads** — `link_load` is updated on flow
+//!   launch/retire instead of being rebuilt from all flows × routes in
+//!   every `next_dt`; per-flow bottleneck rates are cached and invalidated
+//!   by a load-epoch counter.
+//! - **Waiter wake-lists** — completing collectives wake exactly their
+//!   registered waiters and completing computes re-enqueue only their own
+//!   rank, instead of re-scanning every rank per event. The two-queue
+//!   drain (`ready_now` min-heap + `ready_next`) reproduces the reference
+//!   scan order exactly; see the queue fields for the invariant.
+//! - **CollState pruning** — per-`(iteration, collective)` bookkeeping is
+//!   retired as soon as the collective is complete and every `CollWait`
+//!   that references it has passed, bounding the map to the in-flight
+//!   iteration window.
+//!
+//! Results are byte-identical to the reference engine; the golden tests in
+//! `tests/engine_golden.rs` enforce this on serialized [`SimResult`]s.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
-use charllm_hw::{Cluster, GpuId, LinkId};
+use charllm_hw::{Cluster, GpuId, LinkClass};
 use charllm_net::lower_collective;
 use charllm_parallel::Placement;
 use charllm_telemetry::{GpuSample, TelemetryStore};
@@ -43,17 +71,84 @@ struct CollState {
     launched: bool,
     flows_remaining: u32,
     complete: bool,
+    /// `CollWait`s that have passed this instance (immediately or via a
+    /// wake); once it reaches the trace-wide wait count the entry is dead.
+    waits_passed: u32,
+    /// Ranks blocked in `CollWait` on this instance, woken on completion.
+    waiters: Vec<usize>,
 }
 
+/// Longest route any preset topology produces (pcie → nic → nic → pcie).
+/// Plan data is inlined into fixed arrays of this size so the per-event
+/// rate and charge loops never chase a pointer.
+const MAX_ROUTE_LINKS: usize = 4;
+
+/// One flow of a cached collective plan: everything about it that is
+/// invariant across iterations, laid out for by-value copying into a
+/// [`FlowState`] at launch.
+#[derive(Debug, Clone, Copy)]
+struct PlanFlow {
+    /// Effective work in byte-equivalents (payload + overhead).
+    work: f64,
+    /// Payload bytes per unit of work.
+    payload_ratio: f64,
+    src: GpuId,
+    dst: GpuId,
+    route_len: u8,
+    /// Link indices along the route.
+    links: [u32; MAX_ROUTE_LINKS],
+    /// Per-link `bw_gbps * 1e9`, premultiplied so the rate loop divides
+    /// the exact product the reference engine computes.
+    bw1e9: [f64; MAX_ROUTE_LINKS],
+    /// Telemetry/traffic owners along the route, in charge order: the
+    /// `(gpu index, link class)` pairs for which the reference engine's
+    /// per-link ownership match returns true.
+    charge_len: u8,
+    charge_gpu: [u32; MAX_ROUTE_LINKS],
+    charge_class: [LinkClass; MAX_ROUTE_LINKS],
+}
+
+/// A collective lowered once: reused for every launch of its id.
+#[derive(Debug)]
+struct CollPlan {
+    flows: Box<[PlanFlow]>,
+}
+
+/// A live flow: per-launch progress plus an inline copy of its plan data.
 #[derive(Debug)]
 struct FlowState {
     work_remaining: f64,
-    payload_ratio: f64,
-    route: Vec<LinkId>,
-    src: GpuId,
-    dst: GpuId,
+    /// Bottleneck fair-share rate as of `rate_epoch` (bytes/s).
+    rate: f64,
+    /// Load epoch the cached `rate` was computed at (0 = never; epoch 0
+    /// predates every launch, so fresh flows always recompute).
+    rate_epoch: u64,
+    coll: u32,
+    /// Launching rank's iteration (forms the `(iteration, coll)` key).
+    iteration: u32,
     measured: bool,
-    coll_key: (u32, u32),
+    plan: PlanFlow,
+}
+
+/// Counters describing how much work the event-driven engine avoided.
+///
+/// Returned by [`Simulator::run_stats`]; every field is monotone over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct EngineStats {
+    /// Scheduler rounds that advanced simulated time.
+    pub events: u64,
+    /// Collectives lowered into a cached plan (≤ distinct collective ids).
+    pub plan_builds: u64,
+    /// Collective launches served from the plan cache.
+    pub plan_reuses: u64,
+    /// Flows launched across all collective instances.
+    pub flows_launched: u64,
+    /// Ranks woken from a collective wait via a wake-list.
+    pub wakes: u64,
+    /// `(iteration, collective)` state entries pruned after their last wait.
+    pub colls_retired: u64,
+    /// High-water mark of live collective state entries.
+    pub peak_live_colls: u64,
 }
 
 /// Executes a trace on a cluster with thermal/DVFS feedback.
@@ -77,12 +172,48 @@ pub struct Simulator<'a> {
     flows: Vec<FlowState>,
     /// Number of active flows touching each GPU (as src or dst).
     gpu_flow_count: Vec<u32>,
-    /// Scratch: flow load per link.
+    /// Flow load per link, maintained incrementally on launch/retire.
     link_load: Vec<u32>,
+    /// Bumped whenever any `link_load` changes.
+    load_epoch: u64,
+    /// `load_epoch` value at which each link's load last changed. A flow's
+    /// cached rate is stale only when some route link changed after the
+    /// flow's `rate_epoch` — unchanged loads would reproduce the identical
+    /// rate bits, so skipping the recompute cannot perturb results.
+    link_epoch: Vec<u64>,
+
+    /// One cached plan per `CollectiveId`, built lazily at first launch.
+    plan_cache: Vec<Option<CollPlan>>,
+    /// Per-collective kernel class (for waiting-time attribution).
+    coll_class: Vec<KernelClass>,
+    /// Per-collective eager-p2p flag and group size.
+    coll_eager: Vec<bool>,
+    coll_group_len: Vec<u32>,
+    /// Per-collective `CollWait` count across the whole trace: how many
+    /// wait passes an instance sees before its state can be pruned.
+    wait_count: Vec<u32>,
+
+    /// Ranks to process this drain pass, popped in ascending rank order.
+    /// A wake issued while processing rank `c` goes here only for waiters
+    /// `w > c` — exactly the waiters the reference engine's 0..n scan
+    /// would still have reached in the same pass.
+    ready_now: BinaryHeap<Reverse<usize>>,
+    /// Ranks that become runnable next pass: compute completions, wakes
+    /// from flow retirement, and wakes of waiters `w ≤ c`.
+    ready_next: Vec<usize>,
+    /// Ranks currently in `Computing` mode (unordered; `next_dt` takes an
+    /// order-independent min over them).
+    computing_ranks: Vec<usize>,
+    /// Position of each rank in `computing_ranks` (`u32::MAX` = absent).
+    computing_pos: Vec<u32>,
+    finished_ranks: usize,
 
     thermals: Vec<GpuThermal>,
     freq_ratio: Vec<f64>,
     last_power_w: Vec<f64>,
+    /// Cached `cluster.gpu().peak_fp16_flops`, read per computing rank per
+    /// event in `compute_rate`.
+    peak_flops: f64,
 
     /// Time-weighted activity accumulation since the last control boundary.
     activity_acc: Vec<f64>,
@@ -97,10 +228,11 @@ pub struct Simulator<'a> {
     t: f64,
     next_control: f64,
     next_sample: f64,
-    busy_time_denominator: f64,
     iteration_complete_at: Vec<f64>,
     measure_start: Option<f64>,
     energy_measured_j: f64,
+
+    stats: EngineStats,
 }
 
 impl<'a> Simulator<'a> {
@@ -133,6 +265,15 @@ impl<'a> Simulator<'a> {
                 iteration: 0,
                 mode: RankMode::Ready,
             })
+            .collect();
+
+        let num_colls = trace.num_collectives();
+        let coll_class = trace.collectives().iter().map(|c| c.class()).collect();
+        let coll_eager = trace.collectives().iter().map(|c| c.eager_p2p).collect();
+        let coll_group_len = trace
+            .collectives()
+            .iter()
+            .map(|c| c.group.len() as u32)
             .collect();
 
         let airflow = &cluster.node_layout().airflow;
@@ -177,9 +318,22 @@ impl<'a> Simulator<'a> {
             flows: Vec::new(),
             gpu_flow_count: vec![0; num_gpus],
             link_load: vec![0; cluster.num_links()],
+            load_epoch: 0,
+            link_epoch: vec![0; cluster.num_links()],
+            plan_cache: (0..num_colls).map(|_| None).collect(),
+            coll_class,
+            coll_eager,
+            coll_group_len,
+            wait_count: trace.wait_counts(),
+            ready_now: BinaryHeap::new(),
+            ready_next: Vec::new(),
+            computing_ranks: Vec::new(),
+            computing_pos: vec![u32::MAX; trace.world()],
+            finished_ranks: 0,
             thermals,
             freq_ratio,
             last_power_w,
+            peak_flops: cluster.gpu().peak_fp16_flops,
             activity_acc: vec![0.0; num_gpus],
             util_acc: vec![0.0; num_gpus],
             pcie_window_bytes: vec![0.0; num_gpus],
@@ -190,7 +344,6 @@ impl<'a> Simulator<'a> {
             t: 0.0,
             next_control: cfg.control_period_s,
             next_sample: cfg.sample_period_s,
-            busy_time_denominator: 0.0,
             iteration_complete_at: vec![0.0; cfg.iterations],
             measure_start: if cfg.warmup_iterations == 0 {
                 Some(0.0)
@@ -198,6 +351,7 @@ impl<'a> Simulator<'a> {
                 None
             },
             energy_measured_j: 0.0,
+            stats: EngineStats::default(),
             cfg,
         })
     }
@@ -208,11 +362,29 @@ impl<'a> Simulator<'a> {
     ///
     /// Returns [`SimError::Deadlock`] if no progress is possible and
     /// [`SimError::Timeout`] when the simulated-time cap is hit.
-    pub fn run(mut self) -> Result<SimResult, SimError> {
-        loop {
-            let progressed = self.advance_ready_ranks();
+    pub fn run(self) -> Result<SimResult, SimError> {
+        self.run_stats().map(|(result, _)| result)
+    }
 
-            if self.ranks.iter().all(|r| r.mode == RankMode::Finished) {
+    /// Run to completion, also returning the engine's internal counters.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::run`].
+    pub fn run_stats(mut self) -> Result<(SimResult, EngineStats), SimError> {
+        self.run_loop()?;
+        let stats = self.stats;
+        Ok((self.finish(), stats))
+    }
+
+    fn run_loop(&mut self) -> Result<(), SimError> {
+        for rank in 0..self.ranks.len() {
+            self.ready_now.push(Reverse(rank));
+        }
+        loop {
+            let progressed = self.drain_ready();
+
+            if self.finished_ranks == self.ranks.len() {
                 break;
             }
 
@@ -230,6 +402,7 @@ impl<'a> Simulator<'a> {
             };
 
             self.advance(dt);
+            self.stats.events += 1;
 
             if self.t >= self.next_control - 1e-12 {
                 self.control_update();
@@ -241,77 +414,93 @@ impl<'a> Simulator<'a> {
                 });
             }
         }
-        Ok(self.finish())
+        Ok(())
     }
 
-    /// Process instantaneous steps for every rank that can move.
-    fn advance_ready_ranks(&mut self) -> bool {
+    /// One scheduling pass: process every runnable rank in ascending rank
+    /// order, exactly like the reference engine's 0..n scan (in-pass wakes
+    /// of higher ranks land in the same pass; everything else waits for the
+    /// next one).
+    fn drain_ready(&mut self) -> bool {
+        for rank in self.ready_next.drain(..) {
+            self.ready_now.push(Reverse(rank));
+        }
         let mut progressed = false;
-        for rank in 0..self.ranks.len() {
-            progressed |= self.advance_rank(rank);
+        while let Some(Reverse(rank)) = self.ready_now.pop() {
+            progressed = true;
+            self.process_rank(rank);
         }
         progressed
     }
 
-    fn advance_rank(&mut self, rank: usize) -> bool {
-        let mut progressed = false;
+    /// Run one rank's instantaneous steps until it blocks, starts a
+    /// compute, or finishes. The rank's mode is `Ready` on entry.
+    fn process_rank(&mut self, rank: usize) {
         loop {
-            match self.ranks[rank].mode {
-                RankMode::Computing { .. } | RankMode::Finished => return progressed,
-                RankMode::Waiting { coll } => {
-                    let key = (self.ranks[rank].iteration as u32, coll);
-                    let done = self.colls.get(&key).is_some_and(|c| c.complete);
-                    if !done {
-                        return progressed;
-                    }
-                    self.ranks[rank].mode = RankMode::Ready;
-                    progressed = true;
+            let steps = self.trace.steps(rank);
+            if self.ranks[rank].step_idx >= steps.len() {
+                // Iteration boundary.
+                let iter = self.ranks[rank].iteration;
+                self.iteration_complete_at[iter] = self.iteration_complete_at[iter].max(self.t);
+                self.ranks[rank].iteration += 1;
+                self.ranks[rank].step_idx = 0;
+                if self.ranks[rank].iteration >= self.cfg.iterations {
+                    self.ranks[rank].mode = RankMode::Finished;
+                    self.finished_ranks += 1;
+                    return;
                 }
-                RankMode::Ready => {
-                    let steps = self.trace.steps(rank);
-                    if self.ranks[rank].step_idx >= steps.len() {
-                        // Iteration boundary.
-                        let iter = self.ranks[rank].iteration;
-                        self.iteration_complete_at[iter] =
-                            self.iteration_complete_at[iter].max(self.t);
-                        self.ranks[rank].iteration += 1;
-                        self.ranks[rank].step_idx = 0;
-                        progressed = true;
-                        if self.ranks[rank].iteration >= self.cfg.iterations {
-                            self.ranks[rank].mode = RankMode::Finished;
-                            continue;
-                        }
-                        if self.measure_start.is_none()
-                            && self
-                                .ranks
-                                .iter()
-                                .all(|r| r.iteration >= self.cfg.warmup_iterations)
-                        {
-                            self.measure_start = Some(self.t);
-                        }
-                        continue;
-                    }
-                    let step = steps[self.ranks[rank].step_idx];
-                    self.ranks[rank].step_idx += 1;
-                    progressed = true;
-                    match step {
-                        Step::Compute { kind, flops } => {
-                            self.ranks[rank].mode = RankMode::Computing {
-                                kind,
-                                remaining_flops: flops,
-                            };
-                            return progressed;
-                        }
-                        Step::CollStart { coll } => {
-                            self.arrive(rank, coll.0);
-                        }
-                        Step::CollWait { coll } => {
-                            let key = (self.ranks[rank].iteration as u32, coll.0);
-                            let done = self.colls.get(&key).is_some_and(|c| c.complete);
-                            if !done {
-                                self.ranks[rank].mode = RankMode::Waiting { coll: coll.0 };
-                                return progressed;
+                if self.measure_start.is_none()
+                    && self
+                        .ranks
+                        .iter()
+                        .all(|r| r.iteration >= self.cfg.warmup_iterations)
+                {
+                    self.measure_start = Some(self.t);
+                }
+                continue;
+            }
+            let step = steps[self.ranks[rank].step_idx];
+            self.ranks[rank].step_idx += 1;
+            match step {
+                Step::Compute { kind, flops } => {
+                    self.ranks[rank].mode = RankMode::Computing {
+                        kind,
+                        remaining_flops: flops,
+                    };
+                    self.computing_pos[rank] = self.computing_ranks.len() as u32;
+                    self.computing_ranks.push(rank);
+                    return;
+                }
+                Step::CollStart { coll } => {
+                    self.arrive(rank, coll.0);
+                }
+                Step::CollWait { coll } => {
+                    let key = (self.ranks[rank].iteration as u32, coll.0);
+                    let need = self.wait_count[coll.0 as usize];
+                    match self.colls.get_mut(&key) {
+                        Some(state) if state.complete => {
+                            state.waits_passed += 1;
+                            if state.waits_passed >= need {
+                                self.colls.remove(&key);
+                                self.stats.colls_retired += 1;
                             }
+                        }
+                        Some(state) => {
+                            state.waiters.push(rank);
+                            self.ranks[rank].mode = RankMode::Waiting { coll: coll.0 };
+                            return;
+                        }
+                        None => {
+                            self.colls.insert(
+                                key,
+                                CollState {
+                                    waiters: vec![rank],
+                                    ..CollState::default()
+                                },
+                            );
+                            self.note_live_colls();
+                            self.ranks[rank].mode = RankMode::Waiting { coll: coll.0 };
+                            return;
                         }
                     }
                 }
@@ -319,78 +508,103 @@ impl<'a> Simulator<'a> {
         }
     }
 
-    /// A rank arrives at a collective; launch its flows when ready.
+    /// A rank arrives at a collective; launch its plan's flows when ready.
     fn arrive(&mut self, rank: usize, coll: u32) {
+        let ci = coll as usize;
         let iter = self.ranks[rank].iteration as u32;
         let key = (iter, coll);
-        let inst = self
-            .trace
-            .collective(charllm_trace::task::CollectiveId(coll));
-        let state = self.colls.entry(key).or_default();
-        state.arrived += 1;
-        let ready = if inst.eager_p2p {
-            true
-        } else {
-            state.arrived as usize == inst.group.len()
+        let launch = {
+            let state = self.colls.entry(key).or_default();
+            state.arrived += 1;
+            let ready = self.coll_eager[ci] || state.arrived == self.coll_group_len[ci];
+            if ready && !state.launched {
+                state.launched = true;
+                true
+            } else {
+                false
+            }
         };
-        if !ready || state.launched {
+        self.note_live_colls();
+        if !launch {
             return;
         }
-        state.launched = true;
-        let gpus: Vec<GpuId> = inst.group.iter().map(|&r| self.ranks[r].gpu).collect();
-        let plan = lower_collective(
-            inst.kind,
-            inst.bytes_per_rank,
-            &gpus,
-            self.cluster,
-            inst.chunking,
-        )
-        .expect("placement-validated gpus");
+
+        if self.plan_cache[ci].is_none() {
+            self.plan_cache[ci] = Some(build_plan(self.cluster, self.trace, &self.ranks, coll));
+            self.stats.plan_builds += 1;
+        } else {
+            self.stats.plan_reuses += 1;
+        }
+
         let measured = self.ranks[rank].iteration >= self.cfg.warmup_iterations;
-        let mut active = 0u32;
-        for flow in plan.flows {
-            let route = self.cluster.route(flow.src, flow.dst).expect("valid route");
-            if route.is_empty() {
-                continue;
+        let plan = self.plan_cache[ci].as_ref().expect("plan just ensured");
+        let active = plan.flows.len() as u32;
+        if active > 0 {
+            self.load_epoch += 1;
+            self.stats.flows_launched += u64::from(active);
+        }
+        let epoch = self.load_epoch;
+        for pf in plan.flows.iter() {
+            self.gpu_flow_count[pf.src.index()] += 1;
+            self.gpu_flow_count[pf.dst.index()] += 1;
+            for l in 0..pf.route_len as usize {
+                let id = pf.links[l] as usize;
+                self.link_load[id] += 1;
+                self.link_epoch[id] = epoch;
             }
-            let work = flow.work_bytes(self.cluster, &route);
-            if work <= 0.0 {
-                continue;
-            }
-            active += 1;
-            self.gpu_flow_count[flow.src.index()] += 1;
-            self.gpu_flow_count[flow.dst.index()] += 1;
             self.flows.push(FlowState {
-                work_remaining: work,
-                payload_ratio: flow.bytes as f64 / work,
-                route,
-                src: flow.src,
-                dst: flow.dst,
+                work_remaining: pf.work,
+                rate: 0.0,
+                rate_epoch: 0,
+                coll,
+                iteration: iter,
                 measured,
-                coll_key: key,
+                plan: *pf,
             });
         }
+
         let state = self.colls.get_mut(&key).expect("just inserted");
         state.flows_remaining = active;
         if active == 0 {
-            state.complete = true;
+            self.complete_coll(key, Some(rank));
         }
     }
 
-    /// Current per-flow rate in bytes/s (fair share of the slowest link).
-    fn flow_rate(&self, flow: &FlowState) -> f64 {
-        flow.route
-            .iter()
-            .map(|id| {
-                let load = self.link_load[id.index()].max(1) as f64;
-                self.cluster.link(*id).bw_gbps * 1e9 / load
-            })
-            .fold(f64::INFINITY, f64::min)
+    /// Mark a collective instance complete, wake its waiters, and prune its
+    /// state if no wait can reference it again.
+    ///
+    /// `current` is the rank being processed when completion happens inside
+    /// a drain pass (`None` when it happens during `advance`): waiters with
+    /// a higher rank are still ahead of the reference scan's cursor and run
+    /// this pass; everyone else runs next pass.
+    fn complete_coll(&mut self, key: (u32, u32), current: Option<usize>) {
+        let need = self.wait_count[key.1 as usize];
+        let state = self.colls.get_mut(&key).expect("live collective");
+        state.complete = true;
+        let waiters = std::mem::take(&mut state.waiters);
+        state.waits_passed += waiters.len() as u32;
+        let prune = state.waits_passed >= need;
+        for &w in &waiters {
+            self.ranks[w].mode = RankMode::Ready;
+            match current {
+                Some(c) if w > c => self.ready_now.push(Reverse(w)),
+                _ => self.ready_next.push(w),
+            }
+        }
+        self.stats.wakes += waiters.len() as u64;
+        if prune {
+            self.colls.remove(&key);
+            self.stats.colls_retired += 1;
+        }
+    }
+
+    fn note_live_colls(&mut self) {
+        self.stats.peak_live_colls = self.stats.peak_live_colls.max(self.colls.len() as u64);
     }
 
     fn compute_rate(&self, rank: usize, kind: charllm_trace::ComputeKind) -> f64 {
         let gpu = self.ranks[rank].gpu.index();
-        let mut rate = self.cluster.gpu().peak_fp16_flops * kind.mfu() * self.freq_ratio[gpu];
+        let mut rate = self.peak_flops * kind.mfu() * self.freq_ratio[gpu];
         if self.gpu_flow_count[gpu] > 0 {
             rate /= self.cfg.overlap_slowdown;
         }
@@ -399,35 +613,46 @@ impl<'a> Simulator<'a> {
 
     /// Choose the next time step: the earliest completion, capped by the
     /// control period. `None` when nothing is in flight.
+    ///
+    /// Refreshes every stale flow rate (some route link's load changed
+    /// since the rate was cached); `advance` then reuses those exact rates,
+    /// matching the reference engine where both methods read the same
+    /// `link_load`. Flows on untouched links keep their cached rate — the
+    /// recompute would divide the same bandwidths by the same loads and
+    /// reproduce the identical bits.
     fn next_dt(&mut self) -> Option<f64> {
-        // Refresh link loads.
-        for l in &mut self.link_load {
-            *l = 0;
-        }
-        for flow in &self.flows {
-            for id in &flow.route {
-                self.link_load[id.index()] += 1;
-            }
+        if self.computing_ranks.is_empty() && self.flows.is_empty() {
+            return None;
         }
         let mut dt = self.next_control - self.t;
-        let mut any = false;
-        for (rank, state) in self.ranks.iter().enumerate() {
+        for idx in 0..self.computing_ranks.len() {
+            let rank = self.computing_ranks[idx];
             if let RankMode::Computing {
                 kind,
                 remaining_flops,
-            } = state.mode
+            } = self.ranks[rank].mode
             {
-                any = true;
                 let rate = self.compute_rate(rank, kind);
                 dt = dt.min(remaining_flops / rate);
             }
         }
-        for flow in &self.flows {
-            any = true;
-            dt = dt.min(flow.work_remaining / self.flow_rate(flow));
-        }
-        if !any {
-            return None;
+        let epoch = self.load_epoch;
+        for f in self.flows.iter_mut() {
+            let n = f.plan.route_len as usize;
+            let mut stale = false;
+            for l in 0..n {
+                stale |= self.link_epoch[f.plan.links[l] as usize] > f.rate_epoch;
+            }
+            if stale {
+                let mut rate = f64::INFINITY;
+                for l in 0..n {
+                    let load = self.link_load[f.plan.links[l] as usize].max(1) as f64;
+                    rate = rate.min(f.plan.bw1e9[l] / load);
+                }
+                f.rate = rate;
+                f.rate_epoch = epoch;
+            }
+            dt = dt.min(f.work_remaining / f.rate);
         }
         Some(dt.max(1e-9))
     }
@@ -468,6 +693,8 @@ impl<'a> Simulator<'a> {
                     occ.2 += (tb + 0.1 * comm) * dt;
                     if left <= 1.0 {
                         self.ranks[rank].mode = RankMode::Ready;
+                        self.remove_computing(rank);
+                        self.ready_next.push(rank);
                     } else {
                         self.ranks[rank].mode = RankMode::Computing {
                             kind,
@@ -476,11 +703,8 @@ impl<'a> Simulator<'a> {
                     }
                 }
                 RankMode::Waiting { coll } => {
-                    let inst = self
-                        .trace
-                        .collective(charllm_trace::task::CollectiveId(coll));
                     if measured {
-                        self.kernel_time[rank].add(inst.class(), dt);
+                        self.kernel_time[rank].add(self.coll_class[coll as usize], dt);
                     }
                     // Communication kernels keep the SMs occupied at low
                     // pressure (the paper's "prolonged communication
@@ -502,60 +726,70 @@ impl<'a> Simulator<'a> {
             }
         }
 
-        // Flow progress + traffic accounting.
+        // Flow progress + traffic accounting, using the rates `next_dt`
+        // just cached (the reference engine recomputes them from the same
+        // link loads, yielding the same values).
+        let mut loads_changed = false;
         let mut i = 0;
         while i < self.flows.len() {
-            let rate = self.flow_rate(&self.flows[i]);
-            let actually = (rate * dt).min(self.flows[i].work_remaining);
-            self.flows[i].work_remaining -= actually;
-            let payload = actually * self.flows[i].payload_ratio;
-            let src = self.flows[i].src;
-            let dst = self.flows[i].dst;
-            let measured = self.flows[i].measured;
-            let done = self.flows[i].work_remaining <= 1.0;
-            let coll_key = self.flows[i].coll_key;
-            // Charge GPU-owned links for telemetry + traffic matrices.
-            for k in 0..self.flows[i].route.len() {
-                let id = self.flows[i].route[k];
-                let class = self.cluster.link(id).class;
-                for &gpu in &[src, dst] {
-                    let owns = match class {
-                        charllm_hw::LinkClass::Pcie => self.cluster.pcie(gpu) == id,
-                        charllm_hw::LinkClass::NvLink | charllm_hw::LinkClass::XgmiPort => {
-                            self.cluster.fabric_port(gpu) == id
-                        }
-                        charllm_hw::LinkClass::XgmiPackage => {
-                            // Package bus: charge both endpoints.
-                            self.cluster.same_package(src, dst) && (gpu == src || gpu == dst)
-                        }
-                        charllm_hw::LinkClass::Nic => false,
-                    };
-                    if owns {
-                        if measured {
-                            self.traffic.add(gpu.index(), class, payload);
-                        }
-                        if class == charllm_hw::LinkClass::Pcie {
-                            self.pcie_window_bytes[gpu.index()] += payload;
-                        }
-                    }
+            let f = &mut self.flows[i];
+            let mut moved = (f.rate * dt).min(f.work_remaining);
+            let after = f.work_remaining - moved;
+            let done = after <= 1.0;
+            if done {
+                // Credit the sub-unit residual so every lowered payload
+                // byte lands in the traffic accounting.
+                moved += after;
+            }
+            f.work_remaining = if done { 0.0 } else { after };
+            let measured = f.measured;
+            let payload = moved * f.plan.payload_ratio;
+            for c in 0..f.plan.charge_len as usize {
+                let gpu = f.plan.charge_gpu[c] as usize;
+                let class = f.plan.charge_class[c];
+                if measured {
+                    self.traffic.add(gpu, class, payload);
+                }
+                if class == LinkClass::Pcie {
+                    self.pcie_window_bytes[gpu] += payload;
                 }
             }
             if done {
-                self.gpu_flow_count[src.index()] -= 1;
-                self.gpu_flow_count[dst.index()] -= 1;
-                let state = self.colls.get_mut(&coll_key).expect("flow has state");
+                let key = (f.iteration, f.coll);
+                let pf = f.plan;
+                self.gpu_flow_count[pf.src.index()] -= 1;
+                self.gpu_flow_count[pf.dst.index()] -= 1;
+                loads_changed = true;
+                let epoch = self.load_epoch + 1;
+                for l in 0..pf.route_len as usize {
+                    let id = pf.links[l] as usize;
+                    self.link_load[id] -= 1;
+                    self.link_epoch[id] = epoch;
+                }
+                let state = self.colls.get_mut(&key).expect("flow has state");
                 state.flows_remaining -= 1;
                 if state.flows_remaining == 0 {
-                    state.complete = true;
+                    self.complete_coll(key, None);
                 }
                 self.flows.swap_remove(i);
             } else {
                 i += 1;
             }
         }
+        if loads_changed {
+            self.load_epoch += 1;
+        }
 
         self.t += dt;
-        self.busy_time_denominator += dt;
+    }
+
+    fn remove_computing(&mut self, rank: usize) {
+        let pos = self.computing_pos[rank] as usize;
+        self.computing_ranks.swap_remove(pos);
+        self.computing_pos[rank] = u32::MAX;
+        if let Some(&moved) = self.computing_ranks.get(pos) {
+            self.computing_pos[moved] = pos as u32;
+        }
     }
 
     /// Thermal/governor update + telemetry sampling at a control boundary.
@@ -701,8 +935,93 @@ impl<'a> Simulator<'a> {
     }
 }
 
+/// Lower one collective into its iteration-invariant plan: flows with
+/// resolved routes, effective work, payload ratios, and charge lists.
+///
+/// Flows with an empty route (on-device) or no work are dropped here once,
+/// instead of being re-filtered at every launch.
+fn build_plan(
+    cluster: &Cluster,
+    trace: &ExecutionTrace,
+    ranks: &[RankState],
+    coll: u32,
+) -> CollPlan {
+    let inst = trace.collective(charllm_trace::task::CollectiveId(coll));
+    let gpus: Vec<GpuId> = inst.group.iter().map(|&r| ranks[r].gpu).collect();
+    let plan = lower_collective(
+        inst.kind,
+        inst.bytes_per_rank,
+        &gpus,
+        cluster,
+        inst.chunking,
+    )
+    .expect("placement-validated gpus");
+    let mut flows = Vec::with_capacity(plan.flows.len());
+    let mut route = Vec::new();
+    for flow in plan.flows {
+        flow.route_into(cluster, &mut route).expect("valid route");
+        if route.is_empty() {
+            continue;
+        }
+        let work = flow.work_bytes(cluster, &route);
+        if work <= 0.0 {
+            continue;
+        }
+        // Precompute which (gpu, class) pairs own each route link for
+        // telemetry/traffic charging, in the order the reference engine's
+        // per-event ownership match visits them.
+        let mut charges = Vec::new();
+        for &id in &route {
+            let class = cluster.link(id).class;
+            for &gpu in &[flow.src, flow.dst] {
+                let owns = match class {
+                    LinkClass::Pcie => cluster.pcie(gpu) == id,
+                    LinkClass::NvLink | LinkClass::XgmiPort => cluster.fabric_port(gpu) == id,
+                    LinkClass::XgmiPackage => {
+                        // Package bus: charge both endpoints.
+                        cluster.same_package(flow.src, flow.dst)
+                            && (gpu == flow.src || gpu == flow.dst)
+                    }
+                    LinkClass::Nic => false,
+                };
+                if owns {
+                    charges.push((gpu.index() as u32, class));
+                }
+            }
+        }
+        assert!(
+            route.len() <= MAX_ROUTE_LINKS && charges.len() <= MAX_ROUTE_LINKS,
+            "route/charge list exceeds MAX_ROUTE_LINKS; bump the inline plan capacity"
+        );
+        let mut pf = PlanFlow {
+            work,
+            payload_ratio: flow.bytes as f64 / work,
+            src: flow.src,
+            dst: flow.dst,
+            route_len: route.len() as u8,
+            links: [0; MAX_ROUTE_LINKS],
+            bw1e9: [0.0; MAX_ROUTE_LINKS],
+            charge_len: charges.len() as u8,
+            charge_gpu: [0; MAX_ROUTE_LINKS],
+            charge_class: [LinkClass::Nic; MAX_ROUTE_LINKS],
+        };
+        for (l, &id) in route.iter().enumerate() {
+            pf.links[l] = id.index() as u32;
+            pf.bw1e9[l] = cluster.link(id).bw_gbps * 1e9;
+        }
+        for (c, &(gpu, class)) in charges.iter().enumerate() {
+            pf.charge_gpu[c] = gpu;
+            pf.charge_class[c] = class;
+        }
+        flows.push(pf);
+    }
+    CollPlan {
+        flows: flows.into_boxed_slice(),
+    }
+}
+
 /// Warp/threadblock pressure proxies per kernel class.
-fn kernel_pressure(kind: charllm_trace::ComputeKind) -> (f64, f64) {
+pub(crate) fn kernel_pressure(kind: charllm_trace::ComputeKind) -> (f64, f64) {
     use charllm_trace::ComputeKind as K;
     match kind {
         K::Gemm => (0.85, 0.9),
@@ -955,5 +1274,111 @@ mod tests {
             Simulator::new(&cluster, &placement, &trace, SimConfig::fast()),
             Err(SimError::InvalidTrace(_))
         ));
+    }
+
+    #[test]
+    fn plans_are_cached_and_reused_across_iterations() {
+        let cluster = one_node_cluster();
+        let job = TrainJob::pretrain(models::gpt3_13b()).with_global_batch(8);
+        let spec = ParallelismSpec::infer_dp(2, 2, 1, 8, false).unwrap();
+        let partition = StagePartition::even(40, 2).unwrap();
+        let hints = DeviceHints::for_spec(cluster.gpu());
+        let lowered =
+            lower_train(&job, &spec, PipelineSchedule::OneFOneB, &partition, &hints).unwrap();
+        let mut cfg = SimConfig::fast();
+        cfg.iterations = 3;
+        cfg.warmup_iterations = 1;
+        let placement = Placement::identity(&cluster, 8).unwrap();
+        let (_, stats) = Simulator::new(&cluster, &placement, &lowered.trace, cfg)
+            .unwrap()
+            .run_stats()
+            .unwrap();
+        assert!(stats.plan_builds > 0);
+        assert!(
+            stats.plan_builds <= lowered.trace.num_collectives() as u64,
+            "at most one build per collective id: {} builds, {} ids",
+            stats.plan_builds,
+            lowered.trace.num_collectives()
+        );
+        // 3 iterations: every collective launched after the first launch of
+        // its id hits the cache.
+        assert_eq!(stats.plan_reuses, 2 * stats.plan_builds);
+        assert!(stats.flows_launched > 0);
+        assert!(stats.events > 0);
+    }
+
+    #[test]
+    fn collective_state_is_pruned_after_last_wait() {
+        let cluster = one_node_cluster();
+        let job = TrainJob::pretrain(models::gpt3_13b()).with_global_batch(8);
+        let spec = ParallelismSpec::infer_dp(2, 2, 1, 8, false).unwrap();
+        let partition = StagePartition::even(40, 2).unwrap();
+        let hints = DeviceHints::for_spec(cluster.gpu());
+        let lowered =
+            lower_train(&job, &spec, PipelineSchedule::OneFOneB, &partition, &hints).unwrap();
+        let mut cfg = SimConfig::fast();
+        cfg.iterations = 4;
+        cfg.warmup_iterations = 1;
+        let placement = Placement::identity(&cluster, 8).unwrap();
+        let (_, stats) = Simulator::new(&cluster, &placement, &lowered.trace, cfg)
+            .unwrap()
+            .run_stats()
+            .unwrap();
+        let instances = 4 * lowered.trace.num_collectives() as u64;
+        assert!(stats.colls_retired > 0, "{stats:?}");
+        // Without pruning every one of the `iterations × collectives`
+        // instances would stay live; with it the map tracks only the
+        // in-flight iteration window.
+        assert!(
+            stats.peak_live_colls < instances / 2,
+            "peak {} of {} instances",
+            stats.peak_live_colls,
+            instances
+        );
+        assert!(stats.wakes > 0);
+    }
+
+    #[test]
+    fn waiters_wake_in_rank_order_matching_reference_scan() {
+        // Three ranks block on an AllReduce whose last arriver is rank 0 in
+        // a later pass (it computes first); the woken waiters must proceed
+        // and the run must terminate — exercising both ready-queue paths
+        // (w > current and w <= current).
+        let cluster = one_node_cluster();
+        let mut b = TraceBuilder::new(3);
+        b.compute(0, ComputeKind::Gemm, 1e12);
+        let id = b.collective(
+            CollKey {
+                site: "ar",
+                mb: 0,
+                layer: 0,
+                aux: 0,
+                group_lead: 0,
+            },
+            CollectiveKind::AllReduce,
+            1 << 16,
+            vec![0, 1, 2],
+            ChunkingPolicy::nccl_default(),
+            false,
+        );
+        b.blocking(0, id);
+        b.blocking(1, id);
+        b.blocking(2, id);
+        let trace = b.build(TraceMeta {
+            tokens_per_iteration: 1,
+            ..Default::default()
+        });
+        let mut cfg = SimConfig::fast();
+        cfg.thermal_feedback = false;
+        let placement = Placement::identity(&cluster, 3).unwrap();
+        let (r, stats) = Simulator::new(&cluster, &placement, &trace, cfg)
+            .unwrap()
+            .run_stats()
+            .unwrap();
+        assert!(r.step_time_s > 0.0);
+        // Ranks 1 and 2 block first; rank 0 launches on arrival and then
+        // blocks on its own wait, so all three are woken on completion.
+        assert_eq!(stats.wakes, 3);
+        assert_eq!(stats.colls_retired, 1);
     }
 }

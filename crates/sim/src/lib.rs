@@ -24,9 +24,11 @@ pub mod analytic;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod reference;
 pub mod result;
 
 pub use config::SimConfig;
-pub use engine::Simulator;
+pub use engine::{EngineStats, Simulator};
 pub use error::SimError;
+pub use reference::ReferenceSimulator;
 pub use result::{KernelBreakdown, OccupancyStats, SimResult, TrafficMatrix};

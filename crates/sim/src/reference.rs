@@ -1,0 +1,723 @@
+//! The scan-based reference engine: the executable specification of the
+//! simulator's semantics.
+//!
+//! [`ReferenceSimulator`] is the seed engine preserved verbatim (minus two
+//! bug fixes described below). Every event it recomputes global state from
+//! scratch: link loads are rebuilt from all flows × routes, every rank is
+//! polled for progress, and every collective launch re-lowers its flows and
+//! re-resolves their routes. That makes it slow — and easy to audit.
+//!
+//! The production [`crate::Simulator`] is an event-driven rework of this
+//! loop (plan caching, incremental link loads, waiter wake-lists) that must
+//! produce **byte-identical** [`SimResult`]s; `tests/engine_golden.rs`
+//! compares serialized output of both engines on end-to-end workloads, and
+//! the `sim_engine_hotpath` bench measures the speedup against this
+//! baseline.
+//!
+//! Differences from the original seed engine (applied to both engines so
+//! the equality comparison stays meaningful):
+//! - the dead `busy_time_denominator` accumulator was removed;
+//! - flows retire at `work_remaining <= 1.0`, and the sub-unit residual is
+//!   now credited to the final payload charge so measured traffic equals
+//!   the sum of lowered flow payloads instead of silently dropping up to
+//!   one byte-equivalent per flow.
+
+use std::collections::HashMap;
+
+use charllm_hw::{Cluster, GpuId, LinkId};
+use charllm_net::lower_collective;
+use charllm_parallel::Placement;
+use charllm_telemetry::{GpuSample, TelemetryStore};
+use charllm_thermal::{GovernorConfig, GpuThermal, GpuVariability, ThermalSpec};
+use charllm_trace::{ExecutionTrace, KernelClass, Step};
+
+use crate::config::SimConfig;
+use crate::engine::kernel_pressure;
+use crate::error::SimError;
+use crate::result::{KernelBreakdown, OccupancyStats, SimResult, TrafficMatrix};
+
+/// What a rank is currently doing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum RankMode {
+    /// Ready to process its next step.
+    Ready,
+    /// Running a compute kernel.
+    Computing {
+        kind: charllm_trace::ComputeKind,
+        remaining_flops: f64,
+    },
+    /// Blocked on a collective.
+    Waiting { coll: u32 },
+    /// All iterations done.
+    Finished,
+}
+
+#[derive(Debug)]
+struct RankState {
+    gpu: GpuId,
+    step_idx: usize,
+    iteration: usize,
+    mode: RankMode,
+}
+
+#[derive(Debug, Default)]
+struct CollState {
+    arrived: u32,
+    launched: bool,
+    flows_remaining: u32,
+    complete: bool,
+}
+
+#[derive(Debug)]
+struct FlowState {
+    work_remaining: f64,
+    payload_ratio: f64,
+    route: Vec<LinkId>,
+    src: GpuId,
+    dst: GpuId,
+    measured: bool,
+    coll_key: (u32, u32),
+}
+
+/// The scan-everything-per-event engine (see the module docs).
+///
+/// Same construction contract and result type as [`crate::Simulator`]; use
+/// it when you need a semantics baseline to compare the event-driven engine
+/// against, never for production sweeps.
+pub struct ReferenceSimulator<'a> {
+    cluster: &'a Cluster,
+    trace: &'a ExecutionTrace,
+    cfg: SimConfig,
+
+    ranks: Vec<RankState>,
+    colls: HashMap<(u32, u32), CollState>,
+    flows: Vec<FlowState>,
+    /// Number of active flows touching each GPU (as src or dst).
+    gpu_flow_count: Vec<u32>,
+    /// Scratch: flow load per link.
+    link_load: Vec<u32>,
+
+    thermals: Vec<GpuThermal>,
+    freq_ratio: Vec<f64>,
+    last_power_w: Vec<f64>,
+
+    /// Time-weighted activity accumulation since the last control boundary.
+    activity_acc: Vec<f64>,
+    util_acc: Vec<f64>,
+    pcie_window_bytes: Vec<f64>,
+
+    kernel_time: Vec<KernelBreakdown>,
+    traffic: TrafficMatrix,
+    occ_acc: Vec<(f64, f64, f64)>,
+    telemetry: TelemetryStore,
+
+    t: f64,
+    next_control: f64,
+    next_sample: f64,
+    iteration_complete_at: Vec<f64>,
+    measure_start: Option<f64>,
+    energy_measured_j: f64,
+}
+
+impl<'a> ReferenceSimulator<'a> {
+    /// Build a reference simulator after validating trace/placement/cluster
+    /// agreement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidTrace`] or [`SimError::PlacementMismatch`].
+    pub fn new(
+        cluster: &'a Cluster,
+        placement: &Placement,
+        trace: &'a ExecutionTrace,
+        cfg: SimConfig,
+    ) -> Result<Self, SimError> {
+        let problems = trace.validate();
+        if !problems.is_empty() {
+            return Err(SimError::InvalidTrace(problems));
+        }
+        if placement.world() < trace.world() {
+            return Err(SimError::PlacementMismatch {
+                trace_world: trace.world(),
+                placement_world: placement.world(),
+            });
+        }
+        let num_gpus = cluster.num_gpus();
+        let ranks: Vec<RankState> = (0..trace.world())
+            .map(|r| RankState {
+                gpu: placement.gpu(r),
+                step_idx: 0,
+                iteration: 0,
+                mode: RankMode::Ready,
+            })
+            .collect();
+
+        let airflow = &cluster.node_layout().airflow;
+        let mut thermals = Vec::with_capacity(num_gpus);
+        for gpu in cluster.gpus() {
+            let spec = cluster.gpu().clone();
+            let variability = GpuVariability::for_gpu(gpu, cfg.seed);
+            let slot = cluster.slot_of(gpu);
+            let mut governor_cfg = GovernorConfig::for_spec(&spec);
+            if let Some((node, cap_w)) = cfg.node_power_cap {
+                if cluster.node_of(gpu) == charllm_hw::NodeId(node) {
+                    governor_cfg.power_cap_w = cap_w;
+                }
+            }
+            let mut thermal = GpuThermal::new(
+                spec.clone(),
+                ThermalSpec::for_model(spec.model),
+                governor_cfg,
+                variability,
+                airflow.ambient_c,
+            );
+            if cfg.prewarm && cfg.thermal_feedback {
+                // Settle near a loaded operating point, including the
+                // inlet preheat a busy node would produce.
+                let node_power = spec.tdp_w * 0.85;
+                let powers = vec![node_power; airflow.num_slots()];
+                let inlet = airflow.inlet_temp_c(slot, &powers);
+                for _ in 0..400 {
+                    thermal.step(0.75, inlet, 1.0);
+                }
+            }
+            thermals.push(thermal);
+        }
+        let freq_ratio = thermals.iter().map(GpuThermal::freq_ratio).collect();
+        let last_power_w = thermals.iter().map(GpuThermal::power_w).collect();
+
+        Ok(ReferenceSimulator {
+            cluster,
+            trace,
+            ranks,
+            colls: HashMap::new(),
+            flows: Vec::new(),
+            gpu_flow_count: vec![0; num_gpus],
+            link_load: vec![0; cluster.num_links()],
+            thermals,
+            freq_ratio,
+            last_power_w,
+            activity_acc: vec![0.0; num_gpus],
+            util_acc: vec![0.0; num_gpus],
+            pcie_window_bytes: vec![0.0; num_gpus],
+            kernel_time: vec![KernelBreakdown::default(); trace.world()],
+            traffic: TrafficMatrix::new(num_gpus),
+            occ_acc: vec![(0.0, 0.0, 0.0); num_gpus],
+            telemetry: TelemetryStore::new(num_gpus),
+            t: 0.0,
+            next_control: cfg.control_period_s,
+            next_sample: cfg.sample_period_s,
+            iteration_complete_at: vec![0.0; cfg.iterations],
+            measure_start: if cfg.warmup_iterations == 0 {
+                Some(0.0)
+            } else {
+                None
+            },
+            energy_measured_j: 0.0,
+            cfg,
+        })
+    }
+
+    /// Run to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] if no progress is possible and
+    /// [`SimError::Timeout`] when the simulated-time cap is hit.
+    pub fn run(mut self) -> Result<SimResult, SimError> {
+        loop {
+            let progressed = self.advance_ready_ranks();
+
+            if self.ranks.iter().all(|r| r.mode == RankMode::Finished) {
+                break;
+            }
+
+            let dt = match self.next_dt() {
+                Some(dt) => dt,
+                None => {
+                    if progressed {
+                        continue;
+                    }
+                    return Err(SimError::Deadlock {
+                        at_s: self.t,
+                        detail: self.blocked_summary(),
+                    });
+                }
+            };
+
+            self.advance(dt);
+
+            if self.t >= self.next_control - 1e-12 {
+                self.control_update();
+                self.next_control += self.cfg.control_period_s;
+            }
+            if self.t > self.cfg.max_sim_time_s {
+                return Err(SimError::Timeout {
+                    cap_s: self.cfg.max_sim_time_s,
+                });
+            }
+        }
+        Ok(self.finish())
+    }
+
+    /// Process instantaneous steps for every rank that can move.
+    fn advance_ready_ranks(&mut self) -> bool {
+        let mut progressed = false;
+        for rank in 0..self.ranks.len() {
+            progressed |= self.advance_rank(rank);
+        }
+        progressed
+    }
+
+    fn advance_rank(&mut self, rank: usize) -> bool {
+        let mut progressed = false;
+        loop {
+            match self.ranks[rank].mode {
+                RankMode::Computing { .. } | RankMode::Finished => return progressed,
+                RankMode::Waiting { coll } => {
+                    let key = (self.ranks[rank].iteration as u32, coll);
+                    let done = self.colls.get(&key).is_some_and(|c| c.complete);
+                    if !done {
+                        return progressed;
+                    }
+                    self.ranks[rank].mode = RankMode::Ready;
+                    progressed = true;
+                }
+                RankMode::Ready => {
+                    let steps = self.trace.steps(rank);
+                    if self.ranks[rank].step_idx >= steps.len() {
+                        // Iteration boundary.
+                        let iter = self.ranks[rank].iteration;
+                        self.iteration_complete_at[iter] =
+                            self.iteration_complete_at[iter].max(self.t);
+                        self.ranks[rank].iteration += 1;
+                        self.ranks[rank].step_idx = 0;
+                        progressed = true;
+                        if self.ranks[rank].iteration >= self.cfg.iterations {
+                            self.ranks[rank].mode = RankMode::Finished;
+                            continue;
+                        }
+                        if self.measure_start.is_none()
+                            && self
+                                .ranks
+                                .iter()
+                                .all(|r| r.iteration >= self.cfg.warmup_iterations)
+                        {
+                            self.measure_start = Some(self.t);
+                        }
+                        continue;
+                    }
+                    let step = steps[self.ranks[rank].step_idx];
+                    self.ranks[rank].step_idx += 1;
+                    progressed = true;
+                    match step {
+                        Step::Compute { kind, flops } => {
+                            self.ranks[rank].mode = RankMode::Computing {
+                                kind,
+                                remaining_flops: flops,
+                            };
+                            return progressed;
+                        }
+                        Step::CollStart { coll } => {
+                            self.arrive(rank, coll.0);
+                        }
+                        Step::CollWait { coll } => {
+                            let key = (self.ranks[rank].iteration as u32, coll.0);
+                            let done = self.colls.get(&key).is_some_and(|c| c.complete);
+                            if !done {
+                                self.ranks[rank].mode = RankMode::Waiting { coll: coll.0 };
+                                return progressed;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// A rank arrives at a collective; launch its flows when ready.
+    fn arrive(&mut self, rank: usize, coll: u32) {
+        let iter = self.ranks[rank].iteration as u32;
+        let key = (iter, coll);
+        let inst = self
+            .trace
+            .collective(charllm_trace::task::CollectiveId(coll));
+        let state = self.colls.entry(key).or_default();
+        state.arrived += 1;
+        let ready = if inst.eager_p2p {
+            true
+        } else {
+            state.arrived as usize == inst.group.len()
+        };
+        if !ready || state.launched {
+            return;
+        }
+        state.launched = true;
+        let gpus: Vec<GpuId> = inst.group.iter().map(|&r| self.ranks[r].gpu).collect();
+        let plan = lower_collective(
+            inst.kind,
+            inst.bytes_per_rank,
+            &gpus,
+            self.cluster,
+            inst.chunking,
+        )
+        .expect("placement-validated gpus");
+        let measured = self.ranks[rank].iteration >= self.cfg.warmup_iterations;
+        let mut active = 0u32;
+        for flow in plan.flows {
+            let route = self.cluster.route(flow.src, flow.dst).expect("valid route");
+            if route.is_empty() {
+                continue;
+            }
+            let work = flow.work_bytes(self.cluster, &route);
+            if work <= 0.0 {
+                continue;
+            }
+            active += 1;
+            self.gpu_flow_count[flow.src.index()] += 1;
+            self.gpu_flow_count[flow.dst.index()] += 1;
+            self.flows.push(FlowState {
+                work_remaining: work,
+                payload_ratio: flow.bytes as f64 / work,
+                route,
+                src: flow.src,
+                dst: flow.dst,
+                measured,
+                coll_key: key,
+            });
+        }
+        let state = self.colls.get_mut(&key).expect("just inserted");
+        state.flows_remaining = active;
+        if active == 0 {
+            state.complete = true;
+        }
+    }
+
+    /// Current per-flow rate in bytes/s (fair share of the slowest link).
+    fn flow_rate(&self, flow: &FlowState) -> f64 {
+        flow.route
+            .iter()
+            .map(|id| {
+                let load = self.link_load[id.index()].max(1) as f64;
+                self.cluster.link(*id).bw_gbps * 1e9 / load
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    fn compute_rate(&self, rank: usize, kind: charllm_trace::ComputeKind) -> f64 {
+        let gpu = self.ranks[rank].gpu.index();
+        let mut rate = self.cluster.gpu().peak_fp16_flops * kind.mfu() * self.freq_ratio[gpu];
+        if self.gpu_flow_count[gpu] > 0 {
+            rate /= self.cfg.overlap_slowdown;
+        }
+        rate.max(1.0)
+    }
+
+    /// Choose the next time step: the earliest completion, capped by the
+    /// control period. `None` when nothing is in flight.
+    fn next_dt(&mut self) -> Option<f64> {
+        // Refresh link loads.
+        for l in &mut self.link_load {
+            *l = 0;
+        }
+        for flow in &self.flows {
+            for id in &flow.route {
+                self.link_load[id.index()] += 1;
+            }
+        }
+        let mut dt = self.next_control - self.t;
+        let mut any = false;
+        for (rank, state) in self.ranks.iter().enumerate() {
+            if let RankMode::Computing {
+                kind,
+                remaining_flops,
+            } = state.mode
+            {
+                any = true;
+                let rate = self.compute_rate(rank, kind);
+                dt = dt.min(remaining_flops / rate);
+            }
+        }
+        for flow in &self.flows {
+            any = true;
+            dt = dt.min(flow.work_remaining / self.flow_rate(flow));
+        }
+        if !any {
+            return None;
+        }
+        Some(dt.max(1e-9))
+    }
+
+    /// Advance all in-flight work by `dt` and process completions.
+    fn advance(&mut self, dt: f64) {
+        // Compute progress + busy accounting.
+        for rank in 0..self.ranks.len() {
+            let gpu = self.ranks[rank].gpu.index();
+            let measured = self.ranks[rank].iteration >= self.cfg.warmup_iterations;
+            match self.ranks[rank].mode {
+                RankMode::Computing {
+                    kind,
+                    remaining_flops,
+                } => {
+                    let rate = self.compute_rate(rank, kind);
+                    let left = remaining_flops - rate * dt;
+                    if measured {
+                        self.kernel_time[rank].add(KernelClass::of_compute(kind), dt);
+                    }
+                    let act = kind.activity()
+                        + if self.gpu_flow_count[gpu] > 0 {
+                            0.25
+                        } else {
+                            0.0
+                        };
+                    self.activity_acc[gpu] += act.min(1.0) * dt;
+                    self.util_acc[gpu] += dt;
+                    let (w, tb) = kernel_pressure(kind);
+                    let comm = if self.gpu_flow_count[gpu] > 0 {
+                        1.0
+                    } else {
+                        0.0
+                    };
+                    let occ = &mut self.occ_acc[gpu];
+                    occ.0 += dt;
+                    occ.1 += (w + 0.2 * comm) * dt;
+                    occ.2 += (tb + 0.1 * comm) * dt;
+                    if left <= 1.0 {
+                        self.ranks[rank].mode = RankMode::Ready;
+                    } else {
+                        self.ranks[rank].mode = RankMode::Computing {
+                            kind,
+                            remaining_flops: left,
+                        };
+                    }
+                }
+                RankMode::Waiting { coll } => {
+                    let inst = self
+                        .trace
+                        .collective(charllm_trace::task::CollectiveId(coll));
+                    if measured {
+                        self.kernel_time[rank].add(inst.class(), dt);
+                    }
+                    // Communication kernels keep the SMs occupied at low
+                    // pressure (the paper's "prolonged communication
+                    // kernels" sustaining occupancy).
+                    self.activity_acc[gpu] += 0.38 * dt;
+                    self.util_acc[gpu] += dt;
+                    let occ = &mut self.occ_acc[gpu];
+                    occ.0 += dt;
+                    occ.1 += 0.2 * dt;
+                    occ.2 += 0.1 * dt;
+                }
+                _ => {
+                    // Idle or finished: eager-send flows may still be
+                    // flying; count comm presence lightly.
+                    if self.gpu_flow_count[gpu] > 0 {
+                        self.activity_acc[gpu] += 0.38 * dt;
+                    }
+                }
+            }
+        }
+
+        // Flow progress + traffic accounting.
+        let mut i = 0;
+        while i < self.flows.len() {
+            let rate = self.flow_rate(&self.flows[i]);
+            let mut moved = (rate * dt).min(self.flows[i].work_remaining);
+            let after = self.flows[i].work_remaining - moved;
+            let done = after <= 1.0;
+            if done {
+                // Credit the sub-unit residual so every lowered payload
+                // byte lands in the traffic accounting.
+                moved += after;
+            }
+            self.flows[i].work_remaining = if done { 0.0 } else { after };
+            let payload = moved * self.flows[i].payload_ratio;
+            let src = self.flows[i].src;
+            let dst = self.flows[i].dst;
+            let measured = self.flows[i].measured;
+            let coll_key = self.flows[i].coll_key;
+            // Charge GPU-owned links for telemetry + traffic matrices.
+            for k in 0..self.flows[i].route.len() {
+                let id = self.flows[i].route[k];
+                let class = self.cluster.link(id).class;
+                for &gpu in &[src, dst] {
+                    let owns = match class {
+                        charllm_hw::LinkClass::Pcie => self.cluster.pcie(gpu) == id,
+                        charllm_hw::LinkClass::NvLink | charllm_hw::LinkClass::XgmiPort => {
+                            self.cluster.fabric_port(gpu) == id
+                        }
+                        charllm_hw::LinkClass::XgmiPackage => {
+                            // Package bus: charge both endpoints.
+                            self.cluster.same_package(src, dst) && (gpu == src || gpu == dst)
+                        }
+                        charllm_hw::LinkClass::Nic => false,
+                    };
+                    if owns {
+                        if measured {
+                            self.traffic.add(gpu.index(), class, payload);
+                        }
+                        if class == charllm_hw::LinkClass::Pcie {
+                            self.pcie_window_bytes[gpu.index()] += payload;
+                        }
+                    }
+                }
+            }
+            if done {
+                self.gpu_flow_count[src.index()] -= 1;
+                self.gpu_flow_count[dst.index()] -= 1;
+                let state = self.colls.get_mut(&coll_key).expect("flow has state");
+                state.flows_remaining -= 1;
+                if state.flows_remaining == 0 {
+                    state.complete = true;
+                }
+                self.flows.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+
+        self.t += dt;
+    }
+
+    /// Thermal/governor update + telemetry sampling at a control boundary.
+    fn control_update(&mut self) {
+        let period = self.cfg.control_period_s;
+        let airflow = &self.cluster.node_layout().airflow;
+        let slots = airflow.num_slots();
+        let measuring = self.measure_start.is_some();
+
+        for node in 0..self.cluster.num_nodes() {
+            let node_powers: Vec<f64> = (0..slots)
+                .map(|s| {
+                    let gpu = self
+                        .cluster
+                        .gpu_at(charllm_hw::NodeId(node as u32), s)
+                        .index();
+                    self.last_power_w[gpu]
+                })
+                .collect();
+            for slot in 0..slots {
+                let gpu_id = self.cluster.gpu_at(charllm_hw::NodeId(node as u32), slot);
+                let gpu = gpu_id.index();
+                let activity = (self.activity_acc[gpu] / period).min(1.0);
+                let inlet = airflow.inlet_temp_c(slot, &node_powers);
+                let sample = self.thermals[gpu].step(activity, inlet, period);
+                // With feedback disabled the physics still run (for power
+                // and temperature telemetry) but clocks stay pinned.
+                self.freq_ratio[gpu] = if self.cfg.thermal_feedback {
+                    self.thermals[gpu].freq_ratio()
+                } else {
+                    1.0
+                };
+                self.last_power_w[gpu] = sample.power_w;
+                if measuring {
+                    self.energy_measured_j += sample.power_w * period;
+                }
+                self.activity_acc[gpu] = 0.0;
+            }
+        }
+
+        if self.t >= self.next_sample - 1e-12 {
+            for gpu in 0..self.cluster.num_gpus() {
+                let window = self.cfg.sample_period_s;
+                let sample = GpuSample {
+                    power_w: self.last_power_w[gpu],
+                    temp_c: self.thermals[gpu].temp_c(),
+                    freq_mhz: self.thermals[gpu].freq_mhz(),
+                    util: (self.util_acc[gpu] / window).min(1.0),
+                    pcie_gbps: self.pcie_window_bytes[gpu] / window / 1e9,
+                };
+                self.telemetry.record(gpu, self.t, sample);
+                self.util_acc[gpu] = 0.0;
+                self.pcie_window_bytes[gpu] = 0.0;
+            }
+            self.next_sample += self.cfg.sample_period_s;
+        }
+    }
+
+    fn blocked_summary(&self) -> String {
+        let blocked: Vec<String> = self
+            .ranks
+            .iter()
+            .enumerate()
+            .filter_map(|(r, s)| match s.mode {
+                RankMode::Waiting { coll } => {
+                    Some(format!("rank {r} waits coll {coll} (iter {})", s.iteration))
+                }
+                _ => None,
+            })
+            .take(8)
+            .collect();
+        blocked.join("; ")
+    }
+
+    fn finish(self) -> SimResult {
+        let cfg = &self.cfg;
+        let mut iteration_times = Vec::with_capacity(cfg.iterations);
+        let mut prev = 0.0;
+        for &t in &self.iteration_complete_at {
+            iteration_times.push(t - prev);
+            prev = t;
+        }
+        let measured_window = self.iteration_complete_at.last().copied().unwrap_or(0.0)
+            - self.measure_start.unwrap_or(0.0);
+        let measured_iters = cfg.measured_iterations() as f64;
+        let step_time = if measured_window > 0.0 {
+            measured_window / measured_iters
+        } else {
+            iteration_times.iter().sum::<f64>() / iteration_times.len().max(1) as f64
+        };
+        let tokens_per_iter = self.trace.meta().tokens_per_iteration as f64;
+        let tokens_per_s = if step_time > 0.0 {
+            tokens_per_iter / step_time
+        } else {
+            0.0
+        };
+        let energy_per_step = self.energy_measured_j / measured_iters;
+        let tokens_per_joule = if energy_per_step > 0.0 {
+            tokens_per_iter / energy_per_step
+        } else {
+            0.0
+        };
+
+        let occupancy = self
+            .occ_acc
+            .iter()
+            .map(|(busy, warps, tbs)| {
+                let total = self.t.max(1e-9);
+                OccupancyStats {
+                    occupancy: busy / total,
+                    warps: warps / total,
+                    threadblocks: tbs / total,
+                }
+            })
+            .collect();
+
+        SimResult {
+            step_time_s: step_time,
+            iteration_times_s: iteration_times,
+            tokens_per_s,
+            energy_per_step_j: energy_per_step,
+            tokens_per_joule,
+            kernel_time: self
+                .kernel_time
+                .iter()
+                .map(|k| k.scaled(1.0 / measured_iters))
+                .collect(),
+            traffic: self.traffic,
+            telemetry: self.telemetry,
+            throttle_ratio: self
+                .thermals
+                .iter()
+                .map(GpuThermal::throttle_ratio)
+                .collect(),
+            thermal_throttle_ratio: self
+                .thermals
+                .iter()
+                .map(GpuThermal::thermal_throttle_ratio)
+                .collect(),
+            occupancy,
+            sim_time_s: self.t,
+        }
+    }
+}

@@ -60,6 +60,33 @@ impl ExecutionTrace {
         &self.collectives[id.index()]
     }
 
+    /// Number of collective instances.
+    pub fn num_collectives(&self) -> usize {
+        self.collectives.len()
+    }
+
+    /// For each collective, how many `CollWait` steps reference it across
+    /// all ranks in one iteration of the trace.
+    ///
+    /// The simulator uses this to retire per-iteration collective state as
+    /// soon as every waiter has passed its wait: within one iteration each
+    /// rank executes each of its steps exactly once, so once a collective
+    /// instance is complete and `wait_counts()[c]` waits on it have been
+    /// observed, no rank can ever consult that instance's state again.
+    pub fn wait_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.collectives.len()];
+        for steps in &self.steps {
+            for step in steps {
+                if let Step::CollWait { coll } = step {
+                    if let Some(c) = counts.get_mut(coll.index()) {
+                        *c += 1;
+                    }
+                }
+            }
+        }
+        counts
+    }
+
     /// Trace metadata.
     pub fn meta(&self) -> &TraceMeta {
         &self.meta
@@ -176,6 +203,47 @@ mod tests {
         assert_eq!(t.total_flops(), 150.0);
         assert_eq!(t.total_comm_bytes(), 2000);
         assert!(t.validate().is_empty(), "{:?}", t.validate());
+    }
+
+    #[test]
+    fn wait_counts_tally_collwait_steps_per_collective() {
+        let mut b = TraceBuilder::new(3);
+        let ar = b.collective(
+            CollKey {
+                site: "ar",
+                mb: 0,
+                layer: 0,
+                aux: 0,
+                group_lead: 0,
+            },
+            CollectiveKind::AllReduce,
+            64,
+            vec![0, 1, 2],
+            ChunkingPolicy::nccl_default(),
+            false,
+        );
+        b.blocking(0, ar);
+        b.blocking(1, ar);
+        b.blocking(2, ar);
+        let p2p = b.collective(
+            CollKey {
+                site: "p2p",
+                mb: 0,
+                layer: 0,
+                aux: 0,
+                group_lead: 0,
+            },
+            CollectiveKind::SendRecv,
+            64,
+            vec![0, 1],
+            ChunkingPolicy::Unchunked,
+            true,
+        );
+        b.start(0, p2p); // eager sender never waits
+        b.wait(1, p2p);
+        let t = b.build(TraceMeta::default());
+        assert_eq!(t.num_collectives(), 2);
+        assert_eq!(t.wait_counts(), vec![3, 1]);
     }
 
     #[test]

@@ -1,0 +1,284 @@
+//! Golden equivalence suite for the event-driven engine.
+//!
+//! The event-driven `Simulator` must produce **byte-identical** results to
+//! the scan-based `ReferenceSimulator` (the seed engine, kept as the
+//! executable spec in `charllm_sim::reference`). Equality is checked on the
+//! serialized `SimResult` — every f64 in every field, bit for bit — across
+//! lowered training workloads, NIC-crossing placements, and hand-built
+//! traces covering each collective kind. The suite also pins determinism
+//! (identical configs ⇒ identical bytes) and the payload-conservation
+//! invariant from the residual-credit fix.
+
+use charllm_hw::{presets, Cluster, GpuId, GpuModel, NodeLayout};
+use charllm_models::{presets as models, TrainJob};
+use charllm_net::{lower_collective, ChunkingPolicy, CollectiveKind};
+use charllm_parallel::{ParallelismSpec, PipelineSchedule, Placement, StagePartition};
+use charllm_sim::reference::ReferenceSimulator;
+use charllm_sim::{SimConfig, Simulator};
+use charllm_trace::builder::{CollKey, TraceBuilder};
+use charllm_trace::lower::{lower_train, DeviceHints};
+use charllm_trace::trace::TraceMeta;
+use charllm_trace::{ComputeKind, ExecutionTrace};
+
+fn one_node_cluster() -> Cluster {
+    Cluster::new("8xH200", GpuModel::H200.spec(), NodeLayout::hgx(), 1).unwrap()
+}
+
+fn gpt3_trace(cluster: &Cluster, global_batch: usize) -> ExecutionTrace {
+    let job = TrainJob::pretrain(models::gpt3_13b()).with_global_batch(global_batch);
+    let spec = ParallelismSpec::infer_dp(2, 2, 1, 8, false).unwrap();
+    let partition = StagePartition::even(40, 2).unwrap();
+    let hints = DeviceHints::for_spec(cluster.gpu());
+    lower_train(&job, &spec, PipelineSchedule::OneFOneB, &partition, &hints)
+        .unwrap()
+        .trace
+}
+
+/// Run both engines on the same inputs and return their serialized results.
+fn both_engines_json(
+    cluster: &Cluster,
+    trace: &ExecutionTrace,
+    cfg: SimConfig,
+) -> (String, String) {
+    let placement = Placement::identity(cluster, trace.world()).unwrap();
+    let new = Simulator::new(cluster, &placement, trace, cfg)
+        .unwrap()
+        .run()
+        .unwrap();
+    let reference = ReferenceSimulator::new(cluster, &placement, trace, cfg)
+        .unwrap()
+        .run()
+        .unwrap();
+    (
+        serde_json::to_string(&new).unwrap(),
+        serde_json::to_string(&reference).unwrap(),
+    )
+}
+
+#[test]
+fn golden_equality_on_lowered_training_step() {
+    // Multi-iteration so the plan cache serves hits and CollState pruning
+    // fires; warmup so the measured/unmeasured traffic split is exercised.
+    let cluster = one_node_cluster();
+    let trace = gpt3_trace(&cluster, 16);
+    let mut cfg = SimConfig::fast();
+    cfg.iterations = 3;
+    cfg.warmup_iterations = 1;
+    let (new, reference) = both_engines_json(&cluster, &trace, cfg);
+    assert_eq!(
+        new, reference,
+        "event-driven engine diverged from reference"
+    );
+}
+
+#[test]
+fn golden_equality_with_thermal_feedback_disabled() {
+    let cluster = one_node_cluster();
+    let trace = gpt3_trace(&cluster, 8);
+    let mut cfg = SimConfig::fast();
+    cfg.thermal_feedback = false;
+    let (new, reference) = both_engines_json(&cluster, &trace, cfg);
+    assert_eq!(new, reference);
+}
+
+#[test]
+fn golden_equality_across_nic_routes() {
+    // One GPU per node: every collective crosses PCIe + NIC links, so the
+    // charge lists and store-and-forward work factors differ from HGX.
+    let spread = presets::single_gpu_per_node_cluster(8);
+    let trace = gpt3_trace(&one_node_cluster(), 8);
+    let mut cfg = SimConfig::fast();
+    cfg.thermal_feedback = false;
+    let (new, reference) = both_engines_json(&spread, &trace, cfg);
+    assert_eq!(new, reference);
+}
+
+#[test]
+fn golden_equality_on_every_collective_kind() {
+    // Hand-built trace covering the lowering paths the training workload
+    // does not: AllToAll, Broadcast, AllGather, ReduceScatter, eager p2p.
+    let cluster = one_node_cluster();
+    let mut b = TraceBuilder::new(4);
+    let group = vec![0, 1, 2, 3];
+    let mk = |b: &mut TraceBuilder, site, kind, bytes, eager| {
+        b.collective(
+            CollKey {
+                site,
+                mb: 0,
+                layer: 0,
+                aux: 0,
+                group_lead: 0,
+            },
+            kind,
+            bytes,
+            if eager { vec![0, 1] } else { group.clone() },
+            ChunkingPolicy::nccl_default(),
+            eager,
+        )
+    };
+    for rank in 0..4 {
+        b.compute(rank, ComputeKind::Attention, 1e11 * (rank + 1) as f64);
+    }
+    let a2a = mk(&mut b, "a2a", CollectiveKind::AllToAll, 1 << 22, false);
+    let bc = mk(&mut b, "bcast", CollectiveKind::Broadcast, 1 << 21, false);
+    let ag = mk(&mut b, "ag", CollectiveKind::AllGather, 1 << 20, false);
+    let rs = mk(&mut b, "rs", CollectiveKind::ReduceScatter, 1 << 20, false);
+    let p2p = mk(&mut b, "p2p", CollectiveKind::SendRecv, 1 << 19, true);
+    b.start(0, p2p); // eager sender
+    for rank in 0..4 {
+        b.blocking(rank, a2a);
+        b.compute(rank, ComputeKind::Gemm, 5e10);
+        b.blocking(rank, bc);
+        b.blocking(rank, ag);
+        b.blocking(rank, rs);
+    }
+    b.wait(1, p2p); // receiver drains the eager send last
+    let trace = b.build(TraceMeta {
+        tokens_per_iteration: 128,
+        ..Default::default()
+    });
+    let mut cfg = SimConfig::fast();
+    cfg.iterations = 2;
+    let (new, reference) = both_engines_json(&cluster, &trace, cfg);
+    assert_eq!(new, reference);
+}
+
+#[test]
+fn identical_configs_produce_byte_identical_results() {
+    let cluster = one_node_cluster();
+    let trace = gpt3_trace(&cluster, 16);
+    let mut cfg = SimConfig::fast();
+    cfg.iterations = 2;
+    let placement = Placement::identity(&cluster, trace.world()).unwrap();
+    let run = || {
+        let r = Simulator::new(&cluster, &placement, &trace, cfg)
+            .unwrap()
+            .run()
+            .unwrap();
+        serde_json::to_string(&r).unwrap()
+    };
+    assert_eq!(run(), run(), "same seed + config must be deterministic");
+}
+
+/// Sum of payload bytes over the flows a collective actually launches
+/// (dropping on-device and zero-work flows, like the engine does).
+fn lowered_payload_bytes(
+    cluster: &Cluster,
+    kind: CollectiveKind,
+    bytes: u64,
+    gpus: &[GpuId],
+    chunking: ChunkingPolicy,
+) -> f64 {
+    let plan = lower_collective(kind, bytes, gpus, cluster, chunking).unwrap();
+    plan.flows
+        .iter()
+        .filter(|f| {
+            let route = f.route(cluster).unwrap();
+            !route.is_empty() && f.work_bytes(cluster, &route) > 0.0
+        })
+        .map(|f| f.bytes as f64)
+        .sum()
+}
+
+#[test]
+fn fabric_traffic_equals_lowered_payload() {
+    // 2-rank intra-node AllReduce: each flow rides one NVLink fabric port
+    // pair, charging both endpoints, so total fabric traffic must equal
+    // exactly 2 × the lowered payload. Before the residual-credit fix each
+    // flow silently dropped up to one byte-equivalent of work (a relative
+    // error around 1e-6 on this payload), which this tolerance rejects.
+    let cluster = one_node_cluster();
+    let bytes = 1 << 20;
+    let mut b = TraceBuilder::new(2);
+    let id = b.collective(
+        CollKey {
+            site: "ar",
+            mb: 0,
+            layer: 0,
+            aux: 0,
+            group_lead: 0,
+        },
+        CollectiveKind::AllReduce,
+        bytes,
+        vec![0, 1],
+        ChunkingPolicy::nccl_default(),
+        false,
+    );
+    b.blocking(0, id);
+    b.blocking(1, id);
+    let trace = b.build(TraceMeta {
+        tokens_per_iteration: 1,
+        ..Default::default()
+    });
+    let placement = Placement::identity(&cluster, 2).unwrap();
+    let mut cfg = SimConfig::fast();
+    cfg.thermal_feedback = false;
+    let r = Simulator::new(&cluster, &placement, &trace, cfg)
+        .unwrap()
+        .run()
+        .unwrap();
+    let payload = lowered_payload_bytes(
+        &cluster,
+        CollectiveKind::AllReduce,
+        bytes,
+        &[GpuId(0), GpuId(1)],
+        ChunkingPolicy::nccl_default(),
+    );
+    let measured: f64 = (0..2).map(|g| r.traffic.fabric(g)).sum();
+    let expected = 2.0 * payload;
+    let rel = (measured - expected).abs() / expected;
+    assert!(
+        rel < 1e-9,
+        "fabric traffic {measured} vs expected {expected} (rel err {rel:e})"
+    );
+}
+
+#[test]
+fn pcie_traffic_equals_lowered_payload_across_nodes() {
+    // Inter-node SendRecv: the route is pcie(src) → nic → nic → pcie(dst),
+    // so each endpoint's PCIe lane carries the full payload once.
+    let cluster = presets::single_gpu_per_node_cluster(2);
+    let bytes = 1 << 20;
+    let mut b = TraceBuilder::new(2);
+    let id = b.collective(
+        CollKey {
+            site: "p2p",
+            mb: 0,
+            layer: 0,
+            aux: 0,
+            group_lead: 0,
+        },
+        CollectiveKind::SendRecv,
+        bytes,
+        vec![0, 1],
+        ChunkingPolicy::Unchunked,
+        true,
+    );
+    b.start(0, id);
+    b.wait(1, id);
+    let trace = b.build(TraceMeta {
+        tokens_per_iteration: 1,
+        ..Default::default()
+    });
+    let placement = Placement::identity(&cluster, 2).unwrap();
+    let mut cfg = SimConfig::fast();
+    cfg.thermal_feedback = false;
+    let r = Simulator::new(&cluster, &placement, &trace, cfg)
+        .unwrap()
+        .run()
+        .unwrap();
+    let payload = lowered_payload_bytes(
+        &cluster,
+        CollectiveKind::SendRecv,
+        bytes,
+        &[GpuId(0), GpuId(1)],
+        ChunkingPolicy::Unchunked,
+    );
+    let measured: f64 = (0..2).map(|g| r.traffic.pcie(g)).sum();
+    let expected = 2.0 * payload;
+    let rel = (measured - expected).abs() / expected;
+    assert!(
+        rel < 1e-9,
+        "pcie traffic {measured} vs expected {expected} (rel err {rel:e})"
+    );
+}
