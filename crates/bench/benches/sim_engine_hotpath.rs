@@ -4,8 +4,11 @@
 //! The two engines produce byte-identical `SimResult`s (enforced by
 //! `tests/engine_golden.rs`), so this measures pure scheduler overhead:
 //! plan caching, incremental link loads, and waiter wake-lists versus
-//! per-event global recomputation. Emits a `BENCH_sim_engine.json` record
-//! (wall-clock per run, events/s, speedup) for perf trajectory tracking.
+//! per-event global recomputation. Also times the observer hook sites:
+//! `NoopObserver` (must be free — `tests/observability.rs` holds the delta
+//! under 2%) and a full `SpanRecorder` profiling run. Emits a
+//! `BENCH_sim_engine.json` record (wall-clock per run, events/s, speedup,
+//! observer deltas) for perf trajectory tracking.
 
 use std::time::Instant;
 
@@ -16,7 +19,8 @@ use charllm_hw::{presets, Cluster};
 use charllm_models::{presets as models, TrainJob};
 use charllm_parallel::{ParallelismSpec, PipelineSchedule, Placement, StagePartition};
 use charllm_sim::reference::ReferenceSimulator;
-use charllm_sim::{EngineStats, SimConfig, SimResult, Simulator};
+use charllm_sim::{EngineStats, NoopObserver, SimConfig, SimResult, Simulator};
+use charllm_telemetry::SpanRecorder;
 use charllm_trace::lower::{lower_train, DeviceHints};
 use charllm_trace::ExecutionTrace;
 
@@ -57,6 +61,24 @@ fn run_reference(cluster: &Cluster, placement: &Placement, trace: &ExecutionTrac
         .unwrap()
 }
 
+fn run_noop(cluster: &Cluster, placement: &Placement, trace: &ExecutionTrace) -> SimResult {
+    Simulator::with_observer(cluster, placement, trace, config(), NoopObserver)
+        .unwrap()
+        .run()
+        .unwrap()
+}
+
+fn run_recorded(
+    cluster: &Cluster,
+    placement: &Placement,
+    trace: &ExecutionTrace,
+) -> (SimResult, SpanRecorder) {
+    Simulator::with_observer(cluster, placement, trace, config(), SpanRecorder::new())
+        .unwrap()
+        .run_observed()
+        .unwrap()
+}
+
 fn main() {
     let cluster = presets::hgx_h200_with_nodes(8);
     let trace = workload(&cluster);
@@ -92,6 +114,26 @@ fn main() {
         "engines diverged on the benchmark workload"
     );
 
+    // Observer hook-site cost: NoopObserver must be indistinguishable from
+    // the plain run (same monomorphization); SpanRecorder pays for real
+    // span/flow/tick recording. Min-of-3 filters scheduler noise.
+    // Interleaved min-of-5 so ambient load affects both sides alike.
+    let mut plain_wall_s = f64::INFINITY;
+    let mut noop_wall_s = f64::INFINITY;
+    for _ in 0..5 {
+        let t = Instant::now();
+        black_box(run_new(&cluster, &placement, &trace));
+        plain_wall_s = plain_wall_s.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        black_box(run_noop(&cluster, &placement, &trace));
+        noop_wall_s = noop_wall_s.min(t.elapsed().as_secs_f64());
+    }
+    let (recorded_wall_s, num_spans) = {
+        let t = Instant::now();
+        let (_, recorder) = run_recorded(&cluster, &placement, &trace);
+        (t.elapsed().as_secs_f64(), recorder.num_spans())
+    };
+
     let speedup = ref_wall_s / new_wall_s;
     let record = serde_json::json!({
         "workload": "gpt3_13b_tp4_pp8_dp2_8node",
@@ -107,6 +149,14 @@ fn main() {
             "events_per_s": stats.events as f64 / ref_wall_s,
         },
         "speedup": speedup,
+        "observer": {
+            "plain_wall_s": plain_wall_s,
+            "noop_wall_s": noop_wall_s,
+            "noop_overhead": noop_wall_s / plain_wall_s - 1.0,
+            "span_recorder_wall_s": recorded_wall_s,
+            "span_recorder_overhead": recorded_wall_s / plain_wall_s - 1.0,
+            "spans_recorded": num_spans,
+        },
         "engine_stats": stats,
     });
     println!(
@@ -117,6 +167,12 @@ fn main() {
         ref_wall_s,
         stats.events as f64 / ref_wall_s,
         speedup
+    );
+    println!(
+        "observer: noop {:+.2}% | span recorder {:+.2}% ({} spans)",
+        (noop_wall_s / plain_wall_s - 1.0) * 100.0,
+        (recorded_wall_s / plain_wall_s - 1.0) * 100.0,
+        num_spans
     );
     save_json("BENCH_sim_engine", &record);
 }

@@ -28,6 +28,7 @@ pub struct Experiment {
     placement: Option<Placement>,
     sim: SimConfig,
     inference: Option<InferenceConfig>,
+    profiled: bool,
 }
 
 impl Experiment {
@@ -55,7 +56,12 @@ impl Experiment {
             None => lower_train(&self.job, &self.spec, self.schedule, &partition, &hints)?,
             Some(cfg) => lower_inference(&self.job, &self.spec, &partition, &hints, *cfg)?,
         };
-        let sim = Simulator::new(&self.cluster, &placement, &lowered.trace, self.sim)?.run()?;
+        let sim = if self.profiled {
+            Simulator::profiled(&self.cluster, &placement, &lowered.trace, self.sim)?
+                .run_profiled()?
+        } else {
+            Simulator::new(&self.cluster, &placement, &lowered.trace, self.sim)?.run()?
+        };
         Ok(self.report(sim, &placement))
     }
 
@@ -142,6 +148,7 @@ pub struct ExperimentBuilder {
     placement: Option<Placement>,
     sim: Option<SimConfig>,
     inference: Option<InferenceConfig>,
+    profiled: bool,
 }
 
 impl ExperimentBuilder {
@@ -213,6 +220,13 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Record span streams during the run and attach the phase/energy
+    /// attribution to `report.sim.profile` (default off; off costs nothing).
+    pub fn profiled(mut self, profiled: bool) -> Self {
+        self.profiled = profiled;
+        self
+    }
+
     /// Finalize into an [`Experiment`].
     ///
     /// # Errors
@@ -238,6 +252,7 @@ impl ExperimentBuilder {
             placement: self.placement,
             sim: self.sim.unwrap_or_default(),
             inference: self.inference,
+            profiled: self.profiled,
         })
     }
 
@@ -300,6 +315,33 @@ mod tests {
             "airflow imbalance visible"
         );
         assert!(report.peak_temp_c >= report.mean_temp_c);
+    }
+
+    #[test]
+    fn profiled_run_attaches_attribution() {
+        let report = Experiment::builder()
+            .cluster(single_hgx_node())
+            .job(small_job())
+            .parallelism("TP2-PP2")
+            .unwrap()
+            .sim_config(SimConfig::fast())
+            .profiled(true)
+            .run()
+            .unwrap();
+        let profile = report.sim.profile.as_ref().expect("profiled run");
+        assert_eq!(profile.world(), 8);
+        assert!(!profile.top_spans.is_empty());
+        // Per-rank phase time tiles the makespan.
+        for b in &profile.rank_phases {
+            let rel = (b.total_seconds() - profile.makespan_s).abs() / profile.makespan_s;
+            assert!(
+                rel < 1e-9,
+                "rank phases {} vs makespan {}",
+                b.total_seconds(),
+                profile.makespan_s
+            );
+        }
+        assert!(report.profile_summary().contains("compute"));
     }
 
     #[test]

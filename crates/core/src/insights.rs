@@ -268,12 +268,13 @@ mod tests {
             energy_per_step_j: 1.0,
             tokens_per_joule: 1.0,
             kernel_time: vec![],
-            traffic: serde_json::from_str(r#"{"bytes":[]}"#).unwrap(),
+            traffic: charllm_sim::TrafficMatrix::new(0),
             telemetry: charllm_telemetry::TelemetryStore::new(0),
             throttle_ratio: vec![],
             thermal_throttle_ratio: vec![],
             occupancy: vec![],
             sim_time_s: 1.0,
+            profile: None,
         };
         let r = RunReport {
             label: String::new(),

@@ -46,7 +46,7 @@ pub mod sweep;
 pub use error::CoreError;
 pub use executor::Executor;
 pub use experiment::{Experiment, ExperimentBuilder};
-pub use report::RunReport;
+pub use report::{phase_table, top_spans_table, RunReport};
 
 /// Convenient imports for experiment-driving code.
 pub mod prelude {

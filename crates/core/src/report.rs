@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use charllm_sim::{KernelBreakdown, SimResult};
+use charllm_telemetry::{Phase, Profile};
 
 /// The outcome of one experiment: identification metadata, the headline
 /// metrics every figure plots, front-vs-rear thermal grouping (§6), and the
@@ -94,6 +95,60 @@ impl RunReport {
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("report is serializable")
     }
+
+    /// Render the run's phase attribution (per-phase table + top spans), or
+    /// a one-line note when the run was not profiled.
+    pub fn profile_summary(&self) -> String {
+        match &self.sim.profile {
+            Some(profile) => format!("{}\n{}", phase_table(profile), top_spans_table(profile, 10)),
+            None => "(no profile: run with profiling enabled)".to_string(),
+        }
+    }
+}
+
+/// Render a cluster-level per-phase wall-time/energy table (the paper's
+/// Fig. 4-style breakdown, plus the energy split across the same buckets).
+pub fn phase_table(profile: &Profile) -> String {
+    let total = profile.cluster_total();
+    let secs = total.total_seconds().max(1e-12);
+    let joules = total.total_energy_j();
+    let mut out = String::from("phase            time[s]  time%   energy[J]  energy%\n");
+    for phase in Phase::all() {
+        let s = total.seconds(phase);
+        let e = total.energy_j(phase);
+        let e_pct = if joules > 0.0 {
+            100.0 * e / joules
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "{:<16} {:>8.3} {:>6.1} {:>11.1} {:>8.1}\n",
+            phase.to_string(),
+            s,
+            100.0 * s / secs,
+            e,
+            e_pct,
+        ));
+    }
+    out.push_str(&format!(
+        "ranks {}  makespan {:.3}s  measured energy {:.1}J",
+        profile.world(),
+        profile.makespan_s,
+        joules,
+    ));
+    out
+}
+
+/// Render the top-`k` kernels/collectives by total busy time across ranks.
+pub fn top_spans_table(profile: &Profile, k: usize) -> String {
+    let mut out = String::from("top spans         busy[s]   count\n");
+    for span in profile.top_spans.iter().take(k) {
+        out.push_str(&format!(
+            "{:<16} {:>8.3} {:>7}\n",
+            span.label, span.seconds, span.count
+        ));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -129,12 +184,13 @@ mod tests {
                 energy_per_step_j: 170_000.0,
                 tokens_per_joule: 1.5,
                 kernel_time: vec![],
-                traffic: serde_json::from_str(r#"{"bytes":[]}"#).unwrap(),
+                traffic: charllm_sim::TrafficMatrix::new(0),
                 telemetry: charllm_telemetry::TelemetryStore::new(0),
                 throttle_ratio: vec![],
                 thermal_throttle_ratio: vec![],
                 occupancy: vec![],
                 sim_time_s: 30.0,
+                profile: None,
             },
         }
     }

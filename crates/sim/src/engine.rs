@@ -6,7 +6,7 @@
 //!
 //! - **Collective plan cache** — `lower_collective` + route resolution are
 //!   pure functions of `(CollectiveId, placement, cluster)`, so each
-//!   collective is lowered once into a [`CollPlan`] of flows with
+//!   collective is lowered once into a `CollPlan` of flows with
 //!   precomputed routes, work, payload ratios, and per-flow *charge lists*
 //!   of `(gpu, LinkClass)` telemetry owners (replacing the per-event
 //!   per-route ownership `match`).
@@ -33,12 +33,13 @@ use std::collections::{BinaryHeap, HashMap};
 use charllm_hw::{Cluster, GpuId, LinkClass};
 use charllm_net::lower_collective;
 use charllm_parallel::Placement;
-use charllm_telemetry::{GpuSample, TelemetryStore};
+use charllm_telemetry::{phase, GpuSample, SpanRecorder, TelemetryStore};
 use charllm_thermal::{GovernorConfig, GpuThermal, GpuVariability, ThermalSpec};
 use charllm_trace::{ExecutionTrace, KernelClass, Step};
 
 use crate::config::SimConfig;
 use crate::error::SimError;
+use crate::observer::{NoopObserver, SimObserver, TaskKind};
 use crate::result::{KernelBreakdown, OccupancyStats, SimResult, TrafficMatrix};
 
 /// What a rank is currently doing.
@@ -162,7 +163,12 @@ pub struct EngineStats {
 /// # Ok(())
 /// # }
 /// ```
-pub struct Simulator<'a> {
+///
+/// The engine is generic over a [`SimObserver`] whose hooks fire at every
+/// scheduling event; the default [`NoopObserver`] monomorphizes them away,
+/// and no observer can perturb results (the golden suite pins this).
+pub struct Simulator<'a, O: SimObserver = NoopObserver> {
+    obs: O,
     cluster: &'a Cluster,
     trace: &'a ExecutionTrace,
     cfg: SimConfig,
@@ -236,7 +242,8 @@ pub struct Simulator<'a> {
 }
 
 impl<'a> Simulator<'a> {
-    /// Build a simulator after validating trace/placement/cluster agreement.
+    /// Build an unobserved simulator after validating trace/placement/
+    /// cluster agreement.
     ///
     /// # Errors
     ///
@@ -246,6 +253,55 @@ impl<'a> Simulator<'a> {
         placement: &Placement,
         trace: &'a ExecutionTrace,
         cfg: SimConfig,
+    ) -> Result<Self, SimError> {
+        Self::with_observer(cluster, placement, trace, cfg, NoopObserver)
+    }
+}
+
+impl<'a> Simulator<'a, SpanRecorder> {
+    /// Build a profiling simulator: records span streams and attaches a
+    /// [`phase::attribute`] profile to the result of
+    /// [`Simulator::run_profiled`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::new`].
+    pub fn profiled(
+        cluster: &'a Cluster,
+        placement: &Placement,
+        trace: &'a ExecutionTrace,
+        cfg: SimConfig,
+    ) -> Result<Self, SimError> {
+        Self::with_observer(cluster, placement, trace, cfg, SpanRecorder::new())
+    }
+
+    /// Run to completion and attach the span-level [`phase`] attribution as
+    /// `result.profile` (all other result fields stay byte-identical to an
+    /// unobserved run).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::run`].
+    pub fn run_profiled(self) -> Result<SimResult, SimError> {
+        let iterations = self.cfg.iterations;
+        let (mut result, recorder) = self.run_observed()?;
+        result.profile = Some(phase::attribute(&recorder, result.sim_time_s, iterations));
+        Ok(result)
+    }
+}
+
+impl<'a, O: SimObserver> Simulator<'a, O> {
+    /// Build a simulator with an attached observer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidTrace`] or [`SimError::PlacementMismatch`].
+    pub fn with_observer(
+        cluster: &'a Cluster,
+        placement: &Placement,
+        trace: &'a ExecutionTrace,
+        cfg: SimConfig,
+        obs: O,
     ) -> Result<Self, SimError> {
         let problems = trace.validate();
         if !problems.is_empty() {
@@ -311,6 +367,7 @@ impl<'a> Simulator<'a> {
         let last_power_w = thermals.iter().map(GpuThermal::power_w).collect();
 
         Ok(Simulator {
+            obs,
             cluster,
             trace,
             ranks,
@@ -363,7 +420,7 @@ impl<'a> Simulator<'a> {
     /// Returns [`SimError::Deadlock`] if no progress is possible and
     /// [`SimError::Timeout`] when the simulated-time cap is hit.
     pub fn run(self) -> Result<SimResult, SimError> {
-        self.run_stats().map(|(result, _)| result)
+        self.run_observed().map(|(result, _)| result)
     }
 
     /// Run to completion, also returning the engine's internal counters.
@@ -374,7 +431,17 @@ impl<'a> Simulator<'a> {
     pub fn run_stats(mut self) -> Result<(SimResult, EngineStats), SimError> {
         self.run_loop()?;
         let stats = self.stats;
-        Ok((self.finish(), stats))
+        Ok((self.finish().0, stats))
+    }
+
+    /// Run to completion, returning the observer for post-run analysis.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::run`].
+    pub fn run_observed(mut self) -> Result<(SimResult, O), SimError> {
+        self.run_loop()?;
+        Ok(self.finish())
     }
 
     fn run_loop(&mut self) -> Result<(), SimError> {
@@ -463,6 +530,13 @@ impl<'a> Simulator<'a> {
             self.ranks[rank].step_idx += 1;
             match step {
                 Step::Compute { kind, flops } => {
+                    self.obs.task_start(
+                        rank,
+                        self.ranks[rank].gpu.index() as u32,
+                        self.ranks[rank].iteration as u32,
+                        TaskKind::Compute(kind),
+                        self.t,
+                    );
                     self.ranks[rank].mode = RankMode::Computing {
                         kind,
                         remaining_flops: flops,
@@ -477,18 +551,19 @@ impl<'a> Simulator<'a> {
                 Step::CollWait { coll } => {
                     let key = (self.ranks[rank].iteration as u32, coll.0);
                     let need = self.wait_count[coll.0 as usize];
-                    match self.colls.get_mut(&key) {
+                    let blocked = match self.colls.get_mut(&key) {
                         Some(state) if state.complete => {
                             state.waits_passed += 1;
                             if state.waits_passed >= need {
                                 self.colls.remove(&key);
                                 self.stats.colls_retired += 1;
                             }
+                            false
                         }
                         Some(state) => {
                             state.waiters.push(rank);
                             self.ranks[rank].mode = RankMode::Waiting { coll: coll.0 };
-                            return;
+                            true
                         }
                         None => {
                             self.colls.insert(
@@ -500,8 +575,21 @@ impl<'a> Simulator<'a> {
                             );
                             self.note_live_colls();
                             self.ranks[rank].mode = RankMode::Waiting { coll: coll.0 };
-                            return;
+                            true
                         }
+                    };
+                    if blocked {
+                        self.obs.task_start(
+                            rank,
+                            self.ranks[rank].gpu.index() as u32,
+                            key.0,
+                            TaskKind::CollWait {
+                                coll,
+                                class: self.coll_class[coll.0 as usize],
+                            },
+                            self.t,
+                        );
+                        return;
                     }
                 }
             }
@@ -545,6 +633,13 @@ impl<'a> Simulator<'a> {
         }
         let epoch = self.load_epoch;
         for pf in plan.flows.iter() {
+            self.obs.flow_launch(
+                coll,
+                iter,
+                pf.src.index() as u32,
+                pf.dst.index() as u32,
+                self.t,
+            );
             self.gpu_flow_count[pf.src.index()] += 1;
             self.gpu_flow_count[pf.dst.index()] += 1;
             for l in 0..pf.route_len as usize {
@@ -566,7 +661,7 @@ impl<'a> Simulator<'a> {
         let state = self.colls.get_mut(&key).expect("just inserted");
         state.flows_remaining = active;
         if active == 0 {
-            self.complete_coll(key, Some(rank));
+            self.complete_coll(key, Some(rank), self.t);
         }
     }
 
@@ -576,15 +671,19 @@ impl<'a> Simulator<'a> {
     /// `current` is the rank being processed when completion happens inside
     /// a drain pass (`None` when it happens during `advance`): waiters with
     /// a higher rank are still ahead of the reference scan's cursor and run
-    /// this pass; everyone else runs next pass.
-    fn complete_coll(&mut self, key: (u32, u32), current: Option<usize>) {
+    /// this pass; everyone else runs next pass. `now` is the completion
+    /// time stamped on the observer's wait-span ends (inside `advance` the
+    /// clock has not been bumped yet, so callers pass `t + dt`).
+    fn complete_coll(&mut self, key: (u32, u32), current: Option<usize>, now: f64) {
         let need = self.wait_count[key.1 as usize];
         let state = self.colls.get_mut(&key).expect("live collective");
         state.complete = true;
         let waiters = std::mem::take(&mut state.waiters);
         state.waits_passed += waiters.len() as u32;
         let prune = state.waits_passed >= need;
+        self.obs.collective_complete(key.1, key.0, now);
         for &w in &waiters {
+            self.obs.task_end(w, now);
             self.ranks[w].mode = RankMode::Ready;
             match current {
                 Some(c) if w > c => self.ready_now.push(Reverse(w)),
@@ -692,6 +791,7 @@ impl<'a> Simulator<'a> {
                     occ.1 += (w + 0.2 * comm) * dt;
                     occ.2 += (tb + 0.1 * comm) * dt;
                     if left <= 1.0 {
+                        self.obs.task_end(rank, self.t + dt);
                         self.ranks[rank].mode = RankMode::Ready;
                         self.remove_computing(rank);
                         self.ready_next.push(rank);
@@ -757,6 +857,13 @@ impl<'a> Simulator<'a> {
             if done {
                 let key = (f.iteration, f.coll);
                 let pf = f.plan;
+                self.obs.flow_retire(
+                    key.1,
+                    key.0,
+                    pf.src.index() as u32,
+                    pf.dst.index() as u32,
+                    self.t + dt,
+                );
                 self.gpu_flow_count[pf.src.index()] -= 1;
                 self.gpu_flow_count[pf.dst.index()] -= 1;
                 loads_changed = true;
@@ -769,7 +876,7 @@ impl<'a> Simulator<'a> {
                 let state = self.colls.get_mut(&key).expect("flow has state");
                 state.flows_remaining -= 1;
                 if state.flows_remaining == 0 {
-                    self.complete_coll(key, None);
+                    self.complete_coll(key, None, self.t + dt);
                 }
                 self.flows.swap_remove(i);
             } else {
@@ -823,6 +930,8 @@ impl<'a> Simulator<'a> {
                     1.0
                 };
                 self.last_power_w[gpu] = sample.power_w;
+                self.obs
+                    .sample_tick(gpu as u32, self.t, sample.power_w, period, measuring);
                 if measuring {
                     self.energy_measured_j += sample.power_w * period;
                 }
@@ -864,7 +973,8 @@ impl<'a> Simulator<'a> {
         blocked.join("; ")
     }
 
-    fn finish(self) -> SimResult {
+    fn finish(self) -> (SimResult, O) {
+        let obs = self.obs;
         let cfg = &self.cfg;
         let mut iteration_times = Vec::with_capacity(cfg.iterations);
         let mut prev = 0.0;
@@ -906,7 +1016,7 @@ impl<'a> Simulator<'a> {
             })
             .collect();
 
-        SimResult {
+        let result = SimResult {
             step_time_s: step_time,
             iteration_times_s: iteration_times,
             tokens_per_s,
@@ -931,7 +1041,9 @@ impl<'a> Simulator<'a> {
                 .collect(),
             occupancy,
             sim_time_s: self.t,
-        }
+            profile: None,
+        };
+        (result, obs)
     }
 }
 

@@ -16,6 +16,11 @@
 //! the DVFS governor adjust the clock. Telemetry is sampled into a
 //! [`charllm_telemetry::TelemetryStore`], and per-kernel-class busy time and
 //! per-GPU traffic are accumulated for the paper's breakdown figures.
+//!
+//! Both engines accept a [`SimObserver`] (default: the free
+//! [`NoopObserver`]) whose hooks expose every span, flow, collective
+//! completion, and power tick — the raw material for
+//! [`charllm_telemetry::phase`] attribution and Perfetto export.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,11 +29,13 @@ pub mod analytic;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod observer;
 pub mod reference;
 pub mod result;
 
 pub use config::SimConfig;
 pub use engine::{EngineStats, Simulator};
 pub use error::SimError;
+pub use observer::{NoopObserver, SimObserver, TaskKind};
 pub use reference::ReferenceSimulator;
 pub use result::{KernelBreakdown, OccupancyStats, SimResult, TrafficMatrix};

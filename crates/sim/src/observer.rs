@@ -1,0 +1,111 @@
+//! Observer hooks: zero-cost-when-off instrumentation of the engines.
+//!
+//! Both [`crate::Simulator`] and [`crate::reference::ReferenceSimulator`]
+//! are generic over a [`SimObserver`] and invoke its hooks at every
+//! scheduling event. The default [`NoopObserver`] has empty hook bodies, so
+//! the unobserved engine monomorphizes to exactly the uninstrumented code —
+//! results are byte-identical with any observer attached (enforced by the
+//! golden suite) and the no-op overhead is guarded by a bench test.
+//!
+//! [`charllm_telemetry::SpanRecorder`] implements the trait here (the trait
+//! lives downstream of the recorder), turning hook calls into the span
+//! streams consumed by phase attribution and Perfetto export.
+
+use charllm_telemetry::{SpanKind, SpanRecorder};
+use charllm_trace::task::CollectiveId;
+use charllm_trace::{ComputeKind, KernelClass};
+
+/// What a rank-track span represents, from the engine's point of view.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TaskKind {
+    /// A compute kernel is running.
+    Compute(ComputeKind),
+    /// The rank blocked on a collective (wait ends when it completes).
+    CollWait {
+        /// The collective being waited on.
+        coll: CollectiveId,
+        /// Its reporting bucket.
+        class: KernelClass,
+    },
+}
+
+/// Hooks invoked by both engines at scheduling events.
+///
+/// All times are seconds of simulated time. Every hook has an empty default
+/// body, so implementors opt into exactly the streams they need. Hooks must
+/// not influence simulation state — the engines guarantee byte-identical
+/// [`crate::SimResult`]s whatever the observer does.
+pub trait SimObserver {
+    /// A rank starts a task (compute kernel or blocking collective wait).
+    /// Waits on already-complete collectives produce no task.
+    fn task_start(&mut self, rank: usize, gpu: u32, iteration: u32, kind: TaskKind, t_s: f64) {
+        let _ = (rank, gpu, iteration, kind, t_s);
+    }
+
+    /// The rank's open task ends (compute finished, or the awaited
+    /// collective completed).
+    fn task_end(&mut self, rank: usize, t_s: f64) {
+        let _ = (rank, t_s);
+    }
+
+    /// A network flow of collective `coll` launches between two GPUs.
+    fn flow_launch(&mut self, coll: u32, iteration: u32, src_gpu: u32, dst_gpu: u32, t_s: f64) {
+        let _ = (coll, iteration, src_gpu, dst_gpu, t_s);
+    }
+
+    /// A previously launched flow retires (all its work moved).
+    fn flow_retire(&mut self, coll: u32, iteration: u32, src_gpu: u32, dst_gpu: u32, t_s: f64) {
+        let _ = (coll, iteration, src_gpu, dst_gpu, t_s);
+    }
+
+    /// A collective instance completes (all flows retired, waiters woken).
+    fn collective_complete(&mut self, coll: u32, iteration: u32, t_s: f64) {
+        let _ = (coll, iteration, t_s);
+    }
+
+    /// One thermal-control window closed for one GPU. `power_w × period_s`
+    /// is exactly the energy the engine accrues for `[t_s - period_s, t_s]`;
+    /// `measuring` mirrors the warmup gate on measured energy.
+    fn sample_tick(&mut self, gpu: u32, t_s: f64, power_w: f64, period_s: f64, measuring: bool) {
+        let _ = (gpu, t_s, power_w, period_s, measuring);
+    }
+}
+
+/// The default do-nothing observer: every hook inlines to nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopObserver;
+
+impl SimObserver for NoopObserver {}
+
+impl SimObserver for SpanRecorder {
+    fn task_start(&mut self, rank: usize, gpu: u32, iteration: u32, kind: TaskKind, t_s: f64) {
+        let kind = match kind {
+            TaskKind::Compute(kind) => SpanKind::Compute { kind },
+            TaskKind::CollWait { coll, class } => SpanKind::Collective {
+                coll: coll.0,
+                class,
+            },
+        };
+        self.begin_task(rank, gpu, iteration, kind, t_s);
+    }
+
+    fn task_end(&mut self, rank: usize, t_s: f64) {
+        self.end_task(rank, t_s);
+    }
+
+    fn flow_launch(&mut self, coll: u32, iteration: u32, src_gpu: u32, dst_gpu: u32, t_s: f64) {
+        SpanRecorder::flow_launch(self, coll, iteration, src_gpu, dst_gpu, t_s);
+    }
+
+    fn flow_retire(&mut self, coll: u32, iteration: u32, src_gpu: u32, dst_gpu: u32, t_s: f64) {
+        SpanRecorder::flow_retire(self, coll, iteration, src_gpu, dst_gpu, t_s);
+    }
+
+    fn collective_complete(&mut self, coll: u32, iteration: u32, t_s: f64) {
+        SpanRecorder::collective_complete(self, coll, iteration, t_s);
+    }
+
+    fn sample_tick(&mut self, gpu: u32, t_s: f64, power_w: f64, period_s: f64, measuring: bool) {
+        self.power_tick(gpu, t_s, power_w, period_s, measuring);
+    }
+}

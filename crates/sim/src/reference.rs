@@ -34,6 +34,7 @@ use charllm_trace::{ExecutionTrace, KernelClass, Step};
 use crate::config::SimConfig;
 use crate::engine::kernel_pressure;
 use crate::error::SimError;
+use crate::observer::{NoopObserver, SimObserver, TaskKind};
 use crate::result::{KernelBreakdown, OccupancyStats, SimResult, TrafficMatrix};
 
 /// What a rank is currently doing.
@@ -83,8 +84,11 @@ struct FlowState {
 ///
 /// Same construction contract and result type as [`crate::Simulator`]; use
 /// it when you need a semantics baseline to compare the event-driven engine
-/// against, never for production sweeps.
-pub struct ReferenceSimulator<'a> {
+/// against, never for production sweeps. Generic over the same
+/// [`SimObserver`] hooks as the production engine, so span streams can be
+/// compared between the two.
+pub struct ReferenceSimulator<'a, O: SimObserver = NoopObserver> {
+    obs: O,
     cluster: &'a Cluster,
     trace: &'a ExecutionTrace,
     cfg: SimConfig,
@@ -120,8 +124,8 @@ pub struct ReferenceSimulator<'a> {
 }
 
 impl<'a> ReferenceSimulator<'a> {
-    /// Build a reference simulator after validating trace/placement/cluster
-    /// agreement.
+    /// Build an unobserved reference simulator after validating trace/
+    /// placement/cluster agreement.
     ///
     /// # Errors
     ///
@@ -131,6 +135,23 @@ impl<'a> ReferenceSimulator<'a> {
         placement: &Placement,
         trace: &'a ExecutionTrace,
         cfg: SimConfig,
+    ) -> Result<Self, SimError> {
+        Self::with_observer(cluster, placement, trace, cfg, NoopObserver)
+    }
+}
+
+impl<'a, O: SimObserver> ReferenceSimulator<'a, O> {
+    /// Build a reference simulator with an attached observer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidTrace`] or [`SimError::PlacementMismatch`].
+    pub fn with_observer(
+        cluster: &'a Cluster,
+        placement: &Placement,
+        trace: &'a ExecutionTrace,
+        cfg: SimConfig,
+        obs: O,
     ) -> Result<Self, SimError> {
         let problems = trace.validate();
         if !problems.is_empty() {
@@ -187,6 +208,7 @@ impl<'a> ReferenceSimulator<'a> {
         let last_power_w = thermals.iter().map(GpuThermal::power_w).collect();
 
         Ok(ReferenceSimulator {
+            obs,
             cluster,
             trace,
             ranks,
@@ -224,7 +246,16 @@ impl<'a> ReferenceSimulator<'a> {
     ///
     /// Returns [`SimError::Deadlock`] if no progress is possible and
     /// [`SimError::Timeout`] when the simulated-time cap is hit.
-    pub fn run(mut self) -> Result<SimResult, SimError> {
+    pub fn run(self) -> Result<SimResult, SimError> {
+        self.run_observed().map(|(result, _)| result)
+    }
+
+    /// Run to completion, returning the observer for post-run analysis.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ReferenceSimulator::run`].
+    pub fn run_observed(mut self) -> Result<(SimResult, O), SimError> {
         loop {
             let progressed = self.advance_ready_ranks();
 
@@ -312,6 +343,13 @@ impl<'a> ReferenceSimulator<'a> {
                     progressed = true;
                     match step {
                         Step::Compute { kind, flops } => {
+                            self.obs.task_start(
+                                rank,
+                                self.ranks[rank].gpu.index() as u32,
+                                self.ranks[rank].iteration as u32,
+                                TaskKind::Compute(kind),
+                                self.t,
+                            );
                             self.ranks[rank].mode = RankMode::Computing {
                                 kind,
                                 remaining_flops: flops,
@@ -325,6 +363,16 @@ impl<'a> ReferenceSimulator<'a> {
                             let key = (self.ranks[rank].iteration as u32, coll.0);
                             let done = self.colls.get(&key).is_some_and(|c| c.complete);
                             if !done {
+                                self.obs.task_start(
+                                    rank,
+                                    self.ranks[rank].gpu.index() as u32,
+                                    key.0,
+                                    TaskKind::CollWait {
+                                        coll,
+                                        class: self.trace.collective(coll).class(),
+                                    },
+                                    self.t,
+                                );
                                 self.ranks[rank].mode = RankMode::Waiting { coll: coll.0 };
                                 return progressed;
                             }
@@ -374,6 +422,13 @@ impl<'a> ReferenceSimulator<'a> {
                 continue;
             }
             active += 1;
+            self.obs.flow_launch(
+                coll,
+                iter,
+                flow.src.index() as u32,
+                flow.dst.index() as u32,
+                self.t,
+            );
             self.gpu_flow_count[flow.src.index()] += 1;
             self.gpu_flow_count[flow.dst.index()] += 1;
             self.flows.push(FlowState {
@@ -389,7 +444,23 @@ impl<'a> ReferenceSimulator<'a> {
         let state = self.colls.get_mut(&key).expect("just inserted");
         state.flows_remaining = active;
         if active == 0 {
-            state.complete = true;
+            self.complete_collective(key, self.t);
+        }
+    }
+
+    /// Mark a collective instance complete at time `now`, closing the wait
+    /// spans of every rank blocked on it (the scan resumes those ranks
+    /// later, but their wait *ends* when the collective does — matching the
+    /// event-driven engine's wake-time semantics exactly).
+    fn complete_collective(&mut self, key: (u32, u32), now: f64) {
+        self.colls.get_mut(&key).expect("live collective").complete = true;
+        self.obs.collective_complete(key.1, key.0, now);
+        for rank in 0..self.ranks.len() {
+            if self.ranks[rank].mode == (RankMode::Waiting { coll: key.1 })
+                && self.ranks[rank].iteration as u32 == key.0
+            {
+                self.obs.task_end(rank, now);
+            }
         }
     }
 
@@ -483,6 +554,7 @@ impl<'a> ReferenceSimulator<'a> {
                     occ.1 += (w + 0.2 * comm) * dt;
                     occ.2 += (tb + 0.1 * comm) * dt;
                     if left <= 1.0 {
+                        self.obs.task_end(rank, self.t + dt);
                         self.ranks[rank].mode = RankMode::Ready;
                     } else {
                         self.ranks[rank].mode = RankMode::Computing {
@@ -563,12 +635,19 @@ impl<'a> ReferenceSimulator<'a> {
                 }
             }
             if done {
+                self.obs.flow_retire(
+                    coll_key.1,
+                    coll_key.0,
+                    src.index() as u32,
+                    dst.index() as u32,
+                    self.t + dt,
+                );
                 self.gpu_flow_count[src.index()] -= 1;
                 self.gpu_flow_count[dst.index()] -= 1;
                 let state = self.colls.get_mut(&coll_key).expect("flow has state");
                 state.flows_remaining -= 1;
                 if state.flows_remaining == 0 {
-                    state.complete = true;
+                    self.complete_collective(coll_key, self.t + dt);
                 }
                 self.flows.swap_remove(i);
             } else {
@@ -610,6 +689,8 @@ impl<'a> ReferenceSimulator<'a> {
                     1.0
                 };
                 self.last_power_w[gpu] = sample.power_w;
+                self.obs
+                    .sample_tick(gpu as u32, self.t, sample.power_w, period, measuring);
                 if measuring {
                     self.energy_measured_j += sample.power_w * period;
                 }
@@ -651,7 +732,8 @@ impl<'a> ReferenceSimulator<'a> {
         blocked.join("; ")
     }
 
-    fn finish(self) -> SimResult {
+    fn finish(self) -> (SimResult, O) {
+        let obs = self.obs;
         let cfg = &self.cfg;
         let mut iteration_times = Vec::with_capacity(cfg.iterations);
         let mut prev = 0.0;
@@ -693,7 +775,7 @@ impl<'a> ReferenceSimulator<'a> {
             })
             .collect();
 
-        SimResult {
+        let result = SimResult {
             step_time_s: step_time,
             iteration_times_s: iteration_times,
             tokens_per_s,
@@ -718,6 +800,8 @@ impl<'a> ReferenceSimulator<'a> {
                 .collect(),
             occupancy,
             sim_time_s: self.t,
-        }
+            profile: None,
+        };
+        (result, obs)
     }
 }

@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use charllm_hw::LinkClass;
-use charllm_telemetry::TelemetryStore;
+use charllm_telemetry::{Profile, TelemetryStore};
 use charllm_trace::KernelClass;
 
 /// Busy seconds per kernel class (one rank, measured iterations).
@@ -80,7 +80,8 @@ pub struct TrafficMatrix {
 }
 
 impl TrafficMatrix {
-    pub(crate) fn new(num_gpus: usize) -> Self {
+    /// An all-zero matrix covering `num_gpus` GPUs.
+    pub fn new(num_gpus: usize) -> Self {
         TrafficMatrix {
             bytes: vec![[0.0; 5]; num_gpus],
         }
@@ -166,6 +167,9 @@ pub struct SimResult {
     pub occupancy: Vec<OccupancyStats>,
     /// Total simulated time, seconds.
     pub sim_time_s: f64,
+    /// Span-level phase/energy attribution; `None` unless the run was
+    /// profiled (e.g. via `Simulator::profiled`).
+    pub profile: Option<Profile>,
 }
 
 impl SimResult {

@@ -1,0 +1,204 @@
+//! Chrome `traceEvents` export of a recorded run, loadable in Perfetto.
+//!
+//! Layout follows the Trace Event Format: one *process* per node, one
+//! *thread* per rank (so Perfetto renders a track per rank grouped by
+//! node), `"X"` complete events for spans, `"s"`/`"f"` flow arrows for the
+//! network flows of each collective, and `"C"` counter tracks for per-GPU
+//! board power. Timestamps are microseconds of simulated time.
+
+use serde_json::{json, Value};
+
+use crate::spans::SpanRecorder;
+
+const US_PER_S: f64 = 1e6;
+
+/// Export a recorder's streams as a Chrome `traceEvents` JSON value.
+///
+/// `node_of_gpu[g]` maps a GPU index to its node (process). Ranks whose GPU
+/// falls outside the map land on a catch-all process `0`. Serialize the
+/// returned value with `serde_json::to_string` and load the file at
+/// <https://ui.perfetto.dev>.
+pub fn export(rec: &SpanRecorder, node_of_gpu: &[usize]) -> Value {
+    let node_of = |gpu: u32| -> usize { node_of_gpu.get(gpu as usize).copied().unwrap_or(0) };
+    let mut events: Vec<Value> = Vec::new();
+
+    // Process (node) and thread (rank) naming metadata.
+    let mut nodes: Vec<usize> = (0..rec.world())
+        .filter_map(|r| rec.gpu_of_rank(r))
+        .map(node_of)
+        .collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    for node in nodes {
+        events.push(json!({
+            "ph": "M", "name": "process_name", "pid": node, "tid": 0,
+            "args": { "name": format!("node{node}") },
+        }));
+    }
+    // gpu -> rank, for pointing flow arrows at rank tracks.
+    let mut rank_of_gpu: Vec<Option<(usize, u32)>> = vec![None; node_of_gpu.len().max(1)];
+    for rank in 0..rec.world() {
+        let Some(gpu) = rec.gpu_of_rank(rank) else {
+            continue;
+        };
+        let node = node_of(gpu);
+        if let Some(slot) = rank_of_gpu.get_mut(gpu as usize) {
+            slot.get_or_insert((node, rank as u32));
+        }
+        events.push(json!({
+            "ph": "M", "name": "thread_name", "pid": node, "tid": rank,
+            "args": { "name": format!("rank{rank} (gpu{gpu})") },
+        }));
+        events.push(json!({
+            "ph": "M", "name": "thread_sort_index", "pid": node, "tid": rank,
+            "args": { "sort_index": rank },
+        }));
+    }
+
+    // Spans: "X" complete events on the rank's track.
+    for rank in 0..rec.world() {
+        let Some(gpu) = rec.gpu_of_rank(rank) else {
+            continue;
+        };
+        let node = node_of(gpu);
+        for span in rec.spans(rank) {
+            let cat = if span.kind.is_collective() {
+                "collective"
+            } else {
+                "compute"
+            };
+            events.push(json!({
+                "ph": "X", "name": span.kind.label(), "cat": cat,
+                "pid": node, "tid": rank,
+                "ts": span.t0_s * US_PER_S, "dur": span.dur_s() * US_PER_S,
+                "args": { "iteration": span.iteration },
+            }));
+        }
+    }
+
+    // Flow arrows: "s" on the source rank's track at launch, "f" on the
+    // destination rank's track at retirement. Ids are unique per flow.
+    let lookup =
+        |gpu: u32| -> Option<(usize, u32)> { rank_of_gpu.get(gpu as usize).copied().flatten() };
+    for (id, flow) in rec.flows().iter().enumerate() {
+        let (Some((src_node, src_rank)), Some((dst_node, dst_rank))) =
+            (lookup(flow.src_gpu), lookup(flow.dst_gpu))
+        else {
+            continue;
+        };
+        let name = format!("c{}.i{}", flow.coll, flow.iteration);
+        events.push(json!({
+            "ph": "s", "name": name.clone(), "cat": "flow", "id": id,
+            "pid": src_node, "tid": src_rank, "ts": flow.t0_s * US_PER_S,
+        }));
+        events.push(json!({
+            "ph": "f", "name": name, "cat": "flow", "id": id, "bp": "e",
+            "pid": dst_node, "tid": dst_rank, "ts": flow.t1_s * US_PER_S,
+        }));
+    }
+
+    // Per-GPU board power as counter tracks on the GPU's node.
+    for tick in rec.power_ticks() {
+        events.push(json!({
+            "ph": "C", "name": format!("power gpu{}", tick.gpu),
+            "pid": node_of(tick.gpu), "tid": 0, "ts": tick.t_s * US_PER_S,
+            "args": { "watts": tick.power_w },
+        }));
+    }
+
+    json!({ "traceEvents": events, "displayTimeUnit": "ms" })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spans::SpanKind;
+    use charllm_trace::ComputeKind;
+
+    #[test]
+    fn export_names_processes_and_threads() {
+        let mut r = SpanRecorder::new();
+        r.begin_task(
+            0,
+            0,
+            0,
+            SpanKind::Compute {
+                kind: ComputeKind::Gemm,
+            },
+            0.0,
+        );
+        r.end_task(0, 1.0);
+        r.begin_task(
+            1,
+            1,
+            0,
+            SpanKind::Compute {
+                kind: ComputeKind::Gemm,
+            },
+            0.5,
+        );
+        r.end_task(1, 2.0);
+        let v = export(&r, &[0, 1]);
+        let events = v
+            .as_object()
+            .unwrap()
+            .get("traceEvents")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        let count = |ph: &str, name: &str| {
+            events
+                .iter()
+                .filter(|e| {
+                    let o = e.as_object().unwrap();
+                    o.get("ph").unwrap().as_str() == Some(ph)
+                        && o.get("name").unwrap().as_str() == Some(name)
+                })
+                .count()
+        };
+        assert_eq!(count("M", "process_name"), 2);
+        assert_eq!(count("M", "thread_name"), 2);
+        assert_eq!(count("X", "Gemm"), 2);
+    }
+
+    #[test]
+    fn flow_arrows_pair_source_and_finish() {
+        let mut r = SpanRecorder::new();
+        r.begin_task(
+            0,
+            0,
+            0,
+            SpanKind::Compute {
+                kind: ComputeKind::Gemm,
+            },
+            0.0,
+        );
+        r.end_task(0, 1.0);
+        r.begin_task(
+            1,
+            1,
+            0,
+            SpanKind::Compute {
+                kind: ComputeKind::Gemm,
+            },
+            0.0,
+        );
+        r.end_task(1, 1.0);
+        r.flow_launch(9, 0, 0, 1, 0.25);
+        r.flow_retire(9, 0, 0, 1, 0.75);
+        let v = export(&r, &[0, 0]);
+        let events = v
+            .as_object()
+            .unwrap()
+            .get("traceEvents")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        let phases: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.as_object().unwrap().get("ph").unwrap().as_str())
+            .filter(|p| *p == "s" || *p == "f")
+            .collect();
+        assert_eq!(phases, vec!["s", "f"]);
+    }
+}

@@ -96,6 +96,55 @@ mod tests {
     }
 
     #[test]
+    fn multi_gpu_store_roundtrips_rows_and_ordering() {
+        // 3 GPUs × 4 samples with distinct values everywhere, so any
+        // column/row transposition or reordering changes the parsed floats.
+        let gpus = 3;
+        let samples = 4;
+        let mut store = TelemetryStore::new(gpus);
+        for i in 0..samples {
+            let t = i as f64 * 0.25;
+            for g in 0..gpus {
+                store.record(
+                    g,
+                    t,
+                    GpuSample {
+                        power_w: 100.0 + (g * samples + i) as f64,
+                        temp_c: 40.0 + g as f64,
+                        freq_mhz: 1500.0 + i as f64,
+                        util: 0.5,
+                        pcie_gbps: g as f64 + i as f64 / 8.0,
+                    },
+                );
+            }
+        }
+        let mut buf = Vec::new();
+        write_store(&mut buf, &store).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1 + samples, "one row per timestamp");
+        let header: Vec<&str> = lines[0].split(',').collect();
+        assert_eq!(header.len(), 1 + 5 * gpus, "five columns per GPU");
+        assert_eq!(header[1], "power0_w");
+        assert_eq!(header[1 + 5 * (gpus - 1)], format!("power{}_w", gpus - 1));
+        let mut last_t = f64::NEG_INFINITY;
+        for (i, line) in lines[1..].iter().enumerate() {
+            let fields: Vec<f64> = line.split(',').map(|f| f.parse().unwrap()).collect();
+            assert_eq!(fields.len(), 1 + 5 * gpus);
+            assert!(fields[0] > last_t, "timestamps must ascend");
+            last_t = fields[0];
+            for g in 0..gpus {
+                let power = fields[1 + 5 * g];
+                assert_eq!(
+                    power,
+                    100.0 + (g * samples + i) as f64,
+                    "gpu {g} sample {i} landed in the wrong cell"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn empty_store_writes_header_only() {
         let store = TelemetryStore::new(0);
         let mut buf = Vec::new();

@@ -134,6 +134,24 @@ mod tests {
     }
 
     #[test]
+    fn golden_csv_and_row_normalization() {
+        // Exact golden output: pins the header, the 4-decimal formatting,
+        // and the min→0 / max→1 row normalization in one comparison.
+        assert_eq!(
+            map().to_csv(),
+            "config,g0,g1,g2\n\
+             a,1.0000,2.0000,3.0000\n\
+             b,5.0000,5.0000,5.0000\n"
+        );
+        assert_eq!(
+            map().normalized_rows().to_csv(),
+            "config,g0,g1,g2\n\
+             a,0.0000,0.5000,1.0000\n\
+             b,0.0000,0.0000,0.0000\n"
+        );
+    }
+
+    #[test]
     fn ascii_contains_labels() {
         let s = map().to_ascii();
         assert!(s.contains("g1"));

@@ -5,17 +5,27 @@
 //! traffic), aggregation into the per-configuration summary metrics the
 //! figures plot, row-normalized heatmaps (Figs. 5, 17, 18), and CSV export
 //! matching the artifact's output format.
+//!
+//! The [`spans`] / [`phase`] / [`chrome_trace`] modules form the execution
+//! tracing half (the Chakra-trace analogue): per-rank span streams recorded
+//! through the simulator's observer hooks, folded into per-phase wall-time
+//! and energy attributions, and exported as Perfetto-loadable JSON.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod chrome_trace;
 pub mod csv;
 pub mod heatmap;
+pub mod phase;
+pub mod spans;
 pub mod store;
 pub mod timeseries;
 
 pub use aggregate::SeriesSummary;
 pub use heatmap::Heatmap;
+pub use phase::{Phase, PhaseBreakdown, Profile, SpanTotal};
+pub use spans::{FlowSpan, PowerTick, Span, SpanKind, SpanRecorder};
 pub use store::{GpuSample, TelemetryStore};
 pub use timeseries::TimeSeries;

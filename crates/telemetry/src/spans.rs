@@ -1,0 +1,354 @@
+//! Per-rank span streams: the simulator's execution timeline.
+//!
+//! The Rust stand-in for a Chakra/Kineto trace: every compute kernel and
+//! every blocking collective wait becomes a [`Span`] on its rank's track,
+//! every network flow becomes a [`FlowSpan`] between two GPUs, and every
+//! thermal-control tick records a [`PowerTick`] so energy can be attributed
+//! back onto the timeline. The [`SpanRecorder`] is filled through the
+//! simulator's observer hooks (`charllm-sim`'s `SimObserver`) and consumed
+//! by [`crate::phase`] (wall-time/energy attribution) and
+//! [`crate::chrome_trace`] (Perfetto export).
+
+use std::collections::{HashMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use charllm_trace::{ComputeKind, KernelClass};
+
+/// What a span on a rank's track represents.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SpanKind {
+    /// A compute kernel.
+    Compute {
+        /// Kernel class.
+        kind: ComputeKind,
+    },
+    /// A blocking wait on a collective (closed when the collective
+    /// completes; a rank that waits on an already-complete collective
+    /// produces no span).
+    Collective {
+        /// Collective instance id within the trace.
+        coll: u32,
+        /// Reporting bucket of the collective.
+        class: KernelClass,
+    },
+}
+
+impl SpanKind {
+    /// Human-readable label (used for trace-event names and top-k tables).
+    pub fn label(&self) -> String {
+        match self {
+            SpanKind::Compute { kind } => format!("{kind:?}"),
+            SpanKind::Collective { coll, class } => format!("{class}[c{coll}]"),
+        }
+    }
+
+    /// Whether this span is a collective wait.
+    pub fn is_collective(&self) -> bool {
+        matches!(self, SpanKind::Collective { .. })
+    }
+}
+
+/// One closed interval of rank activity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Span {
+    /// Rank the span belongs to.
+    pub rank: u32,
+    /// GPU the rank is placed on.
+    pub gpu: u32,
+    /// Training iteration the span belongs to.
+    pub iteration: u32,
+    /// Start time, seconds of simulated time.
+    pub t0_s: f64,
+    /// End time, seconds of simulated time.
+    pub t1_s: f64,
+    /// What the rank was doing.
+    pub kind: SpanKind,
+}
+
+impl Span {
+    /// Span duration in seconds.
+    pub fn dur_s(&self) -> f64 {
+        self.t1_s - self.t0_s
+    }
+}
+
+/// One network flow's lifetime (launch to retirement).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowSpan {
+    /// Collective instance the flow belongs to.
+    pub coll: u32,
+    /// Iteration of the launching rank.
+    pub iteration: u32,
+    /// Source GPU index.
+    pub src_gpu: u32,
+    /// Destination GPU index.
+    pub dst_gpu: u32,
+    /// Launch time, seconds.
+    pub t0_s: f64,
+    /// Retirement time, seconds.
+    pub t1_s: f64,
+}
+
+/// A collective instance completing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CollComplete {
+    /// Collective instance id.
+    pub coll: u32,
+    /// Iteration the instance belongs to.
+    pub iteration: u32,
+    /// Completion time, seconds.
+    pub t_s: f64,
+}
+
+/// One thermal-control-period power reading for one GPU.
+///
+/// `power_w × period_s` is exactly the energy the simulator accrues for the
+/// window `[t_s - period_s, t_s]`, so summing `measuring` ticks reproduces
+/// the engine's measured energy bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerTick {
+    /// GPU index.
+    pub gpu: u32,
+    /// Control-boundary time, seconds (end of the window).
+    pub t_s: f64,
+    /// Board power over the window, watts.
+    pub power_w: f64,
+    /// Window length, seconds.
+    pub period_s: f64,
+    /// Whether the window counts toward measured energy (post-warmup).
+    pub measuring: bool,
+}
+
+/// Collects span streams, flow lifetimes, collective completions and power
+/// ticks from a simulation run.
+///
+/// Ranks and GPUs are discovered lazily from the hook arguments, so the
+/// recorder needs no up-front topology knowledge.
+#[derive(Debug, Default)]
+pub struct SpanRecorder {
+    spans: Vec<Vec<Span>>,
+    open: Vec<Option<Span>>,
+    gpu_of_rank: Vec<Option<u32>>,
+    flows: Vec<FlowSpan>,
+    /// Launch-ordered slab of in-flight flows; retired entries become
+    /// `None`. The slab is cleared whenever the last open flow retires, so
+    /// it stays bounded by the peak number of concurrent flows.
+    open_slots: Vec<Option<FlowSpan>>,
+    /// FIFO index queues into `open_slots` per flow identity.
+    open_index: HashMap<(u32, u32, u32, u32), VecDeque<usize>>,
+    open_flow_count: usize,
+    completions: Vec<CollComplete>,
+    power: Vec<PowerTick>,
+}
+
+impl SpanRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        SpanRecorder::default()
+    }
+
+    fn ensure_rank(&mut self, rank: usize) {
+        if rank >= self.spans.len() {
+            self.spans.resize_with(rank + 1, Vec::new);
+            self.open.resize_with(rank + 1, || None);
+            self.gpu_of_rank.resize(rank + 1, None);
+        }
+    }
+
+    /// Open a span on `rank`'s track. Panics (debug) if one is already open:
+    /// the engines never nest rank activity.
+    pub fn begin_task(&mut self, rank: usize, gpu: u32, iteration: u32, kind: SpanKind, t_s: f64) {
+        self.ensure_rank(rank);
+        debug_assert!(self.open[rank].is_none(), "rank {rank} has an open span");
+        self.gpu_of_rank[rank] = Some(gpu);
+        self.open[rank] = Some(Span {
+            rank: rank as u32,
+            gpu,
+            iteration,
+            t0_s: t_s,
+            t1_s: t_s,
+            kind,
+        });
+    }
+
+    /// Close the open span on `rank`'s track at `t_s`.
+    pub fn end_task(&mut self, rank: usize, t_s: f64) {
+        self.ensure_rank(rank);
+        if let Some(mut span) = self.open[rank].take() {
+            span.t1_s = t_s;
+            self.spans[rank].push(span);
+        } else {
+            debug_assert!(false, "rank {rank} closed a span it never opened");
+        }
+    }
+
+    /// Record a flow launch.
+    pub fn flow_launch(&mut self, coll: u32, iteration: u32, src_gpu: u32, dst_gpu: u32, t_s: f64) {
+        let slot = self.open_slots.len();
+        self.open_slots.push(Some(FlowSpan {
+            coll,
+            iteration,
+            src_gpu,
+            dst_gpu,
+            t0_s: t_s,
+            t1_s: t_s,
+        }));
+        self.open_index
+            .entry((coll, iteration, src_gpu, dst_gpu))
+            .or_default()
+            .push_back(slot);
+        self.open_flow_count += 1;
+    }
+
+    /// Record a flow retirement, matching the earliest open flow with the
+    /// same identity (FIFO per `(coll, iteration, src, dst)`; chunked
+    /// collectives launch several identical flows).
+    pub fn flow_retire(&mut self, coll: u32, iteration: u32, src_gpu: u32, dst_gpu: u32, t_s: f64) {
+        let key = (coll, iteration, src_gpu, dst_gpu);
+        let slot = match self.open_index.get_mut(&key) {
+            Some(queue) => {
+                let slot = queue.pop_front();
+                if queue.is_empty() {
+                    self.open_index.remove(&key);
+                }
+                slot
+            }
+            None => None,
+        };
+        if let Some(slot) = slot {
+            let mut flow = self.open_slots[slot].take().expect("indexed flow is open");
+            flow.t1_s = t_s;
+            self.flows.push(flow);
+            self.open_flow_count -= 1;
+            if self.open_flow_count == 0 {
+                self.open_slots.clear();
+            }
+        } else {
+            debug_assert!(false, "retired flow was never launched");
+        }
+    }
+
+    /// Record a collective instance completing.
+    pub fn collective_complete(&mut self, coll: u32, iteration: u32, t_s: f64) {
+        self.completions.push(CollComplete {
+            coll,
+            iteration,
+            t_s,
+        });
+    }
+
+    /// Record one thermal-control-period power reading.
+    pub fn power_tick(&mut self, gpu: u32, t_s: f64, power_w: f64, period_s: f64, measuring: bool) {
+        self.power.push(PowerTick {
+            gpu,
+            t_s,
+            power_w,
+            period_s,
+            measuring,
+        });
+    }
+
+    /// Number of rank tracks seen so far.
+    pub fn world(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Closed spans of one rank, in emission (time) order.
+    pub fn spans(&self, rank: usize) -> &[Span] {
+        &self.spans[rank]
+    }
+
+    /// Number of closed spans across all ranks.
+    pub fn num_spans(&self) -> usize {
+        self.spans.iter().map(Vec::len).sum()
+    }
+
+    /// Spans still open (normally zero after a completed run).
+    pub fn num_open_spans(&self) -> usize {
+        self.open.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// GPU a rank was observed on, if it ever ran anything.
+    pub fn gpu_of_rank(&self, rank: usize) -> Option<u32> {
+        self.gpu_of_rank.get(rank).copied().flatten()
+    }
+
+    /// Retired flows in retirement order.
+    pub fn flows(&self) -> &[FlowSpan] {
+        &self.flows
+    }
+
+    /// Flows still in flight (launch recorded, no retirement yet), in
+    /// launch order.
+    pub fn open_flows(&self) -> Vec<FlowSpan> {
+        self.open_slots.iter().filter_map(|f| *f).collect()
+    }
+
+    /// Collective completions in completion order.
+    pub fn completions(&self) -> &[CollComplete] {
+        &self.completions
+    }
+
+    /// Power readings in recording order.
+    pub fn power_ticks(&self) -> &[PowerTick] {
+        &self.power
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_open_and_close_per_rank() {
+        let mut r = SpanRecorder::new();
+        r.begin_task(
+            1,
+            5,
+            0,
+            SpanKind::Compute {
+                kind: ComputeKind::Gemm,
+            },
+            0.0,
+        );
+        r.end_task(1, 2.5);
+        assert_eq!(r.world(), 2);
+        assert_eq!(r.spans(0).len(), 0);
+        assert_eq!(r.spans(1).len(), 1);
+        let s = r.spans(1)[0];
+        assert_eq!(s.gpu, 5);
+        assert!((s.dur_s() - 2.5).abs() < 1e-12);
+        assert_eq!(r.gpu_of_rank(1), Some(5));
+        assert_eq!(r.gpu_of_rank(0), None);
+        assert_eq!(r.num_open_spans(), 0);
+    }
+
+    #[test]
+    fn flows_match_fifo_on_identical_identity() {
+        let mut r = SpanRecorder::new();
+        r.flow_launch(3, 0, 0, 1, 0.0);
+        r.flow_launch(3, 0, 0, 1, 1.0);
+        r.flow_retire(3, 0, 0, 1, 2.0);
+        assert_eq!(r.flows().len(), 1);
+        assert_eq!(r.open_flows().len(), 1);
+        // FIFO: the retired flow is the one launched at t=0.
+        assert_eq!(r.flows()[0].t0_s, 0.0);
+        assert_eq!(r.open_flows()[0].t0_s, 1.0);
+    }
+
+    #[test]
+    fn labels_distinguish_kinds() {
+        let compute = SpanKind::Compute {
+            kind: ComputeKind::Attention,
+        };
+        let coll = SpanKind::Collective {
+            coll: 7,
+            class: KernelClass::AllReduce,
+        };
+        assert_eq!(compute.label(), "Attention");
+        assert_eq!(coll.label(), "AllReduce[c7]");
+        assert!(coll.is_collective());
+        assert!(!compute.is_collective());
+    }
+}

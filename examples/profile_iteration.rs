@@ -1,0 +1,68 @@
+//! Profile one training iteration and export a Perfetto-loadable trace.
+//!
+//! Runs GPT3-175B with TP4-PP8 (DP2) on the 64-GPU H200 cluster, attaches a
+//! span recorder, and writes a Chrome `traceEvents` JSON next to the phase
+//! attribution table. Open the JSON at <https://ui.perfetto.dev> to see one
+//! track per rank with flow arrows between communicating GPUs.
+//!
+//! ```sh
+//! cargo run --release --example profile_iteration
+//! ```
+
+use std::fs;
+
+use charllm::{phase_table, top_spans_table};
+use charllm_hw::presets::hgx_h200_with_nodes;
+use charllm_hw::GpuId;
+use charllm_models::{presets as models, TrainJob};
+use charllm_parallel::{ParallelismSpec, PipelineSchedule, Placement, StagePartition};
+use charllm_sim::{SimConfig, Simulator};
+use charllm_telemetry::{chrome_trace, phase, SpanRecorder};
+use charllm_trace::lower::{lower_train, DeviceHints};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The 64-GPU GPT-3 preset: 8 HGX-H200 nodes, TP4 inside the node,
+    // PP8 across nodes, DP2 filling the remainder.
+    let cluster = hgx_h200_with_nodes(8);
+    let job = TrainJob::pretrain(models::gpt3_175b()).with_global_batch(64);
+    let spec = ParallelismSpec::infer_dp(4, 8, 1, 64, false)?;
+    let partition = StagePartition::even(job.arch.num_layers, spec.pp)?;
+    let hints = DeviceHints::for_spec(cluster.gpu());
+    let lowered = lower_train(&job, &spec, PipelineSchedule::OneFOneB, &partition, &hints)?;
+    let trace = lowered.trace;
+    let placement = Placement::identity(&cluster, trace.world())?;
+
+    println!(
+        "== {} {} on {} ({} ranks) ==",
+        job.arch.name,
+        spec,
+        cluster.name(),
+        trace.world()
+    );
+
+    let mut cfg = SimConfig::fast();
+    cfg.iterations = 2;
+    let sim = Simulator::with_observer(&cluster, &placement, &trace, cfg, SpanRecorder::new())?;
+    let (result, recorder) = sim.run_observed()?;
+    let profile = phase::attribute(&recorder, result.sim_time_s, cfg.iterations);
+
+    println!("\n{}\n", phase_table(&profile));
+    println!("{}", top_spans_table(&profile, 10));
+
+    // Export the Chrome traceEvents JSON: one process per node, one thread
+    // per rank, flow arrows for every network flow, power counters per GPU.
+    let node_of_gpu: Vec<usize> = (0..cluster.num_gpus())
+        .map(|g| cluster.node_of(GpuId(g as u32)).index())
+        .collect();
+    let events = chrome_trace::export(&recorder, &node_of_gpu);
+    let path = std::env::temp_dir().join("charllm_profile_iteration.json");
+    fs::write(&path, serde_json::to_string(&events)?)?;
+    println!(
+        "\nwrote {} spans / {} flows to {}",
+        recorder.num_spans(),
+        recorder.flows().len(),
+        path.display()
+    );
+    println!("open it at https://ui.perfetto.dev");
+    Ok(())
+}
