@@ -18,6 +18,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo bench --no-run"
 cargo bench --workspace --no-run
 
+echo "==> sweep cache smoke (microbatch_tuning example)"
+out="$(cargo run --release --example microbatch_tuning)"
+echo "$out" | grep "^sweep cache:"
+echo "$out" | grep -Eq "^sweep cache: lowered [1-9][0-9]* hits .* plans [1-9][0-9]* hits" || {
+    echo "FAIL: sweep cache reported zero hits" >&2
+    exit 1
+}
+
 echo "==> cargo doc --workspace --no-deps (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

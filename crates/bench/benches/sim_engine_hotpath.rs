@@ -73,7 +73,8 @@ fn run_recorded(
     placement: &Placement,
     trace: &ExecutionTrace,
 ) -> (SimResult, SpanRecorder) {
-    Simulator::with_observer(cluster, placement, trace, config(), SpanRecorder::new())
+    let recorder = SpanRecorder::for_trace(trace, config().iterations);
+    Simulator::with_observer(cluster, placement, trace, config(), recorder)
         .unwrap()
         .run_observed()
         .unwrap()
@@ -116,23 +117,103 @@ fn main() {
 
     // Observer hook-site cost: NoopObserver must be indistinguishable from
     // the plain run (same monomorphization); SpanRecorder pays for real
-    // span/flow/tick recording. Min-of-3 filters scheduler noise.
-    // Interleaved min-of-5 so ambient load affects both sides alike.
+    // span/flow/tick recording. Interleaved min-of-5 (recorder min-of-3)
+    // so ambient load affects all sides alike.
     let mut plain_wall_s = f64::INFINITY;
     let mut noop_wall_s = f64::INFINITY;
-    for _ in 0..5 {
+    let mut recorded_wall_s = f64::INFINITY;
+    let mut num_spans = 0;
+    for round in 0..5 {
         let t = Instant::now();
         black_box(run_new(&cluster, &placement, &trace));
         plain_wall_s = plain_wall_s.min(t.elapsed().as_secs_f64());
         let t = Instant::now();
         black_box(run_noop(&cluster, &placement, &trace));
         noop_wall_s = noop_wall_s.min(t.elapsed().as_secs_f64());
+        if round < 3 {
+            let t = Instant::now();
+            let (_, recorder) = run_recorded(&cluster, &placement, &trace);
+            recorded_wall_s = recorded_wall_s.min(t.elapsed().as_secs_f64());
+            num_spans = recorder.num_spans();
+        }
     }
-    let (recorded_wall_s, num_spans) = {
-        let t = Instant::now();
-        let (_, recorder) = run_recorded(&cluster, &placement, &trace);
-        (t.elapsed().as_secs_f64(), recorder.num_spans())
+
+    // Scale head-to-head: a 64-node (512-GPU, dp16) replay whose live set
+    // (~8x the flows) sits above the scheduler's heap threshold, so the
+    // indexed completion heap engages. Forcing the threshold to usize::MAX
+    // pins the same workload to the linear scan — the delta is the heap's
+    // win region, and its stats prove the counters wire through.
+    let big_cluster = presets::hgx_h200_with_nodes(64);
+    let big_trace = {
+        let job = TrainJob::pretrain(models::gpt3_13b()).with_global_batch(512);
+        let spec = ParallelismSpec::infer_dp(4, 8, 1, big_cluster.num_gpus(), false).unwrap();
+        let partition = StagePartition::even(40, 8).unwrap();
+        let hints = DeviceHints::for_spec(big_cluster.gpu());
+        lower_train(&job, &spec, PipelineSchedule::OneFOneB, &partition, &hints)
+            .unwrap()
+            .trace
     };
+    let big_placement = Placement::identity(&big_cluster, big_trace.world()).unwrap();
+    let big_config = |threshold: usize| {
+        let mut cfg = config();
+        cfg.iterations = 2;
+        cfg.warmup_iterations = 1;
+        cfg.sched_heap_threshold = threshold;
+        cfg
+    };
+    let mut scan_wall_s = f64::INFINITY;
+    let mut heap_wall_s = f64::INFINITY;
+    let mut heap_stats = None;
+    let mut scan_result = None;
+    let mut heap_result = None;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let (res, _) = Simulator::new(
+            &big_cluster,
+            &big_placement,
+            &big_trace,
+            big_config(usize::MAX),
+        )
+        .unwrap()
+        .run_stats()
+        .unwrap();
+        scan_wall_s = scan_wall_s.min(t.elapsed().as_secs_f64());
+        scan_result = Some(res);
+        let t = Instant::now();
+        let (res, stats) = Simulator::new(
+            &big_cluster,
+            &big_placement,
+            &big_trace,
+            big_config(SimConfig::default().sched_heap_threshold),
+        )
+        .unwrap()
+        .run_stats()
+        .unwrap();
+        heap_wall_s = heap_wall_s.min(t.elapsed().as_secs_f64());
+        heap_stats = Some(stats);
+        heap_result = Some(res);
+    }
+    let heap_stats = heap_stats.unwrap();
+    assert_eq!(
+        serde_json::to_string(&scan_result).unwrap(),
+        serde_json::to_string(&heap_result).unwrap(),
+        "scan and heap schedulers diverged on the scale workload"
+    );
+    assert!(
+        heap_stats.heap_pops > 0,
+        "heap never engaged on the scale workload (live set below threshold?)"
+    );
+    println!(
+        "scale ({} GPUs, {} events, peak live {}): scan {:.3}s ({:.0} events/s) | heap {:.3}s ({:.0} events/s) | heap/scan {:.2}x",
+        big_cluster.num_gpus(),
+        heap_stats.events,
+        heap_stats.peak_live,
+        scan_wall_s,
+        heap_stats.events as f64 / scan_wall_s,
+        heap_wall_s,
+        heap_stats.events as f64 / heap_wall_s,
+        scan_wall_s / heap_wall_s,
+    );
 
     let speedup = ref_wall_s / new_wall_s;
     let record = serde_json::json!({
@@ -158,6 +239,15 @@ fn main() {
             "spans_recorded": num_spans,
         },
         "engine_stats": stats,
+        "scale_512gpu": {
+            "events": heap_stats.events,
+            "scan_wall_s": scan_wall_s,
+            "scan_events_per_s": heap_stats.events as f64 / scan_wall_s,
+            "heap_wall_s": heap_wall_s,
+            "heap_events_per_s": heap_stats.events as f64 / heap_wall_s,
+            "heap_over_scan": scan_wall_s / heap_wall_s,
+            "heap_stats": heap_stats,
+        },
     });
     println!(
         "events {} | event-driven {:.3}s ({:.0} events/s) | reference {:.3}s ({:.0} events/s) | speedup {:.2}x",

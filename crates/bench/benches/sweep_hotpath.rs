@@ -1,0 +1,193 @@
+//! Sweep hot-path benchmark: cross-point memoization (`SimCache`) on a
+//! fig-03-style power-cap ablation — 32 points replaying the *same*
+//! workload under different simulator knobs, the pattern where the cache
+//! pays off (one lowering + one collective-plan set serve every point).
+//!
+//! Measures the same 32-point ablation twice, serially (so the ratio
+//! isolates memoization from pool scheduling): cold (`SimCache` disabled,
+//! every point lowers its trace and routes its collectives from scratch)
+//! vs memoized (one shared cache). Then re-runs memoized across a worker
+//! pool to prove pool sharing keeps results byte-identical. Emits a
+//! `BENCH_sweep.json` record with the speedup, cache counters, and the
+//! engine stats of one warm point (shared-plan hits, scheduler heap
+//! counters).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use charllm::prelude::*;
+use charllm::report::RunReport;
+use charllm_hw::Cluster;
+use charllm_models::{presets as models, TrainJob};
+use charllm_parallel::{ParallelismSpec, PipelineSchedule, Placement, StagePartition};
+use charllm_sim::{SharedPlans, SimConfig, Simulator};
+use charllm_trace::lower::{lower_train, DeviceHints};
+
+use charllm_bench::save_json;
+
+const POINTS: usize = 32;
+
+fn job() -> TrainJob {
+    TrainJob::pretrain(models::mixtral_8x7b()).with_global_batch(8)
+}
+
+fn spec(cluster: &Cluster) -> ParallelismSpec {
+    // MoE under expert parallelism: AllToAll dispatch/combine plans are the
+    // costliest to route, which is exactly the work the plan cache elides.
+    ParallelismSpec::infer_dp(1, 4, 8, cluster.num_gpus(), false).unwrap()
+}
+
+fn sim_config(cap_w: f64) -> SimConfig {
+    let mut cfg = SimConfig::fast();
+    // Node 0 capped: the §1 failure-anecdote knob — a pure simulator
+    // setting, so every point shares one trace and one plan set.
+    cfg.node_power_cap = Some((0, cap_w));
+    // Coarser control/telemetry cadence: the cap still bites every control
+    // step, but per-point replay does less bookkeeping.
+    cfg.control_period_s = 0.02;
+    cfg.sample_period_s = 0.2;
+    cfg
+}
+
+/// The 32 power caps swept (watts, 340..650).
+fn caps() -> Vec<f64> {
+    (0..POINTS).map(|i| 340.0 + 10.0 * i as f64).collect()
+}
+
+fn run_points(
+    cluster: &Arc<Cluster>,
+    workers: usize,
+    cache: Option<&Arc<SimCache>>,
+) -> (Vec<RunReport>, f64) {
+    let caps = caps();
+    let t = Instant::now();
+    let reports = Executor::with_workers(workers).run(&caps, |_, cap| {
+        let mut builder = Experiment::builder()
+            .cluster(Arc::clone(cluster))
+            .job(job())
+            .spec(spec(cluster))
+            .sim_config(sim_config(*cap));
+        if let Some(cache) = cache {
+            builder = builder.cache(Arc::clone(cache));
+        }
+        builder.run().unwrap()
+    });
+    (reports, t.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let cluster = Arc::new(hgx_h200_cluster());
+    println!(
+        "workload: mixtral_8x7b PP4-EP8 on {} GPUs, {POINTS}-point power-cap ablation",
+        cluster.num_gpus()
+    );
+
+    // Interleaved min-of-5 serial head-to-head so ambient load hits both
+    // sides alike.
+    let mut cold_wall_s = f64::INFINITY;
+    let mut warm_wall_s = f64::INFINITY;
+    let mut cold_reports = None;
+    let mut warm_reports = None;
+    let mut warm_cache_stats = None;
+    for _ in 0..5 {
+        let (reports, wall) = run_points(&cluster, 1, None);
+        cold_wall_s = cold_wall_s.min(wall);
+        cold_reports = Some(reports);
+        let cache = Arc::new(SimCache::new());
+        let (reports, wall) = run_points(&cluster, 1, Some(&cache));
+        warm_wall_s = warm_wall_s.min(wall);
+        warm_reports = Some(reports);
+        warm_cache_stats = Some(cache.stats());
+    }
+    let cold_reports = cold_reports.unwrap();
+    let warm_reports = warm_reports.unwrap();
+    let warm_cache_stats = warm_cache_stats.unwrap();
+    assert_eq!(
+        warm_cache_stats.lowered_hits as usize,
+        POINTS - 1,
+        "all but the first point must reuse the lowered trace"
+    );
+    assert_eq!(warm_cache_stats.plan_hits as usize, POINTS - 1);
+
+    // Memoization must be invisible in the results.
+    for (cold, warm) in cold_reports.iter().zip(&warm_reports) {
+        assert_eq!(
+            serde_json::to_string(&cold.sim).unwrap(),
+            serde_json::to_string(&warm.sim).unwrap(),
+            "memoized point diverged from cold point"
+        );
+    }
+
+    // Pool sharing: the same ablation across a worker pool, one cache.
+    let pool_cache = Arc::new(SimCache::new());
+    let (pool_reports, pool_wall_s) = run_points(&cluster, 4, Some(&pool_cache));
+    for (serial, pooled) in warm_reports.iter().zip(&pool_reports) {
+        assert_eq!(
+            serde_json::to_string(&serial.sim).unwrap(),
+            serde_json::to_string(&pooled.sim).unwrap(),
+            "pooled point diverged from serial point"
+        );
+    }
+    let pool_stats = pool_cache.stats();
+    assert!(
+        pool_stats.hits() > 0,
+        "worker pool never shared a cached artifact"
+    );
+
+    // Engine-level stats of one warm point: lower once, publish the plans,
+    // replay — shared_plan_hits proves the second run served every
+    // collective from the shared set; heap counters come along.
+    let lowered = lower_train(
+        &job(),
+        &spec(&cluster),
+        PipelineSchedule::OneFOneB,
+        &StagePartition::even(job().arch.num_layers, spec(&cluster).pp).unwrap(),
+        &DeviceHints::for_spec(cluster.gpu()),
+    )
+    .unwrap();
+    let placement = Placement::identity(&cluster, lowered.trace.world()).unwrap();
+    let shared = Arc::new(SharedPlans::for_trace(&lowered.trace));
+    let cfg = sim_config(caps()[0]);
+    let (_, cold_stats) = Simulator::new(&cluster, &placement, &lowered.trace, cfg)
+        .unwrap()
+        .with_shared_plans(Arc::clone(&shared))
+        .unwrap()
+        .run_stats()
+        .unwrap();
+    let (_, warm_stats) = Simulator::new(&cluster, &placement, &lowered.trace, cfg)
+        .unwrap()
+        .with_shared_plans(Arc::clone(&shared))
+        .unwrap()
+        .run_stats()
+        .unwrap();
+    assert_eq!(warm_stats.plan_builds, 0, "warm plan set builds nothing");
+    assert!(warm_stats.shared_plan_hits > 0);
+
+    let speedup = cold_wall_s / warm_wall_s;
+    println!(
+        "cold {cold_wall_s:.3}s | memoized {warm_wall_s:.3}s | speedup {speedup:.2}x | \
+         pool(4 workers) {pool_wall_s:.3}s"
+    );
+    println!(
+        "cache: {warm_cache_stats} | shared plans: {} builds cold, {} hits warm",
+        cold_stats.plan_builds, warm_stats.shared_plan_hits
+    );
+
+    let record = serde_json::json!({
+        "workload": "mixtral_8x7b_pp4_ep8_32gpu_power_cap_ablation",
+        "points": POINTS,
+        "cold_wall_s": cold_wall_s,
+        "memoized_wall_s": warm_wall_s,
+        "memoized_over_cold": speedup,
+        "pool_wall_s": pool_wall_s,
+        "cache_stats": {
+            "lowered_hits": warm_cache_stats.lowered_hits,
+            "lowered_misses": warm_cache_stats.lowered_misses,
+            "plan_hits": warm_cache_stats.plan_hits,
+            "plan_misses": warm_cache_stats.plan_misses,
+        },
+        "engine_stats_cold_point": cold_stats,
+        "engine_stats_warm_point": warm_stats,
+    });
+    save_json("BENCH_sweep", &record);
+}

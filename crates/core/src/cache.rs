@@ -1,0 +1,309 @@
+//! Cross-point memoization for sweeps and searches.
+//!
+//! A [`SimCache`] remembers the two expensive, deterministic artifacts an
+//! [`Experiment`](crate::Experiment) produces before simulating:
+//!
+//! - the **lowered trace**, a pure function of
+//!   `(job, parallelism, schedule, partition, hints, inference shape)`;
+//! - the **collective plan set** ([`SharedPlans`]), a pure function of
+//!   `(cluster, placement, trace)`.
+//!
+//! Both are keyed by *content*, not identity: keys are the canonical JSON
+//! serialization of the inputs (serde_json prints floats
+//! shortest-roundtrip, so distinct values never collapse to one key).
+//! Points of a sweep or search that resolve to the same inputs — repeated
+//! evaluations of a winning configuration, power-cap or thermal ablations
+//! over a fixed workload, re-runs under different [`SimConfig`] knobs
+//! (simulator knobs are deliberately *not* part of the key: they change
+//! how a trace is replayed, never the trace) — then lower once and route
+//! collectives once, instead of once per point.
+//!
+//! One cache is shared by every worker of an
+//! [`Executor`](crate::Executor) pool: lookups take a brief mutex on the
+//! map only, building happens outside the lock, and the first publisher
+//! of a key wins (duplicate concurrent builds of the same key are
+//! harmless — the artifacts are deterministic). Results are byte-identical
+//! with and without the cache.
+//!
+//! [`SimConfig`]: charllm_sim::SimConfig
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::{Deserialize, Serialize};
+
+use charllm_hw::Cluster;
+use charllm_models::TrainJob;
+use charllm_parallel::{ParallelismSpec, PipelineSchedule, Placement, StagePartition};
+use charllm_sim::SharedPlans;
+use charllm_trace::lower::LoweredJob;
+use charllm_trace::{DeviceHints, InferenceConfig};
+
+use crate::error::CoreError;
+
+/// Content-keyed cache of lowered traces and collective plan sets, shared
+/// across the points of a sweep or search (see the [module docs](self)).
+#[derive(Debug, Default)]
+pub struct SimCache {
+    lowered: Mutex<HashMap<String, Arc<LoweredJob>>>,
+    plans: Mutex<HashMap<String, Arc<SharedPlans>>>,
+    lowered_hits: AtomicU64,
+    lowered_misses: AtomicU64,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
+}
+
+/// Hit/miss counters of a [`SimCache`], either cumulative
+/// ([`SimCache::stats`]) or for one experiment
+/// ([`RunReport::cache`](crate::RunReport::cache)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lowered traces served from the cache.
+    pub lowered_hits: u64,
+    /// Lowered traces built (and published) on a cache miss.
+    pub lowered_misses: u64,
+    /// Collective plan sets served from the cache.
+    pub plan_hits: u64,
+    /// Collective plan sets created on a cache miss.
+    pub plan_misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups across both maps.
+    pub fn lookups(&self) -> u64 {
+        self.lowered_hits + self.lowered_misses + self.plan_hits + self.plan_misses
+    }
+
+    /// Total hits across both maps.
+    pub fn hits(&self) -> u64 {
+        self.lowered_hits + self.plan_hits
+    }
+}
+
+impl SimCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SimCache::default()
+    }
+
+    /// The content key of a lowered trace: canonical JSON of every input
+    /// `lower_train`/`lower_inference` consumes. Exposed so tests can
+    /// check the no-collision property directly.
+    pub fn lowered_key(
+        job: &TrainJob,
+        spec: &ParallelismSpec,
+        schedule: PipelineSchedule,
+        partition: &StagePartition,
+        hints: &DeviceHints,
+        inference: Option<&InferenceConfig>,
+    ) -> String {
+        serde_json::to_string(&(job, spec, schedule, &(partition, hints, inference)))
+            .expect("lowering inputs serialize")
+    }
+
+    /// The content key of a collective plan set: the cluster fingerprint,
+    /// the placement, and the lowered-trace key the plans belong to.
+    pub fn plan_key(cluster: &Cluster, placement: &Placement, lowered_key: &str) -> String {
+        let placement = serde_json::to_string(placement).expect("placement serializes");
+        let mut key = cluster.fingerprint();
+        key.push('|');
+        key.push_str(&placement);
+        key.push('|');
+        key.push_str(lowered_key);
+        key
+    }
+
+    /// The lowered trace for `key`, building and publishing it via `build`
+    /// on a miss. Returns the artifact and whether it was a hit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `build`'s error; nothing is cached on failure.
+    pub fn lowered(
+        &self,
+        key: &str,
+        build: impl FnOnce() -> Result<LoweredJob, CoreError>,
+    ) -> Result<(Arc<LoweredJob>, bool), CoreError> {
+        if let Some(hit) = self.lowered.lock().expect("cache poisoned").get(key) {
+            self.lowered_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::clone(hit), true));
+        }
+        // Build outside the lock: lowering can take milliseconds and other
+        // points must not serialize behind it. A concurrent builder of the
+        // same key produces identical bits; first insert wins.
+        let built = Arc::new(build()?);
+        self.lowered_misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.lowered.lock().expect("cache poisoned");
+        let entry = map.entry(key.to_string()).or_insert_with(|| built);
+        Ok((Arc::clone(entry), false))
+    }
+
+    /// The shared plan set for `(cluster, placement, lowered_key)`,
+    /// creating an empty set sized for `lowered` on a miss. Returns the
+    /// set and whether it was a hit.
+    pub fn plans(
+        &self,
+        cluster: &Cluster,
+        placement: &Placement,
+        lowered_key: &str,
+        lowered: &LoweredJob,
+    ) -> (Arc<SharedPlans>, bool) {
+        let key = SimCache::plan_key(cluster, placement, lowered_key);
+        let mut map = self.plans.lock().expect("cache poisoned");
+        if let Some(hit) = map.get(&key) {
+            self.plan_hits.fetch_add(1, Ordering::Relaxed);
+            return (Arc::clone(hit), true);
+        }
+        self.plan_misses.fetch_add(1, Ordering::Relaxed);
+        let set = Arc::new(SharedPlans::for_trace(&lowered.trace));
+        map.insert(key, Arc::clone(&set));
+        (set, false)
+    }
+
+    /// Cumulative hit/miss counters across every worker sharing the cache.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            lowered_hits: self.lowered_hits.load(Ordering::Relaxed),
+            lowered_misses: self.lowered_misses.load(Ordering::Relaxed),
+            plan_hits: self.plan_hits.load(Ordering::Relaxed),
+            plan_misses: self.plan_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "lowered {} hits / {} misses, plans {} hits / {} misses",
+            self.lowered_hits, self.lowered_misses, self.plan_hits, self.plan_misses
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charllm_models::presets as models;
+    use charllm_trace::lower_train;
+
+    fn inputs() -> (TrainJob, ParallelismSpec, StagePartition, DeviceHints) {
+        let cluster = charllm_hw::presets::hgx_h200_cluster();
+        let job = TrainJob::pretrain(models::gpt3_13b()).with_global_batch(8);
+        let spec = ParallelismSpec::parse("TP2-PP2", cluster.num_gpus()).unwrap();
+        let partition = StagePartition::even(job.arch.num_layers, spec.pp).unwrap();
+        let hints = DeviceHints::for_spec(cluster.gpu());
+        (job, spec, partition, hints)
+    }
+
+    #[test]
+    fn lowered_key_separates_inputs() {
+        let (job, spec, partition, hints) = inputs();
+        let key = |job: &TrainJob| {
+            SimCache::lowered_key(
+                job,
+                &spec,
+                PipelineSchedule::OneFOneB,
+                &partition,
+                &hints,
+                None,
+            )
+        };
+        let base = key(&job);
+        assert_eq!(base, key(&job), "same inputs, same key");
+        assert_ne!(base, key(&job.clone().with_global_batch(16)));
+        assert_ne!(base, key(&job.clone().with_recompute(true)));
+        let inference = InferenceConfig {
+            batch: 1,
+            prompt_len: 64,
+            decode_tokens: 2,
+        };
+        assert_ne!(
+            base,
+            SimCache::lowered_key(
+                &job,
+                &spec,
+                PipelineSchedule::OneFOneB,
+                &partition,
+                &hints,
+                Some(&inference),
+            ),
+            "training and inference never alias"
+        );
+    }
+
+    #[test]
+    fn lowered_builds_once_and_hits_after() {
+        let (job, spec, partition, hints) = inputs();
+        let key = SimCache::lowered_key(
+            &job,
+            &spec,
+            PipelineSchedule::OneFOneB,
+            &partition,
+            &hints,
+            None,
+        );
+        let cache = SimCache::new();
+        let build = || {
+            lower_train(&job, &spec, PipelineSchedule::OneFOneB, &partition, &hints)
+                .map_err(CoreError::from)
+        };
+        let (first, hit) = cache.lowered(&key, build).unwrap();
+        assert!(!hit);
+        let (second, hit) = cache
+            .lowered(&key, || panic!("hit must not rebuild"))
+            .unwrap();
+        assert!(hit);
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "hit returns the same artifact"
+        );
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                lowered_hits: 1,
+                lowered_misses: 1,
+                ..CacheStats::default()
+            }
+        );
+    }
+
+    #[test]
+    fn build_failure_is_not_cached() {
+        let cache = SimCache::new();
+        let err = cache.lowered("k", || Err(CoreError::Incomplete("nope".into())));
+        assert!(err.is_err());
+        assert_eq!(cache.stats().lookups(), 0, "failed build leaves no trace");
+        let (_, hit) = cache
+            .lowered("k", || {
+                let (job, spec, partition, hints) = inputs();
+                lower_train(&job, &spec, PipelineSchedule::OneFOneB, &partition, &hints)
+                    .map_err(CoreError::from)
+            })
+            .unwrap();
+        assert!(!hit, "key stays buildable after a failure");
+    }
+
+    #[test]
+    fn plan_sets_key_on_cluster_placement_and_trace() {
+        let cluster = charllm_hw::presets::hgx_h200_cluster();
+        let (job, spec, partition, hints) = inputs();
+        let lowered =
+            lower_train(&job, &spec, PipelineSchedule::OneFOneB, &partition, &hints).unwrap();
+        let placement = Placement::identity(&cluster, lowered.trace.world()).unwrap();
+        let cache = SimCache::new();
+        let (set, hit) = cache.plans(&cluster, &placement, "trace-a", &lowered);
+        assert!(!hit);
+        assert_eq!(set.num_collectives(), lowered.trace.num_collectives());
+        let (again, hit) = cache.plans(&cluster, &placement, "trace-a", &lowered);
+        assert!(hit);
+        assert!(Arc::ptr_eq(&set, &again));
+        let (_, hit) = cache.plans(&cluster, &placement, "trace-b", &lowered);
+        assert!(!hit, "different trace key, different plan set");
+        let other = charllm_hw::presets::hgx_h100_cluster();
+        let other_placement = Placement::identity(&other, lowered.trace.world()).unwrap();
+        let (_, hit) = cache.plans(&other, &other_placement, "trace-a", &lowered);
+        assert!(!hit, "different cluster, different plan set");
+    }
+}

@@ -9,6 +9,7 @@ use charllm_sim::{SimConfig, SimResult, Simulator};
 use charllm_telemetry::aggregate::group_mean;
 use charllm_trace::{lower_inference, lower_train, DeviceHints, InferenceConfig};
 
+use crate::cache::{CacheStats, SimCache};
 use crate::error::CoreError;
 use crate::report::RunReport;
 
@@ -29,6 +30,7 @@ pub struct Experiment {
     sim: SimConfig,
     inference: Option<InferenceConfig>,
     profiled: bool,
+    cache: Option<Arc<SimCache>>,
 }
 
 impl Experiment {
@@ -52,17 +54,58 @@ impl Experiment {
             None => Placement::identity(&self.cluster, self.spec.world())?,
         };
         let hints = DeviceHints::for_spec(self.cluster.gpu());
-        let lowered = match &self.inference {
-            None => lower_train(&self.job, &self.spec, self.schedule, &partition, &hints)?,
-            Some(cfg) => lower_inference(&self.job, &self.spec, &partition, &hints, *cfg)?,
+        let lower = || match &self.inference {
+            None => lower_train(&self.job, &self.spec, self.schedule, &partition, &hints)
+                .map_err(CoreError::from),
+            Some(cfg) => lower_inference(&self.job, &self.spec, &partition, &hints, *cfg)
+                .map_err(CoreError::from),
+        };
+        // With a cache attached, lowering and collective-plan construction
+        // are served by content key; results are byte-identical either way
+        // (the trace is the same artifact, and shared plans are pure
+        // functions of cluster × placement × trace).
+        let (lowered, shared, cache_stats) = match &self.cache {
+            None => (Arc::new(lower()?), None, None),
+            Some(cache) => {
+                let key = SimCache::lowered_key(
+                    &self.job,
+                    &self.spec,
+                    self.schedule,
+                    &partition,
+                    &hints,
+                    self.inference.as_ref(),
+                );
+                let (lowered, lowered_hit) = cache.lowered(&key, lower)?;
+                let (shared, plan_hit) = cache.plans(&self.cluster, &placement, &key, &lowered);
+                let stats = CacheStats {
+                    lowered_hits: u64::from(lowered_hit),
+                    lowered_misses: u64::from(!lowered_hit),
+                    plan_hits: u64::from(plan_hit),
+                    plan_misses: u64::from(!plan_hit),
+                };
+                (lowered, Some(shared), Some(stats))
+            }
         };
         let sim = if self.profiled {
-            Simulator::profiled(&self.cluster, &placement, &lowered.trace, self.sim)?
-                .run_profiled()?
+            let mut sim = Simulator::profiled(&self.cluster, &placement, &lowered.trace, self.sim)?;
+            if let Some(shared) = &shared {
+                sim = sim
+                    .with_shared_plans(Arc::clone(shared))
+                    .map_err(CoreError::from)?;
+            }
+            sim.run_profiled()?
         } else {
-            Simulator::new(&self.cluster, &placement, &lowered.trace, self.sim)?.run()?
+            let mut sim = Simulator::new(&self.cluster, &placement, &lowered.trace, self.sim)?;
+            if let Some(shared) = &shared {
+                sim = sim
+                    .with_shared_plans(Arc::clone(shared))
+                    .map_err(CoreError::from)?;
+            }
+            sim.run()?
         };
-        Ok(self.report(sim, &placement))
+        let mut report = self.report(sim, &placement);
+        report.cache = cache_stats;
+        Ok(report)
     }
 
     fn report(&self, sim: SimResult, placement: &Placement) -> RunReport {
@@ -117,6 +160,7 @@ impl Experiment {
             rear_temp_c: rear_temp,
             mean_throttle,
             max_throttle,
+            cache: None,
             sim,
         }
     }
@@ -149,6 +193,7 @@ pub struct ExperimentBuilder {
     sim: Option<SimConfig>,
     inference: Option<InferenceConfig>,
     profiled: bool,
+    cache: Option<Arc<SimCache>>,
 }
 
 impl ExperimentBuilder {
@@ -227,6 +272,15 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Serve lowering and collective-plan construction from a shared
+    /// [`SimCache`] (and publish what this run builds). Sweeps and
+    /// searches attach one cache across all their points; per-run hit/miss
+    /// counts land in [`RunReport::cache`](crate::RunReport::cache).
+    pub fn cache(mut self, cache: Arc<SimCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
     /// Finalize into an [`Experiment`].
     ///
     /// # Errors
@@ -253,6 +307,7 @@ impl ExperimentBuilder {
             sim: self.sim.unwrap_or_default(),
             inference: self.inference,
             profiled: self.profiled,
+            cache: self.cache,
         })
     }
 

@@ -297,6 +297,7 @@ mod tests {
             rear_temp_c: 1.0,
             mean_throttle: 0.0,
             max_throttle: 0.0,
+            cache: None,
             sim,
         };
         serde_json::to_string(&r).unwrap()

@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod error;
 pub mod executor;
 pub mod experiment;
@@ -43,6 +44,7 @@ pub mod report;
 pub mod search;
 pub mod sweep;
 
+pub use cache::{CacheStats, SimCache};
 pub use error::CoreError;
 pub use executor::Executor;
 pub use experiment::{Experiment, ExperimentBuilder};
@@ -50,6 +52,7 @@ pub use report::{phase_table, top_spans_table, RunReport};
 
 /// Convenient imports for experiment-driving code.
 pub mod prelude {
+    pub use crate::cache::{CacheStats, SimCache};
     pub use crate::executor::Executor;
     pub use crate::experiment::{Experiment, ExperimentBuilder};
     pub use crate::presets::*;

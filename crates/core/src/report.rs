@@ -53,6 +53,10 @@ pub struct RunReport {
     /// Worst single-GPU throttle residency.
     pub max_throttle: f64,
 
+    /// Hit/miss counts against the sweep's [`SimCache`](crate::SimCache)
+    /// for this run (`None` when the experiment ran uncached).
+    pub cache: Option<crate::CacheStats>,
+
     /// Full simulation result (kernel breakdowns, traffic, telemetry).
     pub sim: SimResult,
 }
@@ -177,6 +181,7 @@ mod tests {
             rear_temp_c: 78.0,
             mean_throttle: 0.12,
             max_throttle: 0.4,
+            cache: None,
             sim: charllm_sim::SimResult {
                 step_time_s: 10.0,
                 iteration_times_s: vec![10.0],

@@ -20,6 +20,7 @@ use charllm_sim::analytic::{estimate, AnalyticEstimate};
 use charllm_sim::SimConfig;
 use charllm_trace::{lower_train, DeviceHints};
 
+use crate::cache::SimCache;
 use crate::error::CoreError;
 use crate::executor::Executor;
 use crate::experiment::Experiment;
@@ -99,13 +100,27 @@ pub fn search_configs(
 ) -> Result<Vec<Candidate>, CoreError> {
     let specs = valid_configs(job, cluster, EnumerateOptions::default());
     let hints = DeviceHints::for_spec(cluster.gpu());
+    // Screening lowers every candidate; finalists are lowered again inside
+    // their full simulation. Publishing the screen-phase traces into a
+    // shared cache turns that second lowering into a lookup.
+    let cache = Arc::new(SimCache::new());
     let mut screened: Vec<Candidate> = Vec::new();
     for spec in specs {
         let Ok(partition) = StagePartition::even(job.arch.num_layers, spec.pp) else {
             continue;
         };
-        let Ok(lowered) = lower_train(job, &spec, PipelineSchedule::OneFOneB, &partition, &hints)
-        else {
+        let key = SimCache::lowered_key(
+            job,
+            &spec,
+            PipelineSchedule::OneFOneB,
+            &partition,
+            &hints,
+            None,
+        );
+        let Ok((lowered, _)) = cache.lowered(&key, || {
+            lower_train(job, &spec, PipelineSchedule::OneFOneB, &partition, &hints)
+                .map_err(CoreError::from)
+        }) else {
             continue;
         };
         let Ok(placement) = Placement::identity(cluster, spec.world()) else {
@@ -134,6 +149,7 @@ pub fn search_configs(
             .job(job.clone())
             .spec(*spec)
             .sim_config(opts.sim)
+            .cache(Arc::clone(&cache))
             .run()
     });
     for (candidate, report) in screened.iter_mut().zip(reports) {
@@ -181,6 +197,25 @@ mod tests {
         let a = ranked[0].report.as_ref().unwrap().tokens_per_s;
         let b = ranked[1].report.as_ref().unwrap().tokens_per_s;
         assert!(a >= b);
+    }
+
+    #[test]
+    fn finalists_reuse_screen_phase_lowering() {
+        let cluster = single_hgx_node();
+        let job = TrainJob::pretrain(models::gpt3_13b()).with_global_batch(8);
+        let opts = SearchOptions {
+            finalists: 2,
+            sim: SimConfig::fast(),
+            ..Default::default()
+        };
+        let ranked = search_configs(&job, &cluster, opts).unwrap();
+        for finalist in ranked.iter().filter(|c| c.report.is_some()) {
+            let stats = finalist.report.as_ref().unwrap().cache.unwrap();
+            assert_eq!(
+                stats.lowered_hits, 1,
+                "the analytic screen already lowered every finalist"
+            );
+        }
     }
 
     #[test]

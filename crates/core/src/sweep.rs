@@ -22,6 +22,7 @@ use charllm_models::TrainJob;
 use charllm_parallel::ParallelismSpec;
 use charllm_sim::SimConfig;
 
+use crate::cache::SimCache;
 use crate::error::CoreError;
 use crate::executor::Executor;
 use crate::experiment::Experiment;
@@ -133,6 +134,8 @@ pub struct Sweep {
     skip_failures: bool,
     workers: usize,
     progress: Option<Arc<ProgressFn>>,
+    cache: Option<Arc<SimCache>>,
+    use_cache: bool,
 }
 
 impl fmt::Debug for Sweep {
@@ -147,6 +150,7 @@ impl fmt::Debug for Sweep {
             .field("skip_failures", &self.skip_failures)
             .field("workers", &self.workers)
             .field("progress", &self.progress.is_some())
+            .field("cache", &self.use_cache)
             .finish()
     }
 }
@@ -168,6 +172,8 @@ impl Sweep {
             skip_failures: true,
             workers: 0,
             progress: None,
+            cache: None,
+            use_cache: true,
         }
     }
 
@@ -201,6 +207,25 @@ impl Sweep {
     /// thread, `n > 1` bounds the pool at `n`.
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = workers;
+        self
+    }
+
+    /// Share an externally owned [`SimCache`] instead of the per-sweep one,
+    /// e.g. to carry memoized lowerings and collective plans across several
+    /// sweeps or ablations over the same workloads. Read aggregate hit/miss
+    /// counters from the cache afterwards via [`SimCache::stats`].
+    pub fn with_cache(mut self, cache: Arc<SimCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Disable cross-point memoization: every point lowers its trace and
+    /// builds its collective plans from scratch. On by default — results
+    /// are byte-identical either way, so this exists for benchmarking the
+    /// cache itself and for memory-constrained giant sweeps.
+    pub fn no_cache(mut self) -> Self {
+        self.cache = None;
+        self.use_cache = false;
         self
     }
 
@@ -253,13 +278,24 @@ impl Sweep {
         let grid = self.grid();
         let total = grid.len();
         let completed = AtomicUsize::new(0);
+        // One cache for the whole pool: workers publish lowered traces and
+        // plan sets as they build them, so points sharing a workload (or a
+        // later sweep via `with_cache`) skip that work entirely.
+        let cache = match (&self.cache, self.use_cache) {
+            (Some(external), _) => Some(Arc::clone(external)),
+            (None, true) => Some(Arc::new(SimCache::new())),
+            (None, false) => None,
+        };
         Executor::with_workers(self.workers).run(&grid, |_, (point, job)| {
-            let result = Experiment::builder()
+            let mut builder = Experiment::builder()
                 .cluster(Arc::clone(&self.cluster))
                 .job(job.clone())
                 .spec(point.spec)
-                .sim_config(self.sim)
-                .run();
+                .sim_config(self.sim);
+            if let Some(cache) = &cache {
+                builder = builder.cache(Arc::clone(cache));
+            }
+            let result = builder.run();
             let outcome = match result {
                 Ok(report) => SweepOutcome::Completed {
                     point: point.clone(),
@@ -424,6 +460,57 @@ mod tests {
         let outcomes = small_sweep(mixed_specs()).strict().run_outcomes();
         assert!(matches!(&outcomes[0], SweepOutcome::Failed { .. }));
         assert!(outcomes[1].report().is_some());
+    }
+
+    #[test]
+    fn cached_sweep_matches_uncached_byte_for_byte() {
+        let specs = vec![
+            ParallelismSpec::parse("TP2-PP2", 8).unwrap(),
+            ParallelismSpec::parse("TP4-PP2", 8).unwrap(),
+        ];
+        let cold = small_sweep(specs.clone()).no_cache().run().unwrap();
+        let cached = small_sweep(specs).run().unwrap();
+        assert_eq!(cold.len(), cached.len());
+        for (a, b) in cold.iter().zip(&cached) {
+            assert!(a.cache.is_none(), "no_cache leaves no counters");
+            let stats = b.cache.expect("cached run records counters");
+            assert_eq!(stats.lookups(), 2, "one lowered + one plan lookup");
+            assert_eq!(
+                serde_json::to_string(&a.sim).unwrap(),
+                serde_json::to_string(&b.sim).unwrap(),
+                "memoization must not change simulation results"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_cache_hits_across_sweeps() {
+        use crate::cache::SimCache;
+        let specs = vec![ParallelismSpec::parse("TP2-PP2", 8).unwrap()];
+        let cache = Arc::new(SimCache::new());
+        let first = small_sweep(specs.clone())
+            .with_cache(Arc::clone(&cache))
+            .run()
+            .unwrap();
+        let stats = first[0].cache.unwrap();
+        assert_eq!(stats.lowered_misses, 1, "cold cache builds the trace");
+        assert_eq!(stats.plan_misses, 1);
+        // Same workload again (an ablation re-run): everything is served.
+        let second = small_sweep(specs)
+            .with_cache(Arc::clone(&cache))
+            .run()
+            .unwrap();
+        let stats = second[0].cache.unwrap();
+        assert_eq!(stats.lowered_hits, 1, "warm cache serves the trace");
+        assert_eq!(stats.plan_hits, 1, "warm cache serves the plan set");
+        assert_eq!(
+            serde_json::to_string(&first[0].sim).unwrap(),
+            serde_json::to_string(&second[0].sim).unwrap(),
+            "shared plans must not change simulation results"
+        );
+        let total = cache.stats();
+        assert_eq!(total.lowered_hits, 1);
+        assert_eq!(total.lowered_misses, 1);
     }
 
     #[test]

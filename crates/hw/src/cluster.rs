@@ -120,6 +120,16 @@ impl Cluster {
         &self.name
     }
 
+    /// A content fingerprint of the full topology: the serialized cluster,
+    /// covering GPU/node specs, link tables and airflow geometry. Two
+    /// clusters with equal fingerprints route and perform identically, so
+    /// caches keyed on it (e.g. `charllm-core`'s `SimCache`) never alias
+    /// differently shaped topologies — unlike [`Cluster::name`], which is
+    /// a display label.
+    pub fn fingerprint(&self) -> String {
+        serde_json::to_string(self).expect("cluster topology serializes")
+    }
+
     /// The GPU spec shared by every device.
     pub fn gpu(&self) -> &GpuSpec {
         &self.gpu
@@ -346,6 +356,16 @@ mod tests {
             4,
         )
         .unwrap()
+    }
+
+    #[test]
+    fn fingerprint_separates_topologies_and_is_stable() {
+        assert_eq!(h200().fingerprint(), h200().fingerprint());
+        assert_ne!(h200().fingerprint(), mi250().fingerprint());
+        // Same shape, one more node: different topology, different print.
+        let bigger =
+            Cluster::new("test-h200", GpuModel::H200.spec(), NodeLayout::hgx(), 5).unwrap();
+        assert_ne!(h200().fingerprint(), bigger.fingerprint());
     }
 
     #[test]

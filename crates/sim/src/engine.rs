@@ -29,6 +29,7 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::{Arc, OnceLock};
 
 use charllm_hw::{Cluster, GpuId, LinkClass};
 use charllm_net::lower_collective;
@@ -110,9 +111,64 @@ struct PlanFlow {
 }
 
 /// A collective lowered once: reused for every launch of its id.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct CollPlan {
     flows: Box<[PlanFlow]>,
+}
+
+/// A thread-safe set of collective plans shared across simulator runs.
+///
+/// Plans are pure functions of `(cluster, placement, trace)`: lowering a
+/// collective resolves routes, effective work and telemetry charge lists
+/// from topology and rank→GPU assignment alone. A `SharedPlans` built for
+/// one such triple can therefore seed any number of simulators replaying
+/// the same triple — each run clones ready-made plans into its local cache
+/// instead of re-lowering every collective (counted in
+/// [`EngineStats::shared_plan_hits`]), and publishes the plans it does
+/// build for later runs.
+///
+/// Plans are keyed by `CollectiveId`, i.e. by position in the trace.
+/// Sharing a plan set across *different* traces (or a different cluster or
+/// placement) would silently misroute flows, so [`Simulator`] rejects a
+/// set whose size disagrees with the trace and callers are expected to key
+/// shared sets by the full triple (see `charllm-core`'s `SimCache`).
+#[derive(Debug, Default)]
+pub struct SharedPlans {
+    plans: Vec<OnceLock<CollPlan>>,
+}
+
+impl SharedPlans {
+    /// An empty plan set sized for `trace`: one slot per collective, each
+    /// built at most once across every simulator sharing the set.
+    pub fn for_trace(trace: &ExecutionTrace) -> Self {
+        SharedPlans {
+            plans: (0..trace.num_collectives())
+                .map(|_| OnceLock::new())
+                .collect(),
+        }
+    }
+
+    /// Slots in the set (the trace's collective count).
+    pub fn num_collectives(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Slots whose plan has been built and published.
+    pub fn num_built(&self) -> usize {
+        self.plans.iter().filter(|p| p.get().is_some()).count()
+    }
+
+    /// The published plan for collective `ci`, if any (cloned: plans are
+    /// small route tables, and the local cache wants them inline).
+    fn get(&self, ci: usize) -> Option<CollPlan> {
+        self.plans[ci].get().cloned()
+    }
+
+    /// Publish a freshly built plan; first writer wins, later ones no-op
+    /// (every builder of the same slot produces identical bits).
+    fn put(&self, ci: usize, plan: &CollPlan) {
+        let _ = self.plans[ci].set(plan.clone());
+    }
 }
 
 /// A live flow: per-launch progress plus an inline copy of its plan data.
@@ -124,12 +180,92 @@ struct FlowState {
     /// Load epoch the cached `rate` was computed at (0 = never; epoch 0
     /// predates every launch, so fresh flows always recompute).
     rate_epoch: u64,
+    /// Completion-heap key this flow was last pushed with (an absolute
+    /// predicted completion time that lower-bounds the true one). Reused
+    /// verbatim when a `swap_remove` moves the flow to a new slot.
+    heap_key: f64,
+    /// Position of this flow's entry in `link_flows[plan.links[l]]` for
+    /// each route link `l` (the exact-membership back-pointers that make
+    /// launch/retire list maintenance O(route length)).
+    link_pos: [u32; MAX_ROUTE_LINKS],
     coll: u32,
     /// Launching rank's iteration (forms the `(iteration, coll)` key).
     iteration: u32,
     measured: bool,
     plan: PlanFlow,
 }
+
+/// One lazily-invalidated entry of the scheduler's completion heap, packed
+/// to 16 bytes: `key` is a conservative (lower-bound) absolute completion
+/// time computed when the entry was pushed; `meta` packs the entry kind
+/// (bit 63: 1 = compute rank, 0 = flow slot), the owner id (bits 62..32)
+/// and the owner's epoch at push time (bits 31..0). An entry is dead — and
+/// skipped on pop — unless its epoch matches the owner's current epoch.
+/// The ordering is a total min-heap order (smallest key pops first, ties
+/// broken deterministically by `meta`) — but note that pop order never
+/// affects results: `next_dt` takes an order-independent `f64::min` over
+/// the exact candidates of every popped live entry.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    key: f64,
+    meta: u64,
+}
+
+const ENTRY_COMPUTE: u64 = 1 << 63;
+
+impl HeapEntry {
+    fn flow(key: f64, slot: u32, epoch: u32) -> Self {
+        HeapEntry {
+            key,
+            meta: (u64::from(slot) << 32) | u64::from(epoch),
+        }
+    }
+
+    fn compute(key: f64, rank: u32, epoch: u32) -> Self {
+        HeapEntry {
+            key,
+            meta: ENTRY_COMPUTE | (u64::from(rank) << 32) | u64::from(epoch),
+        }
+    }
+
+    fn is_compute(self) -> bool {
+        self.meta & ENTRY_COMPUTE != 0
+    }
+
+    fn id(self) -> usize {
+        ((self.meta >> 32) & 0x7fff_ffff) as usize
+    }
+
+    fn epoch(self) -> u32 {
+        self.meta as u32
+    }
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed so `BinaryHeap` (a max-heap) pops the smallest key.
+        other
+            .key
+            .total_cmp(&self.key)
+            .then_with(|| other.meta.cmp(&self.meta))
+    }
+}
+
+/// Global re-key cadence: every this-many events the heap is rebuilt from
+/// live state, bounding both heap bloat and the floating-point drift of
+/// conservative keys (see `next_dt`'s margin derivation).
+const REKEY_INTERVAL: u64 = 8192;
 
 /// Counters describing how much work the event-driven engine avoided.
 ///
@@ -150,6 +286,19 @@ pub struct EngineStats {
     pub colls_retired: u64,
     /// High-water mark of live collective state entries.
     pub peak_live_colls: u64,
+    /// High-water mark of schedulable entities (in-flight flows plus
+    /// computing ranks) — the population the scan/heap crossover
+    /// ([`SimConfig::sched_heap_threshold`]) is judged against.
+    pub peak_live: u64,
+    /// Entries pushed onto the completion heap (re-keys included).
+    pub heap_pushes: u64,
+    /// Live entries popped and evaluated by `next_dt`.
+    pub heap_pops: u64,
+    /// Stale entries (epoch mismatch) discarded on pop.
+    pub heap_skips: u64,
+    /// Collective launches served from a cross-run shared plan set
+    /// (zero unless the simulator was built with [`SharedPlans`]).
+    pub shared_plan_hits: u64,
 }
 
 /// Executes a trace on a cluster with thermal/DVFS feedback.
@@ -180,16 +329,54 @@ pub struct Simulator<'a, O: SimObserver = NoopObserver> {
     gpu_flow_count: Vec<u32>,
     /// Flow load per link, maintained incrementally on launch/retire.
     link_load: Vec<u32>,
-    /// Bumped whenever any `link_load` changes.
+    /// Bumped whenever any `link_load` changes. A flow's cached rate is
+    /// current iff `rate_epoch == load_epoch` or none of its route links
+    /// changed since — unchanged loads would reproduce the identical rate
+    /// bits, so skipping the recompute cannot perturb results.
     load_epoch: u64,
-    /// `load_epoch` value at which each link's load last changed. A flow's
-    /// cached rate is stale only when some route link changed after the
-    /// flow's `rate_epoch` — unchanged loads would reproduce the identical
-    /// rate bits, so skipping the recompute cannot perturb results.
-    link_epoch: Vec<u64>,
+    /// Links whose load changed since the last `next_dt` (deduplicated via
+    /// `link_dirty`); their flows are re-rated and re-keyed in batch.
+    dirty_links: Vec<u32>,
+    link_dirty: Vec<bool>,
+    /// Exact membership: flow slots currently routed through each link, as
+    /// `(slot, route index)`; kept O(route length) per update via the
+    /// `FlowState::link_pos` back-pointers.
+    link_flows: Vec<Vec<(u32, u8)>>,
+
+    /// The completion heap: conservative predicted completion times for
+    /// computes and flows, popped lazily in `next_dt`.
+    sched_heap: std::collections::BinaryHeap<HeapEntry>,
+    /// Buffer for live entries popped in a `next_dt` round (re-pushed after
+    /// the pop loop so they cannot be popped twice in one round).
+    repush: Vec<HeapEntry>,
+    /// Whether the scheduler is currently in heap mode (live-entity count
+    /// above [`SimConfig::sched_heap_threshold`]). In scan mode the heap is
+    /// empty and no entries are maintained.
+    heap_mode: bool,
+    /// Key of each computing rank's live heap entry (`INFINITY` = none).
+    /// Lets `push_compute_key` skip the push when the stored entry is still
+    /// a valid lower bound, mirroring `rekey_flow`'s `heap_key` test.
+    rank_key: Vec<f64>,
+    /// Per-flow-slot epoch; a heap entry for slot `s` is live iff its epoch
+    /// matches. Bumped on re-key, retirement, and `swap_remove` moves.
+    flow_epoch: Vec<u32>,
+    /// Per-rank epoch for compute entries (same protocol).
+    rank_epoch: Vec<u32>,
+    /// Computing ranks whose rate inputs changed (deduplicated via
+    /// `rank_dirty`); re-keyed in batch by `next_dt`.
+    dirty_ranks: Vec<u32>,
+    rank_dirty: Vec<bool>,
+    /// Ranks placed on each GPU: compute rates depend on the GPU's flow
+    /// presence, so 0↔nonzero `gpu_flow_count` transitions dirty these.
+    ranks_of_gpu: Vec<Vec<u32>>,
+    /// Events since the last full re-key (see [`REKEY_INTERVAL`]).
+    events_since_rekey: u64,
 
     /// One cached plan per `CollectiveId`, built lazily at first launch.
     plan_cache: Vec<Option<CollPlan>>,
+    /// Cross-run plan set (same `(cluster, placement, trace)` triple):
+    /// consulted before building, fed after (see [`SharedPlans`]).
+    shared_plans: Option<Arc<SharedPlans>>,
     /// Per-collective kernel class (for waiting-time attribution).
     coll_class: Vec<KernelClass>,
     /// Per-collective eager-p2p flag and group size.
@@ -272,7 +459,8 @@ impl<'a> Simulator<'a, SpanRecorder> {
         trace: &'a ExecutionTrace,
         cfg: SimConfig,
     ) -> Result<Self, SimError> {
-        Self::with_observer(cluster, placement, trace, cfg, SpanRecorder::new())
+        let recorder = SpanRecorder::for_trace(trace, cfg.iterations);
+        Self::with_observer(cluster, placement, trace, cfg, recorder)
     }
 
     /// Run to completion and attach the span-level [`phase`] attribution as
@@ -322,6 +510,10 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
                 mode: RankMode::Ready,
             })
             .collect();
+        let mut ranks_of_gpu: Vec<Vec<u32>> = vec![Vec::new(); num_gpus];
+        for (r, state) in ranks.iter().enumerate() {
+            ranks_of_gpu[state.gpu.index()].push(r as u32);
+        }
 
         let num_colls = trace.num_collectives();
         let coll_class = trace.collectives().iter().map(|c| c.class()).collect();
@@ -376,8 +568,21 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
             gpu_flow_count: vec![0; num_gpus],
             link_load: vec![0; cluster.num_links()],
             load_epoch: 0,
-            link_epoch: vec![0; cluster.num_links()],
+            dirty_links: Vec::new(),
+            link_dirty: vec![false; cluster.num_links()],
+            link_flows: vec![Vec::new(); cluster.num_links()],
+            sched_heap: std::collections::BinaryHeap::new(),
+            repush: Vec::new(),
+            heap_mode: false,
+            rank_key: vec![f64::INFINITY; trace.world()],
+            flow_epoch: Vec::new(),
+            rank_epoch: vec![0; trace.world()],
+            dirty_ranks: Vec::new(),
+            rank_dirty: vec![false; trace.world()],
+            ranks_of_gpu,
+            events_since_rekey: 0,
             plan_cache: (0..num_colls).map(|_| None).collect(),
+            shared_plans: None,
             coll_class,
             coll_eager,
             coll_group_len,
@@ -411,6 +616,28 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
             stats: EngineStats::default(),
             cfg,
         })
+    }
+
+    /// Attach a cross-run [`SharedPlans`] set: collective plans already
+    /// published there are cloned instead of rebuilt (counted in
+    /// [`EngineStats::shared_plan_hits`]), and plans this run builds are
+    /// published back. The set must come from the same
+    /// `(cluster, placement, trace)` triple as this simulator; results are
+    /// byte-identical with or without it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::PlanSetMismatch`] when the set was sized for a
+    /// different trace.
+    pub fn with_shared_plans(mut self, plans: Arc<SharedPlans>) -> Result<Self, SimError> {
+        if plans.num_collectives() != self.plan_cache.len() {
+            return Err(SimError::PlanSetMismatch {
+                trace_collectives: self.plan_cache.len(),
+                shared_collectives: plans.num_collectives(),
+            });
+        }
+        self.shared_plans = Some(plans);
+        Ok(self)
     }
 
     /// Run to completion.
@@ -543,6 +770,7 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
                     };
                     self.computing_pos[rank] = self.computing_ranks.len() as u32;
                     self.computing_ranks.push(rank);
+                    self.mark_rank_dirty(rank);
                     return;
                 }
                 Step::CollStart { coll } => {
@@ -617,22 +845,35 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
             return;
         }
 
-        if self.plan_cache[ci].is_none() {
-            self.plan_cache[ci] = Some(build_plan(self.cluster, self.trace, &self.ranks, coll));
-            self.stats.plan_builds += 1;
-        } else {
+        if self.plan_cache[ci].is_some() {
             self.stats.plan_reuses += 1;
+        } else if let Some(plan) = self.shared_plans.as_ref().and_then(|s| s.get(ci)) {
+            self.plan_cache[ci] = Some(plan);
+            self.stats.shared_plan_hits += 1;
+        } else {
+            let plan = build_plan(self.cluster, self.trace, &self.ranks, coll);
+            if let Some(shared) = &self.shared_plans {
+                shared.put(ci, &plan);
+            }
+            self.plan_cache[ci] = Some(plan);
+            self.stats.plan_builds += 1;
         }
 
         let measured = self.ranks[rank].iteration >= self.cfg.warmup_iterations;
-        let plan = self.plan_cache[ci].as_ref().expect("plan just ensured");
-        let active = plan.flows.len() as u32;
+        let active = self.plan_cache[ci]
+            .as_ref()
+            .expect("plan just ensured")
+            .flows
+            .len() as u32;
         if active > 0 {
             self.load_epoch += 1;
             self.stats.flows_launched += u64::from(active);
         }
-        let epoch = self.load_epoch;
-        for pf in plan.flows.iter() {
+        for fi in 0..active as usize {
+            let pf = self.plan_cache[ci]
+                .as_ref()
+                .expect("plan just ensured")
+                .flows[fi];
             self.obs.flow_launch(
                 coll,
                 iter,
@@ -641,20 +882,40 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
                 self.t,
             );
             self.gpu_flow_count[pf.src.index()] += 1;
+            if self.gpu_flow_count[pf.src.index()] == 1 {
+                self.mark_gpu_ranks_dirty(pf.src.index());
+            }
             self.gpu_flow_count[pf.dst.index()] += 1;
-            for l in 0..pf.route_len as usize {
+            if self.gpu_flow_count[pf.dst.index()] == 1 {
+                self.mark_gpu_ranks_dirty(pf.dst.index());
+            }
+            let slot = self.flows.len() as u32;
+            let mut link_pos = [0u32; MAX_ROUTE_LINKS];
+            for (l, pos) in link_pos.iter_mut().enumerate().take(pf.route_len as usize) {
                 let id = pf.links[l] as usize;
                 self.link_load[id] += 1;
-                self.link_epoch[id] = epoch;
+                self.mark_link_dirty(id);
+                if self.heap_mode {
+                    *pos = self.link_flows[id].len() as u32;
+                    self.link_flows[id].push((slot, l as u8));
+                }
             }
+            if self.flow_epoch.len() <= slot as usize {
+                self.flow_epoch.push(0);
+            }
+            // Kill any residual heap entries from an earlier occupant of
+            // this slot (all vacating paths bump too; belt and braces).
+            self.flow_epoch[slot as usize] = self.flow_epoch[slot as usize].wrapping_add(1);
             self.flows.push(FlowState {
                 work_remaining: pf.work,
                 rate: 0.0,
                 rate_epoch: 0,
+                heap_key: f64::INFINITY,
+                link_pos,
                 coll,
                 iteration: iter,
                 measured,
-                plan: *pf,
+                plan: pf,
             });
         }
 
@@ -710,19 +971,105 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
         rate.max(1.0)
     }
 
-    /// Choose the next time step: the earliest completion, capped by the
-    /// control period. `None` when nothing is in flight.
-    ///
-    /// Refreshes every stale flow rate (some route link's load changed
-    /// since the rate was cached); `advance` then reuses those exact rates,
-    /// matching the reference engine where both methods read the same
-    /// `link_load`. Flows on untouched links keep their cached rate — the
-    /// recompute would divide the same bandwidths by the same loads and
-    /// reproduce the identical bits.
-    fn next_dt(&mut self) -> Option<f64> {
-        if self.computing_ranks.is_empty() && self.flows.is_empty() {
-            return None;
+    fn mark_link_dirty(&mut self, link: usize) {
+        if !self.link_dirty[link] {
+            self.link_dirty[link] = true;
+            self.dirty_links.push(link as u32);
         }
+    }
+
+    /// Queue a computing rank for heap re-keying. A no-op in scan mode:
+    /// the scan derives compute rates fresh every event, and an upward mode
+    /// crossing re-keys every computing rank via `rekey_all` regardless.
+    fn mark_rank_dirty(&mut self, rank: usize) {
+        if self.heap_mode && !self.rank_dirty[rank] {
+            self.rank_dirty[rank] = true;
+            self.dirty_ranks.push(rank as u32);
+        }
+    }
+
+    fn mark_gpu_ranks_dirty(&mut self, gpu: usize) {
+        if !self.heap_mode {
+            return;
+        }
+        for k in 0..self.ranks_of_gpu[gpu].len() {
+            let rank = self.ranks_of_gpu[gpu][k] as usize;
+            self.mark_rank_dirty(rank);
+        }
+    }
+
+    /// Push a fresh completion entry for a computing rank, invalidating any
+    /// previous one via its epoch — but only when the fresh prediction
+    /// undercuts the stored key (same lower-bound reasoning as
+    /// [`Self::rekey_flow`]). `force` pushes unconditionally after the heap
+    /// was cleared.
+    fn push_compute_key(&mut self, rank: usize, force: bool) {
+        if let RankMode::Computing {
+            kind,
+            remaining_flops,
+        } = self.ranks[rank].mode
+        {
+            if !self.heap_mode {
+                return;
+            }
+            let key = self.t + remaining_flops / self.compute_rate(rank, kind);
+            if !force && key >= self.rank_key[rank] {
+                return;
+            }
+            self.rank_key[rank] = key;
+            self.rank_epoch[rank] = self.rank_epoch[rank].wrapping_add(1);
+            self.sched_heap
+                .push(HeapEntry::compute(key, rank as u32, self.rank_epoch[rank]));
+            self.stats.heap_pushes += 1;
+        }
+    }
+
+    /// Recompute `flows[slot]`'s bottleneck rate from the current link loads
+    /// (the exact fold the reference engine uses) and re-key its heap entry
+    /// if the new prediction undercuts the stored key.
+    ///
+    /// Heap keys only need to stay *lower bounds* on true completion times.
+    /// A rate decrease (the launch-storm common case) moves the completion
+    /// later, so the existing entry's key is still a valid — merely loose —
+    /// lower bound and no heap traffic happens at all; loose keys are
+    /// re-tightened lazily when they pop. Only when the fresh prediction is
+    /// *earlier* than the stored key (a rate increase) does the entry go
+    /// stale and a re-keyed one get pushed. `force` overrides the
+    /// comparison when the heap was just cleared (`rekey_all`) and every
+    /// flow needs an entry regardless.
+    fn rekey_flow(&mut self, slot: usize, force: bool) {
+        let epoch = self.load_epoch;
+        let f = &mut self.flows[slot];
+        let n = f.plan.route_len as usize;
+        let mut rate = f64::INFINITY;
+        for l in 0..n {
+            let load = self.link_load[f.plan.links[l] as usize].max(1) as f64;
+            rate = rate.min(f.plan.bw1e9[l] / load);
+        }
+        f.rate = rate;
+        f.rate_epoch = epoch;
+        if !self.heap_mode {
+            return;
+        }
+        let key = self.t + f.work_remaining / rate;
+        if !force && key >= f.heap_key {
+            return;
+        }
+        f.heap_key = key;
+        self.flow_epoch[slot] = self.flow_epoch[slot].wrapping_add(1);
+        self.sched_heap
+            .push(HeapEntry::flow(key, slot as u32, self.flow_epoch[slot]));
+        self.stats.heap_pushes += 1;
+    }
+
+    /// Scan-mode timestep: the reference engine's exact fold over computing
+    /// ranks and in-flight flows — an order-independent `min` over positive
+    /// candidates, so it produces bit-identical `dt` to the heap path. Flow
+    /// rates refresh lazily off the dirty-link flags (a flow re-derives its
+    /// bottleneck only when a route link's load changed since last event);
+    /// compute rates are always derived fresh. Clears both dirty lists:
+    /// nothing else consumes them while the heap is down.
+    fn scan_dt(&mut self) -> f64 {
         let mut dt = self.next_control - self.t;
         for idx in 0..self.computing_ranks.len() {
             let rank = self.computing_ranks[idx];
@@ -731,8 +1078,7 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
                 remaining_flops,
             } = self.ranks[rank].mode
             {
-                let rate = self.compute_rate(rank, kind);
-                dt = dt.min(remaining_flops / rate);
+                dt = dt.min(remaining_flops / self.compute_rate(rank, kind));
             }
         }
         let epoch = self.load_epoch;
@@ -740,7 +1086,7 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
             let n = f.plan.route_len as usize;
             let mut stale = false;
             for l in 0..n {
-                stale |= self.link_epoch[f.plan.links[l] as usize] > f.rate_epoch;
+                stale |= self.link_dirty[f.plan.links[l] as usize];
             }
             if stale {
                 let mut rate = f64::INFINITY;
@@ -753,7 +1099,258 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
             }
             dt = dt.min(f.work_remaining / f.rate);
         }
-        Some(dt.max(1e-9))
+        let mut dirty = std::mem::take(&mut self.dirty_links);
+        for &link in &dirty {
+            self.link_dirty[link as usize] = false;
+        }
+        dirty.clear();
+        self.dirty_links = dirty;
+        let mut dirty = std::mem::take(&mut self.dirty_ranks);
+        for &rank in &dirty {
+            self.rank_dirty[rank as usize] = false;
+        }
+        dirty.clear();
+        self.dirty_ranks = dirty;
+        let dt = dt.max(1e-9);
+        #[cfg(debug_assertions)]
+        self.debug_check_dt(dt);
+        dt
+    }
+
+    /// Rebuild the link→flow membership lists from live flows after a stint
+    /// in scan mode (which doesn't maintain them). Runs once per upward
+    /// mode crossing.
+    fn rebuild_link_membership(&mut self) {
+        for v in &mut self.link_flows {
+            v.clear();
+        }
+        for slot in 0..self.flows.len() {
+            let n = self.flows[slot].plan.route_len as usize;
+            for l in 0..n {
+                let id = self.flows[slot].plan.links[l] as usize;
+                let pos = self.link_flows[id].len() as u32;
+                self.flows[slot].link_pos[l] = pos;
+                self.link_flows[id].push((slot as u32, l as u8));
+            }
+        }
+    }
+
+    /// Rebuild the completion heap from live state: refresh every flow rate
+    /// and push one fresh entry per flow and computing rank. Runs every
+    /// [`REKEY_INTERVAL`] events (resetting conservative-key drift) and
+    /// whenever dead entries outnumber live ones too far (bounding memory).
+    fn rekey_all(&mut self) {
+        self.sched_heap.clear();
+        for slot in 0..self.flows.len() {
+            self.rekey_flow(slot, true);
+        }
+        for idx in 0..self.computing_ranks.len() {
+            let rank = self.computing_ranks[idx];
+            self.push_compute_key(rank, true);
+        }
+        self.events_since_rekey = 0;
+    }
+
+    /// Choose the next time step: the earliest completion, capped by the
+    /// control period. `None` when nothing is in flight.
+    ///
+    /// The reference engine evaluates `remaining / rate` for every compute
+    /// and flow and folds them with `f64::min` — an order-independent
+    /// reduction over positive finite candidates, so the identical `dt` bits
+    /// emerge from *any* evaluation order as long as the same candidate set
+    /// is covered. This implementation only evaluates candidates that can
+    /// matter: it pops the completion heap while an entry's conservative key
+    /// can still undercut the running `dt` (plus a drift margin), evaluates
+    /// the popped entry's exact candidate from current state, and re-pushes
+    /// it. Keys are lower bounds on true completion times (rates only
+    /// *decrease* between re-keys: every rate increase — a link load
+    /// dropping, a GPU's overlap penalty clearing, a frequency step —
+    /// dirties and re-keys its entries first), so no candidate that could
+    /// lower `dt` is ever missed; spurious pops are harmless because the
+    /// candidate itself is always recomputed exactly.
+    ///
+    /// Rates are refreshed (and entries re-keyed) in batch for exactly the
+    /// flows whose route-link loads changed, via the dirty-link lists;
+    /// `advance` then reuses those exact rates, matching the reference
+    /// engine where both methods read the same `link_load`. Flows on
+    /// untouched links keep their cached rate — the recompute would divide
+    /// the same bandwidths by the same loads and reproduce the identical
+    /// bits. In debug builds `debug_check_dt` re-derives `dt` with the
+    /// reference's full scan and asserts bit-equality.
+    fn next_dt(&mut self) -> Option<f64> {
+        if self.computing_ranks.is_empty() && self.flows.is_empty() {
+            return None;
+        }
+        let live = self.flows.len() + self.computing_ranks.len();
+        self.stats.peak_live = self.stats.peak_live.max(live as u64);
+        if self.heap_mode {
+            if 2 * live < self.cfg.sched_heap_threshold {
+                // Crossing down (with hysteresis): the scan reads live
+                // state directly; drop the now-unmaintained entries.
+                self.heap_mode = false;
+                self.sched_heap.clear();
+            } else if self.events_since_rekey >= REKEY_INTERVAL
+                || self.sched_heap.len() > 64 + 8 * live
+            {
+                self.rekey_all();
+            }
+        } else if live > self.cfg.sched_heap_threshold {
+            // Crossing up: rebuild the link→flow membership lists (not
+            // maintained in scan mode) and the heap from live state.
+            self.heap_mode = true;
+            self.rebuild_link_membership();
+            self.rekey_all();
+        }
+
+        if !self.heap_mode {
+            return Some(self.scan_dt());
+        }
+        self.events_since_rekey += 1;
+
+        // Re-rate + re-key flows touched by link-load changes.
+        let mut dirty = std::mem::take(&mut self.dirty_links);
+        let epoch = self.load_epoch;
+        for &link in &dirty {
+            let link = link as usize;
+            self.link_dirty[link] = false;
+            for k in 0..self.link_flows[link].len() {
+                let (slot, _) = self.link_flows[link][k];
+                if self.flows[slot as usize].rate_epoch != epoch {
+                    self.rekey_flow(slot as usize, false);
+                }
+            }
+        }
+        dirty.clear();
+        self.dirty_links = dirty;
+
+        // Re-key computes whose rate inputs changed.
+        let mut dirty = std::mem::take(&mut self.dirty_ranks);
+        for &rank in &dirty {
+            let rank = rank as usize;
+            self.rank_dirty[rank] = false;
+            self.push_compute_key(rank, false);
+        }
+        dirty.clear();
+        self.dirty_ranks = dirty;
+
+        let mut dt = self.next_control - self.t;
+        // Pop while an entry could still lower `dt`. The margin absorbs the
+        // floating-point drift a conservative key accumulates while its
+        // entry survives (`remaining -= rate·dt` plus `t += dt` roundings,
+        // ≤ ~3ε·(t+dt) per event over at most REKEY_INTERVAL events, i.e.
+        // < 1e-11·(t+dt) — four orders under the 1e-8 margin).
+        while let Some(top) = self.sched_heap.peek() {
+            let margin = (self.t + dt) * 1e-8 + 1e-15;
+            if top.key > self.t + dt + margin {
+                break;
+            }
+            let mut e = self.sched_heap.pop().expect("peeked entry");
+            let candidate = if e.is_compute() {
+                let rank = e.id();
+                if self.rank_epoch[rank] != e.epoch() {
+                    self.stats.heap_skips += 1;
+                    continue;
+                }
+                match self.ranks[rank].mode {
+                    RankMode::Computing {
+                        kind,
+                        remaining_flops,
+                    } => remaining_flops / self.compute_rate(rank, kind),
+                    _ => {
+                        self.stats.heap_skips += 1;
+                        continue;
+                    }
+                }
+            } else {
+                let slot = e.id();
+                if slot >= self.flows.len() || self.flow_epoch[slot] != e.epoch() {
+                    self.stats.heap_skips += 1;
+                    continue;
+                }
+                let f = &self.flows[slot];
+                f.work_remaining / f.rate
+            };
+            dt = dt.min(candidate);
+            self.stats.heap_pops += 1;
+            // Re-tighten on the way out: the exact candidate just computed
+            // is the entry's current true completion, so a loose key (left
+            // behind by a rate decrease) is refreshed here instead of
+            // popping spuriously again next event.
+            e.key = self.t + candidate;
+            if e.is_compute() {
+                self.rank_key[e.id()] = e.key;
+            } else {
+                self.flows[e.id()].heap_key = e.key;
+            }
+            self.repush.push(e);
+        }
+        let dt = dt.max(1e-9);
+        // Entries whose work completes during this event's `advance` are
+        // dropped instead of re-pushed: `advance` bumps their epoch on
+        // completion, so a re-push could only ever come back as a stale
+        // skip. The predicates replicate `advance`'s completion tests
+        // bit-for-bit (same operands, same operation order).
+        let mut repush = std::mem::take(&mut self.repush);
+        for e in repush.drain(..) {
+            let completes = if e.is_compute() {
+                match self.ranks[e.id()].mode {
+                    RankMode::Computing {
+                        kind,
+                        remaining_flops,
+                    } => remaining_flops - self.compute_rate(e.id(), kind) * dt <= 1.0,
+                    _ => true,
+                }
+            } else {
+                let f = &self.flows[e.id()];
+                f.work_remaining - f.rate * dt <= 1.0
+            };
+            if !completes {
+                self.sched_heap.push(e);
+            }
+        }
+        self.repush = repush;
+        #[cfg(debug_assertions)]
+        self.debug_check_dt(dt);
+        Some(dt)
+    }
+
+    /// Debug cross-check: re-derive `dt` with the reference engine's full
+    /// scan (and every flow rate from the link loads) and demand
+    /// bit-equality. Makes every debug-mode test a scheduler audit.
+    #[cfg(debug_assertions)]
+    fn debug_check_dt(&self, dt: f64) {
+        let mut expect = self.next_control - self.t;
+        for &rank in &self.computing_ranks {
+            if let RankMode::Computing {
+                kind,
+                remaining_flops,
+            } = self.ranks[rank].mode
+            {
+                expect = expect.min(remaining_flops / self.compute_rate(rank, kind));
+            }
+        }
+        for (slot, f) in self.flows.iter().enumerate() {
+            let mut rate = f64::INFINITY;
+            for l in 0..f.plan.route_len as usize {
+                let load = self.link_load[f.plan.links[l] as usize].max(1) as f64;
+                rate = rate.min(f.plan.bw1e9[l] / load);
+            }
+            assert_eq!(
+                rate.to_bits(),
+                f.rate.to_bits(),
+                "flow slot {slot}: cached rate {} != fresh rate {rate} at t={}",
+                f.rate,
+                self.t
+            );
+            expect = expect.min(f.work_remaining / f.rate);
+        }
+        let expect = expect.max(1e-9);
+        assert_eq!(
+            expect.to_bits(),
+            dt.to_bits(),
+            "heap dt {dt} != scan dt {expect} at t={}",
+            self.t
+        );
     }
 
     /// Advance all in-flight work by `dt` and process completions.
@@ -794,6 +1391,8 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
                         self.obs.task_end(rank, self.t + dt);
                         self.ranks[rank].mode = RankMode::Ready;
                         self.remove_computing(rank);
+                        self.rank_epoch[rank] = self.rank_epoch[rank].wrapping_add(1);
+                        self.rank_key[rank] = f64::INFINITY;
                         self.ready_next.push(rank);
                     } else {
                         self.ranks[rank].mode = RankMode::Computing {
@@ -865,20 +1464,57 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
                     self.t + dt,
                 );
                 self.gpu_flow_count[pf.src.index()] -= 1;
+                if self.gpu_flow_count[pf.src.index()] == 0 {
+                    self.mark_gpu_ranks_dirty(pf.src.index());
+                }
                 self.gpu_flow_count[pf.dst.index()] -= 1;
+                if self.gpu_flow_count[pf.dst.index()] == 0 {
+                    self.mark_gpu_ranks_dirty(pf.dst.index());
+                }
                 loads_changed = true;
-                let epoch = self.load_epoch + 1;
                 for l in 0..pf.route_len as usize {
                     let id = pf.links[l] as usize;
                     self.link_load[id] -= 1;
-                    self.link_epoch[id] = epoch;
+                    self.mark_link_dirty(id);
+                }
+                if self.heap_mode {
+                    self.detach_flow_links(i);
                 }
                 let state = self.colls.get_mut(&key).expect("flow has state");
                 state.flows_remaining -= 1;
                 if state.flows_remaining == 0 {
                     self.complete_coll(key, None, self.t + dt);
                 }
+                // Invalidate the retiring flow's entries, and the moved
+                // flow's slot-`last` entries; the moved flow re-enters the
+                // heap under its new slot with its unchanged key.
+                let last = self.flows.len() - 1;
+                self.flow_epoch[i] = self.flow_epoch[i].wrapping_add(1);
+                if i != last {
+                    self.flow_epoch[last] = self.flow_epoch[last].wrapping_add(1);
+                }
                 self.flows.swap_remove(i);
+                if self.heap_mode && i < self.flows.len() {
+                    let moved = &self.flows[i];
+                    let moved_key = moved.heap_key;
+                    // If the moved flow itself retires later this same
+                    // `advance` (same completion test it will run at slot
+                    // `i`), its entry would go stale immediately — skip it.
+                    let moved_done = moved.work_remaining - moved.rate * dt <= 1.0;
+                    for l in 0..moved.plan.route_len as usize {
+                        let link = moved.plan.links[l] as usize;
+                        let pos = moved.link_pos[l] as usize;
+                        self.link_flows[link][pos].0 = i as u32;
+                    }
+                    if !moved_done {
+                        self.sched_heap.push(HeapEntry::flow(
+                            moved_key,
+                            i as u32,
+                            self.flow_epoch[i],
+                        ));
+                        self.stats.heap_pushes += 1;
+                    }
+                }
             } else {
                 i += 1;
             }
@@ -888,6 +1524,19 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
         }
 
         self.t += dt;
+    }
+
+    /// Remove `flows[slot]`'s membership entries from its route links'
+    /// flow lists (swap-remove with back-pointer fixup; O(route length)).
+    fn detach_flow_links(&mut self, slot: usize) {
+        for l in 0..self.flows[slot].plan.route_len as usize {
+            let link = self.flows[slot].plan.links[l] as usize;
+            let pos = self.flows[slot].link_pos[l] as usize;
+            self.link_flows[link].swap_remove(pos);
+            if let Some(&(ms, mr)) = self.link_flows[link].get(pos) {
+                self.flows[ms as usize].link_pos[mr as usize] = pos as u32;
+            }
+        }
     }
 
     fn remove_computing(&mut self, rank: usize) {
@@ -900,6 +1549,14 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
     }
 
     /// Thermal/governor update + telemetry sampling at a control boundary.
+    ///
+    /// When a GPU's frequency ratio actually steps (compared bit-for-bit),
+    /// its ranks' completion keys go stale and are dirtied for re-keying on
+    /// the next `next_dt`; in steady state (or with feedback disabled) the
+    /// ratio is unchanged and the live keys stay exact. (The control tick
+    /// itself needs no heap entry: `next_dt` seeds `dt` with
+    /// `next_control - t`, which is value-equivalent to an always-live
+    /// entry at the control boundary.)
     fn control_update(&mut self) {
         let period = self.cfg.control_period_s;
         let airflow = &self.cluster.node_layout().airflow;
@@ -924,11 +1581,15 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
                 let sample = self.thermals[gpu].step(activity, inlet, period);
                 // With feedback disabled the physics still run (for power
                 // and temperature telemetry) but clocks stay pinned.
-                self.freq_ratio[gpu] = if self.cfg.thermal_feedback {
+                let new_ratio = if self.cfg.thermal_feedback {
                     self.thermals[gpu].freq_ratio()
                 } else {
                     1.0
                 };
+                if new_ratio.to_bits() != self.freq_ratio[gpu].to_bits() {
+                    self.freq_ratio[gpu] = new_ratio;
+                    self.mark_gpu_ranks_dirty(gpu);
+                }
                 self.last_power_w[gpu] = sample.power_w;
                 self.obs
                     .sample_tick(gpu as u32, self.t, sample.power_w, period, measuring);

@@ -27,6 +27,13 @@ pub enum SimError {
         /// The cap that was hit.
         cap_s: f64,
     },
+    /// A shared plan set was sized for a different trace.
+    PlanSetMismatch {
+        /// Collectives in this simulator's trace.
+        trace_collectives: usize,
+        /// Slots in the supplied plan set.
+        shared_collectives: usize,
+    },
     /// A hardware topology query failed.
     Hw(charllm_hw::HwError),
 }
@@ -53,6 +60,14 @@ impl fmt::Display for SimError {
                 write!(f, "simulation deadlocked at t={at_s:.3}s: {detail}")
             }
             SimError::Timeout { cap_s } => write!(f, "simulated time exceeded cap of {cap_s}s"),
+            SimError::PlanSetMismatch {
+                trace_collectives,
+                shared_collectives,
+            } => write!(
+                f,
+                "shared plan set has {shared_collectives} slots but the trace \
+                 has {trace_collectives} collectives (built for a different trace?)"
+            ),
             SimError::Hw(e) => write!(f, "hardware error: {e}"),
         }
     }

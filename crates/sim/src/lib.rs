@@ -34,7 +34,7 @@ pub mod reference;
 pub mod result;
 
 pub use config::SimConfig;
-pub use engine::{EngineStats, Simulator};
+pub use engine::{EngineStats, SharedPlans, Simulator};
 pub use error::SimError;
 pub use observer::{NoopObserver, SimObserver, TaskKind};
 pub use reference::ReferenceSimulator;

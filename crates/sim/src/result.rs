@@ -13,12 +13,22 @@ pub struct KernelBreakdown {
 }
 
 impl KernelBreakdown {
-    /// Index of a class in the fixed layout.
+    /// Index of a class in the fixed layout (the [`KernelClass::all`]
+    /// order). A constant match, not a `position` search: `add` sits on the
+    /// per-event accounting path of both engines.
     fn idx(class: KernelClass) -> usize {
-        KernelClass::all()
-            .iter()
-            .position(|c| *c == class)
-            .expect("all() covers every class")
+        match class {
+            KernelClass::Gemm => 0,
+            KernelClass::Attention => 1,
+            KernelClass::Recompute => 2,
+            KernelClass::OtherCompute => 3,
+            KernelClass::SendRecv => 4,
+            KernelClass::AllReduce => 5,
+            KernelClass::AllGather => 6,
+            KernelClass::ReduceScatter => 7,
+            KernelClass::AllToAll => 8,
+            KernelClass::Idle => 9,
+        }
     }
 
     /// Add busy time to a class.

@@ -178,7 +178,10 @@ pub fn attribute(rec: &SpanRecorder, end_time_s: f64, iterations: usize) -> Prof
 
     let mut rank_phases = vec![PhaseBreakdown::default(); world];
     let mut iteration_phases = vec![vec![PhaseBreakdown::default(); world]; iterations];
-    let mut totals: HashMap<String, (f64, u64)> = HashMap::new();
+    // Keyed by a compact packed id rather than the label String so the
+    // per-span hot loop allocates nothing; one representative `SpanKind` is
+    // kept per key and its label materialized once at the end.
+    let mut totals: HashMap<u64, (f64, u64, SpanKind)> = HashMap::new();
 
     for rank in 0..world {
         let empty = Vec::new();
@@ -189,7 +192,11 @@ pub fn attribute(rec: &SpanRecorder, end_time_s: f64, iterations: usize) -> Prof
         let intervals = rank_intervals(rec, rank, end_time_s, gpu_busy, iterations);
 
         for span in rec.spans(rank) {
-            let e = totals.entry(span.kind.label()).or_insert((0.0, 0));
+            let key = match span.kind {
+                SpanKind::Compute { kind } => kind as u64,
+                SpanKind::Collective { coll, .. } => (1 << 32) | u64::from(coll),
+            };
+            let e = totals.entry(key).or_insert((0.0, 0, span.kind));
             e.0 += span.dur_s();
             e.1 += 1;
         }
@@ -208,9 +215,9 @@ pub fn attribute(rec: &SpanRecorder, end_time_s: f64, iterations: usize) -> Prof
     }
 
     let mut top_spans: Vec<SpanTotal> = totals
-        .into_iter()
-        .map(|(label, (seconds, count))| SpanTotal {
-            label,
+        .into_values()
+        .map(|(seconds, count, kind)| SpanTotal {
+            label: kind.label(),
             seconds,
             count,
         })

@@ -9,11 +9,12 @@
 //! by [`crate::phase`] (wall-time/energy attribution) and
 //! [`crate::chrome_trace`] (Perfetto export).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use serde::{Deserialize, Serialize};
 
-use charllm_trace::{ComputeKind, KernelClass};
+use charllm_trace::{ComputeKind, ExecutionTrace, KernelClass, Step};
 
 /// What a span on a rank's track represents.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -120,23 +121,93 @@ pub struct PowerTick {
     pub measuring: bool,
 }
 
+/// Sentinel for "no slot" in the intrusive flow lists.
+const NIL: u32 = u32::MAX;
+
+/// One in-flight flow in the launch-ordered slab, threaded onto its
+/// identity's FIFO list via `next`.
+#[derive(Debug, Clone, Copy)]
+struct FlowSlot {
+    span: FlowSpan,
+    next: u32,
+    open: bool,
+}
+
+/// Head/tail of one identity's FIFO of open slots. An emptied list stays in
+/// the index as a `(NIL, NIL)` tombstone — cheaper than removal — until the
+/// recorder goes quiescent (no open flows) and the whole index is cleared
+/// in place, keeping its capacity for the next burst.
+#[derive(Debug, Clone, Copy)]
+struct FlowList {
+    head: u32,
+    tail: u32,
+}
+
+/// Packs a flow identity `(coll, iteration, src_gpu, dst_gpu)` into the
+/// u128 index key.
+fn flow_key(coll: u32, iteration: u32, src_gpu: u32, dst_gpu: u32) -> u128 {
+    (u128::from(coll) << 96)
+        | (u128::from(iteration) << 64)
+        | (u128::from(src_gpu) << 32)
+        | u128::from(dst_gpu)
+}
+
+/// Single-shot hasher for the packed u128 flow keys: one splitmix64-style
+/// finalizer over the folded halves instead of SipHash's per-byte rounds.
+/// Flow matching is on the simulator's per-flow hot path, so the default
+/// hasher's cost is measurable; collisions only cost a key compare.
+#[derive(Debug, Default)]
+pub struct FlowKeyHasher {
+    state: u64,
+}
+
+impl Hasher for FlowKeyHasher {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (FNV-1a); the flow index only ever hashes u128s.
+        for &b in bytes {
+            self.state = (self.state ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn write_u128(&mut self, v: u128) {
+        let mut x = (v as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(((v >> 64) as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        self.state = x;
+    }
+}
+
+type FlowIndex = HashMap<u128, FlowList, BuildHasherDefault<FlowKeyHasher>>;
+
 /// Collects span streams, flow lifetimes, collective completions and power
 /// ticks from a simulation run.
 ///
 /// Ranks and GPUs are discovered lazily from the hook arguments, so the
-/// recorder needs no up-front topology knowledge.
+/// recorder needs no up-front topology knowledge; [`SpanRecorder::for_trace`]
+/// preallocates the per-rank span streams when the trace is known up front.
 #[derive(Debug, Default)]
 pub struct SpanRecorder {
     spans: Vec<Vec<Span>>,
     open: Vec<Option<Span>>,
     gpu_of_rank: Vec<Option<u32>>,
     flows: Vec<FlowSpan>,
-    /// Launch-ordered slab of in-flight flows; retired entries become
-    /// `None`. The slab is cleared whenever the last open flow retires, so
-    /// it stays bounded by the peak number of concurrent flows.
-    open_slots: Vec<Option<FlowSpan>>,
-    /// FIFO index queues into `open_slots` per flow identity.
-    open_index: HashMap<(u32, u32, u32, u32), VecDeque<usize>>,
+    /// Launch-ordered slab of in-flight flows; retired entries stay in
+    /// place (marked closed) so open-flow order is preserved. The slab is
+    /// truncated (capacity kept) whenever the last open flow retires, so it
+    /// stays bounded by the peak number of flows per quiescent period and
+    /// is reused across iterations without reallocating.
+    slots: Vec<FlowSlot>,
+    /// Intrusive FIFO lists into `slots` per packed flow identity.
+    index: FlowIndex,
     open_flow_count: usize,
     completions: Vec<CollComplete>,
     power: Vec<PowerTick>,
@@ -146,6 +217,32 @@ impl SpanRecorder {
     /// An empty recorder.
     pub fn new() -> Self {
         SpanRecorder::default()
+    }
+
+    /// A recorder with per-rank span streams preallocated for `iterations`
+    /// runs of `trace`: each rank closes at most one span per `Compute` or
+    /// `CollWait` step per iteration, so every stream is sized exactly once
+    /// up front instead of growing through doubling on the hot path.
+    pub fn for_trace(trace: &ExecutionTrace, iterations: usize) -> Self {
+        let world = trace.world();
+        let mut rec = SpanRecorder {
+            spans: Vec::with_capacity(world),
+            open: Vec::new(),
+            gpu_of_rank: vec![None; world],
+            ..SpanRecorder::default()
+        };
+        rec.open.resize_with(world, || None);
+        for rank in 0..world {
+            let per_iter = trace
+                .steps(rank)
+                .iter()
+                .filter(|s| matches!(s, Step::Compute { .. } | Step::CollWait { .. }))
+                .count();
+            rec.spans.push(Vec::with_capacity(per_iter * iterations));
+        }
+        rec.completions
+            .reserve(trace.num_collectives() * iterations);
+        rec
     }
 
     fn ensure_rank(&mut self, rank: usize) {
@@ -185,19 +282,33 @@ impl SpanRecorder {
 
     /// Record a flow launch.
     pub fn flow_launch(&mut self, coll: u32, iteration: u32, src_gpu: u32, dst_gpu: u32, t_s: f64) {
-        let slot = self.open_slots.len();
-        self.open_slots.push(Some(FlowSpan {
-            coll,
-            iteration,
-            src_gpu,
-            dst_gpu,
-            t0_s: t_s,
-            t1_s: t_s,
-        }));
-        self.open_index
-            .entry((coll, iteration, src_gpu, dst_gpu))
-            .or_default()
-            .push_back(slot);
+        let slot = self.slots.len() as u32;
+        self.slots.push(FlowSlot {
+            span: FlowSpan {
+                coll,
+                iteration,
+                src_gpu,
+                dst_gpu,
+                t0_s: t_s,
+                t1_s: t_s,
+            },
+            next: NIL,
+            open: true,
+        });
+        let list = self
+            .index
+            .entry(flow_key(coll, iteration, src_gpu, dst_gpu))
+            .or_insert(FlowList {
+                head: NIL,
+                tail: NIL,
+            });
+        if list.head == NIL {
+            list.head = slot;
+        } else {
+            let tail = list.tail as usize;
+            self.slots[tail].next = slot;
+        }
+        list.tail = slot;
         self.open_flow_count += 1;
     }
 
@@ -205,24 +316,31 @@ impl SpanRecorder {
     /// same identity (FIFO per `(coll, iteration, src, dst)`; chunked
     /// collectives launch several identical flows).
     pub fn flow_retire(&mut self, coll: u32, iteration: u32, src_gpu: u32, dst_gpu: u32, t_s: f64) {
-        let key = (coll, iteration, src_gpu, dst_gpu);
-        let slot = match self.open_index.get_mut(&key) {
-            Some(queue) => {
-                let slot = queue.pop_front();
-                if queue.is_empty() {
-                    self.open_index.remove(&key);
+        let slot = match self
+            .index
+            .get_mut(&flow_key(coll, iteration, src_gpu, dst_gpu))
+        {
+            Some(list) if list.head != NIL => {
+                let slot = list.head as usize;
+                list.head = self.slots[slot].next;
+                if list.head == NIL {
+                    list.tail = NIL;
                 }
-                slot
+                Some(slot)
             }
-            None => None,
+            _ => None,
         };
         if let Some(slot) = slot {
-            let mut flow = self.open_slots[slot].take().expect("indexed flow is open");
-            flow.t1_s = t_s;
-            self.flows.push(flow);
+            let fs = &mut self.slots[slot];
+            fs.open = false;
+            fs.span.t1_s = t_s;
+            self.flows.push(fs.span);
             self.open_flow_count -= 1;
             if self.open_flow_count == 0 {
-                self.open_slots.clear();
+                // Quiescent: reset slab and index in place, keeping their
+                // capacity for the next burst of flows.
+                self.slots.clear();
+                self.index.clear();
             }
         } else {
             debug_assert!(false, "retired flow was never launched");
@@ -282,7 +400,11 @@ impl SpanRecorder {
     /// Flows still in flight (launch recorded, no retirement yet), in
     /// launch order.
     pub fn open_flows(&self) -> Vec<FlowSpan> {
-        self.open_slots.iter().filter_map(|f| *f).collect()
+        self.slots
+            .iter()
+            .filter(|s| s.open)
+            .map(|s| s.span)
+            .collect()
     }
 
     /// Collective completions in completion order.

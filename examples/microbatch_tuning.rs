@@ -19,10 +19,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_global_batch(32)
         .with_recompute(true);
 
+    // One cache across every sweep in this run: the power-capped replay at
+    // the bottom revisits the TP8-PP4 traces, so it lowers nothing.
+    let cache = Arc::new(SimCache::new());
+
     for label in ["TP8-FSDP4", "TP8-PP4", "TP2-PP16"] {
         let spec = ParallelismSpec::parse(label, cluster.num_gpus())?;
         let reports = Sweep::new(Arc::clone(&cluster), job.clone(), vec![spec])
             .with_microbatches(MICROBATCH_SWEEP.to_vec())
+            .with_cache(Arc::clone(&cache))
             .workers(0)
             .on_progress(|p| {
                 if let SweepOutcome::Skipped { point, reason } = p.outcome {
@@ -54,6 +59,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
     }
+    // Replay the pipeline-heavy sweep with node 0 power-capped (the §1
+    // failure anecdote). Only simulator knobs change, so every point is
+    // served from the shared cache — no re-lowering, no plan rebuilds.
+    let capped = SimConfig {
+        node_power_cap: Some((0, 400.0)),
+        ..SimConfig::default()
+    };
+    let spec = ParallelismSpec::parse("TP8-PP4", cluster.num_gpus())?;
+    let reports = Sweep::new(Arc::clone(&cluster), job.clone(), vec![spec])
+        .with_microbatches(MICROBATCH_SWEEP.to_vec())
+        .with_sim_config(capped)
+        .with_cache(Arc::clone(&cache))
+        .workers(0)
+        .run()?;
+    println!("== TP8-PP4, node 0 capped at 400 W ==");
+    for r in &reports {
+        println!(
+            "  mb{:<3} {:>10.0} tok/s {:>9.0} avg W",
+            r.microbatch, r.tokens_per_s, r.mean_power_w
+        );
+    }
+    println!("sweep cache: {}", cache.stats());
+
     println!(
         "Microbatch size is not a universal knob: coarser communication helps\n\
          FSDP/TP-dominated setups, while pipeline-heavy configurations lose\n\

@@ -72,6 +72,74 @@ fn golden_equality_on_lowered_training_step() {
 }
 
 #[test]
+fn golden_equality_on_moe_expert_parallel_workload() {
+    // Mixtral-style MoE under expert parallelism (tp1 pp4 ep8 dp1 on 32
+    // GPUs / 4 nodes): the lowered trace carries AllToAll dispatch/combine
+    // plus MoeGemm/Router kernels, none of which the dense GPT-3 workload
+    // exercises. Both engines must agree bit-for-bit here too.
+    let cluster = presets::hgx_h200_with_nodes(4);
+    let job = TrainJob::pretrain(models::mixtral_8x7b()).with_global_batch(8);
+    let spec = ParallelismSpec::infer_dp(1, 4, 8, 32, false).unwrap();
+    let partition = StagePartition::even(32, 4).unwrap();
+    let hints = DeviceHints::for_spec(cluster.gpu());
+    let trace = lower_train(&job, &spec, PipelineSchedule::OneFOneB, &partition, &hints)
+        .unwrap()
+        .trace;
+    let mut cfg = SimConfig::fast();
+    cfg.iterations = 2;
+    cfg.warmup_iterations = 1;
+    let (new, reference) = both_engines_json(&cluster, &trace, cfg);
+    assert_eq!(
+        new, reference,
+        "event-driven engine diverged from reference on MoE/EP workload"
+    );
+}
+
+#[test]
+fn golden_equality_with_forced_heap_scheduler() {
+    // `sched_heap_threshold: 0` pins the event-driven engine to the
+    // completion heap for every event (the default keeps small worlds on
+    // the linear scan). The heap must reproduce the reference bit-for-bit:
+    // conservative lower-bound keys, epoch invalidation, and the
+    // re-tighten-on-pop path all under test, with thermal feedback on so
+    // frequency steps force compute re-keys mid-run.
+    let cluster = one_node_cluster();
+    let trace = gpt3_trace(&cluster, 16);
+    let mut cfg = SimConfig::fast();
+    cfg.iterations = 3;
+    cfg.warmup_iterations = 1;
+    cfg.sched_heap_threshold = 0;
+    let (new, reference) = both_engines_json(&cluster, &trace, cfg);
+    assert_eq!(new, reference, "heap scheduler diverged from reference");
+}
+
+#[test]
+fn scheduler_modes_agree_across_crossings() {
+    // A mid-range threshold makes the live-entity count cross it both ways
+    // during a pipelined step, exercising heap↔scan transitions (including
+    // the link-membership rebuild on each upward crossing). Forced-scan,
+    // forced-heap, and the crossing run must all serialize identically.
+    let cluster = one_node_cluster();
+    let trace = gpt3_trace(&cluster, 16);
+    let placement = Placement::identity(&cluster, trace.world()).unwrap();
+    let run = |threshold: usize| {
+        let mut cfg = SimConfig::fast();
+        cfg.iterations = 2;
+        cfg.sched_heap_threshold = threshold;
+        let r = Simulator::new(&cluster, &placement, &trace, cfg)
+            .unwrap()
+            .run()
+            .unwrap();
+        serde_json::to_string(&r).unwrap()
+    };
+    let scan = run(usize::MAX);
+    let crossing = run(6);
+    let heap = run(0);
+    assert_eq!(scan, crossing, "mode crossings perturbed results");
+    assert_eq!(scan, heap, "forced heap diverged from forced scan");
+}
+
+#[test]
 fn golden_equality_with_thermal_feedback_disabled() {
     let cluster = one_node_cluster();
     let trace = gpt3_trace(&cluster, 8);
@@ -280,5 +348,78 @@ fn pcie_traffic_equals_lowered_payload_across_nodes() {
     assert!(
         rel < 1e-9,
         "pcie traffic {measured} vs expected {expected} (rel err {rel:e})"
+    );
+}
+
+#[test]
+fn shared_plans_preserve_results_and_count_hits() {
+    // Two runs of the same (cluster, placement, trace) triple sharing one
+    // plan set: the first builds and publishes every collective plan, the
+    // second clones them all instead of lowering — with byte-identical
+    // results to an unshared run.
+    use charllm_sim::SharedPlans;
+    use std::sync::Arc;
+
+    let cluster = one_node_cluster();
+    let trace = gpt3_trace(&cluster, 16);
+    let placement = Placement::identity(&cluster, trace.world()).unwrap();
+    let mut cfg = SimConfig::fast();
+    cfg.iterations = 2;
+    cfg.warmup_iterations = 1;
+
+    let baseline = Simulator::new(&cluster, &placement, &trace, cfg)
+        .unwrap()
+        .run()
+        .unwrap();
+    let baseline = serde_json::to_string(&baseline).unwrap();
+
+    let shared = Arc::new(SharedPlans::for_trace(&trace));
+    let (first, first_stats) = Simulator::new(&cluster, &placement, &trace, cfg)
+        .unwrap()
+        .with_shared_plans(Arc::clone(&shared))
+        .unwrap()
+        .run_stats()
+        .unwrap();
+    assert_eq!(first_stats.shared_plan_hits, 0, "cold set serves nothing");
+    assert!(first_stats.plan_builds > 0);
+    assert_eq!(
+        shared.num_built() as u64,
+        first_stats.plan_builds,
+        "every built plan is published"
+    );
+
+    let (second, second_stats) = Simulator::new(&cluster, &placement, &trace, cfg)
+        .unwrap()
+        .with_shared_plans(Arc::clone(&shared))
+        .unwrap()
+        .run_stats()
+        .unwrap();
+    assert_eq!(second_stats.plan_builds, 0, "warm set builds nothing");
+    assert_eq!(
+        second_stats.shared_plan_hits, first_stats.plan_builds,
+        "every launch's first plan lookup is a shared hit"
+    );
+
+    assert_eq!(serde_json::to_string(&first).unwrap(), baseline);
+    assert_eq!(serde_json::to_string(&second).unwrap(), baseline);
+}
+
+#[test]
+fn shared_plans_reject_foreign_traces() {
+    use charllm_sim::{SharedPlans, SimError};
+    use std::sync::Arc;
+
+    let cluster = one_node_cluster();
+    let trace = gpt3_trace(&cluster, 16);
+    let other = gpt3_trace(&cluster, 8);
+    let placement = Placement::identity(&cluster, trace.world()).unwrap();
+    let shared = Arc::new(SharedPlans::for_trace(&other));
+    let err = Simulator::new(&cluster, &placement, &trace, SimConfig::fast())
+        .unwrap()
+        .with_shared_plans(shared)
+        .err();
+    assert!(
+        matches!(err, Some(SimError::PlanSetMismatch { .. })),
+        "differently sized plan set must be rejected, got {err:?}"
     );
 }

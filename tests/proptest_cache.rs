@@ -1,0 +1,162 @@
+//! Property-based tests for the sweep cache (`charllm::SimCache`).
+//!
+//! The cache is keyed by content — the canonical serialization of every
+//! input lowering consumes. Two properties keep it sound:
+//!
+//! - **No collisions**: any two configurations that differ in any key
+//!   input (job knobs, parallelism, schedule, device hints, inference
+//!   shape) must map to distinct keys. A collision would silently hand one
+//!   configuration another's trace.
+//! - **Hits are transparent**: a cache hit returns a trace that serializes
+//!   byte-identically to the one a fresh lowering would produce, so
+//!   memoized sweeps report exactly what uncached sweeps report.
+
+use proptest::prelude::*;
+
+use charllm::SimCache;
+use charllm_hw::GpuModel;
+use charllm_models::{presets as models, TrainJob};
+use charllm_parallel::{ParallelismSpec, PipelineSchedule, StagePartition};
+use charllm_trace::{lower_train, DeviceHints, InferenceConfig};
+
+/// One point in key space: every degree of freedom the key must separate.
+#[derive(Debug, Clone, PartialEq)]
+struct KeyInputs {
+    global_batch: usize,
+    microbatch: usize,
+    recompute: bool,
+    cc_overlap: bool,
+    tp: usize,
+    pp: usize,
+    interleaved: bool,
+    gpu: GpuModel,
+    inference: Option<InferenceConfig>,
+}
+
+fn arb_inputs() -> impl Strategy<Value = KeyInputs> {
+    (
+        (
+            prop_oneof![Just(8usize), Just(16), Just(32)],
+            prop_oneof![Just(1usize), Just(2), Just(4)],
+            any::<bool>(),
+            any::<bool>(),
+        ),
+        (
+            prop_oneof![Just(1usize), Just(2), Just(4)],
+            prop_oneof![Just(1usize), Just(2), Just(4)],
+            any::<bool>(),
+            prop_oneof![Just(GpuModel::H200), Just(GpuModel::H100)],
+            prop_oneof![
+                Just(None),
+                Just(Some(InferenceConfig {
+                    batch: 1,
+                    prompt_len: 128,
+                    decode_tokens: 8,
+                })),
+                Just(Some(InferenceConfig {
+                    batch: 2,
+                    prompt_len: 128,
+                    decode_tokens: 8,
+                })),
+            ],
+        ),
+    )
+        .prop_map(
+            |(
+                (global_batch, microbatch, recompute, cc_overlap),
+                (tp, pp, interleaved, gpu, inference),
+            )| KeyInputs {
+                global_batch,
+                microbatch,
+                recompute,
+                cc_overlap,
+                tp,
+                pp,
+                interleaved,
+                gpu,
+                inference,
+            },
+        )
+}
+
+/// Materialize the typed lowering inputs and derive the cache key.
+fn key_of(k: &KeyInputs) -> String {
+    let job = TrainJob::pretrain(models::gpt3_13b())
+        .with_global_batch(k.global_batch)
+        .with_microbatch(k.microbatch)
+        .with_recompute(k.recompute)
+        .with_cc_overlap(k.cc_overlap);
+    let spec = ParallelismSpec::infer_dp(k.tp, k.pp, 1, 32, false).unwrap();
+    let schedule = if k.interleaved {
+        PipelineSchedule::Interleaved(2)
+    } else {
+        PipelineSchedule::OneFOneB
+    };
+    let partition = StagePartition::even(job.arch.num_layers, spec.pp).unwrap();
+    let hints = DeviceHints::for_spec(&k.gpu.spec());
+    SimCache::lowered_key(
+        &job,
+        &spec,
+        schedule,
+        &partition,
+        &hints,
+        k.inference.as_ref(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn distinct_configurations_never_collide(a in arb_inputs(), b in arb_inputs()) {
+        prop_assume!(a != b);
+        prop_assert!(key_of(&a) != key_of(&b), "distinct inputs {:?} vs {:?} collided", a, b);
+    }
+
+    #[test]
+    fn same_configuration_keys_identically(a in arb_inputs()) {
+        prop_assert_eq!(key_of(&a), key_of(&a.clone()));
+    }
+}
+
+proptest! {
+    // Each case lowers a real trace; keep the count moderate.
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    #[test]
+    fn cache_hits_return_byte_identical_traces(
+        tp in prop_oneof![Just(1usize), Just(2), Just(4)],
+        pp in prop_oneof![Just(1usize), Just(2)],
+        recompute in any::<bool>(),
+    ) {
+        let job = TrainJob::pretrain(models::gpt3_13b())
+            .with_global_batch(8)
+            .with_recompute(recompute);
+        let spec = ParallelismSpec::infer_dp(tp, pp, 1, 8, false).unwrap();
+        let partition = StagePartition::even(job.arch.num_layers, spec.pp).unwrap();
+        let hints = DeviceHints::for_spec(&GpuModel::H200.spec());
+        let key = SimCache::lowered_key(
+            &job, &spec, PipelineSchedule::OneFOneB, &partition, &hints, None,
+        );
+        let build = || {
+            lower_train(&job, &spec, PipelineSchedule::OneFOneB, &partition, &hints)
+                .map_err(charllm::CoreError::from)
+        };
+
+        let fresh = build().unwrap();
+        let cache = SimCache::new();
+        let (miss, hit) = cache.lowered(&key, build).unwrap();
+        prop_assert!(!hit);
+        let (served, hit) = cache
+            .lowered(&key, || panic!("hit must not rebuild"))
+            .unwrap();
+        prop_assert!(hit);
+        let fresh = serde_json::to_string(&fresh.trace).unwrap();
+        prop_assert_eq!(&serde_json::to_string(&miss.trace).unwrap(), &fresh);
+        prop_assert_eq!(
+            &serde_json::to_string(&served.trace).unwrap(),
+            &fresh,
+            "a cache hit must serve the exact trace a fresh lowering builds"
+        );
+    }
+}
