@@ -26,6 +26,18 @@ echo "$out" | grep -Eq "^sweep cache: lowered [1-9][0-9]* hits .* plans [1-9][0-
     exit 1
 }
 
+echo "==> fault engine smoke (faults_mtbf example)"
+out="$(cargo run --release --example faults_mtbf)"
+echo "$out" | grep -E "goodput [0-9]+(\.[0-9]+)? tokens/s" | head -3
+echo "$out" | grep -Eq "goodput [0-9]+(\.[0-9]+)? tokens/s" || {
+    echo "FAIL: faults_mtbf reported no finite goodput" >&2
+    exit 1
+}
+echo "$out" | grep -Eq "cache after pass 2: lowered [1-9][0-9]* hits" || {
+    echo "FAIL: repeated MTBF scenarios did not hit the cache" >&2
+    exit 1
+}
+
 echo "==> cargo doc --workspace --no-deps (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

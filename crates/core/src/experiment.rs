@@ -5,7 +5,7 @@ use std::sync::Arc;
 use charllm_hw::Cluster;
 use charllm_models::TrainJob;
 use charllm_parallel::{ParallelismSpec, PipelineSchedule, Placement, StagePartition};
-use charllm_sim::{SimConfig, SimResult, Simulator};
+use charllm_sim::{FaultPlan, SimConfig, SimResult, Simulator};
 use charllm_telemetry::aggregate::group_mean;
 use charllm_trace::{lower_inference, lower_train, DeviceHints, InferenceConfig};
 
@@ -31,6 +31,7 @@ pub struct Experiment {
     inference: Option<InferenceConfig>,
     profiled: bool,
     cache: Option<Arc<SimCache>>,
+    faults: Option<FaultPlan>,
 }
 
 impl Experiment {
@@ -67,7 +68,7 @@ impl Experiment {
         let (lowered, shared, cache_stats) = match &self.cache {
             None => (Arc::new(lower()?), None, None),
             Some(cache) => {
-                let key = SimCache::lowered_key(
+                let mut key = SimCache::lowered_key(
                     &self.job,
                     &self.spec,
                     self.schedule,
@@ -75,6 +76,15 @@ impl Experiment {
                     &hints,
                     self.inference.as_ref(),
                 );
+                // The fault plan participates in the cache key. This is
+                // conservative — faults perturb neither the lowered trace
+                // nor the collective plans — but it keeps the key an exact
+                // content hash of everything that shapes the run, and
+                // repeated points of an MTBF sweep (same plan) still hit.
+                if let Some(plan) = &self.faults {
+                    key.push('|');
+                    key.push_str(&serde_json::to_string(plan).expect("fault plan serializes"));
+                }
                 let (lowered, lowered_hit) = cache.lowered(&key, lower)?;
                 let (shared, plan_hit) = cache.plans(&self.cluster, &placement, &key, &lowered);
                 let stats = CacheStats {
@@ -93,6 +103,9 @@ impl Experiment {
                     .with_shared_plans(Arc::clone(shared))
                     .map_err(CoreError::from)?;
             }
+            if let Some(plan) = &self.faults {
+                sim = sim.with_faults(plan).map_err(CoreError::from)?;
+            }
             sim.run_profiled()?
         } else {
             let mut sim = Simulator::new(&self.cluster, &placement, &lowered.trace, self.sim)?;
@@ -100,6 +113,9 @@ impl Experiment {
                 sim = sim
                     .with_shared_plans(Arc::clone(shared))
                     .map_err(CoreError::from)?;
+            }
+            if let Some(plan) = &self.faults {
+                sim = sim.with_faults(plan).map_err(CoreError::from)?;
             }
             sim.run()?
         };
@@ -194,6 +210,7 @@ pub struct ExperimentBuilder {
     inference: Option<InferenceConfig>,
     profiled: bool,
     cache: Option<Arc<SimCache>>,
+    faults: Option<FaultPlan>,
 }
 
 impl ExperimentBuilder {
@@ -281,6 +298,14 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Inject a [`FaultPlan`] into the run: scheduled failures plus the
+    /// recovery cost model, reported as goodput / wasted energy / restarts
+    /// on the result. An empty plan is equivalent to not calling this.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Finalize into an [`Experiment`].
     ///
     /// # Errors
@@ -308,6 +333,7 @@ impl ExperimentBuilder {
             inference: self.inference,
             profiled: self.profiled,
             cache: self.cache,
+            faults: self.faults,
         })
     }
 

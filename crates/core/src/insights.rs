@@ -274,6 +274,10 @@ mod tests {
             thermal_throttle_ratio: vec![],
             occupancy: vec![],
             sim_time_s: 1.0,
+            goodput_tokens_per_s: 1.0,
+            energy_wasted_j: 0.0,
+            restarts: 0,
+            fault_downtime_s: 0.0,
             profile: None,
         };
         let r = RunReport {

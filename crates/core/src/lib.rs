@@ -67,5 +67,5 @@ pub mod prelude {
     };
     pub use charllm_models::{Optimizations, TrainJob};
     pub use charllm_parallel::{ParallelismSpec, PipelineSchedule};
-    pub use charllm_sim::SimConfig;
+    pub use charllm_sim::{FaultEvent, FaultPlan, RecoveryPolicy, SimConfig};
 }

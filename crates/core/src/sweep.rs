@@ -20,7 +20,7 @@ use std::sync::Arc;
 use charllm_hw::Cluster;
 use charllm_models::TrainJob;
 use charllm_parallel::ParallelismSpec;
-use charllm_sim::SimConfig;
+use charllm_sim::{FaultPlan, SimConfig};
 
 use crate::cache::SimCache;
 use crate::error::CoreError;
@@ -136,6 +136,7 @@ pub struct Sweep {
     progress: Option<Arc<ProgressFn>>,
     cache: Option<Arc<SimCache>>,
     use_cache: bool,
+    faults: Option<FaultPlan>,
 }
 
 impl fmt::Debug for Sweep {
@@ -151,6 +152,7 @@ impl fmt::Debug for Sweep {
             .field("workers", &self.workers)
             .field("progress", &self.progress.is_some())
             .field("cache", &self.use_cache)
+            .field("faults", &self.faults.is_some())
             .finish()
     }
 }
@@ -174,6 +176,7 @@ impl Sweep {
             progress: None,
             cache: None,
             use_cache: true,
+            faults: None,
         }
     }
 
@@ -216,6 +219,15 @@ impl Sweep {
     /// counters from the cache afterwards via [`SimCache::stats`].
     pub fn with_cache(mut self, cache: Arc<SimCache>) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Inject the same [`FaultPlan`] into every point of the sweep (e.g. an
+    /// MTBF scenario evaluated across parallelism configurations). The plan
+    /// participates in the memoization key, so repeated points with the
+    /// same plan still hit a shared cache.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -294,6 +306,9 @@ impl Sweep {
                 .sim_config(self.sim);
             if let Some(cache) = &cache {
                 builder = builder.cache(Arc::clone(cache));
+            }
+            if let Some(plan) = &self.faults {
+                builder = builder.faults(plan.clone());
             }
             let result = builder.run();
             let outcome = match result {

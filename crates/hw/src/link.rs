@@ -134,6 +134,25 @@ impl LinkSpec {
         LinkSpec::new(LinkClass::Nic, gbps / 8.0, 8.0, 5.0)
     }
 
+    /// A copy of this link with bandwidth scaled by `factor` — the spec a
+    /// degraded link presents while a fault is active (e.g. a flapping NIC
+    /// renegotiating at a lower rate). Latency and per-message overhead are
+    /// unchanged: degradation models lost lanes, not longer wires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not in `(0, 1]`.
+    pub fn degraded(&self, factor: f64) -> Self {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "degradation factor must be in (0, 1], got {factor}"
+        );
+        LinkSpec {
+            bw_gbps: self.bw_gbps * factor,
+            ..self.clone()
+        }
+    }
+
     /// Time in seconds for a single message of `bytes` to traverse this link
     /// alone (no contention): latency + overhead + serialization.
     ///
@@ -216,6 +235,23 @@ mod tests {
     #[test]
     fn zero_bytes_has_zero_effective_bw() {
         assert_eq!(LinkSpec::nvlink4().effective_bw_gbps(0.0), 0.0);
+    }
+
+    #[test]
+    fn degraded_link_scales_bandwidth_only() {
+        let nic = LinkSpec::ib_100g();
+        let half = nic.degraded(0.5);
+        assert_eq!(half.bw_gbps, nic.bw_gbps * 0.5);
+        assert_eq!(half.latency_us, nic.latency_us);
+        assert_eq!(half.per_message_us, nic.per_message_us);
+        assert_eq!(half.class, nic.class);
+        assert_eq!(nic.degraded(1.0), nic);
+    }
+
+    #[test]
+    #[should_panic(expected = "degradation factor")]
+    fn degraded_rejects_zero_factor() {
+        LinkSpec::nvlink4().degraded(0.0);
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Per-link health state for fault injection.
+//!
+//! The fault engine degrades links by scaling their effective bandwidth at
+//! rate-computation time rather than mutating the (shared, immutable)
+//! cluster or collective plans. [`LinkHealth`] holds one multiplicative
+//! bandwidth scale per link in the cluster's link table; a pristine table is
+//! all `1.0`, and the simulator multiplies each link's bandwidth by its
+//! scale when fair-sharing flows. Because `x * 1.0 == x` bit-exactly for
+//! every finite IEEE-754 value, a pristine table leaves results
+//! byte-identical to a fault-free run.
+
+use serde::{Deserialize, Serialize};
+
+/// Multiplicative bandwidth scale per link (1.0 = healthy).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkHealth {
+    scale: Vec<f64>,
+}
+
+impl LinkHealth {
+    /// A fully healthy table for `num_links` links.
+    pub fn pristine(num_links: usize) -> Self {
+        LinkHealth {
+            scale: vec![1.0; num_links],
+        }
+    }
+
+    /// Number of links tracked.
+    pub fn num_links(&self) -> usize {
+        self.scale.len()
+    }
+
+    /// The bandwidth scale of a link (1.0 when healthy).
+    #[inline]
+    pub fn scale(&self, link: usize) -> f64 {
+        self.scale[link]
+    }
+
+    /// Degrade (or change the degradation of) a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not in `(0, 1]` or `link` is out of range.
+    pub fn set_scale(&mut self, link: usize, factor: f64) {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "degradation factor must be in (0, 1], got {factor}"
+        );
+        self.scale[link] = factor;
+    }
+
+    /// Restore a link to full bandwidth.
+    pub fn restore(&mut self, link: usize) {
+        self.scale[link] = 1.0;
+    }
+
+    /// Whether every link is at full bandwidth.
+    pub fn is_pristine(&self) -> bool {
+        self.scale.iter().all(|&s| s == 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pristine_table_scales_by_identity() {
+        let h = LinkHealth::pristine(4);
+        assert_eq!(h.num_links(), 4);
+        assert!(h.is_pristine());
+        for l in 0..4 {
+            assert_eq!(h.scale(l), 1.0);
+        }
+    }
+
+    #[test]
+    fn degrade_and_restore_round_trip() {
+        let mut h = LinkHealth::pristine(3);
+        h.set_scale(1, 0.25);
+        assert!(!h.is_pristine());
+        assert_eq!(h.scale(1), 0.25);
+        assert_eq!(h.scale(0), 1.0);
+        h.restore(1);
+        assert!(h.is_pristine());
+    }
+
+    #[test]
+    #[should_panic(expected = "degradation factor")]
+    fn zero_factor_rejected() {
+        LinkHealth::pristine(1).set_scale(0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "degradation factor")]
+    fn factor_above_one_rejected() {
+        LinkHealth::pristine(1).set_scale(0, 1.5);
+    }
+}

@@ -19,9 +19,11 @@
 pub mod chunking;
 pub mod collectives;
 pub mod flow;
+pub mod health;
 pub mod hierarchical;
 pub mod projection;
 
 pub use chunking::ChunkingPolicy;
 pub use collectives::{lower_collective, CollectiveKind, CollectivePlan};
 pub use flow::Flow;
+pub use health::LinkHealth;

@@ -32,7 +32,7 @@ use std::collections::{BinaryHeap, HashMap};
 use std::sync::{Arc, OnceLock};
 
 use charllm_hw::{Cluster, GpuId, LinkClass};
-use charllm_net::lower_collective;
+use charllm_net::{lower_collective, LinkHealth};
 use charllm_parallel::Placement;
 use charllm_telemetry::{phase, GpuSample, SpanRecorder, TelemetryStore};
 use charllm_thermal::{GovernorConfig, GpuThermal, GpuVariability, ThermalSpec};
@@ -40,6 +40,7 @@ use charllm_trace::{ExecutionTrace, KernelClass, Step};
 
 use crate::config::SimConfig;
 use crate::error::SimError;
+use crate::fault::{FaultEvent, FaultPlan, RecoveryPolicy};
 use crate::observer::{NoopObserver, SimObserver, TaskKind};
 use crate::result::{KernelBreakdown, OccupancyStats, SimResult, TrafficMatrix};
 
@@ -267,6 +268,71 @@ impl Ord for HeapEntry {
 /// conservative keys (see `next_dt`'s margin derivation).
 const REKEY_INTERVAL: u64 = 8192;
 
+/// One engine-level fault action. Windowed plan events (`LinkDegrade`,
+/// `Straggler`, `ThermalRunaway`) are split into an on/off pair at
+/// `with_faults` time; `GpuFailStop` becomes a `FailStop` (plus a `Regrow`
+/// under elastic recovery).
+#[derive(Debug, Clone, Copy)]
+enum FaultAction {
+    FailStop { gpu: u32 },
+    LinkDown { link: u32, factor: f64 },
+    LinkUp { link: u32 },
+    SlowRank { rank: u32, speed: f64 },
+    RestoreRank { rank: u32 },
+    HeatGpu { gpu: u32, delta_c: f64 },
+    CoolGpu { gpu: u32 },
+    Regrow,
+}
+
+/// A fault action pinned to its firing time and originating plan event.
+#[derive(Debug, Clone, Copy)]
+struct ScheduledFault {
+    t: f64,
+    /// Index of the originating event in the `FaultPlan` (span identity).
+    fault: u32,
+    action: FaultAction,
+}
+
+/// Live fault-injection state: the compiled schedule plus the recovery
+/// cost-model accumulators that `finish` folds into the resilience metrics.
+#[derive(Debug)]
+struct FaultRuntime {
+    /// Actions sorted by firing time (stable: ties fire in plan order).
+    schedule: Vec<ScheduledFault>,
+    cursor: usize,
+    recovery: RecoveryPolicy,
+    restarts: u64,
+    energy_wasted_j: f64,
+    /// Simulated time spent in outages, whole run.
+    downtime_s: f64,
+    /// Outage time that fell inside the measured window.
+    downtime_measured_s: f64,
+    /// Elastic-shrink capacity state.
+    dead_gpus: u32,
+    world: u32,
+    token_scale: f64,
+    /// Time-weighted integral of `token_scale` up to `last_scale_t`.
+    scale_integral: f64,
+    last_scale_t: f64,
+}
+
+impl FaultRuntime {
+    /// Close the current token-scale segment at `t` and start a new one.
+    fn set_token_scale(&mut self, scale: f64, t: f64) {
+        self.scale_integral += self.token_scale * (t - self.last_scale_t);
+        self.last_scale_t = t;
+        self.token_scale = scale;
+    }
+
+    /// Mean token scale over `[0, t]` (1.0 when capacity never shrank).
+    fn mean_token_scale(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 1.0;
+        }
+        (self.scale_integral + self.token_scale * (t - self.last_scale_t)) / t
+    }
+}
+
 /// Counters describing how much work the event-driven engine avoided.
 ///
 /// Returned by [`Simulator::run_stats`]; every field is monotone over a run.
@@ -424,6 +490,19 @@ pub struct Simulator<'a, O: SimObserver = NoopObserver> {
     iteration_complete_at: Vec<f64>,
     measure_start: Option<f64>,
     energy_measured_j: f64,
+
+    /// Fault-injection state (`None` = no plan attached). The pristine
+    /// identities of the fields below (`×1.0`, `+0.0`, `min(∞)`) keep the
+    /// no-fault path byte-identical to an engine without fault support.
+    fault: Option<Box<FaultRuntime>>,
+    /// Per-link bandwidth scale in `(0, 1]` (1.0 = healthy).
+    link_health: LinkHealth,
+    /// Per-rank compute speed multiplier (1.0 = healthy, <1 = straggler).
+    rank_speed: Vec<f64>,
+    /// Per-GPU inlet temperature offset forced by thermal-runaway faults.
+    inlet_offset_c: Vec<f64>,
+    /// Firing time of the next scheduled fault (`INFINITY` when none).
+    next_fault_t: f64,
 
     stats: EngineStats,
 }
@@ -613,6 +692,11 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
                 None
             },
             energy_measured_j: 0.0,
+            fault: None,
+            link_health: LinkHealth::pristine(cluster.num_links()),
+            rank_speed: vec![1.0; trace.world()],
+            inlet_offset_c: vec![0.0; num_gpus],
+            next_fault_t: f64::INFINITY,
             stats: EngineStats::default(),
             cfg,
         })
@@ -638,6 +722,266 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
         }
         self.shared_plans = Some(plans);
         Ok(self)
+    }
+
+    /// Attach a [`FaultPlan`]: its events are compiled into a time-sorted
+    /// schedule the run loop drains alongside control boundaries. An empty
+    /// plan ([`FaultPlan::none`]) leaves the simulator untouched, so the
+    /// result stays byte-identical to a run without fault support (pinned
+    /// by the golden suite). Events that fall inside a recovery outage fire
+    /// immediately after it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidFaultPlan`] when an event targets a
+    /// GPU/link/rank outside this cluster/trace or has a non-finite time,
+    /// factor, or slowdown.
+    pub fn with_faults(mut self, plan: &FaultPlan) -> Result<Self, SimError> {
+        plan.validate(
+            self.cluster.num_gpus() as u32,
+            self.cluster.num_links() as u32,
+            self.trace.world() as u32,
+        )
+        .map_err(SimError::InvalidFaultPlan)?;
+        if plan.is_empty() {
+            return Ok(self);
+        }
+        let mut schedule = Vec::with_capacity(plan.events.len() * 2);
+        for (i, ev) in plan.events.iter().enumerate() {
+            let fault = i as u32;
+            match *ev {
+                FaultEvent::GpuFailStop { gpu, at_s } => {
+                    schedule.push(ScheduledFault {
+                        t: at_s,
+                        fault,
+                        action: FaultAction::FailStop { gpu },
+                    });
+                    if let RecoveryPolicy::ElasticShrink { regrow_after_s, .. } = plan.recovery {
+                        if regrow_after_s > 0.0 {
+                            schedule.push(ScheduledFault {
+                                t: at_s + regrow_after_s,
+                                fault,
+                                action: FaultAction::Regrow,
+                            });
+                        }
+                    }
+                }
+                FaultEvent::LinkDegrade {
+                    link,
+                    at_s,
+                    duration_s,
+                    factor,
+                } => {
+                    schedule.push(ScheduledFault {
+                        t: at_s,
+                        fault,
+                        action: FaultAction::LinkDown { link, factor },
+                    });
+                    schedule.push(ScheduledFault {
+                        t: at_s + duration_s,
+                        fault,
+                        action: FaultAction::LinkUp { link },
+                    });
+                }
+                FaultEvent::Straggler {
+                    rank,
+                    at_s,
+                    duration_s,
+                    slowdown,
+                } => {
+                    schedule.push(ScheduledFault {
+                        t: at_s,
+                        fault,
+                        action: FaultAction::SlowRank {
+                            rank,
+                            speed: 1.0 / slowdown,
+                        },
+                    });
+                    schedule.push(ScheduledFault {
+                        t: at_s + duration_s,
+                        fault,
+                        action: FaultAction::RestoreRank { rank },
+                    });
+                }
+                FaultEvent::ThermalRunaway {
+                    gpu,
+                    at_s,
+                    duration_s,
+                    inlet_delta_c,
+                } => {
+                    schedule.push(ScheduledFault {
+                        t: at_s,
+                        fault,
+                        action: FaultAction::HeatGpu {
+                            gpu,
+                            delta_c: inlet_delta_c,
+                        },
+                    });
+                    schedule.push(ScheduledFault {
+                        t: at_s + duration_s,
+                        fault,
+                        action: FaultAction::CoolGpu { gpu },
+                    });
+                }
+            }
+        }
+        // Stable sort: same-time actions keep plan order (down before up
+        // for zero-duration windows).
+        schedule.sort_by(|a, b| a.t.total_cmp(&b.t));
+        self.next_fault_t = schedule.first().map_or(f64::INFINITY, |s| s.t);
+        self.fault = Some(Box::new(FaultRuntime {
+            schedule,
+            cursor: 0,
+            recovery: plan.recovery,
+            restarts: 0,
+            energy_wasted_j: 0.0,
+            downtime_s: 0.0,
+            downtime_measured_s: 0.0,
+            dead_gpus: 0,
+            world: self.trace.world() as u32,
+            token_scale: 1.0,
+            scale_integral: 0.0,
+            last_scale_t: 0.0,
+        }));
+        Ok(self)
+    }
+
+    /// Drain every fault action due at the current time. A fail-stop stalls
+    /// the clock inside `apply_fault`, so later actions that land inside
+    /// the outage window fire right after it ends.
+    fn process_due_faults(&mut self) {
+        let Some(mut rt) = self.fault.take() else {
+            self.next_fault_t = f64::INFINITY;
+            return;
+        };
+        while rt.cursor < rt.schedule.len() && rt.schedule[rt.cursor].t <= self.t + 1e-12 {
+            let ev = rt.schedule[rt.cursor];
+            rt.cursor += 1;
+            self.apply_fault(&mut rt, ev);
+        }
+        self.next_fault_t = rt.schedule.get(rt.cursor).map_or(f64::INFINITY, |s| s.t);
+        self.fault = Some(rt);
+    }
+
+    fn apply_fault(&mut self, rt: &mut FaultRuntime, ev: ScheduledFault) {
+        match ev.action {
+            FaultAction::LinkDown { link, factor } => {
+                self.obs.fault_begin(ev.fault, "link-degrade", link, self.t);
+                self.link_health.set_scale(link as usize, factor);
+                self.mark_link_dirty(link as usize);
+                // Rates on this link must be recomputed even in heap mode:
+                // `next_dt`'s dirty-link pass keys off a stale epoch.
+                self.load_epoch += 1;
+            }
+            FaultAction::LinkUp { link } => {
+                self.link_health.restore(link as usize);
+                self.mark_link_dirty(link as usize);
+                self.load_epoch += 1;
+                self.obs.fault_end(ev.fault, self.t);
+            }
+            FaultAction::SlowRank { rank, speed } => {
+                self.obs.fault_begin(ev.fault, "straggler", rank, self.t);
+                self.rank_speed[rank as usize] = speed;
+                self.mark_rank_dirty(rank as usize);
+            }
+            FaultAction::RestoreRank { rank } => {
+                self.rank_speed[rank as usize] = 1.0;
+                self.mark_rank_dirty(rank as usize);
+                self.obs.fault_end(ev.fault, self.t);
+            }
+            FaultAction::HeatGpu { gpu, delta_c } => {
+                self.obs
+                    .fault_begin(ev.fault, "thermal-runaway", gpu, self.t);
+                self.inlet_offset_c[gpu as usize] = delta_c;
+            }
+            FaultAction::CoolGpu { gpu } => {
+                self.inlet_offset_c[gpu as usize] = 0.0;
+                self.obs.fault_end(ev.fault, self.t);
+            }
+            FaultAction::FailStop { gpu } => {
+                rt.restarts += 1;
+                self.obs.fault_begin(ev.fault, "gpu-fail-stop", gpu, self.t);
+                match rt.recovery {
+                    RecoveryPolicy::CheckpointRestart {
+                        checkpoint_interval_s,
+                        restart_latency_s,
+                    } => {
+                        // Productive time since the last checkpoint is lost
+                        // and recomputed after the restart.
+                        let productive = self.t - rt.downtime_s;
+                        let lost = if checkpoint_interval_s > 0.0 {
+                            productive % checkpoint_interval_s
+                        } else {
+                            0.0
+                        };
+                        self.fault_stall(rt, restart_latency_s, lost);
+                    }
+                    RecoveryPolicy::SpareSwap { swap_latency_s } => {
+                        self.fault_stall(rt, swap_latency_s, 0.0);
+                    }
+                    RecoveryPolicy::ElasticShrink {
+                        reconfig_latency_s, ..
+                    } => {
+                        self.fault_stall(rt, reconfig_latency_s, 0.0);
+                        rt.dead_gpus = (rt.dead_gpus + 1).min(rt.world);
+                        let scale = f64::from(rt.world - rt.dead_gpus) / f64::from(rt.world);
+                        rt.set_token_scale(scale, self.t);
+                    }
+                }
+                self.obs.fault_end(ev.fault, self.t);
+            }
+            FaultAction::Regrow => {
+                if rt.dead_gpus > 0 {
+                    if let RecoveryPolicy::ElasticShrink {
+                        reconfig_latency_s, ..
+                    } = rt.recovery
+                    {
+                        self.fault_stall(rt, reconfig_latency_s, 0.0);
+                    }
+                    rt.dead_gpus -= 1;
+                    let scale = f64::from(rt.world - rt.dead_gpus) / f64::from(rt.world);
+                    rt.set_token_scale(scale, self.t);
+                }
+            }
+        }
+    }
+
+    /// Stall the whole cluster for a recovery outage: `idle_s` of restart /
+    /// reconfiguration at idle activity, then `redo_s` recomputing lost work
+    /// at nominal training activity. Thermal and power physics keep running
+    /// on control boundaries (the DVFS governor sees a real idle window);
+    /// every joule accrued here is counted as wasted. In-flight kernels and
+    /// flows hold their remaining work — the outage shifts their completion
+    /// by its length.
+    fn fault_stall(&mut self, rt: &mut FaultRuntime, idle_s: f64, redo_s: f64) {
+        let start = self.t;
+        let end = start + idle_s.max(0.0) + redo_s.max(0.0);
+        if end <= start {
+            return;
+        }
+        let redo_from = start + idle_s.max(0.0);
+        let energy_before: f64 = self.thermals.iter().map(GpuThermal::energy_j).sum();
+        while end - self.t > 1e-9 {
+            let dt = (self.next_control - self.t).min(end - self.t).max(1e-9);
+            let redo_overlap = (self.t + dt - redo_from.max(self.t)).max(0.0).min(dt);
+            if redo_overlap > 0.0 {
+                for acc in &mut self.activity_acc {
+                    *acc += 0.75 * redo_overlap;
+                }
+            }
+            self.t += dt;
+            if self.t >= self.next_control - 1e-12 {
+                self.control_update();
+                self.next_control += self.cfg.control_period_s;
+            }
+        }
+        let energy_after: f64 = self.thermals.iter().map(GpuThermal::energy_j).sum();
+        rt.energy_wasted_j += energy_after - energy_before;
+        let outage = self.t - start;
+        rt.downtime_s += outage;
+        if self.measure_start.is_some() {
+            rt.downtime_measured_s += outage;
+        }
     }
 
     /// Run to completion.
@@ -698,6 +1042,9 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
             self.advance(dt);
             self.stats.events += 1;
 
+            if self.t >= self.next_fault_t - 1e-12 {
+                self.process_due_faults();
+            }
             if self.t >= self.next_control - 1e-12 {
                 self.control_update();
                 self.next_control += self.cfg.control_period_s;
@@ -964,7 +1311,7 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
 
     fn compute_rate(&self, rank: usize, kind: charllm_trace::ComputeKind) -> f64 {
         let gpu = self.ranks[rank].gpu.index();
-        let mut rate = self.peak_flops * kind.mfu() * self.freq_ratio[gpu];
+        let mut rate = self.peak_flops * kind.mfu() * self.freq_ratio[gpu] * self.rank_speed[rank];
         if self.gpu_flow_count[gpu] > 0 {
             rate /= self.cfg.overlap_slowdown;
         }
@@ -1044,7 +1391,8 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
         let mut rate = f64::INFINITY;
         for l in 0..n {
             let load = self.link_load[f.plan.links[l] as usize].max(1) as f64;
-            rate = rate.min(f.plan.bw1e9[l] / load);
+            rate =
+                rate.min(self.link_health.scale(f.plan.links[l] as usize) * f.plan.bw1e9[l] / load);
         }
         f.rate = rate;
         f.rate_epoch = epoch;
@@ -1070,7 +1418,7 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
     /// compute rates are always derived fresh. Clears both dirty lists:
     /// nothing else consumes them while the heap is down.
     fn scan_dt(&mut self) -> f64 {
-        let mut dt = self.next_control - self.t;
+        let mut dt = self.next_control.min(self.next_fault_t) - self.t;
         for idx in 0..self.computing_ranks.len() {
             let rank = self.computing_ranks[idx];
             if let RankMode::Computing {
@@ -1092,7 +1440,9 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
                 let mut rate = f64::INFINITY;
                 for l in 0..n {
                     let load = self.link_load[f.plan.links[l] as usize].max(1) as f64;
-                    rate = rate.min(f.plan.bw1e9[l] / load);
+                    rate = rate.min(
+                        self.link_health.scale(f.plan.links[l] as usize) * f.plan.bw1e9[l] / load,
+                    );
                 }
                 f.rate = rate;
                 f.rate_epoch = epoch;
@@ -1233,7 +1583,7 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
         dirty.clear();
         self.dirty_ranks = dirty;
 
-        let mut dt = self.next_control - self.t;
+        let mut dt = self.next_control.min(self.next_fault_t) - self.t;
         // Pop while an entry could still lower `dt`. The margin absorbs the
         // floating-point drift a conservative key accumulates while its
         // entry survives (`remaining -= rate·dt` plus `t += dt` roundings,
@@ -1319,7 +1669,7 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
     /// bit-equality. Makes every debug-mode test a scheduler audit.
     #[cfg(debug_assertions)]
     fn debug_check_dt(&self, dt: f64) {
-        let mut expect = self.next_control - self.t;
+        let mut expect = self.next_control.min(self.next_fault_t) - self.t;
         for &rank in &self.computing_ranks {
             if let RankMode::Computing {
                 kind,
@@ -1333,7 +1683,8 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
             let mut rate = f64::INFINITY;
             for l in 0..f.plan.route_len as usize {
                 let load = self.link_load[f.plan.links[l] as usize].max(1) as f64;
-                rate = rate.min(f.plan.bw1e9[l] / load);
+                rate = rate
+                    .min(self.link_health.scale(f.plan.links[l] as usize) * f.plan.bw1e9[l] / load);
             }
             assert_eq!(
                 rate.to_bits(),
@@ -1577,7 +1928,7 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
                 let gpu_id = self.cluster.gpu_at(charllm_hw::NodeId(node as u32), slot);
                 let gpu = gpu_id.index();
                 let activity = (self.activity_acc[gpu] / period).min(1.0);
-                let inlet = airflow.inlet_temp_c(slot, &node_powers);
+                let inlet = airflow.inlet_temp_c(slot, &node_powers) + self.inlet_offset_c[gpu];
                 let sample = self.thermals[gpu].step(activity, inlet, period);
                 // With feedback disabled the physics still run (for power
                 // and temperature telemetry) but clocks stay pinned.
@@ -1643,8 +1994,13 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
             iteration_times.push(t - prev);
             prev = t;
         }
-        let measured_window = self.iteration_complete_at.last().copied().unwrap_or(0.0)
+        // Gross window includes recovery outages; netting out the downtime
+        // keeps `tokens_per_s` a *productive-rate* metric (`- 0.0` when no
+        // fault fired, so the no-fault bits are untouched).
+        let gross_window = self.iteration_complete_at.last().copied().unwrap_or(0.0)
             - self.measure_start.unwrap_or(0.0);
+        let downtime_measured = self.fault.as_ref().map_or(0.0, |rt| rt.downtime_measured_s);
+        let measured_window = gross_window - downtime_measured;
         let measured_iters = cfg.measured_iterations() as f64;
         let step_time = if measured_window > 0.0 {
             measured_window / measured_iters
@@ -1656,6 +2012,21 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
             tokens_per_iter / step_time
         } else {
             0.0
+        };
+        // Goodput divides retained tokens (elastic shrink retains fewer) by
+        // the *gross* window, so outage time and redone work drag it below
+        // `tokens_per_s` whenever a fault fired.
+        let (goodput, energy_wasted, restarts, downtime) = match &self.fault {
+            None => (tokens_per_s, 0.0, 0, 0.0),
+            Some(rt) => {
+                let mean_scale = rt.mean_token_scale(self.t);
+                let g = if gross_window > 0.0 {
+                    tokens_per_iter * measured_iters * mean_scale / gross_window
+                } else {
+                    0.0
+                };
+                (g, rt.energy_wasted_j, rt.restarts, rt.downtime_s)
+            }
         };
         let energy_per_step = self.energy_measured_j / measured_iters;
         let tokens_per_joule = if energy_per_step > 0.0 {
@@ -1702,6 +2073,10 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
                 .collect(),
             occupancy,
             sim_time_s: self.t,
+            goodput_tokens_per_s: goodput,
+            energy_wasted_j: energy_wasted,
+            restarts,
+            fault_downtime_s: downtime,
             profile: None,
         };
         (result, obs)

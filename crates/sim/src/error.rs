@@ -34,6 +34,8 @@ pub enum SimError {
         /// Slots in the supplied plan set.
         shared_collectives: usize,
     },
+    /// A fault plan referenced out-of-range targets or bad magnitudes.
+    InvalidFaultPlan(String),
     /// A hardware topology query failed.
     Hw(charllm_hw::HwError),
 }
@@ -68,6 +70,9 @@ impl fmt::Display for SimError {
                 "shared plan set has {shared_collectives} slots but the trace \
                  has {trace_collectives} collectives (built for a different trace?)"
             ),
+            SimError::InvalidFaultPlan(detail) => {
+                write!(f, "invalid fault plan: {detail}")
+            }
             SimError::Hw(e) => write!(f, "hardware error: {e}"),
         }
     }
@@ -97,5 +102,8 @@ mod tests {
             placement_world: 4,
         };
         assert!(e.to_string().contains('8'));
+        let e = SimError::InvalidFaultPlan("gpu 9 out of range".into());
+        assert!(e.to_string().contains("fault plan"));
+        assert!(e.to_string().contains("gpu 9"));
     }
 }

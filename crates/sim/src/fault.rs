@@ -1,0 +1,433 @@
+//! Deterministic fault & resilience scenarios.
+//!
+//! A [`FaultPlan`] is a seedless, fully explicit schedule of injected
+//! events — GPU fail-stop, link degradation with a recovery time, straggler
+//! ranks, thermal runaway — plus a [`RecoveryPolicy`] that prices what the
+//! training system does when a rank dies. The engine threads the plan
+//! through its event loop (see `engine.rs`); an empty plan
+//! ([`FaultPlan::none`]) is guaranteed byte-identical to a fault-free run,
+//! which the golden suite pins.
+//!
+//! Determinism is a feature, not a limitation: MTBF studies are expressed
+//! as explicit schedules (see [`FaultPlan::periodic_fail_stops`]) so that
+//! sweeps are reproducible and cacheable — the serialized plan participates
+//! in the `SimCache` key.
+
+use serde::{Deserialize, Serialize};
+
+/// One injected fault event. All times are in simulated seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// A GPU fail-stops at `at_s`; the run stalls per the recovery policy.
+    GpuFailStop {
+        /// Failing GPU (cluster index).
+        gpu: u32,
+        /// Failure time, seconds.
+        at_s: f64,
+    },
+    /// A link runs at `factor` × bandwidth from `at_s` for `duration_s`
+    /// (a flap is a short duration; a brownout a long one).
+    LinkDegrade {
+        /// Degraded link (cluster link-table index).
+        link: u32,
+        /// Onset time, seconds.
+        at_s: f64,
+        /// Time until the link recovers, seconds.
+        duration_s: f64,
+        /// Bandwidth multiplier in `(0, 1]` while degraded.
+        factor: f64,
+    },
+    /// A rank computes `slowdown`× slower from `at_s` for `duration_s`.
+    Straggler {
+        /// Straggling rank.
+        rank: u32,
+        /// Onset time, seconds.
+        at_s: f64,
+        /// Time until the rank recovers, seconds.
+        duration_s: f64,
+        /// Compute slowdown factor, `>= 1`.
+        slowdown: f64,
+    },
+    /// A GPU's effective inlet temperature rises by `inlet_delta_c` from
+    /// `at_s` for `duration_s` (e.g. a failed fan or blocked airflow),
+    /// forcing sustained thermal throttling through the DVFS governor.
+    ThermalRunaway {
+        /// Affected GPU (cluster index).
+        gpu: u32,
+        /// Onset time, seconds.
+        at_s: f64,
+        /// Time until cooling is restored, seconds.
+        duration_s: f64,
+        /// Added inlet temperature, °C.
+        inlet_delta_c: f64,
+    },
+}
+
+impl FaultEvent {
+    /// Onset time of the event, seconds.
+    pub fn at_s(&self) -> f64 {
+        match *self {
+            FaultEvent::GpuFailStop { at_s, .. }
+            | FaultEvent::LinkDegrade { at_s, .. }
+            | FaultEvent::Straggler { at_s, .. }
+            | FaultEvent::ThermalRunaway { at_s, .. } => at_s,
+        }
+    }
+
+    /// Short label for spans/traces.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultEvent::GpuFailStop { .. } => "gpu-fail-stop",
+            FaultEvent::LinkDegrade { .. } => "link-degrade",
+            FaultEvent::Straggler { .. } => "straggler",
+            FaultEvent::ThermalRunaway { .. } => "thermal-runaway",
+        }
+    }
+}
+
+/// What the training system does when a rank fail-stops, priced as a cost
+/// model (the simulator does not re-execute lost iterations; it charges
+/// their time and energy).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RecoveryPolicy {
+    /// Restart from the last periodic checkpoint: the outage is the restart
+    /// latency plus re-computing the work lost since the last checkpoint.
+    CheckpointRestart {
+        /// Seconds between checkpoints (from t = 0).
+        checkpoint_interval_s: f64,
+        /// Detection + scheduling + reload latency, seconds.
+        restart_latency_s: f64,
+    },
+    /// Swap in a hot spare: the outage is just the swap latency (weights
+    /// are recovered from peers, no work is lost).
+    SpareSwap {
+        /// Drain + swap + rejoin latency, seconds.
+        swap_latency_s: f64,
+    },
+    /// Shrink the DP group and keep going at reduced throughput; optionally
+    /// regrow after repair.
+    ElasticShrink {
+        /// Collective re-formation latency per shrink/regrow, seconds.
+        reconfig_latency_s: f64,
+        /// Seconds after the failure at which the repaired rank rejoins
+        /// (0.0 = never regrow).
+        regrow_after_s: f64,
+    },
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy::CheckpointRestart {
+            checkpoint_interval_s: 600.0,
+            restart_latency_s: 120.0,
+        }
+    }
+}
+
+/// A deterministic schedule of fault events plus the recovery policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Injected events (any order; the engine sorts by onset time).
+    pub events: Vec<FaultEvent>,
+    /// How fail-stops are recovered.
+    pub recovery: RecoveryPolicy,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: a run with it is byte-identical to a fault-free run.
+    pub fn none() -> Self {
+        FaultPlan {
+            events: Vec::new(),
+            recovery: RecoveryPolicy::default(),
+        }
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Set the recovery policy (chainable).
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Add a GPU fail-stop (chainable).
+    pub fn gpu_fail_stop(mut self, gpu: u32, at_s: f64) -> Self {
+        self.events.push(FaultEvent::GpuFailStop { gpu, at_s });
+        self
+    }
+
+    /// Add a link degradation window (chainable).
+    pub fn link_degrade(mut self, link: u32, at_s: f64, duration_s: f64, factor: f64) -> Self {
+        self.events.push(FaultEvent::LinkDegrade {
+            link,
+            at_s,
+            duration_s,
+            factor,
+        });
+        self
+    }
+
+    /// Add a straggler window (chainable).
+    pub fn straggler(mut self, rank: u32, at_s: f64, duration_s: f64, slowdown: f64) -> Self {
+        self.events.push(FaultEvent::Straggler {
+            rank,
+            at_s,
+            duration_s,
+            slowdown,
+        });
+        self
+    }
+
+    /// Add a thermal-runaway window (chainable).
+    pub fn thermal_runaway(
+        mut self,
+        gpu: u32,
+        at_s: f64,
+        duration_s: f64,
+        inlet_delta_c: f64,
+    ) -> Self {
+        self.events.push(FaultEvent::ThermalRunaway {
+            gpu,
+            at_s,
+            duration_s,
+            inlet_delta_c,
+        });
+        self
+    }
+
+    /// A deterministic stand-in for an exponential failure process: with a
+    /// per-GPU mean time between failures of `mtbf_s` over `num_gpus`
+    /// devices, the aggregate failure interarrival is `mtbf_s / num_gpus`.
+    /// Failure `k` lands at `(k + 1) × mtbf_s / num_gpus`, on a GPU chosen
+    /// by Knuth multiplicative hashing of `k` — seedless, so identical
+    /// arguments always produce an identical (cacheable) plan.
+    pub fn periodic_fail_stops(mtbf_s: f64, num_gpus: u32, horizon_s: f64) -> Self {
+        assert!(mtbf_s > 0.0, "MTBF must be positive, got {mtbf_s}");
+        assert!(num_gpus > 0, "need at least one GPU");
+        let mut plan = FaultPlan::none();
+        let interarrival = mtbf_s / num_gpus as f64;
+        let mut k: u64 = 0;
+        loop {
+            let at_s = (k + 1) as f64 * interarrival;
+            if at_s > horizon_s {
+                break;
+            }
+            let gpu = ((k.wrapping_mul(2_654_435_761)) % num_gpus as u64) as u32;
+            plan = plan.gpu_fail_stop(gpu, at_s);
+            k += 1;
+        }
+        plan
+    }
+
+    /// Check every event against the cluster/trace dimensions. Returns a
+    /// human-readable description of the first problem found.
+    pub fn validate(&self, num_gpus: u32, num_links: u32, world: u32) -> Result<(), String> {
+        fn finite_nonneg(name: &str, v: f64) -> Result<(), String> {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{name} must be finite and >= 0, got {v}"));
+            }
+            Ok(())
+        }
+        for (i, ev) in self.events.iter().enumerate() {
+            finite_nonneg(&format!("event {i}: at_s"), ev.at_s())?;
+            match *ev {
+                FaultEvent::GpuFailStop { gpu, .. } => {
+                    if gpu >= num_gpus {
+                        return Err(format!(
+                            "event {i}: gpu {gpu} out of range (cluster has {num_gpus})"
+                        ));
+                    }
+                }
+                FaultEvent::LinkDegrade {
+                    link,
+                    duration_s,
+                    factor,
+                    ..
+                } => {
+                    if link >= num_links {
+                        return Err(format!(
+                            "event {i}: link {link} out of range (cluster has {num_links})"
+                        ));
+                    }
+                    finite_nonneg(&format!("event {i}: duration_s"), duration_s)?;
+                    if !(factor > 0.0 && factor <= 1.0) {
+                        return Err(format!(
+                            "event {i}: degradation factor must be in (0, 1], got {factor}"
+                        ));
+                    }
+                }
+                FaultEvent::Straggler {
+                    rank,
+                    duration_s,
+                    slowdown,
+                    ..
+                } => {
+                    if rank >= world {
+                        return Err(format!(
+                            "event {i}: rank {rank} out of range (world is {world})"
+                        ));
+                    }
+                    finite_nonneg(&format!("event {i}: duration_s"), duration_s)?;
+                    if !(slowdown >= 1.0 && slowdown.is_finite()) {
+                        return Err(format!(
+                            "event {i}: slowdown must be finite and >= 1, got {slowdown}"
+                        ));
+                    }
+                }
+                FaultEvent::ThermalRunaway {
+                    gpu,
+                    duration_s,
+                    inlet_delta_c,
+                    ..
+                } => {
+                    if gpu >= num_gpus {
+                        return Err(format!(
+                            "event {i}: gpu {gpu} out of range (cluster has {num_gpus})"
+                        ));
+                    }
+                    finite_nonneg(&format!("event {i}: duration_s"), duration_s)?;
+                    if !inlet_delta_c.is_finite() || inlet_delta_c <= 0.0 {
+                        return Err(format!(
+                            "event {i}: inlet_delta_c must be finite and > 0, got {inlet_delta_c}"
+                        ));
+                    }
+                }
+            }
+        }
+        match self.recovery {
+            RecoveryPolicy::CheckpointRestart {
+                checkpoint_interval_s,
+                restart_latency_s,
+            } => {
+                if !(checkpoint_interval_s > 0.0 && checkpoint_interval_s.is_finite()) {
+                    return Err(format!(
+                        "checkpoint_interval_s must be finite and > 0, got {checkpoint_interval_s}"
+                    ));
+                }
+                finite_nonneg("restart_latency_s", restart_latency_s)?;
+            }
+            RecoveryPolicy::SpareSwap { swap_latency_s } => {
+                finite_nonneg("swap_latency_s", swap_latency_s)?;
+            }
+            RecoveryPolicy::ElasticShrink {
+                reconfig_latency_s,
+                regrow_after_s,
+            } => {
+                finite_nonneg("reconfig_latency_s", reconfig_latency_s)?;
+                finite_nonneg("regrow_after_s", regrow_after_s)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_empty_and_valid() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        assert_eq!(plan, FaultPlan::default());
+        assert!(plan.validate(8, 24, 8).is_ok());
+    }
+
+    #[test]
+    fn builders_accumulate_events() {
+        let plan = FaultPlan::none()
+            .gpu_fail_stop(3, 10.0)
+            .link_degrade(7, 2.0, 1.0, 0.5)
+            .straggler(1, 0.5, 4.0, 2.0)
+            .thermal_runaway(0, 1.0, 8.0, 15.0)
+            .with_recovery(RecoveryPolicy::SpareSwap {
+                swap_latency_s: 30.0,
+            });
+        assert_eq!(plan.events.len(), 4);
+        assert!(plan.validate(8, 24, 8).is_ok());
+        assert_eq!(plan.events[0].label(), "gpu-fail-stop");
+        assert_eq!(plan.events[0].at_s(), 10.0);
+    }
+
+    #[test]
+    fn periodic_fail_stops_are_deterministic_and_bounded() {
+        let a = FaultPlan::periodic_fail_stops(80.0, 8, 50.0);
+        let b = FaultPlan::periodic_fail_stops(80.0, 8, 50.0);
+        assert_eq!(a, b, "same arguments must yield the same plan");
+        // Interarrival 10 s over a 50 s horizon: failures at 10..=50.
+        assert_eq!(a.events.len(), 5);
+        for (k, ev) in a.events.iter().enumerate() {
+            assert!((ev.at_s() - 10.0 * (k + 1) as f64).abs() < 1e-12);
+            match ev {
+                FaultEvent::GpuFailStop { gpu, .. } => assert!(*gpu < 8),
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        assert!(a.validate(8, 24, 8).is_ok());
+    }
+
+    #[test]
+    fn periodic_fail_stops_spread_across_gpus() {
+        let plan = FaultPlan::periodic_fail_stops(8.0, 8, 8.0);
+        let gpus: std::collections::HashSet<u32> = plan
+            .events
+            .iter()
+            .map(|ev| match ev {
+                FaultEvent::GpuFailStop { gpu, .. } => *gpu,
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert!(gpus.len() > 1, "failures should not all hit one GPU");
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_targets() {
+        let gpu = FaultPlan::none().gpu_fail_stop(8, 1.0);
+        assert!(gpu.validate(8, 24, 8).unwrap_err().contains("gpu 8"));
+        let link = FaultPlan::none().link_degrade(24, 1.0, 1.0, 0.5);
+        assert!(link.validate(8, 24, 8).unwrap_err().contains("link 24"));
+        let rank = FaultPlan::none().straggler(9, 1.0, 1.0, 2.0);
+        assert!(rank.validate(8, 24, 8).unwrap_err().contains("rank 9"));
+    }
+
+    #[test]
+    fn validate_rejects_bad_magnitudes() {
+        let f = FaultPlan::none().link_degrade(0, 1.0, 1.0, 0.0);
+        assert!(f.validate(8, 24, 8).unwrap_err().contains("factor"));
+        let s = FaultPlan::none().straggler(0, 1.0, 1.0, 0.5);
+        assert!(s.validate(8, 24, 8).unwrap_err().contains("slowdown"));
+        let t = FaultPlan::none().thermal_runaway(0, 1.0, 1.0, -5.0);
+        assert!(t.validate(8, 24, 8).unwrap_err().contains("inlet_delta_c"));
+        let at = FaultPlan::none().gpu_fail_stop(0, f64::NAN);
+        assert!(at.validate(8, 24, 8).unwrap_err().contains("at_s"));
+        let ckpt = FaultPlan::none().gpu_fail_stop(0, 1.0).with_recovery(
+            RecoveryPolicy::CheckpointRestart {
+                checkpoint_interval_s: 0.0,
+                restart_latency_s: 10.0,
+            },
+        );
+        assert!(ckpt
+            .validate(8, 24, 8)
+            .unwrap_err()
+            .contains("checkpoint_interval_s"));
+    }
+
+    #[test]
+    fn plans_serialize_canonically_for_cache_keys() {
+        let plan = FaultPlan::periodic_fail_stops(80.0, 8, 30.0);
+        let a = serde_json::to_string(&plan).unwrap();
+        let b = serde_json::to_string(&plan.clone()).unwrap();
+        assert_eq!(a, b);
+        let back: FaultPlan = serde_json::from_str(&a).unwrap();
+        assert_eq!(back, plan);
+    }
+}

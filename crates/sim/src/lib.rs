@@ -29,6 +29,7 @@ pub mod analytic;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod observer;
 pub mod reference;
 pub mod result;
@@ -36,6 +37,7 @@ pub mod result;
 pub use config::SimConfig;
 pub use engine::{EngineStats, SharedPlans, Simulator};
 pub use error::SimError;
+pub use fault::{FaultEvent, FaultPlan, RecoveryPolicy};
 pub use observer::{NoopObserver, SimObserver, TaskKind};
 pub use reference::ReferenceSimulator;
 pub use result::{KernelBreakdown, OccupancyStats, SimResult, TrafficMatrix};

@@ -69,6 +69,19 @@ pub trait SimObserver {
     fn sample_tick(&mut self, gpu: u32, t_s: f64, power_w: f64, period_s: f64, measuring: bool) {
         let _ = (gpu, t_s, power_w, period_s, measuring);
     }
+
+    /// An injected fault becomes active. `fault` is the event's index in
+    /// the `FaultPlan`, `label` its kind (e.g. `gpu-fail-stop`), `target`
+    /// the affected GPU/link/rank index (`u32::MAX` = cluster-wide). For a
+    /// fail-stop the window spans the whole recovery outage.
+    fn fault_begin(&mut self, fault: u32, label: &'static str, target: u32, t_s: f64) {
+        let _ = (fault, label, target, t_s);
+    }
+
+    /// A previously begun fault recovers.
+    fn fault_end(&mut self, fault: u32, t_s: f64) {
+        let _ = (fault, t_s);
+    }
 }
 
 /// The default do-nothing observer: every hook inlines to nothing.
@@ -107,5 +120,13 @@ impl SimObserver for SpanRecorder {
 
     fn sample_tick(&mut self, gpu: u32, t_s: f64, power_w: f64, period_s: f64, measuring: bool) {
         self.power_tick(gpu, t_s, power_w, period_s, measuring);
+    }
+
+    fn fault_begin(&mut self, fault: u32, label: &'static str, target: u32, t_s: f64) {
+        SpanRecorder::fault_begin(self, fault, label, target, t_s);
+    }
+
+    fn fault_end(&mut self, fault: u32, t_s: f64) {
+        SpanRecorder::fault_end(self, fault, t_s);
     }
 }

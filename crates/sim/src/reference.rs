@@ -800,6 +800,12 @@ impl<'a, O: SimObserver> ReferenceSimulator<'a, O> {
                 .collect(),
             occupancy,
             sim_time_s: self.t,
+            // The reference engine never injects faults: resilience metrics
+            // take their fault-free identities (goodput == throughput).
+            goodput_tokens_per_s: tokens_per_s,
+            energy_wasted_j: 0.0,
+            restarts: 0,
+            fault_downtime_s: 0.0,
             profile: None,
         };
         (result, obs)

@@ -177,6 +177,18 @@ pub struct SimResult {
     pub occupancy: Vec<OccupancyStats>,
     /// Total simulated time, seconds.
     pub sim_time_s: f64,
+    /// Useful-token throughput net of failures: measured tokens over the
+    /// gross measured window *including* recovery outages and re-computed
+    /// lost work, scaled by any elastic-shrink capacity loss. Equals
+    /// [`SimResult::tokens_per_s`] exactly when no fault fired.
+    pub goodput_tokens_per_s: f64,
+    /// Energy consumed during fault outages (restart, lost-work redo,
+    /// reconfiguration) — spent without producing retained tokens. Joules.
+    pub energy_wasted_j: f64,
+    /// Number of fail-stop recoveries performed.
+    pub restarts: u64,
+    /// Total simulated time lost to fault outages, seconds.
+    pub fault_downtime_s: f64,
     /// Span-level phase/energy attribution; `None` unless the run was
     /// profiled (e.g. via `Simulator::profiled`).
     pub profile: Option<Profile>,
@@ -201,6 +213,16 @@ impl SimResult {
             0.0
         } else {
             self.tokens_per_s / self.kernel_time.len() as f64
+        }
+    }
+
+    /// Mean energy wasted per fail-stop recovery, joules (0.0 when the run
+    /// had no restarts).
+    pub fn energy_wasted_per_failure_j(&self) -> f64 {
+        if self.restarts == 0 {
+            0.0
+        } else {
+            self.energy_wasted_j / self.restarts as f64
         }
     }
 }

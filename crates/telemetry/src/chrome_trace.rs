@@ -97,6 +97,33 @@ pub fn export(rec: &SpanRecorder, node_of_gpu: &[usize]) -> Value {
         }));
     }
 
+    // Injected faults: "X" events on a dedicated "faults" pseudo-thread of
+    // the target GPU's node (cluster-wide faults land on node 0), so
+    // outages render as shaded windows above the rank tracks.
+    const FAULT_TID: u32 = 1_000_000;
+    let mut fault_nodes: Vec<usize> = Vec::new();
+    for fs in rec.fault_spans() {
+        let node = if fs.target == u32::MAX {
+            0
+        } else {
+            node_of(fs.target)
+        };
+        if !fault_nodes.contains(&node) {
+            fault_nodes.push(node);
+            events.push(json!({
+                "ph": "M", "name": "thread_name", "pid": node, "tid": FAULT_TID,
+                "args": { "name": "faults" },
+            }));
+        }
+        let dur = (fs.t1_s - fs.t0_s).max(0.0);
+        events.push(json!({
+            "ph": "X", "name": format!("{} #{}", fs.label, fs.fault), "cat": "fault",
+            "pid": node, "tid": FAULT_TID,
+            "ts": fs.t0_s * US_PER_S, "dur": dur * US_PER_S,
+            "args": { "target": fs.target },
+        }));
+    }
+
     // Per-GPU board power as counter tracks on the GPU's node.
     for tick in rec.power_ticks() {
         events.push(json!({
@@ -159,6 +186,39 @@ mod tests {
         assert_eq!(count("M", "process_name"), 2);
         assert_eq!(count("M", "thread_name"), 2);
         assert_eq!(count("X", "Gemm"), 2);
+    }
+
+    #[test]
+    fn fault_windows_export_under_fault_category() {
+        let mut r = SpanRecorder::new();
+        r.begin_task(
+            0,
+            0,
+            0,
+            SpanKind::Compute {
+                kind: ComputeKind::Gemm,
+            },
+            0.0,
+        );
+        r.end_task(0, 1.0);
+        r.fault_begin(0, "link-degrade", 1, 0.2);
+        r.fault_end(0, 0.8);
+        let v = export(&r, &[0, 0]);
+        let events = v
+            .as_object()
+            .unwrap()
+            .get("traceEvents")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        let faults: Vec<_> = events
+            .iter()
+            .filter(|e| e.as_object().unwrap().get("cat").and_then(Value::as_str) == Some("fault"))
+            .collect();
+        assert_eq!(faults.len(), 1);
+        let f = faults[0].as_object().unwrap();
+        assert_eq!(f.get("name").unwrap().as_str(), Some("link-degrade #0"));
+        assert_eq!(f.get("ph").unwrap().as_str(), Some("X"));
     }
 
     #[test]

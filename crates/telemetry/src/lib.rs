@@ -26,6 +26,6 @@ pub mod timeseries;
 pub use aggregate::SeriesSummary;
 pub use heatmap::Heatmap;
 pub use phase::{Phase, PhaseBreakdown, Profile, SpanTotal};
-pub use spans::{FlowSpan, PowerTick, Span, SpanKind, SpanRecorder};
+pub use spans::{FaultSpan, FlowSpan, PowerTick, Span, SpanKind, SpanRecorder};
 pub use store::{GpuSample, TelemetryStore};
 pub use timeseries::TimeSeries;

@@ -91,6 +91,27 @@ pub struct FlowSpan {
     pub t1_s: f64,
 }
 
+/// One injected fault's active window (onset to recovery).
+///
+/// Opened by the simulator's `fault_begin` observer hook and closed by
+/// `fault_end`; a fault still active when the run finishes keeps
+/// `t1_s == t0_s` until closed. Exported to Perfetto under the `fault`
+/// category so outages are visible alongside the rank tracks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpan {
+    /// Fault event index within the plan (stable across runs).
+    pub fault: u32,
+    /// Kind label, e.g. `gpu-fail-stop` or `link-degrade`.
+    pub label: String,
+    /// Target entity index (GPU, link, or rank — determined by the label);
+    /// `u32::MAX` marks a cluster-wide event.
+    pub target: u32,
+    /// Onset time, seconds.
+    pub t0_s: f64,
+    /// Recovery time, seconds.
+    pub t1_s: f64,
+}
+
 /// A collective instance completing.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CollComplete {
@@ -211,6 +232,9 @@ pub struct SpanRecorder {
     open_flow_count: usize,
     completions: Vec<CollComplete>,
     power: Vec<PowerTick>,
+    fault_spans: Vec<FaultSpan>,
+    /// Open fault index: fault id → slot in `fault_spans`.
+    open_faults: HashMap<u32, usize>,
 }
 
 impl SpanRecorder {
@@ -356,6 +380,28 @@ impl SpanRecorder {
         });
     }
 
+    /// Record the onset of an injected fault.
+    pub fn fault_begin(&mut self, fault: u32, label: &str, target: u32, t_s: f64) {
+        let slot = self.fault_spans.len();
+        self.fault_spans.push(FaultSpan {
+            fault,
+            label: label.to_string(),
+            target,
+            t0_s: t_s,
+            t1_s: t_s,
+        });
+        self.open_faults.insert(fault, slot);
+    }
+
+    /// Record the recovery of a previously begun fault.
+    pub fn fault_end(&mut self, fault: u32, t_s: f64) {
+        if let Some(slot) = self.open_faults.remove(&fault) {
+            self.fault_spans[slot].t1_s = t_s;
+        } else {
+            debug_assert!(false, "fault {fault} ended but never began");
+        }
+    }
+
     /// Record one thermal-control-period power reading.
     pub fn power_tick(&mut self, gpu: u32, t_s: f64, power_w: f64, period_s: f64, measuring: bool) {
         self.power.push(PowerTick {
@@ -416,6 +462,12 @@ impl SpanRecorder {
     pub fn power_ticks(&self) -> &[PowerTick] {
         &self.power
     }
+
+    /// Fault windows in onset order (still-open windows have
+    /// `t1_s == t0_s`).
+    pub fn fault_spans(&self) -> &[FaultSpan] {
+        &self.fault_spans
+    }
 }
 
 #[cfg(test)]
@@ -457,6 +509,23 @@ mod tests {
         // FIFO: the retired flow is the one launched at t=0.
         assert_eq!(r.flows()[0].t0_s, 0.0);
         assert_eq!(r.open_flows()[0].t0_s, 1.0);
+    }
+
+    #[test]
+    fn fault_windows_open_and_close() {
+        let mut r = SpanRecorder::new();
+        r.fault_begin(0, "link-degrade", 7, 1.0);
+        r.fault_begin(1, "gpu-fail-stop", 3, 2.0);
+        r.fault_end(0, 4.0);
+        let spans = r.fault_spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].label, "link-degrade");
+        assert_eq!(spans[0].target, 7);
+        assert!((spans[0].t1_s - 4.0).abs() < 1e-12);
+        // Fault 1 is still open.
+        assert_eq!(spans[1].t0_s, spans[1].t1_s);
+        r.fault_end(1, 5.0);
+        assert!((r.fault_spans()[1].t1_s - 5.0).abs() < 1e-12);
     }
 
     #[test]

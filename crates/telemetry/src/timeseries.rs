@@ -64,16 +64,11 @@ impl TimeSeries {
 
     /// Maximum value (0.0 when empty).
     pub fn peak(&self) -> f64 {
-        self.v
-            .iter()
-            .copied()
-            .fold(f64::NEG_INFINITY, f64::max)
-            .max(0.0)
-            .min(if self.v.is_empty() {
-                0.0
-            } else {
-                f64::INFINITY
-            })
+        if self.v.is_empty() {
+            0.0
+        } else {
+            self.v.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        }
     }
 
     /// Minimum value (0.0 when empty).
@@ -149,6 +144,15 @@ mod tests {
         assert!((s.mean() - 2.0).abs() < 1e-12);
         assert_eq!(s.peak(), 3.0);
         assert_eq!(s.min(), 1.0);
+    }
+
+    #[test]
+    fn peak_of_all_negative_series_is_true_maximum() {
+        // Regression: the old `.max(0.0)` clamp reported 0.0 — a value never
+        // sampled — for any series that stayed below zero.
+        let s = series(&[(0.0, -5.0), (1.0, -2.0), (2.0, -9.0)]);
+        assert_eq!(s.peak(), -2.0);
+        assert_eq!(s.min(), -9.0);
     }
 
     #[test]

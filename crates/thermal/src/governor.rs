@@ -43,9 +43,10 @@ impl GovernorConfig {
 }
 
 /// Why the governor held the clock below boost during a period.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum ThrottleReason {
     /// No throttling: at (or recovering toward) boost.
+    #[default]
     None,
     /// Junction temperature above the throttle threshold.
     Thermal,
@@ -63,6 +64,10 @@ pub struct DvfsGovernor {
     throttled_periods: u64,
     thermal_throttled_periods: u64,
     total_busy_periods: u64,
+    /// What last dropped the clock below boost. Residual below-boost periods
+    /// (clock recovering, nothing actively stepping it down) are attributed
+    /// to this cause rather than blindly to `Thermal`.
+    cause: ThrottleReason,
 }
 
 impl DvfsGovernor {
@@ -74,6 +79,7 @@ impl DvfsGovernor {
             throttled_periods: 0,
             thermal_throttled_periods: 0,
             total_busy_periods: 0,
+            cause: ThrottleReason::None,
         }
     }
 
@@ -119,6 +125,7 @@ impl DvfsGovernor {
         if activity <= 0.0 {
             // Idle: drop toward base clock (don't count as throttling).
             self.freq_mhz = (self.freq_mhz - self.cfg.step_down_mhz).max(spec.base_clock_mhz);
+            self.cause = ThrottleReason::Idle;
             return ThrottleReason::Idle;
         }
         self.total_busy_periods += 1;
@@ -128,9 +135,10 @@ impl DvfsGovernor {
         let cap_mhz = (spec.boost_clock_mhz * cap_ratio).max(spec.min_clock_mhz);
 
         let in_thermal_band = temp_c > spec.throttle_temp_c - self.cfg.hysteresis_c;
+        let thermally_stepped = temp_c >= spec.throttle_temp_c;
         if temp_c >= spec.slowdown_temp_c {
             self.freq_mhz -= self.cfg.step_down_mhz * self.cfg.slowdown_multiplier;
-        } else if temp_c >= spec.throttle_temp_c {
+        } else if thermally_stepped {
             self.freq_mhz -= self.cfg.step_down_mhz;
         } else if !in_thermal_band {
             self.freq_mhz += self.cfg.step_up_mhz;
@@ -144,17 +152,28 @@ impl DvfsGovernor {
             .clamp(spec.min_clock_mhz, spec.boost_clock_mhz);
 
         // Throttle residency: what NVML reports is "clock held below boost
-        // while busy", not the instants the governor stepped down.
+        // while busy", not the instants the governor stepped down. An actual
+        // thermal step this period takes precedence; otherwise a binding
+        // power cap does (merely being inside the hysteresis band is a hold,
+        // not a thermal event); otherwise the residual hold is attributed to
+        // whatever originally dropped the clock — an idle drop recovering
+        // toward boost is not throttling at all.
         let held_below_boost = self.freq_mhz < 0.985 * spec.boost_clock_mhz;
-        let reason = if held_below_boost && in_thermal_band {
-            ThrottleReason::Thermal
-        } else if held_below_boost && power_capped {
-            ThrottleReason::Power
-        } else if held_below_boost {
-            // Residual recovery from an earlier throttle event.
-            ThrottleReason::Thermal
-        } else {
+        let reason = if !held_below_boost {
+            self.cause = ThrottleReason::None;
             ThrottleReason::None
+        } else if thermally_stepped {
+            self.cause = ThrottleReason::Thermal;
+            ThrottleReason::Thermal
+        } else if power_capped {
+            self.cause = ThrottleReason::Power;
+            ThrottleReason::Power
+        } else {
+            match self.cause {
+                ThrottleReason::Thermal => ThrottleReason::Thermal,
+                ThrottleReason::Power => ThrottleReason::Power,
+                ThrottleReason::Idle | ThrottleReason::None => ThrottleReason::None,
+            }
         };
         match reason {
             ThrottleReason::Thermal => {
@@ -252,6 +271,61 @@ mod tests {
             gov.update(&spec, &power, 95.0, 1.0, 1.0);
         }
         assert_eq!(gov.freq_mhz(), spec.min_clock_mhz);
+    }
+
+    #[test]
+    fn idle_drop_then_busy_recovery_is_not_thermal() {
+        // Regression: an idle period drops the clock toward base; the busy
+        // periods that follow (cool device, clock stepping back up) used to
+        // be misattributed to `Thermal` just because the clock was still
+        // below boost.
+        let (spec, power, mut gov) = setup();
+        for _ in 0..10 {
+            assert_eq!(
+                gov.update(&spec, &power, 40.0, 0.0, 1.0),
+                ThrottleReason::Idle
+            );
+        }
+        assert!(gov.freq_mhz() < 0.985 * spec.boost_clock_mhz);
+        while gov.freq_mhz() < spec.boost_clock_mhz {
+            let r = gov.update(&spec, &power, 60.0, 0.8, 1.0);
+            assert_eq!(r, ThrottleReason::None, "residual idle recovery");
+        }
+        assert_eq!(gov.thermal_throttle_ratio(), 0.0);
+        assert_eq!(gov.throttle_ratio(), 0.0);
+    }
+
+    #[test]
+    fn power_cap_inside_hysteresis_band_reports_power() {
+        // Regression: with the cap binding and the temperature inside the
+        // hysteresis band but *below* the throttle threshold (81.5 °C vs
+        // 83 °C for H200), the reason is the power cap, not thermal.
+        let (spec, power, _) = setup();
+        let mut cfg = GovernorConfig::for_spec(&spec);
+        cfg.power_cap_w = 500.0;
+        let mut gov = DvfsGovernor::new(&spec, cfg);
+        let warm = spec.throttle_temp_c - cfg.hysteresis_c / 2.0;
+        for _ in 0..20 {
+            let r = gov.update(&spec, &power, warm, 1.0, 1.0);
+            assert_eq!(r, ThrottleReason::Power);
+        }
+        assert_eq!(gov.thermal_throttle_ratio(), 0.0);
+        assert_eq!(gov.throttle_ratio(), 1.0);
+    }
+
+    #[test]
+    fn residual_after_thermal_event_stays_thermal() {
+        // The in-band hold after a genuine thermal event still reads as
+        // thermal residency (matches NVML's sustained report).
+        let (spec, power, mut gov) = setup();
+        for _ in 0..20 {
+            gov.update(&spec, &power, 86.0, 1.0, 1.0);
+        }
+        let r = gov.update(&spec, &power, 81.5, 1.0, 1.0);
+        assert_eq!(r, ThrottleReason::Thermal);
+        // Below the band, recovering: the cause is still the thermal event.
+        let r = gov.update(&spec, &power, 70.0, 1.0, 1.0);
+        assert_eq!(r, ThrottleReason::Thermal);
     }
 
     #[test]
