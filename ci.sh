@@ -38,6 +38,18 @@ echo "$out" | grep -Eq "cache after pass 2: lowered [1-9][0-9]* hits" || {
     exit 1
 }
 
+echo "==> 16k-GPU folded sweep smoke (scale_16k example)"
+out="$(cargo run --release --example scale_16k)"
+echo "$out" | grep "^wall budget:"
+echo "$out" | grep -q "within 10 s budget: OK" || {
+    echo "FAIL: 16k-GPU folded sweep blew the wall-clock budget" >&2
+    exit 1
+}
+echo "$out" | grep -Eq "^sweep cache: plans [1-9][0-9]* hits" || {
+    echo "FAIL: power-cap sweep did not share the folded plan set" >&2
+    exit 1
+}
+
 echo "==> cargo doc --workspace --no-deps (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

@@ -38,7 +38,7 @@ use charllm_models::TrainJob;
 use charllm_parallel::{ParallelismSpec, PipelineSchedule, Placement, StagePartition};
 use charllm_sim::SharedPlans;
 use charllm_trace::lower::LoweredJob;
-use charllm_trace::{DeviceHints, InferenceConfig};
+use charllm_trace::{DeviceHints, ExecutionTrace, InferenceConfig};
 
 use crate::error::CoreError;
 
@@ -103,14 +103,24 @@ impl SimCache {
     }
 
     /// The content key of a collective plan set: the cluster fingerprint,
-    /// the placement, and the lowered-trace key the plans belong to.
-    pub fn plan_key(cluster: &Cluster, placement: &Placement, lowered_key: &str) -> String {
+    /// the placement, the lowered-trace key the plans belong to, and the
+    /// symmetry-fold multiplicity the trace was lowered with (1 =
+    /// unfolded). A folded trace has different collective ids and groups
+    /// than its unfolded twin, so the two must never share a plan set.
+    pub fn plan_key(
+        cluster: &Cluster,
+        placement: &Placement,
+        lowered_key: &str,
+        fold_multiplicity: u32,
+    ) -> String {
         let placement = serde_json::to_string(placement).expect("placement serializes");
         let mut key = cluster.fingerprint();
         key.push('|');
         key.push_str(&placement);
         key.push('|');
         key.push_str(lowered_key);
+        key.push_str("|fold=");
+        key.push_str(&fold_multiplicity.to_string());
         key
     }
 
@@ -139,24 +149,28 @@ impl SimCache {
         Ok((Arc::clone(entry), false))
     }
 
-    /// The shared plan set for `(cluster, placement, lowered_key)`,
-    /// creating an empty set sized for `lowered` on a miss. Returns the
-    /// set and whether it was a hit.
+    /// The shared plan set for
+    /// `(cluster, placement, lowered_key, fold_multiplicity)`, creating an
+    /// empty set sized for `trace` on a miss. Returns the set and whether
+    /// it was a hit. Pass `fold_multiplicity` 1 for an ordinary unfolded
+    /// trace and the replica count for a symmetry-folded one (see
+    /// [`charllm_sim::fold`]).
     pub fn plans(
         &self,
         cluster: &Cluster,
         placement: &Placement,
         lowered_key: &str,
-        lowered: &LoweredJob,
+        trace: &ExecutionTrace,
+        fold_multiplicity: u32,
     ) -> (Arc<SharedPlans>, bool) {
-        let key = SimCache::plan_key(cluster, placement, lowered_key);
+        let key = SimCache::plan_key(cluster, placement, lowered_key, fold_multiplicity);
         let mut map = self.plans.lock().expect("cache poisoned");
         if let Some(hit) = map.get(&key) {
             self.plan_hits.fetch_add(1, Ordering::Relaxed);
             return (Arc::clone(hit), true);
         }
         self.plan_misses.fetch_add(1, Ordering::Relaxed);
-        let set = Arc::new(SharedPlans::for_trace(&lowered.trace));
+        let set = Arc::new(SharedPlans::for_trace(trace));
         map.insert(key, Arc::clone(&set));
         (set, false)
     }
@@ -293,17 +307,19 @@ mod tests {
             lower_train(&job, &spec, PipelineSchedule::OneFOneB, &partition, &hints).unwrap();
         let placement = Placement::identity(&cluster, lowered.trace.world()).unwrap();
         let cache = SimCache::new();
-        let (set, hit) = cache.plans(&cluster, &placement, "trace-a", &lowered);
+        let (set, hit) = cache.plans(&cluster, &placement, "trace-a", &lowered.trace, 1);
         assert!(!hit);
         assert_eq!(set.num_collectives(), lowered.trace.num_collectives());
-        let (again, hit) = cache.plans(&cluster, &placement, "trace-a", &lowered);
+        let (again, hit) = cache.plans(&cluster, &placement, "trace-a", &lowered.trace, 1);
         assert!(hit);
         assert!(Arc::ptr_eq(&set, &again));
-        let (_, hit) = cache.plans(&cluster, &placement, "trace-b", &lowered);
+        let (_, hit) = cache.plans(&cluster, &placement, "trace-b", &lowered.trace, 1);
         assert!(!hit, "different trace key, different plan set");
+        let (_, hit) = cache.plans(&cluster, &placement, "trace-a", &lowered.trace, 4);
+        assert!(!hit, "folded and unfolded plan sets never alias");
         let other = charllm_hw::presets::hgx_h100_cluster();
         let other_placement = Placement::identity(&other, lowered.trace.world()).unwrap();
-        let (_, hit) = cache.plans(&other, &other_placement, "trace-a", &lowered);
+        let (_, hit) = cache.plans(&other, &other_placement, "trace-a", &lowered.trace, 1);
         assert!(!hit, "different cluster, different plan set");
     }
 }

@@ -86,7 +86,8 @@ impl Experiment {
                     key.push_str(&serde_json::to_string(plan).expect("fault plan serializes"));
                 }
                 let (lowered, lowered_hit) = cache.lowered(&key, lower)?;
-                let (shared, plan_hit) = cache.plans(&self.cluster, &placement, &key, &lowered);
+                let (shared, plan_hit) =
+                    cache.plans(&self.cluster, &placement, &key, &lowered.trace, 1);
                 let stats = CacheStats {
                     lowered_hits: u64::from(lowered_hit),
                     lowered_misses: u64::from(!lowered_hit),

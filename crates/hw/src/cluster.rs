@@ -41,6 +41,28 @@ impl std::fmt::Display for NodeId {
     }
 }
 
+/// A two-tier rail-optimized switch fabric above the per-node NICs.
+///
+/// Inter-node traffic from a GPU in slot `s` enters leaf switch `s % rails`
+/// (its *rail*); same-rail traffic turns around at the leaf, cross-rail
+/// traffic additionally crosses the spine tier. Rail-optimized placement is
+/// what makes DP rings single-hop at SuperPOD scale: data-parallel peers
+/// occupy the same slot on every node, so their rings never leave the rail.
+///
+/// Each tier is modeled as one shared [`LinkSpec`] whose bandwidth is the
+/// tier's aggregate capacity (a non-blocking switch scales with its port
+/// count), so the per-port contention points remain the NICs — matching the
+/// paper's bottleneck analysis — while switch hops still add latency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RailFabric {
+    /// Number of rails (leaf switches); must divide the node's GPU count.
+    pub rails: usize,
+    /// Per-leaf switch spec (aggregate bandwidth, per-hop latency).
+    pub leaf: LinkSpec,
+    /// Spine tier spec (aggregate bandwidth across all leaf uplinks).
+    pub spine: LinkSpec,
+}
+
 /// A homogeneous GPU cluster: `num_nodes` identical [`NodeLayout`]s populated
 /// with one [`GpuSpec`], plus a flat table of every shared link.
 ///
@@ -58,6 +80,9 @@ pub struct Cluster {
     pcie_links: Vec<LinkId>,
     nic_links: Vec<LinkId>,
     package_bus_links: Vec<Vec<LinkId>>,
+    rail_fabric: Option<RailFabric>,
+    leaf_links: Vec<LinkId>,
+    spine_link: Option<LinkId>,
 }
 
 impl Cluster {
@@ -112,7 +137,67 @@ impl Cluster {
             pcie_links,
             nic_links,
             package_bus_links,
+            rail_fabric: None,
+            leaf_links: Vec::new(),
+            spine_link: None,
         })
+    }
+
+    /// Install a two-tier rail-optimized switch fabric above the NICs (see
+    /// [`RailFabric`]). Inter-node routes gain a leaf hop, and a
+    /// spine + second leaf hop when the endpoints sit on different rails.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidNodeLayout`] when `rails` is zero, exceeds
+    /// the node's GPU count, or does not divide it, or when a tier spec is
+    /// not [`LinkClass::Switch`](crate::LinkClass::Switch).
+    pub fn with_rail_fabric(
+        mut self,
+        rails: usize,
+        leaf: LinkSpec,
+        spine: LinkSpec,
+    ) -> Result<Self, HwError> {
+        let g = self.node.gpus_per_node;
+        if rails == 0 || rails > g || !g.is_multiple_of(rails) {
+            return Err(HwError::InvalidNodeLayout(format!(
+                "{rails} rails do not evenly partition {g} GPUs per node"
+            )));
+        }
+        for spec in [&leaf, &spine] {
+            if spec.class != crate::LinkClass::Switch {
+                return Err(HwError::InvalidNodeLayout(format!(
+                    "rail fabric tiers must be switch links, got {}",
+                    spec.class
+                )));
+            }
+        }
+        self.leaf_links = (0..rails)
+            .map(|_| {
+                let id = LinkId(self.links.len() as u32);
+                self.links.push(leaf.clone());
+                id
+            })
+            .collect();
+        let spine_id = LinkId(self.links.len() as u32);
+        self.links.push(spine.clone());
+        self.spine_link = Some(spine_id);
+        self.rail_fabric = Some(RailFabric { rails, leaf, spine });
+        Ok(self)
+    }
+
+    /// The installed rail fabric, if any.
+    pub fn rail_fabric(&self) -> Option<&RailFabric> {
+        self.rail_fabric.as_ref()
+    }
+
+    /// The rail (leaf switch index) a GPU's inter-node traffic enters.
+    /// Meaningful only when a rail fabric is installed.
+    pub fn rail_of(&self, gpu: GpuId) -> usize {
+        match &self.rail_fabric {
+            Some(rf) => self.slot_of(gpu) % rf.rails,
+            None => 0,
+        }
     }
 
     /// Cluster display name (e.g. `"32xH200"`).
@@ -243,19 +328,21 @@ impl Cluster {
     ///   non-blocking, so ports are the contention points);
     /// - inter-node: source PCIe → source NIC → destination NIC →
     ///   destination PCIe (the shared-NIC path whose contention §4.2
-    ///   analyzes).
+    ///   analyzes). With a [`RailFabric`] installed, the source's leaf
+    ///   switch sits between the NICs, plus spine → destination leaf when
+    ///   the endpoints are on different rails.
     ///
     /// # Errors
     ///
     /// Returns [`HwError::GpuOutOfRange`] for ids outside the cluster.
     pub fn route(&self, src: GpuId, dst: GpuId) -> Result<Vec<LinkId>, HwError> {
-        let mut out = Vec::with_capacity(4);
+        let mut out = Vec::with_capacity(8);
         self.route_into(src, dst, &mut out)?;
         Ok(out)
     }
 
     /// Write the route from `src` to `dst` into `out` (cleared first),
-    /// avoiding a fresh allocation per call. Routes are at most four links
+    /// avoiding a fresh allocation per call. Routes are at most seven links
     /// long, so a reused buffer never reallocates after the first call.
     /// Produces exactly the links [`Cluster::route`] would return.
     ///
@@ -283,6 +370,14 @@ impl Cluster {
         }
         out.push(self.pcie(src));
         out.push(self.nic(self.node_of(src)));
+        if self.rail_fabric.is_some() {
+            let (sr, dr) = (self.rail_of(src), self.rail_of(dst));
+            out.push(self.leaf_links[sr]);
+            if sr != dr {
+                out.push(self.spine_link.expect("fabric has a spine"));
+                out.push(self.leaf_links[dr]);
+            }
+        }
         out.push(self.nic(self.node_of(dst)));
         out.push(self.pcie(dst));
         Ok(())

@@ -36,7 +36,7 @@ pub mod node;
 pub mod presets;
 
 pub use airflow::AirflowLayout;
-pub use cluster::{Cluster, GpuId, NodeId};
+pub use cluster::{Cluster, GpuId, NodeId, RailFabric};
 pub use error::HwError;
 pub use gpu::{GpuModel, GpuSpec, Vendor};
 pub use link::{LinkClass, LinkId, LinkSpec};

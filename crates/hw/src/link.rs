@@ -39,6 +39,10 @@ pub enum LinkClass {
     Pcie,
     /// A node's InfiniBand NIC (shared by all GPUs of the node).
     Nic,
+    /// A shared switch tier of a multi-tier fabric (leaf or spine). Lives
+    /// inside the network, not on any GPU or node — telemetry counters never
+    /// see it, so it is charged to no GPU's traffic accounting.
+    Switch,
 }
 
 impl LinkClass {
@@ -51,7 +55,7 @@ impl LinkClass {
 
     /// Whether this class is internal to a node.
     pub fn is_intra_node(self) -> bool {
-        !matches!(self, LinkClass::Nic)
+        !matches!(self, LinkClass::Nic | LinkClass::Switch)
     }
 }
 
@@ -63,6 +67,7 @@ impl std::fmt::Display for LinkClass {
             LinkClass::XgmiPort => "xgmi",
             LinkClass::Pcie => "pcie",
             LinkClass::Nic => "nic",
+            LinkClass::Switch => "switch",
         };
         f.write_str(s)
     }

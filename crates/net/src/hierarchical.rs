@@ -12,20 +12,11 @@
 //! trace lowering (matching the paper's measured stack); this module is the
 //! "topology-aware collectives" recommendation of §4.2 made executable.
 
-use charllm_hw::{Cluster, GpuId, HwError, NodeId};
-use std::collections::BTreeMap;
+use charllm_hw::{Cluster, GpuId, HwError};
 
 use crate::chunking::ChunkingPolicy;
 use crate::collectives::{lower_collective, CollectiveKind, CollectivePlan};
-
-/// Group the GPUs of a collective by node, preserving order.
-fn by_node(gpus: &[GpuId], cluster: &Cluster) -> BTreeMap<NodeId, Vec<GpuId>> {
-    let mut map: BTreeMap<NodeId, Vec<GpuId>> = BTreeMap::new();
-    for &g in gpus {
-        map.entry(cluster.node_of(g)).or_default().push(g);
-    }
-    map
-}
+use crate::folding::by_node;
 
 /// Whether a hierarchical algorithm is profitable: the group spans several
 /// nodes and at least one node hosts two or more members.

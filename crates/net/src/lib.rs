@@ -19,6 +19,7 @@
 pub mod chunking;
 pub mod collectives;
 pub mod flow;
+pub mod folding;
 pub mod health;
 pub mod hierarchical;
 pub mod projection;

@@ -33,6 +33,16 @@ pub struct SimConfig {
     /// reproducing the paper's §1 anecdote where a node-level power failure
     /// made its GPUs run >4x slower and stall the whole pipeline.
     pub node_power_cap: Option<(u32, f64)>,
+    /// Cluster-wide per-GPU power cap (watts), applied symmetrically to
+    /// every GPU's DVFS governor (the paper's §6 power-capping sweeps).
+    /// Unlike [`SimConfig::node_power_cap`] this preserves cross-replica
+    /// symmetry, so folded runs stay exact under it.
+    pub gpu_power_cap_w: Option<f64>,
+    /// Replace the seeded per-GPU silicon variability with nominal
+    /// (identical) parts. Makes replicas of a symmetric placement behave
+    /// bit-identically — the precondition for symmetry folding — at the
+    /// cost of the paper's part-to-part spread.
+    pub uniform_variability: bool,
     /// Live-entity count (in-flight flows + computing ranks) above which
     /// the scheduler switches from a contiguous linear fold to the indexed
     /// completion heap. Both paths produce bit-identical timesteps; the
@@ -58,6 +68,8 @@ impl Default for SimConfig {
             thermal_feedback: true,
             prewarm: true,
             node_power_cap: None,
+            gpu_power_cap_w: None,
+            uniform_variability: false,
             sched_heap_threshold: 256,
         }
     }

@@ -28,7 +28,7 @@
 //! `tests/engine_golden.rs` enforce this on serialized [`SimResult`]s.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 use std::sync::{Arc, OnceLock};
 
 use charllm_hw::{Cluster, GpuId, LinkClass};
@@ -81,10 +81,36 @@ struct CollState {
     waiters: Vec<usize>,
 }
 
-/// Longest route any preset topology produces (pcie → nic → nic → pcie).
-/// Plan data is inlined into fixed arrays of this size so the per-event
-/// rate and charge loops never chase a pointer.
-const MAX_ROUTE_LINKS: usize = 4;
+impl CollState {
+    /// Reset for a fresh instance, keeping the waiter list's allocation.
+    fn reset(&mut self) {
+        self.arrived = 0;
+        self.launched = false;
+        self.flows_remaining = 0;
+        self.complete = false;
+        self.waits_passed = 0;
+        self.waiters.clear();
+    }
+}
+
+/// One parity slot of the flat collective-state slab. Live instances of a
+/// collective id are at most two iterations apart (a rank can only run
+/// ahead of a group peer by the in-flight iteration window the trace's
+/// waits enforce), so `[coll][iteration & 1]` addresses every live
+/// instance with a dense array instead of a hash map. `arrive` asserts the
+/// invariant on every miss.
+#[derive(Debug, Default)]
+struct CollSlot {
+    iter: u32,
+    live: bool,
+    state: CollState,
+}
+
+/// Longest route any preset topology produces (pcie → nic → leaf → spine →
+/// leaf → nic → pcie on a rail-fabric cluster). Plan data is inlined into
+/// fixed arrays of this size so the per-event rate and charge loops never
+/// chase a pointer.
+const MAX_ROUTE_LINKS: usize = 8;
 
 /// One flow of a cached collective plan: everything about it that is
 /// invariant across iterations, laid out for by-value copying into a
@@ -103,6 +129,12 @@ struct PlanFlow {
     /// Per-link `bw_gbps * 1e9`, premultiplied so the rate loop divides
     /// the exact product the reference engine computes.
     bw1e9: [f64; MAX_ROUTE_LINKS],
+    /// Per-link load multiplier. Always 1 in an unfolded run. A
+    /// symmetry-folded run simulates one replica's intra-replica flows and
+    /// stands them in for all `D` replicas' load on *shared* (switch-tier)
+    /// links by attaching/detaching `D` load units there; replica-private
+    /// links (NVLink, PCIe, NIC) keep 1.
+    mult: [u16; MAX_ROUTE_LINKS],
     /// Telemetry/traffic owners along the route, in charge order: the
     /// `(gpu index, link class)` pairs for which the reference engine's
     /// per-link ownership match returns true.
@@ -113,7 +145,7 @@ struct PlanFlow {
 
 /// A collective lowered once: reused for every launch of its id.
 #[derive(Debug, Clone)]
-struct CollPlan {
+pub(crate) struct CollPlan {
     flows: Box<[PlanFlow]>,
 }
 
@@ -181,10 +213,13 @@ struct FlowState {
     /// Load epoch the cached `rate` was computed at (0 = never; epoch 0
     /// predates every launch, so fresh flows always recompute).
     rate_epoch: u64,
-    /// Completion-heap key this flow was last pushed with (an absolute
+    /// Completion-queue key this flow was last pushed with (an absolute
     /// predicted completion time that lower-bounds the true one). Reused
     /// verbatim when a `swap_remove` moves the flow to a new slot.
     heap_key: f64,
+    /// Location of this flow's live calendar-queue entry
+    /// ([`LOC_NONE`] = none), maintained by every push/remove/move.
+    cal_loc: u64,
     /// Position of this flow's entry in `link_flows[plan.links[l]]` for
     /// each route link `l` (the exact-membership back-pointers that make
     /// launch/retire list maintenance O(route length)).
@@ -196,16 +231,17 @@ struct FlowState {
     plan: PlanFlow,
 }
 
-/// One lazily-invalidated entry of the scheduler's completion heap, packed
-/// to 16 bytes: `key` is a conservative (lower-bound) absolute completion
-/// time computed when the entry was pushed; `meta` packs the entry kind
-/// (bit 63: 1 = compute rank, 0 = flow slot), the owner id (bits 62..32)
-/// and the owner's epoch at push time (bits 31..0). An entry is dead — and
-/// skipped on pop — unless its epoch matches the owner's current epoch.
-/// The ordering is a total min-heap order (smallest key pops first, ties
-/// broken deterministically by `meta`) — but note that pop order never
-/// affects results: `next_dt` takes an order-independent `f64::min` over
-/// the exact candidates of every popped live entry.
+/// One entry of the scheduler's completion calendar, packed to 16 bytes:
+/// `key` is a conservative (lower-bound) absolute completion time computed
+/// when the entry was pushed; `meta` packs the entry kind (bit 63: 1 =
+/// compute rank, 0 = flow slot), the owner id (bits 62..32) and the
+/// owner's epoch at push time (bits 31..0). Entries are removed *at the
+/// site that invalidates them* (re-key, retirement, slot move) via the
+/// owner's stored location, so the queue holds exactly one live entry per
+/// schedulable entity; the epoch survives as a belt-and-braces stale check
+/// (counted in [`EngineStats::heap_skips`], expected ~0). Drain order
+/// never affects results: `next_dt` takes an order-independent `f64::min`
+/// over the exact candidates of every drained live entry.
 #[derive(Debug, Clone, Copy)]
 struct HeapEntry {
     key: f64,
@@ -242,31 +278,153 @@ impl HeapEntry {
     }
 }
 
-impl PartialEq for HeapEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == std::cmp::Ordering::Equal
-    }
-}
-impl Eq for HeapEntry {}
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reversed so `BinaryHeap` (a max-heap) pops the smallest key.
-        other
-            .key
-            .total_cmp(&self.key)
-            .then_with(|| other.meta.cmp(&self.meta))
-    }
+/// Global re-key cadence: every this-many events the calendar is rebuilt
+/// from live state, re-basing the wheel at the current time and resetting
+/// the floating-point drift of conservative keys (see `next_dt`'s margin
+/// derivation).
+const REKEY_INTERVAL: u64 = 8192;
+
+/// Buckets in the calendar wheel. With the bucket width sized to ~4 mean
+/// event spacings at rebuild, the wheel horizon covers roughly a
+/// [`REKEY_INTERVAL`] of simulated progress before entries spill to the
+/// overflow list.
+const CAL_BUCKETS: usize = 2048;
+
+/// Bucket index encoding the overflow list in a packed location.
+const CAL_OVERFLOW: u32 = u32::MAX;
+
+/// Packed location meaning "no live entry".
+const LOC_NONE: u64 = u64::MAX;
+
+fn pack_loc(bucket: u32, idx: u32) -> u64 {
+    (u64::from(bucket) << 32) | u64::from(idx)
 }
 
-/// Global re-key cadence: every this-many events the heap is rebuilt from
-/// live state, bounding both heap bloat and the floating-point drift of
-/// conservative keys (see `next_dt`'s margin derivation).
-const REKEY_INTERVAL: u64 = 8192;
+/// The scheduler's completion calendar: a bucketed time wheel over
+/// absolute predicted completion times, plus an overflow list for keys
+/// beyond the wheel horizon.
+///
+/// The wheel is re-based (fresh `base`/`width`) at every `rekey_all`;
+/// between rebuilds, pushes land in `(key - base) / width` and `next_dt`
+/// drains whole buckets from the cursor up to the event bound. Draining a
+/// bucket hands back *every* entry in it — conservative keys make extra
+/// candidates harmless (each is recomputed exactly and folded with `min`),
+/// so bucket granularity cannot perturb results. Removal is O(1) by packed
+/// location (`bucket << 32 | index`), with `swap_remove` move fix-ups
+/// resolved through the moved entry's own meta word.
+#[derive(Debug)]
+struct CalendarQueue {
+    base: f64,
+    width: f64,
+    inv_width: f64,
+    buckets: Vec<Vec<HeapEntry>>,
+    overflow: Vec<HeapEntry>,
+    /// First bucket that may hold entries (all earlier ones are empty).
+    cursor: usize,
+    len: usize,
+}
+
+impl CalendarQueue {
+    fn new() -> Self {
+        CalendarQueue {
+            base: 0.0,
+            width: 1.0,
+            inv_width: 1.0,
+            buckets: Vec::new(),
+            overflow: Vec::new(),
+            cursor: CAL_BUCKETS,
+            len: 0,
+        }
+    }
+
+    /// Re-base the wheel at `base` with the given bucket `width`, dropping
+    /// every entry (callers re-push live state afterwards).
+    fn reset(&mut self, base: f64, width: f64) {
+        self.base = base;
+        self.width = width;
+        self.inv_width = 1.0 / width;
+        if self.buckets.is_empty() {
+            self.buckets = vec![Vec::new(); CAL_BUCKETS];
+        }
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.overflow.clear();
+        self.cursor = 0;
+        self.len = 0;
+    }
+
+    /// Drop every entry (mode crossing down; owners' locations are cleared
+    /// by the caller).
+    fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.overflow.clear();
+        self.cursor = CAL_BUCKETS;
+        self.len = 0;
+    }
+
+    /// Absolute start time of bucket `i`.
+    fn start_of(&self, i: usize) -> f64 {
+        self.base + i as f64 * self.width
+    }
+
+    /// First key beyond the wheel (overflow keys are all ≥ this).
+    fn horizon(&self) -> f64 {
+        self.start_of(CAL_BUCKETS)
+    }
+
+    /// Whether `t` has drifted past half the wheel: time to re-base before
+    /// fresh keys start spilling into the overflow list wholesale.
+    fn needs_rebase(&self, t: f64) -> bool {
+        t - self.base > 0.5 * CAL_BUCKETS as f64 * self.width
+    }
+
+    /// Insert an entry; returns its packed location. Keys are always
+    /// ≥ `base` (they are `t + positive` and the wheel is based at a past
+    /// `t`), so only the far side can miss the wheel.
+    fn push(&mut self, e: HeapEntry) -> u64 {
+        self.len += 1;
+        let d = (e.key - self.base) * self.inv_width;
+        if d >= CAL_BUCKETS as f64 {
+            self.overflow.push(e);
+            return pack_loc(CAL_OVERFLOW, (self.overflow.len() - 1) as u32);
+        }
+        let b = d as usize;
+        self.cursor = self.cursor.min(b);
+        self.buckets[b].push(e);
+        pack_loc(b as u32, (self.buckets[b].len() - 1) as u32)
+    }
+
+    /// Remove the entry at `loc`; returns the meta word of the entry
+    /// swapped into the vacated position (its owner's stored location must
+    /// be re-pointed to `loc`), if any.
+    fn remove(&mut self, loc: u64) -> Option<u64> {
+        let bucket = (loc >> 32) as u32;
+        let idx = (loc & 0xffff_ffff) as usize;
+        let v = if bucket == CAL_OVERFLOW {
+            &mut self.overflow
+        } else {
+            &mut self.buckets[bucket as usize]
+        };
+        v.swap_remove(idx);
+        self.len -= 1;
+        v.get(idx).map(|e| e.meta)
+    }
+
+    /// Rewrite the meta word of the entry at `loc` (flow `swap_remove`
+    /// relabeling: same key, new slot id and epoch).
+    fn patch_meta(&mut self, loc: u64, meta: u64) {
+        let bucket = (loc >> 32) as u32;
+        let idx = (loc & 0xffff_ffff) as usize;
+        if bucket == CAL_OVERFLOW {
+            self.overflow[idx].meta = meta;
+        } else {
+            self.buckets[bucket as usize][idx].meta = meta;
+        }
+    }
+}
 
 /// One engine-level fault action. Windowed plan events (`LinkDegrade`,
 /// `Straggler`, `ThermalRunaway`) are split into an on/off pair at
@@ -367,6 +525,25 @@ pub struct EngineStats {
     pub shared_plan_hits: u64,
 }
 
+/// Engine-side configuration of a symmetry-folded run, prepared by
+/// [`crate::fold`]: which ranks/nodes stay live, the switch-tier load
+/// multiplier for lazily built (intra-replica) plans, and the pre-built
+/// full-ring plans for cross-replica collectives.
+#[derive(Debug)]
+pub(crate) struct FoldSetup {
+    /// Replica count: switch-link load multiplier for lazily built plans.
+    pub(crate) switch_mult: u16,
+    /// Representative ranks (ascending).
+    pub(crate) active_ranks: Vec<u32>,
+    /// Nodes hosting representative ranks (ascending).
+    pub(crate) active_nodes: Vec<u32>,
+    /// `(collective id, plan)` pairs seeded into the plan cache: the full
+    /// original rings of the trimmed cross-replica collectives, laid onto
+    /// the fabric with multiplier 1 (they exist once in the unfolded run
+    /// too).
+    pub(crate) injected: Vec<(u32, CollPlan)>,
+}
+
 /// Executes a trace on a cluster with thermal/DVFS feedback.
 ///
 /// ```no_run
@@ -389,7 +566,11 @@ pub struct Simulator<'a, O: SimObserver = NoopObserver> {
     cfg: SimConfig,
 
     ranks: Vec<RankState>,
-    colls: HashMap<(u32, u32), CollState>,
+    /// Flat collective-state slab: `[coll][iteration & 1]` (see
+    /// [`CollSlot`] for the two-live-instances invariant).
+    colls: Vec<[CollSlot; 2]>,
+    /// Count of live slots in `colls` (the old hash map's `len`).
+    live_colls: u64,
     flows: Vec<FlowState>,
     /// Number of active flows touching each GPU (as src or dst).
     gpu_flow_count: Vec<u32>,
@@ -409,25 +590,32 @@ pub struct Simulator<'a, O: SimObserver = NoopObserver> {
     /// `FlowState::link_pos` back-pointers.
     link_flows: Vec<Vec<(u32, u8)>>,
 
-    /// The completion heap: conservative predicted completion times for
-    /// computes and flows, popped lazily in `next_dt`.
-    sched_heap: std::collections::BinaryHeap<HeapEntry>,
-    /// Buffer for live entries popped in a `next_dt` round (re-pushed after
-    /// the pop loop so they cannot be popped twice in one round).
+    /// The completion calendar: conservative predicted completion times
+    /// for computes and flows, drained bucket-wise in `next_dt`.
+    calq: CalendarQueue,
+    /// Buffer for live entries drained in a `next_dt` round (re-inserted
+    /// after the drain loop so they cannot be drained twice in one round).
     repush: Vec<HeapEntry>,
     /// Whether the scheduler is currently in heap mode (live-entity count
-    /// above [`SimConfig::sched_heap_threshold`]). In scan mode the heap is
-    /// empty and no entries are maintained.
+    /// above [`SimConfig::sched_heap_threshold`]). In scan mode the
+    /// calendar is empty and no entries are maintained.
     heap_mode: bool,
-    /// Key of each computing rank's live heap entry (`INFINITY` = none).
-    /// Lets `push_compute_key` skip the push when the stored entry is still
-    /// a valid lower bound, mirroring `rekey_flow`'s `heap_key` test.
+    /// Key of each computing rank's live calendar entry (`INFINITY` =
+    /// none). Lets `push_compute_key` skip the push when the stored entry
+    /// is still a valid lower bound, mirroring `rekey_flow`'s `heap_key`
+    /// test.
     rank_key: Vec<f64>,
-    /// Per-flow-slot epoch; a heap entry for slot `s` is live iff its epoch
+    /// Location of each rank's live calendar entry ([`LOC_NONE`] = none).
+    rank_loc: Vec<u64>,
+    /// Per-flow-slot epoch; an entry for slot `s` is live iff its epoch
     /// matches. Bumped on re-key, retirement, and `swap_remove` moves.
+    /// With push-site removal this is a belt-and-braces check only.
     flow_epoch: Vec<u32>,
     /// Per-rank epoch for compute entries (same protocol).
     rank_epoch: Vec<u32>,
+    /// EWMA of recent event spacing, sizing the calendar's bucket width at
+    /// each rebuild.
+    avg_dt: f64,
     /// Computing ranks whose rate inputs changed (deduplicated via
     /// `rank_dirty`); re-keyed in batch by `next_dt`.
     dirty_ranks: Vec<u32>,
@@ -483,6 +671,24 @@ pub struct Simulator<'a, O: SimObserver = NoopObserver> {
     traffic: TrafficMatrix,
     occ_acc: Vec<(f64, f64, f64)>,
     telemetry: TelemetryStore,
+
+    /// Switch-tier load multiplier applied to lazily built plans
+    /// (1 unfolded; the replica count in a symmetry-folded run).
+    fold_switch_mult: u16,
+    /// Ranks advanced and accounted per event: every rank unfolded, the
+    /// representative replica's ranks when folded. Ascending, fixed for
+    /// the run — keeping the unfolded iteration order bit-exact.
+    active_ranks: Vec<u32>,
+    /// Nodes whose thermal/power physics are stepped at control
+    /// boundaries (all nodes unfolded; representative nodes folded).
+    active_nodes: Vec<u32>,
+    /// GPUs sampled into telemetry: those on `active_nodes`, ascending.
+    active_gpus: Vec<u32>,
+    /// Ranks whose iteration has reached `cfg.warmup_iterations` — an O(1)
+    /// stand-in for the reference engine's all-ranks warmup scan at every
+    /// iteration boundary (the scan is O(world) per boundary, which a
+    /// folded 16k-GPU run crosses ~world times at t = 0).
+    ranks_past_warmup: usize,
 
     t: f64,
     next_control: f64,
@@ -570,6 +776,20 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
         cfg: SimConfig,
         obs: O,
     ) -> Result<Self, SimError> {
+        Self::with_observer_fold(cluster, placement, trace, cfg, obs, None)
+    }
+
+    /// [`Simulator::with_observer`] with an optional [`FoldSetup`]
+    /// restricting the live rank/node sets (see [`crate::fold`]). `None`
+    /// reproduces the unfolded engine bit-for-bit.
+    pub(crate) fn with_observer_fold(
+        cluster: &'a Cluster,
+        placement: &Placement,
+        trace: &'a ExecutionTrace,
+        cfg: SimConfig,
+        obs: O,
+        fold: Option<FoldSetup>,
+    ) -> Result<Self, SimError> {
         let problems = trace.validate();
         if !problems.is_empty() {
             return Err(SimError::InvalidTrace(problems));
@@ -594,6 +814,23 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
             ranks_of_gpu[state.gpu.index()].push(r as u32);
         }
 
+        let (fold_switch_mult, active_ranks, active_nodes, injected) = match fold {
+            Some(f) => (f.switch_mult, f.active_ranks, f.active_nodes, f.injected),
+            None => (
+                1,
+                (0..trace.world() as u32).collect(),
+                (0..cluster.num_nodes() as u32).collect(),
+                Vec::new(),
+            ),
+        };
+        let mut node_active = vec![false; cluster.num_nodes()];
+        for &n in &active_nodes {
+            node_active[n as usize] = true;
+        }
+        let active_gpus: Vec<u32> = (0..num_gpus as u32)
+            .filter(|&g| node_active[cluster.node_of(GpuId(g)).index()])
+            .collect();
+
         let num_colls = trace.num_collectives();
         let coll_class = trace.collectives().iter().map(|c| c.class()).collect();
         let coll_eager = trace.collectives().iter().map(|c| c.eager_p2p).collect();
@@ -607,9 +844,16 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
         let mut thermals = Vec::with_capacity(num_gpus);
         for gpu in cluster.gpus() {
             let spec = cluster.gpu().clone();
-            let variability = GpuVariability::for_gpu(gpu, cfg.seed);
+            let variability = if cfg.uniform_variability {
+                GpuVariability::nominal()
+            } else {
+                GpuVariability::for_gpu(gpu, cfg.seed)
+            };
             let slot = cluster.slot_of(gpu);
             let mut governor_cfg = GovernorConfig::for_spec(&spec);
+            if let Some(cap_w) = cfg.gpu_power_cap_w {
+                governor_cfg.power_cap_w = cap_w;
+            }
             if let Some((node, cap_w)) = cfg.node_power_cap {
                 if cluster.node_of(gpu) == charllm_hw::NodeId(node) {
                     governor_cfg.power_cap_w = cap_w;
@@ -622,9 +866,11 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
                 variability,
                 airflow.ambient_c,
             );
-            if cfg.prewarm && cfg.thermal_feedback {
+            if cfg.prewarm && cfg.thermal_feedback && node_active[cluster.node_of(gpu).index()] {
                 // Settle near a loaded operating point, including the
-                // inlet preheat a busy node would produce.
+                // inlet preheat a busy node would produce. Skipped for
+                // nodes a folded run never steps — their 400-step settles
+                // dominate construction at 16k GPUs.
                 let node_power = spec.tdp_w * 0.85;
                 let powers = vec![node_power; airflow.num_slots()];
                 let inlet = airflow.inlet_temp_c(slot, &powers);
@@ -637,12 +883,20 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
         let freq_ratio = thermals.iter().map(GpuThermal::freq_ratio).collect();
         let last_power_w = thermals.iter().map(GpuThermal::power_w).collect();
 
+        let mut plan_cache: Vec<Option<CollPlan>> = (0..num_colls).map(|_| None).collect();
+        for (ci, plan) in injected {
+            plan_cache[ci as usize] = Some(plan);
+        }
+
         Ok(Simulator {
             obs,
             cluster,
             trace,
             ranks,
-            colls: HashMap::new(),
+            colls: (0..num_colls)
+                .map(|_| [CollSlot::default(), CollSlot::default()])
+                .collect(),
+            live_colls: 0,
             flows: Vec::new(),
             gpu_flow_count: vec![0; num_gpus],
             link_load: vec![0; cluster.num_links()],
@@ -650,17 +904,19 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
             dirty_links: Vec::new(),
             link_dirty: vec![false; cluster.num_links()],
             link_flows: vec![Vec::new(); cluster.num_links()],
-            sched_heap: std::collections::BinaryHeap::new(),
+            calq: CalendarQueue::new(),
             repush: Vec::new(),
             heap_mode: false,
             rank_key: vec![f64::INFINITY; trace.world()],
+            rank_loc: vec![LOC_NONE; trace.world()],
             flow_epoch: Vec::new(),
             rank_epoch: vec![0; trace.world()],
+            avg_dt: cfg.control_period_s / 256.0,
             dirty_ranks: Vec::new(),
             rank_dirty: vec![false; trace.world()],
             ranks_of_gpu,
             events_since_rekey: 0,
-            plan_cache: (0..num_colls).map(|_| None).collect(),
+            plan_cache,
             shared_plans: None,
             coll_class,
             coll_eager,
@@ -682,6 +938,11 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
             traffic: TrafficMatrix::new(num_gpus),
             occ_acc: vec![(0.0, 0.0, 0.0); num_gpus],
             telemetry: TelemetryStore::new(num_gpus),
+            fold_switch_mult,
+            active_ranks,
+            active_nodes,
+            active_gpus,
+            ranks_past_warmup: 0,
             t: 0.0,
             next_control: cfg.control_period_s,
             next_sample: cfg.sample_period_s,
@@ -1041,6 +1302,9 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
 
             self.advance(dt);
             self.stats.events += 1;
+            // Event-spacing EWMA, sizing the calendar's bucket width at
+            // the next rebuild.
+            self.avg_dt += 0.125 * (dt - self.avg_dt);
 
             if self.t >= self.next_fault_t - 1e-12 {
                 self.process_due_faults();
@@ -1085,17 +1349,21 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
                 self.iteration_complete_at[iter] = self.iteration_complete_at[iter].max(self.t);
                 self.ranks[rank].iteration += 1;
                 self.ranks[rank].step_idx = 0;
+                // Iterations only ever increment by one, so every rank
+                // crosses `== warmup_iterations` exactly once (when warmup
+                // is 0, `measure_start` is already set at construction);
+                // the counter therefore reaches `world` at exactly the
+                // boundary event where the reference engine's all-ranks
+                // scan first succeeds.
+                if self.ranks[rank].iteration == self.cfg.warmup_iterations {
+                    self.ranks_past_warmup += 1;
+                }
                 if self.ranks[rank].iteration >= self.cfg.iterations {
                     self.ranks[rank].mode = RankMode::Finished;
                     self.finished_ranks += 1;
                     return;
                 }
-                if self.measure_start.is_none()
-                    && self
-                        .ranks
-                        .iter()
-                        .all(|r| r.iteration >= self.cfg.warmup_iterations)
-                {
+                if self.measure_start.is_none() && self.ranks_past_warmup == self.ranks.len() {
                     self.measure_start = Some(self.t);
                 }
                 continue;
@@ -1126,32 +1394,35 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
                 Step::CollWait { coll } => {
                     let key = (self.ranks[rank].iteration as u32, coll.0);
                     let need = self.wait_count[coll.0 as usize];
-                    let blocked = match self.colls.get_mut(&key) {
-                        Some(state) if state.complete => {
-                            state.waits_passed += 1;
-                            if state.waits_passed >= need {
-                                self.colls.remove(&key);
+                    let slot = &mut self.colls[coll.0 as usize][(key.0 & 1) as usize];
+                    let blocked = if slot.live && slot.iter == key.0 {
+                        if slot.state.complete {
+                            slot.state.waits_passed += 1;
+                            if slot.state.waits_passed >= need {
+                                slot.live = false;
+                                self.live_colls -= 1;
                                 self.stats.colls_retired += 1;
                             }
                             false
-                        }
-                        Some(state) => {
-                            state.waiters.push(rank);
+                        } else {
+                            slot.state.waiters.push(rank);
                             self.ranks[rank].mode = RankMode::Waiting { coll: coll.0 };
                             true
                         }
-                        None => {
-                            self.colls.insert(
-                                key,
-                                CollState {
-                                    waiters: vec![rank],
-                                    ..CollState::default()
-                                },
-                            );
-                            self.note_live_colls();
-                            self.ranks[rank].mode = RankMode::Waiting { coll: coll.0 };
-                            true
-                        }
+                    } else {
+                        assert!(
+                            !slot.live,
+                            "collective {} slab collision: iterations {} and {} live at once",
+                            coll.0, slot.iter, key.0
+                        );
+                        slot.iter = key.0;
+                        slot.live = true;
+                        slot.state.reset();
+                        slot.state.waiters.push(rank);
+                        self.live_colls += 1;
+                        self.note_live_colls();
+                        self.ranks[rank].mode = RankMode::Waiting { coll: coll.0 };
+                        true
                     };
                     if blocked {
                         self.obs.task_start(
@@ -1177,7 +1448,19 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
         let iter = self.ranks[rank].iteration as u32;
         let key = (iter, coll);
         let launch = {
-            let state = self.colls.entry(key).or_default();
+            let slot = &mut self.colls[ci][(iter & 1) as usize];
+            if !(slot.live && slot.iter == iter) {
+                assert!(
+                    !slot.live,
+                    "collective {coll} slab collision: iterations {} and {iter} live at once",
+                    slot.iter
+                );
+                slot.iter = iter;
+                slot.live = true;
+                slot.state.reset();
+                self.live_colls += 1;
+            }
+            let state = &mut slot.state;
             state.arrived += 1;
             let ready = self.coll_eager[ci] || state.arrived == self.coll_group_len[ci];
             if ready && !state.launched {
@@ -1198,7 +1481,13 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
             self.plan_cache[ci] = Some(plan);
             self.stats.shared_plan_hits += 1;
         } else {
-            let plan = build_plan(self.cluster, self.trace, &self.ranks, coll);
+            let plan = build_plan(
+                self.cluster,
+                self.trace,
+                &self.ranks,
+                coll,
+                self.fold_switch_mult,
+            );
             if let Some(shared) = &self.shared_plans {
                 shared.put(ci, &plan);
             }
@@ -1240,7 +1529,7 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
             let mut link_pos = [0u32; MAX_ROUTE_LINKS];
             for (l, pos) in link_pos.iter_mut().enumerate().take(pf.route_len as usize) {
                 let id = pf.links[l] as usize;
-                self.link_load[id] += 1;
+                self.link_load[id] += u32::from(pf.mult[l]);
                 self.mark_link_dirty(id);
                 if self.heap_mode {
                     *pos = self.link_flows[id].len() as u32;
@@ -1258,6 +1547,7 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
                 rate: 0.0,
                 rate_epoch: 0,
                 heap_key: f64::INFINITY,
+                cal_loc: LOC_NONE,
                 link_pos,
                 coll,
                 iteration: iter,
@@ -1266,8 +1556,9 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
             });
         }
 
-        let state = self.colls.get_mut(&key).expect("just inserted");
-        state.flows_remaining = active;
+        let slot = &mut self.colls[ci][(iter & 1) as usize];
+        debug_assert!(slot.live && slot.iter == iter, "just inserted");
+        slot.state.flows_remaining = active;
         if active == 0 {
             self.complete_coll(key, Some(rank), self.t);
         }
@@ -1284,11 +1575,17 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
     /// clock has not been bumped yet, so callers pass `t + dt`).
     fn complete_coll(&mut self, key: (u32, u32), current: Option<usize>, now: f64) {
         let need = self.wait_count[key.1 as usize];
-        let state = self.colls.get_mut(&key).expect("live collective");
-        state.complete = true;
-        let waiters = std::mem::take(&mut state.waiters);
-        state.waits_passed += waiters.len() as u32;
-        let prune = state.waits_passed >= need;
+        let slot = &mut self.colls[key.1 as usize][(key.0 & 1) as usize];
+        debug_assert!(slot.live && slot.iter == key.0, "live collective");
+        slot.state.complete = true;
+        let waiters = std::mem::take(&mut slot.state.waiters);
+        slot.state.waits_passed += waiters.len() as u32;
+        let prune = slot.state.waits_passed >= need;
+        if prune {
+            slot.live = false;
+            self.live_colls -= 1;
+            self.stats.colls_retired += 1;
+        }
         self.obs.collective_complete(key.1, key.0, now);
         for &w in &waiters {
             self.obs.task_end(w, now);
@@ -1299,14 +1596,10 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
             }
         }
         self.stats.wakes += waiters.len() as u64;
-        if prune {
-            self.colls.remove(&key);
-            self.stats.colls_retired += 1;
-        }
     }
 
     fn note_live_colls(&mut self) {
-        self.stats.peak_live_colls = self.stats.peak_live_colls.max(self.colls.len() as u64);
+        self.stats.peak_live_colls = self.stats.peak_live_colls.max(self.live_colls);
     }
 
     fn compute_rate(&self, rank: usize, kind: charllm_trace::ComputeKind) -> f64 {
@@ -1345,11 +1638,12 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
         }
     }
 
-    /// Push a fresh completion entry for a computing rank, invalidating any
-    /// previous one via its epoch — but only when the fresh prediction
-    /// undercuts the stored key (same lower-bound reasoning as
-    /// [`Self::rekey_flow`]). `force` pushes unconditionally after the heap
-    /// was cleared.
+    /// Push a fresh completion entry for a computing rank — but only when
+    /// the fresh prediction undercuts the stored key (same lower-bound
+    /// reasoning as [`Self::rekey_flow`]). The superseded entry is removed
+    /// *here*, at the push site, via the rank's stored location — not left
+    /// to be popped and skipped later. `force` pushes unconditionally
+    /// after the calendar was rebuilt.
     fn push_compute_key(&mut self, rank: usize, force: bool) {
         if let RankMode::Computing {
             kind,
@@ -1363,11 +1657,29 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
             if !force && key >= self.rank_key[rank] {
                 return;
             }
+            let old = self.rank_loc[rank];
+            if old != LOC_NONE {
+                self.calq_remove(old);
+            }
             self.rank_key[rank] = key;
             self.rank_epoch[rank] = self.rank_epoch[rank].wrapping_add(1);
-            self.sched_heap
-                .push(HeapEntry::compute(key, rank as u32, self.rank_epoch[rank]));
+            self.rank_loc[rank] =
+                self.calq
+                    .push(HeapEntry::compute(key, rank as u32, self.rank_epoch[rank]));
             self.stats.heap_pushes += 1;
+        }
+    }
+
+    /// Remove a calendar entry by location, re-pointing the owner of
+    /// whichever entry `swap_remove` moved into the vacated position.
+    fn calq_remove(&mut self, loc: u64) {
+        if let Some(meta) = self.calq.remove(loc) {
+            let id = ((meta >> 32) & 0x7fff_ffff) as usize;
+            if meta & ENTRY_COMPUTE != 0 {
+                self.rank_loc[id] = loc;
+            } else {
+                self.flows[id].cal_loc = loc;
+            }
         }
     }
 
@@ -1375,15 +1687,16 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
     /// (the exact fold the reference engine uses) and re-key its heap entry
     /// if the new prediction undercuts the stored key.
     ///
-    /// Heap keys only need to stay *lower bounds* on true completion times.
-    /// A rate decrease (the launch-storm common case) moves the completion
-    /// later, so the existing entry's key is still a valid — merely loose —
-    /// lower bound and no heap traffic happens at all; loose keys are
-    /// re-tightened lazily when they pop. Only when the fresh prediction is
-    /// *earlier* than the stored key (a rate increase) does the entry go
-    /// stale and a re-keyed one get pushed. `force` overrides the
-    /// comparison when the heap was just cleared (`rekey_all`) and every
-    /// flow needs an entry regardless.
+    /// Queue keys only need to stay *lower bounds* on true completion
+    /// times. A rate decrease (the launch-storm common case) moves the
+    /// completion later, so the existing entry's key is still a valid —
+    /// merely loose — lower bound and no queue traffic happens at all;
+    /// loose keys are re-tightened lazily when they drain. Only when the
+    /// fresh prediction is *earlier* than the stored key (a rate increase)
+    /// does the old entry get removed — at this push site, via its stored
+    /// location — and a re-keyed one inserted. `force` overrides the
+    /// comparison when the calendar was just rebuilt (`rekey_all`) and
+    /// every flow needs an entry regardless.
     fn rekey_flow(&mut self, slot: usize, force: bool) {
         let epoch = self.load_epoch;
         let f = &mut self.flows[slot];
@@ -1404,9 +1717,14 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
             return;
         }
         f.heap_key = key;
+        let old = f.cal_loc;
         self.flow_epoch[slot] = self.flow_epoch[slot].wrapping_add(1);
-        self.sched_heap
-            .push(HeapEntry::flow(key, slot as u32, self.flow_epoch[slot]));
+        if old != LOC_NONE {
+            self.calq_remove(old);
+        }
+        self.flows[slot].cal_loc =
+            self.calq
+                .push(HeapEntry::flow(key, slot as u32, self.flow_epoch[slot]));
         self.stats.heap_pushes += 1;
     }
 
@@ -1485,12 +1803,21 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
         }
     }
 
-    /// Rebuild the completion heap from live state: refresh every flow rate
-    /// and push one fresh entry per flow and computing rank. Runs every
-    /// [`REKEY_INTERVAL`] events (resetting conservative-key drift) and
-    /// whenever dead entries outnumber live ones too far (bounding memory).
+    /// Rebuild the completion calendar from live state: re-base the wheel
+    /// at the current time with a bucket width of ~4 mean event spacings,
+    /// then refresh every flow rate and push one fresh entry per flow and
+    /// computing rank. Runs every [`REKEY_INTERVAL`] events (resetting
+    /// conservative-key drift) and whenever simulated time drifts past
+    /// half the wheel horizon.
     fn rekey_all(&mut self) {
-        self.sched_heap.clear();
+        let width = (self.avg_dt * 4.0).max(1e-12);
+        self.calq.reset(self.t, width);
+        for f in &mut self.flows {
+            f.cal_loc = LOC_NONE;
+        }
+        for idx in 0..self.computing_ranks.len() {
+            self.rank_loc[self.computing_ranks[idx]] = LOC_NONE;
+        }
         for slot in 0..self.flows.len() {
             self.rekey_flow(slot, true);
         }
@@ -1538,15 +1865,19 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
                 // Crossing down (with hysteresis): the scan reads live
                 // state directly; drop the now-unmaintained entries.
                 self.heap_mode = false;
-                self.sched_heap.clear();
-            } else if self.events_since_rekey >= REKEY_INTERVAL
-                || self.sched_heap.len() > 64 + 8 * live
-            {
+                self.calq.clear();
+                for f in &mut self.flows {
+                    f.cal_loc = LOC_NONE;
+                }
+                for idx in 0..self.computing_ranks.len() {
+                    self.rank_loc[self.computing_ranks[idx]] = LOC_NONE;
+                }
+            } else if self.events_since_rekey >= REKEY_INTERVAL || self.calq.needs_rebase(self.t) {
                 self.rekey_all();
             }
         } else if live > self.cfg.sched_heap_threshold {
             // Crossing up: rebuild the link→flow membership lists (not
-            // maintained in scan mode) and the heap from live state.
+            // maintained in scan mode) and the calendar from live state.
             self.heap_mode = true;
             self.rebuild_link_membership();
             self.rekey_all();
@@ -1584,63 +1915,93 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
         self.dirty_ranks = dirty;
 
         let mut dt = self.next_control.min(self.next_fault_t) - self.t;
-        // Pop while an entry could still lower `dt`. The margin absorbs the
-        // floating-point drift a conservative key accumulates while its
-        // entry survives (`remaining -= rate·dt` plus `t += dt` roundings,
-        // ≤ ~3ε·(t+dt) per event over at most REKEY_INTERVAL events, i.e.
-        // < 1e-11·(t+dt) — four orders under the 1e-8 margin).
-        while let Some(top) = self.sched_heap.peek() {
+        // Drain calendar buckets while one could still hold an entry that
+        // lowers `dt`: a key ≤ `t + dt + margin` lies in a bucket whose
+        // start is ≤ that bound, and buckets are visited in start order, so
+        // breaking at the first bucket past the (only ever shrinking)
+        // bound covers every key that could matter. Whole buckets drain at
+        // once — the extra candidates are recomputed exactly and folded
+        // with `min`, which cannot perturb the result. The margin absorbs
+        // the floating-point drift a conservative key accumulates while
+        // its entry survives (`remaining -= rate·dt` plus `t += dt`
+        // roundings, ≤ ~3ε·(t+dt) per event over at most REKEY_INTERVAL
+        // events, i.e. < 1e-11·(t+dt) — four orders under the 1e-8
+        // margin).
+        let mut repush = std::mem::take(&mut self.repush);
+        let mut scratch = Vec::new();
+        loop {
             let margin = (self.t + dt) * 1e-8 + 1e-15;
-            if top.key > self.t + dt + margin {
-                break;
-            }
-            let mut e = self.sched_heap.pop().expect("peeked entry");
-            let candidate = if e.is_compute() {
-                let rank = e.id();
-                if self.rank_epoch[rank] != e.epoch() {
-                    self.stats.heap_skips += 1;
-                    continue;
+            let bound = self.t + dt + margin;
+            let bucket = if self.calq.cursor < CAL_BUCKETS {
+                if self.calq.start_of(self.calq.cursor) > bound {
+                    break;
                 }
-                match self.ranks[rank].mode {
-                    RankMode::Computing {
-                        kind,
-                        remaining_flops,
-                    } => remaining_flops / self.compute_rate(rank, kind),
-                    _ => {
+                let c = self.calq.cursor;
+                self.calq.cursor = c + 1;
+                std::mem::replace(&mut self.calq.buckets[c], std::mem::take(&mut scratch))
+            } else if !self.calq.overflow.is_empty() && self.calq.horizon() <= bound {
+                std::mem::take(&mut self.calq.overflow)
+            } else {
+                break;
+            };
+            self.calq.len -= bucket.len();
+            let drained_overflow = self.calq.cursor >= CAL_BUCKETS && self.calq.overflow.is_empty();
+            for mut e in bucket.iter().copied() {
+                let candidate = if e.is_compute() {
+                    let rank = e.id();
+                    if self.rank_epoch[rank] != e.epoch() {
                         self.stats.heap_skips += 1;
                         continue;
                     }
+                    self.rank_loc[rank] = LOC_NONE;
+                    match self.ranks[rank].mode {
+                        RankMode::Computing {
+                            kind,
+                            remaining_flops,
+                        } => remaining_flops / self.compute_rate(rank, kind),
+                        _ => {
+                            self.stats.heap_skips += 1;
+                            continue;
+                        }
+                    }
+                } else {
+                    let slot = e.id();
+                    if slot >= self.flows.len() || self.flow_epoch[slot] != e.epoch() {
+                        self.stats.heap_skips += 1;
+                        continue;
+                    }
+                    self.flows[slot].cal_loc = LOC_NONE;
+                    let f = &self.flows[slot];
+                    f.work_remaining / f.rate
+                };
+                dt = dt.min(candidate);
+                self.stats.heap_pops += 1;
+                // Re-tighten on the way out: the exact candidate just
+                // computed is the entry's current true completion, so a
+                // loose key (left behind by a rate decrease) is refreshed
+                // here instead of draining spuriously again next event.
+                e.key = self.t + candidate;
+                if e.is_compute() {
+                    self.rank_key[e.id()] = e.key;
+                } else {
+                    self.flows[e.id()].heap_key = e.key;
                 }
-            } else {
-                let slot = e.id();
-                if slot >= self.flows.len() || self.flow_epoch[slot] != e.epoch() {
-                    self.stats.heap_skips += 1;
-                    continue;
-                }
-                let f = &self.flows[slot];
-                f.work_remaining / f.rate
-            };
-            dt = dt.min(candidate);
-            self.stats.heap_pops += 1;
-            // Re-tighten on the way out: the exact candidate just computed
-            // is the entry's current true completion, so a loose key (left
-            // behind by a rate decrease) is refreshed here instead of
-            // popping spuriously again next event.
-            e.key = self.t + candidate;
-            if e.is_compute() {
-                self.rank_key[e.id()] = e.key;
-            } else {
-                self.flows[e.id()].heap_key = e.key;
+                repush.push(e);
             }
-            self.repush.push(e);
+            // Recycle the drained bucket's allocation for the next one.
+            let mut bucket = bucket;
+            bucket.clear();
+            scratch = bucket;
+            if drained_overflow {
+                break;
+            }
         }
         let dt = dt.max(1e-9);
         // Entries whose work completes during this event's `advance` are
-        // dropped instead of re-pushed: `advance` bumps their epoch on
-        // completion, so a re-push could only ever come back as a stale
-        // skip. The predicates replicate `advance`'s completion tests
-        // bit-for-bit (same operands, same operation order).
-        let mut repush = std::mem::take(&mut self.repush);
+        // dropped instead of re-inserted (`advance` removes retiring
+        // entries by location, so nothing is left behind either way). The
+        // predicates replicate `advance`'s completion tests bit-for-bit
+        // (same operands, same operation order).
         for e in repush.drain(..) {
             let completes = if e.is_compute() {
                 match self.ranks[e.id()].mode {
@@ -1655,7 +2016,12 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
                 f.work_remaining - f.rate * dt <= 1.0
             };
             if !completes {
-                self.sched_heap.push(e);
+                let loc = self.calq.push(e);
+                if e.is_compute() {
+                    self.rank_loc[e.id()] = loc;
+                } else {
+                    self.flows[e.id()].cal_loc = loc;
+                }
             }
         }
         self.repush = repush;
@@ -1706,8 +2072,13 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
 
     /// Advance all in-flight work by `dt` and process completions.
     fn advance(&mut self, dt: f64) {
-        // Compute progress + busy accounting.
-        for rank in 0..self.ranks.len() {
+        // Compute progress + busy accounting over the active ranks (every
+        // rank in an unfolded run, in the same ascending order as the
+        // reference engine's 0..world loop; representatives only when
+        // folded — the skipped ranks are `Finished` at t = 0 with no
+        // kernels or accounting of their own).
+        for ri in 0..self.active_ranks.len() {
+            let rank = self.active_ranks[ri] as usize;
             let gpu = self.ranks[rank].gpu.index();
             let measured = self.ranks[rank].iteration >= self.cfg.warmup_iterations;
             match self.ranks[rank].mode {
@@ -1744,6 +2115,13 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
                         self.remove_computing(rank);
                         self.rank_epoch[rank] = self.rank_epoch[rank].wrapping_add(1);
                         self.rank_key[rank] = f64::INFINITY;
+                        // Retire-site removal: drop the rank's calendar
+                        // entry (if `next_dt` didn't already).
+                        let loc = self.rank_loc[rank];
+                        if loc != LOC_NONE {
+                            self.rank_loc[rank] = LOC_NONE;
+                            self.calq_remove(loc);
+                        }
                         self.ready_next.push(rank);
                     } else {
                         self.ranks[rank].mode = RankMode::Computing {
@@ -1825,20 +2203,29 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
                 loads_changed = true;
                 for l in 0..pf.route_len as usize {
                     let id = pf.links[l] as usize;
-                    self.link_load[id] -= 1;
+                    self.link_load[id] -= u32::from(pf.mult[l]);
                     self.mark_link_dirty(id);
                 }
                 if self.heap_mode {
+                    // Retire-site removal: drop the retiring flow's
+                    // calendar entry (if `next_dt` didn't already) and its
+                    // link-membership records.
+                    let loc = self.flows[i].cal_loc;
+                    if loc != LOC_NONE {
+                        self.flows[i].cal_loc = LOC_NONE;
+                        self.calq_remove(loc);
+                    }
                     self.detach_flow_links(i);
                 }
-                let state = self.colls.get_mut(&key).expect("flow has state");
-                state.flows_remaining -= 1;
-                if state.flows_remaining == 0 {
+                let slot = &mut self.colls[key.1 as usize][(key.0 & 1) as usize];
+                debug_assert!(slot.live && slot.iter == key.0, "flow has state");
+                slot.state.flows_remaining -= 1;
+                if slot.state.flows_remaining == 0 {
                     self.complete_coll(key, None, self.t + dt);
                 }
-                // Invalidate the retiring flow's entries, and the moved
-                // flow's slot-`last` entries; the moved flow re-enters the
-                // heap under its new slot with its unchanged key.
+                // The moved flow keeps its calendar entry across the
+                // `swap_remove`; only its slot id (and epoch) in the entry
+                // meta need relabeling.
                 let last = self.flows.len() - 1;
                 self.flow_epoch[i] = self.flow_epoch[i].wrapping_add(1);
                 if i != last {
@@ -1847,23 +2234,17 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
                 self.flows.swap_remove(i);
                 if self.heap_mode && i < self.flows.len() {
                     let moved = &self.flows[i];
-                    let moved_key = moved.heap_key;
-                    // If the moved flow itself retires later this same
-                    // `advance` (same completion test it will run at slot
-                    // `i`), its entry would go stale immediately — skip it.
-                    let moved_done = moved.work_remaining - moved.rate * dt <= 1.0;
+                    let moved_loc = moved.cal_loc;
                     for l in 0..moved.plan.route_len as usize {
                         let link = moved.plan.links[l] as usize;
                         let pos = moved.link_pos[l] as usize;
                         self.link_flows[link][pos].0 = i as u32;
                     }
-                    if !moved_done {
-                        self.sched_heap.push(HeapEntry::flow(
-                            moved_key,
-                            i as u32,
-                            self.flow_epoch[i],
-                        ));
-                        self.stats.heap_pushes += 1;
+                    if moved_loc != LOC_NONE {
+                        self.calq.patch_meta(
+                            moved_loc,
+                            HeapEntry::flow(0.0, i as u32, self.flow_epoch[i]).meta,
+                        );
                     }
                 }
             } else {
@@ -1914,7 +2295,8 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
         let slots = airflow.num_slots();
         let measuring = self.measure_start.is_some();
 
-        for node in 0..self.cluster.num_nodes() {
+        for ni in 0..self.active_nodes.len() {
+            let node = self.active_nodes[ni] as usize;
             let node_powers: Vec<f64> = (0..slots)
                 .map(|s| {
                     let gpu = self
@@ -1952,7 +2334,8 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
         }
 
         if self.t >= self.next_sample - 1e-12 {
-            for gpu in 0..self.cluster.num_gpus() {
+            for gi in 0..self.active_gpus.len() {
+                let gpu = self.active_gpus[gi] as usize;
                 let window = self.cfg.sample_period_s;
                 let sample = GpuSample {
                     power_w: self.last_power_w[gpu],
@@ -2093,6 +2476,7 @@ fn build_plan(
     trace: &ExecutionTrace,
     ranks: &[RankState],
     coll: u32,
+    switch_mult: u16,
 ) -> CollPlan {
     let inst = trace.collective(charllm_trace::task::CollectiveId(coll));
     let gpus: Vec<GpuId> = inst.group.iter().map(|&r| ranks[r].gpu).collect();
@@ -2104,6 +2488,18 @@ fn build_plan(
         inst.chunking,
     )
     .expect("placement-validated gpus");
+    plan_from_lowered(cluster, plan, switch_mult)
+}
+
+/// Convert a lowered [`charllm_net::CollectivePlan`] into the engine's
+/// cached form: inlined routes/bandwidths, charge lists, and the per-link
+/// load multiplier (`switch_mult` on switch-tier links, 1 elsewhere; pass 1
+/// for an unfolded plan).
+pub(crate) fn plan_from_lowered(
+    cluster: &Cluster,
+    plan: charllm_net::CollectivePlan,
+    switch_mult: u16,
+) -> CollPlan {
     let mut flows = Vec::with_capacity(plan.flows.len());
     let mut route = Vec::new();
     for flow in plan.flows {
@@ -2130,7 +2526,9 @@ fn build_plan(
                         cluster.same_package(flow.src, flow.dst)
                             && (gpu == flow.src || gpu == flow.dst)
                     }
-                    LinkClass::Nic => false,
+                    // In-network resources (NIC, switch tiers) belong to no
+                    // GPU's telemetry counters.
+                    LinkClass::Nic | LinkClass::Switch => false,
                 };
                 if owns {
                     charges.push((gpu.index() as u32, class));
@@ -2149,6 +2547,7 @@ fn build_plan(
             route_len: route.len() as u8,
             links: [0; MAX_ROUTE_LINKS],
             bw1e9: [0.0; MAX_ROUTE_LINKS],
+            mult: [1; MAX_ROUTE_LINKS],
             charge_len: charges.len() as u8,
             charge_gpu: [0; MAX_ROUTE_LINKS],
             charge_class: [LinkClass::Nic; MAX_ROUTE_LINKS],
@@ -2156,6 +2555,9 @@ fn build_plan(
         for (l, &id) in route.iter().enumerate() {
             pf.links[l] = id.index() as u32;
             pf.bw1e9[l] = cluster.link(id).bw_gbps * 1e9;
+            if cluster.link(id).class == LinkClass::Switch {
+                pf.mult[l] = switch_mult;
+            }
         }
         for (c, &(gpu, class)) in charges.iter().enumerate() {
             pf.charge_gpu[c] = gpu;

@@ -36,6 +36,10 @@ pub enum SimError {
     },
     /// A fault plan referenced out-of-range targets or bad magnitudes.
     InvalidFaultPlan(String),
+    /// A symmetry-folded run was requested for a configuration the folding
+    /// engine cannot reproduce exactly (asymmetric placement, per-node
+    /// faults, seeded silicon variability, …).
+    FoldUnsupported(String),
     /// A hardware topology query failed.
     Hw(charllm_hw::HwError),
 }
@@ -72,6 +76,9 @@ impl fmt::Display for SimError {
             ),
             SimError::InvalidFaultPlan(detail) => {
                 write!(f, "invalid fault plan: {detail}")
+            }
+            SimError::FoldUnsupported(detail) => {
+                write!(f, "symmetry folding unsupported here: {detail}")
             }
             SimError::Hw(e) => write!(f, "hardware error: {e}"),
         }

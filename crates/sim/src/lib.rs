@@ -30,6 +30,7 @@ pub mod config;
 pub mod engine;
 pub mod error;
 pub mod fault;
+pub mod fold;
 pub mod observer;
 pub mod reference;
 pub mod result;
@@ -38,6 +39,10 @@ pub use config::SimConfig;
 pub use engine::{EngineStats, SharedPlans, Simulator};
 pub use error::SimError;
 pub use fault::{FaultEvent, FaultPlan, RecoveryPolicy};
+pub use fold::{
+    detect as detect_fold, run_folded, simulate_train_folded, split_reason, FoldMap, FoldOptions,
+    FoldReport,
+};
 pub use observer::{NoopObserver, SimObserver, TaskKind};
 pub use reference::ReferenceSimulator;
 pub use result::{KernelBreakdown, OccupancyStats, SimResult, TrafficMatrix};

@@ -177,9 +177,16 @@ impl<'a, O: SimObserver> ReferenceSimulator<'a, O> {
         let mut thermals = Vec::with_capacity(num_gpus);
         for gpu in cluster.gpus() {
             let spec = cluster.gpu().clone();
-            let variability = GpuVariability::for_gpu(gpu, cfg.seed);
+            let variability = if cfg.uniform_variability {
+                GpuVariability::nominal()
+            } else {
+                GpuVariability::for_gpu(gpu, cfg.seed)
+            };
             let slot = cluster.slot_of(gpu);
             let mut governor_cfg = GovernorConfig::for_spec(&spec);
+            if let Some(cap_w) = cfg.gpu_power_cap_w {
+                governor_cfg.power_cap_w = cap_w;
+            }
             if let Some((node, cap_w)) = cfg.node_power_cap {
                 if cluster.node_of(gpu) == charllm_hw::NodeId(node) {
                     governor_cfg.power_cap_w = cap_w;
@@ -622,7 +629,7 @@ impl<'a, O: SimObserver> ReferenceSimulator<'a, O> {
                             // Package bus: charge both endpoints.
                             self.cluster.same_package(src, dst) && (gpu == src || gpu == dst)
                         }
-                        charllm_hw::LinkClass::Nic => false,
+                        charllm_hw::LinkClass::Nic | charllm_hw::LinkClass::Switch => false,
                     };
                     if owns {
                         if measured {

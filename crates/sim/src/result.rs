@@ -86,14 +86,14 @@ impl KernelBreakdown {
 /// Per-GPU traffic by link class, bytes over the measured iterations.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrafficMatrix {
-    bytes: Vec<[f64; 5]>,
+    bytes: Vec<[f64; 6]>,
 }
 
 impl TrafficMatrix {
     /// An all-zero matrix covering `num_gpus` GPUs.
     pub fn new(num_gpus: usize) -> Self {
         TrafficMatrix {
-            bytes: vec![[0.0; 5]; num_gpus],
+            bytes: vec![[0.0; 6]; num_gpus],
         }
     }
 
@@ -104,11 +104,20 @@ impl TrafficMatrix {
             LinkClass::XgmiPort => 2,
             LinkClass::Pcie => 3,
             LinkClass::Nic => 4,
+            LinkClass::Switch => 5,
         }
     }
 
     pub(crate) fn add(&mut self, gpu: usize, class: LinkClass, bytes: f64) {
         self.bytes[gpu][Self::idx(class)] += bytes;
+    }
+
+    /// Overwrite one GPU's row with a copy of another's (symmetry-folded
+    /// result expansion).
+    pub(crate) fn copy_gpu(&mut self, from: usize, to: usize) {
+        if from != to {
+            self.bytes[to] = self.bytes[from];
+        }
     }
 
     /// Traffic of one GPU on one link class, bytes.

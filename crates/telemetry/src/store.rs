@@ -85,6 +85,24 @@ impl TelemetryStore {
         &self.pcie_gbps[gpu]
     }
 
+    /// Overwrite one GPU's series with a copy of another's (symmetry-folded
+    /// runs replicate the representative replica's telemetry onto the
+    /// replicas they skipped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn copy_gpu(&mut self, from: usize, to: usize) {
+        if from == to {
+            return;
+        }
+        self.power_w[to] = self.power_w[from].clone();
+        self.temp_c[to] = self.temp_c[from].clone();
+        self.freq_mhz[to] = self.freq_mhz[from].clone();
+        self.util[to] = self.util[from].clone();
+        self.pcie_gbps[to] = self.pcie_gbps[from].clone();
+    }
+
     /// Total energy across all GPUs, joules.
     pub fn total_energy_j(&self) -> f64 {
         self.power_w.iter().map(TimeSeries::integrate).sum()

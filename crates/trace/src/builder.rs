@@ -108,6 +108,12 @@ impl TraceBuilder {
         self.wait(rank, coll);
     }
 
+    /// Mutable access to the collective table (symmetry folding rewrites
+    /// group membership after lowering).
+    pub(crate) fn collectives_mut(&mut self) -> &mut [CollectiveInstance] {
+        &mut self.collectives
+    }
+
     /// Finish the trace.
     pub fn build(self, meta: TraceMeta) -> ExecutionTrace {
         ExecutionTrace::new(self.steps, self.collectives, meta)

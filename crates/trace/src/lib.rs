@@ -31,4 +31,7 @@ pub use builder::TraceBuilder;
 pub use task::{CollectiveInstance, ComputeKind, KernelClass, Step};
 pub use trace::ExecutionTrace;
 
-pub use lower::{lower_inference, lower_train, DeviceHints, InferenceConfig, LoweredJob};
+pub use lower::{
+    lower_inference, lower_train, lower_train_folded, DeviceHints, FoldedCollective, FoldedJob,
+    InferenceConfig, LoweredJob, TraceError,
+};

@@ -1,9 +1,11 @@
 //! Lowering workloads into execution traces.
 
+pub mod fold;
 mod grad_sync;
 mod inference;
 mod layer;
 
+pub use fold::{lower_train_folded, FoldedCollective, FoldedJob};
 pub use inference::{lower_inference, InferenceConfig};
 
 use serde::{Deserialize, Serialize};
@@ -155,6 +157,30 @@ pub fn lower_train(
     partition: &StagePartition,
     hints: &DeviceHints,
 ) -> Result<LoweredJob, TraceError> {
+    let (b, meta, grad_bytes_per_rank) =
+        lower_train_parts(job, spec, schedule, partition, hints, false)?;
+    Ok(LoweredJob {
+        trace: b.build(meta),
+        grad_bytes_per_rank,
+    })
+}
+
+/// Shared body of [`lower_train`] and [`fold::lower_train_folded`]: validate
+/// the configuration and lower rank streams into a builder.
+///
+/// With `reps_only`, only representative (dp == 0) ranks receive step
+/// streams; every other rank's stream stays empty, and collectives touched
+/// exclusively by non-representative ranks are never instantiated. Group
+/// lists of the collectives that *are* created still name the full original
+/// membership — the folded-lowering wrapper rewrites them.
+pub(crate) fn lower_train_parts(
+    job: &TrainJob,
+    spec: &ParallelismSpec,
+    schedule: PipelineSchedule,
+    partition: &StagePartition,
+    hints: &DeviceHints,
+    reps_only: bool,
+) -> Result<(TraceBuilder, TraceMeta, u64), TraceError> {
     job.validate_for_dp(spec.dp)?;
     if partition.num_stages() != spec.pp {
         return Err(TraceError::Mismatch(format!(
@@ -200,6 +226,9 @@ pub fn lower_train(
     let mut b = TraceBuilder::new(spec.world());
     for rank in 0..spec.world() {
         let coords = ctx.grid.coords(rank);
+        if reps_only && coords.dp != 0 {
+            continue;
+        }
         let ops = schedule.ops(coords.pp, spec.pp, num_mb)?;
         let backward_total = ops.iter().filter(|o| !o.is_forward()).count();
         let overlap_start_after = backward_total / 4;
@@ -228,10 +257,7 @@ pub fn lower_train(
         tokens_per_iteration: job.tokens_per_step(),
         cc_overlap: job.optim.cc_overlap,
     };
-    Ok(LoweredJob {
-        trace: b.build(meta),
-        grad_bytes_per_rank,
-    })
+    Ok((b, meta, grad_bytes_per_rank))
 }
 
 pub(crate) fn lower_forward(

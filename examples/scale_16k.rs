@@ -1,0 +1,126 @@
+//! 16k-GPU power-cap sweep in seconds: symmetry folding on a two-tier
+//! rail-optimized SuperPod.
+//!
+//! GPT-3 175B at tp8·pp16·dp128 on 2048 HGX H100 nodes (16384 GPUs).
+//! All 128 data-parallel replicas are congruent, so the folded engine
+//! steps only replica 0 (128 ranks / 16 nodes) and expands the results —
+//! each sweep point finishes in single-digit seconds where the unfolded
+//! engine would grind through 16384 rank streams. The [`SimCache`] shares
+//! one lowered trace and one collective-plan set across every cap.
+//!
+//! ```sh
+//! cargo run --release --example scale_16k
+//! ```
+
+use std::time::Instant;
+
+use charllm::SimCache;
+use charllm_hw::presets;
+use charllm_models::{presets as models, TrainJob};
+use charllm_parallel::{ParallelismSpec, PipelineSchedule, Placement, StagePartition};
+use charllm_sim::fold::{self, FoldOptions};
+use charllm_sim::SimConfig;
+use charllm_trace::{lower_train_folded, DeviceHints};
+
+/// Per-point wall-clock budget: the acceptance bar for a 16k-GPU sim.
+const WALL_BUDGET_S: f64 = 10.0;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 2048 HGX nodes × 8 H100 behind an 8-rail leaf tier + spine tier.
+    let cluster = presets::hgx_h100_superpod(2048, 8);
+    let spec = ParallelismSpec::infer_dp(8, 16, 1, cluster.num_gpus(), false)?;
+    let job = TrainJob::pretrain(models::gpt3_175b()).with_global_batch(1024);
+    let partition = StagePartition::even(job.arch.num_layers, spec.pp)?;
+    let hints = DeviceHints::for_spec(cluster.gpu());
+    let placement = Placement::identity(&cluster, spec.world())?;
+
+    println!(
+        "== {} on {} ({} GPUs, tp{}·pp{}·dp{}) ==",
+        job.arch.name,
+        cluster.name(),
+        cluster.num_gpus(),
+        spec.tp,
+        spec.pp,
+        spec.dp
+    );
+
+    let t = Instant::now();
+    let folded = lower_train_folded(&job, &spec, PipelineSchedule::OneFOneB, &partition, &hints)?;
+    println!(
+        "folded lowering: ×{} replicas, {} representative ranks, {:.2} s",
+        folded.multiplicity,
+        folded.rep_ranks.len(),
+        t.elapsed().as_secs_f64()
+    );
+
+    // One lowered trace, one plan set, four power-cap points.
+    let cache = SimCache::new();
+    let lowered_key = SimCache::lowered_key(
+        &job,
+        &spec,
+        PipelineSchedule::OneFOneB,
+        &partition,
+        &hints,
+        None,
+    );
+    let opts = FoldOptions {
+        expand_telemetry: false,
+    };
+
+    let caps: [Option<f64>; 4] = [None, Some(600.0), Some(500.0), Some(400.0)];
+    let mut max_wall_s = 0.0f64;
+    for cap in caps {
+        let mut cfg = SimConfig::fast();
+        cfg.iterations = 5;
+        cfg.warmup_iterations = 1;
+        cfg.uniform_variability = true;
+        cfg.gpu_power_cap_w = cap;
+        let (shared, plan_hit) = cache.plans(
+            &cluster,
+            &placement,
+            &lowered_key,
+            &folded.trace,
+            folded.multiplicity,
+        );
+        let t = Instant::now();
+        let (result, stats) = fold::run_folded(
+            &cluster,
+            &placement,
+            &folded,
+            &spec,
+            cfg,
+            Some(shared),
+            &opts,
+        )?;
+        let wall_s = t.elapsed().as_secs_f64();
+        max_wall_s = max_wall_s.max(wall_s);
+        let cap_label = cap.map_or("none".to_string(), |w| format!("{w:.0} W"));
+        println!(
+            "cap {cap_label:>6} | step {:.2} s | {:.2} Mtokens/s | {:.3} tokens/J | \
+             {:.2} MJ/step | wall {wall_s:.2} s | {} events (×{} ≈ {:.1}M events/s-eq) | \
+             plans {}",
+            result.step_time_s,
+            result.tokens_per_s / 1e6,
+            result.tokens_per_joule,
+            result.energy_per_step_j / 1e6,
+            stats.events,
+            folded.multiplicity,
+            stats.events as f64 * f64::from(folded.multiplicity) / wall_s / 1e6,
+            if plan_hit { "hit" } else { "miss" },
+        );
+    }
+
+    let s = cache.stats();
+    println!(
+        "sweep cache: plans {} hits / {} lookups",
+        s.plan_hits,
+        s.plan_hits + s.plan_misses
+    );
+    if max_wall_s < WALL_BUDGET_S {
+        println!("wall budget: max {max_wall_s:.2} s within {WALL_BUDGET_S:.0} s budget: OK");
+    } else {
+        println!("wall budget: max {max_wall_s:.2} s exceeds {WALL_BUDGET_S:.0} s budget: FAIL");
+        std::process::exit(1);
+    }
+    Ok(())
+}

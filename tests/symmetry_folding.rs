@@ -1,0 +1,476 @@
+//! Golden equivalence suite for symmetry folding.
+//!
+//! A folded run — representative dp == 0 replica simulated, results
+//! expanded — must be **metric-identical** to the unfolded engine on the
+//! same cluster/placement/workload: step time, throughput, per-rank kernel
+//! breakdowns, and per-GPU traffic/throttle/telemetry all equal to
+//! relative 1e-12 (a couple of ulp); cluster energy — an integral over
+//! every control tick — to 1e-10. Bit equality is deliberately
+//! not demanded: the unfolded engine's own replicas differ among
+//! themselves at the ulp level, because the flow list compacts with
+//! `swap_remove` and two concurrent flows touching one GPU accumulate into
+//! its f64 windows in history-dependent order — see
+//! [`assert_series_close`]. Folding reproduces replica 0 to that same
+//! noise floor (and is frequently bit-equal, e.g. the switchless 64-GPU
+//! case). Covered here across switchless HGX clusters, the rail-fabric
+//! SuperPod (exercising the switch-link load multiplier and injected
+//! cross-replica rings), MoE expert parallelism, permuted-but-congruent
+//! placements, and the fallback/rejection paths.
+
+use proptest::prelude::*;
+
+use charllm_hw::{presets, Cluster, GpuId};
+use charllm_models::{presets as models, TrainJob};
+use charllm_parallel::{ParallelismSpec, PipelineSchedule, Placement, RankGrid, StagePartition};
+use charllm_sim::fold::{self, FoldOptions};
+use charllm_sim::{SimConfig, SimError, SimResult, Simulator};
+use charllm_trace::{lower_train, lower_train_folded, DeviceHints};
+
+fn fold_cfg() -> SimConfig {
+    let mut cfg = SimConfig::fast();
+    cfg.uniform_variability = true;
+    cfg
+}
+
+fn spec(tp: usize, pp: usize, ep: usize, world: usize) -> ParallelismSpec {
+    ParallelismSpec::infer_dp(tp, pp, ep, world, false).unwrap()
+}
+
+fn run_unfolded(
+    cluster: &Cluster,
+    placement: &Placement,
+    job: &TrainJob,
+    spec: &ParallelismSpec,
+    cfg: SimConfig,
+) -> SimResult {
+    let partition = StagePartition::even(job.arch.num_layers, spec.pp).unwrap();
+    let hints = DeviceHints::for_spec(cluster.gpu());
+    let lowered = lower_train(job, spec, PipelineSchedule::OneFOneB, &partition, &hints).unwrap();
+    Simulator::new(cluster, placement, &lowered.trace, cfg)
+        .unwrap()
+        .run()
+        .unwrap()
+}
+
+fn run_folded(
+    cluster: &Cluster,
+    placement: &Placement,
+    job: &TrainJob,
+    spec: &ParallelismSpec,
+    cfg: SimConfig,
+    opts: &FoldOptions,
+) -> SimResult {
+    let partition = StagePartition::even(job.arch.num_layers, spec.pp).unwrap();
+    let hints = DeviceHints::for_spec(cluster.gpu());
+    let folded =
+        lower_train_folded(job, spec, PipelineSchedule::OneFOneB, &partition, &hints).unwrap();
+    assert!(folded.multiplicity > 1, "workload must actually fold");
+    let (result, _) = fold::run_folded(cluster, placement, &folded, spec, cfg, None, opts).unwrap();
+    result
+}
+
+/// Assert two telemetry series sample the same instants and agree to a
+/// relative 1e-9. Bit equality is deliberately not required: the engine's
+/// flow list compacts with `swap_remove`, so two concurrent flows touching
+/// one GPU can accumulate into its sampling window in either order — a
+/// one-ulp difference that already separates the *replicas of an unfolded
+/// run* from each other. Folding reproduces replica 0 to the same ulp.
+fn assert_series_close(
+    a: &charllm_telemetry::TimeSeries,
+    b: &charllm_telemetry::TimeSeries,
+    what: &str,
+) {
+    assert_eq!(a.times(), b.times(), "{what} sample times");
+    for (i, (x, y)) in a.values().iter().zip(b.values()).enumerate() {
+        let rel = (x - y).abs() / y.abs().max(1.0);
+        assert!(rel < 1e-9, "{what}[{i}]: {x} vs {y} (rel {rel})");
+    }
+}
+
+/// Assert two scalars agree to relative 1e-12 — the folding noise floor
+/// (see [`assert_series_close`]: ulp-level accumulation-order differences
+/// feed thermals → frequency → kernel rates, so timing metrics can drift a
+/// couple of ulp from the unfolded run, never more).
+fn assert_close(x: f64, y: f64, what: &str) {
+    let rel = (x - y).abs() / y.abs().max(1e-300);
+    assert!(rel < 1e-12, "{what}: {x} vs {y} (rel {rel})");
+}
+
+/// Assert a folded run reproduces the unfolded one metric-for-metric.
+fn assert_metric_identical(folded: &SimResult, unfolded: &SimResult) {
+    use charllm_hw::LinkClass;
+    use charllm_trace::KernelClass;
+
+    assert_close(folded.step_time_s, unfolded.step_time_s, "step time");
+    assert_close(folded.tokens_per_s, unfolded.tokens_per_s, "tokens/s");
+    assert_eq!(
+        folded.iteration_times_s.len(),
+        unfolded.iteration_times_s.len(),
+        "iteration count"
+    );
+    for (i, (x, y)) in folded
+        .iteration_times_s
+        .iter()
+        .zip(&unfolded.iteration_times_s)
+        .enumerate()
+    {
+        assert_close(*x, *y, &format!("iteration time [{i}]"));
+    }
+    assert_close(folded.sim_time_s, unfolded.sim_time_s, "sim time");
+    assert_eq!(
+        folded.kernel_time.len(),
+        unfolded.kernel_time.len(),
+        "kernel rank count"
+    );
+    for (r, (f, u)) in folded
+        .kernel_time
+        .iter()
+        .zip(&unfolded.kernel_time)
+        .enumerate()
+    {
+        for class in KernelClass::all() {
+            assert_close(
+                f.get(class),
+                u.get(class),
+                &format!("kernel time rank {r} {class:?}"),
+            );
+        }
+    }
+    assert_eq!(
+        folded.traffic.num_gpus(),
+        unfolded.traffic.num_gpus(),
+        "traffic coverage"
+    );
+    for g in 0..unfolded.traffic.num_gpus() {
+        for class in [
+            LinkClass::NvLink,
+            LinkClass::XgmiPackage,
+            LinkClass::XgmiPort,
+            LinkClass::Pcie,
+            LinkClass::Nic,
+        ] {
+            assert_close(
+                folded.traffic.get(g, class),
+                unfolded.traffic.get(g, class),
+                &format!("traffic gpu {g} {class:?}"),
+            );
+        }
+    }
+    for (g, (x, y)) in folded
+        .throttle_ratio
+        .iter()
+        .zip(&unfolded.throttle_ratio)
+        .enumerate()
+    {
+        assert_close(*x, *y, &format!("throttle gpu {g}"));
+    }
+    for (g, (x, y)) in folded
+        .thermal_throttle_ratio
+        .iter()
+        .zip(&unfolded.thermal_throttle_ratio)
+        .enumerate()
+    {
+        assert_close(*x, *y, &format!("thermal throttle gpu {g}"));
+    }
+    for (g, (f, u)) in folded.occupancy.iter().zip(&unfolded.occupancy).enumerate() {
+        assert_close(f.occupancy, u.occupancy, &format!("occupancy gpu {g}"));
+        assert_close(f.warps, u.warps, &format!("warps gpu {g}"));
+        assert_close(
+            f.threadblocks,
+            u.threadblocks,
+            &format!("threadblocks gpu {g}"),
+        );
+    }
+    assert_eq!(
+        folded.telemetry.num_gpus(),
+        unfolded.telemetry.num_gpus(),
+        "telemetry coverage"
+    );
+    for g in 0..unfolded.telemetry.num_gpus() {
+        assert_series_close(
+            folded.telemetry.power(g),
+            unfolded.telemetry.power(g),
+            "power",
+        );
+        assert_series_close(folded.telemetry.temp(g), unfolded.telemetry.temp(g), "temp");
+        assert_series_close(folded.telemetry.freq(g), unfolded.telemetry.freq(g), "freq");
+        assert_series_close(folded.telemetry.util(g), unfolded.telemetry.util(g), "util");
+        assert_series_close(folded.telemetry.pcie(g), unfolded.telemetry.pcie(g), "pcie");
+    }
+    // Energy integrates power over every control tick, so the per-tick ulp
+    // noise accumulates linearly with simulated time — the loosest of the
+    // tolerances, still ten significant digits.
+    let rel =
+        (folded.energy_per_step_j - unfolded.energy_per_step_j).abs() / unfolded.energy_per_step_j;
+    assert!(rel < 1e-10, "energy relative error {rel}");
+    let rel =
+        (folded.tokens_per_joule - unfolded.tokens_per_joule).abs() / unfolded.tokens_per_joule;
+    assert!(rel < 1e-10, "tokens/J relative error {rel}");
+}
+
+fn golden(cluster: Cluster, job: TrainJob, spec: ParallelismSpec) {
+    let placement = Placement::identity(&cluster, spec.world()).unwrap();
+    let cfg = fold_cfg();
+    let folded = run_folded(
+        &cluster,
+        &placement,
+        &job,
+        &spec,
+        cfg,
+        &FoldOptions::default(),
+    );
+    let unfolded = run_unfolded(&cluster, &placement, &job, &spec, cfg);
+    assert_metric_identical(&folded, &unfolded);
+}
+
+#[test]
+fn gpt3_64gpu_switchless_folds_exactly() {
+    golden(
+        presets::hgx_h100_with_nodes(8),
+        TrainJob::pretrain(models::gpt3_13b()).with_global_batch(16),
+        spec(8, 2, 1, 64), // dp = 4
+    );
+}
+
+#[test]
+fn gpt3_64gpu_superpod_rails_fold_exactly() {
+    // Rail-fabric SuperPod: cross-node routes traverse shared Switch links,
+    // exercising the ×dp load multiplier on intra-replica (pp) traffic and
+    // the injected full-ring plans for the dp AllReduce.
+    golden(
+        presets::hgx_h100_superpod(8, 4),
+        TrainJob::pretrain(models::gpt3_13b()).with_global_batch(16),
+        spec(8, 2, 1, 64), // dp = 4
+    );
+}
+
+#[test]
+fn gpt3_512gpu_switchless_folds_exactly() {
+    golden(
+        presets::hgx_h100_with_nodes(64),
+        TrainJob::pretrain(models::gpt3_13b()).with_global_batch(8),
+        spec(8, 8, 1, 512), // dp = 8
+    );
+}
+
+#[test]
+fn gpt3_512gpu_superpod_folds_exactly() {
+    golden(
+        presets::hgx_h100_superpod(64, 8),
+        TrainJob::pretrain(models::gpt3_13b()).with_global_batch(8),
+        spec(8, 8, 1, 512), // dp = 8
+    );
+}
+
+#[test]
+fn mixtral_expert_parallel_folds_exactly() {
+    // EP all-to-all is intra-replica: groups survive folding whole and get
+    // the switch multiplier on shared links.
+    golden(
+        presets::hgx_h100_with_nodes(8),
+        TrainJob::pretrain(models::mixtral_8x7b()).with_global_batch(16),
+        spec(1, 2, 8, 64), // dp = 4
+    );
+    golden(
+        presets::hgx_h100_superpod(8, 4),
+        TrainJob::pretrain(models::mixtral_8x7b()).with_global_batch(16),
+        spec(2, 2, 8, 64), // dp = 2
+    );
+}
+
+#[test]
+fn permuted_congruent_placement_folds_exactly() {
+    // Swap the node blocks of replicas 1 and 2: still a translated copy of
+    // replica 0, so folding must accept it and reproduce the unfolded run
+    // on the *same* permuted placement.
+    let cluster = presets::hgx_h100_with_nodes(8);
+    let s = spec(8, 2, 1, 64); // dp = 4, one node per (dp, pp) cell
+    let grid = RankGrid::new(s);
+    let table: Vec<GpuId> = (0..s.world())
+        .map(|r| {
+            let c = grid.coords(r);
+            let swapped_dp = match c.dp {
+                1 => 2,
+                2 => 1,
+                d => d,
+            };
+            GpuId((r as isize + (swapped_dp as isize - c.dp as isize) * 8) as u32)
+        })
+        .collect();
+    let placement = Placement::from_table(&cluster, table).unwrap();
+    let map = fold::detect(&cluster, &placement, &s).unwrap();
+    assert_eq!(map.multiplicity, 4);
+
+    let job = TrainJob::pretrain(models::gpt3_13b()).with_global_batch(16);
+    let cfg = fold_cfg();
+    let folded = run_folded(&cluster, &placement, &job, &s, cfg, &FoldOptions::default());
+    let unfolded = run_unfolded(&cluster, &placement, &job, &s, cfg);
+    assert_metric_identical(&folded, &unfolded);
+}
+
+#[test]
+fn incongruent_placement_falls_back_to_unfolded() {
+    // Swap two GPUs *within* replica 1 only: slots no longer match replica
+    // 0 rank-for-rank, so detection must refuse and the high-level entry
+    // point must fall back (and still agree with the plain engine).
+    let cluster = presets::hgx_h100_with_nodes(8);
+    let s = spec(8, 2, 1, 64);
+    let mut table: Vec<GpuId> = (0..s.world() as u32).map(GpuId).collect();
+    table.swap(16, 17); // ranks 16/17 live in replica 1 (dp stride 8, tp 8)
+    let placement = Placement::from_table(&cluster, table).unwrap();
+    assert!(matches!(
+        fold::detect(&cluster, &placement, &s),
+        Err(SimError::FoldUnsupported(_))
+    ));
+
+    let job = TrainJob::pretrain(models::gpt3_13b()).with_global_batch(16);
+    let partition = StagePartition::even(job.arch.num_layers, s.pp).unwrap();
+    let cfg = fold_cfg();
+    let (result, report) = fold::simulate_train_folded(
+        &cluster,
+        &placement,
+        &job,
+        &s,
+        PipelineSchedule::OneFOneB,
+        &partition,
+        cfg,
+        &FoldOptions::default(),
+    )
+    .unwrap();
+    assert!(!report.folded);
+    assert!(report.reason.is_some());
+    let unfolded = run_unfolded(&cluster, &placement, &job, &s, cfg);
+    assert_eq!(result.step_time_s, unfolded.step_time_s);
+}
+
+#[test]
+fn symmetry_breaking_config_rejects_folding() {
+    let cluster = presets::hgx_h100_with_nodes(8);
+    let s = spec(8, 2, 1, 64);
+    let placement = Placement::identity(&cluster, s.world()).unwrap();
+    let job = TrainJob::pretrain(models::gpt3_13b()).with_global_batch(16);
+    let partition = StagePartition::even(job.arch.num_layers, s.pp).unwrap();
+    let hints = DeviceHints::for_spec(cluster.gpu());
+    let folded =
+        lower_train_folded(&job, &s, PipelineSchedule::OneFOneB, &partition, &hints).unwrap();
+
+    // Per-node power cap singles out one replica's node.
+    let mut cfg = fold_cfg();
+    cfg.node_power_cap = Some((0, 4000.0));
+    let err = fold::run_folded(
+        &cluster,
+        &placement,
+        &folded,
+        &s,
+        cfg,
+        None,
+        &FoldOptions::default(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, SimError::FoldUnsupported(_)), "{err}");
+
+    // Seeded silicon variability differs per GPU across replicas.
+    let mut cfg = fold_cfg();
+    cfg.uniform_variability = false;
+    let err = fold::run_folded(
+        &cluster,
+        &placement,
+        &folded,
+        &s,
+        cfg,
+        None,
+        &FoldOptions::default(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, SimError::FoldUnsupported(_)), "{err}");
+
+    // A non-empty fault plan splits via the high-level gate.
+    let plan = charllm_sim::FaultPlan::none().gpu_fail_stop(0, 0.1);
+    assert!(fold::split_reason(&fold_cfg(), Some(&plan)).is_some());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Any placement that assigns each replica a translated copy of
+    /// replica 0's node blocks — here a random permutation of the blocks —
+    /// must fold, with one representative class per (tp, ep, pp) column.
+    #[test]
+    fn random_congruent_placements_always_fold(
+        (tp, ep) in prop_oneof![
+            Just((8usize, 1usize)),
+            Just((4, 2)),
+            Just((2, 4)),
+            Just((1, 8)),
+        ],
+        pp in prop_oneof![Just(1usize), Just(2)],
+        dp in prop_oneof![Just(2usize), Just(4)],
+        swaps in collection::vec((0usize..4, 0usize..4), 0..6),
+    ) {
+        let world = tp * ep * pp * dp;
+        let cluster = presets::hgx_h100_with_nodes(world / 8);
+        let s = ParallelismSpec::infer_dp(tp, pp, ep, world, false).unwrap();
+        let mut perm: Vec<usize> = (0..dp).collect();
+        for (a, b) in swaps {
+            perm.swap(a % dp, b % dp);
+        }
+        let grid = RankGrid::new(s);
+        let table: Vec<GpuId> = (0..world)
+            .map(|r| {
+                let c = grid.coords(r);
+                let node = perm[c.dp] + dp * c.pp;
+                GpuId((node * 8 + c.tp + tp * c.ep) as u32)
+            })
+            .collect();
+        let placement = Placement::from_table(&cluster, table).unwrap();
+        let map = fold::detect(&cluster, &placement, &s).unwrap();
+        prop_assert_eq!(map.multiplicity as usize, dp);
+        prop_assert_eq!(map.active_ranks.len(), world / dp);
+        prop_assert_eq!(map.active_nodes.len(), pp);
+    }
+}
+
+#[test]
+fn telemetry_expansion_is_optional_but_aggregates_agree() {
+    let cluster = presets::hgx_h100_with_nodes(8);
+    let s = spec(8, 2, 1, 64);
+    let placement = Placement::identity(&cluster, s.world()).unwrap();
+    let job = TrainJob::pretrain(models::gpt3_13b()).with_global_batch(16);
+    let cfg = fold_cfg();
+
+    let expanded = run_folded(
+        &cluster,
+        &placement,
+        &job,
+        &s,
+        cfg,
+        &FoldOptions {
+            expand_telemetry: true,
+        },
+    );
+    let compact = run_folded(
+        &cluster,
+        &placement,
+        &job,
+        &s,
+        cfg,
+        &FoldOptions {
+            expand_telemetry: false,
+        },
+    );
+    assert_eq!(expanded.step_time_s, compact.step_time_s);
+    assert_eq!(expanded.energy_per_step_j, compact.energy_per_step_j);
+    // Phantom GPUs mirror representatives, so peaks survive compaction.
+    assert_eq!(
+        expanded.telemetry.peak_temp_c(),
+        compact.telemetry.peak_temp_c()
+    );
+    assert_eq!(
+        expanded.telemetry.peak_power_w(),
+        compact.telemetry.peak_power_w()
+    );
+    // But the compact store only carries series for stepped GPUs.
+    let phantom = (8..16).find(|&g| !compact.telemetry.power(g).is_empty());
+    assert_eq!(phantom, None, "phantom node series must stay empty");
+    assert!(!expanded.telemetry.power(8).is_empty());
+}
