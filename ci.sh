@@ -50,6 +50,22 @@ echo "$out" | grep -Eq "^sweep cache: plans [1-9][0-9]* hits" || {
     exit 1
 }
 
+echo "==> metrics hub smoke (live_dashboard example, non-TTY JSONL + Prometheus)"
+out="$(cargo run --release --example live_dashboard)"
+echo "$out" | grep '"event":"point"' | head -1
+echo "$out" | grep -Eq '^\{"event":"point","seq":0,"index":[0-9]+,"total":32,' || {
+    echo "FAIL: live_dashboard streamed no well-formed JSONL progress event" >&2
+    exit 1
+}
+echo "$out" | grep '"event":"sweep_end"' >/dev/null || {
+    echo "FAIL: live_dashboard stream never emitted the sweep_end event" >&2
+    exit 1
+}
+echo "$out" | grep -E "^sweep_points_completed_total [1-9][0-9]*$" || {
+    echo "FAIL: final Prometheus snapshot missing sweep_points_completed_total" >&2
+    exit 1
+}
+
 echo "==> cargo doc --workspace --no-deps (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

@@ -6,10 +6,13 @@
 //! plan caching, incremental link loads, and waiter wake-lists versus
 //! per-event global recomputation. Also times the observer hook sites:
 //! `NoopObserver` (must be free — `tests/observability.rs` holds the delta
-//! under 2%) and a full `SpanRecorder` profiling run. Emits a
+//! under 2%), a full `SpanRecorder` profiling run, and an enabled
+//! `MetricsHub` shard attached via `with_metrics` (gauges publish only at
+//! control boundaries, so the delta must also sit within noise). Emits a
 //! `BENCH_sim_engine.json` record (wall-clock per run, events/s, speedup,
-//! observer deltas) for perf trajectory tracking.
+//! observer + metrics deltas) for perf trajectory tracking.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use criterion::{black_box, Criterion};
@@ -21,7 +24,7 @@ use charllm_parallel::{ParallelismSpec, PipelineSchedule, Placement, StagePartit
 use charllm_sim::fold::{self, FoldOptions};
 use charllm_sim::reference::ReferenceSimulator;
 use charllm_sim::{EngineStats, NoopObserver, SimConfig, SimResult, Simulator};
-use charllm_telemetry::SpanRecorder;
+use charllm_telemetry::{MetricsHub, SpanRecorder};
 use charllm_trace::lower::{lower_train, lower_train_folded, DeviceHints};
 use charllm_trace::ExecutionTrace;
 
@@ -71,6 +74,19 @@ fn run_reference(cluster: &Cluster, placement: &Placement, trace: &ExecutionTrac
 fn run_noop(cluster: &Cluster, placement: &Placement, trace: &ExecutionTrace) -> SimResult {
     Simulator::with_observer(cluster, placement, trace, config(), NoopObserver)
         .unwrap()
+        .run()
+        .unwrap()
+}
+
+fn run_metered(
+    cluster: &Cluster,
+    placement: &Placement,
+    trace: &ExecutionTrace,
+    hub: &Arc<MetricsHub>,
+) -> SimResult {
+    Simulator::new(cluster, placement, trace, config())
+        .unwrap()
+        .with_metrics(&hub.shard(0))
         .run()
         .unwrap()
 }
@@ -135,12 +151,26 @@ fn main() {
     // floored at zero because the code paths are identical by
     // construction — a negative reading is measurement noise, not a
     // speedup.
+    // The live metrics hub rides the same protocol: gauges publish only at
+    // control boundaries, never per event, so an enabled shard must also
+    // sit within noise. Its overhead is *not* floored — the publish sites
+    // are real code, so the signed reading is the honest one. The metered
+    // run's result must stay byte-identical to the plain run.
+    let hub = MetricsHub::new(1);
     for _ in 0..2 {
         black_box(run_new(&cluster, &placement, &trace));
         black_box(run_noop(&cluster, &placement, &trace));
+        black_box(run_metered(&cluster, &placement, &trace, &hub));
     }
+    let metered_result = run_metered(&cluster, &placement, &trace, &hub);
+    assert_eq!(
+        serde_json::to_string(&result_new).unwrap(),
+        serde_json::to_string(&metered_result).unwrap(),
+        "metrics hub changed the engine's output"
+    );
     let mut plain_rounds = Vec::new();
     let mut noop_ratios = Vec::new();
+    let mut metered_ratios = Vec::new();
     let mut recorded_ratios = Vec::new();
     let mut num_spans = 0;
     for round in 0..5 {
@@ -163,6 +193,9 @@ fn main() {
         }
         plain_rounds.push(plain_s);
         noop_ratios.push(noop_s / plain_s);
+        let t = Instant::now();
+        black_box(run_metered(&cluster, &placement, &trace, &hub));
+        metered_ratios.push(t.elapsed().as_secs_f64() / plain_s);
         if round < 3 {
             let t = Instant::now();
             let (_, recorder) = run_recorded(&cluster, &placement, &trace);
@@ -172,8 +205,10 @@ fn main() {
     }
     let plain_wall_s = median(&mut plain_rounds);
     let noop_overhead = (median(&mut noop_ratios) - 1.0).max(0.0);
+    let metered_overhead = median(&mut metered_ratios) - 1.0;
     let recorder_overhead = median(&mut recorded_ratios) - 1.0;
     let noop_wall_s = plain_wall_s * (1.0 + noop_overhead);
+    let metered_wall_s = plain_wall_s * (1.0 + metered_overhead);
     let recorded_wall_s = plain_wall_s * (1.0 + recorder_overhead);
 
     // Scale head-to-head: a 64-node (512-GPU, dp16) replay whose live set
@@ -282,6 +317,7 @@ fn main() {
     };
     let fold_opts = FoldOptions {
         expand_telemetry: false,
+        ..FoldOptions::default()
     };
     let t = Instant::now();
     let (pod_result, pod_stats) = fold::run_folded(
@@ -326,6 +362,8 @@ fn main() {
             "plain_wall_s": plain_wall_s,
             "noop_wall_s": noop_wall_s,
             "noop_overhead": noop_overhead,
+            "metrics_hub_wall_s": metered_wall_s,
+            "metrics_hub_overhead": metered_overhead,
             "span_recorder_wall_s": recorded_wall_s,
             "span_recorder_overhead": recorder_overhead,
             "spans_recorded": num_spans,
@@ -365,8 +403,9 @@ fn main() {
         speedup
     );
     println!(
-        "observer: noop {:+.2}% | span recorder {:+.2}% ({} spans)",
+        "observer: noop {:+.2}% | metrics hub {:+.2}% | span recorder {:+.2}% ({} spans)",
         noop_overhead * 100.0,
+        metered_overhead * 100.0,
         recorder_overhead * 100.0,
         num_spans
     );

@@ -37,10 +37,47 @@ use charllm_hw::Cluster;
 use charllm_models::TrainJob;
 use charllm_parallel::{ParallelismSpec, PipelineSchedule, Placement, StagePartition};
 use charllm_sim::SharedPlans;
+use charllm_telemetry::metrics::{Counter, Gauge, MetricsShard};
 use charllm_trace::lower::LoweredJob;
 use charllm_trace::{DeviceHints, ExecutionTrace, InferenceConfig};
 
 use crate::error::CoreError;
+
+/// Live-metrics handles of a [`SimCache`] (see [`SimCache::with_metrics`]).
+/// All handles are inert when the hub is disabled.
+#[derive(Debug, Default)]
+struct CacheMetrics {
+    lowered_hits: Counter,
+    lowered_misses: Counter,
+    plan_hits: Counter,
+    plan_misses: Counter,
+    lowered_key_bytes: Counter,
+    plan_key_bytes: Counter,
+    lowered_entries: Gauge,
+    plan_entries: Gauge,
+}
+
+impl CacheMetrics {
+    fn new(shard: &MetricsShard) -> Self {
+        let c = |family: &str, result: &str| {
+            shard.counter(
+                "cache_lookups_total",
+                &[("family", family), ("result", result)],
+            )
+        };
+        CacheMetrics {
+            lowered_hits: c("lowered", "hit"),
+            lowered_misses: c("lowered", "miss"),
+            plan_hits: c("plans", "hit"),
+            plan_misses: c("plans", "miss"),
+            lowered_key_bytes: shard
+                .counter("cache_inserted_key_bytes_total", &[("family", "lowered")]),
+            plan_key_bytes: shard.counter("cache_inserted_key_bytes_total", &[("family", "plans")]),
+            lowered_entries: shard.gauge("cache_entries", &[("family", "lowered")]),
+            plan_entries: shard.gauge("cache_entries", &[("family", "plans")]),
+        }
+    }
+}
 
 /// Content-keyed cache of lowered traces and collective plan sets, shared
 /// across the points of a sweep or search (see the [module docs](self)).
@@ -52,6 +89,7 @@ pub struct SimCache {
     lowered_misses: AtomicU64,
     plan_hits: AtomicU64,
     plan_misses: AtomicU64,
+    metrics: Option<CacheMetrics>,
 }
 
 /// Hit/miss counters of a [`SimCache`], either cumulative
@@ -85,6 +123,20 @@ impl SimCache {
     /// An empty cache.
     pub fn new() -> Self {
         SimCache::default()
+    }
+
+    /// An empty cache that mirrors its hit/miss counters into live metrics:
+    /// `cache_lookups_total{family, result}` and
+    /// `cache_inserted_key_bytes_total{family}` counters (content keys *are*
+    /// the serialized inputs, so key bytes proxy resident content size) plus
+    /// `cache_entries{family}` gauges. [`SimCache::stats`] is unchanged and
+    /// the per-experiment [`CacheStats`] deltas stay exact — the hub is an
+    /// additional read path, never the source of truth.
+    pub fn with_metrics(shard: &MetricsShard) -> Self {
+        SimCache {
+            metrics: shard.enabled().then(|| CacheMetrics::new(shard)),
+            ..SimCache::default()
+        }
     }
 
     /// The content key of a lowered trace: canonical JSON of every input
@@ -137,6 +189,9 @@ impl SimCache {
     ) -> Result<(Arc<LoweredJob>, bool), CoreError> {
         if let Some(hit) = self.lowered.lock().expect("cache poisoned").get(key) {
             self.lowered_hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = &self.metrics {
+                m.lowered_hits.inc();
+            }
             return Ok((Arc::clone(hit), true));
         }
         // Build outside the lock: lowering can take milliseconds and other
@@ -145,8 +200,18 @@ impl SimCache {
         let built = Arc::new(build()?);
         self.lowered_misses.fetch_add(1, Ordering::Relaxed);
         let mut map = self.lowered.lock().expect("cache poisoned");
+        let inserted = !map.contains_key(key);
         let entry = map.entry(key.to_string()).or_insert_with(|| built);
-        Ok((Arc::clone(entry), false))
+        let entry = Arc::clone(entry);
+        if let Some(m) = &self.metrics {
+            m.lowered_misses.inc();
+            if inserted {
+                m.lowered_key_bytes.add(key.len() as u64);
+            }
+            m.lowered_entries.set(map.len() as f64);
+        }
+        drop(map);
+        Ok((entry, false))
     }
 
     /// The shared plan set for
@@ -167,10 +232,18 @@ impl SimCache {
         let mut map = self.plans.lock().expect("cache poisoned");
         if let Some(hit) = map.get(&key) {
             self.plan_hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = &self.metrics {
+                m.plan_hits.inc();
+            }
             return (Arc::clone(hit), true);
         }
         self.plan_misses.fetch_add(1, Ordering::Relaxed);
         let set = Arc::new(SharedPlans::for_trace(trace));
+        if let Some(m) = &self.metrics {
+            m.plan_misses.inc();
+            m.plan_key_bytes.add(key.len() as u64);
+            m.plan_entries.set((map.len() + 1) as f64);
+        }
         map.insert(key, Arc::clone(&set));
         (set, false)
     }

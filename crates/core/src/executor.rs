@@ -83,23 +83,40 @@ impl Executor {
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
+        self.run_with_worker(items, |_, i, item| f(i, item))
+    }
+
+    /// Like [`Executor::run`], but `f` also receives the index of the pool
+    /// worker executing the item (`0..effective_workers`; always `0` on the
+    /// serial path). Metrics layers use it to attribute busy time to
+    /// per-worker series — it carries no scheduling meaning, and which
+    /// worker runs which item is *not* deterministic beyond the serial case.
+    pub fn run_with_worker<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, usize, &T) -> R + Sync,
+    {
         let workers = self.effective_workers(items.len());
         if workers <= 1 {
             return items
                 .iter()
                 .enumerate()
-                .map(|(i, item)| f(i, item))
+                .map(|(i, item)| f(0, i, item))
                 .collect();
         }
 
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
         thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
+            for w in 0..workers {
+                let f = &f;
+                let next = &next;
+                let slots = &slots;
+                scope.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(item) = items.get(i) else { break };
-                    let result = f(i, item);
+                    let result = f(w, i, item);
                     *slots[i].lock().expect("result slot poisoned") = Some(result);
                 });
             }
@@ -153,6 +170,17 @@ mod tests {
         let none: Vec<i32> = Vec::new();
         assert!(Executor::auto().run(&none, |_, &x| x).is_empty());
         assert_eq!(Executor::with_workers(8).run(&[5], |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn worker_index_in_range_and_zero_on_serial_path() {
+        let items: Vec<usize> = (0..40).collect();
+        let serial = Executor::serial().run_with_worker(&items, |w, i, _| (w, i));
+        assert!(serial.iter().all(|&(w, _)| w == 0));
+        let parallel = Executor::with_workers(4).run_with_worker(&items, |w, i, _| (w, i));
+        assert!(parallel.iter().all(|&(w, _)| w < 4));
+        let indices: Vec<usize> = parallel.iter().map(|&(_, i)| i).collect();
+        assert_eq!(indices, items);
     }
 
     #[test]

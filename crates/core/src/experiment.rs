@@ -7,6 +7,8 @@ use charllm_models::TrainJob;
 use charllm_parallel::{ParallelismSpec, PipelineSchedule, Placement, StagePartition};
 use charllm_sim::{FaultPlan, SimConfig, SimResult, Simulator};
 use charllm_telemetry::aggregate::group_mean;
+use charllm_telemetry::metrics::MetricsShard;
+use charllm_telemetry::StageTimer;
 use charllm_trace::{lower_inference, lower_train, DeviceHints, InferenceConfig};
 
 use crate::cache::{CacheStats, SimCache};
@@ -32,6 +34,8 @@ pub struct Experiment {
     profiled: bool,
     cache: Option<Arc<SimCache>>,
     faults: Option<FaultPlan>,
+    metrics: Option<MetricsShard>,
+    self_profile: bool,
 }
 
 impl Experiment {
@@ -46,6 +50,12 @@ impl Experiment {
     ///
     /// Propagates configuration, lowering and simulation errors.
     pub fn run(&self) -> Result<RunReport, CoreError> {
+        let shard = self.metrics.as_ref().filter(|s| s.enabled());
+        // Host-side self-profiling: four `Instant::now` calls per run, so
+        // the timer runs whenever anything will read it (`self_profile`
+        // puts the timings on the report; an attached shard feeds the
+        // `sim_stage_seconds` histogram).
+        let mut timer = (self.self_profile || shard.is_some()).then(StageTimer::start);
         let partition = match &self.partition {
             Some(p) => p.clone(),
             None => StagePartition::even(self.job.arch.num_layers, self.spec.pp)?,
@@ -97,6 +107,9 @@ impl Experiment {
                 (lowered, Some(shared), Some(stats))
             }
         };
+        if let Some(t) = &mut timer {
+            t.mark("lower");
+        }
         let sim = if self.profiled {
             let mut sim = Simulator::profiled(&self.cluster, &placement, &lowered.trace, self.sim)?;
             if let Some(shared) = &shared {
@@ -106,6 +119,12 @@ impl Experiment {
             }
             if let Some(plan) = &self.faults {
                 sim = sim.with_faults(plan).map_err(CoreError::from)?;
+            }
+            if let Some(s) = shard {
+                sim = sim.with_metrics(s);
+            }
+            if let Some(t) = &mut timer {
+                t.mark("plan_setup");
             }
             sim.run_profiled()?
         } else {
@@ -118,10 +137,36 @@ impl Experiment {
             if let Some(plan) = &self.faults {
                 sim = sim.with_faults(plan).map_err(CoreError::from)?;
             }
+            if let Some(s) = shard {
+                sim = sim.with_metrics(s);
+            }
+            if let Some(t) = &mut timer {
+                t.mark("plan_setup");
+            }
             sim.run()?
         };
+        if let Some(t) = &mut timer {
+            t.mark("event_loop");
+        }
         let mut report = self.report(sim, &placement);
         report.cache = cache_stats;
+        if let Some(mut t) = timer {
+            t.mark("report");
+            let timings = t.finish();
+            if let Some(s) = shard {
+                for st in &timings.stages {
+                    s.histogram(
+                        "sim_stage_seconds",
+                        &[("stage", &st.stage)],
+                        charllm_sim::fold::STAGE_SECONDS_BOUNDS,
+                    )
+                    .observe(st.seconds);
+                }
+            }
+            if self.self_profile {
+                report.stages = Some(timings);
+            }
+        }
         Ok(report)
     }
 
@@ -178,6 +223,7 @@ impl Experiment {
             mean_throttle,
             max_throttle,
             cache: None,
+            stages: None,
             sim,
         }
     }
@@ -212,6 +258,8 @@ pub struct ExperimentBuilder {
     profiled: bool,
     cache: Option<Arc<SimCache>>,
     faults: Option<FaultPlan>,
+    metrics: Option<MetricsShard>,
+    self_profile: bool,
 }
 
 impl ExperimentBuilder {
@@ -307,6 +355,25 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Publish live metrics to `shard` while the run executes: the engine's
+    /// `sim_*` gauges (sampled at control boundaries, see
+    /// [`Simulator::with_metrics`]) and the per-stage `sim_stage_seconds`
+    /// histogram. A disabled shard costs nothing; the run's results are
+    /// byte-identical either way.
+    pub fn metrics(mut self, shard: MetricsShard) -> Self {
+        self.metrics = Some(shard);
+        self
+    }
+
+    /// Record host-side wall time per pipeline stage (`lower`,
+    /// `plan_setup`, `event_loop`, `report`) into
+    /// [`RunReport::stages`](crate::RunReport::stages). Off by default so
+    /// reports compare equal across profiled and unprofiled runs.
+    pub fn self_profile(mut self, on: bool) -> Self {
+        self.self_profile = on;
+        self
+    }
+
     /// Finalize into an [`Experiment`].
     ///
     /// # Errors
@@ -335,6 +402,8 @@ impl ExperimentBuilder {
             profiled: self.profiled,
             cache: self.cache,
             faults: self.faults,
+            metrics: self.metrics,
+            self_profile: self.self_profile,
         })
     }
 

@@ -302,6 +302,7 @@ mod tests {
             mean_throttle: 0.0,
             max_throttle: 0.0,
             cache: None,
+            stages: None,
             sim,
         };
         serde_json::to_string(&r).unwrap()

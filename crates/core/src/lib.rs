@@ -42,6 +42,7 @@ pub mod insights;
 pub mod presets;
 pub mod report;
 pub mod search;
+pub mod stream;
 pub mod sweep;
 
 pub use cache::{CacheStats, SimCache};
@@ -49,6 +50,7 @@ pub use error::CoreError;
 pub use executor::Executor;
 pub use experiment::{Experiment, ExperimentBuilder};
 pub use report::{phase_table, top_spans_table, RunReport};
+pub use stream::{ProgressEvent, ProgressStream};
 
 /// Convenient imports for experiment-driving code.
 pub mod prelude {
@@ -57,6 +59,7 @@ pub mod prelude {
     pub use crate::experiment::{Experiment, ExperimentBuilder};
     pub use crate::presets::*;
     pub use crate::report::RunReport;
+    pub use crate::stream::{ProgressEvent, ProgressStream};
     pub use crate::sweep::{Sweep, SweepOutcome, SweepProgress};
     pub use charllm_hw::presets::{
         hgx_h100_cluster, hgx_h200_cluster, mi250_cluster, single_gpu_per_node_cluster,
@@ -68,4 +71,5 @@ pub mod prelude {
     pub use charllm_models::{Optimizations, TrainJob};
     pub use charllm_parallel::{ParallelismSpec, PipelineSchedule};
     pub use charllm_sim::{FaultEvent, FaultPlan, RecoveryPolicy, SimConfig};
+    pub use charllm_telemetry::{MetricsHub, MetricsShard, MetricsSnapshot};
 }

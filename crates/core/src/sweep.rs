@@ -13,20 +13,25 @@
 //! callback) rather than as stderr noise.
 
 use std::cmp::Ordering;
+use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use charllm_hw::Cluster;
 use charllm_models::TrainJob;
 use charllm_parallel::ParallelismSpec;
 use charllm_sim::{FaultPlan, SimConfig};
+use charllm_telemetry::metrics::{Counter, Gauge, MetricsHub, MetricsSnapshot};
+use serde_json::Value;
 
 use crate::cache::SimCache;
 use crate::error::CoreError;
 use crate::executor::Executor;
 use crate::experiment::Experiment;
 use crate::report::RunReport;
+use crate::stream::{ProgressEvent, ProgressStream};
 
 /// Progress callback: called once per completed point, from whichever
 /// worker thread finished it.
@@ -121,6 +126,90 @@ pub struct SweepProgress<'a> {
     pub outcome: &'a SweepOutcome,
 }
 
+/// Sweep-level metric handles, registered on the hub's shard 0.
+struct SweepCounters {
+    completed: Counter,
+    skipped: Counter,
+    failed: Counter,
+    /// Per-step energy of completed points, quantized to exact integer
+    /// millijoules (`round(energy_per_step_j * 1e3)`) so the counter
+    /// reconciles bit-for-bit with the summed per-point reports.
+    energy_mj: Counter,
+    points_total: Gauge,
+    elapsed_s: Gauge,
+    eta_s: Gauge,
+}
+
+impl SweepCounters {
+    fn new(hub: &Arc<MetricsHub>) -> Self {
+        let s = hub.shard(0);
+        SweepCounters {
+            completed: s.counter("sweep_points_completed_total", &[]),
+            skipped: s.counter("sweep_points_skipped_total", &[]),
+            failed: s.counter("sweep_points_failed_total", &[]),
+            energy_mj: s.counter("sweep_energy_per_step_mj_total", &[]),
+            points_total: s.gauge("sweep_points_total", &[]),
+            elapsed_s: s.gauge("sweep_elapsed_s", &[]),
+            eta_s: s.gauge("sweep_eta_s", &[]),
+        }
+    }
+}
+
+/// A finished point's summary, parked until every earlier point has been
+/// emitted to the stream.
+struct PendingPoint {
+    outcome: &'static str,
+    label: String,
+    reason: String,
+    step_time_s: f64,
+    tokens_per_s: f64,
+    energy_per_step_j: f64,
+}
+
+impl PendingPoint {
+    fn of(outcome: &SweepOutcome) -> Self {
+        match outcome {
+            SweepOutcome::Completed { point, report } => PendingPoint {
+                outcome: "completed",
+                label: point.to_string(),
+                reason: String::new(),
+                step_time_s: report.step_time_s,
+                tokens_per_s: report.tokens_per_s,
+                energy_per_step_j: report.energy_per_step_j,
+            },
+            SweepOutcome::Skipped { point, reason } => PendingPoint {
+                outcome: "skipped",
+                label: point.to_string(),
+                reason: reason.clone(),
+                step_time_s: 0.0,
+                tokens_per_s: 0.0,
+                energy_per_step_j: 0.0,
+            },
+            SweepOutcome::Failed { point, error } => PendingPoint {
+                outcome: "failed",
+                label: point.to_string(),
+                reason: error.to_string(),
+                step_time_s: 0.0,
+                tokens_per_s: 0.0,
+                energy_per_step_j: 0.0,
+            },
+        }
+    }
+}
+
+/// Shared finish-side state: outcome tallies, the progress-callback lock,
+/// and the stream's in-order emission buffer.
+struct EmitState {
+    finished: usize,
+    completed: usize,
+    skipped: usize,
+    failed: usize,
+    seq: u64,
+    next_emit: usize,
+    pending: BTreeMap<usize, PendingPoint>,
+    last_snapshot: Option<MetricsSnapshot>,
+}
+
 /// A cartesian sweep over parallelism specs, optimization variants and
 /// microbatch sizes for one model on one cluster.
 #[derive(Clone)]
@@ -137,6 +226,9 @@ pub struct Sweep {
     cache: Option<Arc<SimCache>>,
     use_cache: bool,
     faults: Option<FaultPlan>,
+    metrics: Option<Arc<MetricsHub>>,
+    stream: Option<Arc<ProgressStream>>,
+    self_profile: bool,
 }
 
 impl fmt::Debug for Sweep {
@@ -153,6 +245,9 @@ impl fmt::Debug for Sweep {
             .field("progress", &self.progress.is_some())
             .field("cache", &self.use_cache)
             .field("faults", &self.faults.is_some())
+            .field("metrics", &self.metrics.is_some())
+            .field("stream", &self.stream.is_some())
+            .field("self_profile", &self.self_profile)
             .finish()
     }
 }
@@ -177,6 +272,9 @@ impl Sweep {
             cache: None,
             use_cache: true,
             faults: None,
+            metrics: None,
+            stream: None,
+            self_profile: false,
         }
     }
 
@@ -243,14 +341,54 @@ impl Sweep {
 
     /// Observe each point as it finishes.
     ///
-    /// The callback runs on whichever worker thread completed the point
-    /// (hence `Send + Sync`), in completion order; `completed`/`total`
-    /// make it directly usable as a progress meter.
+    /// The contract, identical for every worker count (pinned by test):
+    /// the callback runs on whichever worker thread completed the point
+    /// (hence `Send + Sync`), once per point, in **completion order** —
+    /// which under `workers > 1` differs from point order; consume
+    /// [`Sweep::stream`] instead if you need enumeration order.
+    /// Invocations are serialized under an internal lock, and
+    /// [`SweepProgress::completed`] is strictly increasing `1..=total`
+    /// across them (completed counts every outcome:
+    /// [`SweepOutcome::Skipped`] and [`SweepOutcome::Failed`] points
+    /// report progress too). `completed`/`total` are therefore directly
+    /// usable as a progress meter.
     pub fn on_progress(
         mut self,
         callback: impl Fn(&SweepProgress<'_>) + Send + Sync + 'static,
     ) -> Self {
         self.progress = Some(Arc::new(callback));
+        self
+    }
+
+    /// Publish live metrics to `hub` while the sweep runs: sweep-level
+    /// reconciliation counters (`sweep_points_{completed,skipped,failed}_total`,
+    /// `sweep_energy_per_step_mj_total` in exact millijoules), live
+    /// `sweep_elapsed_s`/`sweep_eta_s` gauges, per-worker
+    /// `sweep_worker_busy_ms_total`/`sweep_worker_utilization` series, the
+    /// shared cache's `cache_*` series, and each in-flight experiment's
+    /// engine gauges (`sim_*`, on the shard matching its pool worker). A
+    /// disabled hub costs nothing and results are byte-identical either
+    /// way.
+    pub fn with_metrics(mut self, hub: Arc<MetricsHub>) -> Self {
+        self.metrics = Some(hub);
+        self
+    }
+
+    /// Stream one structured JSONL [`ProgressEvent`] per point (plus a
+    /// terminal `sweep_end` event) into `stream`, in enumeration order:
+    /// out-of-order completions from parallel workers are buffered until
+    /// every earlier point has been emitted. With [`Sweep::with_metrics`]
+    /// attached, each event also carries the hub's exact snapshot delta.
+    pub fn stream(mut self, stream: Arc<ProgressStream>) -> Self {
+        self.stream = Some(stream);
+        self
+    }
+
+    /// Record host-side per-stage wall times on every point's report
+    /// ([`RunReport::stages`]); off by default so reports stay comparable
+    /// across runs.
+    pub fn self_profile(mut self, on: bool) -> Self {
+        self.self_profile = on;
         self
     }
 
@@ -289,26 +427,53 @@ impl Sweep {
     pub fn run_outcomes(&self) -> Vec<SweepOutcome> {
         let grid = self.grid();
         let total = grid.len();
-        let completed = AtomicUsize::new(0);
+        let hub = self.metrics.as_ref().filter(|h| h.enabled());
         // One cache for the whole pool: workers publish lowered traces and
         // plan sets as they build them, so points sharing a workload (or a
         // later sweep via `with_cache`) skip that work entirely.
         let cache = match (&self.cache, self.use_cache) {
             (Some(external), _) => Some(Arc::clone(external)),
-            (None, true) => Some(Arc::new(SimCache::new())),
+            (None, true) => Some(Arc::new(match hub {
+                Some(h) => SimCache::with_metrics(&h.shard(0)),
+                None => SimCache::new(),
+            })),
             (None, false) => None,
         };
-        Executor::with_workers(self.workers).run(&grid, |_, (point, job)| {
+        let counters = hub.map(SweepCounters::new);
+        if let Some(c) = &counters {
+            c.points_total.set(total as f64);
+        }
+        let executor = Executor::with_workers(self.workers);
+        let pool_width = executor.workers().min(total.max(1));
+        let busy_ms: Vec<AtomicU64> = (0..pool_width).map(|_| AtomicU64::new(0)).collect();
+        let started = Instant::now();
+        let emit = Mutex::new(EmitState {
+            finished: 0,
+            completed: 0,
+            skipped: 0,
+            failed: 0,
+            seq: 0,
+            next_emit: 0,
+            pending: BTreeMap::new(),
+            last_snapshot: None,
+        });
+
+        let outcomes = executor.run_with_worker(&grid, |worker, _, (point, job)| {
+            let point_started = Instant::now();
             let mut builder = Experiment::builder()
                 .cluster(Arc::clone(&self.cluster))
                 .job(job.clone())
                 .spec(point.spec)
-                .sim_config(self.sim);
+                .sim_config(self.sim)
+                .self_profile(self.self_profile);
             if let Some(cache) = &cache {
                 builder = builder.cache(Arc::clone(cache));
             }
             if let Some(plan) = &self.faults {
                 builder = builder.faults(plan.clone());
+            }
+            if let Some(h) = hub {
+                builder = builder.metrics(h.shard(worker));
             }
             let result = builder.run();
             let outcome = match result {
@@ -325,16 +490,153 @@ impl Sweep {
                     error,
                 },
             };
-            if let Some(callback) = &self.progress {
-                let completed = completed.fetch_add(1, AtomicOrdering::Relaxed) + 1;
-                callback(&SweepProgress {
-                    completed,
-                    total,
-                    outcome: &outcome,
-                });
+            let busy = point_started.elapsed().as_millis() as u64;
+            if let Some(slot) = busy_ms.get(worker) {
+                slot.fetch_add(busy, AtomicOrdering::Relaxed);
             }
+            if let Some(h) = hub {
+                h.shard(worker)
+                    .counter(
+                        "sweep_worker_busy_ms_total",
+                        &[("worker", &worker.to_string())],
+                    )
+                    .add(busy);
+            }
+            self.note_finished(&emit, counters.as_ref(), hub, started, total, &outcome);
             outcome
-        })
+        });
+
+        let wall_s = started.elapsed().as_secs_f64();
+        if let Some(h) = hub {
+            for (w, slot) in busy_ms.iter().enumerate() {
+                let busy_s = slot.load(AtomicOrdering::Relaxed) as f64 / 1e3;
+                h.shard(w)
+                    .gauge("sweep_worker_utilization", &[("worker", &w.to_string())])
+                    .set(if wall_s > 0.0 { busy_s / wall_s } else { 0.0 });
+            }
+        }
+        if let Some(stream) = &self.stream {
+            let st = emit.lock().expect("sweep emit state poisoned");
+            let snapshot = match hub {
+                Some(h) => h.snapshot().to_json(),
+                None => Value::Null,
+            };
+            stream.emit(&ProgressEvent {
+                event: "sweep_end".into(),
+                seq: st.seq,
+                index: total,
+                total,
+                completed: st.completed,
+                skipped: st.skipped,
+                failed: st.failed,
+                outcome: String::new(),
+                point: String::new(),
+                reason: String::new(),
+                step_time_s: 0.0,
+                tokens_per_s: 0.0,
+                energy_per_step_j: 0.0,
+                elapsed_s: wall_s,
+                eta_s: 0.0,
+                metrics: snapshot,
+            });
+        }
+        outcomes
+    }
+
+    /// Finish-side bookkeeping for one point, under the emit lock: tallies,
+    /// hub counters, the progress callback (completion order), and in-order
+    /// stream emission (enumeration order, buffering gaps).
+    fn note_finished(
+        &self,
+        emit: &Mutex<EmitState>,
+        counters: Option<&SweepCounters>,
+        hub: Option<&Arc<MetricsHub>>,
+        started: Instant,
+        total: usize,
+        outcome: &SweepOutcome,
+    ) {
+        let mut st = emit.lock().expect("sweep emit state poisoned");
+        st.finished += 1;
+        match outcome {
+            SweepOutcome::Completed { report, .. } => {
+                st.completed += 1;
+                if let Some(c) = counters {
+                    c.completed.inc();
+                    c.energy_mj
+                        .add((report.energy_per_step_j * 1e3).round() as u64);
+                }
+            }
+            SweepOutcome::Skipped { .. } => {
+                st.skipped += 1;
+                if let Some(c) = counters {
+                    c.skipped.inc();
+                }
+            }
+            SweepOutcome::Failed { .. } => {
+                st.failed += 1;
+                if let Some(c) = counters {
+                    c.failed.inc();
+                }
+            }
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+        let eta = if st.finished > 0 {
+            elapsed / st.finished as f64 * (total - st.finished) as f64
+        } else {
+            -1.0
+        };
+        if let Some(c) = counters {
+            c.elapsed_s.set(elapsed);
+            c.eta_s.set(eta);
+        }
+        if let Some(callback) = &self.progress {
+            callback(&SweepProgress {
+                completed: st.finished,
+                total,
+                outcome,
+            });
+        }
+        let Some(stream) = &self.stream else { return };
+        st.pending
+            .insert(outcome.point().index, PendingPoint::of(outcome));
+        loop {
+            let next = st.next_emit;
+            let Some(p) = st.pending.remove(&next) else {
+                break;
+            };
+            let (delta, snapshot) = match hub {
+                Some(h) => {
+                    let snap = h.snapshot();
+                    let delta = match &st.last_snapshot {
+                        Some(last) => snap.diff(last),
+                        None => snap.clone(),
+                    };
+                    (delta.to_json(), Some(snap))
+                }
+                None => (Value::Null, None),
+            };
+            stream.emit(&ProgressEvent {
+                event: "point".into(),
+                seq: st.seq,
+                index: st.next_emit,
+                total,
+                completed: st.completed,
+                skipped: st.skipped,
+                failed: st.failed,
+                outcome: p.outcome.into(),
+                point: p.label,
+                reason: p.reason,
+                step_time_s: p.step_time_s,
+                tokens_per_s: p.tokens_per_s,
+                energy_per_step_j: p.energy_per_step_j,
+                elapsed_s: started.elapsed().as_secs_f64(),
+                eta_s: eta,
+                metrics: delta,
+            });
+            st.last_snapshot = snapshot;
+            st.seq += 1;
+            st.next_emit += 1;
+        }
     }
 
     /// Execute every point of the sweep and collect the completed reports

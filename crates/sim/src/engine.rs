@@ -30,10 +30,12 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use charllm_hw::{Cluster, GpuId, LinkClass};
 use charllm_net::{lower_collective, LinkHealth};
 use charllm_parallel::Placement;
+use charllm_telemetry::metrics::{Gauge, MetricsShard};
 use charllm_telemetry::{phase, GpuSample, SpanRecorder, TelemetryStore};
 use charllm_thermal::{GovernorConfig, GpuThermal, GpuVariability, ThermalSpec};
 use charllm_trace::{ExecutionTrace, KernelClass, Step};
@@ -322,6 +324,9 @@ struct CalendarQueue {
     /// First bucket that may hold entries (all earlier ones are empty).
     cursor: usize,
     len: usize,
+    /// Run-wide high-water mark of the overflow list (survives rebases:
+    /// an [`EngineStats`] counter, not wheel state).
+    overflow_peak: usize,
 }
 
 impl CalendarQueue {
@@ -334,6 +339,7 @@ impl CalendarQueue {
             overflow: Vec::new(),
             cursor: CAL_BUCKETS,
             len: 0,
+            overflow_peak: 0,
         }
     }
 
@@ -389,6 +395,7 @@ impl CalendarQueue {
         let d = (e.key - self.base) * self.inv_width;
         if d >= CAL_BUCKETS as f64 {
             self.overflow.push(e);
+            self.overflow_peak = self.overflow_peak.max(self.overflow.len());
             return pack_loc(CAL_OVERFLOW, (self.overflow.len() - 1) as u32);
         }
         let b = d as usize;
@@ -523,6 +530,21 @@ pub struct EngineStats {
     /// Collective launches served from a cross-run shared plan set
     /// (zero unless the simulator was built with [`SharedPlans`]).
     pub shared_plan_hits: u64,
+    /// Calendar-wheel rebuilds: `rekey_all` rebases, whether periodic
+    /// (every `REKEY_INTERVAL` = 8192 events), drift-forced (the current
+    /// time passed half the wheel horizon), or a scan→heap mode crossing.
+    pub cal_rekeys: u64,
+    /// Calendar buckets drained by `next_dt` (the overflow list counts as
+    /// one bucket per drain). Each drain hands every entry in the bucket
+    /// to the exact-candidate evaluation, so `heap_pops / cal_bucket_drains`
+    /// is the mean occupancy of the buckets the scheduler actually visits.
+    pub cal_bucket_drains: u64,
+    /// Run-wide high-water mark of the overflow list — entries whose
+    /// conservative completion key lay beyond the wheel horizon when
+    /// pushed. A large peak relative to `peak_live` means the bucket width
+    /// (4× the event-spacing EWMA at each rebuild) is too narrow for the
+    /// workload's completion-time spread.
+    pub cal_overflow_peak: u64,
 }
 
 /// Engine-side configuration of a symmetry-folded run, prepared by
@@ -711,6 +733,73 @@ pub struct Simulator<'a, O: SimObserver = NoopObserver> {
     next_fault_t: f64,
 
     stats: EngineStats,
+    /// Live-metrics publication state (`None` = no hub attached). Gauges
+    /// are published at control boundaries and at run end only — never on
+    /// the per-event path — so an unattached engine runs the exact same
+    /// instructions and an attached one stays byte-identical (the hub
+    /// feeds nothing back).
+    metrics: Option<Box<EngineMetrics>>,
+}
+
+/// Pre-registered gauge handles promoting [`EngineStats`] (and a few live
+/// quantities) into sampleable metrics, labeled by the owning shard's
+/// worker index. Built once at [`Simulator::with_metrics`].
+#[derive(Debug)]
+struct EngineMetrics {
+    /// Host wall clock at the last publication (event-rate window start).
+    last_wall: Instant,
+    /// `stats.events` at the last publication.
+    last_events: u64,
+    sim_time_s: Gauge,
+    events: Gauge,
+    event_rate_per_s: Gauge,
+    live_flows: Gauge,
+    live_computing: Gauge,
+    flows_launched: Gauge,
+    plan_builds: Gauge,
+    plan_reuses: Gauge,
+    shared_plan_hits: Gauge,
+    cal_rekeys: Gauge,
+    cal_bucket_drains: Gauge,
+    cal_overflow_len: Gauge,
+    cal_overflow_peak: Gauge,
+    heap_pushes: Gauge,
+    heap_pops: Gauge,
+    heap_skips: Gauge,
+    fault_downtime_s: Gauge,
+    fault_restarts: Gauge,
+    fault_energy_wasted_j: Gauge,
+}
+
+impl EngineMetrics {
+    fn new(shard: &MetricsShard) -> Self {
+        let worker = shard.index().to_string();
+        let labels: [(&str, &str); 1] = [("worker", worker.as_str())];
+        let g = |name: &str| shard.gauge(name, &labels);
+        EngineMetrics {
+            last_wall: Instant::now(),
+            last_events: 0,
+            sim_time_s: g("sim_time_s"),
+            events: g("sim_events"),
+            event_rate_per_s: g("sim_event_rate_per_s"),
+            live_flows: g("sim_live_flows"),
+            live_computing: g("sim_live_computing"),
+            flows_launched: g("sim_flows_launched"),
+            plan_builds: g("sim_plan_builds"),
+            plan_reuses: g("sim_plan_reuses"),
+            shared_plan_hits: g("sim_shared_plan_hits"),
+            cal_rekeys: g("sim_cal_rekeys"),
+            cal_bucket_drains: g("sim_cal_bucket_drains"),
+            cal_overflow_len: g("sim_cal_overflow_len"),
+            cal_overflow_peak: g("sim_cal_overflow_peak"),
+            heap_pushes: g("sim_heap_pushes"),
+            heap_pops: g("sim_heap_pops"),
+            heap_skips: g("sim_heap_skips"),
+            fault_downtime_s: g("sim_fault_downtime_s"),
+            fault_restarts: g("sim_fault_restarts"),
+            fault_energy_wasted_j: g("sim_fault_energy_wasted_j"),
+        }
+    }
 }
 
 impl<'a> Simulator<'a> {
@@ -959,6 +1048,7 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
             inlet_offset_c: vec![0.0; num_gpus],
             next_fault_t: f64::INFINITY,
             stats: EngineStats::default(),
+            metrics: None,
             cfg,
         })
     }
@@ -983,6 +1073,29 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
         }
         self.shared_plans = Some(plans);
         Ok(self)
+    }
+
+    /// Publish live engine gauges to a [`MetricsShard`] of a metrics hub:
+    /// simulated time, event count and host-side event rate, live entity
+    /// counts, plan-cache and calendar counters, and fault accruals, each
+    /// labeled `worker="<shard index>"`. Publication happens at control
+    /// boundaries and at run end — never on the per-event path — and the
+    /// hub feeds nothing back, so results stay byte-identical with or
+    /// without it (a disabled shard costs one pointer check per control
+    /// tick).
+    pub fn with_metrics(mut self, shard: &MetricsShard) -> Self {
+        if !shard.enabled() {
+            return self;
+        }
+        let m = EngineMetrics::new(shard);
+        if self.fold_switch_mult > 1 {
+            let worker = shard.index().to_string();
+            shard
+                .gauge("sim_fold_replicas", &[("worker", worker.as_str())])
+                .set(f64::from(self.fold_switch_mult));
+        }
+        self.metrics = Some(Box::new(m));
+        self
     }
 
     /// Attach a [`FaultPlan`]: its events are compiled into a time-sorted
@@ -1319,7 +1432,46 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
                 });
             }
         }
+        self.stats.cal_overflow_peak = self.calq.overflow_peak as u64;
+        self.publish_metrics();
         Ok(())
+    }
+
+    /// Push the current engine counters and live quantities into the
+    /// attached metrics shard (no-op without one). Called at control
+    /// boundaries and once at run end; never on the per-event path.
+    fn publish_metrics(&mut self) {
+        let Some(m) = self.metrics.as_deref_mut() else {
+            return;
+        };
+        let now = Instant::now();
+        let wall = now.duration_since(m.last_wall).as_secs_f64();
+        if wall > 0.0 {
+            m.event_rate_per_s
+                .set((self.stats.events - m.last_events) as f64 / wall);
+        }
+        m.last_wall = now;
+        m.last_events = self.stats.events;
+        m.sim_time_s.set(self.t);
+        m.events.set(self.stats.events as f64);
+        m.live_flows.set(self.flows.len() as f64);
+        m.live_computing.set(self.computing_ranks.len() as f64);
+        m.flows_launched.set(self.stats.flows_launched as f64);
+        m.plan_builds.set(self.stats.plan_builds as f64);
+        m.plan_reuses.set(self.stats.plan_reuses as f64);
+        m.shared_plan_hits.set(self.stats.shared_plan_hits as f64);
+        m.cal_rekeys.set(self.stats.cal_rekeys as f64);
+        m.cal_bucket_drains.set(self.stats.cal_bucket_drains as f64);
+        m.cal_overflow_len.set(self.calq.overflow.len() as f64);
+        m.cal_overflow_peak.set(self.calq.overflow_peak as f64);
+        m.heap_pushes.set(self.stats.heap_pushes as f64);
+        m.heap_pops.set(self.stats.heap_pops as f64);
+        m.heap_skips.set(self.stats.heap_skips as f64);
+        if let Some(rt) = &self.fault {
+            m.fault_downtime_s.set(rt.downtime_s);
+            m.fault_restarts.set(rt.restarts as f64);
+            m.fault_energy_wasted_j.set(rt.energy_wasted_j);
+        }
     }
 
     /// One scheduling pass: process every runnable rank in ascending rank
@@ -1810,6 +1962,7 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
     /// conservative-key drift) and whenever simulated time drifts past
     /// half the wheel horizon.
     fn rekey_all(&mut self) {
+        self.stats.cal_rekeys += 1;
         let width = (self.avg_dt * 4.0).max(1e-12);
         self.calq.reset(self.t, width);
         for f in &mut self.flows {
@@ -1945,6 +2098,7 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
                 break;
             };
             self.calq.len -= bucket.len();
+            self.stats.cal_bucket_drains += 1;
             let drained_overflow = self.calq.cursor >= CAL_BUCKETS && self.calq.overflow.is_empty();
             for mut e in bucket.iter().copied() {
                 let candidate = if e.is_compute() {
@@ -2350,6 +2504,8 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
             }
             self.next_sample += self.cfg.sample_period_s;
         }
+
+        self.publish_metrics();
     }
 
     fn blocked_summary(&self) -> String {

@@ -37,12 +37,14 @@
 //! falls back automatically.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use charllm_hw::{Cluster, GpuId};
 use charllm_models::TrainJob;
 use charllm_net::folding::translated_copy;
 use charllm_net::lower_collective;
 use charllm_parallel::{ParallelismSpec, PipelineSchedule, Placement, RankGrid, StagePartition};
+use charllm_telemetry::metrics::MetricsShard;
 use charllm_trace::{lower_train, lower_train_folded, DeviceHints, FoldedJob, TraceError};
 
 use crate::config::SimConfig;
@@ -62,15 +64,26 @@ pub struct FoldOptions {
     /// `telemetry.peak_temp_c()` stay correct either way — phantom GPUs
     /// mirror representatives).
     pub expand_telemetry: bool,
+    /// Metrics shard to attach to the folded run (default `None`). When
+    /// set, [`run_folded`] wires the engine's live gauges through
+    /// [`Simulator::with_metrics`], publishes the fold multiplicity as
+    /// `sim_fold_replicas`, and records per-stage wall time
+    /// (`plan_build`, `event_loop`, `fold_expand`) into the
+    /// `sim_stage_seconds` histogram.
+    pub metrics: Option<MetricsShard>,
 }
 
 impl Default for FoldOptions {
     fn default() -> Self {
         FoldOptions {
             expand_telemetry: true,
+            metrics: None,
         }
     }
 }
+
+/// Histogram bounds (seconds) shared by every `sim_stage_seconds` series.
+pub const STAGE_SECONDS_BOUNDS: &[f64] = &[0.001, 0.01, 0.1, 1.0, 10.0, 100.0];
 
 /// The rank/GPU correspondence a successful [`detect`] proves.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -269,6 +282,26 @@ pub fn run_folded(
         ))
     })?;
 
+    let shard = opts.metrics.as_ref().filter(|s| s.enabled());
+    let stage_hist = |stage: &str| {
+        shard.map(|s| {
+            s.histogram(
+                "sim_stage_seconds",
+                &[("stage", stage)],
+                STAGE_SECONDS_BOUNDS,
+            )
+        })
+    };
+    let mut stage_start = Instant::now();
+    let mut mark_stage = |hist: Option<charllm_telemetry::metrics::Histogram>| {
+        let now = Instant::now();
+        let secs = now.duration_since(stage_start).as_secs_f64();
+        stage_start = now;
+        if let Some(h) = hist {
+            h.observe(secs);
+        }
+    };
+
     // Rebuild the full cross-replica rings and seed them into the plan
     // cache with multiplier 1: they exist exactly once in the unfolded run.
     let mut injected = Vec::with_capacity(folded.folded.len());
@@ -295,8 +328,14 @@ pub fn run_folded(
     if let Some(plans) = shared {
         sim = sim.with_shared_plans(plans)?;
     }
+    if let Some(s) = shard {
+        sim = sim.with_metrics(s);
+    }
+    mark_stage(stage_hist("plan_build"));
     let (mut result, stats) = sim.run_stats()?;
+    mark_stage(stage_hist("event_loop"));
     expand(&mut result, &map, opts);
+    mark_stage(stage_hist("fold_expand"));
     Ok((result, stats))
 }
 

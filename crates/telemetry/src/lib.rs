@@ -18,6 +18,7 @@ pub mod aggregate;
 pub mod chrome_trace;
 pub mod csv;
 pub mod heatmap;
+pub mod metrics;
 pub mod phase;
 pub mod spans;
 pub mod store;
@@ -25,6 +26,10 @@ pub mod timeseries;
 
 pub use aggregate::SeriesSummary;
 pub use heatmap::Heatmap;
+pub use metrics::{
+    Counter, Gauge, Histogram, MetricId, MetricKind, MetricValue, MetricsHub, MetricsShard,
+    MetricsSnapshot, StageTimer, StageTiming, StageTimings,
+};
 pub use phase::{Phase, PhaseBreakdown, Profile, SpanTotal};
 pub use spans::{FaultSpan, FlowSpan, PowerTick, Span, SpanKind, SpanRecorder};
 pub use store::{GpuSample, TelemetryStore};

@@ -1,0 +1,174 @@
+//! Live sweep dashboard: a terminal renderer for the JSONL progress
+//! stream, showing the cross-layer metrics hub while a 32-point sweep
+//! runs — per-point outcomes, ETA, worker pool state, cache hit rates and
+//! the engines' live gauges.
+//!
+//! On a TTY the screen redraws per finished point; when stdout is a pipe
+//! (CI, `| tee`), the raw JSONL events stream through instead, followed by
+//! the final Prometheus-text snapshot — the exact byte protocol a job
+//! server would forward.
+//!
+//! ```sh
+//! cargo run --release --example live_dashboard            # dashboard
+//! cargo run --release --example live_dashboard | head -40 # JSONL + Prometheus
+//! ```
+
+use std::io::{IsTerminal, Write};
+use std::sync::Arc;
+
+use charllm::prelude::*;
+
+/// A `Write` sink for the sweep's JSONL stream that renders each event as
+/// a redrawn terminal dashboard instead of printing the line.
+struct DashboardSink {
+    hub: Arc<MetricsHub>,
+    buf: Vec<u8>,
+    lines_drawn: usize,
+}
+
+impl DashboardSink {
+    fn new(hub: Arc<MetricsHub>) -> Self {
+        DashboardSink {
+            hub,
+            buf: Vec::new(),
+            lines_drawn: 0,
+        }
+    }
+
+    fn render(&mut self, event: &ProgressEvent) {
+        let snap = self.hub.snapshot();
+        // Engine event rates are per-worker gauges; fold them for the
+        // cluster-wide figure. Same for live flows.
+        let mut event_rate = 0.0;
+        let mut live_flows = 0.0;
+        for (id, value) in snap.iter() {
+            match id.name.as_str() {
+                "sim_event_rate_per_s" => event_rate += value.as_f64(),
+                "sim_live_flows" => live_flows += value.as_f64(),
+                _ => {}
+            }
+        }
+        let hits = snap.counter(
+            "cache_lookups_total",
+            &[("family", "lowered"), ("result", "hit")],
+        ) + snap.counter(
+            "cache_lookups_total",
+            &[("family", "plans"), ("result", "hit")],
+        );
+        let lookups = snap.counter_sum("cache_lookups_total");
+        let done = event.completed + event.skipped + event.failed;
+        let width = 28usize;
+        let filled = (width * done).checked_div(event.total).unwrap_or(0);
+        let bar: String = "#".repeat(filled) + &"-".repeat(width - filled);
+        let eta = if event.eta_s >= 0.0 {
+            format!("{:.1}s", event.eta_s)
+        } else {
+            "--".to_string()
+        };
+        let mut out = std::io::stdout().lock();
+        // Move the cursor back over the previous frame and redraw in place.
+        if self.lines_drawn > 0 {
+            let _ = write!(out, "\x1b[{}A", self.lines_drawn);
+        }
+        let frame = [
+            format!(
+                "sweep [{bar}] {done}/{} pts  elapsed {:.1}s  eta {eta}        ",
+                event.total, event.elapsed_s
+            ),
+            format!(
+                "  completed {}  skipped {}  failed {}        ",
+                event.completed, event.skipped, event.failed
+            ),
+            format!(
+                "  last: {} -> {}  {:.0} tok/s  {:.3} s/step        ",
+                event.point, event.outcome, event.tokens_per_s, event.step_time_s
+            ),
+            format!(
+                "  engine {:.2e} ev/s  {live_flows:.0} live flows  cache {hits}/{lookups} hits        ",
+                event_rate
+            ),
+        ];
+        for line in &frame {
+            let _ = writeln!(out, "\x1b[2K{line}");
+        }
+        self.lines_drawn = frame.len();
+        let _ = out.flush();
+    }
+}
+
+impl Write for DashboardSink {
+    fn write(&mut self, bytes: &[u8]) -> std::io::Result<usize> {
+        self.buf.extend_from_slice(bytes);
+        while let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = self.buf.drain(..=pos).collect();
+            if let Ok(text) = std::str::from_utf8(&line) {
+                if let Ok(event) = ProgressEvent::from_json_line(text.trim_end()) {
+                    if event.event == "point" {
+                        self.render(&event);
+                    }
+                }
+            }
+        }
+        Ok(bytes.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cluster = Arc::new(single_hgx_node());
+    let job = TrainJob::pretrain(gpt3_13b()).with_global_batch(8);
+    let variants = vec![job.clone(), job.clone().with_cc_overlap(true)];
+    // 4 specs x 2 variants x 4 microbatches = 32 points.
+    let specs: Vec<ParallelismSpec> = ["TP2-PP2", "TP4-PP2", "TP2-PP4", "TP8"]
+        .iter()
+        .map(|l| ParallelismSpec::parse(l, cluster.num_gpus()))
+        .collect::<Result<_, _>>()?;
+
+    let hub = MetricsHub::new(8);
+    let interactive = std::io::stdout().is_terminal();
+    let stream = if interactive {
+        Arc::new(ProgressStream::new(DashboardSink::new(Arc::clone(&hub))))
+    } else {
+        Arc::new(ProgressStream::stdout())
+    };
+
+    let outcomes = Sweep::new(Arc::clone(&cluster), job, specs)
+        .with_job_variants(variants)
+        .with_microbatches(vec![1, 2, 4, 8])
+        .with_sim_config(SimConfig::fast())
+        .workers(0)
+        .with_metrics(Arc::clone(&hub))
+        .stream(Arc::clone(&stream))
+        .run_outcomes();
+
+    let snapshot = hub.snapshot();
+    let completed = snapshot.counter("sweep_points_completed_total", &[]);
+    let skipped = snapshot.counter("sweep_points_skipped_total", &[]);
+    if interactive {
+        println!(
+            "done: {completed} completed, {skipped} skipped across {} points",
+            outcomes.len()
+        );
+        println!("final Prometheus snapshot: {} series", snapshot.len());
+    } else {
+        // Non-TTY consumers get the full scrape text after the JSONL.
+        print!("{}", snapshot.prometheus_text());
+    }
+
+    // The hub's counters reconcile exactly with the returned outcomes.
+    let reports: Vec<&RunReport> = outcomes.iter().filter_map(|o| o.report()).collect();
+    assert_eq!(completed, reports.len() as u64, "hub and outcomes agree");
+    let energy_mj: u64 = reports
+        .iter()
+        .map(|r| (r.energy_per_step_j * 1e3).round() as u64)
+        .sum();
+    assert_eq!(
+        snapshot.counter("sweep_energy_per_step_mj_total", &[]),
+        energy_mj,
+        "energy counter reconciles with summed reports"
+    );
+    Ok(())
+}

@@ -65,6 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let opts = FoldOptions {
         expand_telemetry: false,
+        ..FoldOptions::default()
     };
 
     let caps: [Option<f64>; 4] = [None, Some(600.0), Some(500.0), Some(400.0)];
@@ -107,6 +108,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             folded.multiplicity,
             stats.events as f64 * f64::from(folded.multiplicity) / wall_s / 1e6,
             if plan_hit { "hit" } else { "miss" },
+        );
+        println!(
+            "            calendar: {} rekeys | {} bucket drains ({:.1} pops/drain) | \
+             overflow peak {}",
+            stats.cal_rekeys,
+            stats.cal_bucket_drains,
+            stats.heap_pops as f64 / stats.cal_bucket_drains.max(1) as f64,
+            stats.cal_overflow_peak,
         );
     }
 

@@ -446,6 +446,7 @@ fn telemetry_expansion_is_optional_but_aggregates_agree() {
         cfg,
         &FoldOptions {
             expand_telemetry: true,
+            ..FoldOptions::default()
         },
     );
     let compact = run_folded(
@@ -456,6 +457,7 @@ fn telemetry_expansion_is_optional_but_aggregates_agree() {
         cfg,
         &FoldOptions {
             expand_telemetry: false,
+            ..FoldOptions::default()
         },
     );
     assert_eq!(expanded.step_time_s, compact.step_time_s);
