@@ -66,6 +66,22 @@ echo "$out" | grep -E "^sweep_points_completed_total [1-9][0-9]*$" || {
     exit 1
 }
 
+echo "==> persistent cache + sim server smoke (serve example, ephemeral port)"
+out="$(cargo run --release --example serve)"
+echo "$out" | grep "^server B pass 2:"
+echo "$out" | grep -Eq "^server B pass 2: disk_hits=[1-9][0-9]* lowered_misses=0 plan_misses=0" || {
+    echo "FAIL: server restart was not served from the disk cache tier" >&2
+    exit 1
+}
+echo "$out" | grep -q "^persistent cache: OK" || {
+    echo "FAIL: serve example did not certify the persistent cache" >&2
+    exit 1
+}
+echo "$out" | grep -Eq "^perfetto trace for point 0: [1-9][0-9]* events" || {
+    echo "FAIL: server trace download returned no events" >&2
+    exit 1
+}
+
 echo "==> cargo doc --workspace --no-deps (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

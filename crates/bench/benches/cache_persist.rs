@@ -1,0 +1,154 @@
+//! Persistent-cache benchmark: the disk tier vs a cold start on the
+//! fig-03-style 32-point Mixtral power-cap ablation (the `sweep_hotpath`
+//! workload). A populated cache directory stands in for a previous
+//! process's run; each "disk-warm" pass uses a *fresh* `SimCache` over
+//! that directory, so the first point pays one disk load per family and
+//! every later point rides the rehydrated in-memory tier — the
+//! sim-as-a-service restart scenario. Asserts the disk-warm pass is at
+//! least 1.3x faster than cold, byte-identical, and actually hit the disk.
+//! Emits `BENCH_cache_persist.json`.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use charllm::prelude::*;
+use charllm::report::RunReport;
+use charllm_hw::Cluster;
+use charllm_models::{presets as models, TrainJob};
+use charllm_parallel::ParallelismSpec;
+use charllm_sim::SimConfig;
+
+use charllm_bench::save_json;
+
+const POINTS: usize = 32;
+const MIN_SPEEDUP: f64 = 1.3;
+
+fn job() -> TrainJob {
+    TrainJob::pretrain(models::mixtral_8x7b()).with_global_batch(8)
+}
+
+fn spec(cluster: &Cluster) -> ParallelismSpec {
+    ParallelismSpec::infer_dp(1, 4, 8, cluster.num_gpus(), false).unwrap()
+}
+
+fn sim_config(cap_w: f64) -> SimConfig {
+    let mut cfg = SimConfig::fast();
+    cfg.node_power_cap = Some((0, cap_w));
+    cfg.control_period_s = 0.02;
+    cfg.sample_period_s = 0.2;
+    cfg
+}
+
+fn caps() -> Vec<f64> {
+    (0..POINTS).map(|i| 340.0 + 10.0 * i as f64).collect()
+}
+
+fn run_points(cluster: &Arc<Cluster>, cache: Option<&Arc<SimCache>>) -> (Vec<RunReport>, f64) {
+    let t = Instant::now();
+    let reports = caps()
+        .iter()
+        .map(|cap| {
+            let mut builder = Experiment::builder()
+                .cluster(Arc::clone(cluster))
+                .job(job())
+                .spec(spec(cluster))
+                .sim_config(sim_config(*cap));
+            if let Some(cache) = cache {
+                builder = builder.cache(Arc::clone(cache));
+            }
+            builder.run().unwrap()
+        })
+        .collect();
+    (reports, t.elapsed().as_secs_f64())
+}
+
+fn scratch_dir() -> PathBuf {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .subsec_nanos();
+    std::env::temp_dir().join(format!(
+        "charllm_bench_persist_{}_{nanos}",
+        std::process::id()
+    ))
+}
+
+fn main() {
+    let cluster = Arc::new(hgx_h200_cluster());
+    let dir = scratch_dir();
+    println!(
+        "workload: mixtral_8x7b PP4-EP8 on {} GPUs, {POINTS}-point power-cap ablation",
+        cluster.num_gpus()
+    );
+
+    // Populate the cache directory once — the "previous process".
+    let seed_cache = Arc::new(SimCache::new().with_disk_tier(&dir).unwrap());
+    let (_, populate_wall_s) = run_points(&cluster, Some(&seed_cache));
+    let seeded = seed_cache.stats();
+    assert!(seeded.bytes_written > 0, "populate pass persisted nothing");
+    drop(seed_cache);
+
+    // Interleaved min-of-5: cold (uncached) vs disk-warm (fresh cache over
+    // the populated directory — every repetition restarts from disk).
+    let mut cold_wall_s = f64::INFINITY;
+    let mut warm_wall_s = f64::INFINITY;
+    let mut cold_reports = None;
+    let mut warm_reports = None;
+    let mut warm_stats = None;
+    for _ in 0..5 {
+        let (reports, wall) = run_points(&cluster, None);
+        cold_wall_s = cold_wall_s.min(wall);
+        cold_reports = Some(reports);
+        let cache = Arc::new(SimCache::new().with_disk_tier(&dir).unwrap());
+        let (reports, wall) = run_points(&cluster, Some(&cache));
+        warm_wall_s = warm_wall_s.min(wall);
+        warm_reports = Some(reports);
+        warm_stats = Some(cache.stats());
+    }
+    let cold_reports = cold_reports.unwrap();
+    let warm_reports = warm_reports.unwrap();
+    let warm_stats = warm_stats.unwrap();
+
+    // The restart really was served from disk, and nothing re-lowered.
+    assert!(
+        warm_stats.disk_hits() > 0,
+        "disk-warm pass never touched the disk tier: {warm_stats}"
+    );
+    assert_eq!(warm_stats.lowered_misses, 0, "{warm_stats}");
+    assert_eq!(warm_stats.plan_misses, 0, "{warm_stats}");
+
+    // Persistence must be invisible in the results.
+    for (cold, warm) in cold_reports.iter().zip(&warm_reports) {
+        assert_eq!(
+            serde_json::to_string(&cold.sim).unwrap(),
+            serde_json::to_string(&warm.sim).unwrap(),
+            "disk-served point diverged from cold point"
+        );
+    }
+
+    let speedup = cold_wall_s / warm_wall_s;
+    println!(
+        "cold {cold_wall_s:.3}s | disk-warm {warm_wall_s:.3}s | speedup {speedup:.2}x | \
+         populate {populate_wall_s:.3}s"
+    );
+    println!("disk-warm cache: {warm_stats}");
+    assert!(
+        speedup >= MIN_SPEEDUP,
+        "disk-warm restart {speedup:.2}x below the {MIN_SPEEDUP}x bar"
+    );
+
+    let record = serde_json::json!({
+        "workload": "mixtral_8x7b_pp4_ep8_32gpu_power_cap_ablation",
+        "points": POINTS,
+        "cold_wall_s": cold_wall_s,
+        "disk_warm_wall_s": warm_wall_s,
+        "disk_warm_over_cold": speedup,
+        "populate_wall_s": populate_wall_s,
+        "populate_bytes_written": seeded.bytes_written,
+        "disk_warm_cache_stats": warm_stats,
+    });
+    save_json("BENCH_cache_persist", &record);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

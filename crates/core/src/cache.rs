@@ -1,4 +1,5 @@
-//! Cross-point memoization for sweeps and searches.
+//! Cross-point memoization for sweeps and searches, with an optional
+//! persistent disk tier.
 //!
 //! A [`SimCache`] remembers the two expensive, deterministic artifacts an
 //! [`Experiment`](crate::Experiment) produces before simulating:
@@ -25,32 +26,100 @@
 //! harmless — the artifacts are deterministic). Results are byte-identical
 //! with and without the cache.
 //!
+//! # Persistent tier
+//!
+//! [`SimCache::with_disk_tier`] adds a content-addressed directory below
+//! the in-memory maps, so the warm path survives process boundaries (CLI
+//! invocations, CI runs, server restarts). Every entry is one JSON file
+//! named by the FNV-1a hash of its content key, under `lowered/` or
+//! `plans/`; the file carries a format-version tag, its full content key
+//! (so hash collisions are detected, never silently served) and the
+//! serialized artifact. A memory miss probes the directory before
+//! building; a disk hit loads the artifact into the memory tier and counts
+//! as a hit ([`CacheHit::Disk`]). Anything wrong with a file — truncation,
+//! corruption, a version tag from another build, a colliding key — is
+//! treated as a plain miss and the entry is rebuilt and rewritten.
+//!
+//! Writes are deferred to [`SimCache::sync_disk`] (called by
+//! `Experiment::run` after each cached run) because plan sets fill
+//! *lazily*: a `SharedPlans` is inserted empty and its slots are built
+//! during simulation, so persisting at insert time would write nothing.
+//! `sync_disk` rewrites an entry only when it has more content than the
+//! copy on disk, via a temp file + atomic rename (a crashed writer leaves
+//! at most a stale temp file, never a torn entry).
+//!
+//! # Bounded memory
+//!
+//! [`SimCache::with_max_entries`] caps each in-memory family; inserting
+//! past the cap evicts the least-recently-used entry (counted in
+//! [`CacheStats`], and written back to the disk tier first if it carries
+//! unpersisted content). The disk tier itself is unbounded — it is the
+//! durable tier.
+//!
 //! [`SimConfig`]: charllm_sim::SimConfig
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
+use serde_json::Value;
 
 use charllm_hw::Cluster;
 use charllm_models::TrainJob;
 use charllm_parallel::{ParallelismSpec, PipelineSchedule, Placement, StagePartition};
-use charllm_sim::SharedPlans;
+use charllm_sim::{PlanSetSnapshot, SharedPlans};
 use charllm_telemetry::metrics::{Counter, Gauge, MetricsShard};
 use charllm_trace::lower::LoweredJob;
 use charllm_trace::{DeviceHints, ExecutionTrace, InferenceConfig};
 
 use crate::error::CoreError;
 
+/// Version tag written into every persisted entry. Bump whenever the
+/// serialized shape of [`LoweredJob`] or [`PlanSetSnapshot`] (or the key
+/// derivation) changes: readers treat any other tag as a miss, so stale
+/// caches age out by rebuild instead of by misdeserialization.
+pub const DISK_FORMAT_VERSION: u64 = 1;
+
+/// Where a [`SimCache`] lookup was served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheHit {
+    /// Served from the in-memory tier.
+    Memory,
+    /// Served from the disk tier (and now resident in memory too).
+    Disk,
+    /// Not cached anywhere: built fresh and published.
+    Miss,
+}
+
+impl CacheHit {
+    /// Whether the artifact was served without building it.
+    pub fn is_hit(self) -> bool {
+        !matches!(self, CacheHit::Miss)
+    }
+}
+
 /// Live-metrics handles of a [`SimCache`] (see [`SimCache::with_metrics`]).
-/// All handles are inert when the hub is disabled.
+/// All handles are inert when the hub is disabled. Every family is an
+/// integer [`Counter`], so [`MetricsSnapshot::diff`] / [`add`] compose the
+/// disk-tier counters as exactly as the memory-tier ones.
+///
+/// [`MetricsSnapshot::diff`]: charllm_telemetry::MetricsSnapshot::diff
+/// [`add`]: charllm_telemetry::MetricsSnapshot::add
 #[derive(Debug, Default)]
 struct CacheMetrics {
     lowered_hits: Counter,
     lowered_misses: Counter,
     plan_hits: Counter,
     plan_misses: Counter,
+    lowered_disk_hits: Counter,
+    lowered_disk_misses: Counter,
+    plan_disk_hits: Counter,
+    plan_disk_misses: Counter,
+    lowered_evictions: Counter,
+    plan_evictions: Counter,
+    disk_bytes_written: Counter,
     lowered_key_bytes: Counter,
     plan_key_bytes: Counter,
     lowered_entries: Gauge,
@@ -65,11 +134,24 @@ impl CacheMetrics {
                 &[("family", family), ("result", result)],
             )
         };
+        let d = |family: &str, result: &str| {
+            shard.counter(
+                "cache_disk_lookups_total",
+                &[("family", family), ("result", result)],
+            )
+        };
         CacheMetrics {
             lowered_hits: c("lowered", "hit"),
             lowered_misses: c("lowered", "miss"),
             plan_hits: c("plans", "hit"),
             plan_misses: c("plans", "miss"),
+            lowered_disk_hits: d("lowered", "hit"),
+            lowered_disk_misses: d("lowered", "miss"),
+            plan_disk_hits: d("plans", "hit"),
+            plan_disk_misses: d("plans", "miss"),
+            lowered_evictions: shard.counter("cache_evictions_total", &[("family", "lowered")]),
+            plan_evictions: shard.counter("cache_evictions_total", &[("family", "plans")]),
+            disk_bytes_written: shard.counter("cache_disk_bytes_written_total", &[]),
             lowered_key_bytes: shard
                 .counter("cache_inserted_key_bytes_total", &[("family", "lowered")]),
             plan_key_bytes: shard.counter("cache_inserted_key_bytes_total", &[("family", "plans")]),
@@ -79,48 +161,266 @@ impl CacheMetrics {
     }
 }
 
+/// One resident entry of an in-memory tier.
+#[derive(Debug)]
+struct Slot<T> {
+    value: Arc<T>,
+    /// Recency tick for LRU eviction (monotonic per tier).
+    last_used: u64,
+    /// How much of this entry the disk tier already holds: 0/1 for lowered
+    /// traces, the number of persisted built plans for plan sets (plan
+    /// sets fill lazily during simulation, so this grows across syncs).
+    persisted: u64,
+}
+
+/// One in-memory family: a content-keyed map plus an LRU clock.
+#[derive(Debug)]
+struct Tier<T> {
+    map: HashMap<String, Slot<T>>,
+    tick: u64,
+}
+
+// Manual impl: the derive would demand `T: Default`, which the cached
+// artifacts don't (and needn't) satisfy.
+impl<T> Default for Tier<T> {
+    fn default() -> Self {
+        Tier {
+            map: HashMap::new(),
+            tick: 0,
+        }
+    }
+}
+
+impl<T> Tier<T> {
+    /// Look up `key`, refreshing its recency on a hit.
+    fn touch(&mut self, key: &str) -> Option<Arc<T>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|slot| {
+            slot.last_used = tick;
+            Arc::clone(&slot.value)
+        })
+    }
+
+    /// Insert `value` under `key` unless a concurrent builder got there
+    /// first (first insert wins; the artifacts are deterministic). Returns
+    /// the resident artifact and whether this call inserted it.
+    fn insert(&mut self, key: &str, value: Arc<T>, persisted: u64) -> (Arc<T>, bool) {
+        self.tick += 1;
+        let tick = self.tick;
+        let mut inserted = false;
+        let slot = self.map.entry(key.to_string()).or_insert_with(|| {
+            inserted = true;
+            Slot {
+                value,
+                last_used: tick,
+                persisted,
+            }
+        });
+        slot.last_used = tick;
+        (Arc::clone(&slot.value), inserted)
+    }
+
+    /// Remove and return the least-recently-used entry. Linear scan: the
+    /// map is at most `max_entries` long and evictions are rare next to a
+    /// lowering, so an ordering structure would be pure overhead.
+    fn evict_lru(&mut self) -> Option<(String, Slot<T>)> {
+        let key = self
+            .map
+            .iter()
+            .min_by_key(|(_, slot)| slot.last_used)
+            .map(|(k, _)| k.clone())?;
+        let slot = self.map.remove(&key)?;
+        Some((key, slot))
+    }
+}
+
+/// The content-addressed directory backing a persistent [`SimCache`].
+#[derive(Debug)]
+struct DiskTier {
+    dir: PathBuf,
+    /// Distinguishes concurrent temp files of one process; combined with
+    /// the process id for cross-process uniqueness.
+    nonce: AtomicU64,
+}
+
+impl DiskTier {
+    fn new(dir: &Path) -> Result<Self, CoreError> {
+        std::fs::create_dir_all(dir.join("lowered"))?;
+        std::fs::create_dir_all(dir.join("plans"))?;
+        Ok(DiskTier {
+            dir: dir.to_path_buf(),
+            nonce: AtomicU64::new(0),
+        })
+    }
+
+    /// FNV-1a 64-bit over the content key. Stable by construction (unlike
+    /// `std`'s `DefaultHasher`, whose algorithm is unspecified across
+    /// releases), which the on-disk address must be. Collisions are
+    /// tolerated, not assumed away: the full key inside the file is the
+    /// authority, a colliding probe reads as a miss.
+    fn address(key: &str) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in key.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        hash
+    }
+
+    fn path(&self, family: &str, key: &str) -> PathBuf {
+        self.dir
+            .join(family)
+            .join(format!("{:016x}.json", DiskTier::address(key)))
+    }
+
+    /// The persisted payload for `key`, or `None` when the entry is
+    /// absent, truncated, corrupt, from another format version, or a hash
+    /// collision — every failure mode is a miss, never an error: the disk
+    /// tier is an accelerator, and a bad file just means rebuilding.
+    fn load(&self, family: &str, key: &str) -> Option<Value> {
+        let text = std::fs::read_to_string(self.path(family, key)).ok()?;
+        let mut entry: Value = serde_json::from_str(&text).ok()?;
+        let tag = entry
+            .get("v")
+            .and_then(Value::as_number)
+            .and_then(serde::Number::to_u64)?;
+        if tag != DISK_FORMAT_VERSION
+            || entry.get("family").and_then(Value::as_str) != Some(family)
+            || entry.get("key").and_then(Value::as_str) != Some(key)
+        {
+            return None;
+        }
+        // Take the payload by value: entries run to megabytes and the doc
+        // is discarded here anyway, so a clone would only burn load time.
+        match &mut entry {
+            Value::Object(map) => map.remove("payload"),
+            _ => None,
+        }
+    }
+
+    /// Persist `payload` under `key` atomically (temp file + rename into
+    /// place), returning the bytes written.
+    fn store(&self, family: &str, key: &str, payload: Value) -> Result<u64, CoreError> {
+        let entry = serde_json::json!({
+            "v": DISK_FORMAT_VERSION,
+            "family": family,
+            "key": key,
+            "payload": payload,
+        });
+        let text = serde_json::to_string(&entry).expect("cache entry serializes");
+        let path = self.path(family, key);
+        let tmp = path.with_extension(format!(
+            "tmp.{}.{}",
+            std::process::id(),
+            self.nonce.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, text.as_bytes())?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(text.len() as u64)
+    }
+}
+
 /// Content-keyed cache of lowered traces and collective plan sets, shared
-/// across the points of a sweep or search (see the [module docs](self)).
+/// across the points of a sweep or search — optionally persistent and
+/// optionally bounded (see the [module docs](self)).
 #[derive(Debug, Default)]
 pub struct SimCache {
-    lowered: Mutex<HashMap<String, Arc<LoweredJob>>>,
-    plans: Mutex<HashMap<String, Arc<SharedPlans>>>,
+    lowered: Mutex<Tier<LoweredJob>>,
+    plans: Mutex<Tier<SharedPlans>>,
+    disk: Option<DiskTier>,
+    max_entries: Option<usize>,
     lowered_hits: AtomicU64,
     lowered_misses: AtomicU64,
     plan_hits: AtomicU64,
     plan_misses: AtomicU64,
+    lowered_disk_hits: AtomicU64,
+    lowered_disk_misses: AtomicU64,
+    plan_disk_hits: AtomicU64,
+    plan_disk_misses: AtomicU64,
+    lowered_evictions: AtomicU64,
+    plan_evictions: AtomicU64,
+    disk_bytes_written: AtomicU64,
     metrics: Option<CacheMetrics>,
 }
 
-/// Hit/miss counters of a [`SimCache`], either cumulative
-/// ([`SimCache::stats`]) or for one experiment
-/// ([`RunReport::cache`](crate::RunReport::cache)).
+/// Counters of a [`SimCache`], either cumulative ([`SimCache::stats`]) or
+/// for one experiment ([`RunReport::cache`](crate::RunReport::cache)).
+///
+/// Disk counters refine, not extend, the memory counters: a disk hit is
+/// counted in both `*_hits` and `*_disk_hits`, so `hits + misses ==
+/// lookups` holds with or without a disk tier and pre-existing consumers
+/// keep reconciling.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
-    /// Lowered traces served from the cache.
+    /// Lowered traces served without building (memory or disk).
     pub lowered_hits: u64,
     /// Lowered traces built (and published) on a cache miss.
     pub lowered_misses: u64,
-    /// Collective plan sets served from the cache.
+    /// Collective plan sets served without creating (memory or disk).
     pub plan_hits: u64,
     /// Collective plan sets created on a cache miss.
     pub plan_misses: u64,
+    /// Lowered traces loaded from the disk tier (subset of `lowered_hits`).
+    pub lowered_disk_hits: u64,
+    /// Disk probes for a lowered trace that found no usable entry
+    /// (0 without a disk tier).
+    pub lowered_disk_misses: u64,
+    /// Plan sets loaded from the disk tier (subset of `plan_hits`).
+    pub plan_disk_hits: u64,
+    /// Disk probes for a plan set that found no usable entry
+    /// (0 without a disk tier).
+    pub plan_disk_misses: u64,
+    /// Lowered traces evicted from the bounded in-memory tier.
+    pub lowered_evictions: u64,
+    /// Plan sets evicted from the bounded in-memory tier.
+    pub plan_evictions: u64,
+    /// Bytes persisted to the disk tier (syncs and eviction write-backs).
+    pub bytes_written: u64,
 }
 
 impl CacheStats {
-    /// Total lookups across both maps.
+    /// Total lookups across both families.
     pub fn lookups(&self) -> u64 {
         self.lowered_hits + self.lowered_misses + self.plan_hits + self.plan_misses
     }
 
-    /// Total hits across both maps.
+    /// Total hits across both families (memory and disk).
     pub fn hits(&self) -> u64 {
         self.lowered_hits + self.plan_hits
+    }
+
+    /// Total disk-tier hits across both families.
+    pub fn disk_hits(&self) -> u64 {
+        self.lowered_disk_hits + self.plan_disk_hits
+    }
+
+    /// Total evictions across both families.
+    pub fn evictions(&self) -> u64 {
+        self.lowered_evictions + self.plan_evictions
+    }
+
+    /// Field-wise sum: per-run deltas add to the cumulative counters
+    /// exactly (everything is an integer).
+    pub fn add(&self, other: &CacheStats) -> CacheStats {
+        CacheStats {
+            lowered_hits: self.lowered_hits + other.lowered_hits,
+            lowered_misses: self.lowered_misses + other.lowered_misses,
+            plan_hits: self.plan_hits + other.plan_hits,
+            plan_misses: self.plan_misses + other.plan_misses,
+            lowered_disk_hits: self.lowered_disk_hits + other.lowered_disk_hits,
+            lowered_disk_misses: self.lowered_disk_misses + other.lowered_disk_misses,
+            plan_disk_hits: self.plan_disk_hits + other.plan_disk_hits,
+            plan_disk_misses: self.plan_disk_misses + other.plan_disk_misses,
+            lowered_evictions: self.lowered_evictions + other.lowered_evictions,
+            plan_evictions: self.plan_evictions + other.plan_evictions,
+            bytes_written: self.bytes_written + other.bytes_written,
+        }
     }
 }
 
 impl SimCache {
-    /// An empty cache.
+    /// An empty, unbounded, memory-only cache.
     pub fn new() -> Self {
         SimCache::default()
     }
@@ -128,15 +428,45 @@ impl SimCache {
     /// An empty cache that mirrors its hit/miss counters into live metrics:
     /// `cache_lookups_total{family, result}` and
     /// `cache_inserted_key_bytes_total{family}` counters (content keys *are*
-    /// the serialized inputs, so key bytes proxy resident content size) plus
-    /// `cache_entries{family}` gauges. [`SimCache::stats`] is unchanged and
-    /// the per-experiment [`CacheStats`] deltas stay exact — the hub is an
-    /// additional read path, never the source of truth.
+    /// the serialized inputs, so key bytes proxy resident content size),
+    /// `cache_entries{family}` gauges, and — once a disk tier or entry cap
+    /// is attached — `cache_disk_lookups_total{family, result}`,
+    /// `cache_evictions_total{family}` and `cache_disk_bytes_written_total`
+    /// counters. [`SimCache::stats`] is unchanged and the per-experiment
+    /// [`CacheStats`] deltas stay exact — the hub is an additional read
+    /// path, never the source of truth.
     pub fn with_metrics(shard: &MetricsShard) -> Self {
         SimCache {
             metrics: shard.enabled().then(|| CacheMetrics::new(shard)),
             ..SimCache::default()
         }
+    }
+
+    /// Attach a persistent content-addressed tier rooted at `dir`
+    /// (created, with its `lowered/` and `plans/` subdirectories, if
+    /// absent). See the [module docs](self) for the entry format and
+    /// failure semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Io`] when the directories cannot be created.
+    pub fn with_disk_tier(mut self, dir: impl AsRef<Path>) -> Result<Self, CoreError> {
+        self.disk = Some(DiskTier::new(dir.as_ref())?);
+        Ok(self)
+    }
+
+    /// Cap each in-memory family at `max_entries` entries, evicting the
+    /// least-recently-used entry on overflow. Evicted entries with
+    /// unpersisted content are written back to the disk tier first (when
+    /// one is attached), so bounding memory never loses work.
+    pub fn with_max_entries(mut self, max_entries: usize) -> Self {
+        self.max_entries = Some(max_entries.max(1));
+        self
+    }
+
+    /// Whether a persistent disk tier is attached.
+    pub fn has_disk_tier(&self) -> bool {
+        self.disk.is_some()
     }
 
     /// The content key of a lowered trace: canonical JSON of every input
@@ -177,7 +507,8 @@ impl SimCache {
     }
 
     /// The lowered trace for `key`, building and publishing it via `build`
-    /// on a miss. Returns the artifact and whether it was a hit.
+    /// on a memory *and* disk miss. Returns the artifact and where it was
+    /// served from.
     ///
     /// # Errors
     ///
@@ -186,39 +517,49 @@ impl SimCache {
         &self,
         key: &str,
         build: impl FnOnce() -> Result<LoweredJob, CoreError>,
-    ) -> Result<(Arc<LoweredJob>, bool), CoreError> {
-        if let Some(hit) = self.lowered.lock().expect("cache poisoned").get(key) {
+    ) -> Result<(Arc<LoweredJob>, CacheHit), CoreError> {
+        if let Some(hit) = self.lowered.lock().expect("cache poisoned").touch(key) {
             self.lowered_hits.fetch_add(1, Ordering::Relaxed);
             if let Some(m) = &self.metrics {
                 m.lowered_hits.inc();
             }
-            return Ok((Arc::clone(hit), true));
+            return Ok((hit, CacheHit::Memory));
         }
-        // Build outside the lock: lowering can take milliseconds and other
-        // points must not serialize behind it. A concurrent builder of the
-        // same key produces identical bits; first insert wins.
+        // Disk probe and build both happen outside the lock: loading or
+        // lowering can take milliseconds and other points must not
+        // serialize behind it. A concurrent builder of the same key
+        // produces identical bits; first insert wins.
+        if let Some(job) = self.load_lowered(key) {
+            self.lowered_hits.fetch_add(1, Ordering::Relaxed);
+            self.lowered_disk_hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = &self.metrics {
+                m.lowered_hits.inc();
+                m.lowered_disk_hits.inc();
+            }
+            let entry = self.insert_lowered(key, Arc::new(job), 1);
+            return Ok((entry, CacheHit::Disk));
+        }
+        if self.disk.is_some() {
+            self.lowered_disk_misses.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = &self.metrics {
+                m.lowered_disk_misses.inc();
+            }
+        }
         let built = Arc::new(build()?);
         self.lowered_misses.fetch_add(1, Ordering::Relaxed);
-        let mut map = self.lowered.lock().expect("cache poisoned");
-        let inserted = !map.contains_key(key);
-        let entry = map.entry(key.to_string()).or_insert_with(|| built);
-        let entry = Arc::clone(entry);
         if let Some(m) = &self.metrics {
             m.lowered_misses.inc();
-            if inserted {
-                m.lowered_key_bytes.add(key.len() as u64);
-            }
-            m.lowered_entries.set(map.len() as f64);
         }
-        drop(map);
-        Ok((entry, false))
+        let entry = self.insert_lowered(key, built, 0);
+        Ok((entry, CacheHit::Miss))
     }
 
     /// The shared plan set for
-    /// `(cluster, placement, lowered_key, fold_multiplicity)`, creating an
-    /// empty set sized for `trace` on a miss. Returns the set and whether
-    /// it was a hit. Pass `fold_multiplicity` 1 for an ordinary unfolded
-    /// trace and the replica count for a symmetry-folded one (see
+    /// `(cluster, placement, lowered_key, fold_multiplicity)`, reloading a
+    /// persisted set from the disk tier or creating an empty set sized for
+    /// `trace` on a full miss. Returns the set and where it was served
+    /// from. Pass `fold_multiplicity` 1 for an ordinary unfolded trace and
+    /// the replica count for a symmetry-folded one (see
     /// [`charllm_sim::fold`]).
     pub fn plans(
         &self,
@@ -227,34 +568,230 @@ impl SimCache {
         lowered_key: &str,
         trace: &ExecutionTrace,
         fold_multiplicity: u32,
-    ) -> (Arc<SharedPlans>, bool) {
+    ) -> (Arc<SharedPlans>, CacheHit) {
         let key = SimCache::plan_key(cluster, placement, lowered_key, fold_multiplicity);
-        let mut map = self.plans.lock().expect("cache poisoned");
-        if let Some(hit) = map.get(&key) {
+        if let Some(hit) = self.plans.lock().expect("cache poisoned").touch(&key) {
             self.plan_hits.fetch_add(1, Ordering::Relaxed);
             if let Some(m) = &self.metrics {
                 m.plan_hits.inc();
             }
-            return (Arc::clone(hit), true);
+            return (hit, CacheHit::Memory);
+        }
+        if let Some(set) = self.load_plans(&key, trace) {
+            self.plan_hits.fetch_add(1, Ordering::Relaxed);
+            self.plan_disk_hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = &self.metrics {
+                m.plan_hits.inc();
+                m.plan_disk_hits.inc();
+            }
+            let persisted = set.num_built() as u64;
+            let entry = self.insert_plans(&key, Arc::new(set), persisted);
+            return (entry, CacheHit::Disk);
+        }
+        if self.disk.is_some() {
+            self.plan_disk_misses.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = &self.metrics {
+                m.plan_disk_misses.inc();
+            }
         }
         self.plan_misses.fetch_add(1, Ordering::Relaxed);
-        let set = Arc::new(SharedPlans::for_trace(trace));
         if let Some(m) = &self.metrics {
             m.plan_misses.inc();
-            m.plan_key_bytes.add(key.len() as u64);
-            m.plan_entries.set((map.len() + 1) as f64);
         }
-        map.insert(key, Arc::clone(&set));
-        (set, false)
+        let set = Arc::new(SharedPlans::for_trace(trace));
+        let entry = self.insert_plans(&key, set, 0);
+        (entry, CacheHit::Miss)
     }
 
-    /// Cumulative hit/miss counters across every worker sharing the cache.
+    /// Persist everything the memory tiers hold that the disk tier does
+    /// not: unwritten lowered traces, and plan sets with more built slots
+    /// than their last persisted copy (plan sets fill lazily *during*
+    /// simulation, which is why persistence is a sync and not an
+    /// insert-time write). No-op without a disk tier. Returns the bytes
+    /// written by this call.
+    ///
+    /// [`Experiment::run`](crate::Experiment::run) syncs after every
+    /// cached run; long-lived holders (the job server) may also sync at
+    /// their own cadence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Io`] when an entry cannot be written.
+    pub fn sync_disk(&self) -> Result<u64, CoreError> {
+        let Some(disk) = &self.disk else {
+            return Ok(0);
+        };
+        let mut written = 0u64;
+        // Collect dirty entries under the lock, write outside it (writes
+        // are the slow part), then mark them persisted. A concurrent sync
+        // may duplicate a write; both produce identical bits.
+        let dirty: Vec<(String, Arc<LoweredJob>)> = {
+            let tier = self.lowered.lock().expect("cache poisoned");
+            tier.map
+                .iter()
+                .filter(|(_, slot)| slot.persisted == 0)
+                .map(|(k, slot)| (k.clone(), Arc::clone(&slot.value)))
+                .collect()
+        };
+        for (key, job) in dirty {
+            let payload = serde_json::to_value(&*job).expect("lowered job serializes");
+            written += disk.store("lowered", &key, payload)?;
+            if let Some(slot) = self
+                .lowered
+                .lock()
+                .expect("cache poisoned")
+                .map
+                .get_mut(&key)
+            {
+                slot.persisted = 1;
+            }
+        }
+        let dirty: Vec<(String, Arc<SharedPlans>, u64)> = {
+            let tier = self.plans.lock().expect("cache poisoned");
+            tier.map
+                .iter()
+                .filter(|(_, slot)| (slot.value.num_built() as u64) > slot.persisted)
+                .map(|(k, slot)| {
+                    (
+                        k.clone(),
+                        Arc::clone(&slot.value),
+                        slot.value.num_built() as u64,
+                    )
+                })
+                .collect()
+        };
+        for (key, set, built) in dirty {
+            let payload = serde_json::to_value(set.snapshot()).expect("plan snapshot serializes");
+            written += disk.store("plans", &key, payload)?;
+            if let Some(slot) = self.plans.lock().expect("cache poisoned").map.get_mut(&key) {
+                slot.persisted = slot.persisted.max(built);
+            }
+        }
+        if written > 0 {
+            self.disk_bytes_written
+                .fetch_add(written, Ordering::Relaxed);
+            if let Some(m) = &self.metrics {
+                m.disk_bytes_written.add(written);
+            }
+        }
+        Ok(written)
+    }
+
+    fn load_lowered(&self, key: &str) -> Option<LoweredJob> {
+        let payload = self.disk.as_ref()?.load("lowered", key)?;
+        serde_json::from_value(payload).ok()
+    }
+
+    fn load_plans(&self, key: &str, trace: &ExecutionTrace) -> Option<SharedPlans> {
+        let payload = self.disk.as_ref()?.load("plans", key)?;
+        let snap: PlanSetSnapshot = serde_json::from_value(payload).ok()?;
+        // A snapshot sized for a different trace would misroute flows;
+        // treat it like any other unusable entry.
+        (snap.num_collectives() == trace.num_collectives())
+            .then(|| SharedPlans::from_snapshot(&snap))
+    }
+
+    fn insert_lowered(&self, key: &str, value: Arc<LoweredJob>, persisted: u64) -> Arc<LoweredJob> {
+        let (entry, evicted) = {
+            let mut tier = self.lowered.lock().expect("cache poisoned");
+            let (entry, inserted) = tier.insert(key, value, persisted);
+            if let Some(m) = &self.metrics {
+                if inserted {
+                    m.lowered_key_bytes.add(key.len() as u64);
+                }
+            }
+            let evicted = self.overflow(&mut tier);
+            if let Some(m) = &self.metrics {
+                m.lowered_entries.set(tier.map.len() as f64);
+                m.lowered_evictions.add(evicted.len() as u64);
+            }
+            self.lowered_evictions
+                .fetch_add(evicted.len() as u64, Ordering::Relaxed);
+            (entry, evicted)
+        };
+        // Write dirty evictees back outside the lock. A racing lookup for
+        // an evicted key may rebuild before the write lands; harmless, the
+        // bits are identical.
+        for (ekey, slot) in evicted {
+            if slot.persisted == 0 {
+                self.write_back("lowered", &ekey, || {
+                    serde_json::to_value(&*slot.value).expect("lowered job serializes")
+                });
+            }
+        }
+        entry
+    }
+
+    fn insert_plans(&self, key: &str, value: Arc<SharedPlans>, persisted: u64) -> Arc<SharedPlans> {
+        let (entry, evicted) = {
+            let mut tier = self.plans.lock().expect("cache poisoned");
+            let (entry, inserted) = tier.insert(key, value, persisted);
+            if let Some(m) = &self.metrics {
+                if inserted {
+                    m.plan_key_bytes.add(key.len() as u64);
+                }
+            }
+            let evicted = self.overflow(&mut tier);
+            if let Some(m) = &self.metrics {
+                m.plan_entries.set(tier.map.len() as f64);
+                m.plan_evictions.add(evicted.len() as u64);
+            }
+            self.plan_evictions
+                .fetch_add(evicted.len() as u64, Ordering::Relaxed);
+            (entry, evicted)
+        };
+        for (ekey, slot) in evicted {
+            if (slot.value.num_built() as u64) > slot.persisted {
+                self.write_back("plans", &ekey, || {
+                    serde_json::to_value(slot.value.snapshot()).expect("plan snapshot serializes")
+                });
+            }
+        }
+        entry
+    }
+
+    /// Evict LRU entries until the tier respects `max_entries`.
+    fn overflow<T>(&self, tier: &mut Tier<T>) -> Vec<(String, Slot<T>)> {
+        let Some(cap) = self.max_entries else {
+            return Vec::new();
+        };
+        let mut evicted = Vec::new();
+        while tier.map.len() > cap {
+            match tier.evict_lru() {
+                Some(entry) => evicted.push(entry),
+                None => break,
+            }
+        }
+        evicted
+    }
+
+    /// Best-effort eviction write-back: an I/O failure here only costs a
+    /// future rebuild, it must not fail the lookup that triggered the
+    /// eviction.
+    fn write_back(&self, family: &str, key: &str, payload: impl FnOnce() -> Value) {
+        let Some(disk) = &self.disk else { return };
+        if let Ok(bytes) = disk.store(family, key, payload()) {
+            self.disk_bytes_written.fetch_add(bytes, Ordering::Relaxed);
+            if let Some(m) = &self.metrics {
+                m.disk_bytes_written.add(bytes);
+            }
+        }
+    }
+
+    /// Cumulative counters across every worker sharing the cache.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             lowered_hits: self.lowered_hits.load(Ordering::Relaxed),
             lowered_misses: self.lowered_misses.load(Ordering::Relaxed),
             plan_hits: self.plan_hits.load(Ordering::Relaxed),
             plan_misses: self.plan_misses.load(Ordering::Relaxed),
+            lowered_disk_hits: self.lowered_disk_hits.load(Ordering::Relaxed),
+            lowered_disk_misses: self.lowered_disk_misses.load(Ordering::Relaxed),
+            plan_disk_hits: self.plan_disk_hits.load(Ordering::Relaxed),
+            plan_disk_misses: self.plan_disk_misses.load(Ordering::Relaxed),
+            lowered_evictions: self.lowered_evictions.load(Ordering::Relaxed),
+            plan_evictions: self.plan_evictions.load(Ordering::Relaxed),
+            bytes_written: self.disk_bytes_written.load(Ordering::Relaxed),
         }
     }
 }
@@ -263,8 +800,16 @@ impl std::fmt::Display for CacheStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "lowered {} hits / {} misses, plans {} hits / {} misses",
-            self.lowered_hits, self.lowered_misses, self.plan_hits, self.plan_misses
+            "lowered {} hits / {} misses, plans {} hits / {} misses, \
+             disk {} hits / {} misses / {} B written, {} evictions",
+            self.lowered_hits,
+            self.lowered_misses,
+            self.plan_hits,
+            self.plan_misses,
+            self.disk_hits(),
+            self.lowered_disk_misses + self.plan_disk_misses,
+            self.bytes_written,
+            self.evictions(),
         )
     }
 }
@@ -282,6 +827,20 @@ mod tests {
         let partition = StagePartition::even(job.arch.num_layers, spec.pp).unwrap();
         let hints = DeviceHints::for_spec(cluster.gpu());
         (job, spec, partition, hints)
+    }
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos();
+        let dir = std::env::temp_dir().join(format!(
+            "charllm-cache-{tag}-{}-{}",
+            std::process::id(),
+            nanos
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
     }
 
     #[test]
@@ -337,11 +896,11 @@ mod tests {
                 .map_err(CoreError::from)
         };
         let (first, hit) = cache.lowered(&key, build).unwrap();
-        assert!(!hit);
+        assert_eq!(hit, CacheHit::Miss);
         let (second, hit) = cache
             .lowered(&key, || panic!("hit must not rebuild"))
             .unwrap();
-        assert!(hit);
+        assert_eq!(hit, CacheHit::Memory);
         assert!(
             Arc::ptr_eq(&first, &second),
             "hit returns the same artifact"
@@ -369,7 +928,7 @@ mod tests {
                     .map_err(CoreError::from)
             })
             .unwrap();
-        assert!(!hit, "key stays buildable after a failure");
+        assert_eq!(hit, CacheHit::Miss, "key stays buildable after a failure");
     }
 
     #[test]
@@ -381,18 +940,241 @@ mod tests {
         let placement = Placement::identity(&cluster, lowered.trace.world()).unwrap();
         let cache = SimCache::new();
         let (set, hit) = cache.plans(&cluster, &placement, "trace-a", &lowered.trace, 1);
-        assert!(!hit);
+        assert_eq!(hit, CacheHit::Miss);
         assert_eq!(set.num_collectives(), lowered.trace.num_collectives());
         let (again, hit) = cache.plans(&cluster, &placement, "trace-a", &lowered.trace, 1);
-        assert!(hit);
+        assert_eq!(hit, CacheHit::Memory);
         assert!(Arc::ptr_eq(&set, &again));
         let (_, hit) = cache.plans(&cluster, &placement, "trace-b", &lowered.trace, 1);
-        assert!(!hit, "different trace key, different plan set");
+        assert_eq!(
+            hit,
+            CacheHit::Miss,
+            "different trace key, different plan set"
+        );
         let (_, hit) = cache.plans(&cluster, &placement, "trace-a", &lowered.trace, 4);
-        assert!(!hit, "folded and unfolded plan sets never alias");
+        assert_eq!(
+            hit,
+            CacheHit::Miss,
+            "folded and unfolded plan sets never alias"
+        );
         let other = charllm_hw::presets::hgx_h100_cluster();
         let other_placement = Placement::identity(&other, lowered.trace.world()).unwrap();
         let (_, hit) = cache.plans(&other, &other_placement, "trace-a", &lowered.trace, 1);
-        assert!(!hit, "different cluster, different plan set");
+        assert_eq!(hit, CacheHit::Miss, "different cluster, different plan set");
+    }
+
+    #[test]
+    fn disk_tier_survives_a_new_cache() {
+        let dir = scratch_dir("roundtrip");
+        let (job, spec, partition, hints) = inputs();
+        let key = SimCache::lowered_key(
+            &job,
+            &spec,
+            PipelineSchedule::OneFOneB,
+            &partition,
+            &hints,
+            None,
+        );
+        let build = || {
+            lower_train(&job, &spec, PipelineSchedule::OneFOneB, &partition, &hints)
+                .map_err(CoreError::from)
+        };
+        let first = {
+            let cache = SimCache::new().with_disk_tier(&dir).unwrap();
+            let (lowered, hit) = cache.lowered(&key, build).unwrap();
+            assert_eq!(hit, CacheHit::Miss);
+            let written = cache.sync_disk().unwrap();
+            assert!(written > 0, "sync persists the fresh entry");
+            assert_eq!(cache.stats().bytes_written, written);
+            lowered
+        };
+        // A fresh cache over the same directory models a new process.
+        let cache = SimCache::new().with_disk_tier(&dir).unwrap();
+        let (reloaded, hit) = cache
+            .lowered(&key, || panic!("disk hit must not rebuild"))
+            .unwrap();
+        assert_eq!(hit, CacheHit::Disk);
+        assert_eq!(*reloaded, *first, "reloaded artifact is identical");
+        let stats = cache.stats();
+        assert_eq!(stats.lowered_disk_hits, 1);
+        assert_eq!(stats.lowered_hits, 1, "disk hits count as hits");
+        assert_eq!(cache.sync_disk().unwrap(), 0, "nothing left to persist");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_truncated_and_mismatched_entries_are_misses() {
+        let dir = scratch_dir("corrupt");
+        let (job, spec, partition, hints) = inputs();
+        let key = SimCache::lowered_key(
+            &job,
+            &spec,
+            PipelineSchedule::OneFOneB,
+            &partition,
+            &hints,
+            None,
+        );
+        let build = || {
+            lower_train(&job, &spec, PipelineSchedule::OneFOneB, &partition, &hints)
+                .map_err(CoreError::from)
+        };
+        {
+            let cache = SimCache::new().with_disk_tier(&dir).unwrap();
+            cache.lowered(&key, build).unwrap();
+            cache.sync_disk().unwrap();
+        }
+        let path = dir
+            .join("lowered")
+            .join(format!("{:016x}.json", DiskTier::address(&key)));
+        let pristine = std::fs::read_to_string(&path).unwrap();
+
+        let expect_miss = |tag: &str| {
+            let cache = SimCache::new().with_disk_tier(&dir).unwrap();
+            let (_, hit) = cache.lowered(&key, build).unwrap();
+            assert_eq!(hit, CacheHit::Miss, "{tag} must read as a miss");
+            assert_eq!(cache.stats().lowered_disk_misses, 1, "{tag}");
+        };
+
+        // Truncated mid-entry.
+        std::fs::write(&path, &pristine[..pristine.len() / 2]).unwrap();
+        expect_miss("truncated entry");
+        // Outright garbage.
+        std::fs::write(&path, b"not json at all").unwrap();
+        expect_miss("corrupt entry");
+        // A valid entry from a different format version.
+        let stale = pristine.replacen(
+            &format!("\"v\":{DISK_FORMAT_VERSION}"),
+            &format!("\"v\":{}", DISK_FORMAT_VERSION + 1),
+            1,
+        );
+        assert_ne!(stale, pristine, "version tag located in the entry");
+        std::fs::write(&path, stale).unwrap();
+        expect_miss("version-tag mismatch");
+        // A colliding address holding some other key's entry (rewrite the
+        // stored `key` field through the JSON layer — the raw key text is
+        // escaped inside the file, so a textual replace would miss it).
+        let mut doc: serde_json::Value = serde_json::from_str(&pristine).unwrap();
+        if let serde_json::Value::Object(map) = &mut doc {
+            map.insert(
+                "key",
+                serde_json::Value::String("some-other-content-key".into()),
+            );
+        }
+        std::fs::write(&path, serde_json::to_string(&doc).unwrap()).unwrap();
+        expect_miss("hash collision");
+
+        // Every rebuild rewrote the entry on sync; the final state is
+        // servable again.
+        let cache = SimCache::new().with_disk_tier(&dir).unwrap();
+        let (_, hit) = cache.lowered(&key, build).unwrap();
+        assert_eq!(hit, CacheHit::Miss, "last miss did not sync");
+        cache.sync_disk().unwrap();
+        let cache = SimCache::new().with_disk_tier(&dir).unwrap();
+        let (_, hit) = cache.lowered(&key, || panic!("must hit")).unwrap();
+        assert_eq!(hit, CacheHit::Disk);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn plan_sets_roundtrip_through_disk_with_built_slots() {
+        let dir = scratch_dir("plans");
+        let cluster = charllm_hw::presets::hgx_h200_cluster();
+        let (job, spec, partition, hints) = inputs();
+        let lowered =
+            lower_train(&job, &spec, PipelineSchedule::OneFOneB, &partition, &hints).unwrap();
+        let placement = Placement::identity(&cluster, lowered.trace.world()).unwrap();
+        {
+            let cache = SimCache::new().with_disk_tier(&dir).unwrap();
+            let (set, hit) = cache.plans(&cluster, &placement, "k", &lowered.trace, 1);
+            assert_eq!(hit, CacheHit::Miss);
+            // An empty set has nothing to persist yet.
+            assert_eq!(cache.sync_disk().unwrap(), 0);
+            // Simulate filling it (as a run would) and sync again.
+            let sim = charllm_sim::Simulator::new(
+                &cluster,
+                &placement,
+                &lowered.trace,
+                charllm_sim::SimConfig::fast(),
+            )
+            .unwrap()
+            .with_shared_plans(Arc::clone(&set))
+            .unwrap();
+            sim.run().unwrap();
+            assert!(set.num_built() > 0);
+            assert!(cache.sync_disk().unwrap() > 0, "built plans persist");
+        }
+        let cache = SimCache::new().with_disk_tier(&dir).unwrap();
+        let (set, hit) = cache.plans(&cluster, &placement, "k", &lowered.trace, 1);
+        assert_eq!(hit, CacheHit::Disk);
+        assert!(set.num_built() > 0, "built slots came back published");
+        assert_eq!(set.num_collectives(), lowered.trace.num_collectives());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bounded_tier_evicts_lru_and_counts_it() {
+        let (job, spec, partition, hints) = inputs();
+        let lowered =
+            lower_train(&job, &spec, PipelineSchedule::OneFOneB, &partition, &hints).unwrap();
+        let cache = SimCache::new().with_max_entries(2);
+        let build = || Ok(lowered.clone());
+        cache.lowered("a", build).unwrap();
+        cache.lowered("b", build).unwrap();
+        cache.lowered("a", || panic!("resident")).unwrap(); // a now newer than b
+        cache.lowered("c", build).unwrap(); // evicts b
+        assert_eq!(cache.stats().lowered_evictions, 1);
+        let (_, hit) = cache.lowered("a", || panic!("a stayed resident")).unwrap();
+        assert_eq!(hit, CacheHit::Memory);
+        let (_, hit) = cache.lowered("b", build).unwrap();
+        assert_eq!(hit, CacheHit::Miss, "b was the LRU victim");
+        assert_eq!(cache.stats().lowered_evictions, 2, "refetching b evicted c");
+    }
+
+    #[test]
+    fn eviction_writes_dirty_entries_back_to_disk() {
+        let dir = scratch_dir("writeback");
+        let (job, spec, partition, hints) = inputs();
+        let lowered =
+            lower_train(&job, &spec, PipelineSchedule::OneFOneB, &partition, &hints).unwrap();
+        let cache = SimCache::new()
+            .with_disk_tier(&dir)
+            .unwrap()
+            .with_max_entries(1);
+        let build = || Ok(lowered.clone());
+        cache.lowered("a", build).unwrap();
+        cache.lowered("b", build).unwrap(); // evicts dirty "a" -> write-back
+        let stats = cache.stats();
+        assert_eq!(stats.lowered_evictions, 1);
+        assert!(stats.bytes_written > 0, "dirty evictee persisted");
+        let (_, hit) = cache.lowered("a", || panic!("disk has a")).unwrap();
+        assert_eq!(hit, CacheHit::Disk, "evicted entry served from disk");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stats_compose_exactly() {
+        // Disk hits also count as plain hits (see the `plan_hits` doc), so
+        // consistent stats carry both.
+        let a = CacheStats {
+            lowered_hits: 1,
+            plan_hits: 2,
+            plan_disk_hits: 2,
+            bytes_written: 10,
+            ..CacheStats::default()
+        };
+        let b = CacheStats {
+            lowered_hits: 3,
+            lowered_evictions: 1,
+            bytes_written: 5,
+            ..CacheStats::default()
+        };
+        let sum = a.add(&b);
+        assert_eq!(sum.lowered_hits, 4);
+        assert_eq!(sum.plan_disk_hits, 2);
+        assert_eq!(sum.lowered_evictions, 1);
+        assert_eq!(sum.bytes_written, 15);
+        assert_eq!(sum.hits(), 6);
+        assert_eq!(sum.disk_hits(), 2);
+        assert_eq!(sum.evictions(), 1);
     }
 }

@@ -18,6 +18,8 @@ pub enum CoreError {
     Sim(charllm_sim::SimError),
     /// Experiment was under-specified.
     Incomplete(String),
+    /// I/O error (persistent cache tier, server sockets).
+    Io(std::io::Error),
 }
 
 impl fmt::Display for CoreError {
@@ -29,6 +31,7 @@ impl fmt::Display for CoreError {
             CoreError::Trace(e) => write!(f, "{e}"),
             CoreError::Sim(e) => write!(f, "{e}"),
             CoreError::Incomplete(msg) => write!(f, "incomplete experiment: {msg}"),
+            CoreError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
 }
@@ -62,6 +65,12 @@ impl From<charllm_trace::lower::TraceError> for CoreError {
 impl From<charllm_sim::SimError> for CoreError {
     fn from(e: charllm_sim::SimError) -> Self {
         CoreError::Sim(e)
+    }
+}
+
+impl From<std::io::Error> for CoreError {
+    fn from(e: std::io::Error) -> Self {
+        CoreError::Io(e)
     }
 }
 

@@ -11,7 +11,7 @@ use charllm_telemetry::metrics::MetricsShard;
 use charllm_telemetry::StageTimer;
 use charllm_trace::{lower_inference, lower_train, DeviceHints, InferenceConfig};
 
-use crate::cache::{CacheStats, SimCache};
+use crate::cache::{CacheHit, CacheStats, SimCache};
 use crate::error::CoreError;
 use crate::report::RunReport;
 
@@ -75,7 +75,7 @@ impl Experiment {
         // are served by content key; results are byte-identical either way
         // (the trace is the same artifact, and shared plans are pure
         // functions of cluster × placement × trace).
-        let (lowered, shared, cache_stats) = match &self.cache {
+        let (lowered, shared, mut cache_stats) = match &self.cache {
             None => (Arc::new(lower()?), None, None),
             Some(cache) => {
                 let mut key = SimCache::lowered_key(
@@ -98,11 +98,17 @@ impl Experiment {
                 let (lowered, lowered_hit) = cache.lowered(&key, lower)?;
                 let (shared, plan_hit) =
                     cache.plans(&self.cluster, &placement, &key, &lowered.trace, 1);
+                let disk = cache.has_disk_tier();
                 let stats = CacheStats {
-                    lowered_hits: u64::from(lowered_hit),
-                    lowered_misses: u64::from(!lowered_hit),
-                    plan_hits: u64::from(plan_hit),
-                    plan_misses: u64::from(!plan_hit),
+                    lowered_hits: u64::from(lowered_hit.is_hit()),
+                    lowered_misses: u64::from(!lowered_hit.is_hit()),
+                    plan_hits: u64::from(plan_hit.is_hit()),
+                    plan_misses: u64::from(!plan_hit.is_hit()),
+                    lowered_disk_hits: u64::from(lowered_hit == CacheHit::Disk),
+                    lowered_disk_misses: u64::from(disk && lowered_hit == CacheHit::Miss),
+                    plan_disk_hits: u64::from(plan_hit == CacheHit::Disk),
+                    plan_disk_misses: u64::from(disk && plan_hit == CacheHit::Miss),
+                    ..CacheStats::default()
                 };
                 (lowered, Some(shared), Some(stats))
             }
@@ -147,6 +153,15 @@ impl Experiment {
         };
         if let Some(t) = &mut timer {
             t.mark("event_loop");
+        }
+        // Persist what this run added to the cache only now: the shared
+        // plan set filled lazily *during* the simulation, so syncing any
+        // earlier would write an empty set.
+        if let Some(cache) = &self.cache {
+            let written = cache.sync_disk()?;
+            if let Some(stats) = &mut cache_stats {
+                stats.bytes_written = written;
+            }
         }
         let mut report = self.report(sim, &placement);
         report.cache = cache_stats;

@@ -42,10 +42,11 @@ pub mod insights;
 pub mod presets;
 pub mod report;
 pub mod search;
+pub mod server;
 pub mod stream;
 pub mod sweep;
 
-pub use cache::{CacheStats, SimCache};
+pub use cache::{CacheHit, CacheStats, SimCache};
 pub use error::CoreError;
 pub use executor::Executor;
 pub use experiment::{Experiment, ExperimentBuilder};
@@ -54,11 +55,12 @@ pub use stream::{ProgressEvent, ProgressStream};
 
 /// Convenient imports for experiment-driving code.
 pub mod prelude {
-    pub use crate::cache::{CacheStats, SimCache};
+    pub use crate::cache::{CacheHit, CacheStats, SimCache};
     pub use crate::executor::Executor;
     pub use crate::experiment::{Experiment, ExperimentBuilder};
     pub use crate::presets::*;
     pub use crate::report::RunReport;
+    pub use crate::server::{ServerConfig, SimServer};
     pub use crate::stream::{ProgressEvent, ProgressStream};
     pub use crate::sweep::{Sweep, SweepOutcome, SweepProgress};
     pub use charllm_hw::presets::{

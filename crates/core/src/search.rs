@@ -98,12 +98,28 @@ pub fn search_configs(
     cluster: &Cluster,
     opts: SearchOptions,
 ) -> Result<Vec<Candidate>, CoreError> {
-    let specs = valid_configs(job, cluster, EnumerateOptions::default());
-    let hints = DeviceHints::for_spec(cluster.gpu());
     // Screening lowers every candidate; finalists are lowered again inside
     // their full simulation. Publishing the screen-phase traces into a
     // shared cache turns that second lowering into a lookup.
-    let cache = Arc::new(SimCache::new());
+    search_configs_with_cache(job, cluster, opts, Arc::new(SimCache::new()))
+}
+
+/// [`search_configs`] against a caller-provided cache, so long-lived
+/// holders (sweep drivers, the job server) share lowered traces and plans
+/// across searches — and across concurrent sweeps — instead of rebuilding
+/// them per call. A persistent cache additionally survives the process.
+///
+/// # Errors
+///
+/// See [`search_configs`].
+pub fn search_configs_with_cache(
+    job: &TrainJob,
+    cluster: &Cluster,
+    opts: SearchOptions,
+    cache: Arc<SimCache>,
+) -> Result<Vec<Candidate>, CoreError> {
+    let specs = valid_configs(job, cluster, EnumerateOptions::default());
+    let hints = DeviceHints::for_spec(cluster.gpu());
     let mut screened: Vec<Candidate> = Vec::new();
     for spec in specs {
         let Ok(partition) = StagePartition::even(job.arch.num_layers, spec.pp) else {

@@ -15,7 +15,7 @@
 use std::cmp::Ordering;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -229,6 +229,7 @@ pub struct Sweep {
     metrics: Option<Arc<MetricsHub>>,
     stream: Option<Arc<ProgressStream>>,
     self_profile: bool,
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 impl fmt::Debug for Sweep {
@@ -248,6 +249,7 @@ impl fmt::Debug for Sweep {
             .field("metrics", &self.metrics.is_some())
             .field("stream", &self.stream.is_some())
             .field("self_profile", &self.self_profile)
+            .field("cancel", &self.cancel.is_some())
             .finish()
     }
 }
@@ -275,6 +277,7 @@ impl Sweep {
             metrics: None,
             stream: None,
             self_profile: false,
+            cancel: None,
         }
     }
 
@@ -392,6 +395,18 @@ impl Sweep {
         self
     }
 
+    /// Cooperative cancellation: once `flag` becomes true, points that
+    /// have not started yet finish as [`SweepOutcome::Skipped`] with
+    /// reason `"canceled"` (in-flight points run to completion — the
+    /// engine has no preemption point). Canceled points still flow
+    /// through the progress callback and the stream, so a consumer sees
+    /// every index plus the terminal `sweep_end` event and can tell a
+    /// canceled sweep from a truncated stream.
+    pub fn cancel_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
     /// The cartesian grid in enumeration order, with the concrete job for
     /// each point.
     fn grid(&self) -> Vec<(SweepPoint, TrainJob)> {
@@ -459,6 +474,18 @@ impl Sweep {
         });
 
         let outcomes = executor.run_with_worker(&grid, |worker, _, (point, job)| {
+            if self
+                .cancel
+                .as_ref()
+                .is_some_and(|f| f.load(AtomicOrdering::Relaxed))
+            {
+                let outcome = SweepOutcome::Skipped {
+                    point: point.clone(),
+                    reason: "canceled".into(),
+                };
+                self.note_finished(&emit, counters.as_ref(), hub, started, total, &outcome);
+                return outcome;
+            }
             let point_started = Instant::now();
             let mut builder = Experiment::builder()
                 .cluster(Arc::clone(&self.cluster))

@@ -116,7 +116,9 @@ const MAX_ROUTE_LINKS: usize = 8;
 
 /// One flow of a cached collective plan: everything about it that is
 /// invariant across iterations, laid out for by-value copying into a
-/// [`FlowState`] at launch.
+/// [`FlowState`] at launch. Persisted across processes through the packed
+/// [`PlanSetSnapshot`] encoding: every field is either an integer or an
+/// `f64` printed shortest-roundtrip, so a snapshot reloads bit-exact.
 #[derive(Debug, Clone, Copy)]
 struct PlanFlow {
     /// Effective work in byte-equivalents (payload + overhead).
@@ -203,6 +205,313 @@ impl SharedPlans {
     /// (every builder of the same slot produces identical bits).
     fn put(&self, ci: usize, plan: &CollPlan) {
         let _ = self.plans[ci].set(plan.clone());
+    }
+
+    /// A serializable copy of the set's current contents: built slots carry
+    /// their flows, unbuilt slots are `None`. Plans are pure functions of
+    /// `(cluster, placement, trace)`, so a snapshot taken after a run can
+    /// seed any later process replaying the same triple (see
+    /// `charllm-core`'s persistent `SimCache` tier).
+    pub fn snapshot(&self) -> PlanSetSnapshot {
+        PlanSetSnapshot {
+            plans: self
+                .plans
+                .iter()
+                .map(|slot| {
+                    slot.get().map(|p| PlanEntry {
+                        flows: p.flows.to_vec(),
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuild a plan set from a [`snapshot`](SharedPlans::snapshot):
+    /// `Some` slots come back published, `None` slots come back empty (a
+    /// simulator replaying the triple builds and republishes them).
+    pub fn from_snapshot(snap: &PlanSetSnapshot) -> Self {
+        SharedPlans {
+            plans: snap
+                .plans
+                .iter()
+                .map(|entry| {
+                    let slot = OnceLock::new();
+                    if let Some(e) = entry {
+                        let _ = slot.set(CollPlan {
+                            flows: e.flows.clone().into_boxed_slice(),
+                        });
+                    }
+                    slot
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The disk form of a [`SharedPlans`] set: built slots in collective-id
+/// order, `None` where no simulator has lowered the collective yet. See
+/// [`SharedPlans::snapshot`] / [`SharedPlans::from_snapshot`].
+///
+/// Serialized by hand into a packed form — `{"n": slots, "built":
+/// [[slot, "flows"], ...]}` where each built slot's flows are one
+/// whitespace/`;`-delimited numeric string — instead of the derived
+/// object-per-flow layout. A 32-GPU MoE plan set is tens of thousands of
+/// flows; packing them into strings shrinks the file ~10x and lets the
+/// JSON layer move each plan as a single bulk string instead of building
+/// a `Value` node per field, which is what makes a disk-tier load cheap
+/// enough to beat re-lowering. Floats print shortest-roundtrip, so the
+/// packed form is still bit-exact.
+#[derive(Debug, Clone)]
+pub struct PlanSetSnapshot {
+    plans: Vec<Option<PlanEntry>>,
+}
+
+/// One built slot of a [`PlanSetSnapshot`].
+#[derive(Debug, Clone)]
+struct PlanEntry {
+    flows: Vec<PlanFlow>,
+}
+
+/// `LinkClass` codes for the packed flow encoding (stable on disk; extend
+/// only by appending).
+fn link_class_code(class: LinkClass) -> u64 {
+    match class {
+        LinkClass::NvLink => 0,
+        LinkClass::XgmiPackage => 1,
+        LinkClass::XgmiPort => 2,
+        LinkClass::Pcie => 3,
+        LinkClass::Nic => 4,
+        LinkClass::Switch => 5,
+    }
+}
+
+fn link_class_of(code: u64) -> Result<LinkClass, serde::Error> {
+    Ok(match code {
+        0 => LinkClass::NvLink,
+        1 => LinkClass::XgmiPackage,
+        2 => LinkClass::XgmiPort,
+        3 => LinkClass::Pcie,
+        4 => LinkClass::Nic,
+        5 => LinkClass::Switch,
+        other => return Err(serde::Error::custom(format!("bad link class code {other}"))),
+    })
+}
+
+/// Shared float dictionary for the packed encoding: flows carry u32
+/// indices into it instead of printed floats. Distinct float values in a
+/// plan set number in the hundreds (collective sizes × link bandwidths)
+/// against tens of thousands of flows, and integer tokens both shrink
+/// the file and parse several times faster than `f64` text.
+#[derive(Default)]
+struct FloatDict {
+    values: Vec<f64>,
+    index: std::collections::HashMap<u64, u32>,
+}
+
+impl FloatDict {
+    fn intern(&mut self, v: f64) -> u32 {
+        *self.index.entry(v.to_bits()).or_insert_with(|| {
+            self.values.push(v);
+            (self.values.len() - 1) as u32
+        })
+    }
+}
+
+/// Pack one plan's flows:
+/// `work pr src dst rl links*rl bw*rl mult*rl cl gpu*cl class*cl` per
+/// flow (`work`/`pr`/`bw` as [`FloatDict`] indices), flows joined with
+/// `;`.
+fn pack_flows(flows: &[PlanFlow], dict: &mut FloatDict) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (i, f) in flows.iter().enumerate() {
+        if i > 0 {
+            out.push(';');
+        }
+        let (rl, cl) = (f.route_len as usize, f.charge_len as usize);
+        let _ = write!(
+            out,
+            "{} {} {} {} {rl}",
+            dict.intern(f.work),
+            dict.intern(f.payload_ratio),
+            f.src.0,
+            f.dst.0
+        );
+        for l in 0..rl {
+            let _ = write!(out, " {}", f.links[l]);
+        }
+        for l in 0..rl {
+            let _ = write!(out, " {}", dict.intern(f.bw1e9[l]));
+        }
+        for l in 0..rl {
+            let _ = write!(out, " {}", f.mult[l]);
+        }
+        let _ = write!(out, " {cl}");
+        for l in 0..cl {
+            let _ = write!(out, " {}", f.charge_gpu[l]);
+        }
+        for l in 0..cl {
+            let _ = write!(out, " {}", link_class_code(f.charge_class[l]));
+        }
+    }
+    out
+}
+
+fn unpack_flows(text: &str, floats: &[f64]) -> Result<Vec<PlanFlow>, serde::Error> {
+    fn next<'a>(t: &mut impl Iterator<Item = &'a str>) -> Result<&'a str, serde::Error> {
+        t.next()
+            .ok_or_else(|| serde::Error::custom("truncated packed flow"))
+    }
+    fn num<T: std::str::FromStr>(tok: &str) -> Result<T, serde::Error> {
+        tok.parse()
+            .map_err(|_| serde::Error::custom(format!("bad packed-flow token {tok:?}")))
+    }
+    let float_at = |i: u32| -> Result<f64, serde::Error> {
+        floats
+            .get(i as usize)
+            .copied()
+            .ok_or_else(|| serde::Error::custom(format!("float index {i} out of range")))
+    };
+    if text.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut flows = Vec::new();
+    for chunk in text.split(';') {
+        let mut t = chunk.split_ascii_whitespace();
+        let mut flow = PlanFlow {
+            work: float_at(num(next(&mut t)?)?)?,
+            payload_ratio: float_at(num(next(&mut t)?)?)?,
+            src: GpuId(num(next(&mut t)?)?),
+            dst: GpuId(num(next(&mut t)?)?),
+            route_len: 0,
+            links: [0; MAX_ROUTE_LINKS],
+            bw1e9: [0.0; MAX_ROUTE_LINKS],
+            mult: [1; MAX_ROUTE_LINKS],
+            charge_len: 0,
+            charge_gpu: [0; MAX_ROUTE_LINKS],
+            charge_class: [LinkClass::Nic; MAX_ROUTE_LINKS],
+        };
+        let rl: usize = num(next(&mut t)?)?;
+        if rl > MAX_ROUTE_LINKS {
+            return Err(serde::Error::custom(format!("route length {rl} too long")));
+        }
+        flow.route_len = rl as u8;
+        for l in 0..rl {
+            flow.links[l] = num(next(&mut t)?)?;
+        }
+        for l in 0..rl {
+            flow.bw1e9[l] = float_at(num(next(&mut t)?)?)?;
+        }
+        for l in 0..rl {
+            flow.mult[l] = num(next(&mut t)?)?;
+        }
+        let cl: usize = num(next(&mut t)?)?;
+        if cl > MAX_ROUTE_LINKS {
+            return Err(serde::Error::custom(format!("charge length {cl} too long")));
+        }
+        flow.charge_len = cl as u8;
+        for l in 0..cl {
+            flow.charge_gpu[l] = num(next(&mut t)?)?;
+        }
+        for l in 0..cl {
+            flow.charge_class[l] = link_class_of(num(next(&mut t)?)?)?;
+        }
+        if t.next().is_some() {
+            return Err(serde::Error::custom("trailing tokens in packed flow"));
+        }
+        flows.push(flow);
+    }
+    Ok(flows)
+}
+
+impl serde::Serialize for PlanSetSnapshot {
+    fn serialize_value(&self) -> serde::Value {
+        let mut map = serde::Map::new();
+        map.insert(
+            "n",
+            serde::Value::Number(serde::Number::from_u64(self.plans.len() as u64)),
+        );
+        let mut dict = FloatDict::default();
+        let built: Vec<serde::Value> = self
+            .plans
+            .iter()
+            .enumerate()
+            .filter_map(|(i, entry)| entry.as_ref().map(|e| (i, e)))
+            .map(|(i, e)| {
+                serde::Value::Array(vec![
+                    serde::Value::Number(serde::Number::from_u64(i as u64)),
+                    serde::Value::String(pack_flows(&e.flows, &mut dict)),
+                ])
+            })
+            .collect();
+        let floats = dict
+            .values
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join(" ");
+        map.insert("floats", serde::Value::String(floats));
+        map.insert("built", serde::Value::Array(built));
+        serde::Value::Object(map)
+    }
+}
+
+impl serde::Deserialize for PlanSetSnapshot {
+    fn deserialize_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let n = v
+            .get("n")
+            .and_then(serde::Value::as_number)
+            .and_then(serde::Number::to_u64)
+            .ok_or_else(|| serde::Error::custom("plan snapshot: missing slot count"))?
+            as usize;
+        let built = v
+            .get("built")
+            .and_then(serde::Value::as_array)
+            .ok_or_else(|| serde::Error::custom("plan snapshot: missing built list"))?;
+        let floats = v
+            .get("floats")
+            .and_then(serde::Value::as_str)
+            .ok_or_else(|| serde::Error::custom("plan snapshot: missing float table"))?
+            .split_ascii_whitespace()
+            .map(|tok| {
+                tok.parse::<f64>()
+                    .map_err(|_| serde::Error::custom(format!("plan snapshot: bad float {tok:?}")))
+            })
+            .collect::<Result<Vec<f64>, serde::Error>>()?;
+        let mut plans: Vec<Option<PlanEntry>> = vec![None; n];
+        for slot in built {
+            let pair = slot
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| serde::Error::custom("plan snapshot: bad built entry"))?;
+            let idx = pair[0]
+                .as_number()
+                .and_then(serde::Number::to_u64)
+                .ok_or_else(|| serde::Error::custom("plan snapshot: bad slot index"))?
+                as usize;
+            let text = pair[1]
+                .as_str()
+                .ok_or_else(|| serde::Error::custom("plan snapshot: bad flow string"))?;
+            let entry = plans
+                .get_mut(idx)
+                .ok_or_else(|| serde::Error::custom("plan snapshot: slot out of range"))?;
+            *entry = Some(PlanEntry {
+                flows: unpack_flows(text, &floats)?,
+            });
+        }
+        Ok(PlanSetSnapshot { plans })
+    }
+}
+
+impl PlanSetSnapshot {
+    /// Slots in the snapshot (the trace's collective count).
+    pub fn num_collectives(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Slots carrying a built plan.
+    pub fn num_built(&self) -> usize {
+        self.plans.iter().filter(|p| p.is_some()).count()
     }
 }
 

@@ -36,7 +36,7 @@ pub mod reference;
 pub mod result;
 
 pub use config::SimConfig;
-pub use engine::{EngineStats, SharedPlans, Simulator};
+pub use engine::{EngineStats, PlanSetSnapshot, SharedPlans, Simulator};
 pub use error::SimError;
 pub use fault::{FaultEvent, FaultPlan, RecoveryPolicy};
 pub use fold::{

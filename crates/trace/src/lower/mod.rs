@@ -78,7 +78,11 @@ impl From<ModelError> for TraceError {
 }
 
 /// A lowered workload: the trace plus quantities downstream consumers need.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable so a persistent cache can store lowered jobs on disk and
+/// later processes can reload them instead of lowering again (lowering is
+/// deterministic, so the reloaded artifact is byte-identical).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LoweredJob {
     /// The per-rank execution trace of one training iteration.
     pub trace: ExecutionTrace,

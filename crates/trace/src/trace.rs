@@ -4,7 +4,9 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use crate::task::{CollectiveId, CollectiveInstance, Step};
+use charllm_net::{ChunkingPolicy, CollectiveKind};
+
+use crate::task::{CollectiveId, CollectiveInstance, ComputeKind, Step};
 
 /// Metadata describing what one iteration of the trace represents.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
@@ -19,11 +21,295 @@ pub struct TraceMeta {
 }
 
 /// A complete lowered workload iteration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialization is a compact packed encoding rather than the derived
+/// object-per-step tree: traces run to hundreds of thousands of steps, and
+/// the persistent cache's restart win lives or dies on reload speed. Step
+/// streams become token strings over a shared float table (step counts per
+/// trace dwarf the distinct FLOP values), collectives a `;`-joined record
+/// string. The packing must stay bit-exact: `f64` text uses `Display`'s
+/// shortest-roundtrip form.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExecutionTrace {
     steps: Vec<Vec<Step>>,
     collectives: Vec<CollectiveInstance>,
     meta: TraceMeta,
+}
+
+/// Intern table mapping distinct `f64`s to dense indices for the packed
+/// trace encoding.
+#[derive(Default)]
+struct FloatTable {
+    values: Vec<f64>,
+    index: HashMap<u64, u32>,
+}
+
+impl FloatTable {
+    fn intern(&mut self, v: f64) -> u32 {
+        *self.index.entry(v.to_bits()).or_insert_with(|| {
+            self.values.push(v);
+            (self.values.len() - 1) as u32
+        })
+    }
+}
+
+fn compute_kind_code(kind: ComputeKind) -> u32 {
+    match kind {
+        ComputeKind::Gemm => 0,
+        ComputeKind::Attention => 1,
+        ComputeKind::MoeGemm => 2,
+        ComputeKind::Router => 3,
+        ComputeKind::Embedding => 4,
+        ComputeKind::Recompute => 5,
+        ComputeKind::Optimizer => 6,
+    }
+}
+
+fn compute_kind_of(code: u32) -> Result<ComputeKind, serde::Error> {
+    Ok(match code {
+        0 => ComputeKind::Gemm,
+        1 => ComputeKind::Attention,
+        2 => ComputeKind::MoeGemm,
+        3 => ComputeKind::Router,
+        4 => ComputeKind::Embedding,
+        5 => ComputeKind::Recompute,
+        6 => ComputeKind::Optimizer,
+        _ => return Err(serde::Error::custom(format!("bad compute kind {code}"))),
+    })
+}
+
+fn collective_kind_code(kind: CollectiveKind) -> u32 {
+    match kind {
+        CollectiveKind::AllReduce => 0,
+        CollectiveKind::AllGather => 1,
+        CollectiveKind::ReduceScatter => 2,
+        CollectiveKind::AllToAll => 3,
+        CollectiveKind::Broadcast => 4,
+        CollectiveKind::SendRecv => 5,
+    }
+}
+
+fn collective_kind_of(code: u32) -> Result<CollectiveKind, serde::Error> {
+    Ok(match code {
+        0 => CollectiveKind::AllReduce,
+        1 => CollectiveKind::AllGather,
+        2 => CollectiveKind::ReduceScatter,
+        3 => CollectiveKind::AllToAll,
+        4 => CollectiveKind::Broadcast,
+        5 => CollectiveKind::SendRecv,
+        _ => return Err(serde::Error::custom(format!("bad collective kind {code}"))),
+    })
+}
+
+/// Pack one rank's step stream as `tag arg` token pairs: `c<kind> <fidx>`
+/// for compute, `s <coll>` / `w <coll>` for collective start/wait.
+fn pack_steps(steps: &[Step], floats: &mut FloatTable) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (i, step) in steps.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        match step {
+            Step::Compute { kind, flops } => {
+                let _ = write!(
+                    out,
+                    "c{} {}",
+                    compute_kind_code(*kind),
+                    floats.intern(*flops)
+                );
+            }
+            Step::CollStart { coll } => {
+                let _ = write!(out, "s {}", coll.0);
+            }
+            Step::CollWait { coll } => {
+                let _ = write!(out, "w {}", coll.0);
+            }
+        }
+    }
+    out
+}
+
+fn unpack_steps(text: &str, floats: &[f64]) -> Result<Vec<Step>, serde::Error> {
+    let mut steps = Vec::new();
+    let mut toks = text.split_ascii_whitespace();
+    while let Some(tag) = toks.next() {
+        let arg: u32 = toks
+            .next()
+            .ok_or_else(|| serde::Error::custom("truncated step stream"))?
+            .parse()
+            .map_err(|_| serde::Error::custom("bad step argument"))?;
+        let step = match tag.as_bytes() {
+            [b'c', code @ ..] => {
+                let code: u32 = std::str::from_utf8(code)
+                    .ok()
+                    .and_then(|c| c.parse().ok())
+                    .ok_or_else(|| serde::Error::custom("bad compute tag"))?;
+                let flops = floats
+                    .get(arg as usize)
+                    .copied()
+                    .ok_or_else(|| serde::Error::custom("float index out of range"))?;
+                Step::Compute {
+                    kind: compute_kind_of(code)?,
+                    flops,
+                }
+            }
+            b"s" => Step::CollStart {
+                coll: CollectiveId(arg),
+            },
+            b"w" => Step::CollWait {
+                coll: CollectiveId(arg),
+            },
+            _ => return Err(serde::Error::custom(format!("bad step tag {tag:?}"))),
+        };
+        steps.push(step);
+    }
+    Ok(steps)
+}
+
+/// Pack the collective table: per instance
+/// `kind bytes eager chunked chunk_bytes glen group*glen`, instances
+/// joined with `;`.
+fn pack_collectives(collectives: &[CollectiveInstance]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (i, c) in collectives.iter().enumerate() {
+        if i > 0 {
+            out.push(';');
+        }
+        let (chunked, chunk_bytes) = match c.chunking {
+            ChunkingPolicy::Unchunked => (0u32, 0u64),
+            ChunkingPolicy::Chunked { chunk_bytes } => (1, chunk_bytes),
+        };
+        let _ = write!(
+            out,
+            "{} {} {} {chunked} {chunk_bytes} {}",
+            collective_kind_code(c.kind),
+            c.bytes_per_rank,
+            u32::from(c.eager_p2p),
+            c.group.len()
+        );
+        for rank in &c.group {
+            let _ = write!(out, " {rank}");
+        }
+    }
+    out
+}
+
+fn unpack_collectives(text: &str) -> Result<Vec<CollectiveInstance>, serde::Error> {
+    fn num<T: std::str::FromStr>(tok: Option<&str>) -> Result<T, serde::Error> {
+        tok.ok_or_else(|| serde::Error::custom("truncated collective record"))?
+            .parse()
+            .map_err(|_| serde::Error::custom("bad collective token"))
+    }
+    if text.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut out = Vec::new();
+    for chunk in text.split(';') {
+        let mut t = chunk.split_ascii_whitespace();
+        let kind = collective_kind_of(num(t.next())?)?;
+        let bytes_per_rank: u64 = num(t.next())?;
+        let eager_p2p = match num::<u32>(t.next())? {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(serde::Error::custom(format!("bad eager flag {other}")));
+            }
+        };
+        let chunked: u32 = num(t.next())?;
+        let chunk_bytes: u64 = num(t.next())?;
+        let chunking = match chunked {
+            0 => ChunkingPolicy::Unchunked,
+            1 => ChunkingPolicy::Chunked { chunk_bytes },
+            other => {
+                return Err(serde::Error::custom(format!("bad chunking flag {other}")));
+            }
+        };
+        let glen: usize = num(t.next())?;
+        let mut group = Vec::with_capacity(glen);
+        for _ in 0..glen {
+            group.push(num(t.next())?);
+        }
+        if t.next().is_some() {
+            return Err(serde::Error::custom("trailing tokens in collective record"));
+        }
+        out.push(CollectiveInstance {
+            kind,
+            bytes_per_rank,
+            group,
+            chunking,
+            eager_p2p,
+        });
+    }
+    Ok(out)
+}
+
+impl Serialize for ExecutionTrace {
+    fn serialize_value(&self) -> serde::Value {
+        let mut floats = FloatTable::default();
+        let steps: Vec<serde::Value> = self
+            .steps
+            .iter()
+            .map(|rank| serde::Value::String(pack_steps(rank, &mut floats)))
+            .collect();
+        let float_text = floats
+            .values
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join(" ");
+        let mut map = serde::Map::new();
+        map.insert("floats", serde::Value::String(float_text));
+        map.insert("steps", serde::Value::Array(steps));
+        map.insert(
+            "colls",
+            serde::Value::String(pack_collectives(&self.collectives)),
+        );
+        map.insert("meta", self.meta.serialize_value());
+        serde::Value::Object(map)
+    }
+}
+
+impl Deserialize for ExecutionTrace {
+    fn deserialize_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let floats = v
+            .get("floats")
+            .and_then(serde::Value::as_str)
+            .ok_or_else(|| serde::Error::custom("trace: missing float table"))?
+            .split_ascii_whitespace()
+            .map(|tok| {
+                tok.parse::<f64>()
+                    .map_err(|_| serde::Error::custom(format!("trace: bad float {tok:?}")))
+            })
+            .collect::<Result<Vec<f64>, serde::Error>>()?;
+        let steps = v
+            .get("steps")
+            .and_then(serde::Value::as_array)
+            .ok_or_else(|| serde::Error::custom("trace: missing step streams"))?
+            .iter()
+            .map(|rank| {
+                let text = rank
+                    .as_str()
+                    .ok_or_else(|| serde::Error::custom("trace: bad step stream"))?;
+                unpack_steps(text, &floats)
+            })
+            .collect::<Result<Vec<Vec<Step>>, serde::Error>>()?;
+        let collectives = v
+            .get("colls")
+            .and_then(serde::Value::as_str)
+            .ok_or_else(|| serde::Error::custom("trace: missing collective table"))
+            .and_then(unpack_collectives)?;
+        let meta = v
+            .get("meta")
+            .ok_or_else(|| serde::Error::custom("trace: missing meta"))
+            .and_then(TraceMeta::deserialize_value)?;
+        Ok(ExecutionTrace {
+            steps,
+            collectives,
+            meta,
+        })
+    }
 }
 
 impl ExecutionTrace {

@@ -107,7 +107,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             stats.events,
             folded.multiplicity,
             stats.events as f64 * f64::from(folded.multiplicity) / wall_s / 1e6,
-            if plan_hit { "hit" } else { "miss" },
+            if plan_hit.is_hit() { "hit" } else { "miss" },
         );
         println!(
             "            calendar: {} rekeys | {} bucket drains ({:.1} pops/drain) | \

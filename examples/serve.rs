@@ -1,0 +1,115 @@
+//! Sim-as-a-service demo: two server "processes" sharing one persistent
+//! cache directory.
+//!
+//! Server A starts with an empty cache directory, runs a small sweep job
+//! (populating the disk tier on the way out), and shuts down. Server B —
+//! a fresh process as far as the cache is concerned — runs the *same*
+//! sweep and is served from disk: no re-lowering, no collective
+//! re-routing. The second pass's `disk_hits` line is the proof (and what
+//! `ci.sh` greps). Finishes by downloading a Perfetto trace for one
+//! sweep point off the warm cache.
+//!
+//! ```sh
+//! cargo run --release --example serve
+//! ```
+
+use std::sync::Arc;
+
+use charllm::prelude::*;
+use charllm::server::http_request;
+use charllm::CoreError;
+use serde_json::{Number, Value};
+
+const JOB: &str = r#"{"kind": "sweep", "cluster": "single_hgx_node", "model": "gpt3_13b",
+                      "global_batch": 8, "specs": ["TP2-PP2", "TP4-PP2"],
+                      "microbatches": [1, 2], "workers": 2}"#;
+
+fn u64_of(v: &Value, key: &str) -> u64 {
+    v.get(key)
+        .and_then(Value::as_number)
+        .and_then(Number::to_u64)
+        .unwrap_or(0)
+}
+
+/// Boot a server over `dir`, run the demo sweep to completion, and
+/// return `(cache stats doc, job id, bound address kept alive in `srv`)`.
+fn run_pass(dir: &std::path::Path, label: &str) -> Result<(Value, SimServer, u64), CoreError> {
+    let cache = Arc::new(SimCache::new().with_disk_tier(dir)?);
+    let server = SimServer::bind("127.0.0.1:0", cache, ServerConfig::default())?;
+    let addr = server.local_addr();
+    println!("[{label}] listening on {addr}");
+
+    let (status, resp) = http_request(addr, "POST", "/jobs", Some(JOB))?;
+    assert_eq!(status, 202, "submit failed: {resp}");
+    let id = u64_of(
+        &serde_json::from_str(&resp)
+            .map_err(|e| CoreError::Incomplete(format!("bad submit response: {e}")))?,
+        "job",
+    );
+
+    // The stream is close-delimited: reading it to EOF waits for the job.
+    let (_, stream) = http_request(addr, "GET", &format!("/jobs/{id}/stream"), None)?;
+    for line in stream.lines().take(2) {
+        println!("[{label}] {line}");
+    }
+    let (_, result) = http_request(addr, "GET", &format!("/jobs/{id}/result"), None)?;
+    let result: Value = serde_json::from_str(&result)
+        .map_err(|e| CoreError::Incomplete(format!("bad result: {e}")))?;
+    println!(
+        "[{label}] job {id}: {} points, {} completed",
+        u64_of(&result, "total"),
+        u64_of(&result, "completed"),
+    );
+
+    let (_, cache_doc) = http_request(addr, "GET", "/cache", None)?;
+    let cache_doc: Value = serde_json::from_str(&cache_doc)
+        .map_err(|e| CoreError::Incomplete(format!("bad cache doc: {e}")))?;
+    Ok((cache_doc, server, id))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join(format!("charllm_serve_{}", std::process::id()));
+
+    // Pass 1: empty directory, everything cold; artifacts persist on the
+    // way out of each experiment.
+    let (doc, server, _) = run_pass(&dir, "server A")?;
+    let stats = doc.get("stats").cloned().unwrap_or(Value::Null);
+    println!(
+        "[server A] cache: lowered {} misses, {} bytes written to disk",
+        u64_of(&stats, "lowered_misses"),
+        u64_of(&stats, "bytes_written"),
+    );
+    server.shutdown();
+
+    // Pass 2: a brand-new server over the same directory — the restart.
+    let (doc, server, id) = run_pass(&dir, "server B")?;
+    let stats = doc.get("stats").cloned().unwrap_or(Value::Null);
+    let disk_hits = u64_of(&doc, "disk_hits");
+    println!(
+        "server B pass 2: disk_hits={disk_hits} lowered_misses={} plan_misses={}",
+        u64_of(&stats, "lowered_misses"),
+        u64_of(&stats, "plan_misses"),
+    );
+
+    // Perfetto trace for sweep point 0, served from the warm cache.
+    let addr = server.local_addr();
+    let (status, trace) = http_request(addr, "GET", &format!("/jobs/{id}/trace/0"), None)?;
+    assert_eq!(status, 200, "trace download failed");
+    let events = serde_json::from_str::<Value>(&trace)
+        .ok()
+        .and_then(|t| t.get("traceEvents").and_then(Value::as_array).map(Vec::len))
+        .unwrap_or(0);
+    println!(
+        "perfetto trace for point 0: {events} events ({} bytes)",
+        trace.len()
+    );
+    server.shutdown();
+
+    let _ = std::fs::remove_dir_all(&dir);
+    if disk_hits == 0 {
+        println!("persistent cache: FAIL (restart never hit the disk tier)");
+        std::process::exit(1);
+    }
+    println!("persistent cache: OK (restart served from disk)");
+    Ok(())
+}

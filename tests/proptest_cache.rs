@@ -146,11 +146,11 @@ proptest! {
         let fresh = build().unwrap();
         let cache = SimCache::new();
         let (miss, hit) = cache.lowered(&key, build).unwrap();
-        prop_assert!(!hit);
+        prop_assert!(!hit.is_hit());
         let (served, hit) = cache
             .lowered(&key, || panic!("hit must not rebuild"))
             .unwrap();
-        prop_assert!(hit);
+        prop_assert!(hit.is_hit());
         let fresh = serde_json::to_string(&fresh.trace).unwrap();
         prop_assert_eq!(&serde_json::to_string(&miss.trace).unwrap(), &fresh);
         prop_assert_eq!(

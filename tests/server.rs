@@ -1,0 +1,244 @@
+//! The sim server end-to-end, over real sockets: concurrent sweep jobs
+//! sharing one `SimCache`, live JSONL progress streams whose per-point
+//! metric deltas sum exactly to each job's terminal snapshot, result
+//! documents that agree with the streams, cooperative cancel, and a
+//! Perfetto trace download served off the shared cache.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use serde_json::{Number, Value};
+
+use charllm::prelude::*;
+use charllm::server::http_request;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .subsec_nanos();
+    std::env::temp_dir().join(format!("charllm_srv_{tag}_{}_{nanos}", std::process::id()))
+}
+
+fn get_u64(v: &Value, key: &str) -> u64 {
+    v.get(key)
+        .and_then(Value::as_number)
+        .and_then(Number::to_u64)
+        .unwrap_or_else(|| panic!("{key} is a u64 in {v:?}"))
+}
+
+/// Counter series of a `MetricsSnapshot::to_json` document, keyed by
+/// name+labels, zero-valued series dropped (a delta may mention a series
+/// the final snapshot also holds at the same running total — only the
+/// nonzero mass must reconcile).
+fn counters_of(metrics: &Value) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    let Some(list) = metrics.get("metrics").and_then(Value::as_array) else {
+        return out;
+    };
+    for m in list {
+        if m.get("kind").and_then(Value::as_str) != Some("counter") {
+            continue;
+        }
+        let value = get_u64(m, "value");
+        if value == 0 {
+            continue;
+        }
+        let name = m.get("name").and_then(Value::as_str).unwrap_or("");
+        let labels = serde_json::to_string(m.get("labels").unwrap_or(&Value::Null)).unwrap();
+        *out.entry(format!("{name}{labels}")).or_insert(0) += value;
+    }
+    out
+}
+
+#[test]
+fn concurrent_jobs_share_one_cache_and_their_streams_reconcile() {
+    let dir = scratch_dir("jobs");
+    let cache = Arc::new(SimCache::new().with_disk_tier(&dir).unwrap());
+    let server = SimServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&cache),
+        ServerConfig {
+            job_workers: 4,
+            sweep_workers: 1,
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Four identical 4-point sweeps, submitted back-to-back so the
+    // 4-wide worker pool runs them concurrently against the one cache.
+    let body = r#"{"kind": "sweep", "cluster": "single_hgx_node", "model": "gpt3_13b",
+                   "global_batch": 4, "specs": ["TP2-PP2", "TP4-PP2"],
+                   "microbatches": [1, 2], "workers": 1}"#;
+    let ids: Vec<u64> = (0..4)
+        .map(|_| {
+            let (status, resp) = http_request(addr, "POST", "/jobs", Some(body)).unwrap();
+            assert_eq!(status, 202, "{resp}");
+            get_u64(&serde_json::from_str(&resp).unwrap(), "job")
+        })
+        .collect();
+
+    let mut result_points: Vec<String> = Vec::new();
+    for id in &ids {
+        // The stream replays from the start and follows until the job
+        // finishes (the read blocks on the close-delimited body).
+        let (status, stream) =
+            http_request(addr, "GET", &format!("/jobs/{id}/stream"), None).unwrap();
+        assert_eq!(status, 200);
+        let events: Vec<ProgressEvent> = stream
+            .lines()
+            .map(|l| ProgressEvent::from_json_line(l).expect("well-formed JSONL"))
+            .collect();
+        assert_eq!(events.len(), 5, "4 points + sweep_end");
+        let end = events.last().unwrap();
+        assert_eq!(end.event, "sweep_end");
+        assert_eq!(end.completed + end.skipped + end.failed, 4);
+        for (i, e) in events[..4].iter().enumerate() {
+            assert_eq!(e.event, "point");
+            assert_eq!(e.index, i, "stream is in enumeration order");
+        }
+
+        // Per-point metric deltas sum exactly (integer counters) to the
+        // job's terminal snapshot: each job's private hub reconciles no
+        // matter what its three concurrent neighbors are doing.
+        let mut summed: BTreeMap<String, u64> = BTreeMap::new();
+        for e in &events[..4] {
+            for (k, v) in counters_of(&e.metrics) {
+                *summed.entry(k).or_insert(0) += v;
+            }
+        }
+        assert_eq!(
+            summed,
+            counters_of(&end.metrics),
+            "job {id}: streamed deltas must sum to the final snapshot"
+        );
+
+        // The result document tells the same story as the stream.
+        let (status, result) =
+            http_request(addr, "GET", &format!("/jobs/{id}/result"), None).unwrap();
+        assert_eq!(status, 200);
+        let result: Value = serde_json::from_str(&result).unwrap();
+        assert_eq!(get_u64(&result, "total"), 4);
+        assert_eq!(get_u64(&result, "completed"), end.completed as u64);
+        assert_eq!(get_u64(&result, "skipped"), end.skipped as u64);
+        assert_eq!(get_u64(&result, "failed"), end.failed as u64);
+        result_points.push(serde_json::to_string(result.get("points").unwrap()).unwrap());
+    }
+
+    // Identical jobs racing through one cache must report identical
+    // points — the shared tiers are transparent under concurrency.
+    for p in &result_points[1..] {
+        assert_eq!(p, &result_points[0]);
+    }
+
+    // The shared cache saw every lookup: 4 jobs x 4 points, one lowered
+    // and one plan lookup each.
+    let (status, cache_body) = http_request(addr, "GET", "/cache", None).unwrap();
+    assert_eq!(status, 200);
+    let cache_doc: Value = serde_json::from_str(&cache_body).unwrap();
+    let stats = cache_doc.get("stats").unwrap();
+    assert_eq!(
+        get_u64(stats, "lowered_hits") + get_u64(stats, "lowered_misses"),
+        16
+    );
+    assert_eq!(
+        get_u64(stats, "plan_hits") + get_u64(stats, "plan_misses"),
+        16
+    );
+    assert_eq!(cache_doc.get("disk").and_then(Value::as_bool), Some(true));
+    assert!(
+        get_u64(stats, "bytes_written") > 0,
+        "finished jobs synced their artifacts to the disk tier"
+    );
+
+    // A Perfetto trace for a sweep point, served off the now-warm cache.
+    let (status, trace) =
+        http_request(addr, "GET", &format!("/jobs/{}/trace/0", ids[0]), None).unwrap();
+    assert_eq!(status, 200);
+    let trace: Value = serde_json::from_str(&trace).unwrap();
+    assert!(
+        trace
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .is_some_and(|a| !a.is_empty()),
+        "trace export carries events"
+    );
+
+    // /metrics exposes the server's own counters.
+    let (status, metrics) = http_request(addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(metrics.contains("server_jobs_submitted_total 4"));
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_submissions_are_rejected_and_cancel_is_cooperative() {
+    let server = SimServer::bind(
+        "127.0.0.1:0",
+        Arc::new(SimCache::new()),
+        ServerConfig {
+            job_workers: 1,
+            sweep_workers: 1,
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    for bad in [
+        r#"{"kind": "sweep"}"#,                                    // no specs
+        r#"{"kind": "teapot", "specs": ["TP2"]}"#,                 // bad kind
+        r#"{"specs": ["TP2-PP2"], "cluster": "warehouse"}"#,       // bad preset
+        r#"{"specs": ["TP3-PP5"], "cluster": "single_hgx_node"}"#, // bad spec
+    ] {
+        let (status, resp) = http_request(addr, "POST", "/jobs", Some(bad)).unwrap();
+        assert_eq!(status, 400, "{bad} must be rejected: {resp}");
+    }
+
+    // Cancel lands on a many-point job; whatever was still pending is
+    // skipped with the cancel reason, and every point stays accounted.
+    let body = r#"{"kind": "sweep", "cluster": "single_hgx_node", "model": "gpt3_13b",
+                   "global_batch": 4, "specs": ["TP2-PP2", "TP4-PP2", "TP2-PP4", "TP8"],
+                   "microbatches": [1, 2, 4], "workers": 1}"#;
+    let (status, resp) = http_request(addr, "POST", "/jobs", Some(body)).unwrap();
+    assert_eq!(status, 202);
+    let id = get_u64(&serde_json::from_str(&resp).unwrap(), "job");
+    let (status, resp) = http_request(addr, "POST", &format!("/jobs/{id}/cancel"), None).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        serde_json::from_str::<Value>(&resp)
+            .unwrap()
+            .get("canceled")
+            .and_then(Value::as_bool),
+        Some(true)
+    );
+    // Drain the stream (blocks until the job winds down), then check the
+    // result accounts for all 12 points.
+    let (_, stream) = http_request(addr, "GET", &format!("/jobs/{id}/stream"), None).unwrap();
+    let (status, result) = http_request(addr, "GET", &format!("/jobs/{id}/result"), None).unwrap();
+    assert_eq!(status, 200);
+    let result: Value = serde_json::from_str(&result).unwrap();
+    assert_eq!(get_u64(&result, "total"), 12);
+    assert_eq!(
+        get_u64(&result, "completed") + get_u64(&result, "skipped") + get_u64(&result, "failed"),
+        12
+    );
+    let canceled_lines = stream.lines().filter(|l| l.contains("canceled")).count();
+    if get_u64(&result, "skipped") > 0 {
+        assert!(
+            canceled_lines > 0,
+            "skipped points carry the cancel reason in the stream"
+        );
+    }
+
+    // Unknown job ids and endpoints 404.
+    let (status, _) = http_request(addr, "GET", "/jobs/999/result", None).unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = http_request(addr, "GET", "/nope", None).unwrap();
+    assert_eq!(status, 404);
+
+    server.shutdown();
+}

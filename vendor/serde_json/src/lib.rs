@@ -53,6 +53,15 @@ pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
     T::deserialize_value(&value)
 }
 
+/// Interpret an already-parsed [`Value`] as any [`serde::Deserialize`] type.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on a shape mismatch.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T, Error> {
+    T::deserialize_value(&value)
+}
+
 /// Build a [`Value`] from JSON-like syntax.
 ///
 /// Supports `null`, literals, arbitrary serializable expressions, and nested
