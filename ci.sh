@@ -18,6 +18,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo bench --no-run"
 cargo bench --workspace --no-run
 
+echo "==> engine perf gate (512-GPU bench section vs committed baseline)"
+out="$(CHARLLM_BENCH_SECTION=scale_512 cargo bench -p charllm-bench --bench sim_engine_hotpath)"
+echo "$out" | grep "^scale_512 regression gate:"
+echo "$out" | grep -q "^scale_512 regression gate: .*: OK" || {
+    echo "FAIL: 512-GPU events/s regressed >15% below BENCH_sim_engine.json" >&2
+    exit 1
+}
+
 echo "==> sweep cache smoke (microbatch_tuning example)"
 out="$(cargo run --release --example microbatch_tuning)"
 echo "$out" | grep "^sweep cache:"

@@ -11,6 +11,13 @@
 //! control boundaries, so the delta must also sit within noise). Emits a
 //! `BENCH_sim_engine.json` record (wall-clock per run, events/s, speedup,
 //! observer + metrics deltas) for perf trajectory tracking.
+//!
+//! Sections — `micro`, `scale_512`, `scale_4096_faults`, `scale_16k` — can
+//! be run individually via the `CHARLLM_BENCH_SECTION` env allowlist
+//! (comma-separated; unset runs everything). The `scale_512` section gates
+//! its heap rate against the committed repo-root `BENCH_sim_engine.json`
+//! and exits nonzero on a >15% regression, so `ci.sh` smokes just that
+//! section as a perf gate. Only a full run rewrites the JSON record.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -103,7 +110,75 @@ fn run_recorded(
         .unwrap()
 }
 
-fn main() {
+/// True when `name` is selected by the `CHARLLM_BENCH_SECTION` allowlist
+/// (comma-separated; unset or empty selects every section). Lets CI smoke
+/// a single section — e.g. `CHARLLM_BENCH_SECTION=scale_512` — without
+/// paying for the whole suite.
+fn section_enabled(name: &str) -> bool {
+    match std::env::var("CHARLLM_BENCH_SECTION") {
+        Ok(v) if !v.trim().is_empty() => v.split(',').any(|s| s.trim() == name),
+        _ => true,
+    }
+}
+
+/// Gate against the committed baseline: the 512-GPU heap rate must stay
+/// within 15% of `BENCH_sim_engine.json` at the repo root. Exits nonzero
+/// on regression so `ci.sh` can smoke this section as a perf gate.
+fn check_512_regression(heap_events_per_s: f64) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_sim_engine.json");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        println!(
+            "scale_512 regression gate: no committed baseline at {} (skipped)",
+            path.display()
+        );
+        return;
+    };
+    let committed: serde_json::Value =
+        serde_json::from_str(&text).expect("committed baseline parses");
+    let Some(base) = committed
+        .get("scale_512gpu")
+        .and_then(|v| v.get("heap_events_per_s"))
+        .and_then(serde_json::Value::as_f64)
+    else {
+        println!("scale_512 regression gate: committed baseline has no heap rate (skipped)");
+        return;
+    };
+    let floor = 0.85 * base;
+    if heap_events_per_s < floor {
+        eprintln!(
+            "FAIL: 512-GPU heap rate {heap_events_per_s:.0} events/s regressed more than 15% \
+             below the committed {base:.0} events/s (floor {floor:.0})"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "scale_512 regression gate: {heap_events_per_s:.0} events/s vs committed {base:.0} \
+         (floor {floor:.0}): OK"
+    );
+}
+
+struct MicroOut {
+    gpus: usize,
+    stats: EngineStats,
+    new_wall_s: f64,
+    ref_wall_s: f64,
+    plain_wall_s: f64,
+    noop_overhead: f64,
+    metered_overhead: f64,
+    recorder_overhead: f64,
+    num_spans: usize,
+}
+
+struct Scale512Out {
+    scan_wall_s: f64,
+    heap_wall_s: f64,
+    heap_stats: EngineStats,
+}
+
+/// 64-GPU head-to-head vs the reference scan plus observer hook costs.
+fn micro_section() -> MicroOut {
     let cluster = presets::hgx_h200_with_nodes(8);
     let trace = workload(&cluster);
     let placement = Placement::identity(&cluster, trace.world()).unwrap();
@@ -207,10 +282,39 @@ fn main() {
     let noop_overhead = (median(&mut noop_ratios) - 1.0).max(0.0);
     let metered_overhead = median(&mut metered_ratios) - 1.0;
     let recorder_overhead = median(&mut recorded_ratios) - 1.0;
-    let noop_wall_s = plain_wall_s * (1.0 + noop_overhead);
-    let metered_wall_s = plain_wall_s * (1.0 + metered_overhead);
-    let recorded_wall_s = plain_wall_s * (1.0 + recorder_overhead);
 
+    println!(
+        "events {} | event-driven {:.3}s ({:.0} events/s) | reference {:.3}s ({:.0} events/s) | speedup {:.2}x",
+        stats.events,
+        new_wall_s,
+        stats.events as f64 / new_wall_s,
+        ref_wall_s,
+        stats.events as f64 / ref_wall_s,
+        ref_wall_s / new_wall_s,
+    );
+    println!(
+        "observer: noop {:+.2}% | metrics hub {:+.2}% | span recorder {:+.2}% ({} spans)",
+        noop_overhead * 100.0,
+        metered_overhead * 100.0,
+        recorder_overhead * 100.0,
+        num_spans
+    );
+    MicroOut {
+        gpus: cluster.num_gpus(),
+        stats,
+        new_wall_s,
+        ref_wall_s,
+        plain_wall_s,
+        noop_overhead,
+        metered_overhead,
+        recorder_overhead,
+        num_spans,
+    }
+}
+
+/// Unfolded 512-GPU scan-vs-heap head-to-head, then the perf gate against
+/// the committed baseline.
+fn scale_512_section() -> Scale512Out {
     // Scale head-to-head: a 64-node (512-GPU, dp16) replay whose live set
     // (~8x the flows) sits above the scheduler's heap threshold, so the
     // indexed completion heap engages. Forcing the threshold to usize::MAX
@@ -287,7 +391,27 @@ fn main() {
         heap_stats.events as f64 / heap_wall_s,
         scan_wall_s / heap_wall_s,
     );
+    check_512_regression(heap_stats.events as f64 / heap_wall_s);
+    Scale512Out {
+        scan_wall_s,
+        heap_wall_s,
+        heap_stats,
+    }
+}
 
+struct Scale16kOut {
+    gpus: usize,
+    multiplicity: u32,
+    iterations: usize,
+    step_time_s: f64,
+    tokens_per_s: f64,
+    wall_s: f64,
+    stats: EngineStats,
+}
+
+/// Symmetry-folded 16k-GPU run; `heap_events_per_s` (when the 512-GPU
+/// section also ran) anchors the events/s-equivalent comparison.
+fn scale_16k_section(heap_events_per_s: Option<f64>) -> Scale16kOut {
     // Symmetry-folded 16k-GPU run: GPT-3 175B at tp8·pp16·dp128 on a
     // two-tier rail-optimized SuperPod (2048 HGX nodes). The folded engine
     // steps only the dp == 0 replica (128 ranks / 16 nodes) and expands
@@ -331,83 +455,165 @@ fn main() {
     )
     .unwrap();
     let pod_wall_s = t.elapsed().as_secs_f64();
-    let heap_events_per_s = heap_stats.events as f64 / heap_wall_s;
     let pod_eq_per_s = pod_stats.events as f64 * f64::from(pod_folded.multiplicity) / pod_wall_s;
+    let vs_heap = heap_events_per_s.map_or_else(
+        || "n/a".to_string(),
+        |h| format!("{:.1}x", pod_eq_per_s / h),
+    );
     println!(
-        "scale_16k ({} GPUs folded ×{}): wall {:.2}s | {} events ({:.2}M events/s-eq) | {:.1}x over 512-GPU heap",
+        "scale_16k ({} GPUs folded ×{}): wall {:.2}s | {} events ({:.2}M events/s-eq) | {vs_heap} over 512-GPU heap",
         pod.num_gpus(),
         pod_folded.multiplicity,
         pod_wall_s,
         pod_stats.events,
         pod_eq_per_s / 1e6,
-        pod_eq_per_s / heap_events_per_s,
     );
+    Scale16kOut {
+        gpus: pod.num_gpus(),
+        multiplicity: pod_folded.multiplicity,
+        iterations: pod_cfg.iterations,
+        step_time_s: pod_result.step_time_s,
+        tokens_per_s: pod_result.tokens_per_s,
+        wall_s: pod_wall_s,
+        stats: pod_stats,
+    }
+}
 
-    let speedup = ref_wall_s / new_wall_s;
+/// Unfolded 4096-GPU fault sweep: 512 HGX nodes, GPT-3 13B at
+/// tp4·pp8·dp128. One clean point plus two fault scenarios — a fail-stop
+/// (freeze/rebase outage path) and a degrade+straggler mix (sustained
+/// dirty-flow re-rate churn). The arena-resident SoA core and lazy segment
+/// accrual are what keep these unfolded runs tractable.
+fn scale_4096_faults_section() -> serde_json::Value {
+    use charllm_sim::FaultPlan;
+
+    let cluster = presets::hgx_h200_with_nodes(512);
+    let job = TrainJob::pretrain(models::gpt3_13b()).with_global_batch(512);
+    let spec = ParallelismSpec::infer_dp(4, 8, 1, cluster.num_gpus(), false).unwrap();
+    let partition = StagePartition::even(40, 8).unwrap();
+    let hints = DeviceHints::for_spec(cluster.gpu());
+    let trace = lower_train(&job, &spec, PipelineSchedule::OneFOneB, &partition, &hints)
+        .unwrap()
+        .trace;
+    let placement = Placement::identity(&cluster, trace.world()).unwrap();
+    let scenarios: [(&str, FaultPlan); 3] = [
+        ("clean", FaultPlan::none()),
+        ("gpu_fail_stop", FaultPlan::none().gpu_fail_stop(11, 0.4)),
+        (
+            "degrade_plus_straggler",
+            FaultPlan::none()
+                .link_degrade(3, 0.1, 1.0, 0.3)
+                .straggler(42, 0.05, 0.8, 1.6),
+        ),
+    ];
+    let mut points = Vec::new();
+    for (label, plan) in scenarios {
+        let mut cfg = SimConfig::fast();
+        cfg.iterations = 2;
+        cfg.warmup_iterations = 1;
+        let t = Instant::now();
+        let (result, stats) = Simulator::new(&cluster, &placement, &trace, cfg)
+            .unwrap()
+            .with_faults(&plan)
+            .unwrap()
+            .run_stats()
+            .unwrap();
+        let wall_s = t.elapsed().as_secs_f64();
+        println!(
+            "scale_4096_faults[{label}]: wall {:.2}s | {} events ({:.0} events/s) | \
+             goodput {:.2} Mtokens/s | downtime {:.2}s | {} restarts",
+            wall_s,
+            stats.events,
+            stats.events as f64 / wall_s,
+            result.goodput_tokens_per_s / 1e6,
+            result.fault_downtime_s,
+            result.restarts,
+        );
+        points.push(serde_json::json!({
+            "scenario": label,
+            "wall_s": wall_s,
+            "events": stats.events,
+            "events_per_s": stats.events as f64 / wall_s,
+            "goodput_tokens_per_s": result.goodput_tokens_per_s,
+            "fault_downtime_s": result.fault_downtime_s,
+            "restarts": result.restarts,
+            "engine_stats": stats,
+        }));
+    }
+    serde_json::json!({
+        "workload": "gpt3_13b_tp4_pp8_dp128_512node",
+        "gpus": cluster.num_gpus(),
+        "iterations": 2,
+        "points": points,
+    })
+}
+
+fn main() {
+    let micro = section_enabled("micro").then(micro_section);
+    let s512 = section_enabled("scale_512").then(scale_512_section);
+    let s4096 = section_enabled("scale_4096_faults").then(scale_4096_faults_section);
+    let heap_rate = s512
+        .as_ref()
+        .map(|s| s.heap_stats.events as f64 / s.heap_wall_s);
+    let s16k = section_enabled("scale_16k").then(|| scale_16k_section(heap_rate));
+
+    // Only a full run rewrites the record: a partial section run would
+    // leave stale numbers under the untouched keys.
+    let (Some(micro), Some(s512), Some(s4096), Some(s16k)) = (micro, s512, s4096, s16k) else {
+        println!("CHARLLM_BENCH_SECTION set: partial run, BENCH_sim_engine.json not rewritten");
+        return;
+    };
+    let heap_events_per_s = s512.heap_stats.events as f64 / s512.heap_wall_s;
+    let pod_eq_per_s = s16k.stats.events as f64 * f64::from(s16k.multiplicity) / s16k.wall_s;
     let record = serde_json::json!({
         "workload": "gpt3_13b_tp4_pp8_dp2_8node",
-        "gpus": cluster.num_gpus(),
+        "gpus": micro.gpus,
         "iterations": ITERATIONS,
-        "events": stats.events,
+        "events": micro.stats.events,
         "event_driven": {
-            "wall_s": new_wall_s,
-            "events_per_s": stats.events as f64 / new_wall_s,
+            "wall_s": micro.new_wall_s,
+            "events_per_s": micro.stats.events as f64 / micro.new_wall_s,
         },
         "reference_scan": {
-            "wall_s": ref_wall_s,
-            "events_per_s": stats.events as f64 / ref_wall_s,
+            "wall_s": micro.ref_wall_s,
+            "events_per_s": micro.stats.events as f64 / micro.ref_wall_s,
         },
-        "speedup": speedup,
+        "speedup": micro.ref_wall_s / micro.new_wall_s,
         "observer": {
-            "plain_wall_s": plain_wall_s,
-            "noop_wall_s": noop_wall_s,
-            "noop_overhead": noop_overhead,
-            "metrics_hub_wall_s": metered_wall_s,
-            "metrics_hub_overhead": metered_overhead,
-            "span_recorder_wall_s": recorded_wall_s,
-            "span_recorder_overhead": recorder_overhead,
-            "spans_recorded": num_spans,
+            "plain_wall_s": micro.plain_wall_s,
+            "noop_wall_s": micro.plain_wall_s * (1.0 + micro.noop_overhead),
+            "noop_overhead": micro.noop_overhead,
+            "metrics_hub_wall_s": micro.plain_wall_s * (1.0 + micro.metered_overhead),
+            "metrics_hub_overhead": micro.metered_overhead,
+            "span_recorder_wall_s": micro.plain_wall_s * (1.0 + micro.recorder_overhead),
+            "span_recorder_overhead": micro.recorder_overhead,
+            "spans_recorded": micro.num_spans,
         },
-        "engine_stats": stats,
+        "engine_stats": micro.stats,
         "scale_512gpu": {
-            "events": heap_stats.events,
-            "scan_wall_s": scan_wall_s,
-            "scan_events_per_s": heap_stats.events as f64 / scan_wall_s,
-            "heap_wall_s": heap_wall_s,
-            "heap_events_per_s": heap_stats.events as f64 / heap_wall_s,
-            "heap_over_scan": scan_wall_s / heap_wall_s,
-            "heap_stats": heap_stats,
+            "events": s512.heap_stats.events,
+            "scan_wall_s": s512.scan_wall_s,
+            "scan_events_per_s": s512.heap_stats.events as f64 / s512.scan_wall_s,
+            "heap_wall_s": s512.heap_wall_s,
+            "heap_events_per_s": heap_events_per_s,
+            "heap_over_scan": s512.scan_wall_s / s512.heap_wall_s,
+            "heap_stats": s512.heap_stats,
         },
+        "scale_4096gpu_faults": s4096,
         "scale_16k": {
             "workload": "gpt3_175b_tp8_pp16_dp128_superpod_2048node_8rail",
-            "gpus": pod.num_gpus(),
-            "fold_multiplicity": pod_folded.multiplicity,
-            "iterations": pod_cfg.iterations,
-            "step_time_s": pod_result.step_time_s,
-            "tokens_per_s": pod_result.tokens_per_s,
-            "wall_s": pod_wall_s,
-            "events": pod_stats.events,
-            "events_per_s": pod_stats.events as f64 / pod_wall_s,
+            "gpus": s16k.gpus,
+            "fold_multiplicity": s16k.multiplicity,
+            "iterations": s16k.iterations,
+            "step_time_s": s16k.step_time_s,
+            "tokens_per_s": s16k.tokens_per_s,
+            "wall_s": s16k.wall_s,
+            "events": s16k.stats.events,
+            "events_per_s": s16k.stats.events as f64 / s16k.wall_s,
             "events_per_s_equivalent": pod_eq_per_s,
             "speedup_vs_512gpu_heap": pod_eq_per_s / heap_events_per_s,
-            "engine_stats": pod_stats,
+            "engine_stats": s16k.stats,
         },
     });
-    println!(
-        "events {} | event-driven {:.3}s ({:.0} events/s) | reference {:.3}s ({:.0} events/s) | speedup {:.2}x",
-        stats.events,
-        new_wall_s,
-        stats.events as f64 / new_wall_s,
-        ref_wall_s,
-        stats.events as f64 / ref_wall_s,
-        speedup
-    );
-    println!(
-        "observer: noop {:+.2}% | metrics hub {:+.2}% | span recorder {:+.2}% ({} spans)",
-        noop_overhead * 100.0,
-        metered_overhead * 100.0,
-        recorder_overhead * 100.0,
-        num_spans
-    );
     save_json("BENCH_sim_engine", &record);
 }

@@ -16,6 +16,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod chunking;
 pub mod collectives;
 pub mod flow;
@@ -24,6 +25,7 @@ pub mod health;
 pub mod hierarchical;
 pub mod projection;
 
+pub use arena::{ArenaItem, SliceArena, SliceRef};
 pub use chunking::ChunkingPolicy;
 pub use collectives::{lower_collective, CollectiveKind, CollectivePlan};
 pub use flow::Flow;

@@ -1,0 +1,119 @@
+//! Segment-based lazy accounting accrual, shared by both engines.
+//!
+//! Accounting (kernel-class busy time, GPU activity/utilization/occupancy,
+//! flow traffic) used to be accrued per event: every `advance(dt)` touched
+//! every active rank and live flow just to add `coeff * dt` into a handful
+//! of accumulators, even though the coefficients only change at *mode
+//! transitions* — a rank starting/finishing a kernel, a wait completing, a
+//! GPU's flow presence flipping between zero and nonzero, a flow's
+//! bottleneck rate moving. At 512 GPUs that pure bookkeeping was the
+//! majority of the hot loop.
+//!
+//! The engines now accrue in **segments**: each rank and flow remembers the
+//! time its accounting was last brought current (`acc_since`), and a flush
+//! adds `coeff * (now - acc_since)` in one shot. Flushes happen at every
+//! point where a coefficient input changes, plus every control boundary
+//! (the accumulators are read there) and once at `finish`:
+//!
+//! - rank mode transitions (compute start/end, wait block/wake);
+//! - a GPU's flow count crossing 0 ↔ 1 (the overlap-activity bonus and the
+//!   idle-comm accrual key off flow *presence*);
+//! - a flow's cached rate changing **bit-wise** (pending movement is banked
+//!   into `moved_acc` so traffic charges stay a pure per-flow function);
+//! - control boundaries, telemetry samples, and run end.
+//!
+//! Work *progress* (`remaining -= rate * dt`, completion predicates, `dt`
+//! selection) stays strictly per-event and untouched, so the event stream
+//! is bit-identical to the per-event-accounting engines. Both engines call
+//! the helpers below with identically ordered flush sites, which keeps the
+//! golden byte-equality between them intact: the segment sums replace the
+//! per-event sums *in both engines at the same boundaries*.
+
+use charllm_trace::{ComputeKind, KernelClass};
+
+use crate::engine::kernel_pressure;
+use crate::result::KernelBreakdown;
+
+/// Accrue one computing segment of length `len` for a rank: measured
+/// kernel time, GPU activity (with the comm-overlap bonus when flows are
+/// present), utilization, and occupancy pressure.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn accrue_computing(
+    len: f64,
+    kind: ComputeKind,
+    flows_present: bool,
+    measured: bool,
+    kernel: &mut KernelBreakdown,
+    activity: &mut f64,
+    util: &mut f64,
+    occ: &mut (f64, f64, f64),
+) {
+    if measured {
+        kernel.add(KernelClass::of_compute(kind), len);
+    }
+    let act = kind.activity() + if flows_present { 0.25 } else { 0.0 };
+    *activity += act.min(1.0) * len;
+    *util += len;
+    let (w, tb) = kernel_pressure(kind);
+    let comm = if flows_present { 1.0 } else { 0.0 };
+    occ.0 += len;
+    occ.1 += (w + 0.2 * comm) * len;
+    occ.2 += (tb + 0.1 * comm) * len;
+}
+
+/// Accrue one collective-wait segment: communication kernels keep the SMs
+/// occupied at low pressure (the paper's "prolonged communication kernels"
+/// sustaining occupancy).
+#[inline]
+pub(crate) fn accrue_waiting(
+    len: f64,
+    class: KernelClass,
+    measured: bool,
+    kernel: &mut KernelBreakdown,
+    activity: &mut f64,
+    util: &mut f64,
+    occ: &mut (f64, f64, f64),
+) {
+    if measured {
+        kernel.add(class, len);
+    }
+    *activity += 0.38 * len;
+    *util += len;
+    occ.0 += len;
+    occ.1 += 0.2 * len;
+    occ.2 += 0.1 * len;
+}
+
+/// Accrue one idle-with-flows segment: eager-send flows may still be
+/// flying over an otherwise idle GPU; count comm presence lightly.
+#[inline]
+pub(crate) fn accrue_idle(len: f64, activity: &mut f64) {
+    *activity += 0.38 * len;
+}
+
+/// Bank a flow's pending movement at its *old* rate into `moved_acc` and
+/// restart the segment at `now`. Called exactly when the cached rate is
+/// about to change bit-wise — both engines compare bits, so they bank at
+/// the same instants and the banked sums match.
+#[inline]
+pub(crate) fn bank_flow_segment(rate: f64, now: f64, acc_since: &mut f64, moved_acc: &mut f64) {
+    *moved_acc += rate * (now - *acc_since);
+    *acc_since = now;
+}
+
+/// Drain a flow's accumulated movement (banked + the open segment at the
+/// current rate) and restart accrual at `now`. The caller converts the
+/// returned work units into payload charges.
+#[inline]
+pub(crate) fn take_flow_pending(
+    rate: f64,
+    now: f64,
+    acc_since: &mut f64,
+    moved_acc: &mut f64,
+) -> f64 {
+    let pending = *moved_acc + rate * (now - *acc_since);
+    *acc_since = now;
+    *moved_acc = 0.0;
+    pending
+}

@@ -53,6 +53,14 @@ pub struct SimConfig {
     /// a population reached around 512 GPUs).
     /// `0` forces the heap everywhere; `usize::MAX` forces the scan.
     pub sched_heap_threshold: usize,
+    /// Worker threads for re-rating dirty flow batches in the heap
+    /// scheduler. Re-rating is embarrassingly parallel — each flow's
+    /// bottleneck rate is a pure min over its route links' fair shares
+    /// given frozen loads — and results are written back in index order,
+    /// so any worker count produces bit-identical simulations (pinned by
+    /// the golden suites). `1` (the default) keeps the serial path;
+    /// values above 1 fan small batches out over scoped threads.
+    pub rerate_workers: usize,
 }
 
 impl Default for SimConfig {
@@ -71,6 +79,7 @@ impl Default for SimConfig {
             gpu_power_cap_w: None,
             uniform_variability: false,
             sched_heap_threshold: 256,
+            rerate_workers: 1,
         }
     }
 }

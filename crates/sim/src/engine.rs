@@ -33,13 +33,15 @@ use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use charllm_hw::{Cluster, GpuId, LinkClass};
-use charllm_net::{lower_collective, LinkHealth};
+use charllm_net::{lower_collective, ArenaItem, LinkHealth, SliceArena, SliceRef};
 use charllm_parallel::Placement;
 use charllm_telemetry::metrics::{Gauge, MetricsShard};
 use charllm_telemetry::{phase, GpuSample, SpanRecorder, TelemetryStore};
 use charllm_thermal::{GovernorConfig, GpuThermal, GpuVariability, ThermalSpec};
 use charllm_trace::{ExecutionTrace, KernelClass, Step};
 
+use crate::accrual;
+use crate::arena::{FlowArena, MAX_ROUTE_LINKS};
 use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::fault::{FaultEvent, FaultPlan, RecoveryPolicy};
@@ -108,17 +110,15 @@ struct CollSlot {
     state: CollState,
 }
 
-/// Longest route any preset topology produces (pcie → nic → leaf → spine →
-/// leaf → nic → pcie on a rail-fabric cluster). Plan data is inlined into
-/// fixed arrays of this size so the per-event rate and charge loops never
-/// chase a pointer.
-const MAX_ROUTE_LINKS: usize = 8;
-
-/// One flow of a cached collective plan: everything about it that is
-/// invariant across iterations, laid out for by-value copying into a
-/// [`FlowState`] at launch. Persisted across processes through the packed
-/// [`PlanSetSnapshot`] encoding: every field is either an integer or an
-/// `f64` printed shortest-roundtrip, so a snapshot reloads bit-exact.
+/// One flow of a cached collective plan in its *portable* form: fixed
+/// inline arrays sized by [`MAX_ROUTE_LINKS`] (the longest route any preset
+/// topology produces: pcie → nic → leaf → spine → leaf → nic → pcie on a
+/// rail-fabric cluster). This is the cross-process representation —
+/// persisted through the packed [`PlanSetSnapshot`] encoding (every field
+/// an integer or an `f64` printed shortest-roundtrip, so a snapshot reloads
+/// bit-exact) and shared through [`SharedPlans`]. At install time each
+/// `PlanFlow` is interned into the engine's route/charge arenas as a
+/// [`PlanFlowRef`], which is what the hot loops read.
 #[derive(Debug, Clone, Copy)]
 struct PlanFlow {
     /// Effective work in byte-equivalents (payload + overhead).
@@ -515,42 +515,108 @@ impl PlanSetSnapshot {
     }
 }
 
-/// A live flow: per-launch progress plus an inline copy of its plan data.
-#[derive(Debug)]
-struct FlowState {
-    work_remaining: f64,
-    /// Bottleneck fair-share rate as of `rate_epoch` (bytes/s).
-    rate: f64,
-    /// Load epoch the cached `rate` was computed at (0 = never; epoch 0
-    /// predates every launch, so fresh flows always recompute).
-    rate_epoch: u64,
-    /// Completion-queue key this flow was last pushed with (an absolute
-    /// predicted completion time that lower-bounds the true one). Reused
-    /// verbatim when a `swap_remove` moves the flow to a new slot.
-    heap_key: f64,
-    /// Location of this flow's live calendar-queue entry
-    /// ([`LOC_NONE`] = none), maintained by every push/remove/move.
-    cal_loc: u64,
-    /// Position of this flow's entry in `link_flows[plan.links[l]]` for
-    /// each route link `l` (the exact-membership back-pointers that make
-    /// launch/retire list maintenance O(route length)).
-    link_pos: [u32; MAX_ROUTE_LINKS],
-    coll: u32,
-    /// Launching rank's iteration (forms the `(iteration, coll)` key).
-    iteration: u32,
-    measured: bool,
-    plan: PlanFlow,
+/// One hop of an interned route: the link index, its fair-share bandwidth
+/// numerator (`bw_gbps * 1e9`, premultiplied so the rate loop divides the
+/// exact product the reference engine computes) and the folded load
+/// multiplier. Routes live deduplicated in a [`SliceArena`]; launching a
+/// flow stores a [`SliceRef`]-sized handle instead of copying hop arrays.
+#[derive(Debug, Clone, Copy)]
+struct RouteHop {
+    link: u32,
+    mult: u16,
+    bw1e9: f64,
+}
+
+impl ArenaItem for RouteHop {
+    fn key_bits(&self) -> u64 {
+        (u64::from(self.link) << 16 | u64::from(self.mult)) ^ self.bw1e9.to_bits().rotate_left(17)
+    }
+
+    fn same(&self, other: &Self) -> bool {
+        self.link == other.link
+            && self.mult == other.mult
+            && self.bw1e9.to_bits() == other.bw1e9.to_bits()
+    }
+}
+
+/// One telemetry/traffic charge of an interned charge list: the owning GPU
+/// and the link class its payload is booked under.
+#[derive(Debug, Clone, Copy)]
+struct ChargeItem {
+    gpu: u32,
+    class: LinkClass,
+}
+
+impl ArenaItem for ChargeItem {
+    fn key_bits(&self) -> u64 {
+        u64::from(self.gpu) << 8 | link_class_code(self.class)
+    }
+
+    fn same(&self, other: &Self) -> bool {
+        self.gpu == other.gpu && self.class == other.class
+    }
+}
+
+/// One flow of an *installed* collective plan: the arena-resident form the
+/// hot loops read. 40 bytes against [`PlanFlow`]'s ~280: the route and
+/// charge arrays collapse to [`SliceRef`] handles into the engine's shared
+/// [`SliceArena`]s, so launching a flow is a few index writes and the
+/// per-event rate loop walks a deduplicated hop slice instead of inline
+/// copies.
+#[derive(Debug, Clone, Copy)]
+struct PlanFlowRef {
+    /// Effective work in byte-equivalents (payload + overhead).
+    work: f64,
+    /// Payload bytes per unit of work.
+    payload_ratio: f64,
+    src: u32,
+    dst: u32,
+    route: SliceRef,
+    charges: SliceRef,
+}
+
+/// An installed plan: a contiguous run of [`PlanFlowRef`]s in the engine's
+/// `plan_flows` arena (plans are installed append-only, once per collective
+/// id per run).
+#[derive(Debug, Clone, Copy)]
+struct PlanRange {
+    start: u32,
+    len: u32,
+}
+
+/// The bottleneck fair-share rate of the flow in `slot`: the min over its
+/// route hops of `health × bw / load`. A pure function of frozen loads and
+/// link health — free of `&mut` state — so dirty batches can be rated on
+/// any worker in any order and still produce the exact bits the serial
+/// path produces (write-back order is what stays serial).
+#[inline]
+fn flow_rate(
+    slot: usize,
+    pf_of: &[u32],
+    plan_flows: &[PlanFlowRef],
+    route_arena: &SliceArena<RouteHop>,
+    link_load: &[u32],
+    link_health: &LinkHealth,
+) -> f64 {
+    let pf = plan_flows[pf_of[slot] as usize];
+    let mut rate = f64::INFINITY;
+    for hop in route_arena.get(pf.route) {
+        let load = link_load[hop.link as usize].max(1) as f64;
+        rate = rate.min(link_health.scale(hop.link as usize) * hop.bw1e9 / load);
+    }
+    rate
 }
 
 /// One entry of the scheduler's completion calendar, packed to 16 bytes:
 /// `key` is a conservative (lower-bound) absolute completion time computed
 /// when the entry was pushed; `meta` packs the entry kind (bit 63: 1 =
 /// compute rank, 0 = flow slot), the owner id (bits 62..32) and the
-/// owner's epoch at push time (bits 31..0). Entries are removed *at the
-/// site that invalidates them* (re-key, retirement, slot move) via the
-/// owner's stored location, so the queue holds exactly one live entry per
-/// schedulable entity; the epoch survives as a belt-and-braces stale check
-/// (counted in [`EngineStats::heap_skips`], expected ~0). Drain order
+/// owner's epoch at push time (bits 31..0; for flows, the arena slot's
+/// generation stamp). Entries are removed *at the site that invalidates
+/// them* (re-key, retirement) via the owner's stored location, so the
+/// queue holds exactly one live entry per schedulable entity; the epoch
+/// survives as a belt-and-braces stale check (counted in
+/// [`EngineStats::heap_skips`], expected ~0). Drain order
 /// never affects results: `next_dt` takes an order-independent `f64::min`
 /// over the exact candidates of every drained live entry.
 #[derive(Debug, Clone, Copy)]
@@ -589,17 +655,23 @@ impl HeapEntry {
     }
 }
 
+/// Smallest dirty-flow batch worth fanning out over the scoped worker
+/// pool: below this, thread spawn/join overhead dwarfs the pure rate
+/// computations (and the serial path is identical bit-for-bit anyway).
+const PAR_RERATE_MIN: usize = 64;
+
 /// Global re-key cadence: every this-many events the calendar is rebuilt
 /// from live state, re-basing the wheel at the current time and resetting
 /// the floating-point drift of conservative keys (see `next_dt`'s margin
 /// derivation).
 const REKEY_INTERVAL: u64 = 8192;
 
-/// Buckets in the calendar wheel. With the bucket width sized to ~4 mean
-/// event spacings at rebuild, the wheel horizon covers roughly a
+/// Buckets in the calendar wheel. With the bucket width sized to ~1 mean
+/// event spacing at rebuild, the wheel horizon covers roughly a
 /// [`REKEY_INTERVAL`] of simulated progress before entries spill to the
-/// overflow list.
-const CAL_BUCKETS: usize = 2048;
+/// overflow list, and a drained bucket hands back ~1 candidate per event
+/// instead of the ~4 a coarser wheel would.
+const CAL_BUCKETS: usize = 8192;
 
 /// Bucket index encoding the overflow list in a packed location.
 const CAL_OVERFLOW: u32 = u32::MAX;
@@ -728,18 +800,6 @@ impl CalendarQueue {
         self.len -= 1;
         v.get(idx).map(|e| e.meta)
     }
-
-    /// Rewrite the meta word of the entry at `loc` (flow `swap_remove`
-    /// relabeling: same key, new slot id and epoch).
-    fn patch_meta(&mut self, loc: u64, meta: u64) {
-        let bucket = (loc >> 32) as u32;
-        let idx = (loc & 0xffff_ffff) as usize;
-        if bucket == CAL_OVERFLOW {
-            self.overflow[idx].meta = meta;
-        } else {
-            self.buckets[bucket as usize][idx].meta = meta;
-        }
-    }
 }
 
 /// One engine-level fault action. Windowed plan events (`LinkDegrade`,
@@ -851,9 +911,20 @@ pub struct EngineStats {
     /// Run-wide high-water mark of the overflow list — entries whose
     /// conservative completion key lay beyond the wheel horizon when
     /// pushed. A large peak relative to `peak_live` means the bucket width
-    /// (4× the event-spacing EWMA at each rebuild) is too narrow for the
+    /// (the event-spacing EWMA at each rebuild) is too narrow for the
     /// workload's completion-time spread.
     pub cal_overflow_peak: u64,
+    /// Flow-arena slots reused from the free list (launches minus arena
+    /// growth): how often the steady-state launch path ran allocation-free.
+    pub arena_slot_reuses: u64,
+    /// Dirty-flow re-rate batches fanned out over the scoped worker pool
+    /// (zero when [`SimConfig::rerate_workers`] ≤ 1 or batches stayed under
+    /// the parallel threshold).
+    pub parallel_rerate_batches: u64,
+    /// Calendar entries removed by exact location at a retire site (flow
+    /// retirement or compute completion) — pops the drain loop never had
+    /// to evaluate or skip.
+    pub cal_exact_removals: u64,
 }
 
 /// Engine-side configuration of a symmetry-folded run, prepared by
@@ -902,7 +973,20 @@ pub struct Simulator<'a, O: SimObserver = NoopObserver> {
     colls: Vec<[CollSlot; 2]>,
     /// Count of live slots in `colls` (the old hash map's `len`).
     live_colls: u64,
-    flows: Vec<FlowState>,
+    /// The flow arena: structure-of-arrays per-flow state in stable,
+    /// generation-stamped slots recycled through a free list.
+    fa: FlowArena,
+    /// Live flow slots in the reference engine's dense iteration order:
+    /// launches append, retirement `swap_remove`s — reproducing the exact
+    /// advance-loop visit sequence the old dense `Vec` had, over stable
+    /// slots that never move.
+    flow_order: Vec<u32>,
+    /// Installed plan flows, append-only ([`PlanRange`]s index into it).
+    plan_flows: Vec<PlanFlowRef>,
+    /// Deduplicated route-hop slices shared by all installed plans.
+    route_arena: SliceArena<RouteHop>,
+    /// Deduplicated telemetry charge lists shared by all installed plans.
+    charge_arena: SliceArena<ChargeItem>,
     /// Number of active flows touching each GPU (as src or dst).
     gpu_flow_count: Vec<u32>,
     /// Flow load per link, maintained incrementally on launch/retire.
@@ -918,7 +1002,7 @@ pub struct Simulator<'a, O: SimObserver = NoopObserver> {
     link_dirty: Vec<bool>,
     /// Exact membership: flow slots currently routed through each link, as
     /// `(slot, route index)`; kept O(route length) per update via the
-    /// `FlowState::link_pos` back-pointers.
+    /// `FlowArena::link_pos` back-pointers.
     link_flows: Vec<Vec<(u32, u8)>>,
 
     /// The completion calendar: conservative predicted completion times
@@ -933,16 +1017,14 @@ pub struct Simulator<'a, O: SimObserver = NoopObserver> {
     heap_mode: bool,
     /// Key of each computing rank's live calendar entry (`INFINITY` =
     /// none). Lets `push_compute_key` skip the push when the stored entry
-    /// is still a valid lower bound, mirroring `rekey_flow`'s `heap_key`
+    /// is still a valid lower bound, mirroring `rekey_rated_flow`'s `heap_key`
     /// test.
     rank_key: Vec<f64>,
     /// Location of each rank's live calendar entry ([`LOC_NONE`] = none).
     rank_loc: Vec<u64>,
-    /// Per-flow-slot epoch; an entry for slot `s` is live iff its epoch
-    /// matches. Bumped on re-key, retirement, and `swap_remove` moves.
-    /// With push-site removal this is a belt-and-braces check only.
-    flow_epoch: Vec<u32>,
-    /// Per-rank epoch for compute entries (same protocol).
+    /// Per-rank epoch for compute entries: an entry for rank `r` is live
+    /// iff its epoch matches (flows use the arena generation stamp). With
+    /// push-site removal this is a belt-and-braces check only.
     rank_epoch: Vec<u32>,
     /// EWMA of recent event spacing, sizing the calendar's bucket width at
     /// each rebuild.
@@ -956,9 +1038,15 @@ pub struct Simulator<'a, O: SimObserver = NoopObserver> {
     ranks_of_gpu: Vec<Vec<u32>>,
     /// Events since the last full re-key (see [`REKEY_INTERVAL`]).
     events_since_rekey: u64,
+    /// Gather buffer for the dirty-flow re-rate pass (slots, gather order).
+    rerate_slots: Vec<u32>,
+    /// Rates computed for `rerate_slots`, index-aligned; filled serially or
+    /// by the scoped worker pool, always written back in gather order.
+    rerate_rates: Vec<f64>,
 
-    /// One cached plan per `CollectiveId`, built lazily at first launch.
-    plan_cache: Vec<Option<CollPlan>>,
+    /// One installed plan per `CollectiveId`, interned lazily at first
+    /// launch (or at construction for fold-injected plans).
+    plan_cache: Vec<Option<PlanRange>>,
     /// Cross-run plan set (same `(cluster, placement, trace)` triple):
     /// consulted before building, fed after (see [`SharedPlans`]).
     shared_plans: Option<Arc<SharedPlans>>,
@@ -984,6 +1072,9 @@ pub struct Simulator<'a, O: SimObserver = NoopObserver> {
     computing_ranks: Vec<usize>,
     /// Position of each rank in `computing_ranks` (`u32::MAX` = absent).
     computing_pos: Vec<u32>,
+    /// Scratch: ranks whose compute completed this event, processed in
+    /// ascending rank order to preserve the world-scan completion order.
+    completed_scratch: Vec<u32>,
     finished_ranks: usize,
 
     thermals: Vec<GpuThermal>,
@@ -997,6 +1088,16 @@ pub struct Simulator<'a, O: SimObserver = NoopObserver> {
     activity_acc: Vec<f64>,
     util_acc: Vec<f64>,
     pcie_window_bytes: Vec<f64>,
+
+    /// Time each rank's accounting was last brought current (segment start
+    /// for lazy accrual; see `crate::accrual`).
+    rank_acc_since: Vec<f64>,
+    /// Whether each rank participates in accounting (`active_ranks` as a
+    /// bitmap: every rank unfolded, representatives only when folded).
+    rank_active: Vec<bool>,
+    /// During a fail-stop outage the clock advances with no rank or flow
+    /// progress: flushes only rebase `acc_since` instead of accruing.
+    accrual_frozen: bool,
 
     kernel_time: Vec<KernelBreakdown>,
     traffic: TrafficMatrix,
@@ -1075,6 +1176,9 @@ struct EngineMetrics {
     heap_pushes: Gauge,
     heap_pops: Gauge,
     heap_skips: Gauge,
+    arena_slot_reuses: Gauge,
+    parallel_rerate_batches: Gauge,
+    cal_exact_removals: Gauge,
     fault_downtime_s: Gauge,
     fault_restarts: Gauge,
     fault_energy_wasted_j: Gauge,
@@ -1104,6 +1208,9 @@ impl EngineMetrics {
             heap_pushes: g("sim_heap_pushes"),
             heap_pops: g("sim_heap_pops"),
             heap_skips: g("sim_heap_skips"),
+            arena_slot_reuses: g("sim_arena_slot_reuses"),
+            parallel_rerate_batches: g("sim_parallel_rerate_batches"),
+            cal_exact_removals: g("sim_cal_exact_removals"),
             fault_downtime_s: g("sim_fault_downtime_s"),
             fault_restarts: g("sim_fault_restarts"),
             fault_energy_wasted_j: g("sim_fault_energy_wasted_j"),
@@ -1281,12 +1388,12 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
         let freq_ratio = thermals.iter().map(GpuThermal::freq_ratio).collect();
         let last_power_w = thermals.iter().map(GpuThermal::power_w).collect();
 
-        let mut plan_cache: Vec<Option<CollPlan>> = (0..num_colls).map(|_| None).collect();
-        for (ci, plan) in injected {
-            plan_cache[ci as usize] = Some(plan);
+        let mut rank_active = vec![false; ranks.len()];
+        for &r in &active_ranks {
+            rank_active[r as usize] = true;
         }
 
-        Ok(Simulator {
+        let mut sim = Simulator {
             obs,
             cluster,
             trace,
@@ -1295,7 +1402,11 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
                 .map(|_| [CollSlot::default(), CollSlot::default()])
                 .collect(),
             live_colls: 0,
-            flows: Vec::new(),
+            fa: FlowArena::new(),
+            flow_order: Vec::new(),
+            plan_flows: Vec::new(),
+            route_arena: SliceArena::new(),
+            charge_arena: SliceArena::new(),
             gpu_flow_count: vec![0; num_gpus],
             link_load: vec![0; cluster.num_links()],
             load_epoch: 0,
@@ -1307,14 +1418,15 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
             heap_mode: false,
             rank_key: vec![f64::INFINITY; trace.world()],
             rank_loc: vec![LOC_NONE; trace.world()],
-            flow_epoch: Vec::new(),
             rank_epoch: vec![0; trace.world()],
             avg_dt: cfg.control_period_s / 256.0,
             dirty_ranks: Vec::new(),
             rank_dirty: vec![false; trace.world()],
             ranks_of_gpu,
             events_since_rekey: 0,
-            plan_cache,
+            rerate_slots: Vec::new(),
+            rerate_rates: Vec::new(),
+            plan_cache: (0..num_colls).map(|_| None).collect(),
             shared_plans: None,
             coll_class,
             coll_eager,
@@ -1324,6 +1436,7 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
             ready_next: Vec::new(),
             computing_ranks: Vec::new(),
             computing_pos: vec![u32::MAX; trace.world()],
+            completed_scratch: Vec::new(),
             finished_ranks: 0,
             thermals,
             freq_ratio,
@@ -1332,6 +1445,9 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
             activity_acc: vec![0.0; num_gpus],
             util_acc: vec![0.0; num_gpus],
             pcie_window_bytes: vec![0.0; num_gpus],
+            rank_acc_since: vec![0.0; trace.world()],
+            rank_active,
+            accrual_frozen: false,
             kernel_time: vec![KernelBreakdown::default(); trace.world()],
             traffic: TrafficMatrix::new(num_gpus),
             occ_acc: vec![(0.0, 0.0, 0.0); num_gpus],
@@ -1359,7 +1475,52 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
             stats: EngineStats::default(),
             metrics: None,
             cfg,
-        })
+        };
+        for (ci, plan) in injected {
+            sim.install_plan(ci as usize, &plan);
+        }
+        Ok(sim)
+    }
+
+    /// Intern `plan` into the engine's arenas and record its range in the
+    /// plan cache: routes and charge lists deduplicate into the shared
+    /// [`SliceArena`]s, so launching one of its flows is a few index
+    /// writes instead of a ~280-byte plan copy.
+    fn install_plan(&mut self, ci: usize, plan: &CollPlan) -> PlanRange {
+        let start = self.plan_flows.len() as u32;
+        let mut hops: Vec<RouteHop> = Vec::with_capacity(MAX_ROUTE_LINKS);
+        let mut charges: Vec<ChargeItem> = Vec::with_capacity(MAX_ROUTE_LINKS);
+        for pf in plan.flows.iter() {
+            hops.clear();
+            charges.clear();
+            for l in 0..pf.route_len as usize {
+                hops.push(RouteHop {
+                    link: pf.links[l],
+                    mult: pf.mult[l],
+                    bw1e9: pf.bw1e9[l],
+                });
+            }
+            for c in 0..pf.charge_len as usize {
+                charges.push(ChargeItem {
+                    gpu: pf.charge_gpu[c],
+                    class: pf.charge_class[c],
+                });
+            }
+            self.plan_flows.push(PlanFlowRef {
+                work: pf.work,
+                payload_ratio: pf.payload_ratio,
+                src: pf.src.index() as u32,
+                dst: pf.dst.index() as u32,
+                route: self.route_arena.intern(&hops),
+                charges: self.charge_arena.intern(&charges),
+            });
+        }
+        let range = PlanRange {
+            start,
+            len: plan.flows.len() as u32,
+        };
+        self.plan_cache[ci] = Some(range);
+        range
     }
 
     /// Attach a cross-run [`SharedPlans`] set: collective plans already
@@ -1643,6 +1804,13 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
             return;
         }
         let redo_from = start + idle_s.max(0.0);
+        // Close every open segment at the outage start, then freeze
+        // accrual: ranks and flows hold their work during the stall, so a
+        // lazy segment spanning it would charge kernel/traffic time that
+        // never ran. Frozen flushes only rebase `acc_since` (the control
+        // updates below still read the synthetic redo activity).
+        self.flush_accruals(start);
+        self.accrual_frozen = true;
         let energy_before: f64 = self.thermals.iter().map(GpuThermal::energy_j).sum();
         while end - self.t > 1e-9 {
             let dt = (self.next_control - self.t).min(end - self.t).max(1e-9);
@@ -1658,6 +1826,8 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
                 self.next_control += self.cfg.control_period_s;
             }
         }
+        self.accrual_frozen = false;
+        self.rebase_accruals(self.t);
         let energy_after: f64 = self.thermals.iter().map(GpuThermal::energy_j).sum();
         rt.energy_wasted_j += energy_after - energy_before;
         let outage = self.t - start;
@@ -1763,7 +1933,7 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
         m.last_events = self.stats.events;
         m.sim_time_s.set(self.t);
         m.events.set(self.stats.events as f64);
-        m.live_flows.set(self.flows.len() as f64);
+        m.live_flows.set(self.flow_order.len() as f64);
         m.live_computing.set(self.computing_ranks.len() as f64);
         m.flows_launched.set(self.stats.flows_launched as f64);
         m.plan_builds.set(self.stats.plan_builds as f64);
@@ -1776,6 +1946,11 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
         m.heap_pushes.set(self.stats.heap_pushes as f64);
         m.heap_pops.set(self.stats.heap_pops as f64);
         m.heap_skips.set(self.stats.heap_skips as f64);
+        m.arena_slot_reuses.set(self.stats.arena_slot_reuses as f64);
+        m.parallel_rerate_batches
+            .set(self.stats.parallel_rerate_batches as f64);
+        m.cal_exact_removals
+            .set(self.stats.cal_exact_removals as f64);
         if let Some(rt) = &self.fault {
             m.fault_downtime_s.set(rt.downtime_s);
             m.fault_restarts.set(rt.restarts as f64);
@@ -1802,6 +1977,12 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
     /// Run one rank's instantaneous steps until it blocks, starts a
     /// compute, or finishes. The rank's mode is `Ready` on entry.
     fn process_rank(&mut self, rank: usize) {
+        // Close the rank's open accounting segment before any mode write.
+        // Usually zero-length (the rank became `Ready` at the current
+        // time, with a flush); a rank woken mid-drain and re-queued for
+        // the *next* pass spends one event `Ready` and accrues its idle
+        // segment here.
+        self.accrue_rank(rank, self.t);
         loop {
             let steps = self.trace.steps(rank);
             if self.ranks[rank].step_idx >= steps.len() {
@@ -1936,11 +2117,12 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
             return;
         }
 
-        if self.plan_cache[ci].is_some() {
+        let range = if let Some(range) = self.plan_cache[ci] {
             self.stats.plan_reuses += 1;
+            range
         } else if let Some(plan) = self.shared_plans.as_ref().and_then(|s| s.get(ci)) {
-            self.plan_cache[ci] = Some(plan);
             self.stats.shared_plan_hits += 1;
+            self.install_plan(ci, &plan)
         } else {
             let plan = build_plan(
                 self.cluster,
@@ -1952,70 +2134,62 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
             if let Some(shared) = &self.shared_plans {
                 shared.put(ci, &plan);
             }
-            self.plan_cache[ci] = Some(plan);
             self.stats.plan_builds += 1;
-        }
+            self.install_plan(ci, &plan)
+        };
 
         let measured = self.ranks[rank].iteration >= self.cfg.warmup_iterations;
-        let active = self.plan_cache[ci]
-            .as_ref()
-            .expect("plan just ensured")
-            .flows
-            .len() as u32;
+        let active = range.len;
         if active > 0 {
             self.load_epoch += 1;
             self.stats.flows_launched += u64::from(active);
         }
-        for fi in 0..active as usize {
-            let pf = self.plan_cache[ci]
-                .as_ref()
-                .expect("plan just ensured")
-                .flows[fi];
-            self.obs.flow_launch(
-                coll,
-                iter,
-                pf.src.index() as u32,
-                pf.dst.index() as u32,
-                self.t,
-            );
-            self.gpu_flow_count[pf.src.index()] += 1;
-            if self.gpu_flow_count[pf.src.index()] == 1 {
-                self.mark_gpu_ranks_dirty(pf.src.index());
+        for pfi in range.start..range.start + range.len {
+            let pf = self.plan_flows[pfi as usize];
+            let slot = self.fa.alloc() as usize;
+            self.obs
+                .flow_launch(slot as u32, coll, iter, pf.src, pf.dst, self.t);
+            // A GPU's flow count crossing 0 → 1 changes its ranks'
+            // accounting coefficients: close their segments *before* the
+            // increment so the closed span carries the flows-absent rates.
+            if self.gpu_flow_count[pf.src as usize] == 0 {
+                self.flush_gpu_ranks(pf.src as usize, self.t);
             }
-            self.gpu_flow_count[pf.dst.index()] += 1;
-            if self.gpu_flow_count[pf.dst.index()] == 1 {
-                self.mark_gpu_ranks_dirty(pf.dst.index());
+            self.gpu_flow_count[pf.src as usize] += 1;
+            if self.gpu_flow_count[pf.src as usize] == 1 {
+                self.mark_gpu_ranks_dirty(pf.src as usize);
             }
-            let slot = self.flows.len() as u32;
-            let mut link_pos = [0u32; MAX_ROUTE_LINKS];
-            for (l, pos) in link_pos.iter_mut().enumerate().take(pf.route_len as usize) {
-                let id = pf.links[l] as usize;
-                self.link_load[id] += u32::from(pf.mult[l]);
+            if self.gpu_flow_count[pf.dst as usize] == 0 {
+                self.flush_gpu_ranks(pf.dst as usize, self.t);
+            }
+            self.gpu_flow_count[pf.dst as usize] += 1;
+            if self.gpu_flow_count[pf.dst as usize] == 1 {
+                self.mark_gpu_ranks_dirty(pf.dst as usize);
+            }
+            for (l, li) in pf.route.indices().enumerate() {
+                let hop = self.route_arena.item(li);
+                let id = hop.link as usize;
+                self.link_load[id] += u32::from(hop.mult);
                 self.mark_link_dirty(id);
                 if self.heap_mode {
-                    *pos = self.link_flows[id].len() as u32;
-                    self.link_flows[id].push((slot, l as u8));
+                    self.fa.link_pos[slot][l] = self.link_flows[id].len() as u32;
+                    self.link_flows[id].push((slot as u32, l as u8));
                 }
             }
-            if self.flow_epoch.len() <= slot as usize {
-                self.flow_epoch.push(0);
-            }
-            // Kill any residual heap entries from an earlier occupant of
-            // this slot (all vacating paths bump too; belt and braces).
-            self.flow_epoch[slot as usize] = self.flow_epoch[slot as usize].wrapping_add(1);
-            self.flows.push(FlowState {
-                work_remaining: pf.work,
-                rate: 0.0,
-                rate_epoch: 0,
-                heap_key: f64::INFINITY,
-                cal_loc: LOC_NONE,
-                link_pos,
-                coll,
-                iteration: iter,
-                measured,
-                plan: pf,
-            });
+            self.fa.remaining[slot] = pf.work;
+            self.fa.rate[slot] = 0.0;
+            self.fa.acc_since[slot] = self.t;
+            self.fa.moved_acc[slot] = 0.0;
+            self.fa.rate_epoch[slot] = 0;
+            self.fa.heap_key[slot] = f64::INFINITY;
+            self.fa.cal_loc[slot] = LOC_NONE;
+            self.fa.coll[slot] = coll;
+            self.fa.iteration[slot] = iter;
+            self.fa.measured[slot] = measured;
+            self.fa.pf[slot] = pfi;
+            self.flow_order.push(slot as u32);
         }
+        self.stats.arena_slot_reuses = self.fa.slot_reuses();
 
         let slot = &mut self.colls[ci][(iter & 1) as usize];
         debug_assert!(slot.live && slot.iter == iter, "just inserted");
@@ -2049,6 +2223,9 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
         }
         self.obs.collective_complete(key.1, key.0, now);
         for &w in &waiters {
+            // Close the waiter's waiting segment at completion time,
+            // before its mode flips.
+            self.accrue_rank(w, now);
             self.obs.task_end(w, now);
             self.ranks[w].mode = RankMode::Ready;
             match current {
@@ -2057,6 +2234,123 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
             }
         }
         self.stats.wakes += waiters.len() as u64;
+    }
+
+    /// Close `rank`'s open accounting segment at `t_end`: accrue its
+    /// current mode's coefficients over `[acc_since, t_end]` and restart
+    /// the segment. No-op for zero-length segments and inactive (folded-
+    /// away) ranks. During a fail-stop outage (`accrual_frozen`) the
+    /// segment is dropped instead of accrued — the outage loop injects its
+    /// own activity directly.
+    fn accrue_rank(&mut self, rank: usize, t_end: f64) {
+        let t0 = self.rank_acc_since[rank];
+        if t_end <= t0 {
+            return;
+        }
+        self.rank_acc_since[rank] = t_end;
+        if !self.rank_active[rank] || self.accrual_frozen {
+            return;
+        }
+        let len = t_end - t0;
+        let gpu = self.ranks[rank].gpu.index();
+        let flows_present = self.gpu_flow_count[gpu] > 0;
+        match self.ranks[rank].mode {
+            RankMode::Computing { kind, .. } => accrual::accrue_computing(
+                len,
+                kind,
+                flows_present,
+                self.ranks[rank].iteration >= self.cfg.warmup_iterations,
+                &mut self.kernel_time[rank],
+                &mut self.activity_acc[gpu],
+                &mut self.util_acc[gpu],
+                &mut self.occ_acc[gpu],
+            ),
+            RankMode::Waiting { coll } => accrual::accrue_waiting(
+                len,
+                self.coll_class[coll as usize],
+                self.ranks[rank].iteration >= self.cfg.warmup_iterations,
+                &mut self.kernel_time[rank],
+                &mut self.activity_acc[gpu],
+                &mut self.util_acc[gpu],
+                &mut self.occ_acc[gpu],
+            ),
+            _ => {
+                if flows_present {
+                    accrual::accrue_idle(len, &mut self.activity_acc[gpu]);
+                }
+            }
+        }
+    }
+
+    /// Close the accounting segments of every rank placed on `gpu` at
+    /// `now`. Called exactly when the GPU's flow count crosses 0 ↔ 1 (its
+    /// ranks' activity/occupancy coefficients change).
+    fn flush_gpu_ranks(&mut self, gpu: usize, now: f64) {
+        for k in 0..self.ranks_of_gpu[gpu].len() {
+            let rank = self.ranks_of_gpu[gpu][k] as usize;
+            self.accrue_rank(rank, now);
+        }
+    }
+
+    /// Drain a flow's accumulated movement and charge it to its telemetry
+    /// owners. `extra` is movement already computed outside the segment
+    /// accrual (the retirement event's final `moved`, residual included).
+    fn flush_flow(&mut self, slot: usize, now: f64, extra: f64) {
+        if self.accrual_frozen {
+            // No work moves during an outage: restart the segment without
+            // charging the stalled span.
+            self.fa.acc_since[slot] = now;
+            return;
+        }
+        let pending = accrual::take_flow_pending(
+            self.fa.rate[slot],
+            now,
+            &mut self.fa.acc_since[slot],
+            &mut self.fa.moved_acc[slot],
+        ) + extra;
+        if pending == 0.0 {
+            return;
+        }
+        let pf = self.plan_flows[self.fa.pf[slot] as usize];
+        let payload = pending * pf.payload_ratio;
+        let measured = self.fa.measured[slot];
+        for ci in pf.charges.indices() {
+            let charge = self.charge_arena.item(ci);
+            let gpu = charge.gpu as usize;
+            if measured {
+                self.traffic.add(gpu, charge.class, payload);
+            }
+            if charge.class == LinkClass::Pcie {
+                self.pcie_window_bytes[gpu] += payload;
+            }
+        }
+    }
+
+    /// Bring every accounting accumulator current at `now`: active ranks
+    /// in ascending order, then live flows in `flow_order` order — the
+    /// exact sequences the reference engine's world scan and dense flow
+    /// loop would have accrued in.
+    fn flush_accruals(&mut self, now: f64) {
+        for ri in 0..self.active_ranks.len() {
+            self.accrue_rank(self.active_ranks[ri] as usize, now);
+        }
+        for oi in 0..self.flow_order.len() {
+            let slot = self.flow_order[oi] as usize;
+            self.flush_flow(slot, now, 0.0);
+        }
+    }
+
+    /// Restart every segment at `now` without accruing anything — used at
+    /// the end of a fail-stop outage, whose span must contribute no rank,
+    /// flow, or idle accounting (the stall loop injects recovery activity
+    /// itself).
+    fn rebase_accruals(&mut self, now: f64) {
+        for ri in 0..self.active_ranks.len() {
+            self.rank_acc_since[self.active_ranks[ri] as usize] = now;
+        }
+        for oi in 0..self.flow_order.len() {
+            self.fa.acc_since[self.flow_order[oi] as usize] = now;
+        }
     }
 
     fn note_live_colls(&mut self) {
@@ -2101,7 +2395,7 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
 
     /// Push a fresh completion entry for a computing rank — but only when
     /// the fresh prediction undercuts the stored key (same lower-bound
-    /// reasoning as [`Self::rekey_flow`]). The superseded entry is removed
+    /// reasoning as [`Self::rekey_rated_flow`]). The superseded entry is removed
     /// *here*, at the push site, via the rank's stored location — not left
     /// to be popped and skipped later. `force` pushes unconditionally
     /// after the calendar was rebuilt.
@@ -2139,14 +2433,14 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
             if meta & ENTRY_COMPUTE != 0 {
                 self.rank_loc[id] = loc;
             } else {
-                self.flows[id].cal_loc = loc;
+                self.fa.cal_loc[id] = loc;
             }
         }
     }
 
-    /// Recompute `flows[slot]`'s bottleneck rate from the current link loads
-    /// (the exact fold the reference engine uses) and re-key its heap entry
-    /// if the new prediction undercuts the stored key.
+    /// Install a freshly computed bottleneck `rate` for the flow in `slot`
+    /// and re-key its calendar entry if the new prediction undercuts the
+    /// stored key.
     ///
     /// Queue keys only need to stay *lower bounds* on true completion
     /// times. A rate decrease (the launch-storm common case) moves the
@@ -2155,37 +2449,67 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
     /// loose keys are re-tightened lazily when they drain. Only when the
     /// fresh prediction is *earlier* than the stored key (a rate increase)
     /// does the old entry get removed — at this push site, via its stored
-    /// location — and a re-keyed one inserted. `force` overrides the
-    /// comparison when the calendar was just rebuilt (`rekey_all`) and
-    /// every flow needs an entry regardless.
-    fn rekey_flow(&mut self, slot: usize, force: bool) {
-        let epoch = self.load_epoch;
-        let f = &mut self.flows[slot];
-        let n = f.plan.route_len as usize;
-        let mut rate = f64::INFINITY;
-        for l in 0..n {
-            let load = self.link_load[f.plan.links[l] as usize].max(1) as f64;
-            rate =
-                rate.min(self.link_health.scale(f.plan.links[l] as usize) * f.plan.bw1e9[l] / load);
+    /// location — and a re-keyed one inserted.
+    fn rekey_rated_flow(&mut self, slot: usize, rate: f64) {
+        if rate.to_bits() != self.fa.rate[slot].to_bits() {
+            accrual::bank_flow_segment(
+                self.fa.rate[slot],
+                self.t,
+                &mut self.fa.acc_since[slot],
+                &mut self.fa.moved_acc[slot],
+            );
+            self.fa.rate[slot] = rate;
         }
-        f.rate = rate;
-        f.rate_epoch = epoch;
-        if !self.heap_mode {
+        let key = self.t + self.fa.remaining[slot] / rate;
+        if key >= self.fa.heap_key[slot] {
             return;
         }
-        let key = self.t + f.work_remaining / rate;
-        if !force && key >= f.heap_key {
-            return;
-        }
-        f.heap_key = key;
-        let old = f.cal_loc;
-        self.flow_epoch[slot] = self.flow_epoch[slot].wrapping_add(1);
+        self.fa.heap_key[slot] = key;
+        let old = self.fa.cal_loc[slot];
         if old != LOC_NONE {
             self.calq_remove(old);
         }
-        self.flows[slot].cal_loc =
-            self.calq
-                .push(HeapEntry::flow(key, slot as u32, self.flow_epoch[slot]));
+        self.fa.cal_loc[slot] = self.calq.push(HeapEntry::flow(
+            key,
+            slot as u32,
+            self.fa.generation(slot as u32),
+        ));
+        self.stats.heap_pushes += 1;
+    }
+
+    /// Recompute the flow's rate fresh and push an entry unconditionally —
+    /// the calendar was just rebuilt (`rekey_all`) and every flow needs an
+    /// entry regardless of the old key.
+    fn rekey_flow_forced(&mut self, slot: usize) {
+        let rate = flow_rate(
+            slot,
+            &self.fa.pf,
+            &self.plan_flows,
+            &self.route_arena,
+            &self.link_load,
+            &self.link_health,
+        );
+        if rate.to_bits() != self.fa.rate[slot].to_bits() {
+            accrual::bank_flow_segment(
+                self.fa.rate[slot],
+                self.t,
+                &mut self.fa.acc_since[slot],
+                &mut self.fa.moved_acc[slot],
+            );
+            self.fa.rate[slot] = rate;
+        }
+        self.fa.rate_epoch[slot] = self.load_epoch;
+        let key = self.t + self.fa.remaining[slot] / rate;
+        self.fa.heap_key[slot] = key;
+        let old = self.fa.cal_loc[slot];
+        if old != LOC_NONE {
+            self.calq_remove(old);
+        }
+        self.fa.cal_loc[slot] = self.calq.push(HeapEntry::flow(
+            key,
+            slot as u32,
+            self.fa.generation(slot as u32),
+        ));
         self.stats.heap_pushes += 1;
     }
 
@@ -2209,24 +2533,34 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
             }
         }
         let epoch = self.load_epoch;
-        for f in self.flows.iter_mut() {
-            let n = f.plan.route_len as usize;
+        for oi in 0..self.flow_order.len() {
+            let slot = self.flow_order[oi] as usize;
+            let pf = self.plan_flows[self.fa.pf[slot] as usize];
             let mut stale = false;
-            for l in 0..n {
-                stale |= self.link_dirty[f.plan.links[l] as usize];
+            for li in pf.route.indices() {
+                stale |= self.link_dirty[self.route_arena.item(li).link as usize];
             }
             if stale {
-                let mut rate = f64::INFINITY;
-                for l in 0..n {
-                    let load = self.link_load[f.plan.links[l] as usize].max(1) as f64;
-                    rate = rate.min(
-                        self.link_health.scale(f.plan.links[l] as usize) * f.plan.bw1e9[l] / load,
+                let rate = flow_rate(
+                    slot,
+                    &self.fa.pf,
+                    &self.plan_flows,
+                    &self.route_arena,
+                    &self.link_load,
+                    &self.link_health,
+                );
+                if rate.to_bits() != self.fa.rate[slot].to_bits() {
+                    accrual::bank_flow_segment(
+                        self.fa.rate[slot],
+                        self.t,
+                        &mut self.fa.acc_since[slot],
+                        &mut self.fa.moved_acc[slot],
                     );
+                    self.fa.rate[slot] = rate;
                 }
-                f.rate = rate;
-                f.rate_epoch = epoch;
+                self.fa.rate_epoch[slot] = epoch;
             }
-            dt = dt.min(f.work_remaining / f.rate);
+            dt = dt.min(self.fa.remaining[slot] / self.fa.rate[slot]);
         }
         let mut dirty = std::mem::take(&mut self.dirty_links);
         for &link in &dirty {
@@ -2253,35 +2587,36 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
         for v in &mut self.link_flows {
             v.clear();
         }
-        for slot in 0..self.flows.len() {
-            let n = self.flows[slot].plan.route_len as usize;
-            for l in 0..n {
-                let id = self.flows[slot].plan.links[l] as usize;
+        for oi in 0..self.flow_order.len() {
+            let slot = self.flow_order[oi] as usize;
+            let pf = self.plan_flows[self.fa.pf[slot] as usize];
+            for (l, li) in pf.route.indices().enumerate() {
+                let id = self.route_arena.item(li).link as usize;
                 let pos = self.link_flows[id].len() as u32;
-                self.flows[slot].link_pos[l] = pos;
+                self.fa.link_pos[slot][l] = pos;
                 self.link_flows[id].push((slot as u32, l as u8));
             }
         }
     }
 
     /// Rebuild the completion calendar from live state: re-base the wheel
-    /// at the current time with a bucket width of ~4 mean event spacings,
+    /// at the current time with a bucket width of ~1 mean event spacing,
     /// then refresh every flow rate and push one fresh entry per flow and
     /// computing rank. Runs every [`REKEY_INTERVAL`] events (resetting
     /// conservative-key drift) and whenever simulated time drifts past
     /// half the wheel horizon.
     fn rekey_all(&mut self) {
         self.stats.cal_rekeys += 1;
-        let width = (self.avg_dt * 4.0).max(1e-12);
+        let width = self.avg_dt.max(1e-12);
         self.calq.reset(self.t, width);
-        for f in &mut self.flows {
-            f.cal_loc = LOC_NONE;
+        for oi in 0..self.flow_order.len() {
+            self.fa.cal_loc[self.flow_order[oi] as usize] = LOC_NONE;
         }
         for idx in 0..self.computing_ranks.len() {
             self.rank_loc[self.computing_ranks[idx]] = LOC_NONE;
         }
-        for slot in 0..self.flows.len() {
-            self.rekey_flow(slot, true);
+        for oi in 0..self.flow_order.len() {
+            self.rekey_flow_forced(self.flow_order[oi] as usize);
         }
         for idx in 0..self.computing_ranks.len() {
             let rank = self.computing_ranks[idx];
@@ -2317,10 +2652,10 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
     /// bits. In debug builds `debug_check_dt` re-derives `dt` with the
     /// reference's full scan and asserts bit-equality.
     fn next_dt(&mut self) -> Option<f64> {
-        if self.computing_ranks.is_empty() && self.flows.is_empty() {
+        if self.computing_ranks.is_empty() && self.flow_order.is_empty() {
             return None;
         }
-        let live = self.flows.len() + self.computing_ranks.len();
+        let live = self.flow_order.len() + self.computing_ranks.len();
         self.stats.peak_live = self.stats.peak_live.max(live as u64);
         if self.heap_mode {
             if 2 * live < self.cfg.sched_heap_threshold {
@@ -2328,8 +2663,8 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
                 // state directly; drop the now-unmaintained entries.
                 self.heap_mode = false;
                 self.calq.clear();
-                for f in &mut self.flows {
-                    f.cal_loc = LOC_NONE;
+                for oi in 0..self.flow_order.len() {
+                    self.fa.cal_loc[self.flow_order[oi] as usize] = LOC_NONE;
                 }
                 for idx in 0..self.computing_ranks.len() {
                     self.rank_loc[self.computing_ranks[idx]] = LOC_NONE;
@@ -2350,21 +2685,78 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
         }
         self.events_since_rekey += 1;
 
-        // Re-rate + re-key flows touched by link-load changes.
+        // Re-rate + re-key flows touched by link-load changes, in three
+        // stages: gather the dirty set (deduplicated by stamping
+        // `rate_epoch` at gather time), compute every gathered flow's rate
+        // — a pure function of frozen loads, fanned out over scoped
+        // workers when the batch is big enough — then write back and
+        // re-key serially in gather order. The serial pass visits the
+        // exact flows in the exact order the all-serial path would, so
+        // any worker count produces bit-identical simulations.
         let mut dirty = std::mem::take(&mut self.dirty_links);
+        let mut batch = std::mem::take(&mut self.rerate_slots);
         let epoch = self.load_epoch;
         for &link in &dirty {
             let link = link as usize;
             self.link_dirty[link] = false;
             for k in 0..self.link_flows[link].len() {
                 let (slot, _) = self.link_flows[link][k];
-                if self.flows[slot as usize].rate_epoch != epoch {
-                    self.rekey_flow(slot as usize, false);
+                if self.fa.rate_epoch[slot as usize] != epoch {
+                    self.fa.rate_epoch[slot as usize] = epoch;
+                    batch.push(slot);
                 }
             }
         }
         dirty.clear();
         self.dirty_links = dirty;
+        if !batch.is_empty() {
+            let mut rates = std::mem::take(&mut self.rerate_rates);
+            rates.clear();
+            rates.resize(batch.len(), 0.0);
+            let workers = self.cfg.rerate_workers;
+            if workers > 1 && batch.len() >= PAR_RERATE_MIN {
+                self.stats.parallel_rerate_batches += 1;
+                let chunk = batch.len().div_ceil(workers);
+                let pf_of = &self.fa.pf;
+                let plan_flows = &self.plan_flows;
+                let route_arena = &self.route_arena;
+                let link_load = &self.link_load;
+                let link_health = &self.link_health;
+                std::thread::scope(|s| {
+                    for (bs, rs) in batch.chunks(chunk).zip(rates.chunks_mut(chunk)) {
+                        s.spawn(move || {
+                            for (r, &slot) in rs.iter_mut().zip(bs) {
+                                *r = flow_rate(
+                                    slot as usize,
+                                    pf_of,
+                                    plan_flows,
+                                    route_arena,
+                                    link_load,
+                                    link_health,
+                                );
+                            }
+                        });
+                    }
+                });
+            } else {
+                for (r, &slot) in rates.iter_mut().zip(&batch) {
+                    *r = flow_rate(
+                        slot as usize,
+                        &self.fa.pf,
+                        &self.plan_flows,
+                        &self.route_arena,
+                        &self.link_load,
+                        &self.link_health,
+                    );
+                }
+            }
+            for (k, &slot) in batch.iter().enumerate() {
+                self.rekey_rated_flow(slot as usize, rates[k]);
+            }
+            self.rerate_rates = rates;
+        }
+        batch.clear();
+        self.rerate_slots = batch;
 
         // Re-key computes whose rate inputs changed.
         let mut dirty = std::mem::take(&mut self.dirty_ranks);
@@ -2429,13 +2821,12 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
                     }
                 } else {
                     let slot = e.id();
-                    if slot >= self.flows.len() || self.flow_epoch[slot] != e.epoch() {
+                    if slot >= self.fa.num_slots() || self.fa.gen[slot] != e.epoch() {
                         self.stats.heap_skips += 1;
                         continue;
                     }
-                    self.flows[slot].cal_loc = LOC_NONE;
-                    let f = &self.flows[slot];
-                    f.work_remaining / f.rate
+                    self.fa.cal_loc[slot] = LOC_NONE;
+                    self.fa.remaining[slot] / self.fa.rate[slot]
                 };
                 dt = dt.min(candidate);
                 self.stats.heap_pops += 1;
@@ -2447,7 +2838,7 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
                 if e.is_compute() {
                     self.rank_key[e.id()] = e.key;
                 } else {
-                    self.flows[e.id()].heap_key = e.key;
+                    self.fa.heap_key[e.id()] = e.key;
                 }
                 repush.push(e);
             }
@@ -2475,15 +2866,14 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
                     _ => true,
                 }
             } else {
-                let f = &self.flows[e.id()];
-                f.work_remaining - f.rate * dt <= 1.0
+                self.fa.remaining[e.id()] - self.fa.rate[e.id()] * dt <= 1.0
             };
             if !completes {
                 let loc = self.calq.push(e);
                 if e.is_compute() {
                     self.rank_loc[e.id()] = loc;
                 } else {
-                    self.flows[e.id()].cal_loc = loc;
+                    self.fa.cal_loc[e.id()] = loc;
                 }
             }
         }
@@ -2495,9 +2885,16 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
 
     /// Debug cross-check: re-derive `dt` with the reference engine's full
     /// scan (and every flow rate from the link loads) and demand
-    /// bit-equality. Makes every debug-mode test a scheduler audit.
+    /// bit-equality. Makes every debug-mode test a scheduler audit. The
+    /// full scan is O(live) per event, so beyond ~1k live entities the
+    /// audit samples every 64th event — large-scale debug suites stay
+    /// tractable while the run is still audited throughout.
     #[cfg(debug_assertions)]
     fn debug_check_dt(&self, dt: f64) {
+        let live = self.flow_order.len() + self.computing_ranks.len();
+        if live > 1024 && !self.stats.events.is_multiple_of(64) {
+            return;
+        }
         let mut expect = self.next_control.min(self.next_fault_t) - self.t;
         for &rank in &self.computing_ranks {
             if let RankMode::Computing {
@@ -2508,21 +2905,24 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
                 expect = expect.min(remaining_flops / self.compute_rate(rank, kind));
             }
         }
-        for (slot, f) in self.flows.iter().enumerate() {
-            let mut rate = f64::INFINITY;
-            for l in 0..f.plan.route_len as usize {
-                let load = self.link_load[f.plan.links[l] as usize].max(1) as f64;
-                rate = rate
-                    .min(self.link_health.scale(f.plan.links[l] as usize) * f.plan.bw1e9[l] / load);
-            }
+        for &slot in &self.flow_order {
+            let slot = slot as usize;
+            let rate = flow_rate(
+                slot,
+                &self.fa.pf,
+                &self.plan_flows,
+                &self.route_arena,
+                &self.link_load,
+                &self.link_health,
+            );
             assert_eq!(
                 rate.to_bits(),
-                f.rate.to_bits(),
+                self.fa.rate[slot].to_bits(),
                 "flow slot {slot}: cached rate {} != fresh rate {rate} at t={}",
-                f.rate,
+                self.fa.rate[slot],
                 self.t
             );
-            expect = expect.min(f.work_remaining / f.rate);
+            expect = expect.min(self.fa.remaining[slot] / self.fa.rate[slot]);
         }
         let expect = expect.max(1e-9);
         assert_eq!(
@@ -2534,182 +2934,144 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
     }
 
     /// Advance all in-flight work by `dt` and process completions.
+    ///
+    /// Only *progress* is per-event: computing ranks step their remaining
+    /// flops (over `computing_ranks`, an order-independent set — each
+    /// rank's progress touches only its own state) and flows their
+    /// remaining work. All accounting accrues lazily in segments (see
+    /// [`crate::accrual`]), closed by [`Self::accrue_rank`] /
+    /// [`Self::flush_flow`] at mode transitions and boundaries — so the
+    /// old per-event world scan and waiting/idle accounting passes are
+    /// gone entirely, for folded and unfolded runs alike. Completions are
+    /// collected and processed in ascending rank order, preserving the
+    /// reference scan's observer-call and wake order.
     fn advance(&mut self, dt: f64) {
-        // Compute progress + busy accounting over the active ranks (every
-        // rank in an unfolded run, in the same ascending order as the
-        // reference engine's 0..world loop; representatives only when
-        // folded — the skipped ranks are `Finished` at t = 0 with no
-        // kernels or accounting of their own).
-        for ri in 0..self.active_ranks.len() {
-            let rank = self.active_ranks[ri] as usize;
-            let gpu = self.ranks[rank].gpu.index();
-            let measured = self.ranks[rank].iteration >= self.cfg.warmup_iterations;
-            match self.ranks[rank].mode {
-                RankMode::Computing {
+        let mut completed = std::mem::take(&mut self.completed_scratch);
+        for ci in 0..self.computing_ranks.len() {
+            let rank = self.computing_ranks[ci];
+            let RankMode::Computing {
+                kind,
+                remaining_flops,
+            } = self.ranks[rank].mode
+            else {
+                continue;
+            };
+            let rate = self.compute_rate(rank, kind);
+            let left = remaining_flops - rate * dt;
+            if left <= 1.0 {
+                completed.push(rank as u32);
+            } else {
+                self.ranks[rank].mode = RankMode::Computing {
                     kind,
-                    remaining_flops,
-                } => {
-                    let rate = self.compute_rate(rank, kind);
-                    let left = remaining_flops - rate * dt;
-                    if measured {
-                        self.kernel_time[rank].add(KernelClass::of_compute(kind), dt);
-                    }
-                    let act = kind.activity()
-                        + if self.gpu_flow_count[gpu] > 0 {
-                            0.25
-                        } else {
-                            0.0
-                        };
-                    self.activity_acc[gpu] += act.min(1.0) * dt;
-                    self.util_acc[gpu] += dt;
-                    let (w, tb) = kernel_pressure(kind);
-                    let comm = if self.gpu_flow_count[gpu] > 0 {
-                        1.0
-                    } else {
-                        0.0
-                    };
-                    let occ = &mut self.occ_acc[gpu];
-                    occ.0 += dt;
-                    occ.1 += (w + 0.2 * comm) * dt;
-                    occ.2 += (tb + 0.1 * comm) * dt;
-                    if left <= 1.0 {
-                        self.obs.task_end(rank, self.t + dt);
-                        self.ranks[rank].mode = RankMode::Ready;
-                        self.remove_computing(rank);
-                        self.rank_epoch[rank] = self.rank_epoch[rank].wrapping_add(1);
-                        self.rank_key[rank] = f64::INFINITY;
-                        // Retire-site removal: drop the rank's calendar
-                        // entry (if `next_dt` didn't already).
-                        let loc = self.rank_loc[rank];
-                        if loc != LOC_NONE {
-                            self.rank_loc[rank] = LOC_NONE;
-                            self.calq_remove(loc);
-                        }
-                        self.ready_next.push(rank);
-                    } else {
-                        self.ranks[rank].mode = RankMode::Computing {
-                            kind,
-                            remaining_flops: left,
-                        };
-                    }
-                }
-                RankMode::Waiting { coll } => {
-                    if measured {
-                        self.kernel_time[rank].add(self.coll_class[coll as usize], dt);
-                    }
-                    // Communication kernels keep the SMs occupied at low
-                    // pressure (the paper's "prolonged communication
-                    // kernels" sustaining occupancy).
-                    self.activity_acc[gpu] += 0.38 * dt;
-                    self.util_acc[gpu] += dt;
-                    let occ = &mut self.occ_acc[gpu];
-                    occ.0 += dt;
-                    occ.1 += 0.2 * dt;
-                    occ.2 += 0.1 * dt;
-                }
-                _ => {
-                    // Idle or finished: eager-send flows may still be
-                    // flying; count comm presence lightly.
-                    if self.gpu_flow_count[gpu] > 0 {
-                        self.activity_acc[gpu] += 0.38 * dt;
-                    }
-                }
+                    remaining_flops: left,
+                };
             }
         }
+        completed.sort_unstable();
+        for &done in &completed {
+            let rank = done as usize;
+            // Close the computing segment at completion time, before the
+            // mode flips.
+            self.accrue_rank(rank, self.t + dt);
+            self.obs.task_end(rank, self.t + dt);
+            self.ranks[rank].mode = RankMode::Ready;
+            self.remove_computing(rank);
+            self.rank_epoch[rank] = self.rank_epoch[rank].wrapping_add(1);
+            self.rank_key[rank] = f64::INFINITY;
+            // Retire-site removal: drop the rank's calendar entry (if
+            // `next_dt` didn't already).
+            let loc = self.rank_loc[rank];
+            if loc != LOC_NONE {
+                self.rank_loc[rank] = LOC_NONE;
+                self.calq_remove(loc);
+                self.stats.cal_exact_removals += 1;
+            }
+            self.ready_next.push(rank);
+        }
+        completed.clear();
+        self.completed_scratch = completed;
+        self.advance_flows(dt);
+    }
 
-        // Flow progress + traffic accounting, using the rates `next_dt`
-        // just cached (the reference engine recomputes them from the same
-        // link loads, yielding the same values).
+    /// Flow progress, using the rates `next_dt` just cached (the reference
+    /// engine recomputes them from the same link loads, yielding the same
+    /// values). Visits live flows through `flow_order` — launches append
+    /// and retirement `swap_remove`s, so the visit sequence matches the
+    /// reference engine's dense loop while arena slots (and their calendar
+    /// entries) stay put. Traffic is *not* charged here per event: a
+    /// surviving flow accrues movement lazily (`acc_since`/`moved_acc`)
+    /// and only a retiring flow flushes, charging its whole pending
+    /// movement in one shot.
+    fn advance_flows(&mut self, dt: f64) {
         let mut loads_changed = false;
         let mut i = 0;
-        while i < self.flows.len() {
-            let f = &mut self.flows[i];
-            let mut moved = (f.rate * dt).min(f.work_remaining);
-            let after = f.work_remaining - moved;
+        while i < self.flow_order.len() {
+            let slot = self.flow_order[i] as usize;
+            let mut moved = (self.fa.rate[slot] * dt).min(self.fa.remaining[slot]);
+            let after = self.fa.remaining[slot] - moved;
             let done = after <= 1.0;
             if done {
                 // Credit the sub-unit residual so every lowered payload
                 // byte lands in the traffic accounting.
                 moved += after;
             }
-            f.work_remaining = if done { 0.0 } else { after };
-            let measured = f.measured;
-            let payload = moved * f.plan.payload_ratio;
-            for c in 0..f.plan.charge_len as usize {
-                let gpu = f.plan.charge_gpu[c] as usize;
-                let class = f.plan.charge_class[c];
-                if measured {
-                    self.traffic.add(gpu, class, payload);
-                }
-                if class == LinkClass::Pcie {
-                    self.pcie_window_bytes[gpu] += payload;
-                }
-            }
+            self.fa.remaining[slot] = if done { 0.0 } else { after };
             if done {
-                let key = (f.iteration, f.coll);
-                let pf = f.plan;
-                self.obs.flow_retire(
-                    key.1,
-                    key.0,
-                    pf.src.index() as u32,
-                    pf.dst.index() as u32,
-                    self.t + dt,
-                );
-                self.gpu_flow_count[pf.src.index()] -= 1;
-                if self.gpu_flow_count[pf.src.index()] == 0 {
-                    self.mark_gpu_ranks_dirty(pf.src.index());
+                // One retirement-time charge: movement banked at
+                // superseded rates, the open segment at the current rate,
+                // and this final event's movement (residual included).
+                self.flush_flow(slot, self.t, moved);
+                let pf = self.plan_flows[self.fa.pf[slot] as usize];
+                let key = (self.fa.iteration[slot], self.fa.coll[slot]);
+                self.obs.flow_retire(slot as u32, self.t + dt);
+                // Close rank segments on a GPU about to lose its last flow
+                // *before* the decrement, so the closing segment still
+                // carries the flows-present coefficients.
+                if self.gpu_flow_count[pf.src as usize] == 1 {
+                    self.flush_gpu_ranks(pf.src as usize, self.t + dt);
                 }
-                self.gpu_flow_count[pf.dst.index()] -= 1;
-                if self.gpu_flow_count[pf.dst.index()] == 0 {
-                    self.mark_gpu_ranks_dirty(pf.dst.index());
+                self.gpu_flow_count[pf.src as usize] -= 1;
+                if self.gpu_flow_count[pf.src as usize] == 0 {
+                    self.mark_gpu_ranks_dirty(pf.src as usize);
+                }
+                if self.gpu_flow_count[pf.dst as usize] == 1 {
+                    self.flush_gpu_ranks(pf.dst as usize, self.t + dt);
+                }
+                self.gpu_flow_count[pf.dst as usize] -= 1;
+                if self.gpu_flow_count[pf.dst as usize] == 0 {
+                    self.mark_gpu_ranks_dirty(pf.dst as usize);
                 }
                 loads_changed = true;
-                for l in 0..pf.route_len as usize {
-                    let id = pf.links[l] as usize;
-                    self.link_load[id] -= u32::from(pf.mult[l]);
+                for li in pf.route.indices() {
+                    let hop = self.route_arena.item(li);
+                    let id = hop.link as usize;
+                    self.link_load[id] -= u32::from(hop.mult);
                     self.mark_link_dirty(id);
                 }
                 if self.heap_mode {
                     // Retire-site removal: drop the retiring flow's
                     // calendar entry (if `next_dt` didn't already) and its
                     // link-membership records.
-                    let loc = self.flows[i].cal_loc;
+                    let loc = self.fa.cal_loc[slot];
                     if loc != LOC_NONE {
-                        self.flows[i].cal_loc = LOC_NONE;
+                        self.fa.cal_loc[slot] = LOC_NONE;
                         self.calq_remove(loc);
+                        self.stats.cal_exact_removals += 1;
                     }
-                    self.detach_flow_links(i);
+                    self.detach_flow_links(slot);
                 }
-                let slot = &mut self.colls[key.1 as usize][(key.0 & 1) as usize];
-                debug_assert!(slot.live && slot.iter == key.0, "flow has state");
-                slot.state.flows_remaining -= 1;
-                if slot.state.flows_remaining == 0 {
+                let cs = &mut self.colls[key.1 as usize][(key.0 & 1) as usize];
+                debug_assert!(cs.live && cs.iter == key.0, "flow has state");
+                cs.state.flows_remaining -= 1;
+                if cs.state.flows_remaining == 0 {
                     self.complete_coll(key, None, self.t + dt);
                 }
-                // The moved flow keeps its calendar entry across the
-                // `swap_remove`; only its slot id (and epoch) in the entry
-                // meta need relabeling.
-                let last = self.flows.len() - 1;
-                self.flow_epoch[i] = self.flow_epoch[i].wrapping_add(1);
-                if i != last {
-                    self.flow_epoch[last] = self.flow_epoch[last].wrapping_add(1);
-                }
-                self.flows.swap_remove(i);
-                if self.heap_mode && i < self.flows.len() {
-                    let moved = &self.flows[i];
-                    let moved_loc = moved.cal_loc;
-                    for l in 0..moved.plan.route_len as usize {
-                        let link = moved.plan.links[l] as usize;
-                        let pos = moved.link_pos[l] as usize;
-                        self.link_flows[link][pos].0 = i as u32;
-                    }
-                    if moved_loc != LOC_NONE {
-                        self.calq.patch_meta(
-                            moved_loc,
-                            HeapEntry::flow(0.0, i as u32, self.flow_epoch[i]).meta,
-                        );
-                    }
-                }
+                // Stable slots: recycling the arena slot (with a fresh
+                // generation stamp) is all the bookkeeping retirement
+                // needs — no entry relabeling, no link back-pointer
+                // fix-ups for a moved flow.
+                self.flow_order.swap_remove(i);
+                self.fa.free(slot as u32);
             } else {
                 i += 1;
             }
@@ -2717,19 +3079,19 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
         if loads_changed {
             self.load_epoch += 1;
         }
-
         self.t += dt;
     }
 
-    /// Remove `flows[slot]`'s membership entries from its route links'
-    /// flow lists (swap-remove with back-pointer fixup; O(route length)).
+    /// Remove the flow's membership entries from its route links' flow
+    /// lists (swap-remove with back-pointer fixup; O(route length)).
     fn detach_flow_links(&mut self, slot: usize) {
-        for l in 0..self.flows[slot].plan.route_len as usize {
-            let link = self.flows[slot].plan.links[l] as usize;
-            let pos = self.flows[slot].link_pos[l] as usize;
+        let pf = self.plan_flows[self.fa.pf[slot] as usize];
+        for (l, li) in pf.route.indices().enumerate() {
+            let link = self.route_arena.item(li).link as usize;
+            let pos = self.fa.link_pos[slot][l] as usize;
             self.link_flows[link].swap_remove(pos);
             if let Some(&(ms, mr)) = self.link_flows[link].get(pos) {
-                self.flows[ms as usize].link_pos[mr as usize] = pos as u32;
+                self.fa.link_pos[ms as usize][mr as usize] = pos as u32;
             }
         }
     }
@@ -2753,6 +3115,10 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
     /// `next_control - t`, which is value-equivalent to an always-live
     /// entry at the control boundary.)
     fn control_update(&mut self) {
+        // The thermal step and telemetry sample below read the activity /
+        // util / PCIe accumulators, so every open accrual segment must be
+        // closed first.
+        self.flush_accruals(self.t);
         let period = self.cfg.control_period_s;
         let airflow = &self.cluster.node_layout().airflow;
         let slots = airflow.num_slots();
@@ -2833,7 +3199,10 @@ impl<'a, O: SimObserver> Simulator<'a, O> {
         blocked.join("; ")
     }
 
-    fn finish(self) -> (SimResult, O) {
+    fn finish(mut self) -> (SimResult, O) {
+        // Close every open accrual segment so the final partial control
+        // window's busy time and traffic land in the result.
+        self.flush_accruals(self.t);
         let obs = self.obs;
         let cfg = &self.cfg;
         let mut iteration_times = Vec::with_capacity(cfg.iterations);

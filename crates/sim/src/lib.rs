@@ -25,7 +25,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub(crate) mod accrual;
 pub mod analytic;
+pub mod arena;
 pub mod config;
 pub mod engine;
 pub mod error;
@@ -35,6 +37,7 @@ pub mod observer;
 pub mod reference;
 pub mod result;
 
+pub use arena::FlowArena;
 pub use config::SimConfig;
 pub use engine::{EngineStats, PlanSetSnapshot, SharedPlans, Simulator};
 pub use error::SimError;

@@ -49,13 +49,26 @@ pub trait SimObserver {
     }
 
     /// A network flow of collective `coll` launches between two GPUs.
-    fn flow_launch(&mut self, coll: u32, iteration: u32, src_gpu: u32, dst_gpu: u32, t_s: f64) {
-        let _ = (coll, iteration, src_gpu, dst_gpu, t_s);
+    /// `flow` is a dense engine-assigned id, unique among *open* flows and
+    /// recycled after retirement — recorders can index a flat table by it
+    /// instead of hashing the `(coll, iteration, src, dst)` identity.
+    fn flow_launch(
+        &mut self,
+        flow: u32,
+        coll: u32,
+        iteration: u32,
+        src_gpu: u32,
+        dst_gpu: u32,
+        t_s: f64,
+    ) {
+        let _ = (flow, coll, iteration, src_gpu, dst_gpu, t_s);
     }
 
-    /// A previously launched flow retires (all its work moved).
-    fn flow_retire(&mut self, coll: u32, iteration: u32, src_gpu: u32, dst_gpu: u32, t_s: f64) {
-        let _ = (coll, iteration, src_gpu, dst_gpu, t_s);
+    /// A previously launched flow retires (all its work moved). `flow`
+    /// matches the id passed to the corresponding
+    /// [`SimObserver::flow_launch`].
+    fn flow_retire(&mut self, flow: u32, t_s: f64) {
+        let _ = (flow, t_s);
     }
 
     /// A collective instance completes (all flows retired, waiters woken).
@@ -106,12 +119,20 @@ impl SimObserver for SpanRecorder {
         self.end_task(rank, t_s);
     }
 
-    fn flow_launch(&mut self, coll: u32, iteration: u32, src_gpu: u32, dst_gpu: u32, t_s: f64) {
-        SpanRecorder::flow_launch(self, coll, iteration, src_gpu, dst_gpu, t_s);
+    fn flow_launch(
+        &mut self,
+        flow: u32,
+        coll: u32,
+        iteration: u32,
+        src_gpu: u32,
+        dst_gpu: u32,
+        t_s: f64,
+    ) {
+        SpanRecorder::flow_launch(self, flow, coll, iteration, src_gpu, dst_gpu, t_s);
     }
 
-    fn flow_retire(&mut self, coll: u32, iteration: u32, src_gpu: u32, dst_gpu: u32, t_s: f64) {
-        SpanRecorder::flow_retire(self, coll, iteration, src_gpu, dst_gpu, t_s);
+    fn flow_retire(&mut self, flow: u32, t_s: f64) {
+        SpanRecorder::flow_retire(self, flow, t_s);
     }
 
     fn collective_complete(&mut self, coll: u32, iteration: u32, t_s: f64) {

@@ -20,7 +20,12 @@
 //! - flows retire at `work_remaining <= 1.0`, and the sub-unit residual is
 //!   now credited to the final payload charge so measured traffic equals
 //!   the sum of lowered flow payloads instead of silently dropping up to
-//!   one byte-equivalent per flow.
+//!   one byte-equivalent per flow;
+//! - accounting (kernel time, activity, occupancy, traffic) accrues in
+//!   lazy segments closed at mode transitions instead of per event (see
+//!   the `accrual` module). Work *progress* is still stepped per event, so
+//!   the event stream is unchanged; both engines flush at identically
+//!   ordered boundaries, so their results stay byte-identical.
 
 use std::collections::HashMap;
 
@@ -29,10 +34,10 @@ use charllm_net::lower_collective;
 use charllm_parallel::Placement;
 use charllm_telemetry::{GpuSample, TelemetryStore};
 use charllm_thermal::{GovernorConfig, GpuThermal, GpuVariability, ThermalSpec};
-use charllm_trace::{ExecutionTrace, KernelClass, Step};
+use charllm_trace::{ExecutionTrace, Step};
 
+use crate::accrual;
 use crate::config::SimConfig;
-use crate::engine::kernel_pressure;
 use crate::error::SimError;
 use crate::observer::{NoopObserver, SimObserver, TaskKind};
 use crate::result::{KernelBreakdown, OccupancyStats, SimResult, TrafficMatrix};
@@ -73,11 +78,20 @@ struct CollState {
 struct FlowState {
     work_remaining: f64,
     payload_ratio: f64,
+    /// Rate computed by the last `next_dt` (banked on bit-change).
+    rate: f64,
+    /// Segment start for lazy traffic accrual.
+    acc_since: f64,
+    /// Movement banked at superseded rates since the last traffic flush.
+    moved_acc: f64,
     route: Vec<LinkId>,
     src: GpuId,
     dst: GpuId,
     measured: bool,
     coll_key: (u32, u32),
+    /// Dense observer id: unique among open flows, recycled after
+    /// retirement (the [`SimObserver::flow_launch`] contract).
+    obs_id: u32,
 }
 
 /// The scan-everything-per-event engine (see the module docs).
@@ -96,8 +110,17 @@ pub struct ReferenceSimulator<'a, O: SimObserver = NoopObserver> {
     ranks: Vec<RankState>,
     colls: HashMap<(u32, u32), CollState>,
     flows: Vec<FlowState>,
+    /// Retired observer ids available for reuse (LIFO).
+    free_flow_ids: Vec<u32>,
+    /// Next never-used observer id.
+    next_flow_id: u32,
     /// Number of active flows touching each GPU (as src or dst).
     gpu_flow_count: Vec<u32>,
+    /// Ranks placed on each GPU, ascending (flush order at flow-presence
+    /// transitions).
+    ranks_of_gpu: Vec<Vec<u32>>,
+    /// Segment start for each rank's lazy accounting accrual.
+    rank_acc_since: Vec<f64>,
     /// Scratch: flow load per link.
     link_load: Vec<u32>,
 
@@ -213,6 +236,10 @@ impl<'a, O: SimObserver> ReferenceSimulator<'a, O> {
         }
         let freq_ratio = thermals.iter().map(GpuThermal::freq_ratio).collect();
         let last_power_w = thermals.iter().map(GpuThermal::power_w).collect();
+        let mut ranks_of_gpu = vec![Vec::new(); num_gpus];
+        for (r, state) in ranks.iter().enumerate() {
+            ranks_of_gpu[state.gpu.index()].push(r as u32);
+        }
 
         Ok(ReferenceSimulator {
             obs,
@@ -221,7 +248,11 @@ impl<'a, O: SimObserver> ReferenceSimulator<'a, O> {
             ranks,
             colls: HashMap::new(),
             flows: Vec::new(),
+            free_flow_ids: Vec::new(),
+            next_flow_id: 0,
             gpu_flow_count: vec![0; num_gpus],
+            ranks_of_gpu,
+            rank_acc_since: vec![0.0; trace.world()],
             link_load: vec![0; cluster.num_links()],
             thermals,
             freq_ratio,
@@ -318,6 +349,11 @@ impl<'a, O: SimObserver> ReferenceSimulator<'a, O> {
                     if !done {
                         return progressed;
                     }
+                    // Close the wait segment before the mode flips. The
+                    // flip happens at the same sim time as the collective
+                    // completion (`advance` bumps `t` to the completion
+                    // time before this scan runs).
+                    self.accrue_rank(rank, self.t);
                     self.ranks[rank].mode = RankMode::Ready;
                     progressed = true;
                 }
@@ -429,23 +465,42 @@ impl<'a, O: SimObserver> ReferenceSimulator<'a, O> {
                 continue;
             }
             active += 1;
+            let obs_id = self.free_flow_ids.pop().unwrap_or_else(|| {
+                let id = self.next_flow_id;
+                self.next_flow_id += 1;
+                id
+            });
             self.obs.flow_launch(
+                obs_id,
                 coll,
                 iter,
                 flow.src.index() as u32,
                 flow.dst.index() as u32,
                 self.t,
             );
+            // A GPU's flow count crossing 0 → 1 changes its ranks'
+            // accounting coefficients: close their segments *before* the
+            // increment so the closed span carries the flows-absent rates.
+            if self.gpu_flow_count[flow.src.index()] == 0 {
+                self.flush_gpu_ranks(flow.src.index(), self.t);
+            }
             self.gpu_flow_count[flow.src.index()] += 1;
+            if self.gpu_flow_count[flow.dst.index()] == 0 {
+                self.flush_gpu_ranks(flow.dst.index(), self.t);
+            }
             self.gpu_flow_count[flow.dst.index()] += 1;
             self.flows.push(FlowState {
                 work_remaining: work,
                 payload_ratio: flow.bytes as f64 / work,
+                rate: 0.0,
+                acc_since: self.t,
+                moved_acc: 0.0,
                 route,
                 src: flow.src,
                 dst: flow.dst,
                 measured,
                 coll_key: key,
+                obs_id,
             });
         }
         let state = self.colls.get_mut(&key).expect("just inserted");
@@ -516,9 +571,22 @@ impl<'a, O: SimObserver> ReferenceSimulator<'a, O> {
                 dt = dt.min(remaining_flops / rate);
             }
         }
-        for flow in &self.flows {
+        for i in 0..self.flows.len() {
             any = true;
-            dt = dt.min(flow.work_remaining / self.flow_rate(flow));
+            let rate = self.flow_rate(&self.flows[i]);
+            if rate.to_bits() != self.flows[i].rate.to_bits() {
+                // Bank movement at the superseded rate so the retirement /
+                // control-boundary flush charges stay exact.
+                let flow = &mut self.flows[i];
+                accrual::bank_flow_segment(
+                    flow.rate,
+                    self.t,
+                    &mut flow.acc_since,
+                    &mut flow.moved_acc,
+                );
+                flow.rate = rate;
+            }
+            dt = dt.min(self.flows[i].work_remaining / rate);
         }
         if !any {
             return None;
@@ -526,81 +594,42 @@ impl<'a, O: SimObserver> ReferenceSimulator<'a, O> {
         Some(dt.max(1e-9))
     }
 
-    /// Advance all in-flight work by `dt` and process completions.
+    /// Advance all in-flight work by `dt` and process completions. Only
+    /// *progress* is per-event; accounting accrues lazily in segments
+    /// closed by [`Self::accrue_rank`] / [`Self::flush_flow`] at the same
+    /// boundaries the production engine flushes at.
     fn advance(&mut self, dt: f64) {
-        // Compute progress + busy accounting.
+        // Compute progress.
         for rank in 0..self.ranks.len() {
-            let gpu = self.ranks[rank].gpu.index();
-            let measured = self.ranks[rank].iteration >= self.cfg.warmup_iterations;
-            match self.ranks[rank].mode {
-                RankMode::Computing {
+            let RankMode::Computing {
+                kind,
+                remaining_flops,
+            } = self.ranks[rank].mode
+            else {
+                continue;
+            };
+            let rate = self.compute_rate(rank, kind);
+            let left = remaining_flops - rate * dt;
+            if left <= 1.0 {
+                // Close the computing segment at completion time, before
+                // the mode flips.
+                self.accrue_rank(rank, self.t + dt);
+                self.obs.task_end(rank, self.t + dt);
+                self.ranks[rank].mode = RankMode::Ready;
+            } else {
+                self.ranks[rank].mode = RankMode::Computing {
                     kind,
-                    remaining_flops,
-                } => {
-                    let rate = self.compute_rate(rank, kind);
-                    let left = remaining_flops - rate * dt;
-                    if measured {
-                        self.kernel_time[rank].add(KernelClass::of_compute(kind), dt);
-                    }
-                    let act = kind.activity()
-                        + if self.gpu_flow_count[gpu] > 0 {
-                            0.25
-                        } else {
-                            0.0
-                        };
-                    self.activity_acc[gpu] += act.min(1.0) * dt;
-                    self.util_acc[gpu] += dt;
-                    let (w, tb) = kernel_pressure(kind);
-                    let comm = if self.gpu_flow_count[gpu] > 0 {
-                        1.0
-                    } else {
-                        0.0
-                    };
-                    let occ = &mut self.occ_acc[gpu];
-                    occ.0 += dt;
-                    occ.1 += (w + 0.2 * comm) * dt;
-                    occ.2 += (tb + 0.1 * comm) * dt;
-                    if left <= 1.0 {
-                        self.obs.task_end(rank, self.t + dt);
-                        self.ranks[rank].mode = RankMode::Ready;
-                    } else {
-                        self.ranks[rank].mode = RankMode::Computing {
-                            kind,
-                            remaining_flops: left,
-                        };
-                    }
-                }
-                RankMode::Waiting { coll } => {
-                    let inst = self
-                        .trace
-                        .collective(charllm_trace::task::CollectiveId(coll));
-                    if measured {
-                        self.kernel_time[rank].add(inst.class(), dt);
-                    }
-                    // Communication kernels keep the SMs occupied at low
-                    // pressure (the paper's "prolonged communication
-                    // kernels" sustaining occupancy).
-                    self.activity_acc[gpu] += 0.38 * dt;
-                    self.util_acc[gpu] += dt;
-                    let occ = &mut self.occ_acc[gpu];
-                    occ.0 += dt;
-                    occ.1 += 0.2 * dt;
-                    occ.2 += 0.1 * dt;
-                }
-                _ => {
-                    // Idle or finished: eager-send flows may still be
-                    // flying; count comm presence lightly.
-                    if self.gpu_flow_count[gpu] > 0 {
-                        self.activity_acc[gpu] += 0.38 * dt;
-                    }
-                }
+                    remaining_flops: left,
+                };
             }
         }
 
-        // Flow progress + traffic accounting.
+        // Flow progress, at the rates `next_dt` just cached from the same
+        // link loads. Traffic is charged only when a flow retires (or at a
+        // control boundary), covering its whole accrued movement.
         let mut i = 0;
         while i < self.flows.len() {
-            let rate = self.flow_rate(&self.flows[i]);
+            let rate = self.flows[i].rate;
             let mut moved = (rate * dt).min(self.flows[i].work_remaining);
             let after = self.flows[i].work_remaining - moved;
             let done = after <= 1.0;
@@ -610,46 +639,27 @@ impl<'a, O: SimObserver> ReferenceSimulator<'a, O> {
                 moved += after;
             }
             self.flows[i].work_remaining = if done { 0.0 } else { after };
-            let payload = moved * self.flows[i].payload_ratio;
-            let src = self.flows[i].src;
-            let dst = self.flows[i].dst;
-            let measured = self.flows[i].measured;
-            let coll_key = self.flows[i].coll_key;
-            // Charge GPU-owned links for telemetry + traffic matrices.
-            for k in 0..self.flows[i].route.len() {
-                let id = self.flows[i].route[k];
-                let class = self.cluster.link(id).class;
-                for &gpu in &[src, dst] {
-                    let owns = match class {
-                        charllm_hw::LinkClass::Pcie => self.cluster.pcie(gpu) == id,
-                        charllm_hw::LinkClass::NvLink | charllm_hw::LinkClass::XgmiPort => {
-                            self.cluster.fabric_port(gpu) == id
-                        }
-                        charllm_hw::LinkClass::XgmiPackage => {
-                            // Package bus: charge both endpoints.
-                            self.cluster.same_package(src, dst) && (gpu == src || gpu == dst)
-                        }
-                        charllm_hw::LinkClass::Nic | charllm_hw::LinkClass::Switch => false,
-                    };
-                    if owns {
-                        if measured {
-                            self.traffic.add(gpu.index(), class, payload);
-                        }
-                        if class == charllm_hw::LinkClass::Pcie {
-                            self.pcie_window_bytes[gpu.index()] += payload;
-                        }
-                    }
-                }
-            }
             if done {
-                self.obs.flow_retire(
-                    coll_key.1,
-                    coll_key.0,
-                    src.index() as u32,
-                    dst.index() as u32,
-                    self.t + dt,
-                );
+                // One retirement-time charge: movement banked at
+                // superseded rates, the open segment at the current rate,
+                // and this final event's movement (residual included).
+                self.flush_flow(i, self.t, moved);
+                let obs_id = self.flows[i].obs_id;
+                let src = self.flows[i].src;
+                let dst = self.flows[i].dst;
+                let coll_key = self.flows[i].coll_key;
+                self.obs.flow_retire(obs_id, self.t + dt);
+                self.free_flow_ids.push(obs_id);
+                // Close rank segments on a GPU about to lose its last flow
+                // *before* the decrement, so the closing segment still
+                // carries the flows-present coefficients.
+                if self.gpu_flow_count[src.index()] == 1 {
+                    self.flush_gpu_ranks(src.index(), self.t + dt);
+                }
                 self.gpu_flow_count[src.index()] -= 1;
+                if self.gpu_flow_count[dst.index()] == 1 {
+                    self.flush_gpu_ranks(dst.index(), self.t + dt);
+                }
                 self.gpu_flow_count[dst.index()] -= 1;
                 let state = self.colls.get_mut(&coll_key).expect("flow has state");
                 state.flows_remaining -= 1;
@@ -665,8 +675,125 @@ impl<'a, O: SimObserver> ReferenceSimulator<'a, O> {
         self.t += dt;
     }
 
+    /// Close a rank's open accounting segment at `t_end` with the
+    /// coefficients of its *current* mode (flushes run before transitions,
+    /// so the mode describes the whole segment).
+    fn accrue_rank(&mut self, rank: usize, t_end: f64) {
+        let t0 = self.rank_acc_since[rank];
+        if t_end <= t0 {
+            return;
+        }
+        self.rank_acc_since[rank] = t_end;
+        let len = t_end - t0;
+        let gpu = self.ranks[rank].gpu.index();
+        let flows_present = self.gpu_flow_count[gpu] > 0;
+        let measured = self.ranks[rank].iteration >= self.cfg.warmup_iterations;
+        match self.ranks[rank].mode {
+            RankMode::Computing { kind, .. } => accrual::accrue_computing(
+                len,
+                kind,
+                flows_present,
+                measured,
+                &mut self.kernel_time[rank],
+                &mut self.activity_acc[gpu],
+                &mut self.util_acc[gpu],
+                &mut self.occ_acc[gpu],
+            ),
+            RankMode::Waiting { coll } => {
+                let class = self
+                    .trace
+                    .collective(charllm_trace::task::CollectiveId(coll))
+                    .class();
+                accrual::accrue_waiting(
+                    len,
+                    class,
+                    measured,
+                    &mut self.kernel_time[rank],
+                    &mut self.activity_acc[gpu],
+                    &mut self.util_acc[gpu],
+                    &mut self.occ_acc[gpu],
+                );
+            }
+            _ => {
+                // Idle or finished: eager-send flows may still be flying;
+                // count comm presence lightly.
+                if flows_present {
+                    accrual::accrue_idle(len, &mut self.activity_acc[gpu]);
+                }
+            }
+        }
+    }
+
+    /// Close the accounting segments of every rank placed on `gpu` at
+    /// `now`. Called exactly when the GPU's flow count crosses 0 ↔ 1.
+    fn flush_gpu_ranks(&mut self, gpu: usize, now: f64) {
+        for k in 0..self.ranks_of_gpu[gpu].len() {
+            let rank = self.ranks_of_gpu[gpu][k] as usize;
+            self.accrue_rank(rank, now);
+        }
+    }
+
+    /// Drain a flow's accumulated movement and charge it to its telemetry
+    /// owners. `extra` is movement already computed outside the segment
+    /// accrual (the retirement event's final `moved`, residual included).
+    fn flush_flow(&mut self, i: usize, now: f64, extra: f64) {
+        let flow = &mut self.flows[i];
+        let pending =
+            accrual::take_flow_pending(flow.rate, now, &mut flow.acc_since, &mut flow.moved_acc)
+                + extra;
+        if pending == 0.0 {
+            return;
+        }
+        let payload = pending * flow.payload_ratio;
+        let src = flow.src;
+        let dst = flow.dst;
+        let measured = flow.measured;
+        // Charge GPU-owned links for telemetry + traffic matrices.
+        for k in 0..self.flows[i].route.len() {
+            let id = self.flows[i].route[k];
+            let class = self.cluster.link(id).class;
+            for &gpu in &[src, dst] {
+                let owns = match class {
+                    charllm_hw::LinkClass::Pcie => self.cluster.pcie(gpu) == id,
+                    charllm_hw::LinkClass::NvLink | charllm_hw::LinkClass::XgmiPort => {
+                        self.cluster.fabric_port(gpu) == id
+                    }
+                    charllm_hw::LinkClass::XgmiPackage => {
+                        // Package bus: charge both endpoints.
+                        self.cluster.same_package(src, dst) && (gpu == src || gpu == dst)
+                    }
+                    charllm_hw::LinkClass::Nic | charllm_hw::LinkClass::Switch => false,
+                };
+                if owns {
+                    if measured {
+                        self.traffic.add(gpu.index(), class, payload);
+                    }
+                    if class == charllm_hw::LinkClass::Pcie {
+                        self.pcie_window_bytes[gpu.index()] += payload;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Close every open accrual segment at `now`: ranks in ascending
+    /// order, then live flows in dense order — the same sequences the
+    /// production engine flushes in.
+    fn flush_accruals(&mut self, now: f64) {
+        for rank in 0..self.ranks.len() {
+            self.accrue_rank(rank, now);
+        }
+        for i in 0..self.flows.len() {
+            self.flush_flow(i, now, 0.0);
+        }
+    }
+
     /// Thermal/governor update + telemetry sampling at a control boundary.
     fn control_update(&mut self) {
+        // The thermal step and telemetry sample below read the activity /
+        // util / PCIe accumulators, so every open accrual segment must be
+        // closed first.
+        self.flush_accruals(self.t);
         let period = self.cfg.control_period_s;
         let airflow = &self.cluster.node_layout().airflow;
         let slots = airflow.num_slots();
@@ -739,7 +866,10 @@ impl<'a, O: SimObserver> ReferenceSimulator<'a, O> {
         blocked.join("; ")
     }
 
-    fn finish(self) -> (SimResult, O) {
+    fn finish(mut self) -> (SimResult, O) {
+        // Close every open accrual segment so the final partial control
+        // window's busy time and traffic land in the result.
+        self.flush_accruals(self.t);
         let obs = self.obs;
         let cfg = &self.cfg;
         let mut iteration_times = Vec::with_capacity(cfg.iterations);

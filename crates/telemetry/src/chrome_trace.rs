@@ -244,8 +244,8 @@ mod tests {
             0.0,
         );
         r.end_task(1, 1.0);
-        r.flow_launch(9, 0, 0, 1, 0.25);
-        r.flow_retire(9, 0, 0, 1, 0.75);
+        r.flow_launch(0, 9, 0, 0, 1, 0.25);
+        r.flow_retire(0, 0.75);
         let v = export(&r, &[0, 0]);
         let events = v
             .as_object()

@@ -463,8 +463,8 @@ mod tests {
         r.begin_task(0, 0, 0, compute(ComputeKind::Gemm), 0.0);
         r.end_task(0, 10.0);
         // Flow touches gpu 0 during [2, 5].
-        r.flow_launch(0, 0, 0, 1, 2.0);
-        r.flow_retire(0, 0, 0, 1, 5.0);
+        r.flow_launch(0, 0, 0, 0, 1, 2.0);
+        r.flow_retire(0, 5.0);
         let p = attribute(&r, 10.0, 1);
         let b = &p.rank_phases[0];
         assert!((b.seconds(Phase::OverlappedComm) - 3.0).abs() < 1e-12);

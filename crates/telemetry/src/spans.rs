@@ -10,7 +10,6 @@
 //! [`crate::chrome_trace`] (Perfetto export).
 
 use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
 
 use serde::{Deserialize, Serialize};
 
@@ -142,72 +141,15 @@ pub struct PowerTick {
     pub measuring: bool,
 }
 
-/// Sentinel for "no slot" in the intrusive flow lists.
+/// Sentinel for "no slot" in the flow id table.
 const NIL: u32 = u32::MAX;
 
-/// One in-flight flow in the launch-ordered slab, threaded onto its
-/// identity's FIFO list via `next`.
+/// One in-flight flow in the launch-ordered slab.
 #[derive(Debug, Clone, Copy)]
 struct FlowSlot {
     span: FlowSpan,
-    next: u32,
     open: bool,
 }
-
-/// Head/tail of one identity's FIFO of open slots. An emptied list stays in
-/// the index as a `(NIL, NIL)` tombstone — cheaper than removal — until the
-/// recorder goes quiescent (no open flows) and the whole index is cleared
-/// in place, keeping its capacity for the next burst.
-#[derive(Debug, Clone, Copy)]
-struct FlowList {
-    head: u32,
-    tail: u32,
-}
-
-/// Packs a flow identity `(coll, iteration, src_gpu, dst_gpu)` into the
-/// u128 index key.
-fn flow_key(coll: u32, iteration: u32, src_gpu: u32, dst_gpu: u32) -> u128 {
-    (u128::from(coll) << 96)
-        | (u128::from(iteration) << 64)
-        | (u128::from(src_gpu) << 32)
-        | u128::from(dst_gpu)
-}
-
-/// Single-shot hasher for the packed u128 flow keys: one splitmix64-style
-/// finalizer over the folded halves instead of SipHash's per-byte rounds.
-/// Flow matching is on the simulator's per-flow hot path, so the default
-/// hasher's cost is measurable; collisions only cost a key compare.
-#[derive(Debug, Default)]
-pub struct FlowKeyHasher {
-    state: u64,
-}
-
-impl Hasher for FlowKeyHasher {
-    fn finish(&self) -> u64 {
-        self.state
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        // Generic fallback (FNV-1a); the flow index only ever hashes u128s.
-        for &b in bytes {
-            self.state = (self.state ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
-        }
-    }
-
-    fn write_u128(&mut self, v: u128) {
-        let mut x = (v as u64)
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(((v >> 64) as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
-        x ^= x >> 30;
-        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        x ^= x >> 27;
-        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
-        x ^= x >> 31;
-        self.state = x;
-    }
-}
-
-type FlowIndex = HashMap<u128, FlowList, BuildHasherDefault<FlowKeyHasher>>;
 
 /// Collects span streams, flow lifetimes, collective completions and power
 /// ticks from a simulation run.
@@ -227,8 +169,11 @@ pub struct SpanRecorder {
     /// stays bounded by the peak number of flows per quiescent period and
     /// is reused across iterations without reallocating.
     slots: Vec<FlowSlot>,
-    /// Intrusive FIFO lists into `slots` per packed flow identity.
-    index: FlowIndex,
+    /// Engine flow id → slab slot (`NIL` when the id has no open flow).
+    /// Ids are the dense, recycled indices the simulator passes to the
+    /// observer hooks, so matching a retirement is one array read instead
+    /// of re-hashing the `(coll, iteration, src, dst)` identity.
+    flow_slot: Vec<u32>,
     open_flow_count: usize,
     completions: Vec<CollComplete>,
     power: Vec<PowerTick>,
@@ -304,8 +249,18 @@ impl SpanRecorder {
         }
     }
 
-    /// Record a flow launch.
-    pub fn flow_launch(&mut self, coll: u32, iteration: u32, src_gpu: u32, dst_gpu: u32, t_s: f64) {
+    /// Record a flow launch. `flow` is the engine's dense flow id; it must
+    /// not collide with another *open* flow (ids are recycled only after
+    /// retirement, which both engines guarantee).
+    pub fn flow_launch(
+        &mut self,
+        flow: u32,
+        coll: u32,
+        iteration: u32,
+        src_gpu: u32,
+        dst_gpu: u32,
+        t_s: f64,
+    ) {
         let slot = self.slots.len() as u32;
         self.slots.push(FlowSlot {
             span: FlowSpan {
@@ -316,55 +271,33 @@ impl SpanRecorder {
                 t0_s: t_s,
                 t1_s: t_s,
             },
-            next: NIL,
             open: true,
         });
-        let list = self
-            .index
-            .entry(flow_key(coll, iteration, src_gpu, dst_gpu))
-            .or_insert(FlowList {
-                head: NIL,
-                tail: NIL,
-            });
-        if list.head == NIL {
-            list.head = slot;
-        } else {
-            let tail = list.tail as usize;
-            self.slots[tail].next = slot;
+        let fi = flow as usize;
+        if fi >= self.flow_slot.len() {
+            self.flow_slot.resize(fi + 1, NIL);
         }
-        list.tail = slot;
+        debug_assert_eq!(self.flow_slot[fi], NIL, "flow id {flow} already open");
+        self.flow_slot[fi] = slot;
         self.open_flow_count += 1;
     }
 
-    /// Record a flow retirement, matching the earliest open flow with the
-    /// same identity (FIFO per `(coll, iteration, src, dst)`; chunked
-    /// collectives launch several identical flows).
-    pub fn flow_retire(&mut self, coll: u32, iteration: u32, src_gpu: u32, dst_gpu: u32, t_s: f64) {
-        let slot = match self
-            .index
-            .get_mut(&flow_key(coll, iteration, src_gpu, dst_gpu))
-        {
-            Some(list) if list.head != NIL => {
-                let slot = list.head as usize;
-                list.head = self.slots[slot].next;
-                if list.head == NIL {
-                    list.tail = NIL;
-                }
-                Some(slot)
-            }
-            _ => None,
-        };
-        if let Some(slot) = slot {
-            let fs = &mut self.slots[slot];
+    /// Record a flow retirement by engine flow id — one array read, no
+    /// identity hashing.
+    pub fn flow_retire(&mut self, flow: u32, t_s: f64) {
+        let fi = flow as usize;
+        let slot = self.flow_slot.get(fi).copied().unwrap_or(NIL);
+        if slot != NIL {
+            self.flow_slot[fi] = NIL;
+            let fs = &mut self.slots[slot as usize];
             fs.open = false;
             fs.span.t1_s = t_s;
             self.flows.push(fs.span);
             self.open_flow_count -= 1;
             if self.open_flow_count == 0 {
-                // Quiescent: reset slab and index in place, keeping their
-                // capacity for the next burst of flows.
+                // Quiescent: every id points at NIL again, so only the slab
+                // needs resetting (capacity kept for the next burst).
                 self.slots.clear();
-                self.index.clear();
             }
         } else {
             debug_assert!(false, "retired flow was never launched");
@@ -499,16 +432,25 @@ mod tests {
     }
 
     #[test]
-    fn flows_match_fifo_on_identical_identity() {
+    fn flows_match_by_engine_id() {
         let mut r = SpanRecorder::new();
-        r.flow_launch(3, 0, 0, 1, 0.0);
-        r.flow_launch(3, 0, 0, 1, 1.0);
-        r.flow_retire(3, 0, 0, 1, 2.0);
+        // Two flows with identical (coll, iter, src, dst) identity but
+        // distinct engine ids — ids disambiguate where hashing used to.
+        r.flow_launch(0, 3, 0, 0, 1, 0.0);
+        r.flow_launch(1, 3, 0, 0, 1, 1.0);
+        r.flow_retire(0, 2.0);
         assert_eq!(r.flows().len(), 1);
         assert_eq!(r.open_flows().len(), 1);
-        // FIFO: the retired flow is the one launched at t=0.
+        // The retired flow is the one launched at t=0 under id 0.
         assert_eq!(r.flows()[0].t0_s, 0.0);
         assert_eq!(r.open_flows()[0].t0_s, 1.0);
+        // Retiring the rest goes quiescent; the id is then recyclable.
+        r.flow_retire(1, 3.0);
+        assert_eq!(r.open_flows().len(), 0);
+        r.flow_launch(1, 9, 1, 4, 5, 4.0);
+        r.flow_retire(1, 5.0);
+        assert_eq!(r.flows().len(), 3);
+        assert_eq!(r.flows()[2].coll, 9);
     }
 
     #[test]

@@ -117,6 +117,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             stats.heap_pops as f64 / stats.cal_bucket_drains.max(1) as f64,
             stats.cal_overflow_peak,
         );
+        println!(
+            "            arena: {} slot reuses | {} exact calendar removals | \
+             {} parallel re-rate batches",
+            stats.arena_slot_reuses, stats.cal_exact_removals, stats.parallel_rerate_batches,
+        );
     }
 
     let s = cache.stats();

@@ -212,6 +212,60 @@ fn golden_equality_on_every_collective_kind() {
 }
 
 #[test]
+fn parallel_rerate_is_deterministic_at_512_gpus_under_faults() {
+    // 512-GPU unfolded run (tp4 pp8 dp16), forced into heap mode, with a
+    // fault plan that degrades a hot link and slows a straggler rank —
+    // exactly the workload whose dirty-flow re-rate batches fan out over
+    // scoped workers. The index-ordered write-back must make any worker
+    // count produce byte-identical results; this pins workers=4 against
+    // the all-serial workers=1 run and checks the parallel path actually
+    // fired (batches ≥ the fan-out threshold exist at this scale).
+    use charllm_sim::FaultPlan;
+
+    let cluster = presets::hgx_h200_with_nodes(64);
+    let job = TrainJob::pretrain(models::gpt3_13b()).with_global_batch(128);
+    let spec = ParallelismSpec::infer_dp(4, 8, 1, cluster.num_gpus(), false).unwrap();
+    let partition = StagePartition::even(40, 8).unwrap();
+    let hints = DeviceHints::for_spec(cluster.gpu());
+    let trace = lower_train(&job, &spec, PipelineSchedule::OneFOneB, &partition, &hints)
+        .unwrap()
+        .trace;
+    let placement = Placement::identity(&cluster, trace.world()).unwrap();
+    let plan = FaultPlan::none()
+        .link_degrade(0, 0.05, 0.4, 0.25)
+        .straggler(17, 0.02, 0.5, 1.7);
+    let run = |workers: usize| {
+        let mut cfg = SimConfig::fast();
+        cfg.iterations = 1;
+        cfg.warmup_iterations = 0;
+        cfg.sched_heap_threshold = 0;
+        cfg.rerate_workers = workers;
+        let (r, stats) = Simulator::new(&cluster, &placement, &trace, cfg)
+            .unwrap()
+            .with_faults(&plan)
+            .unwrap()
+            .run_stats()
+            .unwrap();
+        (serde_json::to_string(&r).unwrap(), stats)
+    };
+    let (serial, serial_stats) = run(1);
+    let (parallel, parallel_stats) = run(4);
+    assert_eq!(
+        serial_stats.parallel_rerate_batches, 0,
+        "workers=1 must never fan out"
+    );
+    assert!(
+        parallel_stats.parallel_rerate_batches > 0,
+        "512-GPU dirty-flow batches should exceed the fan-out threshold"
+    );
+    assert!(
+        parallel_stats.arena_slot_reuses > 0,
+        "steady-state launches should recycle arena slots"
+    );
+    assert_eq!(serial, parallel, "worker count changed simulation results");
+}
+
+#[test]
 fn identical_configs_produce_byte_identical_results() {
     let cluster = one_node_cluster();
     let trace = gpt3_trace(&cluster, 16);
